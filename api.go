@@ -1,0 +1,103 @@
+package paralagg
+
+import (
+	"paralagg/internal/core"
+	"paralagg/internal/lattice"
+	"paralagg/internal/tuple"
+)
+
+// The declarative surface re-exports the core compiler's types so programs
+// are written against this package alone.
+type (
+	// Program is a declarative rule set; see NewProgram.
+	Program = core.Program
+	// Rule is one Horn clause built with R.
+	Rule = core.Rule
+	// Atom is a relation literal built with A.
+	Atom = core.Atom
+	// Term is a position in an atom: Var, Const, or (heads only) Apply.
+	Term = core.Term
+	// Var is a named logic variable.
+	Var = core.Var
+	// Const is a literal column value.
+	Const = core.Const
+	// Apply computes a head column from body variables.
+	Apply = core.Apply
+	// Cond is a body filter built with Lt, Le, Ne, or Where.
+	Cond = core.Cond
+	// Tuple is one row of column values.
+	Tuple = tuple.Tuple
+	// Value is a single 64-bit column value.
+	Value = tuple.Value
+	// Aggregator is the recursive-aggregate contract (the paper's
+	// RecursiveAggregator API): a join-semilattice over the dependent
+	// columns.
+	Aggregator = lattice.Aggregator
+)
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return core.NewProgram() }
+
+// R builds a rule Head ← Body....
+func R(head Atom, body ...Atom) *Rule { return core.R(head, body...) }
+
+// A builds an atom.
+func A(rel string, terms ...Term) Atom { return core.A(rel, terms...) }
+
+// Head-term constructors.
+var (
+	// Add computes integer a + b in a rule head.
+	Add = core.Add
+	// Sub computes integer a - b in a rule head.
+	Sub = core.Sub
+	// Mul computes integer a * b in a rule head.
+	Mul = core.Mul
+	// FAdd adds two Float64bits-encoded values in a rule head.
+	FAdd = core.FAdd
+	// FMul multiplies two Float64bits-encoded values in a rule head.
+	FMul = core.FMul
+	// Compute wraps an arbitrary function as a named head term.
+	Compute = core.Compute
+)
+
+// Condition constructors.
+var (
+	// Lt filters bindings where a < b.
+	Lt = core.Lt
+	// Le filters bindings where a <= b.
+	Le = core.Le
+	// Ne filters bindings where a != b.
+	Ne = core.Ne
+	// Where wraps an arbitrary predicate as a condition.
+	Where = core.Where
+)
+
+// The built-in recursive aggregators (the paper implements $MIN, $MAX,
+// $MCOUNT and several others on the same API).
+var (
+	// MinAgg is $MIN: keep the smallest dependent value.
+	MinAgg Aggregator = lattice.Min{}
+	// MaxAgg is $MAX: keep the largest dependent value.
+	MaxAgg Aggregator = lattice.Max{}
+	// FMinAgg is $MIN over Float64bits-encoded values.
+	FMinAgg Aggregator = lattice.FMin{}
+	// BitOrAgg unions 64-bit sets.
+	BitOrAgg Aggregator = lattice.BitOr{}
+	// LexMin2Agg keeps the lexicographically smallest two-column value.
+	LexMin2Agg Aggregator = lattice.LexMin2{}
+	// MSumAgg is the monotonic sum (PageRank-style); contributions are
+	// delivered exactly once by the runtime.
+	MSumAgg Aggregator = lattice.MSum{}
+	// MCountAgg is $MCOUNT, the monotonic count.
+	MCountAgg Aggregator = lattice.MCount{}
+)
+
+// ParseProgram builds a Program from PARALAGG's textual Datalog dialect:
+//
+//	.set edge 3 key=1
+//	.agg spath 2 min
+//	spath(F, T, add(L, W)) :- spath(F, M, L), edge(M, T, W).
+//
+// See the internal/core.Parse documentation for the full grammar. Facts are
+// loaded through Rank.Load/LoadShare, not source text.
+func ParseProgram(src string) (*Program, error) { return core.Parse(src) }

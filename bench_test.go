@@ -1,0 +1,282 @@
+package paralagg_test
+
+// One benchmark per table and figure of the paper's evaluation. Each runs a
+// representative point of the corresponding experiment and reports the
+// simulated parallel time as sim-ms/op next to the usual wall-clock ns/op;
+// `go test -bench=. -benchmem` regenerates the full set. The wider sweeps
+// behind each figure live in cmd/experiments.
+
+import (
+	"testing"
+
+	"paralagg"
+	"paralagg/internal/baseline"
+	"paralagg/internal/graph"
+	"paralagg/internal/metrics"
+	"paralagg/internal/queries"
+)
+
+func loadGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	g, err := graph.Load(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func reportSim(b *testing.B, sim float64) {
+	b.ReportMetric(sim*1e3, "sim-ms/op")
+}
+
+// --- Table I: single-node comparison ---
+
+func benchTable1(b *testing.B, tool, query string) {
+	g := loadGraph(b, "livejournal-sim")
+	sources := g.Sources(5, 3)
+	const ranks = 16
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		switch tool {
+		case "paralagg":
+			cfg := paralagg.Config{Ranks: ranks, Subs: 8, Plan: paralagg.Dynamic}
+			var res *paralagg.Result
+			var err error
+			if query == "sssp" {
+				res, err = queries.RunSSSP(g, sources, cfg)
+			} else {
+				res, err = queries.RunCC(g, cfg)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = res.SimSeconds
+		default:
+			sys := baseline.RaSQLSim
+			if tool == "socialite" {
+				sys = baseline.SociaLiteSim
+			}
+			var res *baseline.Result
+			var err error
+			if query == "sssp" {
+				res, err = baseline.RunSSSP(sys, g, sources, ranks)
+			} else {
+				res, err = baseline.RunCC(sys, g, ranks)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = res.SimSeconds
+		}
+	}
+	reportSim(b, sim)
+}
+
+func BenchmarkTable1SSSPParalagg(b *testing.B)  { benchTable1(b, "paralagg", "sssp") }
+func BenchmarkTable1SSSPRaSQLSim(b *testing.B)  { benchTable1(b, "rasql", "sssp") }
+func BenchmarkTable1SSSPSociaLite(b *testing.B) { benchTable1(b, "socialite", "sssp") }
+func BenchmarkTable1CCParalagg(b *testing.B)    { benchTable1(b, "paralagg", "cc") }
+func BenchmarkTable1CCRaSQLSim(b *testing.B)    { benchTable1(b, "rasql", "cc") }
+func BenchmarkTable1CCSociaLite(b *testing.B)   { benchTable1(b, "socialite", "cc") }
+
+// --- Table II: medium-scale graphs ---
+
+func benchTable2(b *testing.B, gname, query string, ranks int) {
+	g := loadGraph(b, gname)
+	sources := g.Sources(10, 4)
+	cfg := paralagg.Config{Ranks: ranks, Subs: 8, Plan: paralagg.Dynamic}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		var res *paralagg.Result
+		var err error
+		if query == "sssp" {
+			res, err = queries.RunSSSP(g, sources, cfg)
+		} else {
+			res, err = queries.RunCC(g, cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.SimSeconds
+	}
+	reportSim(b, sim)
+}
+
+func BenchmarkTable2SSSPFlickr16(b *testing.B)  { benchTable2(b, "flickr-sim", "sssp", 16) }
+func BenchmarkTable2SSSPFlickr32(b *testing.B)  { benchTable2(b, "flickr-sim", "sssp", 32) }
+func BenchmarkTable2CCFlickr16(b *testing.B)    { benchTable2(b, "flickr-sim", "cc", 16) }
+func BenchmarkTable2CCFlickr32(b *testing.B)    { benchTable2(b, "flickr-sim", "cc", 32) }
+func BenchmarkTable2SSSPWikiSim16(b *testing.B) { benchTable2(b, "wiki-sim", "sssp", 16) }
+func BenchmarkTable2CCWikiSim16(b *testing.B)   { benchTable2(b, "wiki-sim", "cc", 16) }
+
+// --- Figure 2: baseline vs optimized SSSP ---
+
+func benchFig2(b *testing.B, cfg paralagg.Config) {
+	g := loadGraph(b, "twitter-sim")
+	sources := g.Sources(5, 1)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := queries.RunSSSP(g, sources, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.SimSeconds
+	}
+	reportSim(b, sim)
+}
+
+func BenchmarkFig2Baseline(b *testing.B) {
+	benchFig2(b, paralagg.Config{Ranks: 32, Subs: 1, Plan: paralagg.StaticRight})
+}
+
+func BenchmarkFig2Optimized(b *testing.B) {
+	benchFig2(b, paralagg.Config{Ranks: 32, Subs: 8, Plan: paralagg.Dynamic})
+}
+
+// --- Figure 3: tuple distribution ---
+
+func BenchmarkFig3Distribution(b *testing.B) {
+	g := loadGraph(b, "twitter-sim")
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p := paralagg.NewProgram()
+		if err := p.DeclareSet("edge", 3, 1); err != nil {
+			b.Fatal(err)
+		}
+		var counts []int
+		_, err := paralagg.Exec(p, paralagg.Config{Ranks: 64, Subs: 8},
+			func(rk *paralagg.Rank) error {
+				return rk.LoadShare("edge", len(g.Edges), func(j int, emit func(paralagg.Tuple)) {
+					e := g.Edges[j]
+					emit(paralagg.Tuple{e.U, e.V, e.W})
+				})
+			},
+			func(rk *paralagg.Rank) error {
+				per := rk.PerRankCounts("edge")
+				if rk.ID() == 0 {
+					counts = per
+				}
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = metrics.ImbalanceRatio(counts)
+	}
+	b.ReportMetric(ratio, "max/min")
+}
+
+// --- Figure 4: CC local join with and without sub-buckets ---
+
+func benchFig4(b *testing.B, subs int) {
+	g := loadGraph(b, "twitter-sim")
+	var joinSec float64
+	for i := 0; i < b.N; i++ {
+		res, err := queries.RunCC(g, paralagg.Config{Ranks: 64, Subs: subs, Plan: paralagg.Dynamic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		joinSec = res.PhaseSeconds["local-join"]
+	}
+	b.ReportMetric(joinSec*1e3, "join-sim-ms/op")
+}
+
+func BenchmarkFig4CCOneSubBucket(b *testing.B)    { benchFig4(b, 1) }
+func BenchmarkFig4CCEightSubBuckets(b *testing.B) { benchFig4(b, 8) }
+
+// --- Figures 5 and 6: strong scaling points ---
+
+func benchScaling(b *testing.B, query string, ranks int) {
+	g := loadGraph(b, "twitter-sim")
+	sources := g.Sources(10, 2)
+	cfg := paralagg.Config{Ranks: ranks, Subs: 8, Plan: paralagg.Dynamic}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		var res *paralagg.Result
+		var err error
+		if query == "sssp" {
+			res, err = queries.RunSSSP(g, sources, cfg)
+		} else {
+			res, err = queries.RunCC(g, cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.SimSeconds
+	}
+	reportSim(b, sim)
+}
+
+func BenchmarkFig5SSSPRanks16(b *testing.B)  { benchScaling(b, "sssp", 16) }
+func BenchmarkFig5SSSPRanks64(b *testing.B)  { benchScaling(b, "sssp", 64) }
+func BenchmarkFig5SSSPRanks128(b *testing.B) { benchScaling(b, "sssp", 128) }
+func BenchmarkFig6CCRanks16(b *testing.B)    { benchScaling(b, "cc", 16) }
+func BenchmarkFig6CCRanks64(b *testing.B)    { benchScaling(b, "cc", 64) }
+func BenchmarkFig6CCRanks128(b *testing.B)   { benchScaling(b, "cc", 128) }
+
+// --- Figure 7: per-iteration profile ---
+
+func BenchmarkFig7IterationProfile(b *testing.B) {
+	g := loadGraph(b, "twitter-sim")
+	sources := g.Sources(10, 2)
+	var tail float64
+	for i := 0; i < b.N; i++ {
+		res, err := queries.RunSSSP(g, sources, paralagg.Config{Ranks: 32, Subs: 8, Plan: paralagg.Dynamic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The long-tail statistic: share of time in the second half of the
+		// iterations.
+		half := len(res.IterPhaseSeconds) / 2
+		var head, rest float64
+		for it, row := range res.IterPhaseSeconds {
+			for _, v := range row {
+				if it < half {
+					head += v
+				} else {
+					rest += v
+				}
+			}
+		}
+		tail = rest / (head + rest)
+	}
+	b.ReportMetric(tail*100, "tail-%")
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationJoinDynamic(b *testing.B) {
+	benchFig2(b, paralagg.Config{Ranks: 32, Subs: 8, Plan: paralagg.Dynamic})
+}
+
+func BenchmarkAblationJoinStaticRight(b *testing.B) {
+	benchFig2(b, paralagg.Config{Ranks: 32, Subs: 8, Plan: paralagg.StaticRight})
+}
+
+func BenchmarkAblationAggParalagg(b *testing.B) {
+	g := loadGraph(b, "flickr-sim")
+	sources := g.Sources(5, 1)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := queries.RunSSSP(g, sources, paralagg.Config{Ranks: 16, Subs: 1, Plan: paralagg.Dynamic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.SimSeconds
+	}
+	reportSim(b, sim)
+}
+
+func BenchmarkAblationAggLeaky(b *testing.B) {
+	g := loadGraph(b, "flickr-sim")
+	sources := g.Sources(5, 1)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunSSSP(baseline.RaSQLSim, g, sources, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.SimSeconds
+	}
+	reportSim(b, sim)
+}

@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig2,fig3
+//	experiments -all [-full]
+//
+// Output is plain text in the same row/series layout as the paper; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paralagg/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	all := flag.Bool("all", false, "run every experiment")
+	exp := flag.String("exp", "", "comma-separated experiment names to run")
+	full := flag.Bool("full", false, "use the wider (slower) rank grids and source counts")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-14s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	opts := bench.Options{Full: *full}
+	if *all {
+		if err := bench.RunAll(os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -all, or -exp name[,name...]")
+		os.Exit(2)
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		e, ok := bench.Find(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", name, bench.Names())
+			os.Exit(2)
+		}
+		if err := bench.RunOne(os.Stdout, e, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command graphgen builds catalog graphs (or custom generator runs) and
+// writes them as edge-list files, or prints their statistics.
+//
+//	graphgen -list
+//	graphgen -name twitter-sim -stats
+//	graphgen -name twitter-sim -out twitter.txt
+//	graphgen -kind rmat -scale 12 -edges 30000 -out custom.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"paralagg/internal/graph"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list catalog graphs")
+	name := flag.String("name", "", "catalog graph to build")
+	kind := flag.String("kind", "", "custom generator: rmat, uniform, grid, prefattach, social, chain")
+	scale := flag.Int("scale", 12, "rmat/social: log2 node count")
+	nodes := flag.Int("nodes", 10000, "uniform/prefattach/chain: node count")
+	edges := flag.Int("edges", 50000, "edge count")
+	rows := flag.Int("rows", 100, "grid rows")
+	cols := flag.Int("cols", 100, "grid cols")
+	m := flag.Int("m", 5, "prefattach: out-edges per node")
+	hubs := flag.Int("hubs", 4, "social: hub count")
+	hubdeg := flag.Int("hubdeg", 5000, "social: hub out-degree")
+	maxw := flag.Uint64("maxw", 1, "max edge weight (1 = unweighted)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "write edge list to this path")
+	stats := flag.Bool("stats", false, "print degree statistics")
+	flag.Parse()
+
+	if *list {
+		for _, n := range graph.Names() {
+			e, _ := graph.Entry(n)
+			g := e.Build()
+			fmt.Printf("%-18s %8d edges  stands for %s (%s edges in the paper)\n",
+				n, g.NumEdges(), e.StandsFor, e.PaperEdges)
+		}
+		return
+	}
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *name != "":
+		g, err = graph.Load(*name)
+	case *kind != "":
+		switch *kind {
+		case "rmat":
+			g = graph.RMAT("custom", *scale, *edges, *maxw, *seed)
+		case "uniform":
+			g = graph.Uniform("custom", *nodes, *edges, *maxw, *seed)
+		case "grid":
+			g = graph.Grid("custom", *rows, *cols, *maxw, *seed)
+		case "prefattach":
+			g = graph.PrefAttach("custom", *nodes, *m, *maxw, *seed)
+		case "social":
+			g = graph.Social("custom", *scale, *edges, *hubs, *hubdeg, *maxw, *seed)
+		case "chain":
+			g = graph.Chain("custom", *nodes, *maxw, *seed)
+		default:
+			log.Fatalf("unknown kind %q", *kind)
+		}
+	default:
+		log.Fatal("pass -list, -name, or -kind")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(g)
+	if *stats {
+		deg := g.OutDegrees()
+		sort.Ints(deg)
+		q := func(f float64) int { return deg[int(f*float64(len(deg)-1))] }
+		fmt.Printf("out-degree: min=%d p50=%d p90=%d p99=%d max=%d\n",
+			deg[0], q(0.5), q(0.9), q(0.99), deg[len(deg)-1])
+	}
+	if *out != "" {
+		if err := g.WriteFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,64 @@
+// Datalog frontend: the same connected-components query as examples/cc, but
+// written as program text and compiled with paralagg.ParseProgram — the
+// declarative workflow the paper's library is built for. Also prints the
+// compiled plan (strata, join keys, derived indexes).
+//
+//	go run ./examples/datalog [-graph flickr-sim] [-ranks 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"paralagg"
+	"paralagg/internal/graph"
+)
+
+const program = `
+% connected components by $MIN label propagation (paper section V-A)
+.set edge 2 key=1
+.agg cc 1 min
+
+cc(Y, Z) :- cc(X, Z), edge(X, Y).
+`
+
+func main() {
+	gname := flag.String("graph", "flickr-sim", "catalog graph name")
+	ranks := flag.Int("ranks", 16, "simulated MPI ranks")
+	flag.Parse()
+
+	g, err := graph.Load(*gname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	und := g.Undirected()
+
+	p, err := paralagg.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := p.Explain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled plan:")
+	fmt.Println(plan)
+
+	res, err := paralagg.Exec(p, paralagg.Config{Ranks: *ranks, Subs: 8},
+		func(rk *paralagg.Rank) error {
+			if err := rk.LoadShare("edge", len(und), func(i int, emit func(paralagg.Tuple)) {
+				emit(paralagg.Tuple{und[i].U, und[i].V})
+			}); err != nil {
+				return err
+			}
+			return rk.LoadShare("cc", g.Nodes, func(i int, emit func(paralagg.Tuple)) {
+				emit(paralagg.Tuple{uint64(i), uint64(i)})
+			})
+		}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labeled %d nodes in %d iterations (simulated %.2f ms)\n",
+		res.Counts["cc"], res.Iterations, res.SimSeconds*1e3)
+}

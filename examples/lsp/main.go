@@ -1,0 +1,85 @@
+// Longest shortest path — the §III-A example of why stratification matters
+// for recursive aggregates: copying shortest paths into SpNorm inside the
+// SSSP fixpoint would "leak" every transient path length; running the copy
+// and the $MAX in a second stratum moves only converged values.
+//
+//	go run ./examples/lsp [-graph wiki-sim] [-ranks 16] [-sources 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"paralagg"
+	"paralagg/internal/graph"
+)
+
+func main() {
+	gname := flag.String("graph", "wiki-sim", "catalog graph name")
+	ranks := flag.Int("ranks", 16, "simulated MPI ranks")
+	nsources := flag.Int("sources", 3, "SSSP sources")
+	flag.Parse()
+
+	g, err := graph.Load(*gname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sources := g.Sources(*nsources, 5)
+	fmt.Printf("graph: %v\nsources: %v\n\n", g, sources)
+
+	// Stratum 1 (recursive):  Spath(f, t, $MIN(l+w)) ← Spath(f, m, l), Edge(m, t, w).
+	// Stratum 2 (derived):    SpNorm(f, t, v) ← Spath(f, t, v).
+	//                         Lsp(0, $MAX(v)) ← SpNorm(_, _, v).
+	p := paralagg.NewProgram()
+	for _, decl := range []func() error{
+		func() error { return p.DeclareSet("edge", 3, 1) },
+		func() error { return p.DeclareAgg("spath", 2, paralagg.MinAgg) },
+		func() error { return p.DeclareSet("spnorm", 3, 1) },
+		func() error { return p.DeclareAgg("lsp", 1, paralagg.MaxAgg) },
+	} {
+		if err := decl(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	f, t, m, l, w, v := paralagg.Var("f"), paralagg.Var("t"), paralagg.Var("m"),
+		paralagg.Var("l"), paralagg.Var("w"), paralagg.Var("v")
+	p.Add(
+		paralagg.R(paralagg.A("spath", f, t, paralagg.Add(l, w)),
+			paralagg.A("spath", f, m, l), paralagg.A("edge", m, t, w)),
+		paralagg.R(paralagg.A("spnorm", f, t, v), paralagg.A("spath", f, t, v)),
+		paralagg.R(paralagg.A("lsp", paralagg.Const(0), v), paralagg.A("spnorm", f, t, v)),
+	)
+
+	var lsp uint64
+	res, err := paralagg.Exec(p,
+		paralagg.Config{Ranks: *ranks, Subs: 1, Plan: paralagg.Dynamic},
+		func(rk *paralagg.Rank) error {
+			if err := rk.LoadShare("edge", len(g.Edges), func(i int, emit func(paralagg.Tuple)) {
+				e := g.Edges[i]
+				emit(paralagg.Tuple{e.U, e.V, e.W})
+			}); err != nil {
+				return err
+			}
+			return rk.LoadShare("spath", len(sources), func(i int, emit func(paralagg.Tuple)) {
+				emit(paralagg.Tuple{sources[i], sources[i], 0})
+			})
+		},
+		func(rk *paralagg.Rank) error {
+			var local uint64
+			rk.Each("lsp", func(tt paralagg.Tuple) { local = tt[1] })
+			g := rk.Reduce(local, paralagg.OpMax)
+			if rk.ID() == 0 {
+				lsp = g
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shortest-path pairs: %d (spnorm copies: %d — no transient leak)\n",
+		res.Counts["spath"], res.Counts["spnorm"])
+	fmt.Printf("longest shortest path from the selected sources: %d\n", lsp)
+	fmt.Printf("strata: %v iterations, simulated parallel time %.2f ms\n",
+		res.StratumIters, res.SimSeconds*1e3)
+}

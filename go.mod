@@ -1,0 +1,3 @@
+module paralagg
+
+go 1.24

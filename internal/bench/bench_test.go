@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paralagg/internal/graph"
+)
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"ablation-join", "ablation-agg", "ablation-cost"}
+	for _, name := range want {
+		if _, ok := Find(name); !ok {
+			t.Errorf("experiment %s not registered", name)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+	if len(Names()) != len(want) {
+		t.Errorf("Names() returned %d", len(Names()))
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find matched an unknown name")
+	}
+}
+
+func TestMMSS(t *testing.T) {
+	if got := mmss(12.34); !strings.Contains(got, "12.34s") {
+		t.Errorf("mmss(12.34) = %q", got)
+	}
+	if got := mmss(125); !strings.Contains(got, "2:05.0") {
+		t.Errorf("mmss(125) = %q", got)
+	}
+	if got := mmss(0.004); !strings.Contains(got, "4ms") {
+		t.Errorf("mmss(0.004) = %q", got)
+	}
+}
+
+// TestFig3Runs executes the cheapest full experiment end to end and checks
+// the balancing claim holds in its output.
+func TestFig3Runs(t *testing.T) {
+	e, _ := Find("fig3")
+	var buf bytes.Buffer
+	if err := RunOne(&buf, e, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sub-buckets") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}
+
+// TestEdgeDistributionBalances asserts Fig. 3's claim numerically on a
+// smaller world so the test stays fast.
+func TestEdgeDistributionBalances(t *testing.T) {
+	gload := mustGraph(t, "twitter-sim")
+	c1, err := edgeDistribution(gload, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := edgeDistribution(gload, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := ratio(c1)
+	r8 := ratio(c8)
+	if r8 >= r1 {
+		t.Fatalf("sub-bucketing did not reduce imbalance: %.1f -> %.1f", r1, r8)
+	}
+}
+
+func ratio(counts []int) float64 {
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	return float64(max) / float64(min)
+}
+
+// TestAblationAggRuns executes the fused-vs-leaky ablation (it validates
+// both engines against the reference internally).
+func TestAblationAggRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run in short mode")
+	}
+	e, _ := Find("ablation-agg")
+	var buf bytes.Buffer
+	if err := RunOne(&buf, e, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "leak factor") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+}
+
+func mustGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	g, err := graph.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,94 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§V) on the simulated substrate: Table I (single-node
+// comparison against RaSQL-sim and SociaLite-sim), Table II (medium-scale
+// SuiteSparse stand-ins), Figure 2 (baseline-vs-optimized phase breakdown),
+// Figure 3 (tuple-distribution CDF), Figure 4 (local-join scaling with
+// sub-buckets), Figures 5–6 (strong scaling of SSSP and CC), Figure 7
+// (per-iteration profile), plus the two ablations DESIGN.md calls out.
+//
+// Times are simulated parallel seconds from the shared cost model
+// (max-over-ranks critical path; see internal/metrics). Absolute values are
+// not comparable to the paper's wall-clock numbers — the shapes are what
+// reproduce: who wins, by what factor, and where scaling saturates.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options sizes an experiment run.
+type Options struct {
+	// Full widens rank grids and uses more sources; the default grid keeps
+	// every experiment in the minutes range on one host.
+	Full bool
+}
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(w io.Writer, opts Options) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments lists every registered experiment in registration order.
+func Experiments() []Experiment { return registry }
+
+// Find returns the experiment with the given name.
+func Find(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names lists experiment names, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, opts Options) error {
+	for _, e := range registry {
+		if err := RunOne(w, e, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment with its banner.
+func RunOne(w io.Writer, e Experiment, opts Options) error {
+	fmt.Fprintf(w, "==== %s: %s ====\n", e.Name, e.Title)
+	if err := e.Run(w, opts); err != nil {
+		return fmt.Errorf("%s: %v", e.Name, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// mmss renders simulated seconds in the paper's M:SS format, with enough
+// sub-second detail for fast runs.
+func mmss(sec float64) string {
+	switch {
+	case sec < 1:
+		return fmt.Sprintf("%5.0fms", sec*1e3)
+	case sec < 60:
+		return fmt.Sprintf("%6.2fs", sec)
+	}
+	m := int(sec) / 60
+	s := sec - float64(m*60)
+	return fmt.Sprintf("%3d:%04.1f", m, s)
+}

@@ -1,0 +1,248 @@
+// Package btree implements the in-memory B-tree that backs local relation
+// storage, mirroring the nested-BTree indexes of the paper's C++ runtime.
+// Tuples are ordered lexicographically; the index columns of a relation form
+// a key prefix, so a join probe is a prefix range scan with O(log n) seek —
+// the access pattern the paper's inner relation benefits from.
+package btree
+
+import (
+	"paralagg/internal/tuple"
+)
+
+// degree is the minimum branching factor: nodes hold between degree-1 and
+// 2*degree-1 items (except the root). 16 keeps nodes around one cache line
+// of tuple headers without deep trees.
+const degree = 16
+
+const (
+	maxItems = 2*degree - 1
+	minItems = degree - 1
+)
+
+// Tree is a B-tree of tuples in lexicographic order. The zero value is not
+// usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+type node struct {
+	items    []tuple.Tuple
+	children []*node
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find locates the insertion point for t in n's items. It returns the index
+// and whether the item at that index equals t.
+func (n *node) find(t tuple.Tuple) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.items[mid].Compare(t) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && n.items[lo].Compare(t) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Len returns the number of tuples stored.
+func (t *Tree) Len() int { return t.size }
+
+// Has reports whether the exact tuple k is present.
+func (t *Tree) Has(k tuple.Tuple) bool {
+	n := t.root
+	for n != nil {
+		i, ok := n.find(k)
+		if ok {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// Insert adds k to the tree if not already present, cloning it so the caller
+// may reuse the slice. It reports whether an insertion happened.
+func (t *Tree) Insert(k tuple.Tuple) bool {
+	if t.root == nil {
+		t.root = &node{items: []tuple.Tuple{k.Clone()}}
+		t.size = 1
+		return true
+	}
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insertNonFull(k) {
+		t.size++
+		return true
+	}
+	return false
+}
+
+// splitChild splits n.children[i], which must be full, moving its median
+// item up into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := child.items[minItems]
+	right := &node{
+		items: append([]tuple.Tuple(nil), child.items[minItems+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[minItems+1:]...)
+		child.children = child.children[:minItems+1]
+	}
+	child.items = child.items[:minItems]
+
+	n.items = append(n.items, nil)
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = mid
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) insertNonFull(k tuple.Tuple) bool {
+	i, ok := n.find(k)
+	if ok {
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, nil)
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = k.Clone()
+		return true
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		switch c := k.Compare(n.items[i]); {
+		case c == 0:
+			return false
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insertNonFull(k)
+}
+
+// Ascend calls fn for every tuple in order. fn returning false stops the
+// scan. Tuples passed to fn are the tree's own storage and must not be
+// mutated.
+func (t *Tree) Ascend(fn func(tuple.Tuple) bool) {
+	if t.root != nil {
+		t.root.ascend(fn)
+	}
+}
+
+func (n *node) ascend(fn func(tuple.Tuple) bool) bool {
+	for i, item := range n.items {
+		if !n.leaf() && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(item) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.items)].ascend(fn)
+	}
+	return true
+}
+
+// AscendPrefix calls fn, in order, for every tuple whose first len(prefix)
+// columns equal prefix. This is the join probe: seek O(log n), then scan the
+// matching range. fn returning false stops the scan. Tuples passed to fn
+// must not be mutated.
+func (t *Tree) AscendPrefix(prefix tuple.Tuple, fn func(tuple.Tuple) bool) {
+	if t.root != nil {
+		t.root.ascendPrefix(prefix, fn)
+	}
+}
+
+// prefixCmp orders item against the prefix considering only the prefix's
+// columns.
+func prefixCmp(item, prefix tuple.Tuple) int {
+	k := len(prefix)
+	if len(item) < k {
+		k = len(item)
+	}
+	for i := 0; i < k; i++ {
+		switch {
+		case item[i] < prefix[i]:
+			return -1
+		case item[i] > prefix[i]:
+			return 1
+		}
+	}
+	if len(item) < len(prefix) {
+		return -1
+	}
+	return 0
+}
+
+func (n *node) ascendPrefix(prefix tuple.Tuple, fn func(tuple.Tuple) bool) bool {
+	// Binary search for the first item >= prefix (on prefix columns).
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if prefixCmp(n.items[mid], prefix) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i <= len(n.items); i++ {
+		if !n.leaf() && !n.children[i].ascendPrefix(prefix, fn) {
+			return false
+		}
+		if i == len(n.items) {
+			break
+		}
+		c := prefixCmp(n.items[i], prefix)
+		if c > 0 {
+			// Past the range; nothing further matches.
+			return true
+		}
+		if c == 0 && !fn(n.items[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of tuples matching the prefix.
+func (t *Tree) Count(prefix tuple.Tuple) int {
+	n := 0
+	t.AscendPrefix(prefix, func(tuple.Tuple) bool { n++; return true })
+	return n
+}
+
+// Serialize appends every tuple, in order, to a flat word buffer of the
+// given arity. This is the "outer relation" path: the tree is scanned in its
+// entirety and flattened for transmission. It panics if a stored tuple's
+// arity differs, which indicates a relation bookkeeping bug.
+func (t *Tree) Serialize(arity int) []tuple.Value {
+	out := make([]tuple.Value, 0, t.size*arity)
+	t.Ascend(func(tt tuple.Tuple) bool {
+		if len(tt) != arity {
+			panic("btree: serialize arity mismatch")
+		}
+		out = append(out, tt...)
+		return true
+	})
+	return out
+}

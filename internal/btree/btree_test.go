@@ -1,0 +1,321 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"paralagg/internal/tuple"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Has(tuple.Tuple{1}) {
+		t.Fatal("empty tree Has = true")
+	}
+	tr.Ascend(func(tuple.Tuple) bool { t.Fatal("ascend on empty tree"); return false })
+	tr.AscendPrefix(tuple.Tuple{1}, func(tuple.Tuple) bool { t.Fatal("prefix scan on empty tree"); return false })
+}
+
+func TestInsertAndHas(t *testing.T) {
+	tr := New()
+	if !tr.Insert(tuple.Tuple{1, 2}) {
+		t.Fatal("first insert returned false")
+	}
+	if tr.Insert(tuple.Tuple{1, 2}) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Has(tuple.Tuple{1, 2}) {
+		t.Fatal("Has = false after insert")
+	}
+	if tr.Has(tuple.Tuple{1, 3}) {
+		t.Fatal("Has = true for absent tuple")
+	}
+}
+
+func TestInsertClonesKey(t *testing.T) {
+	tr := New()
+	k := tuple.Tuple{5, 6}
+	tr.Insert(k)
+	k[0] = 99
+	if !tr.Has(tuple.Tuple{5, 6}) {
+		t.Fatal("tree aliased caller's tuple")
+	}
+}
+
+func TestAscendSortedLarge(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	seen := map[[2]uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		a, b := uint64(rng.Intn(500)), uint64(rng.Intn(500))
+		ins := tr.Insert(tuple.Tuple{a, b})
+		if ins == seen[[2]uint64{a, b}] {
+			t.Fatalf("insert (%d,%d): returned %v but seen=%v", a, b, ins, seen[[2]uint64{a, b}])
+		}
+		seen[[2]uint64{a, b}] = true
+	}
+	if tr.Len() != len(seen) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(seen))
+	}
+	var prev tuple.Tuple
+	count := 0
+	tr.Ascend(func(tt tuple.Tuple) bool {
+		if prev != nil && prev.Compare(tt) >= 0 {
+			t.Fatalf("out of order: %v then %v", prev, tt)
+		}
+		prev = tt.Clone()
+		count++
+		return true
+	})
+	if count != len(seen) {
+		t.Fatalf("ascend visited %d, want %d", count, len(seen))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	n := 0
+	tr.Ascend(func(tuple.Tuple) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("visited %d after early stop", n)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New()
+	// 50 groups of 20 tuples each, inserted shuffled.
+	var all []tuple.Tuple
+	for g := 0; g < 50; g++ {
+		for j := 0; j < 20; j++ {
+			all = append(all, tuple.Tuple{uint64(g), uint64(j * 7)})
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for _, tt := range all {
+		tr.Insert(tt)
+	}
+	for g := 0; g < 50; g++ {
+		var got []uint64
+		tr.AscendPrefix(tuple.Tuple{uint64(g)}, func(tt tuple.Tuple) bool {
+			if tt[0] != uint64(g) {
+				t.Fatalf("prefix scan for %d returned %v", g, tt)
+			}
+			got = append(got, tt[1])
+			return true
+		})
+		if len(got) != 20 {
+			t.Fatalf("group %d: %d matches, want 20", g, len(got))
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("group %d scan unsorted: %v", g, got)
+		}
+	}
+	// Absent prefix.
+	tr.AscendPrefix(tuple.Tuple{999}, func(tt tuple.Tuple) bool {
+		t.Fatalf("absent prefix matched %v", tt)
+		return false
+	})
+}
+
+func TestAscendPrefixEarlyStop(t *testing.T) {
+	tr := New()
+	for j := 0; j < 100; j++ {
+		tr.Insert(tuple.Tuple{7, uint64(j)})
+	}
+	n := 0
+	tr.AscendPrefix(tuple.Tuple{7}, func(tuple.Tuple) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("visited %d after immediate stop", n)
+	}
+}
+
+func TestCount(t *testing.T) {
+	tr := New()
+	for j := 0; j < 13; j++ {
+		tr.Insert(tuple.Tuple{3, uint64(j)})
+		tr.Insert(tuple.Tuple{4, uint64(j)})
+	}
+	if got := tr.Count(tuple.Tuple{3}); got != 13 {
+		t.Fatalf("Count(3) = %d", got)
+	}
+	if got := tr.Count(tuple.Tuple{5}); got != 0 {
+		t.Fatalf("Count(5) = %d", got)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Insert(tuple.Tuple{2, 1})
+	tr.Insert(tuple.Tuple{1, 9})
+	words := tr.Serialize(2)
+	if len(words) != 4 {
+		t.Fatalf("serialized %d words", len(words))
+	}
+	// Lexicographic order: (1,9) before (2,1).
+	want := []tuple.Value{1, 9, 2, 1}
+	for i, w := range want {
+		if words[i] != w {
+			t.Fatalf("words = %v, want %v", words, want)
+		}
+	}
+}
+
+// TestAgainstReference drives the tree with random operations and checks
+// every observable against a map+sort reference model.
+func TestAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New()
+	ref := map[[3]uint64]bool{}
+	for op := 0; op < 20000; op++ {
+		k := [3]uint64{uint64(rng.Intn(40)), uint64(rng.Intn(40)), uint64(rng.Intn(4))}
+		tt := tuple.Tuple{k[0], k[1], k[2]}
+		switch rng.Intn(3) {
+		case 0:
+			got := tr.Insert(tt)
+			if got == ref[k] {
+				t.Fatalf("op %d: Insert(%v) = %v, ref has %v", op, tt, got, ref[k])
+			}
+			ref[k] = true
+		case 1:
+			if got := tr.Has(tt); got != ref[k] {
+				t.Fatalf("op %d: Has(%v) = %v, want %v", op, tt, got, ref[k])
+			}
+		case 2:
+			// Prefix count against reference.
+			p := tuple.Tuple{k[0]}
+			want := 0
+			for rk := range ref {
+				if rk[0] == k[0] {
+					want++
+				}
+			}
+			if got := tr.Count(p); got != want {
+				t.Fatalf("op %d: Count(%v) = %d, want %d", op, p, got, want)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("final Len = %d, want %d", tr.Len(), len(ref))
+	}
+	// Full scan matches sorted reference.
+	var keys [][3]uint64
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		for c := 0; c < 3; c++ {
+			if a[c] != b[c] {
+				return a[c] < b[c]
+			}
+		}
+		return false
+	})
+	i := 0
+	tr.Ascend(func(tt tuple.Tuple) bool {
+		k := keys[i]
+		if tt[0] != k[0] || tt[1] != k[1] || tt[2] != k[2] {
+			t.Fatalf("scan position %d: %v, want %v", i, tt, k)
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan visited %d of %d", i, len(keys))
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(tuple.Tuple{uint64(rng.Int63()), uint64(rng.Int63())})
+	}
+}
+
+func BenchmarkAscendPrefix(b *testing.B) {
+	tr := New()
+	for g := 0; g < 1000; g++ {
+		for j := 0; j < 32; j++ {
+			tr.Insert(tuple.Tuple{uint64(g), uint64(j)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.AscendPrefix(tuple.Tuple{uint64(i % 1000)}, func(tuple.Tuple) bool { n++; return true })
+		if n != 32 {
+			b.Fatal("bad scan")
+		}
+	}
+}
+
+// TestQuickInsertHasAgainstMap drives Insert/Has with quick-generated keys
+// against a map model.
+func TestQuickInsertHasAgainstMap(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tr := New()
+		ref := map[uint8]bool{}
+		for _, k := range keys {
+			ins := tr.Insert(tuple.Tuple{uint64(k)})
+			if ins == ref[k] {
+				return false
+			}
+			ref[k] = true
+		}
+		for k := 0; k < 256; k++ {
+			if tr.Has(tuple.Tuple{uint64(k)}) != ref[uint8(k)] {
+				return false
+			}
+		}
+		return tr.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeleteAgainstMap drives interleaved Insert/Delete with
+// quick-generated operations against a map model.
+func TestQuickDeleteAgainstMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := New()
+		ref := map[uint64]bool{}
+		for _, op := range ops {
+			k := uint64(op) & 0x3f
+			if op >= 0 {
+				ins := tr.Insert(tuple.Tuple{k})
+				if ins == ref[k] {
+					return false
+				}
+				ref[k] = true
+			} else {
+				del := tr.Delete(tuple.Tuple{k})
+				if del != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

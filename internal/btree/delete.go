@@ -1,0 +1,141 @@
+package btree
+
+import "paralagg/internal/tuple"
+
+// Delete removes the exact tuple k from the tree, reporting whether it was
+// present. Aggregated relations use it to purge a stale dependent value when
+// a key's accumulator improves — the paper's "collapsing" of transient
+// tuples.
+func (t *Tree) Delete(k tuple.Tuple) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.delete(k)
+	if deleted {
+		t.size--
+	}
+	if len(t.root.items) == 0 {
+		if t.root.leaf() {
+			if t.size == 0 {
+				t.root = nil
+			}
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	return deleted
+}
+
+// delete removes k from the subtree rooted at n. n is guaranteed by the
+// caller to have more than minItems items (or to be the root), so removal
+// cannot underflow it.
+func (n *node) delete(k tuple.Tuple) bool {
+	i, found := n.find(k)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with the predecessor (the maximum of the left child's
+		// subtree) and delete that predecessor instead.
+		if len(n.children[i].items) > minItems {
+			pred := n.children[i].max()
+			n.items[i] = pred.Clone()
+			return n.children[i].delete(pred)
+		}
+		if len(n.children[i+1].items) > minItems {
+			succ := n.children[i+1].min()
+			n.items[i] = succ.Clone()
+			return n.children[i+1].delete(succ)
+		}
+		// Both neighbors minimal: merge them around items[i], then recurse.
+		n.mergeChildren(i)
+		return n.children[i].delete(k)
+	}
+	// Not in this node: descend into children[i], topping it up first.
+	child := n.children[i]
+	if len(child.items) == minItems {
+		i = n.fill(i)
+		child = n.children[i]
+	}
+	return child.delete(k)
+}
+
+// max returns the largest tuple in the subtree.
+func (n *node) max() tuple.Tuple {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// min returns the smallest tuple in the subtree.
+func (n *node) min() tuple.Tuple {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// fill ensures children[i] has more than minItems items by borrowing from a
+// sibling or merging. It returns the index of the child that now covers the
+// original key range (merging with the left sibling shifts it left by one).
+func (n *node) fill(i int) int {
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		n.borrowLeft(i)
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+		n.borrowRight(i)
+		return i
+	}
+	if i > 0 {
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// borrowLeft rotates one item from children[i-1] through items[i-1] into
+// children[i].
+func (n *node) borrowLeft(i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.items = append(child.items, nil)
+	copy(child.items[1:], child.items)
+	child.items[0] = n.items[i-1]
+	n.items[i-1] = left.items[len(left.items)-1]
+	left.items = left.items[:len(left.items)-1]
+	if !child.leaf() {
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// borrowRight rotates one item from children[i+1] through items[i] into
+// children[i].
+func (n *node) borrowRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	n.items[i] = right.items[0]
+	right.items = append(right.items[:0], right.items[1:]...)
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// mergeChildren folds items[i] and children[i+1] into children[i].
+func (n *node) mergeChildren(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}

@@ -1,0 +1,153 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"paralagg/internal/tuple"
+)
+
+func TestDeleteFromEmpty(t *testing.T) {
+	tr := New()
+	if tr.Delete(tuple.Tuple{1}) {
+		t.Fatal("deleted from empty tree")
+	}
+}
+
+func TestDeleteSingle(t *testing.T) {
+	tr := New()
+	tr.Insert(tuple.Tuple{5})
+	if !tr.Delete(tuple.Tuple{5}) {
+		t.Fatal("delete returned false")
+	}
+	if tr.Len() != 0 || tr.Has(tuple.Tuple{5}) {
+		t.Fatal("tuple still present")
+	}
+	// Tree must remain usable.
+	tr.Insert(tuple.Tuple{6})
+	if !tr.Has(tuple.Tuple{6}) {
+		t.Fatal("insert after emptying failed")
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New()
+	tr.Insert(tuple.Tuple{1, 1})
+	if tr.Delete(tuple.Tuple{1, 2}) {
+		t.Fatal("deleted absent tuple")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteReplace(t *testing.T) {
+	// The aggregate-maintenance pattern: delete stale (key, old) and insert
+	// (key, new).
+	tr := New()
+	tr.Insert(tuple.Tuple{2, 1, 10})
+	if !tr.Delete(tuple.Tuple{2, 1, 10}) {
+		t.Fatal("delete failed")
+	}
+	tr.Insert(tuple.Tuple{2, 1, 7})
+	got := 0
+	tr.AscendPrefix(tuple.Tuple{2, 1}, func(tt tuple.Tuple) bool {
+		if tt[2] != 7 {
+			t.Fatalf("stale value survived: %v", tt)
+		}
+		got++
+		return true
+	})
+	if got != 1 {
+		t.Fatalf("matches = %d", got)
+	}
+}
+
+// TestDeleteRandomizedAgainstReference performs a long random
+// insert/delete/query workload mirrored against a map, then verifies a full
+// ordered scan. This exercises all rebalancing paths (borrow left/right,
+// merge, root collapse).
+func TestDeleteRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	tr := New()
+	ref := map[[2]uint64]bool{}
+	for op := 0; op < 60000; op++ {
+		k := [2]uint64{uint64(rng.Intn(300)), uint64(rng.Intn(10))}
+		tt := tuple.Tuple{k[0], k[1]}
+		switch rng.Intn(4) {
+		case 0, 1: // bias toward inserts early, deletes catch up
+			got := tr.Insert(tt)
+			if got == ref[k] {
+				t.Fatalf("op %d: Insert(%v) = %v with ref %v", op, tt, got, ref[k])
+			}
+			ref[k] = true
+		case 2:
+			got := tr.Delete(tt)
+			if got != ref[k] {
+				t.Fatalf("op %d: Delete(%v) = %v with ref %v", op, tt, got, ref[k])
+			}
+			delete(ref, k)
+		case 3:
+			if got := tr.Has(tt); got != ref[k] {
+				t.Fatalf("op %d: Has(%v) = %v with ref %v", op, tt, got, ref[k])
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, ref %d", op, tr.Len(), len(ref))
+		}
+	}
+	var keys [][2]uint64
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	i := 0
+	tr.Ascend(func(tt tuple.Tuple) bool {
+		if tt[0] != keys[i][0] || tt[1] != keys[i][1] {
+			t.Fatalf("scan position %d: %v, want %v", i, tt, keys[i])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan visited %d of %d", i, len(keys))
+	}
+}
+
+func TestDeleteDrainAscending(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(tuple.Tuple{uint64(i)}) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if tr.Len() != n-i-1 {
+			t.Fatalf("Len after deleting %d = %d", i, tr.Len())
+		}
+	}
+}
+
+func TestDeleteDrainDescending(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(tuple.Tuple{uint64(i)})
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !tr.Delete(tuple.Tuple{uint64(i)}) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"paralagg/internal/ra"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+// binding locates a variable in the stored-order tuples of a compiled rule:
+// side 0 is the left (or only) atom, side 1 the right.
+type binding struct {
+	side int
+	pos  int
+}
+
+// check is an emit-time filter: the stored column must equal either a
+// constant or another bound column (duplicate-variable equality).
+type check struct {
+	side, pos int
+	isConst   bool
+	val       tuple.Value
+	other     binding
+}
+
+// argEval evaluates one resolved term against the matched pair.
+type argEval func(l, r tuple.Tuple) tuple.Value
+
+// compiled is the output of compiling one rule.
+type compiled struct {
+	rule ra.Rule
+}
+
+// atomBindings scans an atom's terms, returning the first-occurrence
+// binding of each variable (in source positions) and the emit-time checks
+// for constants and duplicate variables.
+func atomBindings(a Atom, side int, bound map[Var]binding) (checks []check) {
+	for pos, t := range a.Terms {
+		switch tt := t.(type) {
+		case Const:
+			checks = append(checks, check{side: side, pos: pos, isConst: true, val: tuple.Value(tt)})
+		case Var:
+			if prev, ok := bound[tt]; ok {
+				checks = append(checks, check{side: side, pos: pos, other: prev})
+			} else {
+				bound[tt] = binding{side: side, pos: pos}
+			}
+		}
+	}
+	return checks
+}
+
+// resolveTerm compiles a head or condition term to an evaluator against
+// stored-order tuples.
+func resolveTerm(t Term, bound map[Var]binding, stored func(binding) binding) (argEval, error) {
+	switch tt := t.(type) {
+	case Const:
+		v := tuple.Value(tt)
+		return func(l, r tuple.Tuple) tuple.Value { return v }, nil
+	case Var:
+		b, ok := bound[tt]
+		if !ok {
+			return nil, fmt.Errorf("core: unbound variable %s", tt)
+		}
+		sb := stored(b)
+		if sb.side == 0 {
+			pos := sb.pos
+			return func(l, r tuple.Tuple) tuple.Value { return l[pos] }, nil
+		}
+		pos := sb.pos
+		return func(l, r tuple.Tuple) tuple.Value { return r[pos] }, nil
+	case Apply:
+		evals := make([]argEval, len(tt.Args))
+		for i, arg := range tt.Args {
+			e, err := resolveTerm(arg, bound, stored)
+			if err != nil {
+				return nil, err
+			}
+			evals[i] = e
+		}
+		fn := tt.Fn
+		return func(l, r tuple.Tuple) tuple.Value {
+			args := make([]tuple.Value, len(evals))
+			for i, e := range evals {
+				args[i] = e(l, r)
+			}
+			return fn(args)
+		}, nil
+	}
+	return nil, fmt.Errorf("core: unknown term type %T", t)
+}
+
+// indexFor finds or registers the index a join side needs: join-variable
+// source positions first (in join order), then the remaining columns in
+// ascending source order.
+func indexFor(rel *relation.Relation, joinPos []int) (*relation.Index, error) {
+	used := map[int]bool{}
+	perm := append([]int(nil), joinPos...)
+	for _, p := range joinPos {
+		used[p] = true
+	}
+	for c := 0; c < rel.Arity; c++ {
+		if !used[c] {
+			perm = append(perm, c)
+		}
+	}
+	if ix := rel.FindIndex(perm, len(joinPos)); ix != nil {
+		return ix, nil
+	}
+	return rel.AddIndex(perm, len(joinPos))
+}
+
+// compileRule lowers a validated 1- or 2-atom rule onto a kernel. rels maps
+// relation names to this rank's handles.
+func compileRule(r *Rule, decls map[string]*Decl, rels map[string]*relation.Relation) (ra.Rule, error) {
+	switch len(r.Body) {
+	case 1:
+		return compileCopy(r, rels)
+	case 2:
+		return compileJoin(r, decls, rels)
+	}
+	return nil, fmt.Errorf("core: rule %s not rewritten to binary form", r)
+}
+
+// compileCopy lowers a single-atom rule to a Δ-scan kernel over the source's
+// canonical index (identity permutation, so stored order equals source
+// order).
+func compileCopy(r *Rule, rels map[string]*relation.Relation) (ra.Rule, error) {
+	src := rels[r.Body[0].Rel]
+	head := rels[r.Head.Rel]
+	bound := map[Var]binding{}
+	checks := atomBindings(r.Body[0], 0, bound)
+	ident := func(b binding) binding { return b }
+
+	headEvals, condEvals, err := compileEmit(r, bound, ident)
+	if err != nil {
+		return nil, err
+	}
+	arity := head.Arity
+	return &ra.Copy{
+		Name:   r.String(),
+		Src:    src.Canonical(),
+		SrcRel: src,
+		Head:   head,
+		Emit: func(s tuple.Tuple, out func(tuple.Tuple)) {
+			if !passChecks(checks, s, nil) || !passConds(condEvals, s, nil) {
+				return
+			}
+			t := make(tuple.Tuple, arity)
+			for i, e := range headEvals {
+				t[i] = e(s, nil)
+			}
+			out(t)
+		},
+	}, nil
+}
+
+// compileJoin lowers a two-atom rule to a distributed binary-join kernel,
+// deriving (and registering) the index each side needs and enforcing the
+// paper's restriction that aggregated columns are never join columns.
+func compileJoin(r *Rule, decls map[string]*Decl, rels map[string]*relation.Relation) (ra.Rule, error) {
+	left, right := r.Body[0], r.Body[1]
+	lrel, rrel := rels[left.Rel], rels[right.Rel]
+
+	lbound := map[Var]binding{}
+	lchecks := atomBindings(left, 0, lbound)
+	rbound := map[Var]binding{}
+	rchecks := atomBindings(right, 1, rbound)
+
+	// Join variables: bound on both sides, ordered by left position.
+	type jv struct {
+		v    Var
+		lpos int
+		rpos int
+	}
+	var joins []jv
+	for v, lb := range lbound {
+		if rb, ok := rbound[v]; ok {
+			joins = append(joins, jv{v: v, lpos: lb.pos, rpos: rb.pos})
+		}
+	}
+	sort.Slice(joins, func(i, j int) bool { return joins[i].lpos < joins[j].lpos })
+	if len(joins) == 0 {
+		return nil, fmt.Errorf("core: rule %s: atoms %s and %s share no variable (cartesian products are not supported)",
+			r, left.Rel, right.Rel)
+	}
+
+	// The paper's restriction (§III-A): aggregated columns are never joined
+	// upon within a fixpoint.
+	for _, d := range []struct {
+		decl *Decl
+		pos  func(jv) int
+		atom Atom
+	}{
+		{decls[left.Rel], func(j jv) int { return j.lpos }, left},
+		{decls[right.Rel], func(j jv) int { return j.rpos }, right},
+	} {
+		if d.decl.Agg == nil {
+			continue
+		}
+		for _, j := range joins {
+			if d.pos(j) >= d.decl.Indep {
+				return nil, fmt.Errorf("core: rule %s: variable %s joins on an aggregated column of %s; "+
+					"recursive aggregates may not be joined on their dependent columns", r, j.v, d.atom.Rel)
+			}
+		}
+	}
+
+	lpos := make([]int, len(joins))
+	rpos := make([]int, len(joins))
+	for i, j := range joins {
+		lpos[i] = j.lpos
+		rpos[i] = j.rpos
+	}
+	lix, err := indexFor(lrel, lpos)
+	if err != nil {
+		return nil, fmt.Errorf("core: rule %s: %v", r, err)
+	}
+	rix, err := indexFor(rrel, rpos)
+	if err != nil {
+		return nil, fmt.Errorf("core: rule %s: %v", r, err)
+	}
+
+	// Translate source positions to stored positions through each side's
+	// permutation.
+	linv := invert(lix.Perm)
+	rinv := invert(rix.Perm)
+	stored := func(b binding) binding {
+		if b.side == 0 {
+			return binding{side: 0, pos: linv[b.pos]}
+		}
+		return binding{side: 1, pos: rinv[b.pos]}
+	}
+	merged := map[Var]binding{}
+	for v, b := range lbound {
+		merged[v] = b
+	}
+	for v, b := range rbound {
+		if _, dup := merged[v]; !dup {
+			merged[v] = b
+		}
+	}
+	var checks []check
+	for _, c := range lchecks {
+		checks = append(checks, storedCheck(c, stored))
+	}
+	for _, c := range rchecks {
+		checks = append(checks, storedCheck(c, stored))
+	}
+
+	headEvals, condEvals, err := compileEmit(r, merged, stored)
+	if err != nil {
+		return nil, err
+	}
+	head := rels[r.Head.Rel]
+	arity := head.Arity
+	return &ra.Join{
+		Name:     r.String(),
+		Left:     lix,
+		Right:    rix,
+		LeftRel:  lrel,
+		RightRel: rrel,
+		Head:     head,
+		JK:       len(joins),
+		Emit: func(l, rr tuple.Tuple, out func(tuple.Tuple)) {
+			if !passChecks(checks, l, rr) || !passConds(condEvals, l, rr) {
+				return
+			}
+			t := make(tuple.Tuple, arity)
+			for i, e := range headEvals {
+				t[i] = e(l, rr)
+			}
+			out(t)
+		},
+	}, nil
+}
+
+// compileEmit resolves the head terms and conditions of a rule.
+func compileEmit(r *Rule, bound map[Var]binding, stored func(binding) binding) (heads []argEval, conds []condEval, err error) {
+	for _, t := range r.Head.Terms {
+		e, err := resolveTerm(t, bound, stored)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: rule %s: %v", r, err)
+		}
+		heads = append(heads, e)
+	}
+	for _, c := range r.Conds {
+		evals := make([]argEval, len(c.Args))
+		for i, arg := range c.Args {
+			e, err := resolveTerm(arg, bound, stored)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: rule %s: condition %s: %v", r, c.Name, err)
+			}
+			evals[i] = e
+		}
+		conds = append(conds, condEval{pred: c.Pred, args: evals})
+	}
+	return heads, conds, nil
+}
+
+type condEval struct {
+	pred func([]tuple.Value) bool
+	args []argEval
+}
+
+func storedCheck(c check, stored func(binding) binding) check {
+	sb := stored(binding{side: c.side, pos: c.pos})
+	out := check{side: sb.side, pos: sb.pos, isConst: c.isConst, val: c.val}
+	if !c.isConst {
+		out.other = stored(c.other)
+	}
+	return out
+}
+
+func passChecks(checks []check, l, r tuple.Tuple) bool {
+	at := func(b int, pos int) tuple.Value {
+		if b == 0 {
+			return l[pos]
+		}
+		return r[pos]
+	}
+	for _, c := range checks {
+		got := at(c.side, c.pos)
+		if c.isConst {
+			if got != c.val {
+				return false
+			}
+		} else if got != at(c.other.side, c.other.pos) {
+			return false
+		}
+	}
+	return true
+}
+
+func passConds(conds []condEval, l, r tuple.Tuple) bool {
+	for _, c := range conds {
+		args := make([]tuple.Value, len(c.args))
+		for i, e := range c.args {
+			args[i] = e(l, r)
+		}
+		if !c.pred(args) {
+			return false
+		}
+	}
+	return true
+}
+
+func invert(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, c := range perm {
+		inv[c] = i
+	}
+	return inv
+}
+
+// rewriteRules chains every rule with three or more body atoms through
+// intermediate set relations, returning the binary/unary rule list and the
+// intermediate declarations. Conditions attach to the earliest stage where
+// all their variables are bound; later stages carry exactly the variables
+// still needed.
+func rewriteRules(rules []*Rule) ([]*Rule, []*Decl, error) {
+	var out []*Rule
+	var extra []*Decl
+	tmpN := 0
+	for _, r := range rules {
+		if len(r.Body) <= 2 {
+			out = append(out, r)
+			continue
+		}
+		// Variables needed by the head or conditions (Applies may nest).
+		needed := map[Var]bool{}
+		var collect func(t Term)
+		collect = func(t Term) {
+			switch tt := t.(type) {
+			case Var:
+				needed[tt] = true
+			case Apply:
+				for _, a := range tt.Args {
+					collect(a)
+				}
+			}
+		}
+		for _, t := range r.Head.Terms {
+			collect(t)
+		}
+		for _, c := range r.Conds {
+			for _, t := range c.Args {
+				collect(t)
+			}
+		}
+		atomVars := func(a Atom) map[Var]bool {
+			m := map[Var]bool{}
+			for _, t := range a.Terms {
+				if v, ok := t.(Var); ok {
+					m[v] = true
+				}
+			}
+			return m
+		}
+		condReady := make([]bool, len(r.Conds))
+
+		cur := r.Body[0]
+		bound := atomVars(cur)
+		for k := 1; k < len(r.Body); k++ {
+			next := r.Body[k]
+			for v := range atomVars(next) {
+				bound[v] = true
+			}
+			// Conditions evaluable after joining `next`.
+			var conds []Cond
+			for ci, c := range r.Conds {
+				if condReady[ci] {
+					continue
+				}
+				ready := true
+				for _, t := range c.Args {
+					if v, ok := t.(Var); ok && !bound[v] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					condReady[ci] = true
+					conds = append(conds, c)
+				}
+			}
+			if k == len(r.Body)-1 {
+				out = append(out, &Rule{Head: r.Head, Body: []Atom{cur, next}, Conds: conds})
+				break
+			}
+			// Keep variables needed later: by the head/conds or by
+			// remaining atoms.
+			keep := map[Var]bool{}
+			for v := range needed {
+				if bound[v] {
+					keep[v] = true
+				}
+			}
+			for kk := k + 1; kk < len(r.Body); kk++ {
+				for v := range atomVars(r.Body[kk]) {
+					if bound[v] {
+						keep[v] = true
+					}
+				}
+			}
+			vars := make([]Var, 0, len(keep))
+			for v := range keep {
+				vars = append(vars, v)
+			}
+			sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+			if len(vars) == 0 {
+				return nil, nil, fmt.Errorf("core: rule %s: intermediate stage binds no needed variables", r)
+			}
+			name := fmt.Sprintf("__tmp%d", tmpN)
+			tmpN++
+			d := &Decl{Name: name, Arity: len(vars), Indep: len(vars), Key: 1}
+			extra = append(extra, d)
+			terms := make([]Term, len(vars))
+			for i, v := range vars {
+				terms[i] = v
+			}
+			out = append(out, &Rule{Head: Atom{Rel: name, Terms: terms}, Body: []Atom{cur, next}, Conds: conds})
+			cur = Atom{Rel: name, Terms: terms}
+			bound = atomVars(cur)
+		}
+	}
+	return out, extra, nil
+}

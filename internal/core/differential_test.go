@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/ra"
+	"paralagg/internal/tuple"
+)
+
+// diffProgram is one differential-testing scenario: a program plus a fact
+// generator.
+type diffProgram struct {
+	name  string
+	build func() *Program
+	facts func(rng *rand.Rand) map[string][]tuple.Tuple
+}
+
+// randEdges2 produces random binary facts.
+func randEdges2(rng *rand.Rand, nodes, n int) []tuple.Tuple {
+	seen := map[[2]uint64]bool{}
+	var out []tuple.Tuple
+	for len(out) < n {
+		u, v := uint64(rng.Intn(nodes)), uint64(rng.Intn(nodes))
+		if seen[[2]uint64{u, v}] {
+			continue
+		}
+		seen[[2]uint64{u, v}] = true
+		out = append(out, tuple.Tuple{u, v})
+	}
+	return out
+}
+
+// randEdges3 produces random weighted facts.
+func randEdges3(rng *rand.Rand, nodes, n int, maxW uint64) []tuple.Tuple {
+	seen := map[[2]uint64]bool{}
+	var out []tuple.Tuple
+	for len(out) < n {
+		u, v := uint64(rng.Intn(nodes)), uint64(rng.Intn(nodes))
+		if u == v || seen[[2]uint64{u, v}] {
+			continue
+		}
+		seen[[2]uint64{u, v}] = true
+		out = append(out, tuple.Tuple{u, v, uint64(rng.Intn(int(maxW))) + 1})
+	}
+	return out
+}
+
+var diffSuite = []diffProgram{
+	{
+		name: "transitive-closure",
+		build: func() *Program {
+			p := NewProgram()
+			p.DeclareSet("e", 2, 1)
+			p.DeclareSet("t", 2, 1)
+			p.Add(
+				R(A("t", Var("x"), Var("y")), A("e", Var("x"), Var("y"))),
+				R(A("t", Var("x"), Var("z")), A("t", Var("x"), Var("y")), A("e", Var("y"), Var("z"))),
+			)
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			return map[string][]tuple.Tuple{"e": randEdges2(rng, 14, 30)}
+		},
+	},
+	{
+		name: "same-generation",
+		build: func() *Program {
+			// sg(x,y) <- e(p,x), e(p,y); sg(x,y) <- e(a,x), sg(a,b), e(b,y).
+			p := NewProgram()
+			p.DeclareSet("e", 2, 1)
+			p.DeclareSet("sg", 2, 1)
+			p.Add(
+				R(A("sg", Var("x"), Var("y")), A("e", Var("p"), Var("x")), A("e", Var("p"), Var("y"))),
+				R(A("sg", Var("x"), Var("y")),
+					A("e", Var("a"), Var("x")), A("sg", Var("a"), Var("b")), A("e", Var("b"), Var("y"))),
+			)
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			return map[string][]tuple.Tuple{"e": randEdges2(rng, 10, 18)}
+		},
+	},
+	{
+		name: "sssp-min",
+		build: func() *Program {
+			p := NewProgram()
+			p.DeclareSet("e", 3, 1)
+			p.DeclareAgg("sp", 2, lattice.Min{})
+			p.Add(R(
+				A("sp", Var("f"), Var("t"), Add(Var("l"), Var("w"))),
+				A("sp", Var("f"), Var("m"), Var("l")),
+				A("e", Var("m"), Var("t"), Var("w")),
+			))
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			return map[string][]tuple.Tuple{
+				"e":  randEdges3(rng, 16, 50, 8),
+				"sp": {{0, 0, 0}, {3, 3, 0}},
+			}
+		},
+	},
+	{
+		name: "widest-path-max",
+		build: func() *Program {
+			// Bottleneck capacity: wp(f,t,MAX(min(c, w))) — widest path via
+			// the Max aggregate and a min() head function.
+			p := NewProgram()
+			p.DeclareSet("e", 3, 1)
+			p.DeclareAgg("wp", 2, lattice.Max{})
+			minFn := func(v []tuple.Value) tuple.Value {
+				if v[0] < v[1] {
+					return v[0]
+				}
+				return v[1]
+			}
+			p.Add(R(
+				A("wp", Var("f"), Var("t"), Compute("min", minFn, Var("c"), Var("w"))),
+				A("wp", Var("f"), Var("m"), Var("c")),
+				A("e", Var("m"), Var("t"), Var("w")),
+			))
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			return map[string][]tuple.Tuple{
+				"e":  randEdges3(rng, 12, 40, 9),
+				"wp": {{1, 1, 1 << 30}},
+			}
+		},
+	},
+	{
+		name: "cc-with-conds",
+		build: func() *Program {
+			p := NewProgram()
+			p.DeclareSet("e", 2, 1)
+			p.DeclareAgg("cc", 1, lattice.Min{})
+			p.Add(
+				R(A("cc", Var("y"), Var("z")), A("cc", Var("x"), Var("z")), A("e", Var("x"), Var("y"))),
+				R(A("cc", Var("x"), Var("z")), A("cc", Var("y"), Var("z")), A("e", Var("x"), Var("y"))),
+			)
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			seeds := make([]tuple.Tuple, 12)
+			for i := range seeds {
+				seeds[i] = tuple.Tuple{uint64(i), uint64(i)}
+			}
+			return map[string][]tuple.Tuple{
+				"e":  randEdges2(rng, 12, 14),
+				"cc": seeds,
+			}
+		},
+	},
+	{
+		name: "bounded-hops-with-filter",
+		build: func() *Program {
+			// Paths of weight at most 12, as a set relation with a filter —
+			// exercises conditions inside recursion.
+			p := NewProgram()
+			p.DeclareSet("e", 3, 1)
+			p.DeclareSet("ph", 3, 1)
+			p.Add(
+				R(A("ph", Var("x"), Var("y"), Var("w")), A("e", Var("x"), Var("y"), Var("w"))).
+					Where(Le(Var("w"), Const(12))),
+				R(A("ph", Var("x"), Var("z"), Add(Var("a"), Var("b"))),
+					A("ph", Var("x"), Var("y"), Var("a")),
+					A("e", Var("y"), Var("z"), Var("b"))).
+					Where(Where("cap", func(v []tuple.Value) bool { return v[0]+v[1] <= 12 },
+						Var("a"), Var("b"))),
+			)
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			return map[string][]tuple.Tuple{"e": randEdges3(rng, 10, 25, 5)}
+		},
+	},
+	{
+		name: "mcount-degrees",
+		build: func() *Program {
+			// deg(x, MCOUNT(1)) over edges: non-idempotent aggregate fed by
+			// a copy rule.
+			p := NewProgram()
+			p.DeclareSet("e", 2, 1)
+			p.DeclareAgg("deg", 1, lattice.MCount{})
+			p.Add(R(A("deg", Var("x"), Const(1)), A("e", Var("x"), Var("y"))))
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			return map[string][]tuple.Tuple{"e": randEdges2(rng, 9, 30)}
+		},
+	},
+	{
+		name: "bitor-reachable-labels",
+		build: func() *Program {
+			// Each node accumulates the bitmask of source labels that reach
+			// it: the power-set lattice in action.
+			p := NewProgram()
+			p.DeclareSet("e", 2, 1)
+			p.DeclareAgg("lab", 1, lattice.BitOr{})
+			p.Add(R(A("lab", Var("y"), Var("m")), A("lab", Var("x"), Var("m")), A("e", Var("x"), Var("y"))))
+			return p
+		},
+		facts: func(rng *rand.Rand) map[string][]tuple.Tuple {
+			return map[string][]tuple.Tuple{
+				"e":   randEdges2(rng, 12, 24),
+				"lab": {{0, 1}, {1, 2}, {2, 4}},
+			}
+		},
+	},
+}
+
+// TestDifferentialAgainstNaive runs every scenario with several seeds and
+// engine configurations and compares the full relation contents against the
+// naive evaluator.
+func TestDifferentialAgainstNaive(t *testing.T) {
+	configs := []Config{
+		{Plan: ra.PlanDynamic},
+		{Plan: ra.PlanStaticRight, Subs: 4},
+		{Plan: ra.PlanAntiDynamic, Subs: 2},
+		{Plan: ra.PlanDynamic, Adaptive: true},
+	}
+	for _, sc := range diffSuite {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				facts := sc.facts(rand.New(rand.NewSource(seed)))
+				want, err := EvalNaive(sc.build(), facts)
+				if err != nil {
+					t.Fatalf("seed %d: naive: %v", seed, err)
+				}
+				cfg := configs[int(seed)%len(configs)]
+				ranks := []int{1, 3, 5}[int(seed)%3]
+				got, err := runDistributed(sc.build(), facts, ranks, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: distributed: %v", seed, err)
+				}
+				for rel, wt := range want {
+					gt := got[rel]
+					if len(gt) != len(wt) {
+						t.Fatalf("seed %d cfg %+v: %s has %d tuples, naive %d",
+							seed, cfg, rel, len(gt), len(wt))
+					}
+					for i := range wt {
+						if !gt[i].Equal(wt[i]) {
+							t.Fatalf("seed %d: %s[%d] = %v, naive %v", seed, rel, i, gt[i], wt[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// runDistributed executes the program on a world and gathers every
+// relation's full contents to compare with the naive evaluator.
+func runDistributed(p *Program, facts map[string][]tuple.Tuple, ranks int, cfg Config) (map[string][]tuple.Tuple, error) {
+	out := map[string][]tuple.Tuple{}
+	collect := make(chan struct {
+		rel string
+		t   tuple.Tuple
+	}, 4096)
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		in, err := p.Instantiate(c, mc, cfg)
+		if err != nil {
+			return err
+		}
+		names := p.RelationNames()
+		for _, name := range names {
+			rel := in.Relation(name)
+			ts := facts[name]
+			buf := tuple.NewBuffer(rel.Arity, len(ts)/ranks+1)
+			for i := c.Rank(); i < len(ts); i += ranks {
+				buf.Append(ts[i])
+			}
+			if err := in.Load(name, buf); err != nil {
+				return err
+			}
+		}
+		in.Run(cfg)
+		for _, name := range names {
+			rel := in.Relation(name)
+			if rel.Agg != nil {
+				rel.EachAcc(func(t tuple.Tuple) {
+					collect <- struct {
+						rel string
+						t   tuple.Tuple
+					}{name, t.Clone()}
+				})
+				continue
+			}
+			rel.Canonical().Full.Ascend(func(t tuple.Tuple) bool {
+				collect <- struct {
+					rel string
+					t   tuple.Tuple
+				}{name, t.Clone()}
+				return true
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	close(collect)
+	for item := range collect {
+		out[item.rel] = append(out[item.rel], item.t)
+	}
+	for rel := range out {
+		ts := out[rel]
+		sortTuples(ts)
+		out[rel] = ts
+	}
+	// Relations that ended empty still need an entry for comparison.
+	for _, name := range p.RelationNames() {
+		if _, ok := out[name]; !ok {
+			out[name] = nil
+		}
+	}
+	return out, nil
+}
+
+func sortTuples(ts []tuple.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

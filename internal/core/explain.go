@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders the compiled execution plan of a program without running
+// it: the strata in evaluation order, each rule's kernel kind, the join
+// keys, and every B-tree index the joins require. It validates and rewrites
+// exactly like Instantiate, so a program that Explains cleanly will
+// instantiate cleanly.
+func (p *Program) Explain() (string, error) {
+	if err := p.validate(); err != nil {
+		return "", err
+	}
+	rules, extraDecls, err := rewriteRules(p.rules)
+	if err != nil {
+		return "", err
+	}
+	decls := make(map[string]*Decl, len(p.decls)+len(extraDecls))
+	for n, d := range p.decls {
+		decls[n] = d
+	}
+	for _, d := range extraDecls {
+		decls[d.Name] = d
+	}
+
+	// Track which indexes each relation needs, mirroring compileJoin's
+	// derivation.
+	type indexReq struct {
+		perm []int
+		jk   int
+	}
+	indexes := map[string][]indexReq{}
+	needIndex := func(rel string, joinPos []int) {
+		d := decls[rel]
+		used := map[int]bool{}
+		perm := append([]int(nil), joinPos...)
+		for _, p := range joinPos {
+			used[p] = true
+		}
+		for c := 0; c < d.Arity; c++ {
+			if !used[c] {
+				perm = append(perm, c)
+			}
+		}
+		for _, r := range indexes[rel] {
+			if r.jk == len(joinPos) && equalInts(r.perm, perm) {
+				return
+			}
+		}
+		indexes[rel] = append(indexes[rel], indexReq{perm: perm, jk: len(joinPos)})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d relations, %d rules", len(p.decls), len(p.rules))
+	if len(extraDecls) > 0 {
+		fmt.Fprintf(&b, " (+%d intermediates from n-ary bodies)", len(extraDecls))
+	}
+	b.WriteByte('\n')
+
+	for si, stratumRules := range p.stratify(rules) {
+		heads := map[string]bool{}
+		for _, r := range stratumRules {
+			heads[r.Head.Rel] = true
+		}
+		var headNames []string
+		for h := range heads {
+			headNames = append(headNames, h)
+		}
+		sort.Strings(headNames)
+		fmt.Fprintf(&b, "stratum %d: computes %s\n", si, strings.Join(headNames, ", "))
+		for _, r := range stratumRules {
+			recursive := false
+			for _, a := range r.Body {
+				if heads[a.Rel] {
+					recursive = true
+				}
+			}
+			tag := "copy"
+			if len(r.Body) == 2 {
+				tag = "join"
+			}
+			if recursive {
+				tag += ", recursive"
+			}
+			fmt.Fprintf(&b, "  rule (%s): %s\n", tag, r)
+			if len(r.Body) == 2 {
+				joins := sharedVars(r.Body[0], r.Body[1])
+				if len(joins) > 0 {
+					var lpos, rpos []int
+					for _, v := range joins {
+						lpos = append(lpos, firstPos(r.Body[0], v))
+						rpos = append(rpos, firstPos(r.Body[1], v))
+					}
+					fmt.Fprintf(&b, "    join on %v: %s cols %v ⋈ %s cols %v\n",
+						joins, r.Body[0].Rel, lpos, r.Body[1].Rel, rpos)
+					needIndex(r.Body[0].Rel, lpos)
+					needIndex(r.Body[1].Rel, rpos)
+				}
+			}
+		}
+	}
+
+	var relNames []string
+	for n := range decls {
+		relNames = append(relNames, n)
+	}
+	sort.Strings(relNames)
+	b.WriteString("indexes:\n")
+	for _, n := range relNames {
+		d := decls[n]
+		kind := "set"
+		if d.Agg != nil {
+			kind = "agg " + d.Agg.Name()
+		}
+		fmt.Fprintf(&b, "  %s (%s, arity %d): canonical jk=%d", n, kind, d.Arity, d.Key)
+		for _, r := range indexes[n] {
+			fmt.Fprintf(&b, "; perm=%v jk=%d", r.perm, r.jk)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// sharedVars lists variables bound in both atoms, ordered by left position
+// (matching compileJoin).
+func sharedVars(l, r Atom) []Var {
+	inRight := map[Var]bool{}
+	for _, t := range r.Terms {
+		if v, ok := t.(Var); ok {
+			inRight[v] = true
+		}
+	}
+	var out []Var
+	seen := map[Var]bool{}
+	for _, t := range l.Terms {
+		if v, ok := t.(Var); ok && inRight[v] && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func firstPos(a Atom, v Var) int {
+	for i, t := range a.Terms {
+		if tv, ok := t.(Var); ok && tv == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/ra"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+// Config tunes an instantiated program.
+type Config struct {
+	// Subs is the default sub-bucket count per relation (spatial load
+	// balancing); 1 disables it.
+	Subs int
+	// SubsFor overrides Subs for specific relations.
+	SubsFor map[string]int
+	// Plan selects the join-layout strategy.
+	Plan ra.PlanMode
+	// MaxIters bounds each stratum's fixpoint (0 = run to fixpoint).
+	MaxIters int
+	// Adaptive enables per-iteration spatial rebalancing (Fig. 1's
+	// balancing phase): skewed relations double their sub-bucket count on
+	// the fly instead of relying on a static Subs setting.
+	Adaptive bool
+}
+
+// Instance is one rank's executable form of a Program: relations created,
+// rules stratified and compiled onto kernels. Every rank of the world must
+// Instantiate the identical program with the identical config, then perform
+// the same Load and Run calls.
+type Instance struct {
+	comm   *mpi.Comm
+	mc     *metrics.Collector
+	rels   map[string]*relation.Relation
+	strata []*stratum
+}
+
+type stratum struct {
+	fix *ra.Fixpoint
+	// inputs are the relations read but not written by this stratum, in
+	// name order; their Δ is re-seeded before the stratum runs.
+	inputs []*relation.Relation
+}
+
+// Instantiate validates, rewrites, stratifies, and compiles the program for
+// this rank. It registers every index the rules need, so it must run before
+// facts are loaded.
+func (p *Program) Instantiate(comm *mpi.Comm, mc *metrics.Collector, cfg Config) (*Instance, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rules, extraDecls, err := rewriteRules(p.rules)
+	if err != nil {
+		return nil, err
+	}
+	decls := make(map[string]*Decl, len(p.decls)+len(extraDecls))
+	var names []string
+	for n, d := range p.decls {
+		decls[n] = d
+		names = append(names, n)
+	}
+	for _, d := range extraDecls {
+		decls[d.Name] = d
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+
+	in := &Instance{comm: comm, mc: mc, rels: make(map[string]*relation.Relation, len(names))}
+	for _, n := range names {
+		d := decls[n]
+		subs := cfg.Subs
+		if s, ok := cfg.SubsFor[n]; ok {
+			subs = s
+		}
+		rel, err := relation.New(relation.Schema{
+			Name: d.Name, Arity: d.Arity, Indep: d.Indep, Key: d.Key, Agg: d.Agg,
+		}, comm, mc, relation.Config{Subs: subs})
+		if err != nil {
+			return nil, err
+		}
+		in.rels[n] = rel
+	}
+
+	strata := p.stratify(rules)
+	for _, ruleSet := range strata {
+		kernels := make([]ra.Rule, 0, len(ruleSet))
+		heads := map[string]bool{}
+		bodies := map[string]bool{}
+		for _, r := range ruleSet {
+			k, err := compileRule(r, decls, in.rels)
+			if err != nil {
+				return nil, err
+			}
+			kernels = append(kernels, k)
+			heads[r.Head.Rel] = true
+			for _, a := range r.Body {
+				bodies[a.Rel] = true
+			}
+		}
+		st := &stratum{fix: ra.NewFixpoint(comm, mc, kernels...)}
+		var inputNames []string
+		for b := range bodies {
+			if !heads[b] {
+				inputNames = append(inputNames, b)
+			}
+		}
+		sort.Strings(inputNames)
+		for _, n := range inputNames {
+			st.inputs = append(st.inputs, in.rels[n])
+		}
+		in.strata = append(in.strata, st)
+	}
+	return in, nil
+}
+
+// Relation returns this rank's handle on a relation, or nil if undeclared.
+func (in *Instance) Relation(name string) *relation.Relation { return in.rels[name] }
+
+// Load feeds base facts (canonical column order) into a relation through
+// the collective materialization path. Each rank passes its own share; the
+// union across ranks is loaded.
+func (in *Instance) Load(name string, facts *tuple.Buffer) error {
+	rel := in.rels[name]
+	if rel == nil {
+		return fmt.Errorf("core: load into undeclared relation %s", name)
+	}
+	rel.LoadFacts(facts)
+	return nil
+}
+
+// LoadShare deterministically splits n generated facts across ranks and
+// loads them; gen must be identical on every rank.
+func (in *Instance) LoadShare(name string, n int, gen func(i int, emit func(tuple.Tuple))) error {
+	rel := in.rels[name]
+	if rel == nil {
+		return fmt.Errorf("core: load into undeclared relation %s", name)
+	}
+	rel.LoadShare(n, gen)
+	return nil
+}
+
+// RunStats summarizes a program run.
+type RunStats struct {
+	// StratumIters is the iteration count of each stratum's fixpoint.
+	StratumIters []int
+	// TotalIters sums them.
+	TotalIters int
+}
+
+// Run executes every stratum in dependency order, re-seeding Δ of each
+// stratum's input relations so rules see previously computed tuples as
+// fresh. It is collective.
+func (in *Instance) Run(cfg Config) RunStats {
+	var stats RunStats
+	for _, st := range in.strata {
+		for _, input := range st.inputs {
+			ra.ResetDelta(input)
+		}
+		n := st.fix.Run(ra.Options{Plan: cfg.Plan, MaxIters: cfg.MaxIters, AdaptiveBalance: cfg.Adaptive})
+		stats.StratumIters = append(stats.StratumIters, n)
+		stats.TotalIters += n
+	}
+	return stats
+}
+
+// Strata returns the number of strata the program compiled to.
+func (in *Instance) Strata() int { return len(in.strata) }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/tuple"
+)
+
+// EvalNaive evaluates a program sequentially with textbook naïve iteration:
+// every stratum loops over all rules, enumerating all body bindings, until
+// nothing changes. It exists as an executable semantics — the distributed
+// engine is differential-tested against it — and doubles as a handy local
+// evaluator for tiny inputs. Facts map relation names to canonical-order
+// tuples; the result maps every declared relation to its final sorted
+// tuples.
+func EvalNaive(p *Program, facts map[string][]tuple.Tuple) (map[string][]tuple.Tuple, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rules, extraDecls, err := rewriteRules(p.rules)
+	if err != nil {
+		return nil, err
+	}
+	decls := make(map[string]*Decl, len(p.decls)+len(extraDecls))
+	for n, d := range p.decls {
+		decls[n] = d
+	}
+	for _, d := range extraDecls {
+		decls[d.Name] = d
+	}
+
+	db := newNaiveDB(decls)
+	for name, ts := range facts {
+		d, ok := decls[name]
+		if !ok {
+			return nil, fmt.Errorf("core: facts for undeclared relation %s", name)
+		}
+		for _, t := range ts {
+			if len(t) != d.Arity {
+				return nil, fmt.Errorf("core: fact %v has arity %d, %s wants %d", t, len(t), name, d.Arity)
+			}
+			db.merge(d, t)
+		}
+	}
+
+	for _, stratumRules := range p.stratify(rules) {
+		for {
+			changed := false
+			for _, r := range stratumRules {
+				if db.applyRule(decls, r) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	out := make(map[string][]tuple.Tuple, len(p.decls))
+	for name := range p.decls {
+		out[name] = db.dump(decls[name])
+	}
+	return out, nil
+}
+
+// naiveDB stores set relations as tuple sets and aggregated relations as
+// independent-key → dependent-value maps.
+type naiveDB struct {
+	sets map[string]map[string]bool
+	aggs map[string]map[string][]tuple.Value
+	// seen tracks which body bindings each rule has already contributed,
+	// so non-idempotent aggregates accumulate each binding exactly once —
+	// the same guarantee the distributed engine's disjoint semi-naïve
+	// variants provide.
+	seen map[*Rule]map[string]bool
+}
+
+func newNaiveDB(decls map[string]*Decl) *naiveDB {
+	db := &naiveDB{sets: map[string]map[string]bool{}, aggs: map[string]map[string][]tuple.Value{}}
+	for n, d := range decls {
+		if d.Agg == nil {
+			db.sets[n] = map[string]bool{}
+		} else {
+			db.aggs[n] = map[string][]tuple.Value{}
+		}
+	}
+	return db
+}
+
+// merge inserts a tuple with the relation's semantics, reporting change.
+func (db *naiveDB) merge(d *Decl, t tuple.Tuple) bool {
+	if d.Agg == nil {
+		k := keyString(t)
+		if db.sets[d.Name][k] {
+			return false
+		}
+		db.sets[d.Name][k] = true
+		return true
+	}
+	k := keyString(t[:d.Indep])
+	dep := append([]tuple.Value(nil), t[d.Indep:]...)
+	cur, ok := db.aggs[d.Name][k]
+	if !ok {
+		db.aggs[d.Name][k] = dep
+		return true
+	}
+	merged := d.Agg.Join(cur, dep)
+	if d.Agg.Compare(merged, cur) == lattice.Equal {
+		return false
+	}
+	db.aggs[d.Name][k] = append([]tuple.Value(nil), merged...)
+	return true
+}
+
+// tuples lists a relation's current contents (unsorted).
+func (db *naiveDB) tuples(d *Decl) []tuple.Tuple {
+	var out []tuple.Tuple
+	if d.Agg == nil {
+		for k := range db.sets[d.Name] {
+			out = append(out, keyValues(k))
+		}
+		return out
+	}
+	for k, dep := range db.aggs[d.Name] {
+		t := append(tuple.Tuple(nil), keyValues(k)...)
+		out = append(out, append(t, dep...))
+	}
+	return out
+}
+
+// dump returns sorted contents.
+func (db *naiveDB) dump(d *Decl) []tuple.Tuple {
+	out := db.tuples(d)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// applyRule enumerates all bindings of a (binary or unary) rule and merges
+// head tuples, reporting whether anything changed. Aggregated body atoms
+// read the current best per key, matching the distributed engine's
+// semantics. Non-idempotent aggregates in heads are accumulated exactly
+// once per distinct binding by tracking seen bindings per rule.
+func (db *naiveDB) applyRule(decls map[string]*Decl, r *Rule) bool {
+	head := decls[r.Head.Rel]
+	changed := false
+
+	emit := func(env map[Var]tuple.Value, sig string) {
+		for _, c := range r.Conds {
+			args := make([]tuple.Value, len(c.Args))
+			for i, a := range c.Args {
+				args[i] = evalNaiveTerm(a, env)
+			}
+			if !c.Pred(args) {
+				return
+			}
+		}
+		t := make(tuple.Tuple, len(r.Head.Terms))
+		for i, ht := range r.Head.Terms {
+			t[i] = evalNaiveTerm(ht, env)
+		}
+		if db.mergeOnce(head, r, sig, t) {
+			changed = true
+		}
+	}
+
+	var walk func(i int, env map[Var]tuple.Value, sig string)
+	walk = func(i int, env map[Var]tuple.Value, sig string) {
+		if i == len(r.Body) {
+			emit(env, sig)
+			return
+		}
+		atom := r.Body[i]
+		d := decls[atom.Rel]
+		for _, t := range db.tuples(d) {
+			bound := map[Var]tuple.Value{}
+			for v, val := range env {
+				bound[v] = val
+			}
+			if unify(atom, t, bound) {
+				walk(i+1, bound, sig+"|"+keyString(t))
+			}
+		}
+	}
+	walk(0, map[Var]tuple.Value{}, "")
+	return changed
+}
+
+// mergeOnce merges a head tuple; for non-idempotent aggregates it suppresses
+// re-accumulation of a body binding already folded in (keyed by the exact
+// body tuples that produced it), matching the runtime's exactly-once
+// delivery of generated tuples.
+func (db *naiveDB) mergeOnce(d *Decl, r *Rule, sig string, t tuple.Tuple) bool {
+	if d.Agg != nil && !lattice.Idempotent(d.Agg) {
+		if db.seen == nil {
+			db.seen = map[*Rule]map[string]bool{}
+		}
+		if db.seen[r] == nil {
+			db.seen[r] = map[string]bool{}
+		}
+		if db.seen[r][sig] {
+			return false
+		}
+		db.seen[r][sig] = true
+	}
+	return db.merge(d, t)
+}
+
+func unify(atom Atom, t tuple.Tuple, env map[Var]tuple.Value) bool {
+	for i, term := range atom.Terms {
+		switch tt := term.(type) {
+		case Const:
+			if t[i] != tuple.Value(tt) {
+				return false
+			}
+		case Var:
+			if v, ok := env[tt]; ok {
+				if v != t[i] {
+					return false
+				}
+			} else {
+				env[tt] = t[i]
+			}
+		}
+	}
+	return true
+}
+
+func evalNaiveTerm(t Term, env map[Var]tuple.Value) tuple.Value {
+	switch tt := t.(type) {
+	case Const:
+		return tuple.Value(tt)
+	case Var:
+		return env[tt]
+	case Apply:
+		args := make([]tuple.Value, len(tt.Args))
+		for i, a := range tt.Args {
+			args[i] = evalNaiveTerm(a, env)
+		}
+		return tt.Fn(args)
+	}
+	panic(fmt.Sprintf("core: unknown term %T", t))
+}
+
+// keyString and keyValues encode tuples as map keys (8 bytes per column,
+// little endian).
+func keyString(vals []tuple.Value) string {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	return string(b)
+}
+
+func keyValues(s string) tuple.Tuple {
+	out := make(tuple.Tuple, len(s)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64([]byte(s[i*8 : i*8+8]))
+	}
+	return out
+}

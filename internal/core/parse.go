@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/tuple"
+)
+
+// Parse builds a Program from PARALAGG's textual Datalog dialect. The
+// grammar, line oriented with '%' comments:
+//
+//	.set  edge 3 key=1            declare a set relation (arity 3)
+//	.agg  spath 2 min             declare an aggregated relation: 2
+//	                              independent columns + the aggregate's
+//	                              dependent column(s)
+//	spath(F, F, 0)     :- start(F).
+//	spath(F, T, add(L, W)) :- spath(F, M, L), edge(M, T, W).
+//	up(X, Y) :- edge(X, Y), lt(X, Y).
+//
+// Identifiers starting with a letter are variables inside rule bodies and
+// heads; integer literals are constants; literals with a decimal point are
+// encoded as IEEE-754 bits (for float aggregates). Head terms may apply the
+// built-in functions add, sub, mul, fadd, fmul (nestable). Body atoms named
+// lt, le, ne, eq with two arguments compile to filter conditions rather
+// than relations. Aggregator names: min, max, fmin, bitor, lexmin2, msum,
+// mcount.
+func Parse(src string) (*Program, error) {
+	p := NewProgram()
+	// Rules may span lines; a statement ends with '.' at end of line.
+	var pending strings.Builder
+	lineNo := 0
+	flushAt := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.Index(line, "%"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if pending.Len() > 0 {
+				return nil, fmt.Errorf("line %d: declaration inside unterminated rule started at line %d", lineNo, flushAt)
+			}
+			if err := parseDecl(p, line, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if pending.Len() == 0 {
+			flushAt = lineNo
+		}
+		pending.WriteString(line)
+		pending.WriteByte(' ')
+		if strings.HasSuffix(line, ".") {
+			stmt := strings.TrimSpace(pending.String())
+			pending.Reset()
+			rule, err := parseRule(strings.TrimSuffix(stmt, "."), flushAt)
+			if err != nil {
+				return nil, err
+			}
+			p.Add(rule)
+		}
+	}
+	if pending.Len() > 0 {
+		return nil, fmt.Errorf("line %d: rule not terminated with '.'", flushAt)
+	}
+	return p, nil
+}
+
+// aggregators names the built-in aggregates for .agg declarations.
+var aggregators = map[string]lattice.Aggregator{
+	"min":     lattice.Min{},
+	"max":     lattice.Max{},
+	"fmin":    lattice.FMin{},
+	"bitor":   lattice.BitOr{},
+	"lexmin2": lattice.LexMin2{},
+	"msum":    lattice.MSum{},
+	"mcount":  lattice.MCount{},
+}
+
+func parseDecl(p *Program, line string, lineNo int) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".set":
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: .set needs a name and an arity", lineNo)
+		}
+		arity, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return fmt.Errorf("line %d: bad arity %q", lineNo, fields[2])
+		}
+		key := 1
+		for _, f := range fields[3:] {
+			if v, ok := strings.CutPrefix(f, "key="); ok {
+				key, err = strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("line %d: bad key %q", lineNo, v)
+				}
+			} else {
+				return fmt.Errorf("line %d: unknown .set option %q", lineNo, f)
+			}
+		}
+		return p.DeclareSet(fields[1], arity, key)
+	case ".agg":
+		if len(fields) != 4 {
+			return fmt.Errorf("line %d: .agg needs a name, independent-column count, and aggregator", lineNo)
+		}
+		indep, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return fmt.Errorf("line %d: bad independent-column count %q", lineNo, fields[2])
+		}
+		agg, ok := aggregators[fields[3]]
+		if !ok {
+			return fmt.Errorf("line %d: unknown aggregator %q (have min, max, fmin, bitor, lexmin2, msum, mcount)", lineNo, fields[3])
+		}
+		return p.DeclareAgg(fields[1], indep, agg)
+	}
+	return fmt.Errorf("line %d: unknown declaration %q", lineNo, fields[0])
+}
+
+// builtin condition constructors keyed by atom name.
+var condBuiltins = map[string]func(a, b Term) Cond{
+	"lt": Lt,
+	"le": Le,
+	"ne": Ne,
+	"eq": func(a, b Term) Cond {
+		return Cond{Name: "eq", Args: []Term{a, b},
+			Pred: func(v []tuple.Value) bool { return v[0] == v[1] }}
+	},
+}
+
+// head function constructors keyed by name.
+var fnBuiltins = map[string]func(a, b Term) Apply{
+	"add":  Add,
+	"sub":  Sub,
+	"mul":  Mul,
+	"fadd": FAdd,
+	"fmul": FMul,
+}
+
+func parseRule(stmt string, lineNo int) (*Rule, error) {
+	parts := strings.SplitN(stmt, ":-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("line %d: rule needs ':-' (facts are loaded via the API, not source text)", lineNo)
+	}
+	head, err := parseAtom(strings.TrimSpace(parts[0]), lineNo)
+	if err != nil {
+		return nil, err
+	}
+	bodyAtoms, err := splitAtoms(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %v", lineNo, err)
+	}
+	rule := &Rule{Head: head}
+	for _, s := range bodyAtoms {
+		a, err := parseAtom(s, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if mk, ok := condBuiltins[a.Rel]; ok {
+			if len(a.Terms) != 2 {
+				return nil, fmt.Errorf("line %d: builtin %s needs two arguments", lineNo, a.Rel)
+			}
+			rule.Conds = append(rule.Conds, mk(a.Terms[0], a.Terms[1]))
+			continue
+		}
+		for _, t := range a.Terms {
+			if _, isApply := t.(Apply); isApply {
+				return nil, fmt.Errorf("line %d: body atom %s contains a computed term", lineNo, a.Rel)
+			}
+		}
+		rule.Body = append(rule.Body, a)
+	}
+	if len(rule.Body) == 0 {
+		return nil, fmt.Errorf("line %d: rule body has only builtins", lineNo)
+	}
+	return rule, nil
+}
+
+// splitAtoms splits "a(x, y), b(y, z)" on top-level commas.
+func splitAtoms(s string) ([]string, error) {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ')' in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '(' in %q", s)
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+// parseAtom parses "name(term, term, ...)".
+func parseAtom(s string, lineNo int) (Atom, error) {
+	open := strings.Index(s, "(")
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return Atom{}, fmt.Errorf("line %d: malformed atom %q", lineNo, s)
+	}
+	name := strings.TrimSpace(s[:open])
+	args, err := splitAtoms(s[open+1 : len(s)-1])
+	if err != nil {
+		return Atom{}, fmt.Errorf("line %d: %v", lineNo, err)
+	}
+	atom := Atom{Rel: name}
+	if len(args) == 1 && args[0] == "" {
+		return Atom{}, fmt.Errorf("line %d: atom %s has no arguments", lineNo, name)
+	}
+	for _, a := range args {
+		t, err := parseTerm(a, lineNo)
+		if err != nil {
+			return Atom{}, err
+		}
+		atom.Terms = append(atom.Terms, t)
+	}
+	return atom, nil
+}
+
+// parseTerm parses a variable, numeric constant, or head function
+// application.
+func parseTerm(s string, lineNo int) (Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("line %d: empty term", lineNo)
+	}
+	if open := strings.Index(s, "("); open > 0 && strings.HasSuffix(s, ")") {
+		name := strings.TrimSpace(s[:open])
+		mk, ok := fnBuiltins[name]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown function %q (have add, sub, mul, fadd, fmul)", lineNo, name)
+		}
+		args, err := splitAtoms(s[open+1 : len(s)-1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("line %d: function %s needs two arguments", lineNo, name)
+		}
+		a, err := parseTerm(args[0], lineNo)
+		if err != nil {
+			return nil, err
+		}
+		b, err := parseTerm(args[1], lineNo)
+		if err != nil {
+			return nil, err
+		}
+		return mk(a, b), nil
+	}
+	c := s[0]
+	if c >= '0' && c <= '9' || c == '-' {
+		if strings.ContainsRune(s, '.') {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad float literal %q", lineNo, s)
+			}
+			return Const(math.Float64bits(f)), nil
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad integer literal %q", lineNo, s)
+		}
+		return Const(v), nil
+	}
+	if !isIdent(s) {
+		return nil, fmt.Errorf("line %d: malformed term %q", lineNo, s)
+	}
+	return Var(s), nil
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"paralagg/internal/lattice"
+)
+
+// Decl is a relation declaration.
+type Decl struct {
+	Name  string
+	Arity int
+	// Indep is the number of independent columns (== Arity for set
+	// relations).
+	Indep int
+	// Key is the canonical index's join-key length.
+	Key int
+	// Agg aggregates the dependent columns, or nil for set semantics.
+	Agg lattice.Aggregator
+}
+
+// Program is a declarative rule set over declared relations. Build it once,
+// then Instantiate it on every rank of a world.
+type Program struct {
+	decls     map[string]*Decl
+	declOrder []string
+	rules     []*Rule
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{decls: map[string]*Decl{}}
+}
+
+// DeclareSet declares a set-semantics relation with the given arity whose
+// canonical index keys on the first key columns.
+func (p *Program) DeclareSet(name string, arity, key int) error {
+	return p.declare(&Decl{Name: name, Arity: arity, Indep: arity, Key: key})
+}
+
+// DeclareAgg declares an aggregated relation: indep independent columns
+// followed by agg.Width() dependent columns merged with agg. The canonical
+// index keys on all independent columns.
+func (p *Program) DeclareAgg(name string, indep int, agg lattice.Aggregator) error {
+	if agg == nil {
+		return fmt.Errorf("core: relation %s declared with nil aggregator", name)
+	}
+	return p.declare(&Decl{Name: name, Arity: indep + agg.Width(), Indep: indep, Key: indep, Agg: agg})
+}
+
+func (p *Program) declare(d *Decl) error {
+	if d.Name == "" {
+		return fmt.Errorf("core: empty relation name")
+	}
+	if _, dup := p.decls[d.Name]; dup {
+		return fmt.Errorf("core: relation %s declared twice", d.Name)
+	}
+	if d.Arity < 1 || d.Key < 1 || d.Key > d.Indep {
+		return fmt.Errorf("core: relation %s: bad shape (arity %d, indep %d, key %d)", d.Name, d.Arity, d.Indep, d.Key)
+	}
+	p.decls[d.Name] = d
+	p.declOrder = append(p.declOrder, d.Name)
+	return nil
+}
+
+// Decl returns a declaration by name, or nil.
+func (p *Program) Decl(name string) *Decl { return p.decls[name] }
+
+// Add appends rules to the program.
+func (p *Program) Add(rules ...*Rule) { p.rules = append(p.rules, rules...) }
+
+// Rules returns the program's rules in insertion order.
+func (p *Program) Rules() []*Rule { return p.rules }
+
+// validate checks every rule against the declarations: known relations,
+// matching arities, body terms restricted to variables and constants, head
+// variables bound in the body.
+func (p *Program) validate() error {
+	for _, r := range p.rules {
+		hd, ok := p.decls[r.Head.Rel]
+		if !ok {
+			return fmt.Errorf("core: rule %s: undeclared head relation %s", r, r.Head.Rel)
+		}
+		if len(r.Head.Terms) != hd.Arity {
+			return fmt.Errorf("core: rule %s: head arity %d, declared %d", r, len(r.Head.Terms), hd.Arity)
+		}
+		if len(r.Body) == 0 {
+			return fmt.Errorf("core: rule %s: empty body", r)
+		}
+		bound := map[Var]bool{}
+		for _, a := range r.Body {
+			bd, ok := p.decls[a.Rel]
+			if !ok {
+				return fmt.Errorf("core: rule %s: undeclared body relation %s", r, a.Rel)
+			}
+			if len(a.Terms) != bd.Arity {
+				return fmt.Errorf("core: rule %s: body atom %s arity %d, declared %d", r, a.Rel, len(a.Terms), bd.Arity)
+			}
+			for _, t := range a.Terms {
+				switch tt := t.(type) {
+				case Var:
+					bound[tt] = true
+				case Const:
+				default:
+					return fmt.Errorf("core: rule %s: body atom %s contains a computed term", r, a.Rel)
+				}
+			}
+		}
+		var check func(t Term) error
+		check = func(t Term) error {
+			switch tt := t.(type) {
+			case Var:
+				if !bound[tt] {
+					return fmt.Errorf("core: rule %s: variable %s unbound in body", r, tt)
+				}
+			case Apply:
+				// Applies nest: arguments may themselves be computed.
+				for _, arg := range tt.Args {
+					if err := check(arg); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		for _, t := range r.Head.Terms {
+			if err := check(t); err != nil {
+				return err
+			}
+		}
+		for _, c := range r.Conds {
+			for _, t := range c.Args {
+				if _, isApply := t.(Apply); isApply {
+					return fmt.Errorf("core: rule %s: condition %s has a computed argument", r, c.Name)
+				}
+				if err := check(t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stratify groups rules into strata using the strongly connected components
+// of the head→body dependency graph, in topological (dependencies-first)
+// order. Rules whose heads share an SCC land in the same stratum and are
+// evaluated in one semi-naïve fixpoint.
+func (p *Program) stratify(rules []*Rule) [][]*Rule {
+	// Dependency adjacency: head relation depends on body relations.
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for _, r := range rules {
+		nodes[r.Head.Rel] = true
+		for _, a := range r.Body {
+			nodes[a.Rel] = true
+			adj[r.Head.Rel] = append(adj[r.Head.Rel], a.Rel)
+		}
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Iterative Tarjan SCC. Components are emitted dependencies-first.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var order []map[string]bool // SCCs in emission order
+	sccOf := map[string]int{}
+	next := 0
+
+	type frame struct {
+		node string
+		ci   int // child index
+	}
+	var strongconnect func(root string)
+	strongconnect = func(root string) {
+		frames := []frame{{node: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			children := adj[f.node]
+			advanced := false
+			for f.ci < len(children) {
+				ch := children[f.ci]
+				f.ci++
+				if _, seen := index[ch]; !seen {
+					index[ch] = next
+					low[ch] = next
+					next++
+					stack = append(stack, ch)
+					onStack[ch] = true
+					frames = append(frames, frame{node: ch})
+					advanced = true
+					break
+				} else if onStack[ch] {
+					if index[ch] < low[f.node] {
+						low[f.node] = index[ch]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Node finished.
+			if low[f.node] == index[f.node] {
+				comp := map[string]bool{}
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp[top] = true
+					sccOf[top] = len(order)
+					if top == f.node {
+						break
+					}
+				}
+				order = append(order, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+		}
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	// Assign rules to the stratum of their head's SCC; emit non-empty
+	// strata in SCC order.
+	byScc := make([][]*Rule, len(order))
+	for _, r := range rules {
+		s := sccOf[r.Head.Rel]
+		byScc[s] = append(byScc[s], r)
+	}
+	var strata [][]*Rule
+	for _, rs := range byScc {
+		if len(rs) > 0 {
+			strata = append(strata, rs)
+		}
+	}
+	return strata
+}
+
+// RelationNames lists every declared relation in declaration order.
+func (p *Program) RelationNames() []string {
+	return append([]string(nil), p.declOrder...)
+}

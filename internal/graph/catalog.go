@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CatalogEntry describes one named dataset: which paper input it stands in
+// for, how it is generated, and the paper-reported scale for context in the
+// experiment output.
+type CatalogEntry struct {
+	Name string
+	// Stands For / PaperEdges document the original input.
+	StandsFor  string
+	PaperEdges string
+	// Kind is the generator family: rmat, uniform, grid, prefattach.
+	Kind string
+	// Generation parameters (interpretation depends on Kind).
+	Scale, Nodes, Edges, Rows, Cols, M int
+	NX, NY, NZ                         int
+	Hubs, HubDeg                       int
+	MaxWeight                          uint64
+	Seed                               int64
+}
+
+// Build generates the entry's graph.
+func (e CatalogEntry) Build() *Graph {
+	switch e.Kind {
+	case "rmat":
+		return RMAT(e.Name, e.Scale, e.Edges, e.MaxWeight, e.Seed)
+	case "social":
+		return Social(e.Name, e.Scale, e.Edges, e.Hubs, e.HubDeg, e.MaxWeight, e.Seed)
+	case "grid3d":
+		return Grid3D(e.Name, e.NX, e.NY, e.NZ, e.MaxWeight, e.Seed)
+	case "uniform":
+		return Uniform(e.Name, e.Nodes, e.Edges, e.MaxWeight, e.Seed)
+	case "grid":
+		return Grid(e.Name, e.Rows, e.Cols, e.MaxWeight, e.Seed)
+	case "prefattach":
+		return PrefAttach(e.Name, e.Nodes, e.M, e.MaxWeight, e.Seed)
+	}
+	panic(fmt.Sprintf("graph: unknown generator kind %q", e.Kind))
+}
+
+// catalog maps the paper's evaluation inputs to deterministic synthetic
+// stand-ins. Edge counts are scaled down ~10^4× from the originals (the
+// originals need a supercomputer's memory); the *relative* ordering of
+// sizes and the skew/diameter character of each family are preserved, which
+// is what Table I, Table II, and Figures 2–7 exercise.
+var catalog = map[string]CatalogEntry{
+	// §V: Twitter-2010, 1.47B edges, extreme out-degree skew. The paper's
+	// strong-scaling and RQ1 workload.
+	"twitter-sim": {
+		Name: "twitter-sim", StandsFor: "Twitter-2010 snapshot", PaperEdges: "1.47B",
+		Kind: "social", Scale: 13, Edges: 140000, Hubs: 5, HubDeg: 12000, MaxWeight: 10, Seed: 42,
+	},
+	// Table I: SNAP graphs.
+	"livejournal-sim": {
+		Name: "livejournal-sim", StandsFor: "SNAP soc-LiveJournal1", PaperEdges: "~100M",
+		Kind: "prefattach", Nodes: 12000, M: 7, MaxWeight: 10, Seed: 7,
+	},
+	"orkut-sim": {
+		Name: "orkut-sim", StandsFor: "SNAP com-Orkut", PaperEdges: "~100M",
+		Kind: "prefattach", Nodes: 9000, M: 9, MaxWeight: 10, Seed: 11,
+	},
+	"topcats-sim": {
+		Name: "topcats-sim", StandsFor: "SNAP wiki-topcats", PaperEdges: "25M",
+		Kind: "uniform", Nodes: 5000, Edges: 20000, MaxWeight: 10, Seed: 13,
+	},
+	// Table II: SuiteSparse graphs, ordered by paper edge count.
+	"flickr-sim": {
+		Name: "flickr-sim", StandsFor: "SuiteSparse flickr", PaperEdges: "9.8M",
+		Kind: "rmat", Scale: 11, Edges: 8000, MaxWeight: 10, Seed: 17,
+	},
+	"freescale1-sim": {
+		Name: "freescale1-sim", StandsFor: "SuiteSparse Freescale1 (circuit)", PaperEdges: "19.0M",
+		Kind: "grid", Rows: 55, Cols: 70, MaxWeight: 10, Seed: 19,
+	},
+	"wiki-sim": {
+		Name: "wiki-sim", StandsFor: "SuiteSparse wikipedia", PaperEdges: "37.2M",
+		Kind: "rmat", Scale: 12, Edges: 30000, MaxWeight: 100, Seed: 23,
+	},
+	"wb-edu-sim": {
+		Name: "wb-edu-sim", StandsFor: "SuiteSparse wb-edu (web crawl)", PaperEdges: "57.2M",
+		Kind: "rmat", Scale: 13, Edges: 46000, MaxWeight: 60, Seed: 29,
+	},
+	"ml-geer-sim": {
+		Name: "ml-geer-sim", StandsFor: "SuiteSparse ML_Geer (CFD mesh)", PaperEdges: "110.8M",
+		Kind: "grid", Rows: 100, Cols: 160, MaxWeight: 10, Seed: 31,
+	},
+	"hv15r-sim": {
+		Name: "hv15r-sim", StandsFor: "SuiteSparse HV15R (CFD)", PaperEdges: "283.1M",
+		Kind: "grid3d", NX: 25, NY: 25, NZ: 35, MaxWeight: 10, Seed: 37,
+	},
+	"arabic-sim": {
+		Name: "arabic-sim", StandsFor: "SuiteSparse arabic-2005 (web crawl)", PaperEdges: "640.0M",
+		Kind: "rmat", Scale: 14, Edges: 130000, MaxWeight: 10, Seed: 41,
+	},
+	"stokes-sim": {
+		Name: "stokes-sim", StandsFor: "SuiteSparse stokes", PaperEdges: "349.3M",
+		Kind: "grid", Rows: 105, Cols: 150, MaxWeight: 10, Seed: 43,
+	},
+}
+
+// Load builds a catalog graph by name.
+func Load(name string) (*Graph, error) {
+	e, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown catalog entry %q (have %v)", name, Names())
+	}
+	return e.Build(), nil
+}
+
+// Entry returns a catalog entry's metadata.
+func Entry(name string) (CatalogEntry, bool) {
+	e, ok := catalog[name]
+	return e, ok
+}
+
+// Names lists the catalog in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableII lists the Table II graphs in the paper's row order.
+func TableII() []string {
+	return []string{
+		"flickr-sim", "freescale1-sim", "wiki-sim", "wb-edu-sim",
+		"ml-geer-sim", "hv15r-sim", "arabic-sim", "stokes-sim",
+	}
+}
+
+// TableI lists the Table I graphs in the paper's row order.
+func TableI() []string {
+	return []string{"livejournal-sim", "orkut-sim", "topcats-sim", "twitter-sim"}
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRMATDeterministicAndSkewed(t *testing.T) {
+	a := RMAT("r", 12, 20000, 1, 5)
+	b := RMAT("r", 12, 20000, 1, 5)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("nondeterministic sizes: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	if len(a.Edges) < 19000 {
+		t.Fatalf("generated only %d of 20000 edges", len(a.Edges))
+	}
+	// RMAT must be skewed: max out-degree far above the mean.
+	mean := float64(len(a.Edges)) / float64(a.Nodes)
+	if float64(a.MaxOutDegree()) < 8*mean {
+		t.Fatalf("rmat not skewed: maxdeg %d, mean %.1f", a.MaxOutDegree(), mean)
+	}
+	// No self-loops or duplicates.
+	seen := map[[2]uint64]bool{}
+	for _, e := range a.Edges {
+		if e.U == e.V {
+			t.Fatalf("self loop %v", e)
+		}
+		k := [2]uint64{e.U, e.V}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[k] = true
+	}
+}
+
+func TestUniformLowSkew(t *testing.T) {
+	g := Uniform("u", 2000, 20000, 1, 9)
+	if len(g.Edges) != 20000 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	mean := float64(len(g.Edges)) / float64(g.Nodes)
+	if float64(g.MaxOutDegree()) > 5*mean {
+		t.Fatalf("uniform too skewed: maxdeg %d, mean %.1f", g.MaxOutDegree(), mean)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid("g", 4, 5, 3, 1)
+	if g.Nodes != 20 {
+		t.Fatalf("nodes = %d", g.Nodes)
+	}
+	// 4x5 grid: horizontal 4*4=16, vertical 3*5=15, both directions.
+	if want := 2 * (16 + 15); len(g.Edges) != want {
+		t.Fatalf("edges = %d, want %d", len(g.Edges), want)
+	}
+	for _, e := range g.Edges {
+		if e.W < 1 || e.W > 3 {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+	}
+}
+
+func TestPrefAttachConnectedAndSkewed(t *testing.T) {
+	g := PrefAttach("p", 3000, 5, 1, 3)
+	if g.MaxOutDegree() > 5 {
+		t.Fatalf("out-degree exceeds m: %d", g.MaxOutDegree())
+	}
+	// In-degree skew is the point of preferential attachment.
+	in := make([]int, g.Nodes)
+	for _, e := range g.Edges {
+		in[e.V]++
+	}
+	max := 0
+	for _, d := range in {
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(len(g.Edges)) / float64(g.Nodes)
+	if float64(max) < 5*mean {
+		t.Fatalf("prefattach in-degrees not skewed: max %d, mean %.1f", max, mean)
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain("c", 10, 1, 1)
+	if len(g.Edges) != 9 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	for i, e := range g.Edges {
+		if e.U != uint64(i) || e.V != uint64(i+1) {
+			t.Fatalf("edge %d = %v", i, e)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	g := Chain("c", 100, 1, 1)
+	srcs := g.Sources(10, 5)
+	if len(srcs) != 10 {
+		t.Fatalf("sources = %d", len(srcs))
+	}
+	deg := g.OutDegrees()
+	seen := map[uint64]bool{}
+	for _, s := range srcs {
+		if seen[s] {
+			t.Fatalf("duplicate source %d", s)
+		}
+		seen[s] = true
+		if deg[s] == 0 {
+			t.Fatalf("source %d has no out-edges", s)
+		}
+	}
+	// Deterministic.
+	srcs2 := g.Sources(10, 5)
+	for i := range srcs {
+		if srcs[i] != srcs2[i] {
+			t.Fatal("sources not deterministic")
+		}
+	}
+}
+
+func TestUndirectedMirrors(t *testing.T) {
+	g := &Graph{Name: "m", Nodes: 3, MaxWeight: 1,
+		Edges: []Edge{{0, 1, 1}, {1, 0, 1}, {1, 2, 1}}}
+	und := g.Undirected()
+	if len(und) != 4 { // 0-1 both present already, plus 1-2 and 2-1
+		t.Fatalf("undirected edges = %d, want 4", len(und))
+	}
+}
+
+func TestCatalogAllEntriesBuild(t *testing.T) {
+	for _, name := range Names() {
+		g, err := Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Nodes == 0 || len(g.Edges) == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		e, ok := Entry(name)
+		if !ok || e.StandsFor == "" || e.PaperEdges == "" {
+			t.Fatalf("%s: missing stand-in metadata", name)
+		}
+	}
+}
+
+func TestCatalogTableOrders(t *testing.T) {
+	if len(TableI()) != 4 || len(TableII()) != 8 {
+		t.Fatalf("table lists: %d, %d", len(TableI()), len(TableII()))
+	}
+	for _, n := range append(TableI(), TableII()...) {
+		if _, ok := Entry(n); !ok {
+			t.Fatalf("table references unknown entry %s", n)
+		}
+	}
+}
+
+func TestCatalogUnknown(t *testing.T) {
+	if _, err := Load("nope"); err == nil {
+		t.Fatal("unknown entry loaded")
+	}
+}
+
+func TestCatalogSizeOrderingMatchesPaper(t *testing.T) {
+	// Table II's stand-ins should preserve the rough size ordering of the
+	// originals: arabic (largest) > flickr (smallest).
+	big, _ := Load("arabic-sim")
+	small, _ := Load("flickr-sim")
+	if len(big.Edges) <= len(small.Edges) {
+		t.Fatalf("size ordering inverted: arabic %d <= flickr %d", len(big.Edges), len(small.Edges))
+	}
+	tw, _ := Load("twitter-sim")
+	mean := float64(len(tw.Edges)) / float64(tw.Nodes)
+	if float64(tw.MaxOutDegree()) < 8*mean {
+		t.Fatalf("twitter-sim lacks the skew that drives Fig. 3: maxdeg %d mean %.1f",
+			tw.MaxOutDegree(), mean)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := Uniform("rt", 100, 500, 7, 21)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.Nodes != 100 || got.MaxWeight != 7 {
+		t.Fatalf("header: %s %d %d", got.Name, got.Nodes, got.MaxWeight)
+	}
+	if len(got.Edges) != len(g.Edges) {
+		t.Fatalf("edges = %d, want %d", len(got.Edges), len(g.Edges))
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != got.Edges[i] {
+			t.Fatalf("edge %d: %v vs %v", i, g.Edges[i], got.Edges[i])
+		}
+	}
+}
+
+func TestReadWeightlessEdges(t *testing.T) {
+	in := bytes.NewBufferString("# g 0 0\n1 2\n3 4\n")
+	g, err := Read(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 2 || g.Edges[0].W != 1 {
+		t.Fatalf("edges = %v", g.Edges)
+	}
+	if g.Nodes != 5 {
+		t.Fatalf("nodes grew to %d, want 5", g.Nodes)
+	}
+}
+
+func TestGrid3DShape(t *testing.T) {
+	g := Grid3D("g3", 3, 4, 5, 2, 1)
+	if g.Nodes != 60 {
+		t.Fatalf("nodes = %d", g.Nodes)
+	}
+	// Axis edges: x: 2*4*5, y: 3*3*5, z: 3*4*4 — times two directions.
+	want := 2 * (2*4*5 + 3*3*5 + 3*4*4)
+	if len(g.Edges) != want {
+		t.Fatalf("edges = %d, want %d", len(g.Edges), want)
+	}
+	// Every node should have degree <= 6.
+	for _, d := range g.OutDegrees() {
+		if d > 6 {
+			t.Fatalf("3d grid degree %d > 6", d)
+		}
+	}
+}
+
+func TestSocialHubSkew(t *testing.T) {
+	g := Social("s", 13, 40000, 3, 5000, 5, 9)
+	if g.MaxOutDegree() < 4500 {
+		t.Fatalf("hub degree %d, want ~5000", g.MaxOutDegree())
+	}
+	if len(g.Edges) < 38000 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	// No duplicates even between the RMAT part and hub edges.
+	seen := map[[2]uint64]bool{}
+	for _, e := range g.Edges {
+		k := [2]uint64{e.U, e.V}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[k] = true
+	}
+	// Deterministic.
+	g2 := Social("s", 13, 40000, 3, 5000, 5, 9)
+	if len(g2.Edges) != len(g.Edges) || g2.Edges[len(g2.Edges)-1] != g.Edges[len(g.Edges)-1] {
+		t.Fatal("social generator not deterministic")
+	}
+}

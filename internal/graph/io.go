@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Write streams the graph as a text edge list: a header line
+// "# name nodes maxweight" followed by "u v w" lines.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %s %d %d\n", g.Name, g.Nodes, g.MaxWeight); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the graph to a path.
+func (g *Graph) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a graph written by Write. Lines starting with '#' after the
+// header are skipped, so SNAP-style comments load too; nodes grows to cover
+// any endpoint seen.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &Graph{Name: "loaded", MaxWeight: 1}
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if first {
+				var name string
+				var nodes int
+				var maxw uint64
+				if n, _ := fmt.Sscanf(line, "# %s %d %d", &name, &nodes, &maxw); n == 3 {
+					g.Name, g.Nodes, g.MaxWeight = name, nodes, maxw
+				}
+				first = false
+			}
+			continue
+		}
+		first = false
+		var u, v, w uint64
+		n, err := fmt.Sscanf(line, "%d %d %d", &u, &v, &w)
+		if err != nil && n < 2 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		if n < 3 {
+			w = 1
+		}
+		g.Edges = append(g.Edges, Edge{U: u, V: v, W: w})
+		for _, x := range []uint64{u, v} {
+			if int(x) >= g.Nodes {
+				g.Nodes = int(x) + 1
+			}
+		}
+		if w > g.MaxWeight {
+			g.MaxWeight = w
+		}
+	}
+	return g, sc.Err()
+}
+
+// ReadFile loads a graph from a path.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRecordAndReportCriticalPath(t *testing.T) {
+	c := NewCollector(2)
+	m := CostModel{WorkUnitNS: 1, ByteNS: 0, MsgNS: 0}
+	// Iteration 0: rank 0 does 10 units, rank 1 does 30 in local-join.
+	c.Record(0, 0, PhaseLocalJoin, Sample{Work: 10})
+	c.Record(1, 0, PhaseLocalJoin, Sample{Work: 30})
+	// Iteration 1: balanced 20/20.
+	c.Record(0, 1, PhaseLocalJoin, Sample{Work: 20})
+	c.Record(1, 1, PhaseLocalJoin, Sample{Work: 20})
+	r := c.BuildReport(m)
+	if r.Iterations != 2 || r.Ranks != 2 {
+		t.Fatalf("iters=%d ranks=%d", r.Iterations, r.Ranks)
+	}
+	// Critical path = max(10,30) + max(20,20) = 50; sum = 80.
+	lj := r.Phases[PhaseLocalJoin]
+	if lj.CriticalNS != 50 {
+		t.Errorf("critical = %v", lj.CriticalNS)
+	}
+	if lj.SumNS != 80 {
+		t.Errorf("sum = %v", lj.SumNS)
+	}
+	if r.CriticalNS != 50 {
+		t.Errorf("total critical = %v", r.CriticalNS)
+	}
+	if r.IterCriticalNS[0][PhaseLocalJoin] != 30 || r.IterCriticalNS[1][PhaseLocalJoin] != 20 {
+		t.Errorf("iter breakdown: %v", r.IterCriticalNS)
+	}
+}
+
+func TestRecordAccumulatesWithinPhase(t *testing.T) {
+	c := NewCollector(1)
+	c.Record(0, 0, PhaseAllToAll, Sample{Bytes: 100, Msgs: 1})
+	c.Record(0, 0, PhaseAllToAll, Sample{Bytes: 50, Msgs: 2})
+	r := c.BuildReport(CostModel{ByteNS: 1, MsgNS: 10})
+	at := r.Phases[PhaseAllToAll]
+	if at.Bytes != 150 || at.Msgs != 3 {
+		t.Fatalf("bytes=%d msgs=%d", at.Bytes, at.Msgs)
+	}
+	want := 150.0 + 30.0
+	if math.Abs(at.CriticalNS-want) > 1e-9 {
+		t.Fatalf("critical = %v, want %v", at.CriticalNS, want)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{WorkUnitNS: 2, ByteNS: 0.5, MsgNS: 1000}
+	got := m.Cost(Sample{Work: 10, Bytes: 100, Msgs: 2})
+	want := 20 + 50 + 2000.0
+	if got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestTimerProducesCPU(t *testing.T) {
+	tm := StartTimer()
+	time.Sleep(time.Millisecond)
+	s := tm.Done(5, 6, 7)
+	if s.Work != 5 || s.Bytes != 6 || s.Msgs != 7 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.CPU < 500*time.Microsecond {
+		t.Fatalf("CPU = %v, expected >= ~1ms", s.CPU)
+	}
+}
+
+func TestIterationsRaggedRanks(t *testing.T) {
+	c := NewCollector(3)
+	c.Record(0, 0, PhaseLocalJoin, Sample{Work: 1})
+	c.Record(2, 4, PhaseLocalJoin, Sample{Work: 1})
+	if c.Iterations() != 5 {
+		t.Fatalf("Iterations = %d", c.Iterations())
+	}
+	// Ranks with fewer recorded iterations contribute zero to later ones.
+	r := c.BuildReport(CostModel{WorkUnitNS: 1})
+	if r.Phases[PhaseLocalJoin].CriticalNS != 2 {
+		t.Fatalf("critical = %v", r.Phases[PhaseLocalJoin].CriticalNS)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	got := CDF([]int{5, 1, 3})
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CDF = %v", got)
+		}
+	}
+	// Input must not be mutated.
+	in := []int{9, 2}
+	CDF(in)
+	if in[0] != 9 {
+		t.Fatal("CDF mutated input")
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	if got := ImbalanceRatio([]int{10, 100, 50}); got != 10 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := ImbalanceRatio([]int{0, 7}); got != 7 {
+		t.Fatalf("zero-clamped ratio = %v", got)
+	}
+	if got := ImbalanceRatio(nil); got != 1 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseLocalJoin.String() != "local-join" {
+		t.Error("phase name wrong")
+	}
+	if Phase(99).String() != "phase(99)" {
+		t.Error("unknown phase name wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := NewCollector(1)
+	c.Record(0, 0, PhaseLocalJoin, Sample{Work: 100})
+	s := c.BuildReport(DefaultCostModel).String()
+	if len(s) == 0 {
+		t.Fatal("empty report string")
+	}
+}

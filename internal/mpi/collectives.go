@@ -1,0 +1,252 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// collSlot synchronizes one collective operation at a time across all ranks
+// of a world. Collectives are matched by arrival order, exactly as in MPI:
+// every rank must call the same collective in the same sequence. The slot is
+// generation-counted so consecutive collectives reuse it safely.
+type collSlot struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     uint64
+	arrived int
+	kind    string
+	contrib []interface{}
+	result  interface{}
+}
+
+func (s *collSlot) init(size int) {
+	s.cond = sync.NewCond(&s.mu)
+	s.contrib = make([]interface{}, size)
+}
+
+// run deposits rank's contribution and blocks until all ranks of the world
+// have arrived; the last arrival computes the shared result with complete
+// and wakes everyone. The same result value is returned to every rank.
+func (s *collSlot) run(size, rank int, kind string, contribution interface{}, complete func(contribs []interface{}) interface{}) interface{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.arrived == 0 {
+		s.kind = kind
+	} else if s.kind != kind {
+		panic(fmt.Sprintf("mpi: collective mismatch: rank %d called %s while %s in progress", rank, kind, s.kind))
+	}
+	if s.contrib[rank] != nil {
+		panic(fmt.Sprintf("mpi: rank %d called %s twice in one collective generation", rank, kind))
+	}
+	s.contrib[rank] = contribution
+	s.arrived++
+	if s.arrived == size {
+		s.result = complete(s.contrib)
+		for i := range s.contrib {
+			s.contrib[i] = nil
+		}
+		s.arrived = 0
+		s.gen++
+		s.cond.Broadcast()
+		return s.result
+	}
+	myGen := s.gen
+	for s.gen == myGen {
+		s.cond.Wait()
+	}
+	return s.result
+}
+
+// nonNil wraps a contribution so the double-arrival check works even for
+// nil payloads (e.g. Barrier).
+type unit struct{}
+
+// Barrier blocks until every rank in the world has called it.
+func (c *Comm) Barrier() {
+	c.world.stats.addCollective(c.rank, "barrier", 0)
+	c.world.coll.run(c.world.size, c.rank, "barrier", unit{}, func([]interface{}) interface{} { return unit{} })
+}
+
+// ReduceOp is a binary reduction used by Allreduce.
+type ReduceOp int
+
+// The reduction operators the runtime supports, mirroring MPI_SUM and
+// friends.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b uint64) uint64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("mpi: unknown reduce op %d", int(op)))
+}
+
+// Allreduce combines one word from each rank with op and returns the result
+// to all ranks. This is the paper's join-order voting primitive
+// (Algorithm 1): a single small word per rank, latency-bound.
+func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
+	c.world.stats.addCollective(c.rank, "allreduce", WordBytes)
+	res := c.world.coll.run(c.world.size, c.rank, "allreduce", v, func(contribs []interface{}) interface{} {
+		acc := contribs[0].(uint64)
+		for _, x := range contribs[1:] {
+			acc = op.apply(acc, x.(uint64))
+		}
+		return acc
+	})
+	return res.(uint64)
+}
+
+// Allgather collects one word from each rank and returns the full vector,
+// indexed by rank, to every rank.
+func (c *Comm) Allgather(v uint64) []uint64 {
+	c.world.stats.addCollective(c.rank, "allgather", WordBytes)
+	res := c.world.coll.run(c.world.size, c.rank, "allgather", v, func(contribs []interface{}) interface{} {
+		out := make([]uint64, len(contribs))
+		for i, x := range contribs {
+			out[i] = x.(uint64)
+		}
+		return out
+	})
+	return res.([]uint64)
+}
+
+// Bcast distributes root's words to every rank. Non-root ranks pass nil.
+// Every rank receives a private copy.
+func (c *Comm) Bcast(root int, words []Word) []Word {
+	kind := "bcast"
+	var contribution interface{} = unit{}
+	if c.rank == root {
+		contribution = words
+		c.world.stats.addCollective(c.rank, kind, len(words)*WordBytes*(c.world.size-1))
+	} else {
+		c.world.stats.addCollective(c.rank, kind, 0)
+	}
+	res := c.world.coll.run(c.world.size, c.rank, kind, contribution, func(contribs []interface{}) interface{} {
+		w, ok := contribs[root].([]Word)
+		if !ok {
+			panic("mpi: Bcast root passed no data")
+		}
+		// Snapshot the payload: the root regains ownership of its slice as
+		// soon as it returns, so the slot must hold the "on the wire" copy.
+		cp := make([]Word, len(w))
+		copy(cp, w)
+		return cp
+	})
+	shared := res.([]Word)
+	if c.rank == root {
+		return words
+	}
+	cp := make([]Word, len(shared))
+	copy(cp, shared)
+	return cp
+}
+
+// Alltoallv performs the personalized all-to-all exchange at the heart of
+// tuple redistribution: send[j] goes to rank j; the return value's entry i
+// holds the words received from rank i. The diagonal (self) transfer is
+// local and not metered. Received slices are private copies.
+func (c *Comm) Alltoallv(send [][]Word) [][]Word {
+	if len(send) != c.world.size {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d destination slots in world of %d", len(send), c.world.size))
+	}
+	bytes := 0
+	for j, s := range send {
+		if j != c.rank {
+			bytes += len(s) * WordBytes
+		}
+	}
+	c.world.stats.addCollective(c.rank, "alltoallv", bytes)
+	res := c.world.coll.run(c.world.size, c.rank, "alltoallv", send, func(contribs []interface{}) interface{} {
+		// Snapshot every off-diagonal payload at the synchronization point:
+		// senders regain ownership of their buffers as soon as they return,
+		// so the slot must hold "on the wire" copies. Each off-diagonal
+		// entry is read by exactly one receiver, so these copies can be
+		// handed out without further copying.
+		matrix := make([][][]Word, len(contribs))
+		for i, x := range contribs {
+			row := x.([][]Word)
+			cp := make([][]Word, len(row))
+			for j, s := range row {
+				if i == j {
+					cp[j] = row[j] // local hand-off, owner on both ends
+					continue
+				}
+				c := make([]Word, len(s))
+				copy(c, s)
+				cp[j] = c
+			}
+			matrix[i] = cp
+		}
+		return matrix
+	})
+	matrix := res.([][][]Word)
+	recv := make([][]Word, c.world.size)
+	for i := 0; i < c.world.size; i++ {
+		recv[i] = matrix[i][c.rank]
+	}
+	return recv
+}
+
+// AllgatherV collects a variable-length word vector from each rank and
+// returns all of them, indexed by rank, to every rank. It implements the
+// paper's outer-relation replication within a bucket when sub-bucket groups
+// span the whole world.
+func (c *Comm) AllgatherV(words []Word) [][]Word {
+	c.world.stats.addCollective(c.rank, "allgatherv", len(words)*WordBytes*(c.world.size-1))
+	res := c.world.coll.run(c.world.size, c.rank, "allgatherv", words, func(contribs []interface{}) interface{} {
+		// Snapshot each contribution (see Alltoallv): the owner may reuse
+		// its buffer immediately after returning.
+		out := make([][]Word, len(contribs))
+		for i, x := range contribs {
+			s := x.([]Word)
+			cp := make([]Word, len(s))
+			copy(cp, s)
+			out[i] = cp
+		}
+		return out
+	})
+	shared := res.([][]Word)
+	out := make([][]Word, len(shared))
+	for i, s := range shared {
+		if i == c.rank {
+			out[i] = words
+			continue
+		}
+		cp := make([]Word, len(s))
+		copy(cp, s)
+		out[i] = cp
+	}
+	return out
+}
+
+// Gather collects one word from each rank at root. Non-root ranks receive
+// nil.
+func (c *Comm) Gather(root int, v uint64) []uint64 {
+	c.world.stats.addCollective(c.rank, "gather", WordBytes)
+	res := c.world.coll.run(c.world.size, c.rank, "gather", v, func(contribs []interface{}) interface{} {
+		out := make([]uint64, len(contribs))
+		for i, x := range contribs {
+			out[i] = x.(uint64)
+		}
+		return out
+	})
+	if c.rank != root {
+		return nil
+	}
+	return res.([]uint64)
+}

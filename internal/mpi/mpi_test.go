@@ -1,0 +1,465 @@
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunSpawnsAllRanks(t *testing.T) {
+	w := NewWorld(8)
+	var mask uint64
+	err := w.Run(func(c *Comm) error {
+		atomic.OrUint64(&mask, 1<<uint(c.Rank()))
+		if c.Size() != 8 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != 0xff {
+		t.Fatalf("rank mask = %#x, want 0xff", mask)
+	}
+}
+
+func TestRunReturnsFirstError(t *testing.T) {
+	w := NewWorld(4)
+	boom := errors.New("rank 2 failed")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []Word{10, 20, 30})
+			return nil
+		}
+		words, from := c.Recv(0, 7)
+		if from != 0 {
+			t.Errorf("from = %d", from)
+		}
+		if len(words) != 3 || words[2] != 30 {
+			t.Errorf("words = %v", words)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []Word{1}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the in-flight message
+			c.Barrier()
+			return nil
+		}
+		c.Barrier()
+		words, _ := c.Recv(0, 0)
+		if words[0] != 1 {
+			t.Errorf("payload mutated in flight: %v", words)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvMatchesTag(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []Word{111})
+			c.Send(1, 2, []Word{222})
+			return nil
+		}
+		// Receive out of send order: tag 2 first.
+		w2, _ := c.Recv(0, 2)
+		w1, _ := c.Recv(0, 1)
+		if w2[0] != 222 || w1[0] != 111 {
+			t.Errorf("tag matching broken: %v %v", w1, w2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			c.Send(0, 5, []Word{Word(c.Rank())})
+			return nil
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			words, from := c.Recv(AnySource, 5)
+			if int(words[0]) != from {
+				t.Errorf("payload %v does not match source %d", words, from)
+			}
+			seen[from] = true
+		}
+		if !seen[1] || !seen[2] {
+			t.Errorf("sources seen: %v", seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvTuplesFraming(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendTuples(1, 3, 2, []Word{1, 2, 3, 4})
+			return nil
+		}
+		arity, words, from := c.RecvTuples(0, 3)
+		if arity != 2 || from != 0 || len(words) != 4 {
+			t.Errorf("arity=%d from=%d words=%v", arity, from, words)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	w := NewWorld(4)
+	var before, after int32
+	err := w.Run(func(c *Comm) error {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&before) != 4 {
+			t.Errorf("barrier released before all ranks arrived")
+		}
+		atomic.AddInt32(&after, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 4 {
+		t.Fatalf("after = %d", after)
+	}
+}
+
+func TestAllreduceOps(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		v := uint64(c.Rank() + 1) // 1..5
+		if got := c.Allreduce(v, OpSum); got != 15 {
+			t.Errorf("sum = %d", got)
+		}
+		if got := c.Allreduce(v, OpMax); got != 5 {
+			t.Errorf("max = %d", got)
+		}
+		if got := c.Allreduce(v, OpMin); got != 1 {
+			t.Errorf("min = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		got := c.Allgather(uint64(c.Rank() * 10))
+		for i, v := range got {
+			if v != uint64(i*10) {
+				t.Errorf("rank %d: allgather[%d] = %d", c.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		var in []Word
+		if c.Rank() == 2 {
+			in = []Word{7, 8, 9}
+		}
+		out := c.Bcast(2, in)
+		if len(out) != 3 || out[0] != 7 || out[2] != 9 {
+			t.Errorf("rank %d: bcast = %v", c.Rank(), out)
+		}
+		// Mutating the received copy must not affect other ranks.
+		out[0] = Word(c.Rank())
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		send := make([][]Word, n)
+		for j := 0; j < n; j++ {
+			// rank r sends j copies of value r*100+j to rank j
+			for k := 0; k < j; k++ {
+				send[j] = append(send[j], Word(c.Rank()*100+j))
+			}
+		}
+		recv := c.Alltoallv(send)
+		for i := 0; i < n; i++ {
+			want := c.Rank() // we receive c.Rank() words from each rank
+			if len(recv[i]) != want {
+				t.Errorf("rank %d: recv[%d] has %d words, want %d", c.Rank(), i, len(recv[i]), want)
+			}
+			for _, v := range recv[i] {
+				if v != Word(i*100+c.Rank()) {
+					t.Errorf("rank %d: recv[%d] value %d", c.Rank(), i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherV(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		mine := make([]Word, c.Rank()+1)
+		for i := range mine {
+			mine[i] = Word(c.Rank())
+		}
+		all := c.AllgatherV(mine)
+		for i, s := range all {
+			if len(s) != i+1 {
+				t.Errorf("rank %d: all[%d] len %d", c.Rank(), i, len(s))
+			}
+			for _, v := range s {
+				if v != Word(i) {
+					t.Errorf("rank %d: all[%d] value %d", c.Rank(), i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		got := c.Gather(1, uint64(c.Rank()+100))
+		if c.Rank() != 1 {
+			if got != nil {
+				t.Errorf("non-root got %v", got)
+			}
+			return nil
+		}
+		for i, v := range got {
+			if v != uint64(i+100) {
+				t.Errorf("gather[%d] = %d", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveCollectives(t *testing.T) {
+	// Stress generation reuse: many collectives back to back with ranks
+	// racing ahead.
+	w := NewWorld(6)
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < 200; i++ {
+			got := c.Allreduce(uint64(i), OpMax)
+			if got != uint64(i) {
+				t.Errorf("iter %d: %d", i, got)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsMeterP2PAndCollectives(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []Word{1, 2, 3}) // 24 bytes
+			c.Send(0, 0, []Word{9})       // self-send: not metered
+			c.Recv(0, 0)
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Barrier()
+		c.Allreduce(1, OpSum)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := w.Stats().Snapshot()
+	if tot.P2PMessages != 1 || tot.P2PBytes != 24 {
+		t.Errorf("p2p totals = %+v", tot)
+	}
+	// 2 ranks × (1 barrier + 1 allreduce) = 4 collective calls.
+	if tot.CollectiveCalls != 4 {
+		t.Errorf("collective calls = %d", tot.CollectiveCalls)
+	}
+	if tot.CollectiveBytes != 2*WordBytes {
+		t.Errorf("collective bytes = %d", tot.CollectiveBytes)
+	}
+	per := w.Stats().PerRank()
+	if per[1].P2PMessages != 0 {
+		t.Errorf("rank 1 sent nothing but has %d messages", per[1].P2PMessages)
+	}
+}
+
+func TestTotalsArithmetic(t *testing.T) {
+	a := Totals{P2PMessages: 3, P2PBytes: 100, CollectiveCalls: 2, CollectiveBytes: 16}
+	b := Totals{P2PMessages: 1, P2PBytes: 40, CollectiveCalls: 1, CollectiveBytes: 8}
+	d := a.Sub(b)
+	if d.P2PMessages != 2 || d.P2PBytes != 60 || d.CollectiveCalls != 1 || d.CollectiveBytes != 8 {
+		t.Errorf("Sub = %+v", d)
+	}
+	s := d.Add(b)
+	if s != a {
+		t.Errorf("Add = %+v, want %+v", s, a)
+	}
+	if a.Bytes() != 116 {
+		t.Errorf("Bytes = %d", a.Bytes())
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestIsendIrecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 4, []Word{42})
+			if !req.Done() {
+				t.Error("Isend not immediately complete")
+			}
+			req.Wait()
+			return nil
+		}
+		req := c.Irecv(0, 4)
+		words, from := req.Wait()
+		if from != 0 || len(words) != 1 || words[0] != 42 {
+			t.Errorf("irecv got %v from %d", words, from)
+		}
+		if !req.Done() {
+			t.Error("request not done after Wait")
+		}
+		// Wait must be re-callable.
+		again, _ := req.Wait()
+		if again[0] != 42 {
+			t.Error("second Wait lost payload")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllGathersMultipleReceives(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			c.Send(0, 9, []Word{Word(c.Rank() * 11)})
+			return nil
+		}
+		reqs := make([]*Request, n-1)
+		for i := 1; i < n; i++ {
+			reqs[i-1] = c.Irecv(i, 9)
+		}
+		WaitAll(reqs...)
+		for i, r := range reqs {
+			words, from := r.Wait()
+			if from != i+1 || words[0] != Word((i+1)*11) {
+				t.Errorf("req %d: %v from %d", i, words, from)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvAnySourceConcurrent(t *testing.T) {
+	// Several outstanding AnySource receives must each claim a distinct
+	// message.
+	const n = 6
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			c.Send(0, 2, []Word{Word(c.Rank())})
+			return nil
+		}
+		reqs := make([]*Request, n-1)
+		for i := range reqs {
+			reqs[i] = c.Irecv(AnySource, 2)
+		}
+		WaitAll(reqs...)
+		seen := map[Word]bool{}
+		for _, r := range reqs {
+			words, _ := r.Wait()
+			if seen[words[0]] {
+				t.Errorf("message %v delivered twice", words)
+			}
+			seen[words[0]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

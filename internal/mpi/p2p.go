@@ -1,0 +1,95 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point transfer in flight.
+type message struct {
+	src   int
+	tag   int
+	words []Word
+}
+
+// mailbox is a rank's unbounded incoming message queue. Sends append and
+// never block (matching buffered MPI_Isend); receives scan for the first
+// message matching (src, tag) and block until one arrives.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.q = append(m.q, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first queued message from src with tag.
+// src may be AnySource.
+func (m *mailbox) take(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.q {
+			if (src == AnySource || msg.src == src) && msg.tag == tag {
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// AnySource matches a receive against any sender, like MPI_ANY_SOURCE.
+const AnySource = -1
+
+// Send transmits words to dest with the given tag. It does not block: the
+// runtime buffers the message (the MPI_Isend discipline the paper's
+// intra-bucket communication relies on). The words slice is copied, so the
+// caller may immediately reuse it.
+func (c *Comm) Send(dest, tag int, words []Word) {
+	if dest < 0 || dest >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", dest, c.world.size))
+	}
+	cp := make([]Word, len(words))
+	copy(cp, words)
+	c.world.stats.addP2P(c.rank, dest, len(cp)*WordBytes)
+	c.world.boxes[dest].put(message{src: c.rank, tag: tag, words: cp})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Pass AnySource to match any sender; the actual
+// sender is returned alongside the payload.
+func (c *Comm) Recv(src, tag int) (words []Word, from int) {
+	msg := c.world.boxes[c.rank].take(src, tag)
+	return msg.words, msg.src
+}
+
+// SendTuples is Send for callers holding a tuple buffer: it transmits the
+// arity followed by the flat words, preserving self-describing framing.
+func (c *Comm) SendTuples(dest, tag, arity int, words []Word) {
+	framed := make([]Word, 0, len(words)+1)
+	framed = append(framed, Word(arity))
+	framed = append(framed, words...)
+	c.Send(dest, tag, framed)
+}
+
+// RecvTuples receives a buffer sent with SendTuples and returns its arity
+// and words.
+func (c *Comm) RecvTuples(src, tag int) (arity int, words []Word, from int) {
+	framed, from := c.Recv(src, tag)
+	if len(framed) == 0 {
+		panic("mpi: RecvTuples got unframed empty message")
+	}
+	return int(framed[0]), framed[1:], from
+}

@@ -1,0 +1,58 @@
+package mpi
+
+// Request is a handle on a nonblocking operation, mirroring MPI_Request.
+// Sends complete immediately (the runtime buffers them, like a buffered
+// MPI_Isend); receives complete when a matching message arrives.
+type Request struct {
+	done  chan struct{}
+	words []Word
+	from  int
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload and source (both zero-valued for sends). Wait may be called more
+// than once.
+func (r *Request) Wait() (words []Word, from int) {
+	<-r.done
+	return r.words, r.from
+}
+
+// Done reports whether the operation has completed without blocking.
+func (r *Request) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a nonblocking send. The runtime buffers the payload, so the
+// returned request is already complete; it exists so code ported from MPI
+// keeps its Isend/Wait shape.
+func (c *Comm) Isend(dest, tag int, words []Word) *Request {
+	c.Send(dest, tag, words)
+	r := &Request{done: make(chan struct{})}
+	close(r.done)
+	return r
+}
+
+// Irecv starts a nonblocking receive for a message from src (or AnySource)
+// with the given tag.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		msg := c.world.boxes[c.rank].take(src, tag)
+		r.words = msg.words
+		r.from = msg.src
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll blocks until every request completes.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		<-r.done
+	}
+}

@@ -1,0 +1,119 @@
+package mpi
+
+import "sync"
+
+// Stats meters every transfer in a world. Counters are per sending rank so
+// that imbalance is visible; Totals sums them. The meter distinguishes
+// point-to-point traffic from each collective kind because the cost model
+// charges latency per collective and bandwidth per byte.
+type Stats struct {
+	mu    sync.Mutex
+	ranks []RankStats
+}
+
+// RankStats is one rank's outbound communication tally.
+type RankStats struct {
+	P2PMessages int
+	P2PBytes    int
+	Collectives map[string]CollectiveStats
+}
+
+// CollectiveStats counts one collective kind's calls and payload bytes for a
+// rank.
+type CollectiveStats struct {
+	Calls int
+	Bytes int
+}
+
+func newStats(size int) *Stats {
+	s := &Stats{ranks: make([]RankStats, size)}
+	for i := range s.ranks {
+		s.ranks[i].Collectives = make(map[string]CollectiveStats)
+	}
+	return s
+}
+
+func (s *Stats) addP2P(src, dest, bytes int) {
+	if src == dest {
+		return // local hand-off, never touches the wire
+	}
+	s.mu.Lock()
+	s.ranks[src].P2PMessages++
+	s.ranks[src].P2PBytes += bytes
+	s.mu.Unlock()
+}
+
+func (s *Stats) addCollective(rank int, kind string, bytes int) {
+	s.mu.Lock()
+	cs := s.ranks[rank].Collectives[kind]
+	cs.Calls++
+	cs.Bytes += bytes
+	s.ranks[rank].Collectives[kind] = cs
+	s.mu.Unlock()
+}
+
+// Totals is a point-in-time aggregate of all ranks' counters.
+type Totals struct {
+	P2PMessages     int
+	P2PBytes        int
+	CollectiveCalls int
+	CollectiveBytes int
+}
+
+// Snapshot sums all ranks' counters. Callers diff two snapshots to meter a
+// phase.
+func (s *Stats) Snapshot() Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t Totals
+	for i := range s.ranks {
+		t.P2PMessages += s.ranks[i].P2PMessages
+		t.P2PBytes += s.ranks[i].P2PBytes
+		for _, cs := range s.ranks[i].Collectives {
+			t.CollectiveCalls += cs.Calls
+			t.CollectiveBytes += cs.Bytes
+		}
+	}
+	return t
+}
+
+// Sub returns t - u fieldwise.
+func (t Totals) Sub(u Totals) Totals {
+	return Totals{
+		P2PMessages:     t.P2PMessages - u.P2PMessages,
+		P2PBytes:        t.P2PBytes - u.P2PBytes,
+		CollectiveCalls: t.CollectiveCalls - u.CollectiveCalls,
+		CollectiveBytes: t.CollectiveBytes - u.CollectiveBytes,
+	}
+}
+
+// Add returns t + u fieldwise.
+func (t Totals) Add(u Totals) Totals {
+	return Totals{
+		P2PMessages:     t.P2PMessages + u.P2PMessages,
+		P2PBytes:        t.P2PBytes + u.P2PBytes,
+		CollectiveCalls: t.CollectiveCalls + u.CollectiveCalls,
+		CollectiveBytes: t.CollectiveBytes + u.CollectiveBytes,
+	}
+}
+
+// Bytes returns the total payload bytes across P2P and collectives.
+func (t Totals) Bytes() int { return t.P2PBytes + t.CollectiveBytes }
+
+// PerRank returns a copy of the per-rank tallies, indexed by rank.
+func (s *Stats) PerRank() []RankStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RankStats, len(s.ranks))
+	for i := range s.ranks {
+		out[i] = RankStats{
+			P2PMessages: s.ranks[i].P2PMessages,
+			P2PBytes:    s.ranks[i].P2PBytes,
+			Collectives: make(map[string]CollectiveStats, len(s.ranks[i].Collectives)),
+		}
+		for k, v := range s.ranks[i].Collectives {
+			out[i].Collectives[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package mpi provides a pure-Go SPMD message-passing runtime that stands in
+// for MPI in this reproduction. Ranks are goroutines spawned by World.Run;
+// they communicate through point-to-point sends/receives and the collectives
+// the paper's algorithms use (Barrier, Allreduce, Alltoallv, Allgather,
+// Bcast, Gather). Every transfer is metered so that higher layers can report
+// communication volume — the quantity the paper's optimizations target.
+//
+// The runtime is deliberately faithful to MPI's restrictions: only flat
+// word buffers travel between ranks, collectives must be called by every
+// rank of the communicator in the same order, and received buffers are
+// private copies (as if they had crossed a network).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Word is the unit of data movement: one 64-bit column value. It matches
+// the tuple column type so relation buffers transmit without conversion.
+type Word = uint64
+
+// WordBytes is the wire size of one Word.
+const WordBytes = 8
+
+// World is a group of ranks that can communicate. It corresponds to
+// MPI_COMM_WORLD: create one per program run, then Run an SPMD body on it.
+type World struct {
+	size  int
+	boxes []*mailbox
+	coll  collSlot
+	stats *Stats
+}
+
+// NewWorld creates a world with the given number of ranks. Size must be at
+// least 1.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: world size %d < 1", size))
+	}
+	w := &World{
+		size:  size,
+		boxes: make([]*mailbox, size),
+		stats: newStats(size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.coll.init(size)
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the world's communication meter. It is valid to read after
+// Run returns; snapshots may also be taken mid-run by the ranks themselves.
+func (w *World) Stats() *Stats { return w.stats }
+
+// Run executes body once per rank, each on its own goroutine, and waits for
+// all of them to finish. It returns the first non-nil error any rank
+// returned (by lowest rank number). A panicking rank propagates its panic
+// after all other ranks have been given a chance to finish or deadlock is
+// detected by the Go runtime.
+func (w *World) Run(body func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's handle on the world: the receiver for all
+// communication operations. A Comm is only valid on the goroutine Run
+// created it for.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Stats returns the shared communication meter.
+func (c *Comm) Stats() *Stats { return c.world.stats }

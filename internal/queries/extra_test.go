@@ -1,0 +1,122 @@
+package queries
+
+import (
+	"fmt"
+	"testing"
+
+	"paralagg"
+	"paralagg/internal/graph"
+)
+
+func TestWidestPathMatchesReference(t *testing.T) {
+	g := graph.Uniform("t", 80, 500, 20, 31)
+	sources := g.Sources(3, 2)
+	want := map[[2]uint64]uint64{}
+	reach := 0
+	for _, s := range sources {
+		for n, c := range RefWidestPath(g, s) {
+			want[[2]uint64{s, n}] = c
+			reach++
+		}
+	}
+	res, err := paralagg.Exec(WidestPathProgram(), paralagg.Config{Ranks: 4},
+		func(rk *paralagg.Rank) error {
+			if err := rk.LoadShare("edge", len(g.Edges), func(i int, emit func(paralagg.Tuple)) {
+				e := g.Edges[i]
+				emit(paralagg.Tuple{e.U, e.V, e.W})
+			}); err != nil {
+				return err
+			}
+			return rk.LoadShare("wp", len(sources), func(i int, emit func(paralagg.Tuple)) {
+				emit(paralagg.Tuple{sources[i], sources[i], infCapacity})
+			})
+		},
+		func(rk *paralagg.Rank) error {
+			var wrong uint64
+			rk.Each("wp", func(tt paralagg.Tuple) {
+				if want[[2]uint64{tt[0], tt[1]}] != tt[2] {
+					wrong++
+				}
+			})
+			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
+				return fmt.Errorf("%d wrong capacities", w)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["wp"] != uint64(reach) {
+		t.Fatalf("reached %d, want %d", res.Counts["wp"], reach)
+	}
+}
+
+func TestReachLabelsMatchesReference(t *testing.T) {
+	g := graph.Uniform("t", 120, 300, 1, 35)
+	sources := g.Sources(6, 11)
+	want := RefReachLabels(g, sources)
+	_, err := paralagg.Exec(ReachLabelsProgram(), paralagg.Config{Ranks: 5, Subs: 2},
+		func(rk *paralagg.Rank) error {
+			if err := rk.LoadShare("edge", len(g.Edges), func(i int, emit func(paralagg.Tuple)) {
+				emit(paralagg.Tuple{g.Edges[i].U, g.Edges[i].V})
+			}); err != nil {
+				return err
+			}
+			return rk.LoadShare("lab", len(sources), func(i int, emit func(paralagg.Tuple)) {
+				emit(paralagg.Tuple{sources[i], 1 << uint(i)})
+			})
+		},
+		func(rk *paralagg.Rank) error {
+			var wrong, count uint64
+			rk.Each("lab", func(tt paralagg.Tuple) {
+				count++
+				if want[tt[0]] != tt[1] {
+					wrong++
+				}
+			})
+			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
+				return fmt.Errorf("%d wrong label masks", w)
+			}
+			if c := rk.Reduce(count, paralagg.OpSum); c != uint64(len(want)) {
+				return fmt.Errorf("labeled %d nodes, want %d", c, len(want))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	g := graph.Uniform("t", 40, 300, 1, 17)
+	want := RefTriangleCount(g)
+	if want == 0 {
+		t.Fatal("test graph has no triangles; pick a denser seed")
+	}
+	got, err := RunTriangleCount(g, paralagg.Config{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+}
+
+func TestRunWidestPathHelper(t *testing.T) {
+	g := graph.Uniform("t", 30, 120, 9, 5)
+	sources := g.Sources(2, 3)
+	res, err := RunWidestPath(g, sources, paralagg.Config{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["wp"] == 0 {
+		t.Fatal("widest path reached nothing")
+	}
+	res2, err := RunReachLabels(g, sources, paralagg.Config{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counts["lab"] == 0 {
+		t.Fatal("labels reached nothing")
+	}
+}

@@ -1,0 +1,264 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"paralagg"
+	"paralagg/internal/graph"
+)
+
+func TestSSSPMatchesDijkstraMultiSource(t *testing.T) {
+	g := graph.Uniform("t", 150, 900, 8, 3)
+	sources := g.Sources(5, 10)
+	want, wantPairs := RefSSSPMulti(g, sources)
+
+	res, err := paralagg.Exec(SSSPProgram(), paralagg.Config{Ranks: 4},
+		func(rk *paralagg.Rank) error { return LoadSSSP(rk, g, sources) },
+		func(rk *paralagg.Rank) error {
+			var wrong, count uint64
+			rk.Each("spath", func(tt paralagg.Tuple) {
+				count++
+				if d, ok := want[[2]uint64{tt[0], tt[1]}]; !ok || d != tt[2] {
+					wrong++
+				}
+			})
+			w := rk.Reduce(wrong, paralagg.OpSum)
+			c := rk.Reduce(count, paralagg.OpSum)
+			if w != 0 {
+				return fmt.Errorf("%d wrong distances", w)
+			}
+			if c != uint64(wantPairs) {
+				return fmt.Errorf("pairs %d, want %d", c, wantPairs)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["spath"] != uint64(wantPairs) {
+		t.Fatalf("spath count %d, want %d", res.Counts["spath"], wantPairs)
+	}
+}
+
+func TestSSSPOnSkewedCatalogGraph(t *testing.T) {
+	g, err := graph.Load("flickr-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := g.Sources(3, 1)
+	_, wantPairs := RefSSSPMulti(g, sources)
+	for _, subs := range []int{1, 8} {
+		res, err := RunSSSP(g, sources, paralagg.Config{Ranks: 8, Subs: subs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts["spath"] != uint64(wantPairs) {
+			t.Fatalf("subs=%d: pairs %d, want %d", subs, res.Counts["spath"], wantPairs)
+		}
+	}
+}
+
+func TestCCMatchesUnionFind(t *testing.T) {
+	g := graph.Uniform("t", 300, 360, 1, 5)
+	want := RefCC(g)
+	res, err := paralagg.Exec(CCProgram(), paralagg.Config{Ranks: 4},
+		func(rk *paralagg.Rank) error { return LoadCC(rk, g) },
+		func(rk *paralagg.Rank) error {
+			var wrong uint64
+			rk.Each("cc", func(tt paralagg.Tuple) {
+				if want[tt[0]] != tt[1] {
+					wrong++
+				}
+			})
+			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
+				return fmt.Errorf("%d wrong labels", w)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["cc"] != uint64(g.Nodes) {
+		t.Fatalf("cc count %d, want %d", res.Counts["cc"], g.Nodes)
+	}
+	if got := RefComponents(g); got < 1 {
+		t.Fatalf("components = %d", got)
+	}
+}
+
+func TestTCMatchesClosureSize(t *testing.T) {
+	g := graph.Uniform("t", 70, 200, 1, 7)
+	want := RefClosureSize(g)
+	res, err := paralagg.Exec(TCProgram(), paralagg.Config{Ranks: 3},
+		func(rk *paralagg.Rank) error { return LoadTC(rk, g) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["path"] != uint64(want) {
+		t.Fatalf("closure %d, want %d", res.Counts["path"], want)
+	}
+}
+
+func TestPageRankMatchesPowerIteration(t *testing.T) {
+	g := graph.PrefAttach("t", 200, 4, 1, 9)
+	// Remove dangling nodes' absence problem: PrefAttach node 0 has no
+	// out-edges; RefPageRank replicates the same dropped-mass semantics, so
+	// the comparison is still exact.
+	const iters = 12
+	want := RefPageRank(g, iters, 0.85)
+
+	var maxErr float64
+	_, err := paralagg.Exec(PageRankProgram(iters, g.Nodes, 0.85), paralagg.Config{Ranks: 4},
+		func(rk *paralagg.Rank) error { return LoadPageRank(rk, g) },
+		func(rk *paralagg.Rank) error {
+			var localMax float64
+			rk.Each("pr", func(tt paralagg.Tuple) {
+				if tt[0] != iters {
+					return
+				}
+				got := math.Float64frombits(tt[2])
+				if d := math.Abs(got - want[tt[1]]); d > localMax {
+					localMax = d
+				}
+			})
+			bits := rk.Reduce(math.Float64bits(localMax), paralagg.OpMax)
+			// Max over float bit patterns is order-preserving for
+			// non-negative floats.
+			localMax = math.Float64frombits(bits)
+			if rk.ID() == 0 {
+				maxErr = localMax
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 1e-12 {
+		t.Fatalf("max PageRank error %g", maxErr)
+	}
+}
+
+func TestLspMatchesReference(t *testing.T) {
+	g := graph.Uniform("t", 80, 400, 6, 13)
+	sources := g.Sources(2, 3)
+	want, _ := RefSSSPMulti(g, sources)
+	wantMax := uint64(0)
+	for _, d := range want {
+		if d > wantMax {
+			wantMax = d
+		}
+	}
+	var got uint64
+	_, err := paralagg.Exec(LspProgram(), paralagg.Config{Ranks: 3},
+		func(rk *paralagg.Rank) error { return LoadSSSP(rk, g, sources) },
+		func(rk *paralagg.Rank) error {
+			var local uint64
+			rk.Each("lsp", func(tt paralagg.Tuple) { local = tt[1] })
+			g := rk.Reduce(local, paralagg.OpMax)
+			if rk.ID() == 0 {
+				got = g
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantMax {
+		t.Fatalf("lsp = %d, want %d", got, wantMax)
+	}
+}
+
+// TestStratifiedSSSPAgreesButMaterializesMore demonstrates §II-B: the
+// stratified formulation reaches the same answers while materializing far
+// more tuples (every distinct path length, not just the minimum).
+func TestStratifiedSSSPAgreesButMaterializesMore(t *testing.T) {
+	g := graph.Uniform("t", 40, 160, 4, 17)
+	sources := g.Sources(2, 7)
+	want, wantPairs := RefSSSPMulti(g, sources)
+
+	// Cap comfortably above the largest true distance.
+	wantMax := uint64(0)
+	for _, d := range want {
+		if d > wantMax {
+			wantMax = d
+		}
+	}
+	res, err := paralagg.Exec(StratifiedSSSPProgram(wantMax+4), paralagg.Config{Ranks: 3},
+		func(rk *paralagg.Rank) error { return LoadStratifiedSSSP(rk, g, sources) },
+		func(rk *paralagg.Rank) error {
+			var wrong uint64
+			rk.Each("spath", func(tt paralagg.Tuple) {
+				if d, ok := want[[2]uint64{tt[0], tt[1]}]; !ok || d != tt[2] {
+					wrong++
+				}
+			})
+			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
+				return fmt.Errorf("%d wrong stratified distances", w)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["spath"] != uint64(wantPairs) {
+		t.Fatalf("spath %d, want %d", res.Counts["spath"], wantPairs)
+	}
+	// The materialization overhead the paper describes: path holds many
+	// more tuples than spath.
+	if res.Counts["path"] <= res.Counts["spath"] {
+		t.Fatalf("expected path (%d) to materialize more than spath (%d)",
+			res.Counts["path"], res.Counts["spath"])
+	}
+}
+
+// TestRecursiveBeatsStratifiedOnWork confirms the asymptotic claim of §II-C
+// by comparing simulated cost on the same workload.
+func TestRecursiveBeatsStratifiedOnWork(t *testing.T) {
+	g := graph.Uniform("t", 40, 160, 4, 17)
+	sources := g.Sources(2, 7)
+	rec, err := RunSSSP(g, sources, paralagg.Config{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := paralagg.Exec(StratifiedSSSPProgram(200), paralagg.Config{Ranks: 3},
+		func(rk *paralagg.Rank) error { return LoadStratifiedSSSP(rk, g, sources) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SimSeconds >= strat.SimSeconds {
+		t.Fatalf("recursive aggregation (%.4fs) should beat stratified (%.4fs)",
+			rec.SimSeconds, strat.SimSeconds)
+	}
+}
+
+func TestReferencesSanity(t *testing.T) {
+	// A 3-node path 0→1→2 with weights 2 and 3.
+	g := &graph.Graph{Name: "p", Nodes: 3, MaxWeight: 3,
+		Edges: []graph.Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}}
+	d := RefSSSP(g, 0)
+	if d[0] != 0 || d[1] != 2 || d[2] != 5 {
+		t.Fatalf("dijkstra = %v", d)
+	}
+	if got := RefClosureSize(g); got != 3 { // (0,1),(0,2),(1,2)
+		t.Fatalf("closure = %d", got)
+	}
+	cc := RefCC(g)
+	if cc[0] != 0 || cc[2] != 0 {
+		t.Fatalf("cc = %v", cc)
+	}
+	if RefComponents(g) != 1 {
+		t.Fatalf("components = %d", RefComponents(g))
+	}
+	// Cycle: closure includes self-pairs.
+	c := &graph.Graph{Name: "c", Nodes: 2, MaxWeight: 1,
+		Edges: []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 1}}}
+	if got := RefClosureSize(c); got != 4 {
+		t.Fatalf("cycle closure = %d, want 4", got)
+	}
+	pr := RefPageRank(g, 1, 0.85)
+	if len(pr) != 3 || pr[1] <= pr[0] {
+		t.Fatalf("pagerank = %v", pr)
+	}
+}

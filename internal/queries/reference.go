@@ -1,0 +1,175 @@
+package queries
+
+import (
+	"container/heap"
+
+	"paralagg/internal/graph"
+)
+
+// RefSSSP computes exact shortest-path distances from src with Dijkstra's
+// algorithm (binary heap). Unreachable nodes are absent from the result.
+func RefSSSP(g *graph.Graph, src uint64) map[uint64]uint64 {
+	adj := make([][]graph.Edge, g.Nodes)
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e)
+	}
+	const inf = ^uint64(0)
+	dist := make([]uint64, g.Nodes)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, e := range adj[it.node] {
+			if nd := it.d + e.W; nd < dist[e.V] {
+				dist[e.V] = nd
+				heap.Push(pq, distItem{node: e.V, d: nd})
+			}
+		}
+	}
+	out := make(map[uint64]uint64)
+	for i, d := range dist {
+		if d != inf {
+			out[uint64(i)] = d
+		}
+	}
+	return out
+}
+
+type distItem struct {
+	node uint64
+	d    uint64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// RefSSSPMulti runs RefSSSP from every source and returns the union keyed
+// (src, node), plus the total reachable-pair count (the paper's "Paths"
+// column in Table II).
+func RefSSSPMulti(g *graph.Graph, sources []uint64) (map[[2]uint64]uint64, int) {
+	out := make(map[[2]uint64]uint64)
+	for _, s := range sources {
+		for n, d := range RefSSSP(g, s) {
+			out[[2]uint64{s, n}] = d
+		}
+	}
+	return out, len(out)
+}
+
+// RefCC labels every node with the smallest node id in its weakly connected
+// component (union-find with path compression).
+func RefCC(g *graph.Graph) map[uint64]uint64 {
+	parent := make([]int, g.Nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		a, b := find(int(e.U)), find(int(e.V))
+		if a != b {
+			parent[a] = b
+		}
+	}
+	min := make(map[int]uint64)
+	for i := 0; i < g.Nodes; i++ {
+		r := find(i)
+		if m, ok := min[r]; !ok || uint64(i) < m {
+			min[r] = uint64(i)
+		}
+	}
+	out := make(map[uint64]uint64, g.Nodes)
+	for i := 0; i < g.Nodes; i++ {
+		out[uint64(i)] = min[find(i)]
+	}
+	return out
+}
+
+// RefComponents counts connected components (the paper's "Comp" column).
+func RefComponents(g *graph.Graph) int {
+	labels := RefCC(g)
+	distinct := make(map[uint64]bool)
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	return len(distinct)
+}
+
+// RefClosureSize computes |transitive closure| by BFS from every node.
+func RefClosureSize(g *graph.Graph) int {
+	adj := make([][]uint64, g.Nodes)
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+	}
+	total := 0
+	visited := make([]int, g.Nodes)
+	for i := range visited {
+		visited[i] = -1
+	}
+	queue := make([]uint64, 0, g.Nodes)
+	for s := 0; s < g.Nodes; s++ {
+		queue = queue[:0]
+		queue = append(queue, uint64(s))
+		// The source is not pre-marked: path(s, s) belongs to the closure
+		// exactly when a cycle returns to s.
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if visited[v] != s {
+					visited[v] = s
+					total++
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return total
+}
+
+// RefPageRank runs damped power iteration with uniform start, matching
+// PageRankProgram's semantics (dangling mass is dropped, as in the
+// program).
+func RefPageRank(g *graph.Graph, iters int, damping float64) []float64 {
+	n := g.Nodes
+	deg := g.OutDegrees()
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		base := (1 - damping) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for _, e := range g.Edges {
+			next[e.V] += damping * rank[e.U] / float64(deg[e.U])
+		}
+		rank = next
+	}
+	return rank
+}

@@ -1,0 +1,219 @@
+package ra
+
+import (
+	"paralagg/internal/btree"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+// Rule is one compiled kernel in a stratum. Joins contribute up to two
+// semi-naïve variants per iteration; copies contribute one.
+type Rule interface {
+	// Heads returns the relation the rule writes.
+	HeadRel() *relation.Relation
+	// Bodies returns the relations the rule reads.
+	BodyRels() []*relation.Relation
+	// RunVariants executes every semi-naïve variant whose Δ side changed
+	// in the previous iteration, appending head tuples to pending.
+	RunVariants(iter int, mode PlanMode, mc *metrics.Collector, pending *tuple.Buffer)
+}
+
+// HeadRel implements Rule.
+func (j *Join) HeadRel() *relation.Relation { return j.Head }
+
+// BodyRels implements Rule.
+func (j *Join) BodyRels() []*relation.Relation {
+	return []*relation.Relation{j.LeftRel, j.RightRel}
+}
+
+// RunVariants implements Rule: it runs Δ⋈FULL when the left side changed
+// and (FULL−Δ)⋈Δ when the right side changed. The two variants partition
+// the new pairs exactly — every (left, right) pair involving at least one Δ
+// tuple is produced exactly once — so even non-idempotent aggregates
+// (MSum, MCount) accumulate correctly.
+func (j *Join) RunVariants(iter int, mode PlanMode, mc *metrics.Collector, pending *tuple.Buffer) {
+	if j.LeftRel.ChangedLast() > 0 {
+		j.Run(iter, VDelta, VFull, mode, mc, pending)
+	}
+	if j.RightRel.ChangedLast() > 0 {
+		j.Run(iter, VFullMinusDelta, VDelta, mode, mc, pending)
+	}
+}
+
+// HeadRel implements Rule.
+func (cp *Copy) HeadRel() *relation.Relation { return cp.Head }
+
+// BodyRels implements Rule.
+func (cp *Copy) BodyRels() []*relation.Relation {
+	return []*relation.Relation{cp.SrcRel}
+}
+
+// RunVariants implements Rule: copies scan Δ of their source when it
+// changed.
+func (cp *Copy) RunVariants(iter int, mode PlanMode, mc *metrics.Collector, pending *tuple.Buffer) {
+	if cp.SrcRel.ChangedLast() > 0 {
+		cp.Run(iter, mc, pending)
+	}
+}
+
+// Options tunes a fixpoint run.
+type Options struct {
+	// Plan selects the join-layout strategy (§IV-D).
+	Plan PlanMode
+	// MaxIters bounds the number of iterations (0 = until fixpoint).
+	MaxIters int
+	// AdaptiveBalance turns on the per-iteration balancing phase of
+	// Fig. 1: when a relation's per-rank tuple counts exceed
+	// BalanceThreshold × mean, its sub-bucket count doubles (up to
+	// MaxSubs) and storage redistributes. The check costs one allgather
+	// per relation per iteration; redistribution traffic is metered as
+	// PhaseRebalance.
+	AdaptiveBalance  bool
+	BalanceThreshold float64 // default 2.0
+	MaxSubs          int     // default 16
+	// AfterIteration, if set, runs on every rank at the end of each
+	// iteration (after materialization, before the fixpoint decision). The
+	// baseline engines use it to model per-iteration runtime overheads of
+	// the systems the paper compares against.
+	AfterIteration func(iter int, changed uint64)
+}
+
+// Fixpoint runs a stratum's rules to fixpoint with semi-naïve evaluation.
+type Fixpoint struct {
+	Comm  *mpi.Comm
+	MC    *metrics.Collector
+	Rules []Rule
+
+	heads []*relation.Relation
+}
+
+// NewFixpoint assembles a stratum from compiled rules.
+func NewFixpoint(comm *mpi.Comm, mc *metrics.Collector, rules ...Rule) *Fixpoint {
+	f := &Fixpoint{Comm: comm, MC: mc, Rules: rules}
+	seen := map[*relation.Relation]bool{}
+	for _, r := range rules {
+		h := r.HeadRel()
+		if !seen[h] {
+			seen[h] = true
+			f.heads = append(f.heads, h)
+		}
+	}
+	return f
+}
+
+// Heads returns the relations written by the stratum, in first-rule order.
+func (f *Fixpoint) Heads() []*relation.Relation { return f.heads }
+
+// Run iterates the stratum until no relation changes (or opts.MaxIters is
+// reached), returning the number of iterations executed. It is collective.
+//
+// Each iteration runs every applicable kernel variant, then materializes
+// every head relation — routing new tuples, fusing deduplication with local
+// aggregation, flipping Δ versions — and finally agrees on the global
+// changed count. Body-only relations (EDBs) have their Δ flipped so copy
+// rules fire exactly once on loaded facts.
+func (f *Fixpoint) Run(opts Options) int {
+	iter := 0
+	// Body-only relations: read but never written in this stratum.
+	headSet := map[*relation.Relation]bool{}
+	for _, h := range f.heads {
+		headSet[h] = true
+	}
+	var bodyOnly []*relation.Relation
+	seenBody := map[*relation.Relation]bool{}
+	for _, r := range f.Rules {
+		for _, b := range r.BodyRels() {
+			if !headSet[b] && !seenBody[b] {
+				seenBody[b] = true
+				bodyOnly = append(bodyOnly, b)
+			}
+		}
+	}
+	allRels := append(append([]*relation.Relation(nil), f.heads...), bodyOnly...)
+
+	for {
+		if opts.AdaptiveBalance {
+			f.rebalance(iter, allRels, opts)
+		}
+		pending := make(map[*relation.Relation]*tuple.Buffer, len(f.heads))
+		for _, h := range f.heads {
+			pending[h] = tuple.NewBuffer(h.Arity, 64)
+		}
+		for _, r := range f.Rules {
+			r.RunVariants(iter, opts.Plan, f.MC, pending[r.HeadRel()])
+		}
+		changed := uint64(0)
+		for _, h := range f.heads {
+			changed += h.Materialize(iter, pending[h], true)
+		}
+		// Flip Δ of body-only relations after their facts have been
+		// consumed once.
+		for _, b := range bodyOnly {
+			if b.ChangedLast() > 0 {
+				b.Materialize(iter, nil, false)
+			}
+		}
+		if opts.AfterIteration != nil {
+			opts.AfterIteration(iter, changed)
+		}
+		iter++
+		if changed == 0 {
+			return iter
+		}
+		if opts.MaxIters > 0 && iter >= opts.MaxIters {
+			return iter
+		}
+	}
+}
+
+// rebalance is the spatial load-balancing phase of Fig. 1: for every
+// relation of the stratum, gather per-rank tuple counts and, when the
+// maximum exceeds the threshold times the mean, double the relation's
+// sub-bucket count and redistribute its storage. Decisions derive from
+// collectively identical data, so every rank acts uniformly.
+func (f *Fixpoint) rebalance(iter int, rels []*relation.Relation, opts Options) {
+	threshold := opts.BalanceThreshold
+	if threshold <= 1 {
+		threshold = 2.0
+	}
+	maxSubs := opts.MaxSubs
+	if maxSubs < 1 {
+		maxSubs = 16
+	}
+	rank := f.Comm.Rank()
+	for _, rel := range rels {
+		timer := metrics.StartTimer()
+		counts := rel.PerRankCounts()
+		total, max := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(total) / float64(len(counts))
+		shipped := 0
+		if mean > 0 && float64(max) > threshold*mean && rel.Subs()*2 <= maxSubs {
+			shipped = rel.SetSubs(rel.Subs() * 2)
+		}
+		f.MC.Record(rank, iter, metrics.PhaseRebalance,
+			timer.Done(1, int64(shipped), logRanks(f.Comm.Size())))
+	}
+}
+
+// ResetDelta re-seeds a relation's Δ with its entire FULL contents and
+// refreshes its changed count, so a later stratum's rules see previously
+// computed tuples as fresh. Collective.
+func ResetDelta(r *relation.Relation) {
+	for _, ix := range r.Indexes() {
+		fresh := btree.New()
+		ix.Full.Ascend(func(t tuple.Tuple) bool {
+			fresh.Insert(t)
+			return true
+		})
+		ix.Delta = fresh
+	}
+	r.SetChangedLast(r.GlobalFullCount())
+}

@@ -1,0 +1,237 @@
+// Package ra implements the parallel relational-algebra kernels of the
+// paper: the BPRA-style binary join with intra-bucket communication and
+// per-iteration dynamic join planning (Algorithm 1), copy/projection
+// kernels, and the semi-naïve fixpoint driver that ties them together.
+package ra
+
+import (
+	"math/bits"
+
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+// Version selects which relation version a kernel side reads.
+type Version int
+
+// The semi-naïve relation versions. VFullMinusDelta reads FULL while
+// skipping tuples present in Δ; pairing it with the other side's Δ makes
+// the two join variants exactly disjoint, so every (left, right) pair is
+// delivered exactly once — which non-idempotent aggregates (MSum, MCount)
+// require.
+const (
+	VFull Version = iota
+	VDelta
+	VFullMinusDelta
+)
+
+// versionLen returns the number of tuples the version exposes on this rank.
+func versionLen(ix *relation.Index, v Version) int {
+	switch v {
+	case VDelta:
+		return ix.Delta.Len()
+	case VFullMinusDelta:
+		n := ix.Full.Len() - ix.Delta.Len()
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	return ix.Full.Len()
+}
+
+// scanVersion iterates the version's tuples in order.
+func scanVersion(ix *relation.Index, v Version, fn func(tuple.Tuple) bool) {
+	switch v {
+	case VDelta:
+		ix.Delta.Ascend(fn)
+	case VFullMinusDelta:
+		ix.Full.Ascend(func(t tuple.Tuple) bool {
+			if ix.Delta.Len() > 0 && ix.Delta.Has(t) {
+				return true
+			}
+			return fn(t)
+		})
+	default:
+		ix.Full.Ascend(fn)
+	}
+}
+
+// probeVersion scans the version's tuples matching the join-key prefix.
+func probeVersion(ix *relation.Index, v Version, prefix tuple.Tuple, fn func(tuple.Tuple) bool) {
+	switch v {
+	case VDelta:
+		ix.Delta.AscendPrefix(prefix, fn)
+	case VFullMinusDelta:
+		ix.Full.AscendPrefix(prefix, func(t tuple.Tuple) bool {
+			if ix.Delta.Len() > 0 && ix.Delta.Has(t) {
+				return true
+			}
+			return fn(t)
+		})
+	default:
+		ix.Full.AscendPrefix(prefix, fn)
+	}
+}
+
+// PlanMode selects how the join's outer relation is chosen.
+type PlanMode int
+
+// Planning modes. PlanDynamic is the paper's voting algorithm; the static
+// modes pin the outer side (the baseline of Fig. 2 uses PlanStaticRight);
+// PlanAntiDynamic inverts the vote and exists for the ablation study.
+const (
+	PlanDynamic PlanMode = iota
+	PlanStaticLeft
+	PlanStaticRight
+	PlanAntiDynamic
+)
+
+// Emitter produces head tuples (canonical column order of the head
+// relation) from a matched pair of stored-order body tuples. Returning
+// without calling out filters the pair (σ).
+type Emitter func(left, right tuple.Tuple, out func(tuple.Tuple))
+
+// Join is a compiled binary-join kernel: Left ⋈ Right on their shared JK
+// leading columns, writing into Head.
+type Join struct {
+	Name        string
+	Left, Right *relation.Index
+	LeftRel     *relation.Relation
+	RightRel    *relation.Relation
+	Head        *relation.Relation
+	JK          int
+	Emit        Emitter
+}
+
+// nonEmptyLanes counts destinations that will actually receive data; it is
+// the per-rank message count an Alltoallv costs.
+func nonEmptyLanes(send [][]mpi.Word, self int) int64 {
+	n := int64(0)
+	for i, s := range send {
+		if i != self && len(s) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// logRanks approximates the latency steps of a small collective (a
+// reduction tree over the world).
+func logRanks(size int) int64 { return int64(bits.Len(uint(size))) }
+
+// Run executes one variant of the join — versions vl and vr select the
+// semi-naïve sides — and appends head tuples to pending. It is collective.
+//
+// Phases, as in Fig. 1: dynamic join planning (a one-word vote per rank,
+// Algorithm 1), intra-bucket communication (the outer relation's selected
+// version is serialized and replicated to the inner's sub-bucket homes),
+// and the highly parallel local join (received outer tuples probe the
+// inner B-tree).
+func (j *Join) Run(iter int, vl, vr Version, mode PlanMode, mc *metrics.Collector, pending *tuple.Buffer) {
+	comm := j.LeftRel.Comm()
+	rank, size := comm.Rank(), comm.Size()
+
+	// Dynamic join planning (Algorithm 1): each rank votes with one word;
+	// an Allreduce tallies. If a majority finds the left side smaller, the
+	// left relation is serialized (outer).
+	outerIsLeft := false
+	switch mode {
+	case PlanStaticLeft:
+		outerIsLeft = true
+	case PlanStaticRight:
+		outerIsLeft = false
+	case PlanDynamic, PlanAntiDynamic:
+		timer := metrics.StartTimer()
+		localOuter := uint64(0)
+		if versionLen(j.Left, vl) < versionLen(j.Right, vr) {
+			localOuter = 1
+		}
+		ranksWantLeft := comm.Allreduce(localOuter, mpi.OpSum)
+		outerIsLeft = ranksWantLeft >= uint64((size+1)/2)
+		if mode == PlanAntiDynamic {
+			outerIsLeft = !outerIsLeft
+		}
+		mc.Record(rank, iter, metrics.PhasePlanning, timer.Done(1, mpi.WordBytes, logRanks(size)))
+	}
+
+	outerIx, innerIx := j.Left, j.Right
+	outerV, innerV := vl, vr
+	if !outerIsLeft {
+		outerIx, innerIx = j.Right, j.Left
+		outerV, innerV = vr, vl
+	}
+
+	// Intra-bucket communication: serialize the outer version and
+	// replicate each tuple to every rank holding a sub-bucket of the
+	// inner's matching bucket.
+	timer := metrics.StartTimer()
+	send := make([][]mpi.Word, size)
+	scanned := int64(0)
+	scanVersion(outerIx, outerV, func(t tuple.Tuple) bool {
+		scanned++
+		b := int(t.HashPrefix(j.JK) % uint64(size))
+		for _, dest := range innerIx.HomeRanks(b) {
+			send[dest] = append(send[dest], t...)
+		}
+		return true
+	})
+	pre := comm.Stats().Snapshot()
+	recv := comm.Alltoallv(send)
+	d := comm.Stats().Snapshot().Sub(pre)
+	mc.Record(rank, iter, metrics.PhaseIntraBucket,
+		timer.Done(scanned, int64(d.Bytes()), nonEmptyLanes(send, rank)+1))
+
+	// Local join: probe the inner B-tree with each received outer tuple.
+	timer = metrics.StartTimer()
+	var work int64
+	arity := len(outerIx.Perm)
+	innerLen := versionLen(innerIx, innerV)
+	emitTo := func(t tuple.Tuple) { pending.Append(t) }
+	for _, words := range recv {
+		for off := 0; off+arity <= len(words); off += arity {
+			t := tuple.Tuple(words[off : off+arity])
+			work += int64(bits.Len64(uint64(innerLen)) + 1)
+			probeVersion(innerIx, innerV, t[:j.JK], func(match tuple.Tuple) bool {
+				work++
+				if outerIsLeft {
+					j.Emit(t, match, emitTo)
+				} else {
+					j.Emit(match, t, emitTo)
+				}
+				return true
+			})
+		}
+	}
+	mc.Record(rank, iter, metrics.PhaseLocalJoin, timer.Done(work, 0, 0))
+}
+
+// CopyEmitter produces head tuples from a single stored-order source tuple.
+type CopyEmitter func(src tuple.Tuple, out func(tuple.Tuple))
+
+// Copy is a compiled single-atom rule (projection/selection/arithmetic): it
+// scans the source index's Δ and emits head tuples. It is rank-local — the
+// routing cost is paid at materialization, as in the paper.
+type Copy struct {
+	Name   string
+	Src    *relation.Index
+	SrcRel *relation.Relation
+	Head   *relation.Relation
+	Emit   CopyEmitter
+}
+
+// Run scans Δ of the source and appends head tuples to pending.
+func (cp *Copy) Run(iter int, mc *metrics.Collector, pending *tuple.Buffer) {
+	comm := cp.SrcRel.Comm()
+	timer := metrics.StartTimer()
+	var work int64
+	emitTo := func(t tuple.Tuple) { pending.Append(t) }
+	cp.Src.Delta.Ascend(func(t tuple.Tuple) bool {
+		work++
+		cp.Emit(t, emitTo)
+		return true
+	})
+	mc.Record(comm.Rank(), iter, metrics.PhaseLocalJoin, timer.Done(work, 0, 0))
+}

@@ -1,0 +1,621 @@
+package ra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+// --- tiny deterministic graphs and sequential references ---
+
+type edge struct{ u, v, w uint64 }
+
+func randGraph(nodes, edges int, seed int64, maxW uint64) []edge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]edge, 0, edges)
+	seen := map[[2]uint64]bool{}
+	for len(out) < edges {
+		u, v := uint64(rng.Intn(nodes)), uint64(rng.Intn(nodes))
+		if u == v || seen[[2]uint64{u, v}] {
+			continue
+		}
+		seen[[2]uint64{u, v}] = true
+		w := uint64(1)
+		if maxW > 1 {
+			w = uint64(rng.Intn(int(maxW))) + 1
+		}
+		out = append(out, edge{u, v, w})
+	}
+	return out
+}
+
+// refClosure computes reachability pairs by BFS from every node.
+func refClosure(nodes int, es []edge) map[[2]uint64]bool {
+	adj := make([][]uint64, nodes)
+	for _, e := range es {
+		adj[e.u] = append(adj[e.u], e.v)
+	}
+	out := map[[2]uint64]bool{}
+	for s := 0; s < nodes; s++ {
+		visited := make([]bool, nodes)
+		queue := []uint64{uint64(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if !visited[v] {
+					visited[v] = true
+					out[[2]uint64{uint64(s), v}] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refSSSP is Dijkstra from src (O(V^2), fine for tests).
+func refSSSP(nodes int, es []edge, src uint64) map[uint64]uint64 {
+	const inf = ^uint64(0)
+	adj := make([][]edge, nodes)
+	for _, e := range es {
+		adj[e.u] = append(adj[e.u], e)
+	}
+	dist := make([]uint64, nodes)
+	done := make([]bool, nodes)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, inf
+		for i, d := range dist {
+			if !done[i] && d < best {
+				u, best = i, d
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, e := range adj[u] {
+			if d := dist[u] + e.w; d < dist[e.v] {
+				dist[e.v] = d
+			}
+		}
+	}
+	out := map[uint64]uint64{}
+	for i, d := range dist {
+		if d != inf {
+			out[uint64(i)] = d
+		}
+	}
+	return out
+}
+
+// refCC labels every node with the minimum node id of its weakly connected
+// component.
+func refCC(nodes int, es []edge) map[uint64]uint64 {
+	parent := make([]int, nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range es {
+		a, b := find(int(e.u)), find(int(e.v))
+		if a != b {
+			parent[a] = b
+		}
+	}
+	min := map[int]uint64{}
+	for i := 0; i < nodes; i++ {
+		r := find(i)
+		if m, ok := min[r]; !ok || uint64(i) < m {
+			min[r] = uint64(i)
+		}
+	}
+	out := map[uint64]uint64{}
+	for i := 0; i < nodes; i++ {
+		out[uint64(i)] = min[find(i)]
+	}
+	return out
+}
+
+// --- hand-compiled pipelines (the declarative layer does this in core) ---
+
+// runTC computes transitive closure over the kernel layer and verifies it
+// against the BFS reference, returning the iteration count.
+func runTC(t *testing.T, ranks, nodes int, es []edge, subs int, mode PlanMode) {
+	t.Helper()
+	want := refClosure(nodes, es)
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		edgeRel, err := relation.New(relation.Schema{Name: "edge", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{Subs: subs})
+		if err != nil {
+			return err
+		}
+		pathRel, err := relation.New(relation.Schema{Name: "path", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{Subs: subs})
+		if err != nil {
+			return err
+		}
+		// path joined on its second column: reversed replica.
+		pathRev, err := pathRel.AddIndex([]int{1, 0}, 1)
+		if err != nil {
+			return err
+		}
+		edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{es[i].u, es[i].v})
+		})
+
+		copyRule := &Copy{
+			Name: "path(x,y) <- edge(x,y)", Src: edgeRel.Canonical(), SrcRel: edgeRel, Head: pathRel,
+			Emit: func(src tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{src[0], src[1]})
+			},
+		}
+		joinRule := &Join{
+			Name: "path(x,z) <- path(x,y), edge(y,z)",
+			Left: pathRev, LeftRel: pathRel,
+			Right: edgeRel.Canonical(), RightRel: edgeRel,
+			Head: pathRel, JK: 1,
+			// left stored as (y,x), right as (y,z) -> head (x,z).
+			Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{l[1], r[1]})
+			},
+		}
+		fx := NewFixpoint(c, mc, copyRule, joinRule)
+		fx.Run(Options{Plan: mode})
+
+		// Validate: count matches and every local tuple is in the reference.
+		var local, wrong uint64
+		pathRel.Canonical().Full.Ascend(func(tt tuple.Tuple) bool {
+			local++
+			if !want[[2]uint64{tt[0], tt[1]}] {
+				wrong++
+			}
+			return true
+		})
+		if g := c.Allreduce(wrong, mpi.OpSum); g != 0 {
+			return fmt.Errorf("%d tuples not in reference closure", g)
+		}
+		if g := c.Allreduce(local, mpi.OpSum); g != uint64(len(want)) {
+			return fmt.Errorf("closure size %d, want %d", g, len(want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitiveClosureChain(t *testing.T) {
+	var es []edge
+	for i := 0; i < 20; i++ {
+		es = append(es, edge{uint64(i), uint64(i + 1), 1})
+	}
+	runTC(t, 4, 21, es, 1, PlanDynamic)
+}
+
+func TestTransitiveClosureRandomAllModes(t *testing.T) {
+	es := randGraph(60, 180, 7, 1)
+	for _, mode := range []PlanMode{PlanDynamic, PlanStaticLeft, PlanStaticRight, PlanAntiDynamic} {
+		runTC(t, 3, 60, es, 1, mode)
+	}
+}
+
+func TestTransitiveClosureSubBuckets(t *testing.T) {
+	es := randGraph(50, 150, 9, 1)
+	for _, subs := range []int{1, 2, 8} {
+		runTC(t, 4, 50, es, subs, PlanDynamic)
+	}
+	// Also with a single rank.
+	runTC(t, 1, 50, es, 4, PlanDynamic)
+}
+
+// runSSSP computes single-source shortest paths via recursive aggregation
+// and verifies against Dijkstra.
+func runSSSP(t *testing.T, ranks, nodes int, es []edge, src uint64, subs int, mode PlanMode) int {
+	t.Helper()
+	want := refSSSP(nodes, es, src)
+	iters := 0
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		edgeRel, err := relation.New(relation.Schema{Name: "edge", Arity: 3, Indep: 3, Key: 1}, c, mc, relation.Config{Subs: subs})
+		if err != nil {
+			return err
+		}
+		sp, err := relation.New(relation.Schema{Name: "spath", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}}, c, mc, relation.Config{Subs: subs})
+		if err != nil {
+			return err
+		}
+		// spath joined on its "to" column (used as mid).
+		spMid, err := sp.AddIndex([]int{1, 0, 2}, 1)
+		if err != nil {
+			return err
+		}
+		edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{es[i].u, es[i].v, es[i].w})
+		})
+		// Seed fact spath(src, src, 0) offered by rank 0.
+		seed := tuple.NewBuffer(3, 1)
+		if c.Rank() == 0 {
+			seed.Append(tuple.Tuple{src, src, 0})
+		}
+		sp.LoadFacts(seed)
+
+		join := &Join{
+			Name: "spath(f,t,min(l+w)) <- spath(f,m,l), edge(m,t,w)",
+			Left: spMid, LeftRel: sp,
+			Right: edgeRel.Canonical(), RightRel: edgeRel,
+			Head: sp, JK: 1,
+			// left stored (m,f,l), right (m,t,w) -> head (f,t,l+w).
+			Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{l[1], r[1], l[2] + r[2]})
+			},
+		}
+		fx := NewFixpoint(c, mc, join)
+		n := fx.Run(Options{Plan: mode})
+		if c.Rank() == 0 {
+			iters = n
+		}
+
+		// Validate against Dijkstra.
+		var local, wrong uint64
+		sp.EachAcc(func(tt tuple.Tuple) {
+			local++
+			d, ok := want[tt[1]]
+			if tt[0] != src || !ok || d != tt[2] {
+				wrong++
+			}
+		})
+		if g := c.Allreduce(wrong, mpi.OpSum); g != 0 {
+			return fmt.Errorf("%d wrong distances", g)
+		}
+		if g := c.Allreduce(local, mpi.OpSum); g != uint64(len(want)) {
+			return fmt.Errorf("reached %d nodes, want %d", g, len(want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iters
+}
+
+func TestSSSPLine(t *testing.T) {
+	var es []edge
+	for i := 0; i < 15; i++ {
+		es = append(es, edge{uint64(i), uint64(i + 1), uint64(i + 1)})
+	}
+	runSSSP(t, 3, 16, es, 0, 1, PlanDynamic)
+}
+
+func TestSSSPRandomWeighted(t *testing.T) {
+	es := randGraph(80, 400, 21, 9)
+	for _, ranks := range []int{1, 2, 5} {
+		runSSSP(t, ranks, 80, es, 3, 1, PlanDynamic)
+	}
+}
+
+func TestSSSPAllPlanModesAgree(t *testing.T) {
+	es := randGraph(50, 250, 33, 5)
+	for _, mode := range []PlanMode{PlanDynamic, PlanStaticLeft, PlanStaticRight, PlanAntiDynamic} {
+		runSSSP(t, 4, 50, es, 7, 1, mode)
+	}
+}
+
+func TestSSSPSubBucketsAgree(t *testing.T) {
+	es := randGraph(50, 250, 35, 5)
+	for _, subs := range []int{1, 2, 8} {
+		runSSSP(t, 4, 50, es, 2, subs, PlanDynamic)
+	}
+}
+
+// TestSSSPShorterPathWins uses a graph where the direct edge is worse than
+// a two-hop path, confirming aggregation collapses to the minimum.
+func TestSSSPShorterPathWins(t *testing.T) {
+	es := []edge{{0, 1, 10}, {0, 2, 1}, {2, 1, 2}}
+	runSSSP(t, 2, 3, es, 0, 1, PlanDynamic)
+}
+
+// runCC computes connected components (min label propagation) over
+// undirected edges and verifies against union-find.
+func runCC(t *testing.T, ranks, nodes int, es []edge, subs int, mode PlanMode) {
+	t.Helper()
+	want := refCC(nodes, es)
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		edgeRel, err := relation.New(relation.Schema{Name: "edge", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{Subs: subs})
+		if err != nil {
+			return err
+		}
+		cc, err := relation.New(relation.Schema{Name: "cc", Arity: 2, Indep: 1, Key: 1, Agg: lattice.Min{}}, c, mc, relation.Config{Subs: subs})
+		if err != nil {
+			return err
+		}
+		// Undirected: load both directions.
+		edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{es[i].u, es[i].v})
+			emit(tuple.Tuple{es[i].v, es[i].u})
+		})
+		// Seed: every node labels itself.
+		seed := tuple.NewBuffer(2, nodes/ranks+1)
+		for n := c.Rank(); n < nodes; n += c.Size() {
+			seed.Append(tuple.Tuple{uint64(n), uint64(n)})
+		}
+		cc.LoadFacts(seed)
+
+		join := &Join{
+			Name: "cc(y,min(z)) <- cc(x,z), edge(x,y)",
+			Left: cc.Canonical(), LeftRel: cc,
+			Right: edgeRel.Canonical(), RightRel: edgeRel,
+			Head: cc, JK: 1,
+			// left (x,z), right (x,y) -> head (y,z).
+			Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{r[1], l[1]})
+			},
+		}
+		fx := NewFixpoint(c, mc, join)
+		fx.Run(Options{Plan: mode})
+
+		var local, wrong uint64
+		cc.EachAcc(func(tt tuple.Tuple) {
+			local++
+			if want[tt[0]] != tt[1] {
+				wrong++
+			}
+		})
+		if g := c.Allreduce(wrong, mpi.OpSum); g != 0 {
+			return fmt.Errorf("%d wrong labels", g)
+		}
+		if g := c.Allreduce(local, mpi.OpSum); g != uint64(nodes) {
+			return fmt.Errorf("labeled %d nodes, want %d", g, nodes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCTwoComponents(t *testing.T) {
+	es := []edge{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}}
+	runCC(t, 3, 5, es, 1, PlanDynamic)
+}
+
+func TestCCRandom(t *testing.T) {
+	es := randGraph(100, 140, 55, 1)
+	for _, ranks := range []int{1, 4} {
+		runCC(t, ranks, 100, es, 1, PlanDynamic)
+	}
+}
+
+func TestCCSubBuckets(t *testing.T) {
+	es := randGraph(60, 90, 77, 1)
+	runCC(t, 4, 60, es, 8, PlanDynamic)
+}
+
+// TestFixpointMaxIters confirms the iteration bound halts a divergent-ish
+// (long) computation early.
+func TestFixpointMaxIters(t *testing.T) {
+	var es []edge
+	for i := 0; i < 50; i++ {
+		es = append(es, edge{uint64(i), uint64(i + 1), 1})
+	}
+	w := mpi.NewWorld(2)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(2)
+		edgeRel, _ := relation.New(relation.Schema{Name: "edge", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+		pathRel, _ := relation.New(relation.Schema{Name: "path", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+		pathRev, _ := pathRel.AddIndex([]int{1, 0}, 1)
+		edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{es[i].u, es[i].v})
+		})
+		fx := NewFixpoint(c, mc,
+			&Copy{Src: edgeRel.Canonical(), SrcRel: edgeRel, Head: pathRel,
+				Emit: func(s tuple.Tuple, out func(tuple.Tuple)) { out(s.Clone()) }},
+			&Join{Left: pathRev, LeftRel: pathRel, Right: edgeRel.Canonical(), RightRel: edgeRel,
+				Head: pathRel, JK: 1,
+				Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) { out(tuple.Tuple{l[1], r[1]}) }},
+		)
+		n := fx.Run(Options{Plan: PlanDynamic, MaxIters: 5})
+		if n != 5 {
+			return fmt.Errorf("ran %d iterations, want 5", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetDeltaEnablesNextStratum checks the stratum hand-off: a second
+// stratum copies a finished relation into a fresh one.
+func TestResetDeltaEnablesNextStratum(t *testing.T) {
+	es := randGraph(30, 60, 99, 4)
+	w := mpi.NewWorld(3)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(3)
+		edgeRel, _ := relation.New(relation.Schema{Name: "edge", Arity: 3, Indep: 3, Key: 1}, c, mc, relation.Config{})
+		sp, _ := relation.New(relation.Schema{Name: "spath", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}}, c, mc, relation.Config{})
+		spMid, _ := sp.AddIndex([]int{1, 0, 2}, 1)
+		edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{es[i].u, es[i].v, es[i].w})
+		})
+		seed := tuple.NewBuffer(3, 1)
+		if c.Rank() == 0 {
+			seed.Append(tuple.Tuple{0, 0, 0})
+		}
+		sp.LoadFacts(seed)
+		fx := NewFixpoint(c, mc, &Join{
+			Left: spMid, LeftRel: sp, Right: edgeRel.Canonical(), RightRel: edgeRel,
+			Head: sp, JK: 1,
+			Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{l[1], r[1], l[2] + r[2]})
+			}})
+		fx.Run(Options{Plan: PlanDynamic})
+
+		// Stratum 2: lsp(MAX d) over all spath tuples.
+		lsp, _ := relation.New(relation.Schema{Name: "lsp", Arity: 2, Indep: 1, Key: 1, Agg: lattice.Max{}}, c, mc, relation.Config{})
+		ResetDelta(sp)
+		if sp.ChangedLast() == 0 {
+			return fmt.Errorf("ResetDelta left changed count at zero")
+		}
+		fx2 := NewFixpoint(c, mc, &Copy{
+			Src: sp.Canonical(), SrcRel: sp, Head: lsp,
+			Emit: func(s tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{0, s[2]})
+			}})
+		fx2.Run(Options{Plan: PlanDynamic})
+
+		// Reference: max over Dijkstra distances.
+		want := uint64(0)
+		for _, d := range refSSSP(30, es, 0) {
+			if d > want {
+				want = d
+			}
+		}
+		var local uint64
+		lsp.EachAcc(func(tt tuple.Tuple) { local = uint64(tt[1]) })
+		if g := c.Allreduce(local, mpi.OpMax); g != want {
+			return fmt.Errorf("lsp = %d, want %d", g, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveBalanceCorrectAndBalancing runs SSSP on a hub-skewed graph
+// with adaptive rebalancing: answers must stay exact, the edge relation's
+// sub-bucket count must grow, and the final distribution must be flatter
+// than the static subs=1 run.
+func TestAdaptiveBalanceCorrectAndBalancing(t *testing.T) {
+	// Star-heavy graph: node 0 fans out to all others plus a random mesh.
+	var es []edge
+	for i := 1; i <= 60; i++ {
+		es = append(es, edge{0, uint64(i), uint64(i%5 + 1)})
+	}
+	es = append(es, randGraph(61, 120, 3, 5)...)
+	want := refSSSP(61, es, 0)
+
+	const ranks = 8
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		edgeRel, err := relation.New(relation.Schema{Name: "edge", Arity: 3, Indep: 3, Key: 1}, c, mc, relation.Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		sp, err := relation.New(relation.Schema{Name: "spath", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}}, c, mc, relation.Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		spMid, err := sp.AddIndex([]int{1, 0, 2}, 1)
+		if err != nil {
+			return err
+		}
+		// Dedup edges: randGraph may duplicate a star edge.
+		seen := map[[2]uint64]bool{}
+		var uniq []edge
+		for _, e := range es {
+			if !seen[[2]uint64{e.u, e.v}] {
+				seen[[2]uint64{e.u, e.v}] = true
+				uniq = append(uniq, e)
+			}
+		}
+		edgeRel.LoadShare(len(uniq), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{uniq[i].u, uniq[i].v, uniq[i].w})
+		})
+		seed := tuple.NewBuffer(3, 1)
+		if c.Rank() == 0 {
+			seed.Append(tuple.Tuple{0, 0, 0})
+		}
+		sp.LoadFacts(seed)
+
+		fx := NewFixpoint(c, mc, &Join{
+			Left: spMid, LeftRel: sp, Right: edgeRel.Canonical(), RightRel: edgeRel,
+			Head: sp, JK: 1,
+			Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{l[1], r[1], l[2] + r[2]})
+			}})
+		fx.Run(Options{Plan: PlanDynamic, AdaptiveBalance: true, BalanceThreshold: 1.5, MaxSubs: 8})
+
+		if edgeRel.Subs() == 1 {
+			return fmt.Errorf("adaptive balancing never split the skewed edge relation")
+		}
+		var wrong, count uint64
+		sp.EachAcc(func(tt tuple.Tuple) {
+			count++
+			if d, ok := want[tt[1]]; !ok || d != tt[2] {
+				wrong++
+			}
+		})
+		if g := c.Allreduce(wrong, mpi.OpSum); g != 0 {
+			return fmt.Errorf("%d wrong distances under adaptive balancing", g)
+		}
+		if g := c.Allreduce(count, mpi.OpSum); g != uint64(len(want)) {
+			return fmt.Errorf("reached %d, want %d", g, len(want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAfterIterationHook counts iterations through the hook.
+func TestAfterIterationHook(t *testing.T) {
+	var es []edge
+	for i := 0; i < 10; i++ {
+		es = append(es, edge{uint64(i), uint64(i + 1), 1})
+	}
+	w := mpi.NewWorld(2)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(2)
+		edgeRel, _ := relation.New(relation.Schema{Name: "edge", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+		pathRel, _ := relation.New(relation.Schema{Name: "path", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+		pathRev, _ := pathRel.AddIndex([]int{1, 0}, 1)
+		edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{es[i].u, es[i].v})
+		})
+		hookCalls := 0
+		fx := NewFixpoint(c, mc,
+			&Copy{Src: edgeRel.Canonical(), SrcRel: edgeRel, Head: pathRel,
+				Emit: func(s tuple.Tuple, out func(tuple.Tuple)) { out(s.Clone()) }},
+			&Join{Left: pathRev, LeftRel: pathRel, Right: edgeRel.Canonical(), RightRel: edgeRel,
+				Head: pathRel, JK: 1,
+				Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) { out(tuple.Tuple{l[1], r[1]}) }},
+		)
+		n := fx.Run(Options{Plan: PlanDynamic, AfterIteration: func(iter int, changed uint64) {
+			if iter != hookCalls {
+				t.Errorf("hook iter %d, want %d", iter, hookCalls)
+			}
+			hookCalls++
+		}})
+		if hookCalls != n {
+			return fmt.Errorf("hook ran %d times for %d iterations", hookCalls, n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

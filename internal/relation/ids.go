@@ -1,0 +1,53 @@
+package relation
+
+import "paralagg/internal/tuple"
+
+// Tuple identity. BPRA's deduplication "materializes" each distinct tuple
+// by assigning it a unique id via bump-pointer allocation (§III,
+// Deduplication); downstream systems use the ids for provenance and
+// interning. This reproduction allocates ids the same way: each rank owns a
+// disjoint id space (rank in the high bits, a bump counter in the low
+// bits), so allocation is rank-local and ids are globally unique without
+// communication.
+
+// idRankShift positions the owning rank in the id's high bits, leaving 2^48
+// ids per rank.
+const idRankShift = 48
+
+// nextID allocates the next id on this rank.
+func (r *Relation) nextID() uint64 {
+	id := uint64(r.comm.Rank())<<idRankShift | r.idCounter
+	r.idCounter++
+	return id
+}
+
+// assignID records an id for a newly materialized canonical tuple (set
+// relations) or independent key (aggregated relations — the key keeps its
+// id when the accumulator value improves, because it is the same logical
+// fact).
+func (r *Relation) assignID(key string) uint64 {
+	if r.ids == nil {
+		r.ids = make(map[string]uint64)
+	}
+	if id, ok := r.ids[key]; ok {
+		return id
+	}
+	id := r.nextID()
+	r.ids[key] = id
+	return id
+}
+
+// TupleID returns the unique id of a tuple materialized on this rank. For
+// aggregated relations pass the independent columns only; for set relations
+// pass the whole tuple. The id is only present on the tuple's canonical
+// home rank.
+func (r *Relation) TupleID(key tuple.Tuple) (uint64, bool) {
+	id, ok := r.ids[keyString(key)]
+	return id, ok
+}
+
+// IDOwner extracts the rank that allocated an id.
+func IDOwner(id uint64) int { return int(id >> idRankShift) }
+
+// LocalIDCount returns how many ids this rank has allocated.
+func (r *Relation) LocalIDCount() int { return len(r.ids) }

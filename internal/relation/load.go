@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"paralagg/internal/btree"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+// LoadFacts bulk-loads base facts through the normal materialization path:
+// each rank contributes the slice of facts it "read" (canonical column
+// order) and the pass routes, deduplicates/aggregates, and populates FULL
+// and Δ so the first iteration sees the facts as freshly discovered.
+// Loading is collective and unmetered (the paper's timings exclude input
+// loading).
+func (r *Relation) LoadFacts(facts *tuple.Buffer) uint64 {
+	return r.Materialize(0, facts, false)
+}
+
+// LoadShare is a convenience for SPMD fact generation: emit is called with
+// this rank's share of n facts — indices i with i % size == rank — and the
+// produced tuples are loaded collectively. The generator must be
+// deterministic so that every rank sees the same global fact set.
+func (r *Relation) LoadShare(n int, gen func(i int, emit func(tuple.Tuple))) uint64 {
+	buf := tuple.NewBuffer(r.Arity, n/r.comm.Size()+1)
+	rank, size := r.comm.Rank(), r.comm.Size()
+	for i := rank; i < n; i += size {
+		gen(i, func(t tuple.Tuple) { buf.Append(t) })
+	}
+	return r.LoadFacts(buf)
+}
+
+// SetSubs changes the relation's sub-bucket count and redistributes every
+// index shard and accumulator entry to its new home. This is the spatial
+// rebalancing step (§IV-C, the "balancing" phase of Fig. 1); it is
+// collective and must be called with the same value on every rank. The
+// returned byte count is the total data this rank shipped.
+func (r *Relation) SetSubs(subs int) int {
+	if subs < 1 {
+		subs = 1
+	}
+	size := r.comm.Size()
+	shipped := 0
+	r.subs = subs
+
+	// Redistribute accumulator entries (aggregated relations), carrying
+	// each key's materialization id so identity survives rebalancing.
+	if r.Agg != nil {
+		rec := r.Arity + 1
+		send := make([][]mpi.Word, size)
+		for k, dep := range r.acc {
+			indep := keyValues(k)
+			dest := r.accPlacement(tuple.Tuple(indep))
+			if dest == r.comm.Rank() {
+				continue
+			}
+			send[dest] = append(send[dest], indep...)
+			send[dest] = append(send[dest], dep...)
+			send[dest] = append(send[dest], r.ids[k])
+			delete(r.acc, k)
+			delete(r.ids, k)
+			shipped += rec * mpi.WordBytes
+		}
+		recv := r.comm.Alltoallv(send)
+		for _, words := range recv {
+			for off := 0; off+rec <= len(words); off += rec {
+				t := tuple.Tuple(words[off : off+r.Arity])
+				k := keyString(t[:r.Indep])
+				dep := append([]tuple.Value(nil), t[r.Indep:]...)
+				if cur, ok := r.acc[k]; ok {
+					r.acc[k] = r.Agg.Join(cur, dep)
+				} else {
+					r.acc[k] = dep
+				}
+				if r.ids == nil {
+					r.ids = make(map[string]uint64)
+				}
+				if _, dup := r.ids[k]; !dup {
+					r.ids[k] = words[off+r.Arity]
+				}
+			}
+		}
+	}
+
+	// Set relations key their ids by the full canonical tuple; relocate
+	// them to the tuple's new home. (The exchange runs on every rank even
+	// with no local ids — Alltoallv is collective.)
+	if r.Agg == nil {
+		rec := r.Arity + 1
+		canon := r.indexes[0]
+		send := make([][]mpi.Word, size)
+		for k, id := range r.ids {
+			t := keyValues(k)
+			dest := r.rankOf(canon.bucketOf(t), canon.subOf(t))
+			if dest == r.comm.Rank() {
+				continue
+			}
+			send[dest] = append(send[dest], t...)
+			send[dest] = append(send[dest], id)
+			delete(r.ids, k)
+			shipped += rec * mpi.WordBytes
+		}
+		recv := r.comm.Alltoallv(send)
+		for _, words := range recv {
+			for off := 0; off+rec <= len(words); off += rec {
+				if r.ids == nil {
+					r.ids = make(map[string]uint64)
+				}
+				k := keyString(words[off : off+r.Arity])
+				r.ids[k] = words[off+r.Arity]
+			}
+		}
+	}
+
+	// Redistribute each index's FULL and Δ trees.
+	for _, ix := range r.indexes {
+		shipped += ix.redistribute()
+	}
+	return shipped
+}
+
+// redistribute reshuffles one index's storage after a placement change.
+func (ix *Index) redistribute() int {
+	r := ix.rel
+	size := r.comm.Size()
+	shipped := 0
+	for _, which := range []int{0, 1} {
+		tree := ix.Full
+		if which == 1 {
+			tree = ix.Delta
+		}
+		send := make([][]mpi.Word, size)
+		var keep []tuple.Tuple
+		tree.Ascend(func(t tuple.Tuple) bool {
+			dest := r.rankOf(ix.bucketOf(t), ix.subOf(t))
+			if dest == r.comm.Rank() {
+				keep = append(keep, t.Clone())
+			} else {
+				send[dest] = append(send[dest], t...)
+				shipped += len(t) * mpi.WordBytes
+			}
+			return true
+		})
+		recv := r.comm.Alltoallv(send)
+		fresh := btree.New()
+		for _, t := range keep {
+			fresh.Insert(t)
+		}
+		for _, words := range recv {
+			for off := 0; off+r.Arity <= len(words); off += r.Arity {
+				fresh.Insert(tuple.Tuple(words[off : off+r.Arity]))
+			}
+		}
+		if which == 0 {
+			ix.Full = fresh
+		} else {
+			ix.Delta = fresh
+		}
+	}
+	return shipped
+}

@@ -1,0 +1,293 @@
+package relation
+
+import (
+	"math/bits"
+
+	"paralagg/internal/btree"
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+// treeWork estimates the work units of one B-tree operation on a tree of n
+// tuples: the O(log n) descent the paper credits the inner relation with.
+func treeWork(n int) int64 { return int64(bits.Len64(uint64(n)) + 1) }
+
+// Materialize is the fused deduplication/aggregation pass (§III-A): it
+// routes this rank's newly generated tuples (canonical column order) to
+// their canonical homes, merges them — set semantics deduplicate, aggregated
+// relations lattice-join into the accumulator — computes the new Δ from the
+// tuples whose merged value actually changed, and maintains every index
+// replica. It returns the global number of changed tuples (identical on all
+// ranks) and must be called collectively, after all rules of the iteration
+// have run, for every relation of the stratum (even with empty pending, so
+// that Δ versions flip).
+//
+// When record is true the pass meters PhaseAllToAll (tuple routing),
+// PhaseLocalAgg (merging and tree insertion), and PhaseOther (the extra
+// intra-bucket gather that balanced aggregation requires, §IV-C).
+func (r *Relation) Materialize(iter int, pending *tuple.Buffer, record bool) uint64 {
+	rank := r.comm.Rank()
+	size := r.comm.Size()
+
+	// Δ versions from the previous iteration have been consumed by now.
+	for _, ix := range r.indexes {
+		ix.Delta = btree.New()
+	}
+
+	// Phase A: route new tuples to their canonical homes.
+	timer := metrics.StartTimer()
+	send := make([][]mpi.Word, size)
+	n := 0
+	if pending != nil {
+		n = pending.Len()
+	}
+	for i := 0; i < n; i++ {
+		t := pending.At(i)
+		var dest int
+		if r.Agg != nil {
+			b := int(t.HashPrefix(r.Indep) % uint64(size))
+			if r.subs > 1 {
+				// Scatter across the bucket's sub-buckets by dependent
+				// value to balance merge work; a second intra-bucket hop
+				// gathers partials to the owner below.
+				s := int(tuple.Tuple(t[r.Indep:]).Hash() % uint64(r.subs))
+				dest = r.rankOf(b, s)
+			} else {
+				dest = r.rankOf(b, 0)
+			}
+		} else {
+			ix := r.indexes[0]
+			dest = r.rankOf(ix.bucketOf(t), ix.subOf(t))
+		}
+		send[dest] = append(send[dest], t...)
+	}
+	pre := r.comm.Stats().Snapshot()
+	recv := r.comm.Alltoallv(send)
+	if record {
+		d := r.comm.Stats().Snapshot().Sub(pre)
+		s := timer.Done(int64(n), int64(d.Bytes()), int64(d.CollectiveCalls+d.P2PMessages))
+		r.mc.Record(rank, iter, metrics.PhaseAllToAll, s)
+	}
+
+	changedLocal := uint64(0)
+	if r.Agg != nil {
+		changedLocal = r.materializeAgg(iter, recv, record)
+	} else {
+		changedLocal = r.materializeSet(iter, recv, record)
+	}
+
+	total := r.comm.Allreduce(changedLocal, mpi.OpSum)
+	r.changedLast = total
+	return total
+}
+
+// materializeSet deduplicates arrived tuples against the canonical index,
+// inserts survivors into FULL and Δ locally, and routes them to secondary
+// indexes.
+func (r *Relation) materializeSet(iter int, recv [][]mpi.Word, record bool) uint64 {
+	rank := r.comm.Rank()
+	timer := metrics.StartTimer()
+	canon := r.indexes[0]
+	var work int64
+	var fresh []tuple.Tuple
+	for _, words := range recv {
+		for off := 0; off+r.Arity <= len(words); off += r.Arity {
+			t := tuple.Tuple(words[off : off+r.Arity])
+			if r.leaky != nil && !r.leakyImproves(t) {
+				work++
+				continue
+			}
+			work += treeWork(canon.Full.Len())
+			if canon.Full.Insert(t) {
+				canon.Delta.Insert(t)
+				r.assignID(keyString(t))
+				fresh = append(fresh, t)
+			}
+		}
+	}
+	if record {
+		r.mc.Record(rank, iter, metrics.PhaseLocalAgg, timer.Done(work, 0, 0))
+	}
+	r.maintainIndexes(iter, fresh, record)
+	return uint64(len(fresh))
+}
+
+// materializeAgg merges arrived tuples into the canonical accumulator. With
+// sub-bucketing it first pre-aggregates at the scatter target and gathers
+// partials to the bucket owner over a second intra-bucket exchange, which is
+// the "Other" overhead the paper observes at high rank counts (Fig. 6).
+func (r *Relation) materializeAgg(iter int, recv [][]mpi.Word, record bool) uint64 {
+	rank := r.comm.Rank()
+	size := r.comm.Size()
+	timer := metrics.StartTimer()
+
+	// Pre-aggregate what arrived here, keyed by independent columns.
+	partial := make(map[string][]tuple.Value)
+	var work int64
+	for _, words := range recv {
+		for off := 0; off+r.Arity <= len(words); off += r.Arity {
+			t := tuple.Tuple(words[off : off+r.Arity])
+			k := keyString(t[:r.Indep])
+			dep := append([]tuple.Value(nil), t[r.Indep:]...)
+			if cur, ok := partial[k]; ok {
+				partial[k] = r.Agg.Join(cur, dep)
+			} else {
+				partial[k] = dep
+			}
+			work++
+		}
+	}
+
+	if r.subs > 1 {
+		// Intra-bucket gather: partials travel to the bucket owner
+		// (sub-bucket 0).
+		if record {
+			r.mc.Record(rank, iter, metrics.PhaseLocalAgg, timer.Done(work, 0, 0))
+		}
+		gatherTimer := metrics.StartTimer()
+		send := make([][]mpi.Word, size)
+		for k, dep := range partial {
+			indep := keyValues(k)
+			dest := r.accPlacement(indep)
+			send[dest] = append(send[dest], indep...)
+			send[dest] = append(send[dest], dep...)
+		}
+		pre := r.comm.Stats().Snapshot()
+		recv2 := r.comm.Alltoallv(send)
+		if record {
+			d := r.comm.Stats().Snapshot().Sub(pre)
+			s := gatherTimer.Done(int64(len(partial)), int64(d.Bytes()), int64(d.CollectiveCalls+d.P2PMessages))
+			r.mc.Record(rank, iter, metrics.PhaseOther, s)
+		}
+		timer = metrics.StartTimer()
+		work = 0
+		partial = make(map[string][]tuple.Value)
+		for _, words := range recv2 {
+			for off := 0; off+r.Arity <= len(words); off += r.Arity {
+				t := tuple.Tuple(words[off : off+r.Arity])
+				k := keyString(t[:r.Indep])
+				dep := append([]tuple.Value(nil), t[r.Indep:]...)
+				if cur, ok := partial[k]; ok {
+					partial[k] = r.Agg.Join(cur, dep)
+				} else {
+					partial[k] = dep
+				}
+				work++
+			}
+		}
+	}
+
+	// Merge partials into the accumulator; a key whose value strictly
+	// changes (or is new) enters Δ — the ascending-chain condition.
+	var fresh []tuple.Tuple
+	for k, dep := range partial {
+		cur, ok := r.acc[k]
+		merged := dep
+		if ok {
+			merged = r.Agg.Join(cur, dep)
+			if r.Agg.Compare(merged, cur) == lattice.Equal {
+				work++
+				continue
+			}
+		}
+		cp := append([]tuple.Value(nil), merged...)
+		r.acc[k] = cp
+		r.assignID(k)
+		indep := keyValues(k)
+		t := make(tuple.Tuple, 0, r.Arity)
+		t = append(t, indep...)
+		t = append(t, cp...)
+		fresh = append(fresh, t)
+		work += 2
+	}
+	if record {
+		r.mc.Record(rank, iter, metrics.PhaseLocalAgg, timer.Done(work, 0, 0))
+	}
+	r.maintainIndexes(iter, fresh, record)
+	return uint64(len(fresh))
+}
+
+// maintainIndexes routes changed tuples (canonical order) to every index
+// home that needs them and applies them: set relations insert, aggregated
+// relations replace the stale entry for the key. For set relations the
+// canonical index was already updated during deduplication and is skipped.
+func (r *Relation) maintainIndexes(iter int, fresh []tuple.Tuple, record bool) {
+	rank := r.comm.Rank()
+	size := r.comm.Size()
+	start := 0
+	if r.Agg == nil {
+		start = 1
+	}
+	if start >= len(r.indexes) {
+		// No replicas to maintain, but Alltoallv is collective and other
+		// relations... each relation materializes on all ranks in the same
+		// sequence, so skipping uniformly here is safe.
+		return
+	}
+	timer := metrics.StartTimer()
+	send := make([][]mpi.Word, size)
+	for _, t := range fresh {
+		for id := start; id < len(r.indexes); id++ {
+			ix := r.indexes[id]
+			stored := ix.permute(t)
+			dest := r.rankOf(ix.bucketOf(stored), ix.subOf(stored))
+			send[dest] = append(send[dest], mpi.Word(id))
+			send[dest] = append(send[dest], stored...)
+		}
+	}
+	pre := r.comm.Stats().Snapshot()
+	recv := r.comm.Alltoallv(send)
+	commDelta := r.comm.Stats().Snapshot().Sub(pre)
+
+	var work int64
+	rec := 1 + r.Arity
+	for _, words := range recv {
+		for off := 0; off+rec <= len(words); off += rec {
+			id := int(words[off])
+			stored := tuple.Tuple(words[off+1 : off+rec])
+			ix := r.indexes[id]
+			if r.Agg != nil {
+				// Purge the stale entry for this key: the independent
+				// prefix uniquely identifies it.
+				var stale []tuple.Tuple
+				ix.Full.AscendPrefix(stored[:ix.indepLen], func(old tuple.Tuple) bool {
+					stale = append(stale, old.Clone())
+					return true
+				})
+				for _, old := range stale {
+					ix.Full.Delete(old)
+					work += treeWork(ix.Full.Len())
+				}
+			}
+			work += treeWork(ix.Full.Len())
+			ix.Full.Insert(stored)
+			ix.Delta.Insert(stored)
+		}
+	}
+	if record {
+		s := timer.Done(work, int64(commDelta.Bytes()), int64(commDelta.CollectiveCalls+commDelta.P2PMessages))
+		r.mc.Record(rank, iter, metrics.PhaseAllToAll, s)
+	}
+}
+
+// leakyImproves applies the baseline engines' per-rank partial pruning: a
+// candidate survives only when its dependent value improves this rank's
+// partial best for its independent key. Stale tuples kept earlier are not
+// removed — that is the "leak" of §III-A.
+func (r *Relation) leakyImproves(t tuple.Tuple) bool {
+	k := keyString(t[:r.leaky.Indep])
+	dep := t[r.leaky.Indep:]
+	best, ok := r.leakyBest[k]
+	if !ok {
+		r.leakyBest[k] = append([]tuple.Value(nil), dep...)
+		return true
+	}
+	merged := r.leaky.Agg.Join(best, dep)
+	if r.leaky.Agg.Compare(merged, best) == lattice.Equal {
+		return false
+	}
+	r.leakyBest[k] = append([]tuple.Value(nil), merged...)
+	return true
+}

@@ -1,0 +1,416 @@
+// Package relation implements distributed relations with the paper's
+// bucket/sub-bucket double-hashed decomposition, semi-naïve FULL/Δ
+// versioning, and — for aggregated relations — the fused
+// deduplication/local-aggregation pass that is the core contribution of
+// the paper (§III-A, §IV-A).
+//
+// A relation is an SPMD object: every rank constructs it with identical
+// parameters and holds the shard of tuples the placement function assigns
+// to it. Set-semantics relations store tuples in B-tree indexes; aggregated
+// relations additionally keep a canonical accumulator map from independent
+// columns to the lattice-joined dependent value, placed by hashing the
+// independent columns only — which is what makes local aggregation
+// communication-free (dependent columns never influence placement).
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"paralagg/internal/btree"
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+// Schema declares a relation's shape. For set-semantics relations Indep ==
+// Arity and Agg is nil. For aggregated relations the first Indep columns are
+// independent (they key the accumulator) and the remaining Agg.Width()
+// columns hold the dependent value.
+type Schema struct {
+	Name  string
+	Arity int
+	// Indep is the number of leading independent columns.
+	Indep int
+	// Key is the number of leading columns forming the canonical index key
+	// (the relation's default join columns). Key <= Indep.
+	Key int
+	// Agg is the recursive aggregator for the dependent columns, or nil for
+	// set semantics.
+	Agg lattice.Aggregator
+}
+
+// Dep returns the number of dependent columns.
+func (s Schema) Dep() int { return s.Arity - s.Indep }
+
+// Validate checks internal consistency.
+func (s Schema) Validate() error {
+	if s.Arity <= 0 {
+		return fmt.Errorf("relation %s: arity %d", s.Name, s.Arity)
+	}
+	if s.Key <= 0 || s.Key > s.Indep {
+		return fmt.Errorf("relation %s: key %d out of range (indep %d)", s.Name, s.Key, s.Indep)
+	}
+	if s.Agg == nil {
+		if s.Indep != s.Arity {
+			return fmt.Errorf("relation %s: set relation with %d dependent columns", s.Name, s.Arity-s.Indep)
+		}
+		return nil
+	}
+	if s.Indep+s.Agg.Width() != s.Arity {
+		return fmt.Errorf("relation %s: indep %d + agg width %d != arity %d",
+			s.Name, s.Indep, s.Agg.Width(), s.Arity)
+	}
+	if s.Indep < 1 {
+		return fmt.Errorf("relation %s: aggregated relation needs at least one independent column", s.Name)
+	}
+	return nil
+}
+
+// Config tunes a relation's distribution.
+type Config struct {
+	// Subs is the number of sub-buckets per bucket (spatial load balancing,
+	// §IV-C). 1 disables balancing; the paper's default is 8.
+	Subs int
+	// Leaky puts a set-semantics relation into the "leaky partial
+	// aggregation" mode of the systems the paper compares against
+	// (RaSQL/BigDatalog/SociaLite, §III-A/§IV-A): tuples carry their value
+	// columns through ordinary set dedup, each rank prunes candidates only
+	// against its own partial best per independent key, and superseded
+	// tuples are never purged. The relation converges to a superset of the
+	// true aggregate; a final gather computes exact answers. PARALAGG
+	// relations never set this — it exists for the baseline engines.
+	Leaky *LeakySpec
+}
+
+// LeakySpec configures leaky-mode pruning: candidates whose dependent value
+// does not improve this rank's partial best for their first Indep columns
+// are dropped; improvements are kept alongside the now-stale tuples.
+type LeakySpec struct {
+	Agg   lattice.Aggregator
+	Indep int
+}
+
+// Relation is one rank's handle on a distributed relation. All ranks must
+// perform the same sequence of collective operations (AddIndex, LoadFacts,
+// Materialize) on it.
+type Relation struct {
+	Schema
+	comm *mpi.Comm
+	mc   *metrics.Collector
+	subs int
+
+	// acc is the canonical aggregate accumulator: independent-column key →
+	// current lattice value. Only entries whose canonical placement maps to
+	// this rank are present. Nil for set relations.
+	acc map[string][]tuple.Value
+
+	// indexes hold the B-tree storage replicas used by joins. Index 0 is
+	// the canonical index (identity permutation); it always exists and is
+	// where set-semantics deduplication happens.
+	indexes []*Index
+
+	// changedLast caches the global changed-count from the most recent
+	// Materialize, letting the fixpoint driver skip join variants whose Δ
+	// side is globally empty.
+	changedLast uint64
+
+	// leaky and leakyBest implement the baseline engines' partial
+	// aggregation: leakyBest maps an independent-column key to this rank's
+	// partial best dependent value. See Config.Leaky.
+	leaky     *LeakySpec
+	leakyBest map[string][]tuple.Value
+
+	// ids materializes BPRA's bump-pointer tuple identity: canonical key →
+	// globally unique id allocated on this rank. See ids.go.
+	ids       map[string]uint64
+	idCounter uint64
+}
+
+// Index is one storage replica of a relation under a column permutation.
+// The first JK permuted columns are the index's join key: tuples are
+// bucketed by hashing them, so a join probe on those columns is rank-local.
+type Index struct {
+	rel *Relation
+	// Perm maps storage position → source column: stored[i] = t[Perm[i]].
+	Perm []int
+	// JK is the number of leading join-key columns in permuted space.
+	JK int
+	// indepLen is the number of leading permuted columns that are
+	// independent source columns (used to locate stale aggregate entries).
+	indepLen int
+
+	Full  *btree.Tree
+	Delta *btree.Tree
+}
+
+// New constructs a rank's shard of a relation. Every rank of the world must
+// call it with identical arguments.
+func New(sch Schema, comm *mpi.Comm, mc *metrics.Collector, cfg Config) (*Relation, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	subs := cfg.Subs
+	if subs < 1 {
+		subs = 1
+	}
+	r := &Relation{Schema: sch, comm: comm, mc: mc, subs: subs}
+	if sch.Agg != nil {
+		r.acc = make(map[string][]tuple.Value)
+	}
+	if cfg.Leaky != nil {
+		if sch.Agg != nil {
+			return nil, fmt.Errorf("relation %s: leaky mode applies to set relations only", sch.Name)
+		}
+		if cfg.Leaky.Indep < 1 || cfg.Leaky.Indep >= sch.Arity || cfg.Leaky.Agg == nil {
+			return nil, fmt.Errorf("relation %s: bad leaky spec", sch.Name)
+		}
+		r.leaky = cfg.Leaky
+		r.leakyBest = make(map[string][]tuple.Value)
+	}
+	// Canonical index: identity permutation keyed on the schema's Key
+	// columns.
+	perm := make([]int, sch.Arity)
+	for i := range perm {
+		perm[i] = i
+	}
+	if _, err := r.AddIndex(perm, sch.Key); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Comm returns the communicator the relation was built on.
+func (r *Relation) Comm() *mpi.Comm { return r.comm }
+
+// Subs returns the relation's sub-bucket count.
+func (r *Relation) Subs() int { return r.subs }
+
+// Canonical returns the canonical (identity-permutation) index.
+func (r *Relation) Canonical() *Index { return r.indexes[0] }
+
+// Indexes returns all registered indexes, canonical first.
+func (r *Relation) Indexes() []*Index { return r.indexes }
+
+// ChangedLast returns the global changed-tuple count from the most recent
+// Materialize (identical on every rank).
+func (r *Relation) ChangedLast() uint64 { return r.changedLast }
+
+// AddIndex registers a storage replica with the given column permutation
+// and join-key length. For aggregated relations every independent column
+// must appear before every dependent column so that the independent prefix
+// uniquely locates the (single) stored tuple per key. Indexes must be
+// registered identically on every rank before any facts are loaded.
+func (r *Relation) AddIndex(perm []int, jk int) (*Index, error) {
+	if len(perm) != r.Arity {
+		return nil, fmt.Errorf("relation %s: index perm %v has %d entries, arity %d", r.Name, perm, len(perm), r.Arity)
+	}
+	seen := make([]bool, r.Arity)
+	for _, c := range perm {
+		if c < 0 || c >= r.Arity || seen[c] {
+			return nil, fmt.Errorf("relation %s: bad index perm %v", r.Name, perm)
+		}
+		seen[c] = true
+	}
+	if jk < 1 || jk > r.Arity {
+		return nil, fmt.Errorf("relation %s: index jk %d out of range", r.Name, jk)
+	}
+	idx := &Index{
+		rel:      r,
+		Perm:     append([]int(nil), perm...),
+		JK:       jk,
+		indepLen: r.Indep,
+		Full:     btree.New(),
+		Delta:    btree.New(),
+	}
+	if r.Agg != nil {
+		// Independent columns must be a prefix of the permutation.
+		for i := 0; i < r.Indep; i++ {
+			if perm[i] >= r.Indep {
+				return nil, fmt.Errorf("relation %s: index perm %v places dependent column %d before independent ones",
+					r.Name, perm, perm[i])
+			}
+		}
+		if jk > r.Indep {
+			return nil, fmt.Errorf("relation %s: index joins on dependent columns (jk %d > indep %d): "+
+				"recursive aggregates may not be joined on their aggregated columns", r.Name, jk, r.Indep)
+		}
+	}
+	r.indexes = append(r.indexes, idx)
+	return r.indexes[len(r.indexes)-1], nil
+}
+
+// FindIndex returns a registered index with exactly the given permutation
+// prefix as join key: the first jk entries of perm must match. It returns
+// nil if none exists.
+func (r *Relation) FindIndex(perm []int, jk int) *Index {
+	for _, idx := range r.indexes {
+		if idx.JK != jk || len(idx.Perm) != len(perm) {
+			continue
+		}
+		match := true
+		for i, c := range perm {
+			if idx.Perm[i] != c {
+				match = false
+				break
+			}
+		}
+		if match {
+			return idx
+		}
+	}
+	return nil
+}
+
+// permute returns t rearranged into the index's storage order.
+func (ix *Index) permute(t tuple.Tuple) tuple.Tuple {
+	out := make(tuple.Tuple, len(ix.Perm))
+	for i, c := range ix.Perm {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Unpermute maps a stored tuple back to canonical column order.
+func (ix *Index) Unpermute(stored tuple.Tuple) tuple.Tuple {
+	out := make(tuple.Tuple, len(ix.Perm))
+	for i, c := range ix.Perm {
+		out[c] = stored[i]
+	}
+	return out
+}
+
+// bucketOf returns the bucket for a stored-order tuple: the hash of the
+// index's join-key columns modulo the world size (one logical bucket per
+// rank, as in BPRA).
+func (ix *Index) bucketOf(stored tuple.Tuple) int {
+	return int(stored.HashPrefix(ix.JK) % uint64(ix.rel.comm.Size()))
+}
+
+// subOf returns the sub-bucket for a stored-order tuple: the hash of the
+// independent non-key columns. Dependent columns never contribute, so an
+// aggregate update stays on one rank. When no independent columns remain
+// beyond the key the index is single-sub (each key holds one tuple for
+// aggregated relations, so there is nothing to balance).
+func (ix *Index) subOf(stored tuple.Tuple) int {
+	if ix.rel.subs == 1 || ix.JK >= ix.indepLen {
+		return 0
+	}
+	h := tuple.Tuple(stored[ix.JK:ix.indepLen]).Hash()
+	return int(h % uint64(ix.rel.subs))
+}
+
+// rankOf maps (bucket, sub) to a rank. Sub-buckets of one bucket spread
+// across consecutive ranks so a skewed bucket's load lands on several
+// hosts.
+func (r *Relation) rankOf(bucket, sub int) int {
+	return (bucket*r.subs + sub) % r.comm.Size()
+}
+
+// homeRanks returns every rank holding a sub-bucket of the given bucket in
+// this index, deduplicated. Outer-relation tuples of the bucket are
+// replicated to exactly these ranks during intra-bucket communication.
+func (ix *Index) HomeRanks(bucket int) []int {
+	r := ix.rel
+	if r.subs == 1 || ix.JK >= ix.indepLen {
+		return []int{r.rankOf(bucket, 0)}
+	}
+	seen := make(map[int]bool, r.subs)
+	out := make([]int, 0, r.subs)
+	for s := 0; s < r.subs; s++ {
+		rk := r.rankOf(bucket, s)
+		if !seen[rk] {
+			seen[rk] = true
+			out = append(out, rk)
+		}
+	}
+	return out
+}
+
+// ownedHere reports whether a stored-order tuple belongs on this rank in
+// this index.
+func (ix *Index) ownedHere(stored tuple.Tuple) bool {
+	return ix.rel.rankOf(ix.bucketOf(stored), ix.subOf(stored)) == ix.rel.comm.Rank()
+}
+
+// accPlacement returns the rank owning the canonical accumulator entry for
+// a canonical-order tuple's independent columns.
+func (r *Relation) accPlacement(indepKey tuple.Tuple) int {
+	b := int(indepKey.HashPrefix(len(indepKey)) % uint64(r.comm.Size()))
+	return r.rankOf(b, 0)
+}
+
+// keyString encodes column values as a map key.
+func keyString(vals []tuple.Value) string {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	return string(b)
+}
+
+// keyValues decodes a keyString back to column values.
+func keyValues(s string) []tuple.Value {
+	out := make([]tuple.Value, len(s)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64([]byte(s[i*8 : i*8+8]))
+	}
+	return out
+}
+
+// LocalFullCount returns the number of tuples this rank stores in the
+// canonical index (set relations) or accumulator (aggregated relations).
+func (r *Relation) LocalFullCount() int {
+	if r.Agg != nil {
+		return len(r.acc)
+	}
+	return r.indexes[0].Full.Len()
+}
+
+// LocalDeltaCount returns the number of Δ tuples on this rank (canonical
+// index).
+func (r *Relation) LocalDeltaCount() int { return r.indexes[0].Delta.Len() }
+
+// GlobalFullCount sums LocalFullCount across ranks (collective).
+func (r *Relation) GlobalFullCount() uint64 {
+	return r.comm.Allreduce(uint64(r.LocalFullCount()), mpi.OpSum)
+}
+
+// PerRankCounts gathers every rank's LocalFullCount (collective); the
+// result feeds the paper's Figure 3 tuple-distribution CDF.
+func (r *Relation) PerRankCounts() []int {
+	all := r.comm.Allgather(uint64(r.LocalFullCount()))
+	out := make([]int, len(all))
+	for i, v := range all {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Lookup returns the accumulator value for the given independent key if it
+// lives on this rank (aggregated relations only).
+func (r *Relation) Lookup(indepKey tuple.Tuple) ([]tuple.Value, bool) {
+	if r.Agg == nil {
+		return nil, false
+	}
+	v, ok := r.acc[keyString(indepKey)]
+	return v, ok
+}
+
+// EachAcc iterates this rank's accumulator entries as canonical tuples.
+// Iteration order is unspecified.
+func (r *Relation) EachAcc(fn func(tuple.Tuple)) {
+	for k, dep := range r.acc {
+		indep := keyValues(k)
+		t := make(tuple.Tuple, 0, r.Arity)
+		t = append(t, indep...)
+		t = append(t, dep...)
+		fn(t)
+	}
+}
+
+// SetChangedLast overrides the cached global changed count. The fixpoint
+// driver uses it when re-seeding Δ at a stratum boundary; the value must be
+// identical on every rank.
+func (r *Relation) SetChangedLast(n uint64) { r.changedLast = n }

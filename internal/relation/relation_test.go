@@ -1,0 +1,614 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+func setSchema(name string, arity, key int) Schema {
+	return Schema{Name: name, Arity: arity, Indep: arity, Key: key}
+}
+
+func aggSchema(name string, indep int, agg lattice.Aggregator) Schema {
+	return Schema{Name: name, Arity: indep + agg.Width(), Indep: indep, Key: indep, Agg: agg}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	cases := []struct {
+		s  Schema
+		ok bool
+	}{
+		{setSchema("e", 2, 1), true},
+		{setSchema("e", 2, 2), true},
+		{aggSchema("a", 2, lattice.Min{}), true},
+		{Schema{Name: "z", Arity: 0, Indep: 0, Key: 0}, false},
+		{Schema{Name: "z", Arity: 2, Indep: 2, Key: 3}, false},
+		{Schema{Name: "z", Arity: 3, Indep: 2, Key: 1}, false},                     // dep cols without agg
+		{Schema{Name: "z", Arity: 2, Indep: 2, Key: 1, Agg: lattice.Min{}}, false}, // indep+width != arity
+		{Schema{Name: "z", Arity: 1, Indep: 0, Key: 0, Agg: lattice.Min{}}, false}, // no indep col
+	}
+	for i, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d (%+v): err = %v", i, c.s, err)
+		}
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	vals := []tuple.Value{0, 1, 1 << 63, ^tuple.Value(0)}
+	got := keyValues(keyString(vals))
+	if len(got) != len(vals) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("roundtrip[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+// runWorld is a test helper running an SPMD body over n ranks.
+func runWorld(t *testing.T, n int, body func(c *mpi.Comm) error) {
+	t.Helper()
+	w := mpi.NewWorld(n)
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetRelationLoadAndDedup(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		// All ranks contribute the SAME 100 tuples: global result must be
+		// 100 distinct tuples, not 400.
+		buf := tuple.NewBuffer(2, 100)
+		for i := 0; i < 100; i++ {
+			buf.Append(tuple.Tuple{tuple.Value(i % 10), tuple.Value(i)})
+		}
+		changed := r.Materialize(0, buf, false)
+		if changed != 100 {
+			return fmt.Errorf("changed = %d, want 100", changed)
+		}
+		if got := r.GlobalFullCount(); got != 100 {
+			return fmt.Errorf("global count = %d", got)
+		}
+		// Second materialize of the same data: nothing changes and Δ flips
+		// to empty.
+		changed = r.Materialize(1, buf, false)
+		if changed != 0 {
+			return fmt.Errorf("re-materialize changed = %d", changed)
+		}
+		if d := c.Allreduce(uint64(r.LocalDeltaCount()), mpi.OpSum); d != 0 {
+			return fmt.Errorf("delta after no-change = %d", d)
+		}
+		return nil
+	})
+}
+
+func TestSetRelationPlacementInvariant(t *testing.T) {
+	const ranks = 5
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{Subs: 3})
+		if err != nil {
+			return err
+		}
+		r.LoadShare(500, func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{tuple.Value(i % 7), tuple.Value(i)})
+		})
+		// Every locally stored tuple must map to this rank under the
+		// placement function.
+		bad := 0
+		ix := r.Canonical()
+		ix.Full.Ascend(func(tt tuple.Tuple) bool {
+			if !ix.ownedHere(tt) {
+				bad++
+			}
+			return true
+		})
+		if bad != 0 {
+			return fmt.Errorf("rank %d stores %d misplaced tuples", c.Rank(), bad)
+		}
+		if got := r.GlobalFullCount(); got != 500 {
+			return fmt.Errorf("global = %d", got)
+		}
+		return nil
+	})
+}
+
+func TestSecondaryIndexConsistency(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{Subs: 2})
+		if err != nil {
+			return err
+		}
+		rev, err := r.AddIndex([]int{1, 0}, 1) // reversed index on column 2
+		if err != nil {
+			return err
+		}
+		r.LoadShare(300, func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{tuple.Value(i), tuple.Value(i * 3 % 50)})
+		})
+		// The reversed index must globally hold the same 300 tuples.
+		if got := c.Allreduce(uint64(rev.Full.Len()), mpi.OpSum); got != 300 {
+			return fmt.Errorf("reversed index global = %d", got)
+		}
+		// And each stored tuple unpermutes to an original fact.
+		bad := 0
+		rev.Full.Ascend(func(stored tuple.Tuple) bool {
+			orig := rev.Unpermute(stored)
+			if orig[1] != orig[0]*3%50 {
+				bad++
+			}
+			return true
+		})
+		if bad != 0 {
+			return fmt.Errorf("%d corrupted tuples in reversed index", bad)
+		}
+		// Probing the reversed index by its join key must be rank-local:
+		// all tuples with the same column-2 value live on one rank (the
+		// index has no sub-splittable columns here, but the bucket must
+		// still be unique). Iterate the deterministic key domain so every
+		// rank performs the same collectives.
+		for v := 0; v < 50; v++ {
+			n := rev.Full.Count(tuple.Tuple{tuple.Value(v)})
+			have := uint64(0)
+			if n > 0 {
+				have = 1
+			}
+			holders := c.Allreduce(have, mpi.OpSum)
+			if holders > 1 && r.Subs() == 1 {
+				return fmt.Errorf("key %d spread across %d ranks with 1 sub-bucket", v, holders)
+			}
+			if holders == 0 {
+				return fmt.Errorf("key %d missing from reversed index", v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAggRelationMinAccumulation(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(aggSchema("sp", 2, lattice.Min{}), c, mc, Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		// Every rank proposes a different value for key (1,2); min must win.
+		buf := tuple.NewBuffer(3, 1)
+		buf.Append(tuple.Tuple{1, 2, tuple.Value(10 + c.Rank())})
+		changed := r.Materialize(0, buf, false)
+		if changed != 1 {
+			return fmt.Errorf("changed = %d, want 1 (single key)", changed)
+		}
+		// Exactly one rank owns the accumulator; its value must be 10.
+		if v, ok := r.Lookup(tuple.Tuple{1, 2}); ok {
+			if v[0] != 10 {
+				return fmt.Errorf("acc = %d, want 10", v[0])
+			}
+		}
+		if got := r.GlobalFullCount(); got != 1 {
+			return fmt.Errorf("global = %d", got)
+		}
+		// Worse value: no change. Better value: change.
+		buf.Reset()
+		buf.Append(tuple.Tuple{1, 2, 50})
+		if ch := r.Materialize(1, buf, false); ch != 0 {
+			return fmt.Errorf("worse value changed = %d", ch)
+		}
+		buf.Reset()
+		buf.Append(tuple.Tuple{1, 2, 3})
+		if ch := r.Materialize(2, buf, false); ch != 1 {
+			return fmt.Errorf("better value changed = %d", ch)
+		}
+		if v, ok := r.Lookup(tuple.Tuple{1, 2}); ok && v[0] != 3 {
+			return fmt.Errorf("acc after improvement = %d", v[0])
+		}
+		return nil
+	})
+}
+
+func TestAggIndexStalePurge(t *testing.T) {
+	const ranks = 3
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(aggSchema("sp", 2, lattice.Min{}), c, mc, Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		// Index on the second independent column (like SSSP's index on
+		// "to" for the next join).
+		rev, err := r.AddIndex([]int{1, 0, 2}, 1)
+		if err != nil {
+			return err
+		}
+		buf := tuple.NewBuffer(3, 1)
+		buf.Append(tuple.Tuple{7, 8, 100})
+		r.Materialize(0, buf, false)
+		buf.Reset()
+		buf.Append(tuple.Tuple{7, 8, 42})
+		r.Materialize(1, buf, false)
+		// Globally the reversed index must hold exactly one tuple for key
+		// (8,7), with value 42 — the stale 100 purged.
+		var local, staleCount uint64
+		rev.Full.AscendPrefix(tuple.Tuple{8, 7}, func(tt tuple.Tuple) bool {
+			local++
+			if tt[2] != 42 {
+				staleCount++
+			}
+			return true
+		})
+		if g := c.Allreduce(local, mpi.OpSum); g != 1 {
+			return fmt.Errorf("global entries for key = %d, want 1", g)
+		}
+		if g := c.Allreduce(staleCount, mpi.OpSum); g != 0 {
+			return fmt.Errorf("%d stale entries survived", g)
+		}
+		// The canonical index too.
+		var canon uint64
+		r.Canonical().Full.AscendPrefix(tuple.Tuple{7, 8}, func(tt tuple.Tuple) bool {
+			if tt[2] == 42 {
+				canon++
+			}
+			return true
+		})
+		if g := c.Allreduce(canon, mpi.OpSum); g != 1 {
+			return fmt.Errorf("canonical index entries = %d", g)
+		}
+		return nil
+	})
+}
+
+func TestAggSubBucketedTwoPhase(t *testing.T) {
+	// With Subs > 1 the aggregation runs scatter → pre-agg → gather; the
+	// result must equal the Subs == 1 answer.
+	const ranks = 4
+	for _, subs := range []int{1, 4} {
+		subs := subs
+		runWorld(t, ranks, func(c *mpi.Comm) error {
+			mc := metrics.NewCollector(ranks)
+			r, err := New(aggSchema("sp", 1, lattice.Min{}), c, mc, Config{Subs: subs})
+			if err != nil {
+				return err
+			}
+			// 1000 proposals for 10 keys from each rank.
+			buf := tuple.NewBuffer(2, 1000)
+			for i := 0; i < 1000; i++ {
+				key := tuple.Value(i % 10)
+				val := tuple.Value((i*7+c.Rank()*13)%997 + 1)
+				buf.Append(tuple.Tuple{key, val})
+			}
+			if ch := r.Materialize(0, buf, false); ch != 10 {
+				return fmt.Errorf("subs=%d: changed = %d, want 10", subs, ch)
+			}
+			// Verify each key's min against a direct computation.
+			for key := 0; key < 10; key++ {
+				want := ^tuple.Value(0)
+				for rk := 0; rk < ranks; rk++ {
+					for i := key; i < 1000; i += 10 {
+						v := tuple.Value((i*7+rk*13)%997 + 1)
+						if v < want {
+							want = v
+						}
+					}
+				}
+				var local uint64
+				if v, ok := r.Lookup(tuple.Tuple{tuple.Value(key)}); ok {
+					local = uint64(v[0])
+				}
+				got := c.Allreduce(local, mpi.OpMax)
+				if got != uint64(want) {
+					return fmt.Errorf("subs=%d key=%d: min = %d, want %d", subs, key, got, want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestMSumExactlyOnceAccumulation(t *testing.T) {
+	const ranks = 3
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(aggSchema("cnt", 1, lattice.MCount{}), c, mc, Config{Subs: 2})
+		if err != nil {
+			return err
+		}
+		// Each rank contributes 50 count-1 tuples for key 9.
+		buf := tuple.NewBuffer(2, 50)
+		for i := 0; i < 50; i++ {
+			buf.Append(tuple.Tuple{9, 1})
+		}
+		r.Materialize(0, buf, false)
+		var local uint64
+		if v, ok := r.Lookup(tuple.Tuple{9}); ok {
+			local = uint64(v[0])
+		}
+		if got := c.Allreduce(local, mpi.OpMax); got != 150 {
+			return fmt.Errorf("count = %d, want 150", got)
+		}
+		return nil
+	})
+}
+
+func TestSetSubsRedistributionPreservesData(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		// Skewed: 90% of tuples share key 0.
+		r.LoadShare(1000, func(i int, emit func(tuple.Tuple)) {
+			k := tuple.Value(0)
+			if i%10 == 9 {
+				k = tuple.Value(i)
+			}
+			emit(tuple.Tuple{k, tuple.Value(i)})
+		})
+		before := r.GlobalFullCount()
+		ratioBefore := metrics.ImbalanceRatio(r.PerRankCounts())
+		r.SetSubs(8)
+		after := r.GlobalFullCount()
+		if before != after {
+			return fmt.Errorf("rebalance lost tuples: %d -> %d", before, after)
+		}
+		ratioAfter := metrics.ImbalanceRatio(r.PerRankCounts())
+		if ratioAfter > ratioBefore {
+			return fmt.Errorf("rebalance worsened imbalance: %.1f -> %.1f", ratioBefore, ratioAfter)
+		}
+		// All tuples must sit on their new homes.
+		bad := 0
+		ix := r.Canonical()
+		ix.Full.Ascend(func(tt tuple.Tuple) bool {
+			if !ix.ownedHere(tt) {
+				bad++
+			}
+			return true
+		})
+		if bad != 0 {
+			return fmt.Errorf("%d misplaced tuples after rebalance", bad)
+		}
+		return nil
+	})
+}
+
+func TestAddIndexValidation(t *testing.T) {
+	runWorld(t, 1, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(1)
+		r, _ := New(aggSchema("sp", 2, lattice.Min{}), c, mc, Config{})
+		if _, err := r.AddIndex([]int{0, 1}, 1); err == nil {
+			return fmt.Errorf("accepted wrong-length perm")
+		}
+		if _, err := r.AddIndex([]int{0, 0, 2}, 1); err == nil {
+			return fmt.Errorf("accepted duplicate perm entry")
+		}
+		if _, err := r.AddIndex([]int{2, 0, 1}, 1); err == nil {
+			return fmt.Errorf("accepted dependent column before independent")
+		}
+		if _, err := r.AddIndex([]int{0, 1, 2}, 3); err == nil {
+			return fmt.Errorf("accepted join on dependent column")
+		}
+		if _, err := r.AddIndex([]int{1, 0, 2}, 1); err != nil {
+			return fmt.Errorf("rejected valid index: %v", err)
+		}
+		if r.FindIndex([]int{1, 0, 2}, 1) == nil {
+			return fmt.Errorf("FindIndex missed registered index")
+		}
+		if r.FindIndex([]int{1, 0, 2}, 2) != nil {
+			return fmt.Errorf("FindIndex matched wrong jk")
+		}
+		return nil
+	})
+}
+
+func TestEachAccRebuildsCanonicalTuples(t *testing.T) {
+	runWorld(t, 2, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(2)
+		r, _ := New(aggSchema("sp", 2, lattice.Min{}), c, mc, Config{})
+		buf := tuple.NewBuffer(3, 2)
+		if c.Rank() == 0 {
+			buf.Append(tuple.Tuple{1, 2, 30})
+			buf.Append(tuple.Tuple{4, 5, 60})
+		}
+		r.Materialize(0, buf, false)
+		var local uint64
+		r.EachAcc(func(t tuple.Tuple) {
+			if (t[0] == 1 && t[1] == 2 && t[2] == 30) || (t[0] == 4 && t[1] == 5 && t[2] == 60) {
+				local++
+			} else {
+				local += 1000 // corrupt tuple marker
+			}
+		})
+		if g := c.Allreduce(local, mpi.OpSum); g != 2 {
+			return fmt.Errorf("EachAcc saw wrong tuples (marker %d)", g)
+		}
+		return nil
+	})
+}
+
+func TestCheckInvariantsAfterChurn(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(aggSchema("sp", 2, lattice.Min{}), c, mc, Config{Subs: 2})
+		if err != nil {
+			return err
+		}
+		if _, err := r.AddIndex([]int{1, 0, 2}, 1); err != nil {
+			return err
+		}
+		// Churn: repeated improvements across many keys.
+		for round := 0; round < 5; round++ {
+			buf := tuple.NewBuffer(3, 64)
+			for i := 0; i < 64; i++ {
+				key := tuple.Value(i % 16)
+				buf.Append(tuple.Tuple{key, key + 1, tuple.Value(100 - round*10 + i%3)})
+			}
+			r.Materialize(round, buf, false)
+			if err := r.CheckInvariants(); err != nil {
+				return fmt.Errorf("round %d: %v", round, err)
+			}
+		}
+		// Rebalance and re-check.
+		r.SetSubs(8)
+		return r.CheckInvariants()
+	})
+}
+
+func TestCheckInvariantsSetRelation(t *testing.T) {
+	const ranks = 3
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{Subs: 2})
+		if err != nil {
+			return err
+		}
+		if _, err := r.AddIndex([]int{1, 0}, 1); err != nil {
+			return err
+		}
+		r.LoadShare(400, func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{tuple.Value(i % 13), tuple.Value(i)})
+		})
+		return r.CheckInvariants()
+	})
+}
+
+func TestTupleIDsUniqueAndStable(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(aggSchema("sp", 2, lattice.Min{}), c, mc, Config{})
+		if err != nil {
+			return err
+		}
+		buf := tuple.NewBuffer(3, 8)
+		for i := 0; i < 8; i++ {
+			buf.Append(tuple.Tuple{tuple.Value(i), tuple.Value(i + 1), 50})
+		}
+		r.Materialize(0, buf, false)
+		// Record ids, improve every key, and confirm ids survive.
+		ids := map[[2]uint64]uint64{}
+		r.EachAcc(func(tt tuple.Tuple) {
+			id, ok := r.TupleID(tuple.Tuple{tt[0], tt[1]})
+			if !ok {
+				t.Errorf("no id for %v", tt)
+				return
+			}
+			if IDOwner(id) != c.Rank() {
+				t.Errorf("id %x owned by %d but stored on %d", id, IDOwner(id), c.Rank())
+			}
+			ids[[2]uint64{tt[0], tt[1]}] = id
+		})
+		buf.Reset()
+		for i := 0; i < 8; i++ {
+			buf.Append(tuple.Tuple{tuple.Value(i), tuple.Value(i + 1), 7})
+		}
+		r.Materialize(1, buf, false)
+		r.EachAcc(func(tt tuple.Tuple) {
+			if tt[2] != 7 {
+				t.Errorf("value not improved: %v", tt)
+			}
+			id, _ := r.TupleID(tuple.Tuple{tt[0], tt[1]})
+			if id != ids[[2]uint64{tt[0], tt[1]}] {
+				t.Errorf("id changed on improvement for %v", tt)
+			}
+		})
+		// Global id count equals global key count, and ids are globally
+		// unique by construction (disjoint per-rank ranges).
+		total := c.Allreduce(uint64(r.LocalIDCount()), mpi.OpSum)
+		if total != r.GlobalFullCount() {
+			return fmt.Errorf("ids %d, keys %d", total, r.GlobalFullCount())
+		}
+		return nil
+	})
+}
+
+func TestTupleIDsSurviveRebalance(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		r.LoadShare(200, func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{tuple.Value(i % 5), tuple.Value(i)})
+		})
+		// Record all (tuple → id) pairs globally via a canonical scan on
+		// each rank.
+		before := map[[2]uint64]uint64{}
+		r.Canonical().Full.Ascend(func(tt tuple.Tuple) bool {
+			id, ok := r.TupleID(tt)
+			if !ok {
+				t.Errorf("missing id for %v", tt)
+				return false
+			}
+			before[[2]uint64{tt[0], tt[1]}] = id
+			return true
+		})
+		r.SetSubs(8)
+		// After rebalance every local tuple still has its id, and the id
+		// count matches the tuple count globally.
+		r.Canonical().Full.Ascend(func(tt tuple.Tuple) bool {
+			if _, ok := r.TupleID(tt); !ok {
+				t.Errorf("id lost after rebalance for %v", tt)
+				return false
+			}
+			return true
+		})
+		ids := c.Allreduce(uint64(r.LocalIDCount()), mpi.OpSum)
+		if ids != r.GlobalFullCount() {
+			return fmt.Errorf("ids %d, tuples %d after rebalance", ids, r.GlobalFullCount())
+		}
+		return r.CheckInvariants()
+	})
+}
+
+// TestQuickPlacementDeterministicAndInRange: every tuple maps to exactly
+// one rank in range, stably.
+func TestQuickPlacementDeterministicAndInRange(t *testing.T) {
+	runWorld(t, 1, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(1)
+		// A single-rank world still exercises the placement arithmetic via
+		// the index helpers (bucket/sub computations are world-size based;
+		// use a fake larger size by checking the hash spread directly).
+		r, err := New(setSchema("edge", 3, 1), c, mc, Config{Subs: 4})
+		if err != nil {
+			return err
+		}
+		ix := r.Canonical()
+		f := func(a, b, w uint64) bool {
+			t1 := tuple.Tuple{a, b, w}
+			bkt := ix.bucketOf(t1)
+			sub := ix.subOf(t1)
+			if bkt != ix.bucketOf(t1) || sub != ix.subOf(t1) {
+				return false // nondeterministic
+			}
+			if bkt < 0 || bkt >= c.Size() || sub < 0 || sub >= r.Subs() {
+				return false
+			}
+			// Bucket depends only on the key prefix.
+			t2 := tuple.Tuple{a, b + 1, w + 7}
+			return ix.bucketOf(t2) == bkt
+		}
+		return quick.Check(f, &quick.Config{MaxCount: 500})
+	})
+}

@@ -1,0 +1,70 @@
+package tuple
+
+import "testing"
+
+func TestBufferRoundTrip(t *testing.T) {
+	b := NewBuffer(3, 2)
+	b.Append(Tuple{1, 2, 3})
+	b.Append(Tuple{4, 5, 6})
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if b.Bytes() != 48 {
+		t.Fatalf("Bytes = %d, want 48", b.Bytes())
+	}
+	dec, err := Decode(3, b.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.At(0).Equal(Tuple{1, 2, 3}) || !dec.At(1).Equal(Tuple{4, 5, 6}) {
+		t.Fatalf("decoded tuples wrong: %v %v", dec.At(0), dec.At(1))
+	}
+}
+
+func TestBufferEachOrder(t *testing.T) {
+	b := NewBuffer(1, 3)
+	for i := 0; i < 5; i++ {
+		b.Append(Tuple{Value(i)})
+	}
+	var seen []Value
+	b.Each(func(tt Tuple) { seen = append(seen, tt[0]) })
+	for i, v := range seen {
+		if v != Value(i) {
+			t.Fatalf("Each out of order at %d: %v", i, seen)
+		}
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(2, 1)
+	b.Append(Tuple{1, 2})
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after reset = %d", b.Len())
+	}
+	b.Append(Tuple{3, 4})
+	if !b.At(0).Equal(Tuple{3, 4}) {
+		t.Fatalf("append after reset broken: %v", b.At(0))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(3, make([]Value, 4)); err == nil {
+		t.Error("Decode accepted 4 words with arity 3")
+	}
+	if _, err := Decode(0, nil); err == nil {
+		t.Error("Decode accepted arity 0")
+	}
+	if _, err := Decode(2, nil); err != nil {
+		t.Errorf("Decode rejected empty payload: %v", err)
+	}
+}
+
+func TestAppendArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Append with wrong arity did not panic")
+		}
+	}()
+	NewBuffer(2, 1).Append(Tuple{1})
+}

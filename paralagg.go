@@ -1,0 +1,291 @@
+// Package paralagg is a Go reproduction of PARALAGG, the
+// communication-avoiding recursive-aggregation system of Sun, Kumar,
+// Gilray, and Micinski (CLUSTER 2023). It lets you declare relational-
+// algebra programs with recursive aggregates — SSSP, connected components,
+// PageRank, transitive closure — and executes them with semi-naïve
+// evaluation over a simulated MPI runtime: ranks are goroutines, relations
+// are distributed by bucket/sub-bucket double hashing, joins use
+// per-iteration dynamic layout planning (the paper's Algorithm 1), and
+// aggregation is fused with deduplication so that it adds no communication.
+//
+// A minimal program:
+//
+//	p := paralagg.NewProgram()
+//	p.DeclareSet("edge", 2, 1)
+//	p.DeclareAgg("cc", 1, paralagg.MinAgg)
+//	p.Add(
+//	    paralagg.R(paralagg.A("cc", paralagg.Var("y"), paralagg.Var("z")),
+//	        paralagg.A("cc", paralagg.Var("x"), paralagg.Var("z")),
+//	        paralagg.A("edge", paralagg.Var("x"), paralagg.Var("y"))),
+//	)
+//	res, err := paralagg.Exec(p, paralagg.Config{Ranks: 8}, loadFn, nil)
+//
+// Exec spawns one goroutine per rank; loadFn runs on every rank to feed
+// that rank's share of the base facts, and the returned Result carries
+// global relation sizes, iteration counts, and the simulated parallel-time
+// report the benchmark harness uses to reproduce the paper's figures.
+package paralagg
+
+import (
+	"fmt"
+	"sort"
+
+	"paralagg/internal/core"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/ra"
+	"paralagg/internal/tuple"
+)
+
+// PlanPolicy selects how each join's outer (serialized) relation is chosen.
+type PlanPolicy int
+
+// Join-layout policies. Dynamic is the paper's voting algorithm
+// (Algorithm 1) and the default; StaticRight reproduces the baseline of the
+// paper's Figure 2; AntiDynamic deliberately inverts the vote and exists
+// for ablations.
+const (
+	Dynamic PlanPolicy = iota
+	StaticLeft
+	StaticRight
+	AntiDynamic
+)
+
+func (p PlanPolicy) mode() ra.PlanMode {
+	switch p {
+	case StaticLeft:
+		return ra.PlanStaticLeft
+	case StaticRight:
+		return ra.PlanStaticRight
+	case AntiDynamic:
+		return ra.PlanAntiDynamic
+	}
+	return ra.PlanDynamic
+}
+
+// Config tunes an execution.
+type Config struct {
+	// Ranks is the number of simulated MPI ranks (default 4).
+	Ranks int
+	// Subs is the sub-bucket count per relation: the spatial load-balancing
+	// knob (default 1 = off; the paper's balanced runs use 8).
+	Subs int
+	// SubsFor overrides Subs per relation.
+	SubsFor map[string]int
+	// Plan is the join-layout policy.
+	Plan PlanPolicy
+	// MaxIters bounds each stratum's fixpoint (0 = to fixpoint).
+	MaxIters int
+	// Adaptive enables per-iteration spatial rebalancing: relations whose
+	// per-rank tuple counts become skewed double their sub-bucket count on
+	// the fly (the "balancing" phase of the paper's Fig. 1).
+	Adaptive bool
+	// Cost overrides the simulated-time cost model (zero value = default).
+	Cost metrics.CostModel
+}
+
+func (c Config) ranks() int {
+	if c.Ranks < 1 {
+		return 4
+	}
+	return c.Ranks
+}
+
+func (c Config) cost() metrics.CostModel {
+	if c.Cost == (metrics.CostModel{}) {
+		return metrics.DefaultCostModel
+	}
+	return c.Cost
+}
+
+// Rank is one simulated rank's view of a running program: load facts into
+// relations and inspect results. It is only valid inside the callbacks
+// passed to Exec.
+type Rank struct {
+	comm *mpi.Comm
+	inst *core.Instance
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.comm.Rank() }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.comm.Size() }
+
+// Load feeds this rank's share of base facts into a relation (canonical
+// column order). Collective: every rank must call it for the same relation
+// in the same order.
+func (r *Rank) Load(rel string, facts []Tuple) error {
+	rl := r.inst.Relation(rel)
+	if rl == nil {
+		return fmt.Errorf("paralagg: unknown relation %s", rel)
+	}
+	buf := tuple.NewBuffer(rl.Arity, len(facts))
+	for _, f := range facts {
+		buf.Append(tuple.Tuple(f))
+	}
+	return r.inst.Load(rel, buf)
+}
+
+// LoadShare splits n generated facts deterministically across ranks and
+// loads them. gen must behave identically on every rank; it is called with
+// the fact indices owned by this rank.
+func (r *Rank) LoadShare(rel string, n int, gen func(i int, emit func(Tuple))) error {
+	return r.inst.LoadShare(rel, n, func(i int, emit func(tuple.Tuple)) {
+		gen(i, func(t Tuple) { emit(tuple.Tuple(t)) })
+	})
+}
+
+// Count returns the global tuple count of a relation. Collective.
+func (r *Rank) Count(rel string) uint64 {
+	return r.inst.Relation(rel).GlobalFullCount()
+}
+
+// Each iterates this rank's locally stored result tuples of a relation in
+// canonical column order (the accumulator for aggregated relations, the
+// canonical index for set relations). Rank-local.
+func (r *Rank) Each(rel string, fn func(Tuple)) {
+	rl := r.inst.Relation(rel)
+	if rl.Agg != nil {
+		rl.EachAcc(func(t tuple.Tuple) { fn(Tuple(t)) })
+		return
+	}
+	rl.Canonical().Full.Ascend(func(t tuple.Tuple) bool {
+		fn(Tuple(t))
+		return true
+	})
+}
+
+// Reduce combines one word from every rank. Collective.
+func (r *Rank) Reduce(v uint64, op ReduceOp) uint64 {
+	return r.comm.Allreduce(v, mpi.ReduceOp(op))
+}
+
+// GatherAll collects one word from every rank, indexed by rank. Collective.
+func (r *Rank) GatherAll(v uint64) []uint64 { return r.comm.Allgather(v) }
+
+// PerRankCounts returns every rank's local tuple count for a relation
+// (Figure 3's distribution data). Collective.
+func (r *Rank) PerRankCounts(rel string) []int {
+	return r.inst.Relation(rel).PerRankCounts()
+}
+
+// ReduceOp mirrors the runtime's reduction operators.
+type ReduceOp int
+
+// Reduction operators for Rank.Reduce.
+const (
+	OpSum ReduceOp = ReduceOp(mpi.OpSum)
+	OpMax ReduceOp = ReduceOp(mpi.OpMax)
+	OpMin ReduceOp = ReduceOp(mpi.OpMin)
+)
+
+// Result summarizes an execution.
+type Result struct {
+	// Ranks is the world size the program ran on.
+	Ranks int
+	// StratumIters lists each stratum's iteration count.
+	StratumIters []int
+	// Iterations sums them.
+	Iterations int
+	// Counts holds every declared relation's final global size.
+	Counts map[string]uint64
+	// SimSeconds is the simulated parallel runtime (critical path over
+	// ranks under the cost model).
+	SimSeconds float64
+	// PhaseSeconds breaks SimSeconds down by phase name (rebalance,
+	// planning, intra-bucket, local-join, all-to-all, local-agg, other).
+	PhaseSeconds map[string]float64
+	// IterPhaseSeconds is the per-iteration breakdown (Figure 7's series):
+	// IterPhaseSeconds[i][phase].
+	IterPhaseSeconds []map[string]float64
+	// CommBytes is the total payload moved between ranks.
+	CommBytes int64
+	// CommMsgs is the total message/collective-lane count.
+	CommMsgs int64
+}
+
+// Exec instantiates prog on a simulated world, loads facts, runs every
+// stratum to fixpoint, and optionally inspects per-rank state. load runs on
+// every rank after instantiation (use it to feed facts); inspect, if
+// non-nil, runs after the fixpoint completes. Both must perform identical
+// sequences of collective operations on every rank.
+func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank) error) (*Result, error) {
+	size := cfg.ranks()
+	world := mpi.NewWorld(size)
+	mc := metrics.NewCollector(size)
+	res := &Result{Ranks: size, Counts: map[string]uint64{}}
+
+	err := world.Run(func(c *mpi.Comm) error {
+		inst, err := prog.Instantiate(c, mc, core.Config{
+			Subs: cfg.Subs, SubsFor: cfg.SubsFor, Plan: cfg.Plan.mode(), MaxIters: cfg.MaxIters,
+		})
+		if err != nil {
+			return err
+		}
+		rk := &Rank{comm: c, inst: inst}
+		if load != nil {
+			if err := load(rk); err != nil {
+				return err
+			}
+		}
+		stats := inst.Run(core.Config{Plan: cfg.Plan.mode(), MaxIters: cfg.MaxIters, Adaptive: cfg.Adaptive})
+		if c.Rank() == 0 {
+			res.StratumIters = stats.StratumIters
+			res.Iterations = stats.TotalIters
+		}
+		// Gather final sizes (collective; identical on all ranks, rank 0
+		// records).
+		names := prog.RelationNames()
+		sort.Strings(names)
+		for _, n := range names {
+			count := inst.Relation(n).GlobalFullCount()
+			if c.Rank() == 0 {
+				res.Counts[n] = count
+			}
+		}
+		if inspect != nil {
+			if err := inspect(rk); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := mc.BuildReport(cfg.cost())
+	res.SimSeconds = report.SimSeconds()
+	res.PhaseSeconds = map[string]float64{}
+	for p := 0; p < len(metrics.PhaseNames); p++ {
+		res.PhaseSeconds[metrics.PhaseNames[p]] = report.PhaseSeconds(metrics.Phase(p))
+	}
+	res.IterPhaseSeconds = make([]map[string]float64, len(report.IterCriticalNS))
+	for i, row := range report.IterCriticalNS {
+		m := map[string]float64{}
+		for p, ns := range row {
+			m[metrics.PhaseNames[p]] = ns / 1e9
+		}
+		res.IterPhaseSeconds[i] = m
+	}
+	tot := world.Stats().Snapshot()
+	res.CommBytes = int64(tot.Bytes())
+	res.CommMsgs = int64(tot.P2PMessages + tot.CollectiveCalls)
+	return res, nil
+}
+
+// Summary renders the result compactly.
+func (r *Result) Summary() string {
+	s := fmt.Sprintf("ranks=%d iters=%d sim=%.4fs commMB=%.2f\n",
+		r.Ranks, r.Iterations, r.SimSeconds, float64(r.CommBytes)/1e6)
+	var names []string
+	for n := range r.Counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s += fmt.Sprintf("  %s: %d tuples\n", n, r.Counts[n])
+	}
+	return s
+}
