@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet chaos verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# chaos runs the crash/restart differential suite end to end.
+chaos:
+	$(GO) run ./cmd/paralagg -chaos
+
+# verify is the CI gate: static checks plus the full suite under the race
+# detector (the SPMD runtime is all goroutines — races are correctness bugs
+# here, not style).
+verify: vet
+	$(GO) test -race ./...

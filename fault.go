@@ -1,0 +1,66 @@
+package paralagg
+
+import (
+	"paralagg/internal/mpi"
+	"paralagg/internal/ra"
+)
+
+// Fault tolerance surface: deterministic fault injection into the simulated
+// runtime, structured rank-failure errors, and checkpoint sinks for
+// crash/restart. See Config.Faults, Config.Watchdog, Config.CheckpointEvery
+// and Config.Resume for how these plug into Exec.
+
+// FaultPlan is a seeded, deterministic schedule of injected faults: rank
+// crashes, stuck collectives, and dropped / delayed / corrupted messages.
+// The same plan against the same program yields the same failure.
+type FaultPlan = mpi.FaultPlan
+
+// Fault specs for FaultPlan.
+type (
+	// Crash kills a rank when it enters a matching communication op.
+	Crash = mpi.Crash
+	// Hang makes a rank block forever in a matching op (watchdog fodder).
+	Hang = mpi.Hang
+	// Drop silently discards a fraction of point-to-point messages.
+	Drop = mpi.Drop
+	// Delay sleeps a fraction of point-to-point messages before delivery.
+	Delay = mpi.Delay
+	// Corrupt flips bits in one word of a matching send's payload.
+	Corrupt = mpi.Corrupt
+)
+
+// AnyIter in a fault spec matches every iteration.
+const AnyIter = mpi.AnyIter
+
+// ErrRankFailed reports which rank failed, in which operation, at which
+// fixpoint iteration. Every rank's error from a failed Exec wraps one.
+type ErrRankFailed = mpi.ErrRankFailed
+
+// Failure causes distinguishable with errors.Is.
+var (
+	// ErrInjectedCrash marks failures produced by a FaultPlan Crash spec.
+	ErrInjectedCrash = mpi.ErrInjectedCrash
+	// ErrWatchdogTimeout marks ranks the collective watchdog declared dead.
+	ErrWatchdogTimeout = mpi.ErrWatchdogTimeout
+)
+
+// AsRankFailure extracts the structured rank failure from an Exec error, if
+// one is present (however deeply joined or wrapped).
+func AsRankFailure(err error) (*ErrRankFailed, bool) { return mpi.AsRankFailure(err) }
+
+// CheckpointSink stores one latest fixpoint snapshot per rank.
+type CheckpointSink = ra.CheckpointSink
+
+// Checkpoint is one rank's saved fixpoint position.
+type Checkpoint = ra.Checkpoint
+
+// ErrNoCheckpoint reports a Resume with an empty sink.
+var ErrNoCheckpoint = ra.ErrNoCheckpoint
+
+// NewMemoryCheckpointSink returns an in-process sink: it survives a crashed
+// world (restart within the same process) but not a process restart.
+func NewMemoryCheckpointSink() CheckpointSink { return ra.NewMemoryCheckpointSink() }
+
+// NewFileCheckpointSink returns a sink persisting one checkpoint file per
+// rank under dir, surviving process restarts.
+func NewFileCheckpointSink(dir string) CheckpointSink { return ra.FileCheckpointSink{Dir: dir} }

@@ -1,0 +1,214 @@
+// Package chaos differentially tests the runtime's fault tolerance. For
+// each query scenario a fault-free run fixes the expected answer; a run
+// with an injected mid-fixpoint crash must surface a structured
+// ErrRankFailed (never a deadlock or a wrong answer); and a checkpoint
+// resume must reproduce the fault-free answer bit for bit. Because all
+// aggregation is over lattice joins, the final relation contents are
+// independent of the iteration a crash interrupts, which is what makes the
+// bit-identical comparison sound.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"paralagg"
+	"paralagg/internal/graph"
+	"paralagg/internal/queries"
+)
+
+// Scenario is one query workload the harness can exercise. Load must be
+// deterministic: the harness re-runs it for every world it builds.
+type Scenario struct {
+	Name string
+	Prog func() *paralagg.Program
+	Load func(rk *paralagg.Rank) error
+	// Rels lists the relations whose final contents the differential
+	// compares.
+	Rels []string
+}
+
+// Scenarios returns the standard workloads: SSSP and connected components
+// on a small grid, transitive closure on a chain. The graphs are sized so
+// the fixpoints run clearly past the default crash iteration.
+func Scenarios() []Scenario {
+	ssspG := graph.Grid("chaos-grid-sssp", 4, 4, 8, 11)
+	ccG := graph.Grid("chaos-grid-cc", 4, 4, 1, 12)
+	tcG := graph.Chain("chaos-chain-tc", 10, 1, 13)
+	return []Scenario{
+		{
+			Name: "sssp",
+			Prog: queries.SSSPProgram,
+			Load: func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, ssspG, []uint64{0, 5}) },
+			Rels: []string{"edge", "spath"},
+		},
+		{
+			Name: "cc",
+			Prog: queries.CCProgram,
+			Load: func(rk *paralagg.Rank) error { return queries.LoadCC(rk, ccG) },
+			Rels: []string{"edge", "cc"},
+		},
+		{
+			Name: "tc",
+			Prog: queries.TCProgram,
+			Load: func(rk *paralagg.Rank) error { return queries.LoadTC(rk, tcG) },
+			Rels: []string{"edge", "path"},
+		},
+	}
+}
+
+// Fingerprint is an order-independent digest of a relation's global
+// contents: the tuple count plus two independently seeded hash sums. Equal
+// fingerprints mean (up to hash collision) identical tuple sets.
+type Fingerprint struct {
+	Count uint64
+	Sum1  uint64
+	Sum2  uint64
+}
+
+func hashTuple(t paralagg.Tuple, seed uint64) uint64 {
+	h := seed
+	for _, v := range t {
+		h ^= uint64(v)
+		// splitmix64 finalizer: full avalanche per column.
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// collect builds an inspect callback that fingerprints rels globally
+// (collective sums over every rank's local tuples) and stores the result
+// through dst on rank 0.
+func collect(rels []string, dst *map[string]Fingerprint) func(*paralagg.Rank) error {
+	return func(rk *paralagg.Rank) error {
+		fps := make(map[string]Fingerprint, len(rels))
+		for _, rel := range rels {
+			var cnt, s1, s2 uint64
+			rk.Each(rel, func(t paralagg.Tuple) {
+				cnt++
+				s1 += hashTuple(t, 0xa076_1d64_78bd_642f)
+				s2 += hashTuple(t, 0xe703_7ed1_a0b4_28db)
+			})
+			fps[rel] = Fingerprint{
+				Count: rk.Reduce(cnt, paralagg.OpSum),
+				Sum1:  rk.Reduce(s1, paralagg.OpSum),
+				Sum2:  rk.Reduce(s2, paralagg.OpSum),
+			}
+		}
+		if rk.ID() == 0 {
+			*dst = fps
+		}
+		return nil
+	}
+}
+
+// Report is the outcome of one Differential run.
+type Report struct {
+	// Clean holds the fault-free fingerprints, Recovered the
+	// crash-checkpoint-resume ones; Identical compares them.
+	Clean     map[string]Fingerprint
+	Recovered map[string]Fingerprint
+	// CrashErr is the structured error the faulted run surfaced.
+	CrashErr error
+	// CleanIters and ResumeIters are total fixpoint iterations of the two
+	// successful runs. The resumed count includes the restored (skipped)
+	// prefix, so the two must agree when the fixpoint replays the same
+	// trajectory.
+	CleanIters  int
+	ResumeIters int
+	// RecoverySeconds is the simulated time the resumed run spent restoring
+	// the snapshot; positive iff a checkpoint was actually reloaded.
+	RecoverySeconds float64
+}
+
+// Identical reports whether the recovered run reproduced the fault-free
+// relation contents exactly.
+func (r *Report) Identical() bool {
+	if len(r.Clean) != len(r.Recovered) {
+		return false
+	}
+	for rel, fp := range r.Clean {
+		if r.Recovered[rel] != fp {
+			return false
+		}
+	}
+	return true
+}
+
+// Differential runs sc three times on a world of the given rank count:
+// fault-free; with checkpointing every `every` iterations and rank
+// (ranks-1) crashing as it enters the tuple exchange of iteration
+// crashIter; and resumed from the surviving checkpoint. It errors unless
+// the crash surfaces as a structured ErrRankFailed and the resume
+// completes; the caller compares fingerprints with Report.Identical.
+func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
+	rep := &Report{}
+	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks},
+		sc.Load, collect(sc.Rels, &rep.Clean))
+	if err != nil {
+		return nil, fmt.Errorf("chaos %s: fault-free run failed: %w", sc.Name, err)
+	}
+	rep.CleanIters = clean.Iterations
+	if clean.Iterations <= crashIter {
+		return nil, fmt.Errorf("chaos %s: fixpoint ran only %d iterations, crash at %d would never fire",
+			sc.Name, clean.Iterations, crashIter)
+	}
+
+	sink := paralagg.NewMemoryCheckpointSink()
+	victim := ranks - 1
+	_, err = paralagg.Exec(sc.Prog(), paralagg.Config{
+		Ranks:           ranks,
+		CheckpointEvery: every,
+		Checkpoints:     sink,
+		Watchdog:        5 * time.Second,
+		Faults: &paralagg.FaultPlan{
+			Seed:    1,
+			Crashes: []paralagg.Crash{{Rank: victim, Iter: crashIter, Op: "alltoallv"}},
+		},
+	}, sc.Load, nil)
+	if err == nil {
+		return nil, fmt.Errorf("chaos %s: injected crash of rank %d produced no error", sc.Name, victim)
+	}
+	rep.CrashErr = err
+	rf, ok := paralagg.AsRankFailure(err)
+	if !ok {
+		return nil, fmt.Errorf("chaos %s: crash error carries no ErrRankFailed: %w", sc.Name, err)
+	}
+	if rf.Rank != victim || rf.Iter != crashIter || !errors.Is(rf, paralagg.ErrInjectedCrash) {
+		return nil, fmt.Errorf("chaos %s: failure %v does not match the injected crash (rank %d, iter %d)",
+			sc.Name, rf, victim, crashIter)
+	}
+
+	resumed, err := paralagg.Exec(sc.Prog(), paralagg.Config{
+		Ranks:           ranks,
+		CheckpointEvery: every,
+		Checkpoints:     sink,
+		Resume:          true,
+	}, sc.Load, collect(sc.Rels, &rep.Recovered))
+	if err != nil {
+		return nil, fmt.Errorf("chaos %s: resume after crash failed: %w", sc.Name, err)
+	}
+	rep.ResumeIters = resumed.Iterations
+	rep.RecoverySeconds = resumed.PhaseSeconds["recovery"]
+	return rep, nil
+}
+
+// StuckCollective runs sc with rank (1 mod ranks) hanging forever inside
+// iteration 2's tuple exchange and the watchdog armed, returning the run's
+// error: without the watchdog this schedule deadlocks the world, with it
+// every rank must observe a structured ErrRankFailed.
+func StuckCollective(sc Scenario, ranks int, timeout time.Duration) error {
+	_, err := paralagg.Exec(sc.Prog(), paralagg.Config{
+		Ranks:    ranks,
+		Watchdog: timeout,
+		Faults: &paralagg.FaultPlan{
+			Seed:  1,
+			Hangs: []paralagg.Hang{{Rank: 1 % ranks, Iter: 2, Op: "alltoallv"}},
+		},
+	}, sc.Load, nil)
+	return err
+}

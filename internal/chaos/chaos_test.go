@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"paralagg"
+)
+
+// TestDifferentialCrashRestart is the acceptance gate of the fault-tolerance
+// work: for every scenario and rank count, a run that crashes mid-fixpoint
+// and resumes from its checkpoint must reproduce the fault-free relation
+// contents bit for bit.
+func TestDifferentialCrashRestart(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, ranks := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/ranks=%d", sc.Name, ranks), func(t *testing.T) {
+				rep, err := Differential(sc, ranks, 2, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Identical() {
+					t.Errorf("recovered relations diverge from the fault-free run:\nclean:     %v\nrecovered: %v",
+						rep.Clean, rep.Recovered)
+				}
+				if rep.ResumeIters != rep.CleanIters {
+					t.Errorf("resume ended at iteration %d, clean run at %d: the trajectories diverged",
+						rep.ResumeIters, rep.CleanIters)
+				}
+				if rep.RecoverySeconds <= 0 {
+					t.Error("resumed run metered no recovery phase: no checkpoint was restored")
+				}
+			})
+		}
+	}
+}
+
+// TestStuckCollectiveSurfacesStructuredError asserts the watchdog converts
+// a hung collective into ErrRankFailed on every rank instead of a deadlock.
+func TestStuckCollectiveSurfacesStructuredError(t *testing.T) {
+	sc := Scenarios()[0]
+	for _, ranks := range []int{2, 4} {
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			err := StuckCollective(sc, ranks, 200*time.Millisecond)
+			if err == nil {
+				t.Fatal("hung collective produced no error")
+			}
+			rf, ok := paralagg.AsRankFailure(err)
+			if !ok {
+				t.Fatalf("err = %v, want ErrRankFailed", err)
+			}
+			if rf.Rank != 1%ranks || !errors.Is(rf, paralagg.ErrWatchdogTimeout) {
+				t.Errorf("failure = %v, want watchdog death of rank %d", rf, 1%ranks)
+			}
+			u, ok := err.(interface{ Unwrap() []error })
+			if !ok {
+				t.Fatalf("err %T is not a joined per-rank error", err)
+			}
+			if parts := u.Unwrap(); len(parts) != ranks {
+				t.Errorf("got %d rank errors, want %d (every rank must observe the failure)", len(parts), ranks)
+			}
+		})
+	}
+}
+
+// TestResumeWithoutCheckpointErrs pins the empty-sink behaviour.
+func TestResumeWithoutCheckpointErrs(t *testing.T) {
+	sc := Scenarios()[0]
+	_, err := paralagg.Exec(sc.Prog(), paralagg.Config{
+		Ranks:       2,
+		Checkpoints: paralagg.NewMemoryCheckpointSink(),
+		Resume:      true,
+	}, sc.Load, nil)
+	if !errors.Is(err, paralagg.ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}

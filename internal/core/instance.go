@@ -26,6 +26,12 @@ type Config struct {
 	// balancing phase): skewed relations double their sub-bucket count on
 	// the fly instead of relying on a static Subs setting.
 	Adaptive bool
+	// CheckpointEvery, with Checkpoints set, snapshots every relation of
+	// the program every CheckpointEvery fixpoint iterations so a crashed
+	// run can Resume. 0 disables checkpointing.
+	CheckpointEvery int
+	// Checkpoints stores the per-rank snapshots.
+	Checkpoints ra.CheckpointSink
 }
 
 // Instance is one rank's executable form of a Program: relations created,
@@ -151,20 +157,97 @@ type RunStats struct {
 	TotalIters int
 }
 
+// options builds the fixpoint options for one stratum, wiring checkpoint
+// settings through when configured.
+func (in *Instance) options(cfg Config, stratum int) ra.Options {
+	opts := ra.Options{Plan: cfg.Plan, MaxIters: cfg.MaxIters, AdaptiveBalance: cfg.Adaptive}
+	if cfg.Checkpoints != nil {
+		// CheckpointEvery only gates periodic saves; a sink alone still
+		// supports Resume (restore without further checkpointing).
+		opts.CheckpointEvery = cfg.CheckpointEvery
+		opts.Sink = cfg.Checkpoints
+		opts.Stratum = stratum
+		opts.SnapshotRels = in.snapshotRels()
+	}
+	return opts
+}
+
+// snapshotRels returns every relation of the program in name order — the
+// set a checkpoint captures. Snapshotting the whole program (not just the
+// running stratum's relations) lets Resume skip completed strata outright
+// and wipe any partially mutated later state.
+func (in *Instance) snapshotRels() []*relation.Relation {
+	names := make([]string, 0, len(in.rels))
+	for n := range in.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rels := make([]*relation.Relation, len(names))
+	for i, n := range names {
+		rels[i] = in.rels[n]
+	}
+	return rels
+}
+
 // Run executes every stratum in dependency order, re-seeding Δ of each
 // stratum's input relations so rules see previously computed tuples as
 // fresh. It is collective.
 func (in *Instance) Run(cfg Config) RunStats {
 	var stats RunStats
-	for _, st := range in.strata {
+	for i, st := range in.strata {
 		for _, input := range st.inputs {
 			ra.ResetDelta(input)
 		}
-		n := st.fix.Run(ra.Options{Plan: cfg.Plan, MaxIters: cfg.MaxIters, AdaptiveBalance: cfg.Adaptive})
+		n := st.fix.Run(in.options(cfg, i))
 		stats.StratumIters = append(stats.StratumIters, n)
 		stats.TotalIters += n
 	}
 	return stats
+}
+
+// Resume restarts a crashed run from the latest agreed checkpoint: strata
+// before the checkpoint's are skipped (their results are inside the
+// snapshot), the checkpointed stratum continues from its saved iteration —
+// restoring every relation wholesale, so base facts may be reloaded (or
+// not) before calling Resume — and later strata run normally. Skipped
+// strata report 0 iterations in the returned stats. It is collective and
+// returns ra.ErrNoCheckpoint when the sink is empty.
+func (in *Instance) Resume(cfg Config) (RunStats, error) {
+	var stats RunStats
+	if cfg.Checkpoints == nil {
+		return stats, fmt.Errorf("core: Resume needs Config.Checkpoints")
+	}
+	cp, ok, err := ra.LatestAgreed(in.comm, cfg.Checkpoints)
+	if err != nil {
+		return stats, err
+	}
+	if !ok {
+		return stats, ra.ErrNoCheckpoint
+	}
+	if cp.Stratum < 0 || cp.Stratum >= len(in.strata) {
+		return stats, fmt.Errorf("core: checkpoint names stratum %d, program has %d strata", cp.Stratum, len(in.strata))
+	}
+	for s := 0; s < cp.Stratum; s++ {
+		stats.StratumIters = append(stats.StratumIters, 0)
+	}
+	// The restored snapshot carries the correct Δ state for every relation,
+	// so the resumed stratum must not ResetDelta its inputs.
+	n, err := in.strata[cp.Stratum].fix.Resume(in.options(cfg, cp.Stratum))
+	if err != nil {
+		return stats, err
+	}
+	stats.StratumIters = append(stats.StratumIters, n)
+	stats.TotalIters += n
+	for s := cp.Stratum + 1; s < len(in.strata); s++ {
+		st := in.strata[s]
+		for _, input := range st.inputs {
+			ra.ResetDelta(input)
+		}
+		n := st.fix.Run(in.options(cfg, s))
+		stats.StratumIters = append(stats.StratumIters, n)
+		stats.TotalIters += n
+	}
+	return stats, nil
 }
 
 // Strata returns the number of strata the program compiled to.

@@ -26,6 +26,8 @@ type Phase int
 // The iteration phases. Other covers fixpoint bookkeeping such as the
 // changed-count reduction and, at high rank counts, the sub-bucket
 // rebalancing traffic the paper's Figure 6 attributes to "Other".
+// Checkpoint and Recovery meter the fault-tolerance overheads: periodic
+// relation snapshots during the fixpoint, and snapshot reload on restart.
 const (
 	PhaseRebalance Phase = iota
 	PhasePlanning
@@ -34,6 +36,8 @@ const (
 	PhaseAllToAll
 	PhaseLocalAgg
 	PhaseOther
+	PhaseCheckpoint
+	PhaseRecovery
 	numPhases
 )
 
@@ -46,6 +50,8 @@ var PhaseNames = [...]string{
 	PhaseAllToAll:    "all-to-all",
 	PhaseLocalAgg:    "local-agg",
 	PhaseOther:       "other",
+	PhaseCheckpoint:  "checkpoint",
+	PhaseRecovery:    "recovery",
 }
 
 func (p Phase) String() string {

@@ -3,20 +3,24 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // collSlot synchronizes one collective operation at a time across all ranks
 // of a world. Collectives are matched by arrival order, exactly as in MPI:
 // every rank must call the same collective in the same sequence. The slot is
-// generation-counted so consecutive collectives reuse it safely.
+// generation-counted so consecutive collectives reuse it safely. The
+// per-arrival bookkeeping (lastArrival, contrib occupancy) doubles as the
+// watchdog's view of which ranks are absent from a stuck collective.
 type collSlot struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	gen     uint64
-	arrived int
-	kind    string
-	contrib []interface{}
-	result  interface{}
+	mu          sync.Mutex
+	cond        *sync.Cond
+	gen         uint64
+	arrived     int
+	kind        string
+	lastArrival time.Time
+	contrib     []interface{}
+	result      interface{}
 }
 
 func (s *collSlot) init(size int) {
@@ -26,8 +30,11 @@ func (s *collSlot) init(size int) {
 
 // run deposits rank's contribution and blocks until all ranks of the world
 // have arrived; the last arrival computes the shared result with complete
-// and wakes everyone. The same result value is returned to every rank.
-func (s *collSlot) run(size, rank int, kind string, contribution interface{}, complete func(contribs []interface{}) interface{}) interface{} {
+// and wakes everyone. The same result value is returned to every rank. A
+// waiting rank unwinds with the failure if the world aborts — peers of a
+// crashed rank never deadlock here.
+func (s *collSlot) run(w *World, rank int, kind string, contribution interface{}, complete func(contribs []interface{}) interface{}) interface{} {
+	size := w.size
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.arrived == 0 {
@@ -40,6 +47,7 @@ func (s *collSlot) run(size, rank int, kind string, contribution interface{}, co
 	}
 	s.contrib[rank] = contribution
 	s.arrived++
+	s.lastArrival = time.Now()
 	if s.arrived == size {
 		s.result = complete(s.contrib)
 		for i := range s.contrib {
@@ -52,6 +60,7 @@ func (s *collSlot) run(size, rank int, kind string, contribution interface{}, co
 	}
 	myGen := s.gen
 	for s.gen == myGen {
+		w.checkAbort()
 		s.cond.Wait()
 	}
 	return s.result
@@ -63,8 +72,9 @@ type unit struct{}
 
 // Barrier blocks until every rank in the world has called it.
 func (c *Comm) Barrier() {
+	c.enter("barrier")
 	c.world.stats.addCollective(c.rank, "barrier", 0)
-	c.world.coll.run(c.world.size, c.rank, "barrier", unit{}, func([]interface{}) interface{} { return unit{} })
+	c.world.coll.run(c.world, c.rank, "barrier", unit{}, func([]interface{}) interface{} { return unit{} })
 }
 
 // ReduceOp is a binary reduction used by Allreduce.
@@ -100,8 +110,9 @@ func (op ReduceOp) apply(a, b uint64) uint64 {
 // to all ranks. This is the paper's join-order voting primitive
 // (Algorithm 1): a single small word per rank, latency-bound.
 func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
+	c.enter("allreduce")
 	c.world.stats.addCollective(c.rank, "allreduce", WordBytes)
-	res := c.world.coll.run(c.world.size, c.rank, "allreduce", v, func(contribs []interface{}) interface{} {
+	res := c.world.coll.run(c.world, c.rank, "allreduce", v, func(contribs []interface{}) interface{} {
 		acc := contribs[0].(uint64)
 		for _, x := range contribs[1:] {
 			acc = op.apply(acc, x.(uint64))
@@ -114,8 +125,9 @@ func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
 // Allgather collects one word from each rank and returns the full vector,
 // indexed by rank, to every rank.
 func (c *Comm) Allgather(v uint64) []uint64 {
+	c.enter("allgather")
 	c.world.stats.addCollective(c.rank, "allgather", WordBytes)
-	res := c.world.coll.run(c.world.size, c.rank, "allgather", v, func(contribs []interface{}) interface{} {
+	res := c.world.coll.run(c.world, c.rank, "allgather", v, func(contribs []interface{}) interface{} {
 		out := make([]uint64, len(contribs))
 		for i, x := range contribs {
 			out[i] = x.(uint64)
@@ -129,6 +141,8 @@ func (c *Comm) Allgather(v uint64) []uint64 {
 // Every rank receives a private copy.
 func (c *Comm) Bcast(root int, words []Word) []Word {
 	kind := "bcast"
+	c.enter(kind)
+	c.validRank(kind, root)
 	var contribution interface{} = unit{}
 	if c.rank == root {
 		contribution = words
@@ -136,7 +150,7 @@ func (c *Comm) Bcast(root int, words []Word) []Word {
 	} else {
 		c.world.stats.addCollective(c.rank, kind, 0)
 	}
-	res := c.world.coll.run(c.world.size, c.rank, kind, contribution, func(contribs []interface{}) interface{} {
+	res := c.world.coll.run(c.world, c.rank, kind, contribution, func(contribs []interface{}) interface{} {
 		w, ok := contribs[root].([]Word)
 		if !ok {
 			panic("mpi: Bcast root passed no data")
@@ -161,8 +175,10 @@ func (c *Comm) Bcast(root int, words []Word) []Word {
 // holds the words received from rank i. The diagonal (self) transfer is
 // local and not metered. Received slices are private copies.
 func (c *Comm) Alltoallv(send [][]Word) [][]Word {
+	c.enter("alltoallv")
 	if len(send) != c.world.size {
-		panic(fmt.Sprintf("mpi: Alltoallv with %d destination slots in world of %d", len(send), c.world.size))
+		panic(fmt.Sprintf("mpi: alltoallv on rank %d: %d destination slots in world of %d",
+			c.rank, len(send), c.world.size))
 	}
 	bytes := 0
 	for j, s := range send {
@@ -171,7 +187,7 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 		}
 	}
 	c.world.stats.addCollective(c.rank, "alltoallv", bytes)
-	res := c.world.coll.run(c.world.size, c.rank, "alltoallv", send, func(contribs []interface{}) interface{} {
+	res := c.world.coll.run(c.world, c.rank, "alltoallv", send, func(contribs []interface{}) interface{} {
 		// Snapshot every off-diagonal payload at the synchronization point:
 		// senders regain ownership of their buffers as soon as they return,
 		// so the slot must hold "on the wire" copies. Each off-diagonal
@@ -207,8 +223,9 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 // paper's outer-relation replication within a bucket when sub-bucket groups
 // span the whole world.
 func (c *Comm) AllgatherV(words []Word) [][]Word {
+	c.enter("allgatherv")
 	c.world.stats.addCollective(c.rank, "allgatherv", len(words)*WordBytes*(c.world.size-1))
-	res := c.world.coll.run(c.world.size, c.rank, "allgatherv", words, func(contribs []interface{}) interface{} {
+	res := c.world.coll.run(c.world, c.rank, "allgatherv", words, func(contribs []interface{}) interface{} {
 		// Snapshot each contribution (see Alltoallv): the owner may reuse
 		// its buffer immediately after returning.
 		out := make([][]Word, len(contribs))
@@ -237,8 +254,10 @@ func (c *Comm) AllgatherV(words []Word) [][]Word {
 // Gather collects one word from each rank at root. Non-root ranks receive
 // nil.
 func (c *Comm) Gather(root int, v uint64) []uint64 {
+	c.enter("gather")
+	c.validRank("gather", root)
 	c.world.stats.addCollective(c.rank, "gather", WordBytes)
-	res := c.world.coll.run(c.world.size, c.rank, "gather", v, func(contribs []interface{}) interface{} {
+	res := c.world.coll.run(c.world, c.rank, "gather", v, func(contribs []interface{}) interface{} {
 		out := make([]uint64, len(contribs))
 		for i, x := range contribs {
 			out[i] = x.(uint64)

@@ -1,0 +1,237 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the runtime's fault story. Real deployments of the paper's
+// system (16,384 MPI ranks on Theta) treat rank failure and stuck
+// collectives as operational reality; the simulated runtime mirrors that
+// with (1) a structured failure error that every surviving rank observes
+// instead of a Go-runtime deadlock, and (2) a seeded, deterministic fault
+// injector that can kill a rank at a chosen iteration/operation, hang it
+// inside a collective, and drop, delay, or corrupt point-to-point messages.
+
+// ErrRankFailed reports that a rank died or was declared dead: it panicked,
+// was crashed by fault injection, or was absent from a collective past the
+// watchdog timeout. The same value propagates (wrapped) to every surviving
+// rank of the world, so callers can detect the failure with errors.As on
+// the error World.Run returns and restart from a checkpoint.
+type ErrRankFailed struct {
+	Rank int    // the rank that failed
+	Op   string // the operation during which the failure surfaced
+	Iter int    // the epoch (fixpoint iteration) the failed rank had reached
+	// Cause is the underlying reason: ErrInjectedCrash, the recovered panic
+	// value wrapped as an error, or ErrWatchdogTimeout.
+	Cause error
+}
+
+func (e *ErrRankFailed) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed in %s at iteration %d: %v", e.Rank, e.Op, e.Iter, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ErrRankFailed) Unwrap() error { return e.Cause }
+
+// Sentinel causes for ErrRankFailed.
+var (
+	// ErrInjectedCrash marks a failure produced by a FaultPlan Crash spec.
+	ErrInjectedCrash = errors.New("injected crash")
+	// ErrWatchdogTimeout marks a rank the collective watchdog declared dead
+	// after it stayed absent from an in-progress collective past the timeout.
+	ErrWatchdogTimeout = errors.New("absent from collective past watchdog timeout")
+)
+
+// AsRankFailure extracts the structured rank failure from an error chain
+// (including the joined error World.Run returns). It reports false for
+// ordinary (non-fault) errors.
+func AsRankFailure(err error) (*ErrRankFailed, bool) {
+	var rf *ErrRankFailed
+	ok := errors.As(err, &rf)
+	return rf, ok
+}
+
+// AnyIter in a fault spec matches every epoch.
+const AnyIter = -1
+
+// Crash kills a rank deterministically: the rank panics with an
+// ErrRankFailed the moment it enters the After-th communication operation
+// matching (Iter, Op). Iter is the rank's current epoch (AnyIter matches
+// all); Op is the operation name ("send", "recv", "barrier", "allreduce",
+// "allgather", "allgatherv", "alltoallv", "bcast", "gather"), "" matching
+// all.
+type Crash struct {
+	Rank  int
+	Iter  int
+	Op    string
+	After int // number of matching operations to let pass first
+}
+
+// Hang blocks a rank forever inside the matching operation — the "stuck
+// collective" failure mode. The rank never arrives at the collective; with
+// a watchdog configured it is declared dead after the timeout and every
+// peer receives ErrRankFailed instead of deadlocking. The hung goroutine
+// itself unblocks (and dies with its failure) once the run aborts.
+type Hang struct {
+	Rank int
+	Iter int
+	Op   string
+}
+
+// Drop discards a fraction of the point-to-point messages from one rank to
+// another. The decision is a deterministic hash of (seed, from, to,
+// message sequence number), so the same plan drops the same messages on
+// every run.
+type Drop struct {
+	From, To int
+	Frac     float64 // fraction of messages dropped, in [0, 1]
+}
+
+// Delay sleeps a deterministic duration in [0, Max) before delivering a
+// fraction of the point-to-point messages from one rank to another.
+type Delay struct {
+	From, To int
+	Frac     float64
+	Max      time.Duration
+}
+
+// Corrupt XORs a deterministic mask into one word of the payload of the
+// After-th matching point-to-point send, modeling a bit flip on the wire.
+type Corrupt struct {
+	Rank  int // sending rank
+	Iter  int
+	After int
+}
+
+// FaultPlan is a seeded, deterministic fault schedule. Every communication
+// operation of every rank consults the plan; all randomness derives from
+// Seed via counter-based hashing, so a plan replays identically across
+// runs — the property the chaos harness's differential tests rely on.
+// A nil plan injects nothing.
+type FaultPlan struct {
+	Seed     int64
+	Crashes  []Crash
+	Hangs    []Hang
+	Drops    []Drop
+	Delays   []Delay
+	Corrupts []Corrupt
+}
+
+// faultState holds the per-run mutable matching counters for a plan. Each
+// counter is touched only by the goroutine of the rank its spec names, so
+// no locking is needed.
+type faultState struct {
+	plan        *FaultPlan
+	crashHits   []int
+	hangFired   []bool
+	corruptHits []int
+}
+
+func newFaultState(plan *FaultPlan) *faultState {
+	if plan == nil {
+		return nil
+	}
+	return &faultState{
+		plan:        plan,
+		crashHits:   make([]int, len(plan.Crashes)),
+		hangFired:   make([]bool, len(plan.Hangs)),
+		corruptHits: make([]int, len(plan.Corrupts)),
+	}
+}
+
+func matchIter(specIter, iter int) bool { return specIter == AnyIter || specIter == iter }
+func matchOp(specOp, op string) bool    { return specOp == "" || specOp == op }
+
+// crashNow reports whether rank must die entering op at epoch iter.
+func (fs *faultState) crashNow(rank, iter int, op string) bool {
+	for i, c := range fs.plan.Crashes {
+		if c.Rank != rank || !matchIter(c.Iter, iter) || !matchOp(c.Op, op) {
+			continue
+		}
+		fs.crashHits[i]++
+		if fs.crashHits[i] > c.After {
+			return true
+		}
+	}
+	return false
+}
+
+// hangNow reports whether rank must hang entering op at epoch iter. A hang
+// fires once.
+func (fs *faultState) hangNow(rank, iter int, op string) bool {
+	for i, h := range fs.plan.Hangs {
+		// The rank check must come first: hangFired[i] is owned by the
+		// goroutine of the rank the spec names, and only that goroutine may
+		// touch it.
+		if h.Rank != rank || fs.hangFired[i] || !matchIter(h.Iter, iter) || !matchOp(h.Op, op) {
+			continue
+		}
+		fs.hangFired[i] = true
+		return true
+	}
+	return false
+}
+
+// dropNow reports whether the seq-th message from src to dest is dropped.
+func (fs *faultState) dropNow(src, dest, seq int) bool {
+	for _, d := range fs.plan.Drops {
+		if d.From == src && d.To == dest && faultFrac(fs.plan.Seed, 0x11, src, dest, seq) < d.Frac {
+			return true
+		}
+	}
+	return false
+}
+
+// delayNow returns the deterministic delivery delay of the seq-th message
+// from src to dest (0 = none).
+func (fs *faultState) delayNow(src, dest, seq int) time.Duration {
+	for _, d := range fs.plan.Delays {
+		if d.From == src && d.To == dest && faultFrac(fs.plan.Seed, 0x22, src, dest, seq) < d.Frac {
+			return time.Duration(faultFrac(fs.plan.Seed, 0x33, src, dest, seq) * float64(d.Max))
+		}
+	}
+	return 0
+}
+
+// corruptNow reports whether rank's current send must be corrupted, and if
+// so at which payload word and with which mask.
+func (fs *faultState) corruptNow(rank, iter, payloadLen int) (word int, mask Word, ok bool) {
+	if payloadLen == 0 {
+		return 0, 0, false
+	}
+	for i, c := range fs.plan.Corrupts {
+		if c.Rank != rank || !matchIter(c.Iter, iter) {
+			continue
+		}
+		fs.corruptHits[i]++
+		if fs.corruptHits[i] != c.After+1 {
+			continue
+		}
+		h := faultHash(fs.plan.Seed, 0x44, rank, i, fs.corruptHits[i])
+		mask = h | 1 // never a zero mask: the flip must be observable
+		return int(h>>17) % payloadLen, mask, true
+	}
+	return 0, 0, false
+}
+
+// faultHash is a counter-based splitmix64 over the spec coordinates: the
+// injector's only source of randomness.
+func faultHash(seed int64, stream, a, b, c int) uint64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range [4]uint64{uint64(stream), uint64(a), uint64(b), uint64(c)} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// faultFrac maps a hash to [0, 1).
+func faultFrac(seed int64, stream, a, b, c int) float64 {
+	return float64(faultHash(seed, stream, a, b, c)>>11) / float64(1<<53)
+}

@@ -1,0 +1,269 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// joinedErrors unwraps the error World.Run returns into its per-rank parts.
+func joinedErrors(t *testing.T, err error) []error {
+	t.Helper()
+	if err == nil {
+		return nil
+	}
+	u, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		return []error{err}
+	}
+	return u.Unwrap()
+}
+
+func TestPanicBecomesRankFailure(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		c.SetEpoch(3)
+		if c.Rank() == 1 {
+			panic("kaboom")
+		}
+		c.Barrier() // peers block here; the abort must wake them
+		return nil
+	})
+	rf, ok := AsRankFailure(err)
+	if !ok {
+		t.Fatalf("err = %v, want an ErrRankFailed inside", err)
+	}
+	if rf.Rank != 1 || rf.Iter != 3 {
+		t.Errorf("failure = %+v, want rank 1 at iter 3", rf)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("err %q does not carry the panic value", err)
+	}
+	// Every rank must report: the failed one with the failure itself, the
+	// three survivors with wrapped aborts.
+	if parts := joinedErrors(t, err); len(parts) != 4 {
+		t.Errorf("got %d rank errors, want 4: %v", len(parts), err)
+	}
+}
+
+func TestRunJoinsAllRankErrors(t *testing.T) {
+	w := NewWorld(4)
+	e1, e3 := errors.New("one"), errors.New("three")
+	err := w.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			return e1
+		case 3:
+			return e3
+		}
+		return nil
+	})
+	if !errors.Is(err, e1) || !errors.Is(err, e3) {
+		t.Fatalf("err = %v, want both rank errors joined", err)
+	}
+}
+
+func TestInjectedCrashPropagatesToAllRanks(t *testing.T) {
+	w := NewWorld(4)
+	w.SetFaultPlan(&FaultPlan{
+		Seed:    1,
+		Crashes: []Crash{{Rank: 2, Iter: AnyIter, Op: "allreduce", After: 1}},
+	})
+	rounds := 0
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < 5; i++ {
+			c.SetEpoch(i)
+			c.Allreduce(1, OpSum)
+			if c.Rank() == 0 {
+				rounds = i + 1
+			}
+		}
+		return nil
+	})
+	rf, ok := AsRankFailure(err)
+	if !ok {
+		t.Fatalf("err = %v, want ErrRankFailed", err)
+	}
+	if rf.Rank != 2 || rf.Op != "allreduce" || rf.Iter != 1 || !errors.Is(rf, ErrInjectedCrash) {
+		t.Errorf("failure = %+v, want injected allreduce crash of rank 2 at iter 1", rf)
+	}
+	if parts := joinedErrors(t, err); len(parts) != 4 {
+		t.Errorf("got %d rank errors, want 4", len(parts))
+	}
+	if rounds != 1 {
+		t.Errorf("rank 0 completed %d rounds before the abort, want 1", rounds)
+	}
+}
+
+func TestWatchdogConvertsStuckCollective(t *testing.T) {
+	w := NewWorld(4)
+	w.SetFaultPlan(&FaultPlan{
+		Seed:  1,
+		Hangs: []Hang{{Rank: 1, Iter: 2, Op: "alltoallv"}},
+	})
+	w.SetWatchdog(100 * time.Millisecond)
+	start := time.Now()
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < 4; i++ {
+			c.SetEpoch(i)
+			c.Alltoallv(make([][]Word, c.Size()))
+		}
+		return nil
+	})
+	rf, ok := AsRankFailure(err)
+	if !ok {
+		t.Fatalf("err = %v, want ErrRankFailed (not a deadlock!)", err)
+	}
+	if rf.Rank != 1 || rf.Op != "alltoallv" || rf.Iter != 2 || !errors.Is(rf, ErrWatchdogTimeout) {
+		t.Errorf("failure = %+v, want watchdog death of rank 1 in alltoallv at iter 2", rf)
+	}
+	if parts := joinedErrors(t, err); len(parts) != 4 {
+		t.Errorf("got %d rank errors, want 4 (every rank must observe the failure)", len(parts))
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("run took %v, the watchdog should fire near its 100ms timeout", waited)
+	}
+}
+
+func TestWatchdogCatchesEarlyExit(t *testing.T) {
+	// A rank that returns early (never reaching a collective its peers are
+	// blocked in) used to deadlock the world; the watchdog must declare it.
+	w := NewWorld(3)
+	w.SetWatchdog(100 * time.Millisecond)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return nil // skips the barrier
+		}
+		c.Barrier()
+		return nil
+	})
+	rf, ok := AsRankFailure(err)
+	if !ok {
+		t.Fatalf("err = %v, want ErrRankFailed", err)
+	}
+	if rf.Rank != 2 || rf.Op != "barrier" {
+		t.Errorf("failure = %+v, want rank 2 absent from barrier", rf)
+	}
+}
+
+func TestDropIsDeterministicAndPartial(t *testing.T) {
+	const msgs = 100
+	run := func() int {
+		w := NewWorld(2)
+		w.SetFaultPlan(&FaultPlan{Seed: 7, Drops: []Drop{{From: 0, To: 1, Frac: 0.5}}})
+		err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				for i := 0; i < msgs; i++ {
+					c.Send(1, i, []Word{Word(i)})
+				}
+			}
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats().PerRank()[0].P2PMessages
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("delivered %d then %d messages under the same seed, want identical", a, b)
+	}
+	if a == 0 || a == msgs {
+		t.Errorf("delivered %d of %d messages with Frac 0.5, want a strict subset", a, msgs)
+	}
+}
+
+func TestDelayStillDelivers(t *testing.T) {
+	w := NewWorld(2)
+	w.SetFaultPlan(&FaultPlan{Seed: 3, Delays: []Delay{{From: 0, To: 1, Frac: 1, Max: 2 * time.Millisecond}}})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []Word{42})
+			return nil
+		}
+		words, _ := c.Recv(0, 0)
+		if words[0] != 42 {
+			t.Errorf("got %v", words)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptFlipsExactlyOneWord(t *testing.T) {
+	payload := []Word{1, 2, 3, 4, 5}
+	w := NewWorld(2)
+	w.SetFaultPlan(&FaultPlan{Seed: 9, Corrupts: []Corrupt{{Rank: 0, Iter: AnyIter, After: 0}}})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, payload)
+			return nil
+		}
+		words, _ := c.Recv(0, 0)
+		diff := 0
+		for i := range words {
+			if words[i] != payload[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("corruption changed %d words (%v), want exactly 1", diff, words)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeerArgumentValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(c *Comm) error
+	}{
+		{"send-high", func(c *Comm) error { c.Send(c.Size(), 0, nil); return nil }},
+		{"send-negative", func(c *Comm) error { c.Send(-2, 0, nil); return nil }},
+		{"recv-high", func(c *Comm) error { c.Recv(c.Size()+3, 0); return nil }},
+		{"bcast-root", func(c *Comm) error { c.Bcast(c.Size(), nil); return nil }},
+		{"gather-root", func(c *Comm) error { c.Gather(-1, 0); return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(2)
+			err := w.Run(func(c *Comm) error {
+				if c.Rank() == 0 {
+					return tc.body(c)
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatal("bad peer argument did not error")
+			}
+			if !strings.Contains(err.Error(), "out of range") {
+				t.Errorf("err %q does not describe the range violation", err)
+			}
+			if !strings.Contains(err.Error(), "rank 0") {
+				t.Errorf("err %q does not name the calling rank", err)
+			}
+		})
+	}
+}
+
+func TestWorldPoisonedAfterFailure(t *testing.T) {
+	w := NewWorld(2)
+	_ = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("die")
+		}
+		c.Barrier()
+		return nil
+	})
+	err := w.Run(func(c *Comm) error { return nil })
+	if err == nil {
+		t.Fatal("poisoned world accepted another Run")
+	}
+}

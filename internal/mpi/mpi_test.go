@@ -24,7 +24,7 @@ func TestRunSpawnsAllRanks(t *testing.T) {
 	}
 }
 
-func TestRunReturnsFirstError(t *testing.T) {
+func TestRunReturnsRankError(t *testing.T) {
 	w := NewWorld(4)
 	boom := errors.New("rank 2 failed")
 	err := w.Run(func(c *Comm) error {
@@ -33,8 +33,8 @@ func TestRunReturnsFirstError(t *testing.T) {
 		}
 		return nil
 	})
-	if err != boom {
-		t.Fatalf("err = %v, want %v", err, boom)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want it to wrap %v", err, boom)
 	}
 }
 

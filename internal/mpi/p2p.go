@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // message is one point-to-point transfer in flight.
@@ -14,15 +15,18 @@ type message struct {
 
 // mailbox is a rank's unbounded incoming message queue. Sends append and
 // never block (matching buffered MPI_Isend); receives scan for the first
-// message matching (src, tag) and block until one arrives.
+// message matching (src, tag) and block until one arrives — or until the
+// world aborts, in which case the blocked receiver unwinds with the
+// failure instead of deadlocking on a dead sender.
 type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []message
+	world *World
+	mu    sync.Mutex
+	cond  *sync.Cond
+	q     []message
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(w *World) *mailbox {
+	m := &mailbox{world: w}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -46,6 +50,7 @@ func (m *mailbox) take(src, tag int) message {
 				return msg
 			}
 		}
+		m.world.checkAbort()
 		m.cond.Wait()
 	}
 }
@@ -56,13 +61,28 @@ const AnySource = -1
 // Send transmits words to dest with the given tag. It does not block: the
 // runtime buffers the message (the MPI_Isend discipline the paper's
 // intra-bucket communication relies on). The words slice is copied, so the
-// caller may immediately reuse it.
+// caller may immediately reuse it. Under a fault plan the message may be
+// deterministically dropped, delayed, or have one payload word corrupted.
 func (c *Comm) Send(dest, tag int, words []Word) {
-	if dest < 0 || dest >= c.world.size {
-		panic(fmt.Sprintf("mpi: send to rank %d of %d", dest, c.world.size))
+	c.enter("send")
+	c.validRank("send", dest)
+	seq := c.sendSeq[dest]
+	c.sendSeq[dest]++
+	if fs := c.world.fstate; fs != nil {
+		if fs.dropNow(c.rank, dest, seq) {
+			return // dropped on the wire: never metered, never delivered
+		}
+		if d := fs.delayNow(c.rank, dest, seq); d > 0 {
+			time.Sleep(d)
+		}
 	}
 	cp := make([]Word, len(words))
 	copy(cp, words)
+	if fs := c.world.fstate; fs != nil {
+		if i, mask, ok := fs.corruptNow(c.rank, c.Epoch(), len(cp)); ok {
+			cp[i] ^= mask
+		}
+	}
 	c.world.stats.addP2P(c.rank, dest, len(cp)*WordBytes)
 	c.world.boxes[dest].put(message{src: c.rank, tag: tag, words: cp})
 }
@@ -71,6 +91,10 @@ func (c *Comm) Send(dest, tag int, words []Word) {
 // returns its payload. Pass AnySource to match any sender; the actual
 // sender is returned alongside the payload.
 func (c *Comm) Recv(src, tag int) (words []Word, from int) {
+	c.enter("recv")
+	if src != AnySource {
+		c.validRank("recv", src)
+	}
 	msg := c.world.boxes[c.rank].take(src, tag)
 	return msg.words, msg.src
 }
@@ -89,7 +113,7 @@ func (c *Comm) SendTuples(dest, tag, arity int, words []Word) {
 func (c *Comm) RecvTuples(src, tag int) (arity int, words []Word, from int) {
 	framed, from := c.Recv(src, tag)
 	if len(framed) == 0 {
-		panic("mpi: RecvTuples got unframed empty message")
+		panic(fmt.Sprintf("mpi: RecvTuples on rank %d got unframed empty message from rank %d", c.rank, from))
 	}
 	return int(framed[0]), framed[1:], from
 }

@@ -9,11 +9,21 @@
 // word buffers travel between ranks, collectives must be called by every
 // rank of the communicator in the same order, and received buffers are
 // private copies (as if they had crossed a network).
+//
+// Unlike raw MPI, the runtime has a fault story: a panicking rank becomes a
+// structured ErrRankFailed delivered to every surviving rank (instead of a
+// Go-runtime deadlock in whatever collective the survivors were blocked in),
+// an optional watchdog declares ranks that stay absent from an in-progress
+// collective dead after a timeout, and a seeded FaultPlan injects crashes,
+// hangs, drops, delays, and corruption deterministically for chaos testing.
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Word is the unit of data movement: one 64-bit column value. It matches
@@ -25,11 +35,36 @@ const WordBytes = 8
 
 // World is a group of ranks that can communicate. It corresponds to
 // MPI_COMM_WORLD: create one per program run, then Run an SPMD body on it.
+// A world is single-shot with respect to failure: once any rank fails the
+// world is poisoned and further Runs return the failure immediately —
+// recovery means building a fresh world and restarting from a checkpoint.
 type World struct {
 	size  int
 	boxes []*mailbox
 	coll  collSlot
 	stats *Stats
+
+	// Fault tolerance state.
+	plan     *FaultPlan
+	fstate   *faultState
+	watchdog time.Duration
+	epochs   []atomic.Int64
+
+	// abort holds the first rank failure; it is set exactly once and then
+	// read lock-free from every blocking wait. abortCh closes alongside it
+	// so injected hangs (and any other channel-based waits) can unblock.
+	abort     atomic.Pointer[ErrRankFailed]
+	abortOnce sync.Once
+	abortCh   chan struct{}
+
+	// exitMu guards rank exit bookkeeping and the error slots. A rank the
+	// watchdog abandoned may exit late (after Run returned); its error write
+	// still happens under exitMu and is simply never read.
+	exitMu    sync.Mutex
+	exitCond  *sync.Cond
+	exited    []bool
+	abandoned []bool
+	errs      []error
 }
 
 // NewWorld creates a world with the given number of ranks. Size must be at
@@ -39,12 +74,18 @@ func NewWorld(size int) *World {
 		panic(fmt.Sprintf("mpi: world size %d < 1", size))
 	}
 	w := &World{
-		size:  size,
-		boxes: make([]*mailbox, size),
-		stats: newStats(size),
+		size:      size,
+		boxes:     make([]*mailbox, size),
+		stats:     newStats(size),
+		epochs:    make([]atomic.Int64, size),
+		abortCh:   make(chan struct{}),
+		exited:    make([]bool, size),
+		abandoned: make([]bool, size),
+		errs:      make([]error, size),
 	}
+	w.exitCond = sync.NewCond(&w.exitMu)
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(w)
 	}
 	w.coll.init(size)
 	return w
@@ -57,36 +98,222 @@ func (w *World) Size() int { return w.size }
 // Run returns; snapshots may also be taken mid-run by the ranks themselves.
 func (w *World) Stats() *Stats { return w.stats }
 
+// SetFaultPlan installs a deterministic fault schedule. It must be called
+// before Run.
+func (w *World) SetFaultPlan(plan *FaultPlan) {
+	w.plan = plan
+	w.fstate = newFaultState(plan)
+}
+
+// SetWatchdog enables stuck-collective detection: a rank absent from an
+// in-progress collective for longer than timeout is declared failed with
+// ErrRankFailed{Cause: ErrWatchdogTimeout}, and every blocked peer receives
+// the failure instead of deadlocking. Zero disables the watchdog (the
+// default). It must be called before Run.
+func (w *World) SetWatchdog(timeout time.Duration) { w.watchdog = timeout }
+
+// fail records the first rank failure, poisons the world, and wakes every
+// blocked wait (collective slot, mailboxes, injected hangs) so each blocked
+// rank can unwind with the failure. Later failures are ignored: the run is
+// already aborting.
+func (w *World) fail(rf *ErrRankFailed) {
+	if !w.abort.CompareAndSwap(nil, rf) {
+		return
+	}
+	w.abortOnce.Do(func() { close(w.abortCh) })
+	w.coll.mu.Lock()
+	w.coll.cond.Broadcast()
+	w.coll.mu.Unlock()
+	for _, box := range w.boxes {
+		box.mu.Lock()
+		box.cond.Broadcast()
+		box.mu.Unlock()
+	}
+}
+
+// abortPanic unwinds a surviving rank that observed a peer's failure. It is
+// distinct from *ErrRankFailed panics, which mark the failing rank itself.
+type abortPanic struct{ cause *ErrRankFailed }
+
+// checkAbort panics out of the calling rank if the world is aborting. The
+// failed rank itself never calls it (it is already unwinding).
+func (w *World) checkAbort() {
+	if rf := w.abort.Load(); rf != nil {
+		panic(abortPanic{rf})
+	}
+}
+
+// rankExited records a rank's final error and wakes Run's waiter.
+func (w *World) rankExited(rank int, err error) {
+	w.exitMu.Lock()
+	w.errs[rank] = err
+	w.exited[rank] = true
+	w.exitMu.Unlock()
+	w.exitCond.Broadcast()
+}
+
+// abandon marks a rank the watchdog declared dead so Run stops waiting for
+// it. The goroutine may still be blocked (a genuinely wedged body cannot be
+// killed); if it later unblocks its exit is recorded but no longer observed.
+func (w *World) abandon(rank int) {
+	w.exitMu.Lock()
+	w.abandoned[rank] = true
+	w.exitMu.Unlock()
+	w.exitCond.Broadcast()
+}
+
+// hasExited reports whether a rank's body returned (watchdog helper).
+func (w *World) hasExited(rank int) bool {
+	w.exitMu.Lock()
+	defer w.exitMu.Unlock()
+	return w.exited[rank]
+}
+
 // Run executes body once per rank, each on its own goroutine, and waits for
-// all of them to finish. It returns the first non-nil error any rank
-// returned (by lowest rank number). A panicking rank propagates its panic
-// after all other ranks have been given a chance to finish or deadlock is
-// detected by the Go runtime.
+// all of them to finish (or be declared dead by the watchdog). It returns
+// the errors.Join of every rank's error, so no failure is shadowed by a
+// lower-numbered rank's.
+//
+// A panicking rank no longer takes the process down or deadlocks its peers:
+// the panic is recovered into an ErrRankFailed, the world aborts, and every
+// rank blocked in a receive or collective unwinds with an error wrapping
+// the same failure. Injected faults (SetFaultPlan) and watchdog timeouts
+// (SetWatchdog) surface the same way.
 func (w *World) Run(body func(c *Comm) error) error {
-	errs := make([]error, w.size)
-	var wg sync.WaitGroup
-	wg.Add(w.size)
+	if rf := w.abort.Load(); rf != nil {
+		return fmt.Errorf("mpi: world already aborted: %w", rf)
+	}
 	for r := 0; r < w.size; r++ {
 		go func(rank int) {
-			defer wg.Done()
-			errs[rank] = body(&Comm{world: w, rank: rank})
+			var err error
+			defer func() {
+				if p := recover(); p != nil {
+					switch v := p.(type) {
+					case *ErrRankFailed:
+						// This rank is the failure (injected crash, declared
+						// hang, or argument-validation panic already wrapped).
+						err = v
+						w.fail(v)
+					case abortPanic:
+						err = fmt.Errorf("mpi: rank %d aborted: %w", rank, v.cause)
+					default:
+						rf := &ErrRankFailed{
+							Rank: rank, Op: "panic", Iter: int(w.epochs[rank].Load()),
+							Cause: fmt.Errorf("panic: %v", p),
+						}
+						err = rf
+						w.fail(rf)
+					}
+				}
+				w.rankExited(rank, err)
+			}()
+			err = body(&Comm{world: w, rank: rank, sendSeq: make([]int, w.size)})
 		}(r)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+
+	stopWatchdog := make(chan struct{})
+	if w.watchdog > 0 {
+		go w.runWatchdog(stopWatchdog)
+	}
+
+	w.exitMu.Lock()
+	for {
+		done := true
+		for r := 0; r < w.size; r++ {
+			if !w.exited[r] && !w.abandoned[r] {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		w.exitCond.Wait()
+	}
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		if w.exited[r] {
+			errs[r] = w.errs[r]
+		} else if w.abandoned[r] {
+			if rf := w.abort.Load(); rf != nil && rf.Rank == r {
+				errs[r] = rf
+			} else {
+				errs[r] = fmt.Errorf("mpi: rank %d abandoned by watchdog", r)
+			}
 		}
 	}
-	return nil
+	w.exitMu.Unlock()
+	if w.watchdog > 0 {
+		close(stopWatchdog)
+	}
+	return errors.Join(errs...)
+}
+
+// runWatchdog polls the collective slot for ranks that stay absent from an
+// in-progress collective. Two conditions declare a missing rank dead: its
+// body already returned (it can never arrive), or no rank has arrived for
+// longer than the timeout (it is wedged or hung). The declared failure
+// aborts the world, converting what would be a permanent deadlock of every
+// arrived rank into ErrRankFailed on all of them.
+func (w *World) runWatchdog(stop chan struct{}) {
+	tick := w.watchdog / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.abortCh:
+			return
+		case <-ticker.C:
+		}
+		s := &w.coll
+		s.mu.Lock()
+		arrived, kind, gen, last := s.arrived, s.kind, s.gen, s.lastArrival
+		var missing []int
+		if arrived > 0 && arrived < w.size {
+			for r := 0; r < w.size; r++ {
+				if s.contrib[r] == nil {
+					missing = append(missing, r)
+				}
+			}
+		}
+		s.mu.Unlock()
+		if len(missing) == 0 {
+			continue
+		}
+		stuck := time.Since(last) > w.watchdog
+		for _, r := range missing {
+			if !stuck && !w.hasExited(r) {
+				continue
+			}
+			// Re-confirm under the lock that the same collective is still in
+			// progress and the rank is still absent: it may have arrived (and
+			// the collective completed) since the sample above.
+			s.mu.Lock()
+			still := s.gen == gen && s.arrived > 0 && s.contrib[r] == nil
+			s.mu.Unlock()
+			if !still {
+				break
+			}
+			rf := &ErrRankFailed{Rank: r, Op: kind, Iter: int(w.epochs[r].Load()), Cause: ErrWatchdogTimeout}
+			w.abandon(r)
+			w.fail(rf)
+			return
+		}
+	}
 }
 
 // Comm is one rank's handle on the world: the receiver for all
 // communication operations. A Comm is only valid on the goroutine Run
 // created it for.
 type Comm struct {
-	world *World
-	rank  int
+	world   *World
+	rank    int
+	sendSeq []int // per-destination p2p sequence numbers (fault determinism)
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -97,3 +324,47 @@ func (c *Comm) Size() int { return c.world.size }
 
 // Stats returns the shared communication meter.
 func (c *Comm) Stats() *Stats { return c.world.stats }
+
+// SetEpoch publishes this rank's current fixpoint iteration to the fault
+// layer: injected faults can target a specific iteration, and failure
+// errors report the iteration the rank had reached. The fixpoint driver
+// calls it at the top of every iteration.
+func (c *Comm) SetEpoch(iter int) { c.world.epochs[c.rank].Store(int64(iter)) }
+
+// Epoch returns the last value passed to SetEpoch (0 before any call).
+func (c *Comm) Epoch() int { return int(c.world.epochs[c.rank].Load()) }
+
+// enter is the fault gate every communication operation passes through: it
+// aborts the rank if the world is poisoned, then consults the fault plan
+// for an injected crash or hang at this (rank, epoch, op) point.
+func (c *Comm) enter(op string) {
+	w := c.world
+	w.checkAbort()
+	if w.fstate == nil {
+		return
+	}
+	iter := c.Epoch()
+	if w.fstate.crashNow(c.rank, iter, op) {
+		panic(&ErrRankFailed{Rank: c.rank, Op: op, Iter: iter, Cause: ErrInjectedCrash})
+	}
+	if w.fstate.hangNow(c.rank, iter, op) {
+		// Hang until the run aborts (typically because the watchdog declares
+		// this rank dead), then die with whatever failure was declared.
+		<-w.abortCh
+		rf := w.abort.Load()
+		if rf != nil && rf.Rank == c.rank {
+			panic(rf)
+		}
+		panic(abortPanic{rf})
+	}
+}
+
+// validRank panics with a descriptive ErrRankFailed-convertible message when
+// a peer/root argument is out of range. The panic names the op, the calling
+// rank, and the bad value, and World.Run recovers it into an error.
+func (c *Comm) validRank(op string, v int) {
+	if v < 0 || v >= c.world.size {
+		panic(fmt.Sprintf("mpi: %s on rank %d: peer rank %d out of range [0, %d)",
+			op, c.rank, v, c.world.size))
+	}
+}

@@ -1,0 +1,217 @@
+package ra
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"paralagg/internal/mpi"
+)
+
+// Checkpoint/restart for the fixpoint. Every K iterations each rank
+// snapshots the stratum's relations (FULL and Δ trees, accumulator,
+// sub-bucket map, changed counts) through a pluggable sink; after a rank
+// failure a fresh world reloads the latest agreed snapshot and re-runs to
+// the identical fixpoint. The snapshot is rank-local (shards never cross
+// the wire to checkpoint), so checkpointing adds no communication — only
+// the serialization cost metered as metrics.PhaseCheckpoint.
+
+// Checkpoint is one rank's saved fixpoint position: the stratum and the
+// number of completed iterations, plus the serialized relation shards.
+type Checkpoint struct {
+	Ranks   int // world size at save time; a resume must match it
+	Stratum int
+	Iter    int // completed iterations; resume re-enters the loop here
+	Words   []mpi.Word
+}
+
+// CheckpointSink stores one latest checkpoint per rank. Implementations
+// must be safe for concurrent use by all ranks of a world and must
+// overwrite atomically: a crash mid-save must leave the previous checkpoint
+// readable.
+type CheckpointSink interface {
+	Save(rank int, cp Checkpoint) error
+	// Latest returns the most recent checkpoint saved for rank, or ok=false
+	// if none exists.
+	Latest(rank int) (cp Checkpoint, ok bool, err error)
+}
+
+// ErrNoCheckpoint reports a Resume attempt with an empty sink.
+var ErrNoCheckpoint = errors.New("ra: no checkpoint to resume from")
+
+// MemoryCheckpointSink keeps checkpoints in process memory. It survives a
+// world teardown (the crash/restart cycle the chaos harness exercises) but
+// not a process restart — use FileCheckpointSink for that.
+type MemoryCheckpointSink struct {
+	mu   sync.Mutex
+	byRk map[int]Checkpoint
+}
+
+// NewMemoryCheckpointSink returns an empty in-memory sink.
+func NewMemoryCheckpointSink() *MemoryCheckpointSink {
+	return &MemoryCheckpointSink{byRk: make(map[int]Checkpoint)}
+}
+
+// Save implements CheckpointSink.
+func (s *MemoryCheckpointSink) Save(rank int, cp Checkpoint) error {
+	cp.Words = append([]mpi.Word(nil), cp.Words...)
+	s.mu.Lock()
+	s.byRk[rank] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Latest implements CheckpointSink.
+func (s *MemoryCheckpointSink) Latest(rank int) (Checkpoint, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp, ok := s.byRk[rank]
+	if !ok {
+		return Checkpoint{}, false, nil
+	}
+	cp.Words = append([]mpi.Word(nil), cp.Words...)
+	return cp, true, nil
+}
+
+// FileCheckpointSink persists one checkpoint file per rank under Dir,
+// surviving process restarts (the CLI's -resume flag). Saves write a
+// temporary file and rename it into place, so an interrupted save never
+// clobbers the previous checkpoint.
+type FileCheckpointSink struct{ Dir string }
+
+const ckptMagic uint64 = 0x70614c43_6b707432 // "paLCkpt2"
+
+// ckptHeaderWords is the fixed prefix of a checkpoint file: magic, world
+// size, stratum, iteration, payload checksum, payload length.
+const ckptHeaderWords = 6
+
+// ckptSum mixes the payload words into a checksum so bit rot or a partially
+// written file is rejected at load instead of silently restoring garbage.
+func ckptSum(words []mpi.Word) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h ^= uint64(w)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 31
+	}
+	return h
+}
+
+func (s FileCheckpointSink) path(rank int) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("rank-%04d.ckpt", rank))
+}
+
+// Save implements CheckpointSink.
+func (s FileCheckpointSink) Save(rank int, cp Checkpoint) error {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*(ckptHeaderWords+len(cp.Words)))
+	binary.LittleEndian.PutUint64(buf[0:], ckptMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(cp.Ranks))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(cp.Stratum))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(cp.Iter))
+	binary.LittleEndian.PutUint64(buf[32:], ckptSum(cp.Words))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(len(cp.Words)))
+	for i, w := range cp.Words {
+		binary.LittleEndian.PutUint64(buf[8*(ckptHeaderWords+i):], w)
+	}
+	tmp := s.path(rank) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(rank))
+}
+
+// Latest implements CheckpointSink.
+func (s FileCheckpointSink) Latest(rank int) (Checkpoint, bool, error) {
+	buf, err := os.ReadFile(s.path(rank))
+	if errors.Is(err, os.ErrNotExist) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	if len(buf) < 8*ckptHeaderWords || binary.LittleEndian.Uint64(buf) != ckptMagic {
+		return Checkpoint{}, false, fmt.Errorf("ra: %s is not a checkpoint file", s.path(rank))
+	}
+	cp := Checkpoint{
+		Ranks:   int(binary.LittleEndian.Uint64(buf[8:])),
+		Stratum: int(binary.LittleEndian.Uint64(buf[16:])),
+		Iter:    int(binary.LittleEndian.Uint64(buf[24:])),
+	}
+	sum := binary.LittleEndian.Uint64(buf[32:])
+	n := int(binary.LittleEndian.Uint64(buf[40:]))
+	if len(buf) != 8*(ckptHeaderWords+n) {
+		return Checkpoint{}, false, fmt.Errorf("ra: %s truncated: %d words declared, %d bytes present",
+			s.path(rank), n, len(buf))
+	}
+	cp.Words = make([]mpi.Word, n)
+	for i := range cp.Words {
+		cp.Words[i] = binary.LittleEndian.Uint64(buf[8*(ckptHeaderWords+i):])
+	}
+	if got := ckptSum(cp.Words); got != sum {
+		return Checkpoint{}, false, fmt.Errorf("ra: %s corrupt: payload checksum %#x, header says %#x",
+			s.path(rank), got, sum)
+	}
+	return cp, true, nil
+}
+
+// Remove deletes rank's checkpoint file if present (used by the CLI to
+// clear stale state after a completed run).
+func (s FileCheckpointSink) Remove(rank int) error {
+	err := os.Remove(s.path(rank))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err == io.EOF {
+		return nil
+	}
+	return err
+}
+
+// LatestAgreed loads this rank's latest checkpoint and collectively
+// verifies that every rank holds a checkpoint for the same (stratum,
+// iteration) position. Ranks restarting from heterogeneous snapshots would
+// silently diverge, so a mismatch is an error on every rank. ok=false
+// (with a nil error) means no rank has a checkpoint.
+func LatestAgreed(comm *mpi.Comm, sink CheckpointSink) (Checkpoint, bool, error) {
+	const (
+		posNone = uint64(math.MaxUint64)     // this rank has no checkpoint
+		posErr  = uint64(math.MaxUint64) - 1 // this rank's sink failed to read
+	)
+	cp, ok, err := sink.Latest(comm.Rank())
+	pos := posNone
+	switch {
+	case err != nil:
+		pos = posErr // poison the agreement so peers error rather than diverge
+	case ok:
+		// World size rides along in the agreed position so every rank makes
+		// the same accept/reject decision even from tampered-with sinks.
+		pos = uint64(cp.Ranks)<<48 | uint64(cp.Stratum)<<32 | uint64(cp.Iter)
+	}
+	lo := comm.Allreduce(pos, mpi.OpMin)
+	hi := comm.Allreduce(pos, mpi.OpMax)
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	if lo != hi || lo == posErr {
+		return Checkpoint{}, false, fmt.Errorf(
+			"ra: checkpoint mismatch across ranks: positions range from %#x to %#x (rank %d has %#x)",
+			lo, hi, comm.Rank(), pos)
+	}
+	if !ok {
+		return Checkpoint{}, false, nil
+	}
+	if cp.Ranks != comm.Size() {
+		return Checkpoint{}, false, fmt.Errorf(
+			"ra: checkpoint was written by a %d-rank world, cannot resume with %d ranks (shards are placed by rank count)",
+			cp.Ranks, comm.Size())
+	}
+	return cp, true, nil
+}

@@ -1,0 +1,227 @@
+package ra
+
+import (
+	"fmt"
+	"testing"
+
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+// chainTC builds the 50-node-chain transitive-closure fixpoint used by the
+// truncation and checkpoint tests; full closure is 50·51/2 = 1275 paths.
+func chainTC(c *mpi.Comm, mc *metrics.Collector) (*Fixpoint, *relation.Relation) {
+	edgeRel, _ := relation.New(relation.Schema{Name: "edge", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+	pathRel, _ := relation.New(relation.Schema{Name: "path", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+	pathRev, _ := pathRel.AddIndex([]int{1, 0}, 1)
+	edgeRel.LoadShare(50, func(i int, emit func(tuple.Tuple)) {
+		emit(tuple.Tuple{tuple.Value(i), tuple.Value(i + 1)})
+	})
+	fx := NewFixpoint(c, mc,
+		&Copy{Src: edgeRel.Canonical(), SrcRel: edgeRel, Head: pathRel,
+			Emit: func(s tuple.Tuple, out func(tuple.Tuple)) { out(s.Clone()) }},
+		&Join{Left: pathRev, LeftRel: pathRel, Right: edgeRel.Canonical(), RightRel: edgeRel,
+			Head: pathRel, JK: 1,
+			Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) { out(tuple.Tuple{l[1], r[1]}) }},
+	)
+	return fx, pathRel
+}
+
+const chainTCPaths = 50 * 51 / 2
+
+func TestEffectiveOptionDefaults(t *testing.T) {
+	zero := Options{}
+	if got := zero.effectiveBalanceThreshold(); got != DefaultBalanceThreshold {
+		t.Errorf("zero-value threshold = %v, want DefaultBalanceThreshold", got)
+	}
+	if got := zero.effectiveMaxSubs(); got != DefaultMaxSubs {
+		t.Errorf("zero-value max subs = %v, want DefaultMaxSubs", got)
+	}
+	set := Options{BalanceThreshold: 3.5, MaxSubs: 4}
+	if got := set.effectiveBalanceThreshold(); got != 3.5 {
+		t.Errorf("explicit threshold overridden to %v", got)
+	}
+	if got := set.effectiveMaxSubs(); got != 4 {
+		t.Errorf("explicit max subs overridden to %v", got)
+	}
+	// Sub-threshold values fall back too (a threshold at or below 1 would
+	// rebalance constantly).
+	if got := (Options{BalanceThreshold: 0.5}).effectiveBalanceThreshold(); got != DefaultBalanceThreshold {
+		t.Errorf("threshold 0.5 accepted as %v", got)
+	}
+}
+
+// TestZeroValueOptionsBehaveAsDocumentedDefaults runs the same skewed
+// adaptive-balance workload with zero-value knobs and with the documented
+// defaults spelled out: the runs must make identical rebalancing decisions
+// and identical answers.
+func TestZeroValueOptionsBehaveAsDocumentedDefaults(t *testing.T) {
+	var es []edge
+	for i := 1; i <= 60; i++ {
+		es = append(es, edge{0, uint64(i), 1})
+	}
+	run := func(opts Options) (subs int, paths uint64) {
+		const ranks = 4
+		w := mpi.NewWorld(ranks)
+		err := w.Run(func(c *mpi.Comm) error {
+			mc := metrics.NewCollector(ranks)
+			edgeRel, _ := relation.New(relation.Schema{Name: "edge", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+			pathRel, _ := relation.New(relation.Schema{Name: "path", Arity: 2, Indep: 2, Key: 1}, c, mc, relation.Config{})
+			pathRev, _ := pathRel.AddIndex([]int{1, 0}, 1)
+			edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+				emit(tuple.Tuple{es[i].u, es[i].v})
+			})
+			fx := NewFixpoint(c, mc,
+				&Copy{Src: edgeRel.Canonical(), SrcRel: edgeRel, Head: pathRel,
+					Emit: func(s tuple.Tuple, out func(tuple.Tuple)) { out(s.Clone()) }},
+				&Join{Left: pathRev, LeftRel: pathRel, Right: edgeRel.Canonical(), RightRel: edgeRel,
+					Head: pathRel, JK: 1,
+					Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) { out(tuple.Tuple{l[1], r[1]}) }},
+			)
+			fx.Run(opts)
+			if c.Rank() == 0 {
+				subs = edgeRel.Subs()
+				paths = pathRel.GlobalFullCount()
+			} else {
+				pathRel.GlobalFullCount()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return subs, paths
+	}
+	zeroSubs, zeroPaths := run(Options{Plan: PlanDynamic, AdaptiveBalance: true})
+	defSubs, defPaths := run(Options{Plan: PlanDynamic, AdaptiveBalance: true,
+		BalanceThreshold: DefaultBalanceThreshold, MaxSubs: DefaultMaxSubs})
+	if zeroSubs != defSubs || zeroPaths != defPaths {
+		t.Errorf("zero-value Options diverged from documented defaults: subs %d vs %d, paths %d vs %d",
+			zeroSubs, defSubs, zeroPaths, defPaths)
+	}
+}
+
+// TestMaxItersTruncationThenContinue confirms a truncated Run leaves the
+// relations in a state a second Run continues from, reaching the same
+// fixpoint as an unbounded run.
+func TestMaxItersTruncationThenContinue(t *testing.T) {
+	const ranks = 2
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		fx, pathRel := chainTC(c, mc)
+		n1 := fx.Run(Options{Plan: PlanDynamic, MaxIters: 3})
+		if n1 != 3 {
+			return fmt.Errorf("truncated run did %d iterations, want 3", n1)
+		}
+		partial := pathRel.GlobalFullCount()
+		if partial == 0 || partial >= chainTCPaths {
+			return fmt.Errorf("after 3 iterations closure has %d paths, expected a strict partial result", partial)
+		}
+		n2 := fx.Run(Options{Plan: PlanDynamic})
+		if got := pathRel.GlobalFullCount(); got != chainTCPaths {
+			return fmt.Errorf("continued run reached %d paths, want %d", got, chainTCPaths)
+		}
+		if n2 < 2 {
+			return fmt.Errorf("continuation did only %d iterations from a 3-iteration truncation", n2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFixpointCheckpointResume drives the ra-level checkpoint machinery
+// directly: a truncated checkpointing run, then Resume, must reach the same
+// fixpoint an uninterrupted run reaches — even after the relations are
+// dirtied past the snapshot.
+func TestFixpointCheckpointResume(t *testing.T) {
+	const ranks = 3
+	sink := NewMemoryCheckpointSink()
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		fx, pathRel := chainTC(c, mc)
+		opts := Options{Plan: PlanDynamic, CheckpointEvery: 2, Sink: sink}
+		truncated := opts
+		truncated.MaxIters = 5 // checkpoints at iterations 2 and 4
+		fx.Run(truncated)
+		dirty := pathRel.GlobalFullCount()
+
+		total, err := fx.Resume(opts)
+		if err != nil {
+			return err
+		}
+		if got := pathRel.GlobalFullCount(); got != chainTCPaths {
+			return fmt.Errorf("resumed fixpoint reached %d paths, want %d (had %d at truncation)",
+				got, chainTCPaths, dirty)
+		}
+		if total <= 5 {
+			return fmt.Errorf("resumed run reported %d total iterations, expected to continue past the truncation", total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: an uninterrupted run's iteration count must match the
+	// resumed total.
+	wantIters := 0
+	w2 := mpi.NewWorld(ranks)
+	if err := w2.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		fx, _ := chainTC(c, mc)
+		n := fx.Run(Options{Plan: PlanDynamic})
+		if c.Rank() == 0 {
+			wantIters = n
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// And resuming in a FRESH world (the crash/restart path: new goroutines,
+	// reloaded base facts) must also reach the fixpoint.
+	w3 := mpi.NewWorld(ranks)
+	if err := w3.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		fx, pathRel := chainTC(c, mc)
+		total, err := fx.Resume(Options{Plan: PlanDynamic, CheckpointEvery: 2, Sink: sink})
+		if err != nil {
+			return err
+		}
+		if got := pathRel.GlobalFullCount(); got != chainTCPaths {
+			return fmt.Errorf("fresh-world resume reached %d paths, want %d", got, chainTCPaths)
+		}
+		if total != wantIters {
+			return fmt.Errorf("fresh-world resume ended at iteration %d, uninterrupted run at %d", total, wantIters)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeErrorsWithoutSinkOrCheckpoint pins the failure modes.
+func TestResumeErrorsWithoutSinkOrCheckpoint(t *testing.T) {
+	const ranks = 2
+	w := mpi.NewWorld(ranks)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		fx, _ := chainTC(c, mc)
+		if _, err := fx.Resume(Options{Plan: PlanDynamic}); err == nil {
+			return fmt.Errorf("Resume without a sink did not error")
+		}
+		if _, err := fx.Resume(Options{Plan: PlanDynamic, Sink: NewMemoryCheckpointSink()}); err != ErrNoCheckpoint {
+			return fmt.Errorf("Resume from an empty sink returned %v, want ErrNoCheckpoint", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,8 @@
 package ra
 
 import (
+	"fmt"
+
 	"paralagg/internal/btree"
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
@@ -58,6 +60,20 @@ func (cp *Copy) RunVariants(iter int, mode PlanMode, mc *metrics.Collector, pend
 	}
 }
 
+// Documented Options defaults. The zero-value Options behaves identically
+// to Options{BalanceThreshold: DefaultBalanceThreshold, MaxSubs:
+// DefaultMaxSubs}; the effective* accessors are the single place the
+// fallback logic lives.
+const (
+	// DefaultBalanceThreshold is the skew trigger used when
+	// Options.BalanceThreshold is unset (<= 1): a relation rebalances when
+	// its largest per-rank tuple count exceeds twice the mean.
+	DefaultBalanceThreshold = 2.0
+	// DefaultMaxSubs caps adaptive sub-bucket doubling when Options.MaxSubs
+	// is unset (< 1).
+	DefaultMaxSubs = 16
+)
+
 // Options tunes a fixpoint run.
 type Options struct {
 	// Plan selects the join-layout strategy (§IV-D).
@@ -71,13 +87,45 @@ type Options struct {
 	// per relation per iteration; redistribution traffic is metered as
 	// PhaseRebalance.
 	AdaptiveBalance  bool
-	BalanceThreshold float64 // default 2.0
-	MaxSubs          int     // default 16
+	BalanceThreshold float64 // <= 1 means DefaultBalanceThreshold
+	MaxSubs          int     // < 1 means DefaultMaxSubs
 	// AfterIteration, if set, runs on every rank at the end of each
 	// iteration (after materialization, before the fixpoint decision). The
 	// baseline engines use it to model per-iteration runtime overheads of
 	// the systems the paper compares against.
 	AfterIteration func(iter int, changed uint64)
+
+	// CheckpointEvery, with Sink set, snapshots the stratum's relations
+	// every CheckpointEvery completed iterations so a failed run can Resume
+	// instead of restarting from scratch. 0 disables checkpointing. The
+	// serialization cost is metered as metrics.PhaseCheckpoint.
+	CheckpointEvery int
+	// Sink stores the per-rank snapshots.
+	Sink CheckpointSink
+	// Stratum labels the checkpoints this run writes (multi-stratum
+	// programs resume into the right stratum).
+	Stratum int
+	// SnapshotRels overrides the set of relations captured per checkpoint.
+	// Defaults to the stratum's heads plus its body-only inputs; callers
+	// coordinating several strata (core.Instance) pass every relation of
+	// the program so one snapshot restores the whole computation.
+	SnapshotRels []*relation.Relation
+}
+
+// effectiveBalanceThreshold applies the documented default.
+func (o Options) effectiveBalanceThreshold() float64 {
+	if o.BalanceThreshold <= 1 {
+		return DefaultBalanceThreshold
+	}
+	return o.BalanceThreshold
+}
+
+// effectiveMaxSubs applies the documented default.
+func (o Options) effectiveMaxSubs() int {
+	if o.MaxSubs < 1 {
+		return DefaultMaxSubs
+	}
+	return o.MaxSubs
 }
 
 // Fixpoint runs a stratum's rules to fixpoint with semi-naïve evaluation.
@@ -106,17 +154,9 @@ func NewFixpoint(comm *mpi.Comm, mc *metrics.Collector, rules ...Rule) *Fixpoint
 // Heads returns the relations written by the stratum, in first-rule order.
 func (f *Fixpoint) Heads() []*relation.Relation { return f.heads }
 
-// Run iterates the stratum until no relation changes (or opts.MaxIters is
-// reached), returning the number of iterations executed. It is collective.
-//
-// Each iteration runs every applicable kernel variant, then materializes
-// every head relation — routing new tuples, fusing deduplication with local
-// aggregation, flipping Δ versions — and finally agrees on the global
-// changed count. Body-only relations (EDBs) have their Δ flipped so copy
-// rules fire exactly once on loaded facts.
-func (f *Fixpoint) Run(opts Options) int {
-	iter := 0
-	// Body-only relations: read but never written in this stratum.
+// bodyOnlyRels returns the relations read but never written in this
+// stratum (EDBs), in first-appearance order.
+func (f *Fixpoint) bodyOnlyRels() []*relation.Relation {
 	headSet := map[*relation.Relation]bool{}
 	for _, h := range f.heads {
 		headSet[h] = true
@@ -131,9 +171,116 @@ func (f *Fixpoint) Run(opts Options) int {
 			}
 		}
 	}
+	return bodyOnly
+}
+
+// snapshotSet returns the relations a checkpoint captures.
+func (f *Fixpoint) snapshotSet(opts Options) []*relation.Relation {
+	if opts.SnapshotRels != nil {
+		return opts.SnapshotRels
+	}
+	return append(append([]*relation.Relation(nil), f.heads...), f.bodyOnlyRels()...)
+}
+
+// Run iterates the stratum until no relation changes (or opts.MaxIters is
+// reached), returning the number of iterations executed. It is collective.
+//
+// Each iteration runs every applicable kernel variant, then materializes
+// every head relation — routing new tuples, fusing deduplication with local
+// aggregation, flipping Δ versions — and finally agrees on the global
+// changed count. Body-only relations (EDBs) have their Δ flipped so copy
+// rules fire exactly once on loaded facts.
+//
+// Calling Run again after a MaxIters truncation continues the fixpoint from
+// the relations' current state (Δ and changed counts persist), eventually
+// reaching the same fixpoint as an unbounded run. With opts.CheckpointEvery
+// set, periodic snapshots additionally allow Resume after a failure.
+func (f *Fixpoint) Run(opts Options) int {
+	return f.run(opts, 0)
+}
+
+// Resume restores the latest checkpoint (which must agree across ranks)
+// and continues the fixpoint from the iteration it captured, returning the
+// total number of iterations the stratum has executed including the
+// pre-crash ones. The restore cost is metered as metrics.PhaseRecovery. It
+// is collective.
+func (f *Fixpoint) Resume(opts Options) (int, error) {
+	if opts.Sink == nil {
+		return 0, fmt.Errorf("ra: Resume needs Options.Sink")
+	}
+	cp, ok, err := LatestAgreed(f.Comm, opts.Sink)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, ErrNoCheckpoint
+	}
+	if cp.Stratum != opts.Stratum {
+		return 0, fmt.Errorf("ra: checkpoint belongs to stratum %d, resuming stratum %d", cp.Stratum, opts.Stratum)
+	}
+	timer := metrics.StartTimer()
+	if err := f.restoreSnapshot(opts, cp.Words); err != nil {
+		return 0, err
+	}
+	f.MC.Record(f.Comm.Rank(), cp.Iter, metrics.PhaseRecovery,
+		timer.Done(int64(len(cp.Words)), int64(len(cp.Words)*mpi.WordBytes), 0))
+	return f.run(opts, cp.Iter), nil
+}
+
+// checkpoint snapshots the stratum's relations after `iter` completed
+// iterations. Sink errors fail this rank (the panic is recovered into an
+// ErrRankFailed by the runtime), because continuing without the promised
+// checkpoint would silently void the fault-tolerance contract.
+func (f *Fixpoint) checkpoint(opts Options, iter int) {
+	timer := metrics.StartTimer()
+	var words []mpi.Word
+	for _, rel := range f.snapshotSet(opts) {
+		sub := rel.SnapshotWords()
+		words = append(words, mpi.Word(len(sub)))
+		words = append(words, sub...)
+	}
+	rank := f.Comm.Rank()
+	cp := Checkpoint{Ranks: f.Comm.Size(), Stratum: opts.Stratum, Iter: iter, Words: words}
+	if err := opts.Sink.Save(rank, cp); err != nil {
+		panic(fmt.Sprintf("ra: rank %d checkpoint save at iteration %d failed: %v", rank, iter, err))
+	}
+	f.MC.Record(rank, iter-1, metrics.PhaseCheckpoint,
+		timer.Done(int64(len(words)), int64(len(words)*mpi.WordBytes), 0))
+}
+
+// restoreSnapshot decodes a checkpoint payload into the snapshot set.
+func (f *Fixpoint) restoreSnapshot(opts Options, words []mpi.Word) error {
+	rels := f.snapshotSet(opts)
+	for _, rel := range rels {
+		if len(words) < 1 {
+			return fmt.Errorf("ra: snapshot truncated before relation %d of %d", 0, len(rels))
+		}
+		n := int(words[0])
+		if len(words) < 1+n {
+			return fmt.Errorf("ra: snapshot truncated inside a relation payload (%d of %d words)", len(words)-1, n)
+		}
+		if err := rel.RestoreWords(words[1 : 1+n]); err != nil {
+			return err
+		}
+		words = words[1+n:]
+	}
+	if len(words) != 0 {
+		return fmt.Errorf("ra: snapshot has %d trailing words: relation set mismatch", len(words))
+	}
+	return nil
+}
+
+// run is the shared fixpoint loop, entered at startIter (0 for a fresh run,
+// the checkpoint's completed-iteration count for a resume).
+func (f *Fixpoint) run(opts Options, startIter int) int {
+	iter := startIter
+	bodyOnly := f.bodyOnlyRels()
 	allRels := append(append([]*relation.Relation(nil), f.heads...), bodyOnly...)
 
 	for {
+		// Publish the iteration to the fault layer: injected faults target
+		// it and failure reports carry it.
+		f.Comm.SetEpoch(iter)
 		if opts.AdaptiveBalance {
 			f.rebalance(iter, allRels, opts)
 		}
@@ -162,6 +309,9 @@ func (f *Fixpoint) Run(opts Options) int {
 		if changed == 0 {
 			return iter
 		}
+		if opts.CheckpointEvery > 0 && opts.Sink != nil && iter%opts.CheckpointEvery == 0 {
+			f.checkpoint(opts, iter)
+		}
 		if opts.MaxIters > 0 && iter >= opts.MaxIters {
 			return iter
 		}
@@ -174,14 +324,8 @@ func (f *Fixpoint) Run(opts Options) int {
 // sub-bucket count and redistribute its storage. Decisions derive from
 // collectively identical data, so every rank acts uniformly.
 func (f *Fixpoint) rebalance(iter int, rels []*relation.Relation, opts Options) {
-	threshold := opts.BalanceThreshold
-	if threshold <= 1 {
-		threshold = 2.0
-	}
-	maxSubs := opts.MaxSubs
-	if maxSubs < 1 {
-		maxSubs = 16
-	}
+	threshold := opts.effectiveBalanceThreshold()
+	maxSubs := opts.effectiveMaxSubs()
 	rank := f.Comm.Rank()
 	for _, rel := range rels {
 		timer := metrics.StartTimer()

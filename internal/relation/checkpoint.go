@@ -1,0 +1,177 @@
+package relation
+
+import (
+	"fmt"
+
+	"paralagg/internal/btree"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+// Relation snapshots. A snapshot captures one rank's complete shard of a
+// relation — every index's FULL and Δ trees, the aggregate accumulator, the
+// tuple-identity map, the sub-bucket count, and the cached global changed
+// count — as a flat word buffer, the same representation the wire uses.
+// Restoring the snapshot on a fresh (or poisoned-and-rebuilt) world
+// reproduces the rank's state bit for bit, which is what lets the fixpoint
+// driver resume mid-run after a rank failure and still reach the identical
+// fixpoint.
+//
+// Snapshots are rank-local: each rank saves and restores its own shard, and
+// the fixpoint layer coordinates that all ranks act on the same iteration's
+// snapshots.
+
+// SnapshotWords serializes this rank's shard. The layout is
+//
+//	subs, changedLast, idCounter,
+//	nIndexes, { nFull, tuples..., nDelta, tuples... } per index,
+//	nAcc, { indep..., dep... } per accumulator entry,
+//	nIds, { key..., id } per identity entry,
+//	nLeaky, { key..., best... } per leaky partial-best entry.
+func (r *Relation) SnapshotWords() []mpi.Word {
+	out := make([]mpi.Word, 0, 64)
+	out = append(out, mpi.Word(r.subs), r.changedLast, r.idCounter)
+	out = append(out, mpi.Word(len(r.indexes)))
+	for _, ix := range r.indexes {
+		for _, tree := range []*btree.Tree{ix.Full, ix.Delta} {
+			out = append(out, mpi.Word(tree.Len()))
+			tree.Ascend(func(t tuple.Tuple) bool {
+				out = append(out, t...)
+				return true
+			})
+		}
+	}
+	out = append(out, mpi.Word(len(r.acc)))
+	for k, dep := range r.acc {
+		out = append(out, keyValues(k)...)
+		out = append(out, dep...)
+	}
+	out = append(out, mpi.Word(len(r.ids)))
+	for k, id := range r.ids {
+		out = append(out, keyValues(k)...)
+		out = append(out, id)
+	}
+	out = append(out, mpi.Word(len(r.leakyBest)))
+	for k, best := range r.leakyBest {
+		out = append(out, keyValues(k)...)
+		out = append(out, best...)
+	}
+	return out
+}
+
+// idKeyWords is the word length of a tuple-identity key: the independent
+// columns for aggregated relations, the whole tuple for set relations.
+func (r *Relation) idKeyWords() int {
+	if r.Agg != nil {
+		return r.Indep
+	}
+	return r.Arity
+}
+
+// RestoreWords replaces this rank's shard with a snapshot produced by
+// SnapshotWords on a relation of the identical schema and index registry.
+// Existing contents are discarded wholesale, so restoring over a partially
+// mutated relation (e.g. after reloading base facts) is safe.
+func (r *Relation) RestoreWords(words []mpi.Word) error {
+	fail := func(what string) error {
+		return fmt.Errorf("relation %s: corrupt snapshot: %s (at %d of %d words)", r.Name, what, 0, len(words))
+	}
+	next := func(n int) ([]mpi.Word, bool) {
+		if len(words) < n {
+			return nil, false
+		}
+		chunk := words[:n]
+		words = words[n:]
+		return chunk, true
+	}
+	head, ok := next(4)
+	if !ok {
+		return fail("truncated header")
+	}
+	subs, changed, idCounter, nIdx := int(head[0]), head[1], head[2], int(head[3])
+	if subs < 1 || nIdx != len(r.indexes) {
+		return fmt.Errorf("relation %s: snapshot has %d indexes / %d subs, relation has %d indexes",
+			r.Name, nIdx, subs, len(r.indexes))
+	}
+	for _, ix := range r.indexes {
+		for which := 0; which < 2; which++ {
+			cnt, ok := next(1)
+			if !ok {
+				return fail("truncated tree count")
+			}
+			tree := btree.New()
+			for i := 0; i < int(cnt[0]); i++ {
+				tw, ok := next(r.Arity)
+				if !ok {
+					return fail("truncated tree tuple")
+				}
+				tree.Insert(tuple.Tuple(tw).Clone())
+			}
+			if which == 0 {
+				ix.Full = tree
+			} else {
+				ix.Delta = tree
+			}
+		}
+	}
+	cnt, ok := next(1)
+	if !ok {
+		return fail("truncated accumulator count")
+	}
+	nAcc := int(cnt[0])
+	if nAcc > 0 && r.Agg == nil {
+		return fail("accumulator entries in a set-relation snapshot")
+	}
+	if r.Agg != nil {
+		r.acc = make(map[string][]tuple.Value, nAcc)
+	}
+	for i := 0; i < nAcc; i++ {
+		e, ok := next(r.Arity)
+		if !ok {
+			return fail("truncated accumulator entry")
+		}
+		k := keyString(e[:r.Indep])
+		r.acc[k] = append([]tuple.Value(nil), e[r.Indep:]...)
+	}
+	cnt, ok = next(1)
+	if !ok {
+		return fail("truncated id count")
+	}
+	nIds, kw := int(cnt[0]), r.idKeyWords()
+	r.ids = nil
+	if nIds > 0 {
+		r.ids = make(map[string]uint64, nIds)
+	}
+	for i := 0; i < nIds; i++ {
+		e, ok := next(kw + 1)
+		if !ok {
+			return fail("truncated id entry")
+		}
+		r.ids[keyString(e[:kw])] = e[kw]
+	}
+	cnt, ok = next(1)
+	if !ok {
+		return fail("truncated leaky count")
+	}
+	nLeaky := int(cnt[0])
+	if nLeaky > 0 && r.leaky == nil {
+		return fail("leaky entries in a non-leaky relation snapshot")
+	}
+	if r.leaky != nil {
+		r.leakyBest = make(map[string][]tuple.Value, nLeaky)
+	}
+	for i := 0; i < nLeaky; i++ {
+		e, ok := next(r.Arity)
+		if !ok {
+			return fail("truncated leaky entry")
+		}
+		r.leakyBest[keyString(e[:r.leaky.Indep])] = append([]tuple.Value(nil), e[r.leaky.Indep:]...)
+	}
+	if len(words) != 0 {
+		return fail(fmt.Sprintf("%d trailing words", len(words)))
+	}
+	r.subs = subs
+	r.changedLast = changed
+	r.idCounter = idCounter
+	return nil
+}

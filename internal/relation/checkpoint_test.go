@@ -1,0 +1,150 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+// dumpFull collects a rank's canonical FULL contents for comparison.
+func dumpFull(r *Relation) []tuple.Tuple {
+	var out []tuple.Tuple
+	r.Canonical().Full.Ascend(func(t tuple.Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
+func sameTuples(a, b []tuple.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSnapshotRestoreSetRelation(t *testing.T) {
+	const ranks = 3
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{Subs: 2})
+		if err != nil {
+			return err
+		}
+		if _, err := r.AddIndex([]int{1, 0}, 1); err != nil {
+			return err
+		}
+		r.LoadShare(300, func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{tuple.Value(i % 11), tuple.Value(i)})
+		})
+		want := dumpFull(r)
+		wantChanged := r.ChangedLast()
+		snap := r.SnapshotWords()
+
+		// Mutate past the snapshot, then restore: the pre-mutation state must
+		// come back wholesale.
+		buf := tuple.NewBuffer(2, 50)
+		for i := 0; i < 50; i++ {
+			buf.Append(tuple.Tuple{tuple.Value(1000 + i), tuple.Value(i)})
+		}
+		r.Materialize(1, buf, false)
+		if err := r.RestoreWords(snap); err != nil {
+			return err
+		}
+		if got := dumpFull(r); !sameTuples(got, want) {
+			return fmt.Errorf("rank %d: restored FULL diverges (%d vs %d tuples)", c.Rank(), len(got), len(want))
+		}
+		if r.ChangedLast() != wantChanged {
+			return fmt.Errorf("changed count %d after restore, want %d", r.ChangedLast(), wantChanged)
+		}
+		if got := r.GlobalFullCount(); got != 300 {
+			return fmt.Errorf("global count = %d after restore", got)
+		}
+		return r.CheckInvariants()
+	})
+}
+
+func TestSnapshotRestoreAggRelation(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(aggSchema("sp", 2, lattice.Min{}), c, mc, Config{Subs: 2})
+		if err != nil {
+			return err
+		}
+		if _, err := r.AddIndex([]int{1, 0, 2}, 1); err != nil {
+			return err
+		}
+		// Two rounds of improvements so Δ, accumulator, and ids all carry
+		// non-trivial state into the snapshot.
+		for round := 0; round < 2; round++ {
+			buf := tuple.NewBuffer(3, 32)
+			for i := 0; i < 32; i++ {
+				key := tuple.Value(i % 8)
+				buf.Append(tuple.Tuple{key, key + 1, tuple.Value(100 - round*30 + i%3)})
+			}
+			r.Materialize(round, buf, false)
+		}
+		want := dumpFull(r)
+		wantIDs := r.LocalIDCount()
+		snap := r.SnapshotWords()
+
+		buf := tuple.NewBuffer(3, 8)
+		for i := 0; i < 8; i++ {
+			buf.Append(tuple.Tuple{tuple.Value(i % 8), tuple.Value(i%8 + 1), 1})
+		}
+		r.Materialize(2, buf, false)
+		if err := r.RestoreWords(snap); err != nil {
+			return err
+		}
+		if got := dumpFull(r); !sameTuples(got, want) {
+			return fmt.Errorf("rank %d: restored FULL diverges", c.Rank())
+		}
+		if r.LocalIDCount() != wantIDs {
+			return fmt.Errorf("id count %d after restore, want %d", r.LocalIDCount(), wantIDs)
+		}
+		// Restored accumulators must still reject worse and accept better.
+		buf.Reset()
+		buf.Append(tuple.Tuple{0, 1, 9999})
+		if ch := r.Materialize(3, buf, false); ch != 0 {
+			return fmt.Errorf("worse value changed %d entries after restore", ch)
+		}
+		return r.CheckInvariants()
+	})
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	runWorld(t, 1, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(1)
+		r, err := New(setSchema("edge", 2, 1), c, mc, Config{})
+		if err != nil {
+			return err
+		}
+		r.LoadShare(20, func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{tuple.Value(i), tuple.Value(i)})
+		})
+		snap := r.SnapshotWords()
+		if err := r.RestoreWords(snap[:2]); err == nil {
+			return fmt.Errorf("accepted truncated header")
+		}
+		if err := r.RestoreWords(snap[:len(snap)-1]); err == nil {
+			return fmt.Errorf("accepted truncated payload")
+		}
+		if err := r.RestoreWords(append(append([]mpi.Word(nil), snap...), 0)); err == nil {
+			return fmt.Errorf("accepted trailing words")
+		}
+		// The intact snapshot must still restore after the failed attempts.
+		return r.RestoreWords(snap)
+	})
+}

@@ -29,6 +29,7 @@ package paralagg
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"paralagg/internal/core"
 	"paralagg/internal/metrics"
@@ -82,6 +83,25 @@ type Config struct {
 	Adaptive bool
 	// Cost overrides the simulated-time cost model (zero value = default).
 	Cost metrics.CostModel
+
+	// Faults injects a deterministic fault schedule into the runtime
+	// (testing and chaos experiments). nil runs fault-free.
+	Faults *FaultPlan
+	// Watchdog, when positive, bounds how long a collective may sit
+	// incomplete before the missing rank is declared failed; without it a
+	// hung rank deadlocks the world until Go's runtime detector fires.
+	Watchdog time.Duration
+	// CheckpointEvery, with Checkpoints set, snapshots every relation each
+	// CheckpointEvery fixpoint iterations so a crashed run can be re-Exec'd
+	// with Resume. 0 disables checkpointing.
+	CheckpointEvery int
+	// Checkpoints stores the per-rank snapshots.
+	Checkpoints CheckpointSink
+	// Resume restarts from the latest checkpoint in Checkpoints instead of
+	// running from scratch: completed strata are skipped and the
+	// checkpointed stratum continues from its saved iteration. The load
+	// callback still runs (relations restore wholesale over loaded facts).
+	Resume bool
 }
 
 func (c Config) ranks() int {
@@ -213,13 +233,22 @@ type Result struct {
 func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank) error) (*Result, error) {
 	size := cfg.ranks()
 	world := mpi.NewWorld(size)
+	if cfg.Faults != nil {
+		world.SetFaultPlan(cfg.Faults)
+	}
+	if cfg.Watchdog > 0 {
+		world.SetWatchdog(cfg.Watchdog)
+	}
 	mc := metrics.NewCollector(size)
 	res := &Result{Ranks: size, Counts: map[string]uint64{}}
 
+	runCfg := core.Config{
+		Subs: cfg.Subs, SubsFor: cfg.SubsFor, Plan: cfg.Plan.mode(),
+		MaxIters: cfg.MaxIters, Adaptive: cfg.Adaptive,
+		CheckpointEvery: cfg.CheckpointEvery, Checkpoints: cfg.Checkpoints,
+	}
 	err := world.Run(func(c *mpi.Comm) error {
-		inst, err := prog.Instantiate(c, mc, core.Config{
-			Subs: cfg.Subs, SubsFor: cfg.SubsFor, Plan: cfg.Plan.mode(), MaxIters: cfg.MaxIters,
-		})
+		inst, err := prog.Instantiate(c, mc, runCfg)
 		if err != nil {
 			return err
 		}
@@ -229,7 +258,15 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 				return err
 			}
 		}
-		stats := inst.Run(core.Config{Plan: cfg.Plan.mode(), MaxIters: cfg.MaxIters, Adaptive: cfg.Adaptive})
+		var stats core.RunStats
+		if cfg.Resume {
+			stats, err = inst.Resume(runCfg)
+			if err != nil {
+				return err
+			}
+		} else {
+			stats = inst.Run(runCfg)
+		}
 		if c.Rank() == 0 {
 			res.StratumIters = stats.StratumIters
 			res.Iterations = stats.TotalIters

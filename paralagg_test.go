@@ -2,6 +2,7 @@ package paralagg
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -24,6 +25,8 @@ func TestExecConnectedComponents(t *testing.T) {
 			A("edge", Var("x"), Var("y"))),
 	)
 
+	// Every rank's inspect goroutine records its shard here concurrently.
+	var labelsMu sync.Mutex
 	labels := map[uint64]uint64{}
 	res, err := Exec(p, Config{Ranks: 4},
 		func(rk *Rank) error {
@@ -53,7 +56,9 @@ func TestExecConnectedComponents(t *testing.T) {
 			if g := rk.Reduce(wrong, OpSum); g != 0 {
 				return fmt.Errorf("%d wrong labels", g)
 			}
+			labelsMu.Lock()
 			rk.Each("cc", func(tt Tuple) { labels[tt[0]] = tt[1] })
+			labelsMu.Unlock()
 			return nil
 		})
 	if err != nil {
