@@ -8,6 +8,7 @@ package paralagg_test
 
 import (
 	"testing"
+	"time"
 
 	"paralagg"
 	"paralagg/internal/baseline"
@@ -242,6 +243,81 @@ func BenchmarkFig7IterationProfile(b *testing.B) {
 	}
 	b.ReportMetric(tail*100, "tail-%")
 }
+
+// --- Elastic recovery: checkpoint and restore overhead ---
+
+// benchCheckpointOverhead runs SSSP/twitter-sim with a checkpoint every
+// `every` iterations (0 = off) and reports the simulated time spent
+// serializing snapshots next to the run's total — the fault-tolerance tax
+// as a function of the interval K.
+func benchCheckpointOverhead(b *testing.B, every int) {
+	g := loadGraph(b, "twitter-sim")
+	sources := g.Sources(5, 1)
+	var sim, ckpt float64
+	for i := 0; i < b.N; i++ {
+		cfg := paralagg.Config{Ranks: 32, Subs: 8, Plan: paralagg.Dynamic}
+		if every > 0 {
+			cfg.CheckpointEvery = every
+			cfg.Checkpoints = paralagg.NewMemoryCheckpointSink()
+		}
+		res, err := queries.RunSSSP(g, sources, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.SimSeconds
+		ckpt = res.PhaseSeconds["checkpoint"]
+	}
+	reportSim(b, sim)
+	b.ReportMetric(ckpt*1e3, "ckpt-sim-ms/op")
+}
+
+func BenchmarkCheckpointOff(b *testing.B)    { benchCheckpointOverhead(b, 0) }
+func BenchmarkCheckpointEvery8(b *testing.B) { benchCheckpointOverhead(b, 8) }
+func BenchmarkCheckpointEvery4(b *testing.B) { benchCheckpointOverhead(b, 4) }
+func BenchmarkCheckpointEvery2(b *testing.B) { benchCheckpointOverhead(b, 2) }
+
+// benchRecovery crashes rank (ranks-1) mid-fixpoint and lets the supervisor
+// rebuild at restartRanks, reporting the simulated restore cost: the
+// same-size path shows up as recovery-sim-ms, the elastic path (restart
+// size ≠ 32) as remap-sim-ms.
+func benchRecovery(b *testing.B, restartRanks int) {
+	g := loadGraph(b, "twitter-sim")
+	sources := g.Sources(5, 1)
+	var remap, recovery float64
+	for i := 0; i < b.N; i++ {
+		cfg := paralagg.SuperviseConfig{
+			Config: paralagg.Config{
+				Ranks: 32, Subs: 8, Plan: paralagg.Dynamic,
+				CheckpointEvery: 4,
+				Checkpoints:     paralagg.NewMemoryCheckpointSink(),
+				Faults: &paralagg.FaultPlan{
+					Seed:    1,
+					Crashes: []paralagg.Crash{{Rank: 31, Iter: 6, Op: "alltoallv"}},
+				},
+			},
+			RecoveryBackoff: time.Millisecond,
+		}
+		if restartRanks != 32 {
+			cfg.RanksFor = func(restart, prev int, lost []int) int { return restartRanks }
+		}
+		res, rep, err := paralagg.Supervise(queries.SSSPProgram(), cfg,
+			func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, g, sources) }, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.RecoveryAttempts != 1 {
+			b.Fatalf("expected 1 recovery, got %d", rep.RecoveryAttempts)
+		}
+		remap = res.PhaseSeconds["remap"]
+		recovery = res.PhaseSeconds["recovery"]
+	}
+	b.ReportMetric(remap*1e3, "remap-sim-ms/op")
+	b.ReportMetric(recovery*1e3, "recovery-sim-ms/op")
+}
+
+func BenchmarkRecoverySameSize(b *testing.B) { benchRecovery(b, 32) }
+func BenchmarkRecoveryDegraded(b *testing.B) { benchRecovery(b, 31) }
+func BenchmarkRecoveryHalved(b *testing.B)   { benchRecovery(b, 16) }
 
 // --- Ablations ---
 

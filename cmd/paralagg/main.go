@@ -4,6 +4,7 @@
 //
 //	paralagg -query sssp -graph twitter-sim -ranks 64 -subs 8 -plan dynamic
 //	paralagg -query cc -file my-edges.txt
+//	paralagg -query sssp -checkpoint-every 4 -supervise -degrade
 package main
 
 import (
@@ -36,11 +37,32 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", ".paralagg-ckpt", "directory for per-rank checkpoint files")
 	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
 	watchdog := flag.Duration("watchdog", 0, "declare a rank dead after it stalls a collective this long (0 = off)")
+	supervise := flag.Bool("supervise", false, "auto-recover from rank failures: rebuild the world and restore the latest checkpoint")
+	maxRestarts := flag.Int("max-restarts", 3, "give up after this many supervised recoveries")
+	degrade := flag.Bool("degrade", false, "restart with the surviving rank count instead of the same world size (with -supervise)")
+	backoff := flag.Duration("recovery-backoff", 10*time.Millisecond, "first restart delay; doubles per restart (with -supervise)")
 	flag.Parse()
 
 	if *runChaos {
 		runChaosSuite()
 		return
+	}
+
+	// Flag validation: catch contradictory fault-tolerance setups before a
+	// world is built, with errors that say how to fix them.
+	if *ckptEvery < 0 {
+		log.Fatalf("-checkpoint-every must be >= 0, got %d (use 0 to disable checkpointing)", *ckptEvery)
+	}
+	if *resume {
+		if st, err := os.Stat(*ckptDir); err != nil || !st.IsDir() {
+			log.Fatalf("-resume needs an existing checkpoint directory: %s not found (run with -checkpoint-every first, or point -checkpoint-dir at it)", *ckptDir)
+		}
+	}
+	if *supervise && *ckptEvery <= 0 {
+		log.Fatal("-supervise needs -checkpoint-every N (N > 0): without periodic checkpoints a recovery can only restart from scratch")
+	}
+	if *maxRestarts < 0 {
+		log.Fatalf("-max-restarts must be >= 0, got %d", *maxRestarts)
 	}
 
 	var g *graph.Graph
@@ -69,12 +91,16 @@ func main() {
 		cfg.Resume = *resume
 	}
 
+	// Build the (program, loader) pair, either from the textual frontend or
+	// a built-in query, then run it — plainly or under supervision.
+	var prog *paralagg.Program
+	var load func(*paralagg.Rank) error
 	if *programFile != "" {
 		src, err := os.ReadFile(*programFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		prog, err := paralagg.ParseProgram(string(src))
+		prog, err = paralagg.ParseProgram(string(src))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +118,7 @@ func main() {
 		if d == nil {
 			log.Fatal("program must declare an 'edge' relation to receive the graph")
 		}
-		res, err := paralagg.Exec(prog, cfg, func(rk *paralagg.Rank) error {
+		load = func(rk *paralagg.Rank) error {
 			return rk.LoadShare("edge", len(g.Edges), func(i int, emit func(paralagg.Tuple)) {
 				e := g.Edges[i]
 				if d.Arity >= 3 {
@@ -101,38 +127,56 @@ func main() {
 					emit(paralagg.Tuple{e.U, e.V})
 				}
 			})
-		}, nil)
+		}
+	} else {
+		fmt.Printf("%s on %v\nranks=%d subs=%d plan=%s\n\n", *query, g, *ranks, *subs, *planName)
+		sources := g.Sources(*nsources, 1)
+		switch *query {
+		case "sssp":
+			prog = queries.SSSPProgram()
+			load = func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, g, sources) }
+		case "cc":
+			prog = queries.CCProgram()
+			load = func(rk *paralagg.Rank) error { return queries.LoadCC(rk, g) }
+		case "tc":
+			prog = queries.TCProgram()
+			load = func(rk *paralagg.Rank) error { return queries.LoadTC(rk, g) }
+		case "pagerank":
+			prog = queries.PageRankProgram(*iters, g.Nodes, 0.85)
+			load = func(rk *paralagg.Rank) error { return queries.LoadPageRank(rk, g) }
+		case "lsp":
+			prog = queries.LspProgram()
+			load = func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, g, sources) }
+		default:
+			fmt.Fprintf(os.Stderr, "unknown query %q (sssp, cc, tc, pagerank, lsp)\n", *query)
+			os.Exit(2)
+		}
+	}
+
+	var res *paralagg.Result
+	if *supervise {
+		var rep *paralagg.SuperviseReport
+		res, rep, err = paralagg.Supervise(prog, paralagg.SuperviseConfig{
+			Config:          cfg,
+			MaxRestarts:     *maxRestarts,
+			Degrade:         *degrade,
+			RecoveryBackoff: *backoff,
+			Logf: func(f string, a ...any) {
+				fmt.Fprintf(os.Stderr, f+"\n", a...)
+			},
+		}, load, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(res.Summary())
-		return
-	}
-
-	fmt.Printf("%s on %v\nranks=%d subs=%d plan=%s\n\n", *query, g, *ranks, *subs, *planName)
-
-	var res *paralagg.Result
-	switch *query {
-	case "sssp":
-		res, err = queries.RunSSSP(g, g.Sources(*nsources, 1), cfg)
-	case "cc":
-		res, err = queries.RunCC(g, cfg)
-	case "tc":
-		res, err = paralagg.Exec(queries.TCProgram(), cfg, func(rk *paralagg.Rank) error {
-			return queries.LoadTC(rk, g)
-		}, nil)
-	case "pagerank":
-		res, err = queries.RunPageRank(g, *iters, 0.85, cfg)
-	case "lsp":
-		res, err = paralagg.Exec(queries.LspProgram(), cfg, func(rk *paralagg.Rank) error {
-			return queries.LoadSSSP(rk, g, g.Sources(*nsources, 1))
-		}, nil)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown query %q (sssp, cc, tc, pagerank, lsp)\n", *query)
-		os.Exit(2)
-	}
-	if err != nil {
-		log.Fatal(err)
+		if rep.RecoveryAttempts > 0 {
+			fmt.Printf("supervised: %d recoveries, ranks lost %v, finished on %d ranks\n",
+				rep.RecoveryAttempts, rep.RanksLost, rep.FinalRanks)
+		}
+	} else {
+		res, err = paralagg.Exec(prog, cfg, load, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Print(res.Summary())
@@ -143,8 +187,10 @@ func main() {
 }
 
 // runChaosSuite executes the chaos harness's differential scenarios: each
-// query runs fault-free, then with an injected mid-fixpoint crash, then
-// resumed from its checkpoint; the recovered answer must match bit for bit.
+// query runs fault-free, then with an injected mid-fixpoint crash —
+// manually resumed, supervised at the same and smaller world sizes, and
+// crashed repeatedly across recoveries; every recovered answer must match
+// the fault-free one bit for bit.
 func runChaosSuite() {
 	failed := 0
 	for _, sc := range chaos.Scenarios() {
@@ -152,24 +198,51 @@ func runChaosSuite() {
 			rep, err := chaos.Differential(sc, ranks, 2, 3)
 			switch {
 			case err != nil:
-				fmt.Printf("FAIL %-5s ranks=%d: %v\n", sc.Name, ranks, err)
+				fmt.Printf("FAIL %-9s ranks=%d: %v\n", sc.Name, ranks, err)
 				failed++
 			case !rep.Identical():
-				fmt.Printf("FAIL %-5s ranks=%d: recovered relations diverge from the fault-free run\n", sc.Name, ranks)
+				fmt.Printf("FAIL %-9s ranks=%d: recovered relations diverge from the fault-free run\n", sc.Name, ranks)
 				failed++
 			default:
-				fmt.Printf("ok   %-5s ranks=%d: crash at iter 3, resumed, %d relations bit-identical (recovery %.3fms)\n",
+				fmt.Printf("ok   %-9s ranks=%d: crash at iter 3, resumed, %d relations bit-identical (recovery %.3fms)\n",
 					sc.Name, ranks, len(rep.Clean), rep.RecoverySeconds*1e3)
 			}
 		}
+		// Supervised elastic recovery: same size, one rank down, half size.
+		for _, restart := range []int{4, 3, 2} {
+			rep, err := chaos.Elastic(sc, 4, 2, 3, restart)
+			switch {
+			case err != nil:
+				fmt.Printf("FAIL %-9s 4->%d: %v\n", sc.Name, restart, err)
+				failed++
+			case !rep.Identical():
+				fmt.Printf("FAIL %-9s 4->%d: recovered relations diverge from the fault-free run\n", sc.Name, restart)
+				failed++
+			default:
+				fmt.Printf("ok   %-9s 4->%d: auto-recovered (%d attempt, remap %.3fms, recovery %.3fms)\n",
+					sc.Name, restart, rep.RecoveryAttempts, rep.RemapSeconds*1e3, rep.RecoverySeconds*1e3)
+			}
+		}
+		rep, err := chaos.Repeated(sc, 4, 2)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %-9s repeated: %v\n", sc.Name, err)
+			failed++
+		case !rep.Identical():
+			fmt.Printf("FAIL %-9s repeated: recovered relations diverge from the fault-free run\n", sc.Name)
+			failed++
+		default:
+			fmt.Printf("ok   %-9s repeated: two crashes across recoveries, %d recoveries, ranks lost %v\n",
+				sc.Name, rep.RecoveryAttempts, rep.RanksLost)
+		}
 		if err := chaos.StuckCollective(sc, 4, 500*time.Millisecond); err == nil {
-			fmt.Printf("FAIL %-5s: hung collective produced no error\n", sc.Name)
+			fmt.Printf("FAIL %-9s: hung collective produced no error\n", sc.Name)
 			failed++
 		} else if _, ok := paralagg.AsRankFailure(err); !ok {
-			fmt.Printf("FAIL %-5s: hung collective error is unstructured: %v\n", sc.Name, err)
+			fmt.Printf("FAIL %-9s: hung collective error is unstructured: %v\n", sc.Name, err)
 			failed++
 		} else {
-			fmt.Printf("ok   %-5s: stuck collective surfaced as structured rank failure\n", sc.Name)
+			fmt.Printf("ok   %-9s: stuck collective surfaced as structured rank failure\n", sc.Name)
 		}
 	}
 	if failed > 0 {

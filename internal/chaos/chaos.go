@@ -27,15 +27,35 @@ type Scenario struct {
 	// Rels lists the relations whose final contents the differential
 	// compares.
 	Rels []string
+	// Subs is the sub-bucket count the harness runs the scenario with
+	// (0 = 1 = off). Skewed scenarios set it so crashes and elastic
+	// restores exercise sub-bucket placement, not just bucket hashing.
+	Subs int
 }
 
 // Scenarios returns the standard workloads: SSSP and connected components
-// on a small grid, transitive closure on a chain. The graphs are sized so
-// the fixpoints run clearly past the default crash iteration.
+// on a small grid, transitive closure on a chain, and SSSP on a hub-heavy
+// social graph with sub-bucketing on — the skew case whose remap must
+// respect sub-bucket placement. The graphs are sized so the fixpoints run
+// clearly past the default crash iteration.
 func Scenarios() []Scenario {
 	ssspG := graph.Grid("chaos-grid-sssp", 4, 4, 8, 11)
 	ccG := graph.Grid("chaos-grid-cc", 4, 4, 1, 12)
 	tcG := graph.Chain("chaos-chain-tc", 10, 1, 13)
+	skewG := graph.Social("chaos-social-sssp", 6, 220, 3, 24, 64, 17)
+	// Hub shortcuts keep the social core's diameter tiny, so on its own the
+	// SSSP fixpoint converges before the harness's later crash iterations
+	// ever fire. A weighted chain tail off the source guarantees depth while
+	// leaving the hub-heavy degree skew (the point of this scenario) intact.
+	tail := skewG.Nodes
+	skewG.Nodes += 8
+	for i := 0; i < 8; i++ {
+		u := uint64(0)
+		if i > 0 {
+			u = uint64(tail + i - 1)
+		}
+		skewG.Edges = append(skewG.Edges, graph.Edge{U: u, V: uint64(tail + i), W: 3})
+	}
 	return []Scenario{
 		{
 			Name: "sssp",
@@ -54,6 +74,13 @@ func Scenarios() []Scenario {
 			Prog: queries.TCProgram,
 			Load: func(rk *paralagg.Rank) error { return queries.LoadTC(rk, tcG) },
 			Rels: []string{"edge", "path"},
+		},
+		{
+			Name: "sssp-skew",
+			Prog: queries.SSSPProgram,
+			Load: func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, skewG, []uint64{0}) },
+			Rels: []string{"edge", "spath"},
+			Subs: 4,
 		},
 	}
 }
@@ -147,7 +174,7 @@ func (r *Report) Identical() bool {
 // completes; the caller compares fingerprints with Report.Identical.
 func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 	rep := &Report{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks},
+	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: fault-free run failed: %w", sc.Name, err)
@@ -162,6 +189,7 @@ func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 	victim := ranks - 1
 	_, err = paralagg.Exec(sc.Prog(), paralagg.Config{
 		Ranks:           ranks,
+		Subs:            sc.Subs,
 		CheckpointEvery: every,
 		Checkpoints:     sink,
 		Watchdog:        5 * time.Second,
@@ -185,6 +213,7 @@ func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 
 	resumed, err := paralagg.Exec(sc.Prog(), paralagg.Config{
 		Ranks:           ranks,
+		Subs:            sc.Subs,
 		CheckpointEvery: every,
 		Checkpoints:     sink,
 		Resume:          true,
@@ -197,6 +226,139 @@ func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 	return rep, nil
 }
 
+// ElasticReport is the outcome of one supervised differential: a fault-free
+// run fixes the answer, then a single supervised run crashes mid-fixpoint
+// and recovers automatically — possibly more than once, possibly into a
+// different world size — and must land on the identical relation contents.
+type ElasticReport struct {
+	Clean     map[string]Fingerprint
+	Recovered map[string]Fingerprint
+	// RecoveryAttempts and RanksLost come from the supervisor's report.
+	RecoveryAttempts int
+	RanksLost        []int
+	// FinalRanks is the world size the run finished on.
+	FinalRanks int
+	// RemapSeconds and RecoverySeconds are the simulated time the final
+	// world spent in the elastic remap / same-size restore phases.
+	RemapSeconds    float64
+	RecoverySeconds float64
+}
+
+// Identical reports whether the supervised run reproduced the fault-free
+// relation contents exactly.
+func (r *ElasticReport) Identical() bool {
+	if len(r.Clean) != len(r.Recovered) {
+		return false
+	}
+	for rel, fp := range r.Clean {
+		if r.Recovered[rel] != fp {
+			return false
+		}
+	}
+	return true
+}
+
+// elastic is the shared body of Elastic and Repeated: run sc fault-free at
+// ranks, then once under supervision with the given config, and compare.
+func elastic(sc Scenario, ranks, minIters int, cfg paralagg.SuperviseConfig) (*ElasticReport, error) {
+	rep := &ElasticReport{}
+	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+		sc.Load, collect(sc.Rels, &rep.Clean))
+	if err != nil {
+		return nil, fmt.Errorf("chaos %s: fault-free run failed: %w", sc.Name, err)
+	}
+	if clean.Iterations <= minIters {
+		return nil, fmt.Errorf("chaos %s: fixpoint ran only %d iterations, crash at %d would never fire",
+			sc.Name, clean.Iterations, minIters)
+	}
+
+	res, srep, err := paralagg.Supervise(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &rep.Recovered))
+	if err != nil {
+		return nil, fmt.Errorf("chaos %s: supervised run failed: %w", sc.Name, err)
+	}
+	if srep.RecoveryAttempts == 0 {
+		return nil, fmt.Errorf("chaos %s: injected crash never fired — nothing was recovered", sc.Name)
+	}
+	rep.RecoveryAttempts = srep.RecoveryAttempts
+	rep.RanksLost = srep.RanksLost
+	rep.FinalRanks = srep.FinalRanks
+	rep.RemapSeconds = res.PhaseSeconds["remap"]
+	rep.RecoverySeconds = res.PhaseSeconds["recovery"]
+	return rep, nil
+}
+
+// Elastic runs sc fault-free at ranks, then once under supervision with
+// rank (ranks-1) crashing as it enters iteration crashIter's tuple
+// exchange; the supervisor rebuilds the world at restartRanks (same size,
+// degraded, halved — the caller picks) and restores through the remap path
+// when the size changed. The recovered relations must be bit-identical to
+// the fault-free ones.
+func Elastic(sc Scenario, ranks, every, crashIter, restartRanks int) (*ElasticReport, error) {
+	cfg := paralagg.SuperviseConfig{
+		Config: paralagg.Config{
+			Ranks:           ranks,
+			Subs:            sc.Subs,
+			CheckpointEvery: every,
+			Checkpoints:     paralagg.NewMemoryCheckpointSink(),
+			Watchdog:        5 * time.Second,
+			Faults: &paralagg.FaultPlan{
+				Seed:    1,
+				Crashes: []paralagg.Crash{{Rank: ranks - 1, Iter: crashIter, Op: "alltoallv"}},
+			},
+		},
+		RecoveryBackoff: time.Millisecond,
+	}
+	if restartRanks != ranks {
+		cfg.RanksFor = func(restart, prev int, lost []int) int { return restartRanks }
+	}
+	rep, err := elastic(sc, ranks, crashIter, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rep.FinalRanks != restartRanks {
+		return nil, fmt.Errorf("chaos %s: recovered world has %d ranks, want %d", sc.Name, rep.FinalRanks, restartRanks)
+	}
+	return rep, nil
+}
+
+// Repeated runs sc fault-free, then under supervision with TWO crashes
+// across successive recoveries: rank (ranks-1) dies at iteration 3 of the
+// initial world, and after that recovery rank 0 dies at iteration 5 of the
+// restarted world. The second recovery must still reproduce the fault-free
+// answer bit for bit.
+func Repeated(sc Scenario, ranks, every int) (*ElasticReport, error) {
+	const firstCrash, secondCrash = 3, 5
+	plans := []*paralagg.FaultPlan{
+		{Seed: 1, Crashes: []paralagg.Crash{{Rank: ranks - 1, Iter: firstCrash, Op: "alltoallv"}}},
+		{Seed: 2, Crashes: []paralagg.Crash{{Rank: 0, Iter: secondCrash, Op: "alltoallv"}}},
+	}
+	cfg := paralagg.SuperviseConfig{
+		Config: paralagg.Config{
+			Ranks:           ranks,
+			Subs:            sc.Subs,
+			CheckpointEvery: every,
+			Checkpoints:     paralagg.NewMemoryCheckpointSink(),
+			Watchdog:        5 * time.Second,
+		},
+		RecoveryBackoff: time.Millisecond,
+		FaultsFor: func(attempt int) *paralagg.FaultPlan {
+			if attempt < len(plans) {
+				return plans[attempt]
+			}
+			return nil
+		},
+	}
+	rep, err := elastic(sc, ranks, secondCrash, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rep.RecoveryAttempts != 2 {
+		return nil, fmt.Errorf("chaos %s: expected 2 recoveries (two injected crashes), got %d",
+			sc.Name, rep.RecoveryAttempts)
+	}
+	return rep, nil
+}
+
 // StuckCollective runs sc with rank (1 mod ranks) hanging forever inside
 // iteration 2's tuple exchange and the watchdog armed, returning the run's
 // error: without the watchdog this schedule deadlocks the world, with it
@@ -204,6 +366,7 @@ func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 func StuckCollective(sc Scenario, ranks int, timeout time.Duration) error {
 	_, err := paralagg.Exec(sc.Prog(), paralagg.Config{
 		Ranks:    ranks,
+		Subs:     sc.Subs,
 		Watchdog: timeout,
 		Faults: &paralagg.FaultPlan{
 			Seed:  1,

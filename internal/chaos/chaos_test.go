@@ -37,6 +37,62 @@ func TestDifferentialCrashRestart(t *testing.T) {
 	}
 }
 
+// TestElasticCrashAutoRecover is the acceptance gate of the elastic-recovery
+// work: for every scenario, a supervised run that crashes mid-fixpoint and
+// auto-recovers — at the same size, degraded by one, and halved — must
+// reproduce the fault-free relation contents bit for bit.
+func TestElasticCrashAutoRecover(t *testing.T) {
+	const ranks = 4
+	for _, sc := range Scenarios() {
+		for _, restart := range []int{ranks, ranks - 1, ranks / 2} {
+			t.Run(fmt.Sprintf("%s/%d-to-%d", sc.Name, ranks, restart), func(t *testing.T) {
+				rep, err := Elastic(sc, ranks, 2, 3, restart)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Identical() {
+					t.Errorf("recovered relations diverge from the fault-free run:\nclean:     %v\nrecovered: %v",
+						rep.Clean, rep.Recovered)
+				}
+				if rep.RecoveryAttempts != 1 {
+					t.Errorf("RecoveryAttempts = %d, want 1", rep.RecoveryAttempts)
+				}
+				if len(rep.RanksLost) != 1 || rep.RanksLost[0] != ranks-1 {
+					t.Errorf("RanksLost = %v, want [%d]", rep.RanksLost, ranks-1)
+				}
+				if restart == ranks {
+					if rep.RecoverySeconds <= 0 {
+						t.Error("same-size recovery metered no recovery phase")
+					}
+				} else if rep.RemapSeconds <= 0 {
+					t.Error("elastic recovery metered no remap phase")
+				}
+			})
+		}
+	}
+}
+
+// TestRepeatedCrashesAcrossRecoveries injects a second crash into the world
+// built by the first recovery: the supervisor must survive both and still
+// land on the fault-free answer.
+func TestRepeatedCrashesAcrossRecoveries(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Repeated(sc, 4, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Identical() {
+				t.Errorf("recovered relations diverge from the fault-free run:\nclean:     %v\nrecovered: %v",
+					rep.Clean, rep.Recovered)
+			}
+			if len(rep.RanksLost) != 2 {
+				t.Errorf("RanksLost = %v, want two incidents", rep.RanksLost)
+			}
+		})
+	}
+}
+
 // TestStuckCollectiveSurfacesStructuredError asserts the watchdog converts
 // a hung collective into ErrRankFailed on every rank instead of a deadlock.
 func TestStuckCollectiveSurfacesStructuredError(t *testing.T) {

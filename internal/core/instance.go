@@ -210,35 +210,37 @@ func (in *Instance) Run(cfg Config) RunStats {
 // snapshot), the checkpointed stratum continues from its saved iteration —
 // restoring every relation wholesale, so base facts may be reloaded (or
 // not) before calling Resume — and later strata run normally. Skipped
-// strata report 0 iterations in the returned stats. It is collective and
-// returns ra.ErrNoCheckpoint when the sink is empty.
+// strata report 0 iterations in the returned stats. The restore is
+// world-size independent: a checkpoint written by a different rank count is
+// remapped through the current layout (see ra.Fixpoint.Resume). It is
+// collective and returns ra.ErrNoCheckpoint when the sink is empty.
 func (in *Instance) Resume(cfg Config) (RunStats, error) {
 	var stats RunStats
 	if cfg.Checkpoints == nil {
 		return stats, fmt.Errorf("core: Resume needs Config.Checkpoints")
 	}
-	cp, ok, err := ra.LatestAgreed(in.comm, cfg.Checkpoints)
+	pos, ok, err := ra.AgreedPosition(in.comm, cfg.Checkpoints)
 	if err != nil {
 		return stats, err
 	}
 	if !ok {
 		return stats, ra.ErrNoCheckpoint
 	}
-	if cp.Stratum < 0 || cp.Stratum >= len(in.strata) {
-		return stats, fmt.Errorf("core: checkpoint names stratum %d, program has %d strata", cp.Stratum, len(in.strata))
+	if pos.Stratum < 0 || pos.Stratum >= len(in.strata) {
+		return stats, fmt.Errorf("core: checkpoint names stratum %d, program has %d strata", pos.Stratum, len(in.strata))
 	}
-	for s := 0; s < cp.Stratum; s++ {
+	for s := 0; s < pos.Stratum; s++ {
 		stats.StratumIters = append(stats.StratumIters, 0)
 	}
 	// The restored snapshot carries the correct Δ state for every relation,
 	// so the resumed stratum must not ResetDelta its inputs.
-	n, err := in.strata[cp.Stratum].fix.Resume(in.options(cfg, cp.Stratum))
+	n, err := in.strata[pos.Stratum].fix.Resume(in.options(cfg, pos.Stratum))
 	if err != nil {
 		return stats, err
 	}
 	stats.StratumIters = append(stats.StratumIters, n)
 	stats.TotalIters += n
-	for s := cp.Stratum + 1; s < len(in.strata); s++ {
+	for s := pos.Stratum + 1; s < len(in.strata); s++ {
 		st := in.strata[s]
 		for _, input := range st.inputs {
 			ra.ResetDelta(input)

@@ -26,8 +26,10 @@ type Phase int
 // The iteration phases. Other covers fixpoint bookkeeping such as the
 // changed-count reduction and, at high rank counts, the sub-bucket
 // rebalancing traffic the paper's Figure 6 attributes to "Other".
-// Checkpoint and Recovery meter the fault-tolerance overheads: periodic
-// relation snapshots during the fixpoint, and snapshot reload on restart.
+// Checkpoint, Recovery, and Remap meter the fault-tolerance overheads:
+// periodic relation snapshots during the fixpoint, same-size snapshot reload
+// on restart, and the re-hash/re-merge pass that restores a checkpoint into
+// a world of a different size.
 const (
 	PhaseRebalance Phase = iota
 	PhasePlanning
@@ -38,6 +40,7 @@ const (
 	PhaseOther
 	PhaseCheckpoint
 	PhaseRecovery
+	PhaseRemap
 	numPhases
 )
 
@@ -52,6 +55,7 @@ var PhaseNames = [...]string{
 	PhaseOther:       "other",
 	PhaseCheckpoint:  "checkpoint",
 	PhaseRecovery:    "recovery",
+	PhaseRemap:       "remap",
 }
 
 func (p Phase) String() string {

@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -51,6 +52,41 @@ func AsRankFailure(err error) (*ErrRankFailed, bool) {
 	var rf *ErrRankFailed
 	ok := errors.As(err, &rf)
 	return rf, ok
+}
+
+// RankFailures collects every distinct rank failure in an error tree.
+// World.Run joins the failures of all ranks that died, so a multi-rank
+// incident surfaces as several wrapped ErrRankFailed values; errors.As only
+// finds the first. The result is deduplicated by rank (first occurrence
+// wins) and sorted by rank, so supervisors can report exactly which ranks
+// were lost. It returns nil for ordinary (non-fault) errors.
+func RankFailures(err error) []*ErrRankFailed {
+	var out []*ErrRankFailed
+	seen := map[int]bool{}
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if rf, ok := e.(*ErrRankFailed); ok {
+			if !seen[rf.Rank] {
+				seen[rf.Rank] = true
+				out = append(out, rf)
+			}
+			// Keep walking: a watchdog failure can wrap another rank's death.
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() []error }:
+			for _, inner := range u.Unwrap() {
+				walk(inner)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
 }
 
 // AnyIter in a fault spec matches every epoch.

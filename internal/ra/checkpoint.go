@@ -175,43 +175,165 @@ func (s FileCheckpointSink) Remove(rank int) error {
 	return err
 }
 
-// LatestAgreed loads this rank's latest checkpoint and collectively
-// verifies that every rank holds a checkpoint for the same (stratum,
-// iteration) position. Ranks restarting from heterogeneous snapshots would
-// silently diverge, so a mismatch is an error on every rank. ok=false
-// (with a nil error) means no rank has a checkpoint.
-func LatestAgreed(comm *mpi.Comm, sink CheckpointSink) (Checkpoint, bool, error) {
-	const (
-		posNone = uint64(math.MaxUint64)     // this rank has no checkpoint
-		posErr  = uint64(math.MaxUint64) - 1 // this rank's sink failed to read
-	)
-	cp, ok, err := sink.Latest(comm.Rank())
+// Sentinel position words for the collective checkpoint agreement.
+const (
+	posNone = uint64(math.MaxUint64)     // this rank sees no checkpoint
+	posErr  = uint64(math.MaxUint64) - 1 // this rank's sink failed to read
+)
+
+// posWord packs a checkpoint's coordinate into one agreement word. World
+// size rides along so every rank makes the same accept/reject/remap
+// decision even from tampered-with sinks.
+func posWord(ranks, stratum, iter int) uint64 {
+	return uint64(ranks)<<48 | uint64(stratum)<<32 | uint64(iter)
+}
+
+// Position identifies a checkpoint set: the world size that wrote it and
+// the (stratum, iteration) coordinate it captured.
+type Position struct {
+	Ranks   int
+	Stratum int
+	Iter    int
+}
+
+// Matches reports whether a checkpoint belongs to the position.
+func (p Position) Matches(cp Checkpoint) bool {
+	return cp.Ranks == p.Ranks && cp.Stratum == p.Stratum && cp.Iter == p.Iter
+}
+
+// agree collectively verifies that every rank computed the same position
+// word, returning the unanimous word. A mismatch — heterogeneous snapshots,
+// or one rank's sink failing — is an error on every rank, because ranks
+// restarting from different positions would silently diverge.
+func agree(comm *mpi.Comm, pos uint64) (uint64, error) {
+	lo := comm.Allreduce(pos, mpi.OpMin)
+	hi := comm.Allreduce(pos, mpi.OpMax)
+	if hi == posErr || (hi == posNone && lo != posNone) {
+		// posErr and posNone sort above every real position, so hi carries
+		// them: a rank whose sink read failed, or one seeing no checkpoint
+		// while others do (a torn set).
+		return 0, fmt.Errorf(
+			"ra: checkpoint unreadable or missing on some rank (rank %d reads %s)",
+			comm.Rank(), describePos(pos))
+	}
+	if lo != hi {
+		return 0, fmt.Errorf(
+			"ra: checkpoint mismatch across ranks: positions range from %#x to %#x (rank %d has %#x)",
+			lo, hi, comm.Rank(), pos)
+	}
+	return lo, nil
+}
+
+// describePos renders an agreement word for error messages.
+func describePos(pos uint64) string {
+	switch pos {
+	case posErr:
+		return "a corrupt or unreadable checkpoint"
+	case posNone:
+		return "no checkpoint"
+	default:
+		return fmt.Sprintf("position %#x", pos)
+	}
+}
+
+// agreeOutcome makes a local restore error collective: if any rank failed,
+// every rank returns an error instead of sailing into the next collective
+// without its peers.
+func agreeOutcome(comm *mpi.Comm, local error) error {
+	bad := uint64(0)
+	if local != nil {
+		bad = 1
+	}
+	if comm.Allreduce(bad, mpi.OpMax) == 0 {
+		return nil
+	}
+	if local != nil {
+		return local
+	}
+	return errors.New("ra: a peer rank failed restoring the checkpoint")
+}
+
+// AgreedPosition reads checkpoint slot 0 — every world contains rank 0, so
+// slot 0 names the latest complete checkpoint set regardless of the world
+// size that wrote it — and collectively verifies every rank of the current
+// world observes the same position. ok=false with a nil error means no
+// checkpoint exists anywhere. Collective.
+func AgreedPosition(comm *mpi.Comm, sink CheckpointSink) (Position, bool, error) {
+	cp, ok, err := sink.Latest(0)
 	pos := posNone
 	switch {
 	case err != nil:
 		pos = posErr // poison the agreement so peers error rather than diverge
 	case ok:
-		// World size rides along in the agreed position so every rank makes
-		// the same accept/reject decision even from tampered-with sinks.
-		pos = uint64(cp.Ranks)<<48 | uint64(cp.Stratum)<<32 | uint64(cp.Iter)
+		pos = posWord(cp.Ranks, cp.Stratum, cp.Iter)
 	}
-	lo := comm.Allreduce(pos, mpi.OpMin)
-	hi := comm.Allreduce(pos, mpi.OpMax)
+	agreed, aerr := agree(comm, pos)
+	if err != nil {
+		return Position{}, false, err
+	}
+	if aerr != nil {
+		return Position{}, false, aerr
+	}
+	if agreed == posNone {
+		return Position{}, false, nil
+	}
+	return Position{Ranks: cp.Ranks, Stratum: cp.Stratum, Iter: cp.Iter}, true, nil
+}
+
+// LatestAgreed loads this rank's latest checkpoint and collectively
+// verifies that every rank holds a checkpoint for the same (stratum,
+// iteration) position, written by a world of this size. It is the same-size
+// fast path: each rank touches only its own shard. Use AgreedPosition +
+// CollectRemap when the world size may have changed. ok=false (with a nil
+// error) means no rank has a checkpoint.
+func LatestAgreed(comm *mpi.Comm, sink CheckpointSink) (Checkpoint, bool, error) {
+	cp, ok, err := sink.Latest(comm.Rank())
+	pos := posNone
+	switch {
+	case err != nil:
+		pos = posErr
+	case ok:
+		pos = posWord(cp.Ranks, cp.Stratum, cp.Iter)
+	}
+	agreed, aerr := agree(comm, pos)
 	if err != nil {
 		return Checkpoint{}, false, err
 	}
-	if lo != hi || lo == posErr {
-		return Checkpoint{}, false, fmt.Errorf(
-			"ra: checkpoint mismatch across ranks: positions range from %#x to %#x (rank %d has %#x)",
-			lo, hi, comm.Rank(), pos)
+	if aerr != nil {
+		return Checkpoint{}, false, aerr
 	}
-	if !ok {
+	if agreed == posNone {
 		return Checkpoint{}, false, nil
 	}
 	if cp.Ranks != comm.Size() {
 		return Checkpoint{}, false, fmt.Errorf(
-			"ra: checkpoint was written by a %d-rank world, cannot resume with %d ranks (shards are placed by rank count)",
+			"ra: checkpoint was written by a %d-rank world, cannot same-size resume with %d ranks (use the remap path)",
 			cp.Ranks, comm.Size())
 	}
 	return cp, true, nil
+}
+
+// CollectRemap loads the complete checkpoint set of an agreed position —
+// one checkpoint per original rank — validating each against the position.
+// It is rank-local (every rank reads the whole set; a remap restore needs
+// the union anyway) and reports errors locally; callers must funnel the
+// outcome through a collective agreement before the next collective op.
+func CollectRemap(sink CheckpointSink, pos Position) ([]Checkpoint, error) {
+	cps := make([]Checkpoint, pos.Ranks)
+	for r := 0; r < pos.Ranks; r++ {
+		cp, ok, err := sink.Latest(r)
+		if err != nil {
+			return nil, fmt.Errorf("ra: reading original rank %d's checkpoint for remap: %w", r, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("ra: original rank %d's checkpoint is missing: torn checkpoint set", r)
+		}
+		if !pos.Matches(cp) {
+			return nil, fmt.Errorf(
+				"ra: original rank %d's checkpoint is at (ranks %d, stratum %d, iter %d), set position is (%d, %d, %d): torn checkpoint set",
+				r, cp.Ranks, cp.Stratum, cp.Iter, pos.Ranks, pos.Stratum, pos.Iter)
+		}
+		cps[r] = cp
+	}
+	return cps, nil
 }

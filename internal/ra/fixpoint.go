@@ -202,29 +202,104 @@ func (f *Fixpoint) Run(opts Options) int {
 // Resume restores the latest checkpoint (which must agree across ranks)
 // and continues the fixpoint from the iteration it captured, returning the
 // total number of iterations the stratum has executed including the
-// pre-crash ones. The restore cost is metered as metrics.PhaseRecovery. It
-// is collective.
+// pre-crash ones. The restore is world-size independent: a checkpoint
+// written by a world of the same size reloads each rank's own shard
+// directly (metered as metrics.PhaseRecovery); one written by a different
+// world size is remapped — every rank reads the complete old shard set,
+// re-hashes each tuple through the current bucket/sub-bucket layout, and
+// ⊔-merges dependent values, metered as metrics.PhaseRemap. It is
+// collective.
 func (f *Fixpoint) Resume(opts Options) (int, error) {
 	if opts.Sink == nil {
 		return 0, fmt.Errorf("ra: Resume needs Options.Sink")
 	}
-	cp, ok, err := LatestAgreed(f.Comm, opts.Sink)
+	pos, ok, err := AgreedPosition(f.Comm, opts.Sink)
 	if err != nil {
 		return 0, err
 	}
 	if !ok {
 		return 0, ErrNoCheckpoint
 	}
-	if cp.Stratum != opts.Stratum {
-		return 0, fmt.Errorf("ra: checkpoint belongs to stratum %d, resuming stratum %d", cp.Stratum, opts.Stratum)
+	if pos.Stratum != opts.Stratum {
+		return 0, fmt.Errorf("ra: checkpoint belongs to stratum %d, resuming stratum %d", pos.Stratum, opts.Stratum)
 	}
+	if pos.Ranks == f.Comm.Size() {
+		cp, ok, err := LatestAgreed(f.Comm, opts.Sink)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, ErrNoCheckpoint
+		}
+		timer := metrics.StartTimer()
+		restoreErr := f.restoreSnapshot(opts, cp.Words)
+		if err := agreeOutcome(f.Comm, restoreErr); err != nil {
+			return 0, err
+		}
+		f.MC.Record(f.Comm.Rank(), cp.Iter, metrics.PhaseRecovery,
+			timer.Done(int64(len(cp.Words)), int64(len(cp.Words)*mpi.WordBytes), 0))
+		return f.run(opts, cp.Iter), nil
+	}
+
+	// Elastic path: the snapshot was taken at pos.Ranks ≠ Size ranks. Each
+	// rank loads the union of old shards and keeps what the new layout
+	// assigns to it. The collection is rank-local — like checkpointing
+	// itself, the remap moves no bytes between ranks — so only the outcome
+	// agreement is collective.
 	timer := metrics.StartTimer()
-	if err := f.restoreSnapshot(opts, cp.Words); err != nil {
+	words := 0
+	cps, remapErr := CollectRemap(opts.Sink, pos)
+	if remapErr == nil {
+		words, remapErr = f.remapSnapshots(opts, cps)
+	}
+	if err := agreeOutcome(f.Comm, remapErr); err != nil {
 		return 0, err
 	}
-	f.MC.Record(f.Comm.Rank(), cp.Iter, metrics.PhaseRecovery,
-		timer.Done(int64(len(cp.Words)), int64(len(cp.Words)*mpi.WordBytes), 0))
-	return f.run(opts, cp.Iter), nil
+	f.MC.Record(f.Comm.Rank(), pos.Iter, metrics.PhaseRemap,
+		timer.Done(int64(words), int64(words*mpi.WordBytes), 0))
+	return f.run(opts, pos.Iter), nil
+}
+
+// remapSnapshots decodes every old rank's checkpoint payload and restores
+// each relation of the snapshot set from the union, re-hashed through the
+// current world's layout. It returns the total number of payload words
+// processed (the remap's work measure).
+func (f *Fixpoint) remapSnapshots(opts Options, cps []Checkpoint) (int, error) {
+	rels := f.snapshotSet(opts)
+	payloads := make([][]mpi.Word, len(cps))
+	for i := range cps {
+		payloads[i] = cps[i].Words
+	}
+	total := 0
+	for _, rel := range rels {
+		snaps := make([]*relation.Snapshot, len(cps))
+		for i := range payloads {
+			if len(payloads[i]) < 1 {
+				return total, fmt.Errorf("ra: original rank %d's snapshot truncated before relation %s", i, rel.Name)
+			}
+			n := int(payloads[i][0])
+			if len(payloads[i]) < 1+n {
+				return total, fmt.Errorf("ra: original rank %d's snapshot truncated inside relation %s", i, rel.Name)
+			}
+			s, err := rel.DecodeSnapshotWords(payloads[i][1 : 1+n])
+			if err != nil {
+				return total, err
+			}
+			snaps[i] = s
+			payloads[i] = payloads[i][1+n:]
+			total += n
+		}
+		if err := rel.RestoreRemapped(snaps); err != nil {
+			return total, err
+		}
+	}
+	for i := range payloads {
+		if len(payloads[i]) != 0 {
+			return total, fmt.Errorf("ra: original rank %d's snapshot has %d trailing words: relation set mismatch",
+				i, len(payloads[i]))
+		}
+	}
+	return total, nil
 }
 
 // checkpoint snapshots the stratum's relations after `iter` completed

@@ -1,0 +1,120 @@
+package paralagg
+
+import (
+	"fmt"
+	"time"
+
+	"paralagg/internal/mpi"
+	"paralagg/internal/supervisor"
+)
+
+// SuperviseConfig extends Config with the elastic-recovery policy. The
+// embedded Config must carry a CheckpointSink (and normally a positive
+// CheckpointEvery — without periodic saves a crash can only restart from
+// scratch); its Ranks and Resume fields describe the FIRST attempt, later
+// attempts are managed by the supervisor.
+type SuperviseConfig struct {
+	Config
+
+	// MaxRestarts bounds the recoveries before Supervise gives up
+	// (default 3).
+	MaxRestarts int
+	// Degrade restarts with the surviving rank count instead of the same
+	// world size; the checkpoint is remapped through the smaller layout.
+	Degrade bool
+	// MinRanks floors degradation (default 1).
+	MinRanks int
+	// RecoveryBackoff is the first restart's delay (default 10ms), doubling
+	// per restart up to RecoveryBackoffMax (default 2s) with deterministic
+	// ±50% jitter seeded by BackoffSeed.
+	RecoveryBackoff    time.Duration
+	RecoveryBackoffMax time.Duration
+	BackoffSeed        int64
+	// Logf receives one line per supervisor lifecycle event (nil = silent).
+	Logf func(format string, args ...any)
+
+	// FaultsFor overrides the fault plan per attempt (0 = initial run). By
+	// default Config.Faults applies to attempt 0 only: fault-plan counters
+	// reset with each fresh world, so re-applying the plan would re-kill the
+	// same rank forever. Chaos tests use FaultsFor to schedule repeated
+	// crashes across recoveries.
+	FaultsFor func(attempt int) *FaultPlan
+	// RanksFor pins each restart's world size (overrides Degrade); restart
+	// is the restart ordinal (1 = first recovery), prev the failed world's
+	// size, lost the ranks that died.
+	RanksFor func(restart, prev int, lost []int) int
+}
+
+// SuperviseReport describes how a supervised run unfolded.
+type SuperviseReport struct {
+	// RecoveryAttempts counts the restarts performed.
+	RecoveryAttempts int
+	// RanksLost lists every rank death across all incidents, in order.
+	RanksLost []int
+	// FinalRanks is the world size of the last attempt.
+	FinalRanks int
+	// AttemptRanks lists each attempt's world size, in order.
+	AttemptRanks []int
+}
+
+// Supervise runs prog under elastic supervision: Exec is retried across rank
+// failures, each retry tearing down the poisoned world, rebuilding a fresh
+// one (same size, or degraded/pinned per config), restoring the latest
+// agreed checkpoint through the world-size-independent remap path, and
+// re-entering the fixpoint. Non-fault errors and exhausted restart budgets
+// are terminal. The returned Result is the successful attempt's; the report
+// is never nil.
+func Supervise(prog *Program, cfg SuperviseConfig, load func(*Rank) error, inspect func(*Rank) error) (*Result, *SuperviseReport, error) {
+	rep := &SuperviseReport{}
+	if cfg.Checkpoints == nil {
+		return nil, rep, fmt.Errorf("paralagg: Supervise needs Config.Checkpoints — without a sink there is nothing to recover from")
+	}
+
+	var final *Result
+	scfg := supervisor.Config{
+		MaxRestarts: cfg.MaxRestarts,
+		Degrade:     cfg.Degrade,
+		MinRanks:    cfg.MinRanks,
+		Backoff:     cfg.RecoveryBackoff,
+		BackoffMax:  cfg.RecoveryBackoffMax,
+		Seed:        cfg.BackoffSeed,
+		NextRanks:   cfg.RanksFor,
+		Logf:        cfg.Logf,
+	}
+	srep, err := supervisor.Run(cfg.ranks(), scfg, func(attempt, ranks int, resume bool) error {
+		c := cfg.Config
+		c.Ranks = ranks
+		switch {
+		case cfg.FaultsFor != nil:
+			c.Faults = cfg.FaultsFor(attempt)
+		case attempt > 0:
+			c.Faults = nil
+		}
+		if resume {
+			// Resume only when some attempt actually checkpointed: a crash
+			// before the first save restarts from scratch. Slot 0 decides —
+			// every world contains rank 0.
+			_, ok, err := c.Checkpoints.Latest(0)
+			c.Resume = ok && err == nil
+		}
+		res, err := Exec(prog, c, load, inspect)
+		if err != nil {
+			return err
+		}
+		final = res
+		return nil
+	})
+
+	rep.RecoveryAttempts = srep.RecoveryAttempts
+	rep.FinalRanks = srep.FinalRanks
+	for _, at := range srep.Attempts {
+		rep.AttemptRanks = append(rep.AttemptRanks, at.Ranks)
+		rep.RanksLost = append(rep.RanksLost, at.Lost...)
+	}
+	return final, rep, err
+}
+
+// RankFailures collects every distinct rank failure in an Exec error, sorted
+// by rank — a multi-rank incident joins several ErrRankFailed values and
+// AsRankFailure only surfaces the first.
+func RankFailures(err error) []*ErrRankFailed { return mpi.RankFailures(err) }

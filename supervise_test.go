@@ -1,0 +1,176 @@
+package paralagg
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tcProgram builds transitive closure over a chain of n nodes: n·(n-1)/2
+// paths, roughly n fixpoint iterations — plenty of room to checkpoint,
+// crash, and recover mid-run.
+func tcProgram(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram()
+	if err := p.DeclareSet("edge", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeclareSet("path", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Add(
+		R(A("path", Var("x"), Var("y")),
+			A("edge", Var("x"), Var("y"))),
+		R(A("path", Var("x"), Var("z")),
+			A("path", Var("x"), Var("y")),
+			A("edge", Var("y"), Var("z"))),
+	)
+	return p
+}
+
+func loadChain(n int) func(*Rank) error {
+	return func(rk *Rank) error {
+		return rk.LoadShare("edge", n-1, func(i int, emit func(Tuple)) {
+			emit(Tuple{uint64(i), uint64(i + 1)})
+		})
+	}
+}
+
+const chainNodes = 30
+const chainPaths = chainNodes * (chainNodes - 1) / 2 // 435
+
+func TestSuperviseRecoversSameSize(t *testing.T) {
+	var logs []string
+	res, rep, err := Supervise(tcProgram(t), SuperviseConfig{
+		Config: Config{
+			Ranks:           4,
+			CheckpointEvery: 3,
+			Checkpoints:     NewMemoryCheckpointSink(),
+			Faults:          &FaultPlan{Crashes: []Crash{{Rank: 3, Iter: 5, Op: "alltoallv"}}},
+		},
+		RecoveryBackoff: time.Millisecond,
+		Logf:            func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) },
+	}, loadChain(chainNodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["path"] != chainPaths {
+		t.Errorf("path count = %d, want %d", res.Counts["path"], chainPaths)
+	}
+	if rep.RecoveryAttempts != 1 || rep.FinalRanks != 4 {
+		t.Errorf("report: %+v", rep)
+	}
+	if len(rep.RanksLost) != 1 || rep.RanksLost[0] != 3 {
+		t.Errorf("RanksLost = %v, want [3]", rep.RanksLost)
+	}
+	if len(logs) == 0 {
+		t.Error("no supervisor log lines")
+	}
+	// The recovered world restored at the same size, so the remap path must
+	// NOT have run: recovery time is accounted under the recovery phase.
+	if res.PhaseSeconds["remap"] != 0 {
+		t.Errorf("same-size recovery used remap: %v", res.PhaseSeconds["remap"])
+	}
+	if res.PhaseSeconds["recovery"] <= 0 {
+		t.Errorf("recovery phase not metered: %v", res.PhaseSeconds["recovery"])
+	}
+}
+
+func TestSuperviseDegradesAndRemaps(t *testing.T) {
+	res, rep, err := Supervise(tcProgram(t), SuperviseConfig{
+		Config: Config{
+			Ranks:           4,
+			CheckpointEvery: 3,
+			Checkpoints:     NewMemoryCheckpointSink(),
+			Faults:          &FaultPlan{Crashes: []Crash{{Rank: 3, Iter: 5, Op: "alltoallv"}}},
+		},
+		Degrade:         true,
+		RecoveryBackoff: time.Millisecond,
+	}, loadChain(chainNodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["path"] != chainPaths {
+		t.Errorf("path count = %d, want %d", res.Counts["path"], chainPaths)
+	}
+	if rep.FinalRanks != 3 || res.Ranks != 3 {
+		t.Errorf("degrade: final ranks %d / result ranks %d, want 3", rep.FinalRanks, res.Ranks)
+	}
+	// Degraded restore goes through the elastic remap path and is metered.
+	if res.PhaseSeconds["remap"] <= 0 {
+		t.Errorf("remap phase not metered on degraded recovery: %v", res.PhaseSeconds["remap"])
+	}
+}
+
+func TestSuperviseCrashBeforeFirstCheckpointRestartsFresh(t *testing.T) {
+	res, rep, err := Supervise(tcProgram(t), SuperviseConfig{
+		Config: Config{
+			Ranks: 4,
+			// Interval longer than the run: the crash at iteration 2 happens
+			// before any save, so the restart must run from scratch.
+			CheckpointEvery: 1000,
+			Checkpoints:     NewMemoryCheckpointSink(),
+			Faults:          &FaultPlan{Crashes: []Crash{{Rank: 1, Iter: 2, Op: "alltoallv"}}},
+		},
+		RecoveryBackoff: time.Millisecond,
+	}, loadChain(chainNodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["path"] != chainPaths {
+		t.Errorf("path count = %d, want %d", res.Counts["path"], chainPaths)
+	}
+	if rep.RecoveryAttempts != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestSuperviseGivesUpAfterBudget(t *testing.T) {
+	attempts := 0
+	_, rep, err := Supervise(tcProgram(t), SuperviseConfig{
+		Config: Config{
+			Ranks:           4,
+			CheckpointEvery: 3,
+			Checkpoints:     NewMemoryCheckpointSink(),
+		},
+		MaxRestarts:     2,
+		RecoveryBackoff: time.Millisecond,
+		FaultsFor: func(attempt int) *FaultPlan {
+			attempts++
+			// Kill a rank on every attempt: the budget must run out.
+			return &FaultPlan{Crashes: []Crash{{Rank: 0, Iter: 4, Op: "alltoallv"}}}
+		},
+	}, loadChain(chainNodes), nil)
+	if err == nil {
+		t.Fatal("supervision with a crash on every attempt succeeded")
+	}
+	if rep.RecoveryAttempts != 2 || attempts != 3 {
+		t.Errorf("recoveries=%d attempts=%d, want 2/3", rep.RecoveryAttempts, attempts)
+	}
+	if _, ok := AsRankFailure(err); !ok {
+		t.Errorf("terminal error lost rank-failure detail: %v", err)
+	}
+}
+
+func TestSuperviseRequiresSink(t *testing.T) {
+	_, _, err := Supervise(tcProgram(t), SuperviseConfig{Config: Config{Ranks: 2}}, loadChain(5), nil)
+	if err == nil {
+		t.Fatal("Supervise without a sink did not error")
+	}
+}
+
+func TestSuperviseNonFaultErrorIsTerminal(t *testing.T) {
+	boom := errors.New("bad load")
+	var calls atomic.Int64 // the load callback runs on every rank goroutine
+	_, rep, err := Supervise(tcProgram(t), SuperviseConfig{
+		Config: Config{Ranks: 2, CheckpointEvery: 3, Checkpoints: NewMemoryCheckpointSink()},
+	}, func(rk *Rank) error { calls.Add(1); return boom }, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if rep.RecoveryAttempts != 0 || calls.Load() != 2 { // one call per rank, single attempt
+		t.Errorf("non-fault error was retried: recoveries=%d calls=%d", rep.RecoveryAttempts, calls.Load())
+	}
+}
