@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet chaos verify
+.PHONY: build test race vet chaos chaos-net verify
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ vet:
 # chaos runs the crash/restart differential suite end to end.
 chaos:
 	$(GO) run ./cmd/paralagg -chaos
+
+# chaos-net runs the network chaos suite over real loopback TCP gangs:
+# repairable wire faults (slow links, resets, corrupted frames) must be
+# bit-identical to in-process runs, partitions must fail structurally on
+# every rank, and a killed endpoint must be recovered by the supervisor.
+chaos-net:
+	$(GO) run ./cmd/paralagg -chaos-net
 
 # verify is the CI gate: static checks plus the full suite under the race
 # detector (the SPMD runtime is all goroutines — races are correctness bugs

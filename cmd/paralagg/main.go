@@ -5,13 +5,21 @@
 //	paralagg -query sssp -graph twitter-sim -ranks 64 -subs 8 -plan dynamic
 //	paralagg -query cc -file my-edges.txt
 //	paralagg -query sssp -checkpoint-every 4 -supervise -degrade
+//
+// With -transport=tcp the ranks are separate OS processes connected by real
+// sockets; -spawn N launches and waits for a single-machine gang:
+//
+//	paralagg -query sssp -transport=tcp -spawn 4
+//	paralagg -query sssp -transport=tcp -rank 1 -peers host0:9000,host1:9001
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"paralagg"
@@ -19,6 +27,7 @@ import (
 	"paralagg/internal/graph"
 	"paralagg/internal/metrics"
 	"paralagg/internal/queries"
+	"paralagg/internal/transport/tcp"
 )
 
 func main() {
@@ -41,10 +50,20 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 3, "give up after this many supervised recoveries")
 	degrade := flag.Bool("degrade", false, "restart with the surviving rank count instead of the same world size (with -supervise)")
 	backoff := flag.Duration("recovery-backoff", 10*time.Millisecond, "first restart delay; doubles per restart (with -supervise)")
+	transport := flag.String("transport", "sim", "rank placement: sim (goroutines in one process) or tcp (one OS process per rank over real sockets)")
+	rank := flag.Int("rank", -1, "this process's rank (with -transport=tcp)")
+	peers := flag.String("peers", "", "comma-separated host:port of every rank, indexed by rank (with -transport=tcp)")
+	spawn := flag.Int("spawn", 0, "single-machine launcher: spawn N -transport=tcp rank processes on loopback, wait, respawn with -resume under -supervise")
+	quiet := flag.Bool("quiet", false, "suppress result output (the -spawn launcher sets it on ranks > 0)")
+	runNetChaos := flag.Bool("chaos-net", false, "run the network chaos suite (wire faults and kill-recovery over the TCP transport)")
 	flag.Parse()
 
 	if *runChaos {
 		runChaosSuite()
+		return
+	}
+	if *runNetChaos {
+		runNetChaosSuite()
 		return
 	}
 
@@ -63,6 +82,35 @@ func main() {
 	}
 	if *maxRestarts < 0 {
 		log.Fatalf("-max-restarts must be >= 0, got %d", *maxRestarts)
+	}
+	if *transport != "sim" && *transport != "tcp" {
+		log.Fatalf("-transport must be sim or tcp, got %q", *transport)
+	}
+	if *spawn > 0 {
+		if *transport != "tcp" {
+			log.Fatal("-spawn needs -transport=tcp: it launches one TCP rank process per slot")
+		}
+		os.Exit(spawnGang(*spawn, *supervise, *maxRestarts))
+	}
+
+	// TCP child mode: this process hosts exactly one rank of the world.
+	var tcpTr *tcp.Transport
+	if *transport == "tcp" {
+		addrs := strings.Split(*peers, ",")
+		if *peers == "" || len(addrs) < 2 {
+			log.Fatal("-transport=tcp needs -peers with at least two host:port entries (or use -spawn N)")
+		}
+		if *rank < 0 || *rank >= len(addrs) {
+			log.Fatalf("-rank %d out of range for %d peers", *rank, len(addrs))
+		}
+		if *supervise {
+			log.Fatal("-supervise with -transport=tcp belongs to the launcher: use -spawn N -supervise")
+		}
+		tr, err := tcp.New(tcp.Config{Rank: *rank, Peers: addrs, Seed: int64(*rank)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tcpTr = tr
 	}
 
 	var g *graph.Graph
@@ -85,6 +133,9 @@ func main() {
 		log.Fatalf("unknown plan %q", *planName)
 	}
 	cfg := paralagg.Config{Ranks: *ranks, Subs: *subs, Plan: plan, Watchdog: *watchdog}
+	if tcpTr != nil {
+		cfg.Transport = tcpTr
+	}
 	if *ckptEvery > 0 || *resume {
 		cfg.CheckpointEvery = *ckptEvery
 		cfg.Checkpoints = paralagg.NewFileCheckpointSink(*ckptDir)
@@ -129,7 +180,13 @@ func main() {
 			})
 		}
 	} else {
-		fmt.Printf("%s on %v\nranks=%d subs=%d plan=%s\n\n", *query, g, *ranks, *subs, *planName)
+		if !*quiet {
+			worldRanks := *ranks
+			if tcpTr != nil {
+				worldRanks = tcpTr.Size()
+			}
+			fmt.Printf("%s on %v\nranks=%d subs=%d plan=%s\n\n", *query, g, worldRanks, *subs, *planName)
+		}
 		sources := g.Sources(*nsources, 1)
 		switch *query {
 		case "sssp":
@@ -175,11 +232,34 @@ func main() {
 	} else {
 		res, err = paralagg.Exec(prog, cfg, load, nil)
 		if err != nil {
+			if tcpTr != nil {
+				// A structured rank failure over TCP exits with code 3 so the
+				// -spawn launcher can tell "peer died" from "bad invocation"
+				// and respawn the gang with -resume. A peer lost during mesh
+				// establishment counts too: the gang dies together.
+				tcpTr.Kill()
+				_, structured := paralagg.AsRankFailure(err)
+				if structured || errors.Is(err, paralagg.ErrPeerUnreachable) {
+					log.Printf("rank %d: %v", *rank, err)
+					os.Exit(3)
+				}
+			}
 			log.Fatal(err)
 		}
 	}
+	if tcpTr != nil {
+		tcpTr.Close()
+	}
 
+	if *quiet {
+		return
+	}
 	fmt.Print(res.Summary())
+	if tcpTr != nil {
+		n := tcpTr.Net()
+		fmt.Printf("net: frames=%d/%d dialRetries=%d reconnects=%d retransmits=%d dups=%d hbMisses=%d crcErrors=%d\n",
+			n.FramesSent, n.FramesRecv, n.DialRetries, n.Reconnects, n.Retransmits, n.DupsDropped, n.HeartbeatMisses, n.CRCErrors)
+	}
 	fmt.Println("\nphase breakdown (simulated ms):")
 	for _, ph := range metrics.PhaseNames {
 		fmt.Printf("  %-14s %10.3f\n", ph, res.PhaseSeconds[ph]*1e3)
@@ -250,4 +330,58 @@ func runChaosSuite() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall chaos checks passed")
+}
+
+// runNetChaosSuite executes the network chaos scenarios over the real TCP
+// transport: wire faults the transport must repair transparently (slow
+// links, connection resets, corrupted frames — results bit-identical to the
+// in-process run), a network partition that must surface as a structured
+// failure on every rank, and a killed rank process recovered by the
+// supervisor from shared checkpoints.
+func runNetChaosSuite() {
+	failed := 0
+	for _, sc := range chaos.Scenarios() {
+		for _, ranks := range []int{2, 4} {
+			rep, err := chaos.TCPDifferential(sc, ranks, chaos.RepairableFaults(ranks))
+			switch {
+			case err != nil:
+				fmt.Printf("FAIL %-9s tcp ranks=%d: %v\n", sc.Name, ranks, err)
+				failed++
+			case !rep.Identical():
+				fmt.Printf("FAIL %-9s tcp ranks=%d: wire faults changed the answer\n", sc.Name, ranks)
+				failed++
+			default:
+				if err := chaos.VerifyNetStats(rep.Net); err != nil {
+					fmt.Printf("FAIL %-9s tcp ranks=%d: %v\n", sc.Name, ranks, err)
+					failed++
+					continue
+				}
+				fmt.Printf("ok   %-9s tcp ranks=%d: reset+corruption+slowlink repaired, bit-identical (reconnects=%d retransmits=%d crcErrors=%d)\n",
+					sc.Name, ranks, rep.Net.Reconnects, rep.Net.Retransmits, rep.Net.CRCErrors)
+			}
+		}
+		if err := chaos.TCPPartition(sc, 3); err != nil {
+			fmt.Printf("FAIL %-9s tcp partition: %v\n", sc.Name, err)
+			failed++
+		} else {
+			fmt.Printf("ok   %-9s tcp partition: every rank surfaced a structured unreachable-peer failure\n", sc.Name)
+		}
+		rep, err := chaos.TCPKillRecovery(sc, 3, 2, 3)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %-9s tcp kill: %v\n", sc.Name, err)
+			failed++
+		case !rep.Identical():
+			fmt.Printf("FAIL %-9s tcp kill: supervised recovery diverged from the fault-free answer\n", sc.Name)
+			failed++
+		default:
+			fmt.Printf("ok   %-9s tcp kill: process killed mid-fixpoint, %d supervised recovery, bit-identical\n",
+				sc.Name, rep.RecoveryAttempts)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d network chaos checks failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall network chaos checks passed")
 }

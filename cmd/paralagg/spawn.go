@@ -1,0 +1,143 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// The single-machine gang launcher behind -spawn N: allocate one loopback
+// port per rank, re-exec this binary N times as -transport=tcp children
+// (one rank each), and wait. Every user-set flag is forwarded verbatim, so
+//
+//	paralagg -query sssp -transport=tcp -spawn 4 -subs 8
+//
+// runs the same query a 4-goroutine simulated world would, but as four OS
+// processes exchanging CRC-framed messages over real sockets.
+//
+// Children exit 3 when they die of a structured rank failure (a crashed or
+// unreachable peer). Under -supervise the launcher then respawns the whole
+// gang with -resume, restoring the latest checkpoints from -checkpoint-dir
+// — the multi-process mirror of paralagg.Supervise.
+
+// launcherFlags are the flags that steer the launcher or name this
+// process's own endpoint; everything else is forwarded to the children.
+var launcherFlags = map[string]bool{
+	"spawn": true, "transport": true, "rank": true, "peers": true,
+	"quiet": true, "ranks": true, "resume": true,
+	"supervise": true, "max-restarts": true, "degrade": true, "recovery-backoff": true,
+}
+
+// forwardedArgs rebuilds the child argument list from every flag the user
+// set explicitly, minus the launcher's own.
+func forwardedArgs() []string {
+	var fwd []string
+	flag.Visit(func(f *flag.Flag) {
+		if !launcherFlags[f.Name] {
+			fwd = append(fwd, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	return fwd
+}
+
+// allocPorts reserves n distinct loopback ports by binding and immediately
+// releasing them. The window between release and the child's bind is a
+// race in principle; for a single-machine launcher it is harmless in
+// practice, and a clash surfaces as a clean child bind error.
+func allocPorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// spawnGang runs one gang attempt, and under supervise respawns after rank
+// failures (children exiting 3) up to maxRestarts times, adding -resume so
+// the restarted gang restores the latest checkpoints. Returns the exit code
+// for the launcher process.
+func spawnGang(n int, supervise bool, maxRestarts int) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spawn: %v\n", err)
+		return 1
+	}
+	fwd := forwardedArgs()
+	restarts := 0
+	if supervise {
+		restarts = maxRestarts
+	}
+	for attempt := 0; ; attempt++ {
+		addrs, err := allocPorts(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spawn: allocating ports: %v\n", err)
+			return 1
+		}
+		peerList := strings.Join(addrs, ",")
+		fmt.Fprintf(os.Stderr, "spawn: attempt %d: %d ranks on %s\n", attempt, n, peerList)
+
+		cmds := make([]*exec.Cmd, n)
+		for r := 0; r < n; r++ {
+			args := append([]string(nil), fwd...)
+			args = append(args, "-transport=tcp", "-rank="+strconv.Itoa(r), "-peers="+peerList)
+			if r > 0 {
+				args = append(args, "-quiet")
+			}
+			if attempt > 0 {
+				args = append(args, "-resume")
+			}
+			cmd := exec.Command(self, args...)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				fmt.Fprintf(os.Stderr, "spawn: starting rank %d: %v\n", r, err)
+				for _, c := range cmds[:r] {
+					c.Process.Kill()
+				}
+				return 1
+			}
+			cmds[r] = cmd
+		}
+
+		worst, rankFailures := 0, 0
+		for r, cmd := range cmds {
+			code := 0
+			if err := cmd.Wait(); err != nil {
+				code = 1
+				if ee, ok := err.(*exec.ExitError); ok {
+					code = ee.ExitCode()
+				}
+				fmt.Fprintf(os.Stderr, "spawn: rank %d exited %d\n", r, code)
+			}
+			if code == 3 {
+				rankFailures++
+			}
+			if code > worst {
+				worst = code
+			}
+		}
+		if worst == 0 {
+			if attempt > 0 {
+				fmt.Fprintf(os.Stderr, "spawn: recovered after %d restart(s)\n", attempt)
+			}
+			return 0
+		}
+		if rankFailures == 0 || attempt >= restarts {
+			return worst
+		}
+		fmt.Fprintf(os.Stderr, "spawn: %d rank failure(s), respawning gang with -resume\n", rankFailures)
+	}
+}

@@ -42,7 +42,27 @@ var (
 	ErrInjectedCrash = mpi.ErrInjectedCrash
 	// ErrWatchdogTimeout marks ranks the collective watchdog declared dead.
 	ErrWatchdogTimeout = mpi.ErrWatchdogTimeout
+	// ErrRecvTimeout marks a receive unmatched past the watchdog timeout
+	// (dropped message or vanished sender).
+	ErrRecvTimeout = mpi.ErrRecvTimeout
+	// ErrPeerUnreachable marks a rank a networked transport's failure
+	// detector declared dead after its heartbeats stopped.
+	ErrPeerUnreachable = mpi.ErrPeerUnreachable
+	// ErrCorruptMessage marks a message whose CRC32C verification failed:
+	// the payload was altered between send and receive.
+	ErrCorruptMessage = mpi.ErrCorruptMessage
 )
+
+// Transport is the wire a distributed execution runs over (Config.Transport):
+// one process per rank, real sockets between them. internal/transport/tcp
+// implements it with retry/backoff connection establishment, CRC32C-framed
+// messages, reconnect-with-retransmission, and heartbeat failure detection.
+type Transport = mpi.Transport
+
+// NetStats carries a networked transport's robustness counters (dial
+// retries, reconnects, retransmits, duplicate drops, heartbeat misses,
+// CRC rejections).
+type NetStats = mpi.NetStats
 
 // AsRankFailure extracts the structured rank failure from an Exec error, if
 // one is present (however deeply joined or wrapped).

@@ -1,0 +1,280 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"paralagg"
+	"paralagg/internal/supervisor"
+	"paralagg/internal/transport/tcp"
+)
+
+// Network chaos: the same differential discipline as the crash/restart
+// suite, but over the real TCP transport. A gang of single-rank worlds —
+// one per "process", connected by loopback sockets — runs each scenario
+// under injected wire faults. Faults the transport repairs transparently
+// (slow links, connection resets, corrupted frames) must leave the answer
+// bit-identical to the in-process run; faults it cannot repair (network
+// partitions, killed processes) must surface as structured rank failures on
+// every survivor, and a supervised restart from the shared checkpoints must
+// still land on the fault-free answer.
+
+// gang builds n connected TCP endpoints on loopback, every one carrying the
+// same deterministic wire-fault plan.
+func gang(n int, faults *tcp.NetFaultPlan) ([]*tcp.Transport, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]*tcp.Transport, n)
+	for i := range trs {
+		tr, err := tcp.New(tcp.Config{
+			Rank: i, Peers: addrs, Listener: lns[i],
+			// Fast detection keeps the suite quick; the window (4×25ms) still
+			// dwarfs loopback latency.
+			HeartbeatEvery:  25 * time.Millisecond,
+			HeartbeatMisses: 4,
+			ConnectTimeout:  10 * time.Second,
+			Seed:            42,
+			Faults:          faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trs[i] = tr
+	}
+	return trs, nil
+}
+
+// runGang executes sc once per gang member (each member is one rank of a
+// distributed world) and returns the per-rank errors. The member hosting
+// rank 0 records fingerprints through fps; base configures everything
+// except the transport.
+func runGang(sc Scenario, trs []*tcp.Transport, base paralagg.Config, fps *map[string]Fingerprint) []error {
+	errs := make([]error, len(trs))
+	var wg sync.WaitGroup
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *tcp.Transport) {
+			defer wg.Done()
+			cfg := base
+			cfg.Transport = tr
+			_, errs[i] = paralagg.Exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, fps))
+		}(i, tr)
+	}
+	wg.Wait()
+	return errs
+}
+
+// NetReport is the outcome of one TCP differential.
+type NetReport struct {
+	Clean     map[string]Fingerprint
+	Recovered map[string]Fingerprint
+	// Net aggregates every endpoint's robustness counters: the proof the
+	// injected faults actually bit (reconnects, retransmits, CRC errors)
+	// and were repaired below the runtime's waterline.
+	Net paralagg.NetStats
+	// RecoveryAttempts counts supervised restarts (kill-recovery runs only).
+	RecoveryAttempts int
+}
+
+// Identical reports whether the TCP run reproduced the in-process answer
+// exactly.
+func (r *NetReport) Identical() bool {
+	if len(r.Clean) != len(r.Recovered) {
+		return false
+	}
+	for rel, fp := range r.Clean {
+		if r.Recovered[rel] != fp {
+			return false
+		}
+	}
+	return true
+}
+
+// TCPDifferential runs sc in-process (the reference answer), then over a
+// TCP gang with the given wire faults. The faults must be of the kinds the
+// transport repairs transparently: the gang run must succeed and produce
+// bit-identical relations.
+func TCPDifferential(sc Scenario, ranks int, faults *tcp.NetFaultPlan) (*NetReport, error) {
+	rep := &NetReport{}
+	if _, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+		sc.Load, collect(sc.Rels, &rep.Clean)); err != nil {
+		return nil, fmt.Errorf("chaos %s: in-process reference run failed: %w", sc.Name, err)
+	}
+	trs, err := gang(ranks, faults)
+	if err != nil {
+		return nil, fmt.Errorf("chaos %s: building TCP gang: %w", sc.Name, err)
+	}
+	errs := runGang(sc, trs, paralagg.Config{Subs: sc.Subs}, &rep.Recovered)
+	for _, tr := range trs {
+		rep.Net = rep.Net.Add(tr.Net())
+		tr.Close()
+	}
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chaos %s: TCP rank %d failed under repairable faults: %w", sc.Name, rank, err)
+		}
+	}
+	return rep, nil
+}
+
+// TCPPartition runs sc over a TCP gang that partitions rank 0 away from
+// everyone after the gang has exchanged some traffic. The partition is not
+// repairable: every rank must surface a structured ErrRankFailed wrapping
+// ErrPeerUnreachable instead of wedging.
+func TCPPartition(sc Scenario, ranks int) error {
+	others := make([]int, 0, ranks-1)
+	for r := 1; r < ranks; r++ {
+		others = append(others, r)
+	}
+	faults := &tcp.NetFaultPlan{
+		Partitions: []tcp.Partition{{A: []int{0}, B: others, AfterSends: 40}},
+	}
+	trs, err := gang(ranks, faults)
+	if err != nil {
+		return fmt.Errorf("chaos %s: building TCP gang: %w", sc.Name, err)
+	}
+	var fps map[string]Fingerprint
+	errs := runGang(sc, trs, paralagg.Config{Subs: sc.Subs, Watchdog: 10 * time.Second}, &fps)
+	for _, tr := range trs {
+		tr.Kill() // flushing into a partition would only wait out the timeout
+	}
+	for rank, err := range errs {
+		if err == nil {
+			return fmt.Errorf("chaos %s: rank %d finished across a network partition", sc.Name, rank)
+		}
+		rf, ok := paralagg.AsRankFailure(err)
+		if !ok {
+			return fmt.Errorf("chaos %s: rank %d partition error is unstructured: %w", sc.Name, rank, err)
+		}
+		if !errors.Is(rf, paralagg.ErrPeerUnreachable) && !errors.Is(rf, paralagg.ErrRecvTimeout) {
+			return fmt.Errorf("chaos %s: rank %d failure %v does not name the partition", sc.Name, rank, rf)
+		}
+	}
+	return nil
+}
+
+// TCPKillRecovery is the full robustness loop over real sockets: sc runs on
+// a TCP gang with checkpointing on; rank (ranks-1)'s process is killed
+// mid-fixpoint (its transport torn down exactly as a crash would); every
+// survivor observes a structured failure; and the existing supervisor
+// rebuilds the gang — fresh sockets, fresh worlds — resuming from the
+// shared checkpoints. The recovered answer must be bit-identical to the
+// in-process fault-free run.
+func TCPKillRecovery(sc Scenario, ranks, every, crashIter int) (*NetReport, error) {
+	rep := &NetReport{}
+	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+		sc.Load, collect(sc.Rels, &rep.Clean))
+	if err != nil {
+		return nil, fmt.Errorf("chaos %s: in-process reference run failed: %w", sc.Name, err)
+	}
+	if clean.Iterations <= crashIter {
+		return nil, fmt.Errorf("chaos %s: fixpoint ran only %d iterations, crash at %d would never fire",
+			sc.Name, clean.Iterations, crashIter)
+	}
+
+	victim := ranks - 1
+	sink := paralagg.NewMemoryCheckpointSink()
+	srep, err := supervisor.Run(ranks, supervisor.Config{
+		MaxRestarts: 2,
+		Backoff:     time.Millisecond,
+	}, func(attempt, _ int, resume bool) error {
+		trs, err := gang(ranks, nil)
+		if err != nil {
+			return err
+		}
+		base := paralagg.Config{
+			Subs:            sc.Subs,
+			CheckpointEvery: every,
+			Checkpoints:     sink,
+			Watchdog:        10 * time.Second,
+		}
+		if resume {
+			if _, ok, err := sink.Latest(0); ok && err == nil {
+				base.Resume = true
+			}
+		}
+		if attempt == 0 {
+			// The victim's process crashes as it enters iteration crashIter's
+			// tuple exchange: its rank dies AND its wire goes silent, so the
+			// survivors' failure detectors must do the declaring.
+			base.Faults = &paralagg.FaultPlan{
+				Seed:    1,
+				Crashes: []paralagg.Crash{{Rank: victim, Iter: crashIter, Op: "alltoallv"}},
+			}
+		}
+		var fps map[string]Fingerprint
+		errs := make([]error, ranks)
+		var wg sync.WaitGroup
+		for i, tr := range trs {
+			wg.Add(1)
+			go func(i int, tr *tcp.Transport) {
+				defer wg.Done()
+				cfg := base
+				cfg.Transport = tr
+				_, errs[i] = paralagg.Exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &fps))
+				if i == victim && errs[i] != nil && attempt == 0 {
+					tr.Kill() // the process is gone; so is its endpoint
+				}
+			}(i, tr)
+		}
+		wg.Wait()
+		for i, tr := range trs {
+			rep.Net = rep.Net.Add(tr.Net())
+			if !(i == victim && attempt == 0) {
+				tr.Close()
+			}
+		}
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+		rep.Recovered = fps
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos %s: supervised TCP recovery failed: %w", sc.Name, err)
+	}
+	if srep.RecoveryAttempts == 0 {
+		return nil, fmt.Errorf("chaos %s: injected kill never fired — nothing was recovered", sc.Name)
+	}
+	rep.RecoveryAttempts = srep.RecoveryAttempts
+	return rep, nil
+}
+
+// RepairableFaults is the standard wire-fault plan of the network chaos
+// suite: a reset and a corrupted frame early in the run plus a slow link
+// throughout — every one repaired by the transport below the runtime's
+// waterline.
+func RepairableFaults(ranks int) *tcp.NetFaultPlan {
+	plan := &tcp.NetFaultPlan{
+		SlowLinks: []tcp.SlowLink{{From: 0, To: ranks - 1, Delay: 2 * time.Millisecond}},
+		Resets:    []tcp.Reset{{From: ranks - 1, To: 0, AfterSends: 4}},
+		CorruptFrames: []tcp.CorruptFrame{
+			{From: 1 % ranks, To: 0, AfterSends: 6},
+		},
+	}
+	return plan
+}
+
+// VerifyNetStats checks that the injected repairable faults actually
+// exercised the recovery machinery (otherwise the differential proves
+// nothing).
+func VerifyNetStats(n paralagg.NetStats) error {
+	if n.Reconnects == 0 {
+		return errors.New("no reconnects recorded: the injected reset never bit")
+	}
+	if n.CRCErrors == 0 {
+		return errors.New("no CRC rejections recorded: the injected corruption never bit")
+	}
+	return nil
+}

@@ -74,6 +74,10 @@ type unit struct{}
 func (c *Comm) Barrier() {
 	c.enter("barrier")
 	c.world.stats.addCollective(c.rank, "barrier", 0)
+	if c.world.dist != nil {
+		c.distBarrier()
+		return
+	}
 	c.world.coll.run(c.world, c.rank, "barrier", unit{}, func([]interface{}) interface{} { return unit{} })
 }
 
@@ -112,6 +116,9 @@ func (op ReduceOp) apply(a, b uint64) uint64 {
 func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
 	c.enter("allreduce")
 	c.world.stats.addCollective(c.rank, "allreduce", WordBytes)
+	if c.world.dist != nil {
+		return c.distAllreduce(v, op)
+	}
 	res := c.world.coll.run(c.world, c.rank, "allreduce", v, func(contribs []interface{}) interface{} {
 		acc := contribs[0].(uint64)
 		for _, x := range contribs[1:] {
@@ -127,6 +134,9 @@ func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
 func (c *Comm) Allgather(v uint64) []uint64 {
 	c.enter("allgather")
 	c.world.stats.addCollective(c.rank, "allgather", WordBytes)
+	if c.world.dist != nil {
+		return c.distAllgather(v)
+	}
 	res := c.world.coll.run(c.world, c.rank, "allgather", v, func(contribs []interface{}) interface{} {
 		out := make([]uint64, len(contribs))
 		for i, x := range contribs {
@@ -149,6 +159,9 @@ func (c *Comm) Bcast(root int, words []Word) []Word {
 		c.world.stats.addCollective(c.rank, kind, len(words)*WordBytes*(c.world.size-1))
 	} else {
 		c.world.stats.addCollective(c.rank, kind, 0)
+	}
+	if c.world.dist != nil {
+		return c.distBcast(root, words)
 	}
 	res := c.world.coll.run(c.world, c.rank, kind, contribution, func(contribs []interface{}) interface{} {
 		w, ok := contribs[root].([]Word)
@@ -187,6 +200,9 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 		}
 	}
 	c.world.stats.addCollective(c.rank, "alltoallv", bytes)
+	if c.world.dist != nil {
+		return c.distAlltoallv(send)
+	}
 	res := c.world.coll.run(c.world, c.rank, "alltoallv", send, func(contribs []interface{}) interface{} {
 		// Snapshot every off-diagonal payload at the synchronization point:
 		// senders regain ownership of their buffers as soon as they return,
@@ -225,6 +241,9 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 func (c *Comm) AllgatherV(words []Word) [][]Word {
 	c.enter("allgatherv")
 	c.world.stats.addCollective(c.rank, "allgatherv", len(words)*WordBytes*(c.world.size-1))
+	if c.world.dist != nil {
+		return c.distAllgatherV(words)
+	}
 	res := c.world.coll.run(c.world, c.rank, "allgatherv", words, func(contribs []interface{}) interface{} {
 		// Snapshot each contribution (see Alltoallv): the owner may reuse
 		// its buffer immediately after returning.
@@ -257,6 +276,9 @@ func (c *Comm) Gather(root int, v uint64) []uint64 {
 	c.enter("gather")
 	c.validRank("gather", root)
 	c.world.stats.addCollective(c.rank, "gather", WordBytes)
+	if c.world.dist != nil {
+		return c.distGatherWord(root, v)
+	}
 	res := c.world.coll.run(c.world, c.rank, "gather", v, func(contribs []interface{}) interface{} {
 		out := make([]uint64, len(contribs))
 		for i, x := range contribs {

@@ -43,6 +43,15 @@ var (
 	// ErrWatchdogTimeout marks a rank the collective watchdog declared dead
 	// after it stayed absent from an in-progress collective past the timeout.
 	ErrWatchdogTimeout = errors.New("absent from collective past watchdog timeout")
+	// ErrRecvTimeout marks a receive that stayed unmatched past the watchdog
+	// timeout — the point-to-point arm of the watchdog: the sender's message
+	// was dropped or the sender is gone, and the blocked rank errors out
+	// instead of wedging forever.
+	ErrRecvTimeout = errors.New("no matching message within the watchdog timeout")
+	// ErrPeerUnreachable marks a rank a networked transport declared dead:
+	// its heartbeats stopped and reconnection attempts failed, so the failure
+	// detector reported it to every surviving rank.
+	ErrPeerUnreachable = errors.New("peer unreachable: heartbeat lost")
 )
 
 // AsRankFailure extracts the structured rank failure from an error chain
@@ -135,6 +144,11 @@ type Delay struct {
 
 // Corrupt XORs a deterministic mask into one word of the payload of the
 // After-th matching point-to-point send, modeling a bit flip on the wire.
+// The flip happens after the sender's CRC32C is computed, so the receiver
+// detects it and fails with ErrCorruptMessage attributed to the sender —
+// corruption can no longer produce a silently wrong answer. (In-process
+// transport only; the TCP transport injects wire corruption at the frame
+// layer, where it is caught and repaired by retransmission.)
 type Corrupt struct {
 	Rank  int // sending rank
 	Iter  int

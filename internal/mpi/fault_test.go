@@ -194,7 +194,10 @@ func TestDelayStillDelivers(t *testing.T) {
 	}
 }
 
-func TestCorruptFlipsExactlyOneWord(t *testing.T) {
+func TestCorruptionFailsCRCWithStructuredError(t *testing.T) {
+	// A corrupted payload must never be accepted: the receiver's CRC32C
+	// check converts the bit flip into an ErrRankFailed naming the sender,
+	// instead of the silently wrong answer the pre-CRC runtime produced.
 	payload := []Word{1, 2, 3, 4, 5}
 	w := NewWorld(2)
 	w.SetFaultPlan(&FaultPlan{Seed: 9, Corrupts: []Corrupt{{Rank: 0, Iter: AnyIter, After: 0}}})
@@ -204,19 +207,43 @@ func TestCorruptFlipsExactlyOneWord(t *testing.T) {
 			return nil
 		}
 		words, _ := c.Recv(0, 0)
-		diff := 0
-		for i := range words {
-			if words[i] != payload[i] {
-				diff++
-			}
-		}
-		if diff != 1 {
-			t.Errorf("corruption changed %d words (%v), want exactly 1", diff, words)
-		}
+		t.Errorf("corrupted message was accepted: %v", words)
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
+	rf, ok := AsRankFailure(err)
+	if !ok {
+		t.Fatalf("err = %v, want ErrRankFailed", err)
+	}
+	if rf.Rank != 0 || rf.Op != "recv" || !errors.Is(rf, ErrCorruptMessage) {
+		t.Errorf("failure = %+v, want CRC failure attributed to sending rank 0", rf)
+	}
+}
+
+func TestRecvTimeoutOnDroppedMessage(t *testing.T) {
+	// With every message from 0 to 1 dropped, rank 1's Recv must error out
+	// after the watchdog timeout instead of wedging the rank forever.
+	w := NewWorld(2)
+	w.SetFaultPlan(&FaultPlan{Seed: 5, Drops: []Drop{{From: 0, To: 1, Frac: 1}}})
+	w.SetWatchdog(50 * time.Millisecond)
+	start := time.Now()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []Word{42})
+			return nil
+		}
+		c.Recv(0, 0)
+		t.Error("Recv returned despite the dropped message")
+		return nil
+	})
+	rf, ok := AsRankFailure(err)
+	if !ok {
+		t.Fatalf("err = %v, want ErrRankFailed", err)
+	}
+	if rf.Rank != 1 || rf.Op != "recv" || !errors.Is(rf, ErrRecvTimeout) {
+		t.Errorf("failure = %+v, want recv timeout on rank 1", rf)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("run took %v, the recv deadline should fire near 50ms", waited)
 	}
 }
 

@@ -6,18 +6,23 @@ import (
 	"time"
 )
 
-// message is one point-to-point transfer in flight.
+// message is one point-to-point transfer in flight. crc is the CRC32C the
+// sender computed over words before the payload touched the wire; the
+// receiver re-computes and compares, so corruption in flight surfaces as a
+// structured error instead of a wrong answer.
 type message struct {
 	src   int
 	tag   int
 	words []Word
+	crc   uint32
 }
 
 // mailbox is a rank's unbounded incoming message queue. Sends append and
 // never block (matching buffered MPI_Isend); receives scan for the first
 // message matching (src, tag) and block until one arrives — or until the
-// world aborts, in which case the blocked receiver unwinds with the
-// failure instead of deadlocking on a dead sender.
+// world aborts or the receive deadline passes, in which case the blocked
+// receiver unwinds with an error instead of wedging on a dead or silent
+// sender.
 type mailbox struct {
 	world *World
 	mu    sync.Mutex
@@ -38,19 +43,54 @@ func (m *mailbox) put(msg message) {
 	m.cond.Broadcast()
 }
 
+// recvError is why a take unblocked without a message.
+type recvError struct {
+	timeout bool
+	abort   *ErrRankFailed // set when the world aborted under us
+}
+
+func (e *recvError) Error() string {
+	if e.timeout {
+		return "receive timed out"
+	}
+	return fmt.Sprintf("world aborted: %v", e.abort)
+}
+
 // take removes and returns the first queued message from src with tag.
-// src may be AnySource.
-func (m *mailbox) take(src, tag int) message {
+// src may be AnySource. A positive timeout bounds the wait: when it expires
+// with no matching message the take fails with a timeout recvError — the
+// p2p arm of the watchdog, so a Recv waiting on a dropped message errors
+// out instead of blocking its rank forever.
+func (m *mailbox) take(src, tag int, timeout time.Duration) (message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// The timer only needs to wake the waiter; lock/unlock first so the
+		// broadcast cannot slip between the waiter's deadline check and its
+		// cond.Wait registration.
+		t := time.AfterFunc(timeout, func() {
+			m.mu.Lock()
+			//lint:ignore SA2001 empty critical section orders the broadcast after the waiter sleeps
+			m.mu.Unlock()
+			m.cond.Broadcast()
+		})
+		defer t.Stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		for i, msg := range m.q {
 			if (src == AnySource || msg.src == src) && msg.tag == tag {
 				m.q = append(m.q[:i], m.q[i+1:]...)
-				return msg
+				return msg, nil
 			}
 		}
-		m.world.checkAbort()
+		if rf := m.world.abort.Load(); rf != nil {
+			return message{}, &recvError{abort: rf}
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return message{}, &recvError{timeout: true}
+		}
 		m.cond.Wait()
 	}
 }
@@ -58,14 +98,82 @@ func (m *mailbox) take(src, tag int) message {
 // AnySource matches a receive against any sender, like MPI_ANY_SOURCE.
 const AnySource = -1
 
+// collTagBase is the floor of the tag space reserved for the runtime's own
+// traffic (the point-to-point messages distributed collectives are built
+// from). User tags must stay below it.
+const collTagBase = 1 << 30
+
+// validTag panics when a user-level operation uses a tag inside the
+// reserved collective range.
+func (c *Comm) validTag(op string, tag int) {
+	if tag < 0 || tag >= collTagBase {
+		panic(fmt.Sprintf("mpi: %s on rank %d: tag %d outside user range [0, %d)",
+			op, c.rank, tag, collTagBase))
+	}
+}
+
+// transport returns the wire this rank sends through: the shared networked
+// transport in distributed mode, the in-process mailbox fabric otherwise.
+func (c *Comm) transport() Transport {
+	if d := c.world.dist; d != nil {
+		return d.tr
+	}
+	return memTransport{world: c.world, rank: c.rank}
+}
+
+// sendVia pushes words to dest through the transport, injecting the fault
+// plan's drop/delay wire faults first. It is the shared tail of user Sends
+// and the internal sends distributed collectives are made of (which skip
+// the user-level fault gate and metering).
+func (c *Comm) sendVia(op string, dest, tag int, words []Word) {
+	if dest == c.rank && c.world.dist != nil {
+		// Local hand-off never touches the networked wire.
+		memTransport{world: c.world, rank: c.rank}.Send(dest, tag, words)
+		return
+	}
+	if err := c.transport().Send(dest, tag, words); err != nil {
+		c.world.checkAbort()
+		rf := &ErrRankFailed{Rank: c.rank, Op: op, Iter: c.Epoch(),
+			Cause: fmt.Errorf("send to rank %d failed: %w", dest, err)}
+		c.world.fail(rf)
+		panic(rf)
+	}
+}
+
+// recvVia blocks for a matching message, bounded by the watchdog timeout
+// when one is configured, and verifies its integrity. On timeout the
+// receiving rank fails with ErrRecvTimeout; on checksum mismatch the world
+// fails with ErrCorruptMessage attributed to the sender.
+func (c *Comm) recvVia(op string, src, tag int, timeout time.Duration) message {
+	msg, err := c.world.boxes[c.rank].take(src, tag, timeout)
+	if err != nil {
+		re := err.(*recvError)
+		if re.abort != nil {
+			panic(abortPanic{re.abort})
+		}
+		rf := &ErrRankFailed{Rank: c.rank, Op: op, Iter: c.Epoch(),
+			Cause: fmt.Errorf("recv from rank %d tag %d waited %v: %w", src, tag, timeout, ErrRecvTimeout)}
+		c.world.fail(rf)
+		panic(rf)
+	}
+	if ChecksumWords(msg.words) != msg.crc {
+		rf := &ErrRankFailed{Rank: msg.src, Op: op, Iter: c.Epoch(), Cause: ErrCorruptMessage}
+		c.world.fail(rf)
+		panic(rf)
+	}
+	return msg
+}
+
 // Send transmits words to dest with the given tag. It does not block: the
 // runtime buffers the message (the MPI_Isend discipline the paper's
 // intra-bucket communication relies on). The words slice is copied, so the
 // caller may immediately reuse it. Under a fault plan the message may be
-// deterministically dropped, delayed, or have one payload word corrupted.
+// deterministically dropped, delayed, or have one payload word corrupted —
+// corruption is caught by the receiver's CRC32C check.
 func (c *Comm) Send(dest, tag int, words []Word) {
 	c.enter("send")
 	c.validRank("send", dest)
+	c.validTag("send", tag)
 	seq := c.sendSeq[dest]
 	c.sendSeq[dest]++
 	if fs := c.world.fstate; fs != nil {
@@ -76,26 +184,23 @@ func (c *Comm) Send(dest, tag int, words []Word) {
 			time.Sleep(d)
 		}
 	}
-	cp := make([]Word, len(words))
-	copy(cp, words)
-	if fs := c.world.fstate; fs != nil {
-		if i, mask, ok := fs.corruptNow(c.rank, c.Epoch(), len(cp)); ok {
-			cp[i] ^= mask
-		}
-	}
-	c.world.stats.addP2P(c.rank, dest, len(cp)*WordBytes)
-	c.world.boxes[dest].put(message{src: c.rank, tag: tag, words: cp})
+	c.world.stats.addP2P(c.rank, dest, len(words)*WordBytes)
+	c.sendVia("send", dest, tag, words)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. Pass AnySource to match any sender; the actual
-// sender is returned alongside the payload.
+// sender is returned alongside the payload. With a watchdog configured the
+// wait is bounded: a receive that stays unmatched past the timeout (the
+// sender's message was dropped, or the sender is gone) fails the rank with
+// a structured ErrRankFailed instead of wedging it forever.
 func (c *Comm) Recv(src, tag int) (words []Word, from int) {
 	c.enter("recv")
 	if src != AnySource {
 		c.validRank("recv", src)
 	}
-	msg := c.world.boxes[c.rank].take(src, tag)
+	c.validTag("recv", tag)
+	msg := c.recvVia("recv", src, tag, c.world.watchdog)
 	return msg.words, msg.src
 }
 

@@ -1,0 +1,184 @@
+package mpi
+
+// Distributed collectives: when a world runs one rank per process over a
+// real transport there is no shared collective slot, so every collective is
+// composed from point-to-point messages in the reserved tag space above
+// collTagBase. The patterns are flat (gather-to-root + broadcast) — the
+// worlds this runtime drives are small enough that tree algorithms would
+// buy latency nobody measures — but the matching discipline is exactly
+// MPI's: every rank calls the same collectives in the same order, and each
+// (src, tag) stream is FIFO, so consecutive collectives of the same kind
+// never cross-match.
+//
+// Internal messages deliberately skip the user-level fault gate, the
+// drop/delay injectors, and the P2P meters: faults target the collective
+// operation as a whole (crash/hang at entry, wire faults at the transport),
+// and the collective's logical byte count was already metered at entry, so
+// in-process and distributed runs report comparable stats.
+
+// Reserved tags, one per collective kind. Gather and broadcast phases of
+// one kind share a tag safely: the two directions are distinct streams.
+const (
+	tagBarrier = collTagBase + iota
+	tagAllreduce
+	tagAllgather
+	tagAllgatherv
+	tagAlltoallv
+	tagBcast
+	tagGather
+)
+
+// collSend pushes an internal collective message.
+func (c *Comm) collSend(op string, dest, tag int, words []Word) {
+	if dest == c.rank {
+		panic("mpi: internal collective self-send")
+	}
+	c.sendVia(op, dest, tag, words)
+}
+
+// collRecv blocks for an internal collective message, bounded by the
+// watchdog timeout when one is set.
+func (c *Comm) collRecv(op string, src, tag int) []Word {
+	return c.recvVia(op, src, tag, c.world.watchdog).words
+}
+
+// distGather collects every rank's words at rank 0. Rank 0 gets the full
+// vector (its own entry aliased, the rest private); other ranks get nil.
+func (c *Comm) distGather(op string, tag int, words []Word) [][]Word {
+	if c.rank != 0 {
+		c.collSend(op, 0, tag, words)
+		return nil
+	}
+	out := make([][]Word, c.world.size)
+	out[0] = words
+	for r := 1; r < c.world.size; r++ {
+		out[r] = c.collRecv(op, r, tag)
+	}
+	return out
+}
+
+// distFan broadcasts words from rank 0 to everyone. Rank 0 passes the
+// payload and gets it back; other ranks receive a private copy.
+func (c *Comm) distFan(op string, tag int, words []Word) []Word {
+	if c.rank == 0 {
+		for r := 1; r < c.world.size; r++ {
+			c.collSend(op, r, tag, words)
+		}
+		return words
+	}
+	return c.collRecv(op, 0, tag)
+}
+
+func (c *Comm) distBarrier() {
+	c.distGather("barrier", tagBarrier, nil)
+	c.distFan("barrier", tagBarrier, nil)
+}
+
+func (c *Comm) distAllreduce(v uint64, op ReduceOp) uint64 {
+	contribs := c.distGather("allreduce", tagAllreduce, []Word{v})
+	var res []Word
+	if c.rank == 0 {
+		acc := contribs[0][0]
+		for _, w := range contribs[1:] {
+			acc = op.apply(acc, w[0])
+		}
+		res = []Word{acc}
+	}
+	return c.distFan("allreduce", tagAllreduce, res)[0]
+}
+
+func (c *Comm) distAllgather(v uint64) []uint64 {
+	contribs := c.distGather("allgather", tagAllgather, []Word{v})
+	var vec []Word
+	if c.rank == 0 {
+		vec = make([]Word, c.world.size)
+		for r, w := range contribs {
+			vec[r] = w[0]
+		}
+	}
+	shared := c.distFan("allgather", tagAllgather, vec)
+	out := make([]uint64, len(shared))
+	copy(out, shared)
+	return out
+}
+
+func (c *Comm) distBcast(root int, words []Word) []Word {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.collSend("bcast", r, tagBcast, words)
+			}
+		}
+		return words
+	}
+	return c.collRecv("bcast", root, tagBcast)
+}
+
+func (c *Comm) distAlltoallv(send [][]Word) [][]Word {
+	for j, s := range send {
+		if j != c.rank {
+			c.collSend("alltoallv", j, tagAlltoallv, s)
+		}
+	}
+	recv := make([][]Word, c.world.size)
+	for i := 0; i < c.world.size; i++ {
+		if i == c.rank {
+			recv[i] = send[i] // local hand-off, owner on both ends
+			continue
+		}
+		recv[i] = c.collRecv("alltoallv", i, tagAlltoallv)
+	}
+	return recv
+}
+
+func (c *Comm) distAllgatherV(words []Word) [][]Word {
+	contribs := c.distGather("allgatherv", tagAllgatherv, words)
+	var flat []Word
+	if c.rank == 0 {
+		// Self-describing concatenation: per-rank lengths, then payloads.
+		n := c.world.size
+		total := 1 + n
+		for _, s := range contribs {
+			total += len(s)
+		}
+		flat = make([]Word, 0, total)
+		flat = append(flat, Word(n))
+		for _, s := range contribs {
+			flat = append(flat, Word(len(s)))
+		}
+		for _, s := range contribs {
+			flat = append(flat, s...)
+		}
+	}
+	shared := c.distFan("allgatherv", tagAllgatherv, flat)
+	n := int(shared[0])
+	out := make([][]Word, n)
+	off := 1 + n
+	for r := 0; r < n; r++ {
+		l := int(shared[1+r])
+		if r == c.rank {
+			out[r] = words
+		} else {
+			cp := make([]Word, l)
+			copy(cp, shared[off:off+l])
+			out[r] = cp
+		}
+		off += l
+	}
+	return out
+}
+
+func (c *Comm) distGatherWord(root int, v uint64) []uint64 {
+	if c.rank != root {
+		c.collSend("gather", root, tagGather, []Word{v})
+		return nil
+	}
+	out := make([]uint64, c.world.size)
+	out[root] = v
+	for r := 0; r < c.world.size; r++ {
+		if r != root {
+			out[r] = c.collRecv("gather", r, tagGather)[0]
+		}
+	}
+	return out
+}

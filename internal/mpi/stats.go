@@ -9,6 +9,16 @@ import "sync"
 type Stats struct {
 	mu    sync.Mutex
 	ranks []RankStats
+	// netProbe, when set (distributed worlds), samples the transport's
+	// robustness counters into Snapshot's Net field.
+	netProbe func() NetStats
+}
+
+// setNetProbe wires a transport's counters into snapshots.
+func (s *Stats) setNetProbe(probe func() NetStats) {
+	s.mu.Lock()
+	s.netProbe = probe
+	s.mu.Unlock()
 }
 
 // RankStats is one rank's outbound communication tally.
@@ -58,6 +68,10 @@ type Totals struct {
 	P2PBytes        int
 	CollectiveCalls int
 	CollectiveBytes int
+	// Net carries the transport's robustness counters (retries, reconnects,
+	// retransmits, heartbeat misses, CRC errors); all zero for in-process
+	// worlds.
+	Net NetStats
 }
 
 // Snapshot sums all ranks' counters. Callers diff two snapshots to meter a
@@ -74,6 +88,9 @@ func (s *Stats) Snapshot() Totals {
 			t.CollectiveBytes += cs.Bytes
 		}
 	}
+	if s.netProbe != nil {
+		t.Net = s.netProbe()
+	}
 	return t
 }
 
@@ -84,6 +101,7 @@ func (t Totals) Sub(u Totals) Totals {
 		P2PBytes:        t.P2PBytes - u.P2PBytes,
 		CollectiveCalls: t.CollectiveCalls - u.CollectiveCalls,
 		CollectiveBytes: t.CollectiveBytes - u.CollectiveBytes,
+		Net:             t.Net.Sub(u.Net),
 	}
 }
 
@@ -94,6 +112,7 @@ func (t Totals) Add(u Totals) Totals {
 		P2PBytes:        t.P2PBytes + u.P2PBytes,
 		CollectiveCalls: t.CollectiveCalls + u.CollectiveCalls,
 		CollectiveBytes: t.CollectiveBytes + u.CollectiveBytes,
+		Net:             t.Net.Add(u.Net),
 	}
 }
 

@@ -1,0 +1,100 @@
+package mpi
+
+// Transport is the wire a world runs over. Two implementations exist: the
+// in-process memTransport (rank goroutines exchanging buffers through
+// mailboxes — the original simulated runtime) and the TCP transport in
+// internal/transport/tcp (one OS process per rank, length-prefixed CRC32C
+// frames over real sockets). The mpi layer above is transport-agnostic:
+// point-to-point sends route through Send, incoming messages and peer
+// failures come back through the Handler, and collectives are either
+// shared-memory (mem) or composed from point-to-point messages (distributed).
+type Transport interface {
+	// Self is the rank this transport endpoint speaks for.
+	Self() int
+	// Size is the number of ranks in the world the transport connects.
+	Size() int
+	// Send transmits words to dest with the given tag. It must not block on
+	// the receiver (buffered, like MPI_Isend) and may retry/reconnect
+	// internally; a non-nil error means the message can never be delivered
+	// (transport closed or peer declared dead).
+	Send(dest, tag int, words []Word) error
+	// Start begins delivery: incoming messages invoke h.Deliver and peer
+	// deaths invoke h.PeerFailed, each from transport-owned goroutines. For
+	// networked transports Start blocks until the full mesh is established
+	// (with retry/backoff) and returns an error if any peer stays
+	// unreachable past the connect deadline.
+	Start(h Handler) error
+	// Close shuts the transport down gracefully: pending sends are flushed,
+	// peers are told this rank departed (so they do not mistake the closed
+	// connections for a crash), and delivery stops.
+	Close() error
+	// Net reports the transport's robustness counters (dial retries,
+	// reconnects, retransmits, heartbeat misses, CRC errors). The in-process
+	// transport reports zeros.
+	Net() NetStats
+}
+
+// Handler receives a transport's inbound events. The distributed world
+// implements it: messages land in the local rank's mailbox, failures poison
+// the world with a structured ErrRankFailed.
+type Handler interface {
+	// Deliver hands over one received, integrity-verified message.
+	Deliver(src, tag int, words []Word)
+	// PeerFailed reports that rank is dead or unreachable (heartbeat lost,
+	// reconnect budget exhausted). It is called at most once per rank.
+	PeerFailed(rank int, cause error)
+}
+
+// NetStats counts the robustness events of a networked transport: how hard
+// the wire fought back and how hard the transport fought to stay correct.
+// All fields are monotonic totals.
+type NetStats struct {
+	// FramesSent and FramesRecv count data frames that crossed the wire
+	// (including retransmissions on the send side).
+	FramesSent int64
+	FramesRecv int64
+	// DialRetries counts failed connection attempts that were retried with
+	// backoff (initial establishment and reconnects).
+	DialRetries int64
+	// Reconnects counts connections re-established after a loss.
+	Reconnects int64
+	// Retransmits counts data frames resent after a reconnect because the
+	// peer had not acknowledged them.
+	Retransmits int64
+	// DupsDropped counts received data frames discarded as already-delivered
+	// duplicates (the receive side of retransmission).
+	DupsDropped int64
+	// HeartbeatMisses counts monitor ticks that found a peer silent for more
+	// than a heartbeat interval.
+	HeartbeatMisses int64
+	// CRCErrors counts frames rejected for a checksum mismatch.
+	CRCErrors int64
+}
+
+// Add returns n + m fieldwise.
+func (n NetStats) Add(m NetStats) NetStats {
+	return NetStats{
+		FramesSent:      n.FramesSent + m.FramesSent,
+		FramesRecv:      n.FramesRecv + m.FramesRecv,
+		DialRetries:     n.DialRetries + m.DialRetries,
+		Reconnects:      n.Reconnects + m.Reconnects,
+		Retransmits:     n.Retransmits + m.Retransmits,
+		DupsDropped:     n.DupsDropped + m.DupsDropped,
+		HeartbeatMisses: n.HeartbeatMisses + m.HeartbeatMisses,
+		CRCErrors:       n.CRCErrors + m.CRCErrors,
+	}
+}
+
+// Sub returns n - m fieldwise.
+func (n NetStats) Sub(m NetStats) NetStats {
+	return NetStats{
+		FramesSent:      n.FramesSent - m.FramesSent,
+		FramesRecv:      n.FramesRecv - m.FramesRecv,
+		DialRetries:     n.DialRetries - m.DialRetries,
+		Reconnects:      n.Reconnects - m.Reconnects,
+		Retransmits:     n.Retransmits - m.Retransmits,
+		DupsDropped:     n.DupsDropped - m.DupsDropped,
+		HeartbeatMisses: n.HeartbeatMisses - m.HeartbeatMisses,
+		CRCErrors:       n.CRCErrors - m.CRCErrors,
+	}
+}

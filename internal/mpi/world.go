@@ -44,6 +44,11 @@ type World struct {
 	coll  collSlot
 	stats *Stats
 
+	// dist is set on distributed worlds (NewDistributedWorld): this process
+	// hosts exactly one rank and every off-process transfer crosses a real
+	// Transport. nil means the in-process simulated runtime (memTransport).
+	dist *distState
+
 	// Fault tolerance state.
 	plan     *FaultPlan
 	fstate   *faultState
@@ -184,31 +189,7 @@ func (w *World) Run(body func(c *Comm) error) error {
 		return fmt.Errorf("mpi: world already aborted: %w", rf)
 	}
 	for r := 0; r < w.size; r++ {
-		go func(rank int) {
-			var err error
-			defer func() {
-				if p := recover(); p != nil {
-					switch v := p.(type) {
-					case *ErrRankFailed:
-						// This rank is the failure (injected crash, declared
-						// hang, or argument-validation panic already wrapped).
-						err = v
-						w.fail(v)
-					case abortPanic:
-						err = fmt.Errorf("mpi: rank %d aborted: %w", rank, v.cause)
-					default:
-						rf := &ErrRankFailed{
-							Rank: rank, Op: "panic", Iter: int(w.epochs[rank].Load()),
-							Cause: fmt.Errorf("panic: %v", p),
-						}
-						err = rf
-						w.fail(rf)
-					}
-				}
-				w.rankExited(rank, err)
-			}()
-			err = body(&Comm{world: w, rank: rank, sendSeq: make([]int, w.size)})
-		}(r)
+		go w.runRank(r, body)
 	}
 
 	stopWatchdog := make(chan struct{})
@@ -247,6 +228,36 @@ func (w *World) Run(body func(c *Comm) error) error {
 		close(stopWatchdog)
 	}
 	return errors.Join(errs...)
+}
+
+// runRank executes body as one rank, converting panics into structured
+// failures: an *ErrRankFailed marks this rank as the failure, an abortPanic
+// unwinds a survivor of someone else's failure, and any other panic value
+// becomes a fresh rank failure. It records the rank's exit either way.
+func (w *World) runRank(rank int, body func(c *Comm) error) {
+	var err error
+	defer func() {
+		if p := recover(); p != nil {
+			switch v := p.(type) {
+			case *ErrRankFailed:
+				// This rank is the failure (injected crash, declared
+				// hang, or argument-validation panic already wrapped).
+				err = v
+				w.fail(v)
+			case abortPanic:
+				err = fmt.Errorf("mpi: rank %d aborted: %w", rank, v.cause)
+			default:
+				rf := &ErrRankFailed{
+					Rank: rank, Op: "panic", Iter: int(w.epochs[rank].Load()),
+					Cause: fmt.Errorf("panic: %v", p),
+				}
+				err = rf
+				w.fail(rf)
+			}
+		}
+		w.rankExited(rank, err)
+	}()
+	err = body(&Comm{world: w, rank: rank, sendSeq: make([]int, w.size)})
 }
 
 // runWatchdog polls the collective slot for ranks that stay absent from an

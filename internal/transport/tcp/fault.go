@@ -1,0 +1,167 @@
+package tcp
+
+import (
+	"sync"
+	"time"
+)
+
+// Deterministic network fault injection. Unlike the mpi-level FaultPlan
+// (which targets logical operations), these faults act on the wire itself:
+// frames are delayed, corrupted, or discarded and connections are severed
+// at the write path, exactly where a real network fails. The chaos harness
+// gives every rank's transport the same plan; each endpoint applies the
+// specs naming it as the writing side, counting its own data frames, so a
+// scenario replays identically across runs.
+
+// Partition cuts the network between rank sets A and B: once this endpoint
+// has written AfterSends data frames (to anyone), every frame crossing the
+// cut — heartbeats included — is silently discarded and dials across it are
+// refused. Heartbeat loss then surfaces the partitioned peers as failed on
+// both sides.
+type Partition struct {
+	A, B       []int
+	AfterSends int
+}
+
+// SlowLink delays every frame write from From to To by Delay — a straggler
+// link. Delivery still happens; the test asserts results are unaffected.
+type SlowLink struct {
+	From, To int
+	Delay    time.Duration
+}
+
+// Reset severs the connection from From to To immediately after the
+// AfterSends-th data frame write (once). The transport must reconnect and
+// retransmit without the upper layers noticing.
+type Reset struct {
+	From, To   int
+	AfterSends int
+}
+
+// CorruptFrame flips one bit inside the CRC-covered region of the
+// AfterSends-th data frame from From to To (once). The receiver must
+// detect the corruption, reject the frame, and recover it by
+// reconnect + retransmission — never deliver it.
+type CorruptFrame struct {
+	From, To   int
+	AfterSends int
+}
+
+// NetFaultPlan is a deterministic schedule of wire faults.
+type NetFaultPlan struct {
+	Partitions    []Partition
+	SlowLinks     []SlowLink
+	Resets        []Reset
+	CorruptFrames []CorruptFrame
+}
+
+// faultState holds one endpoint's matching counters for a plan.
+type faultState struct {
+	plan *NetFaultPlan
+	self int
+
+	mu           sync.Mutex
+	sentTo       map[int]int // data frames written per destination
+	sentTotal    int         // data frames written to anyone
+	resetFired   []bool
+	corruptFired []bool
+}
+
+func newFaultState(plan *NetFaultPlan, self int) *faultState {
+	if plan == nil {
+		return nil
+	}
+	return &faultState{
+		plan:         plan,
+		self:         self,
+		sentTo:       map[int]int{},
+		resetFired:   make([]bool, len(plan.Resets)),
+		corruptFired: make([]bool, len(plan.CorruptFrames)),
+	}
+}
+
+func inSet(set []int, r int) bool {
+	for _, v := range set {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+// crossesCut reports whether traffic between self and peer crosses p's cut.
+func (p Partition) crossesCut(self, peer int) bool {
+	return (inSet(p.A, self) && inSet(p.B, peer)) || (inSet(p.B, self) && inSet(p.A, peer))
+}
+
+// partitioned reports whether the link self->peer is currently cut.
+func (fs *faultState) partitioned(peer int) bool {
+	if fs == nil {
+		return false
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.partitionedLocked(peer)
+}
+
+func (fs *faultState) partitionedLocked(peer int) bool {
+	for _, p := range fs.plan.Partitions {
+		if p.crossesCut(fs.self, peer) && fs.sentTotal >= p.AfterSends {
+			return true
+		}
+	}
+	return false
+}
+
+// writeVerdict is what the fault layer decided about one frame write.
+type writeVerdict struct {
+	drop       bool          // discard the frame silently
+	delay      time.Duration // sleep before writing
+	corruptAt  int           // byte offset to flip a bit at (-1 = none)
+	resetAfter bool          // sever the connection after this write
+}
+
+// onWrite consults the plan for one frame write to peer. Data frames
+// advance the matching counters; control frames (hello/heartbeat/bye) are
+// subject to partitions and slow links only.
+func (fs *faultState) onWrite(peer int, isData bool, frameLen int) writeVerdict {
+	v := writeVerdict{corruptAt: -1}
+	if fs == nil {
+		return v
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.partitionedLocked(peer) {
+		v.drop = true
+		return v
+	}
+	if isData {
+		fs.sentTo[peer]++
+		fs.sentTotal++
+	}
+	for _, s := range fs.plan.SlowLinks {
+		if s.From == fs.self && s.To == peer && s.Delay > v.delay {
+			v.delay = s.Delay
+		}
+	}
+	if !isData {
+		return v
+	}
+	n := fs.sentTo[peer]
+	for i, r := range fs.plan.Resets {
+		if r.From == fs.self && r.To == peer && !fs.resetFired[i] && n >= r.AfterSends {
+			fs.resetFired[i] = true
+			v.resetAfter = true
+		}
+	}
+	for i, c := range fs.plan.CorruptFrames {
+		if c.From == fs.self && c.To == peer && !fs.corruptFired[i] && n >= c.AfterSends {
+			fs.corruptFired[i] = true
+			// Flip a bit in the CRC-covered region: past the 4-byte length
+			// prefix (which must stay intact so framing never desyncs), inside
+			// the header/payload the checksum protects.
+			v.corruptAt = 4 + (frameLen-8)/2
+		}
+	}
+	return v
+}

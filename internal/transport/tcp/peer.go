@@ -1,0 +1,351 @@
+package tcp
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// peer is one remote rank's connection state: the (single, duplex) TCP
+// connection shared by the pair, the outbox of unacknowledged frames that
+// makes delivery survive reconnects, and the liveness clock the failure
+// detector reads. The higher rank of a pair dials; the lower accepts.
+type peer struct {
+	t      *Transport
+	rank   int
+	dialer bool
+
+	firstConn chan struct{} // closed once the first connection is up
+	firstOnce sync.Once
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	conn net.Conn
+	// gen numbers connection incarnations: reader/writer goroutines are
+	// bound to the gen they were spawned for and exit when it moves on.
+	gen int
+
+	// out is the retransmission queue: every data frame since the last
+	// cumulative ack, in seq order. next indexes the first not-yet-written
+	// frame; a reconnect rewinds next to 0 (after pruning to the peer's
+	// acked position) so the undelivered tail is sent again.
+	out  []frame
+	next int
+	// seq numbers outgoing data frames (1-based); lastRecv is the highest
+	// in-order seq received from the peer — the cumulative ack we advertise
+	// in hellos and heartbeats, and the dedup horizon for retransmits.
+	seq, lastRecv uint64
+	// maxWritten is the highest seq ever put on the wire; rewriting at or
+	// below it counts as a retransmission.
+	maxWritten uint64
+
+	lastAlive time.Time
+	departed  bool // peer said bye: a clean exit, not a crash
+	failed    bool // failure detector declared the peer dead
+
+	everConn bool
+	// writeMu serializes frame writes on the connection (the writer loop
+	// and the heartbeat beacon share it).
+	writeMu sync.Mutex
+}
+
+func newPeer(t *Transport, rank int) *peer {
+	p := &peer{
+		t:         t,
+		rank:      rank,
+		dialer:    t.self > rank,
+		firstConn: make(chan struct{}),
+		lastAlive: time.Now(),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// connectLoop is the dialer side: attempt, back off (exponentially, capped,
+// with deterministic jitter), retry — until connected, stopped, or the peer
+// is gone. The acceptor side has no loop; it just waits for the next dial.
+func (p *peer) connectLoop() {
+	t := p.t
+	for attempt := 0; ; attempt++ {
+		p.mu.Lock()
+		done := p.failed || p.departed
+		p.mu.Unlock()
+		if done || t.isStopped() {
+			return
+		}
+		if !t.fs.partitioned(p.rank) {
+			if conn := p.dialOnce(); conn != nil {
+				p.attach(conn.c, conn.ack)
+				return
+			}
+		}
+		if attempt > 0 {
+			t.ctr.dialRetries.Add(1)
+		}
+		select {
+		case <-t.stop:
+			return
+		case <-time.After(p.backoff(attempt)):
+		}
+	}
+}
+
+// backoff computes the delay before dial attempt n: DialBackoff doubled per
+// attempt, capped at DialBackoffMax, jittered to [50%, 150%) by a
+// deterministic hash so retry storms desynchronize reproducibly.
+func (p *peer) backoff(attempt int) time.Duration {
+	d := p.t.cfg.DialBackoff
+	for i := 0; i < attempt && d < p.t.cfg.DialBackoffMax; i++ {
+		d *= 2
+	}
+	if d > p.t.cfg.DialBackoffMax {
+		d = p.t.cfg.DialBackoffMax
+	}
+	h := jitterHash(p.t.cfg.Seed, p.t.self, p.rank, attempt)
+	frac := float64(h>>11) / float64(1<<53) // [0, 1)
+	return d/2 + time.Duration(frac*float64(d))
+}
+
+// jitterHash is a splitmix64-style counter hash: the backoff's only source
+// of randomness, so runs under the same seed retry at the same instants.
+func jitterHash(seed int64, a, b, c int) uint64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, v := range [3]uint64{uint64(a), uint64(b), uint64(c)} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+type handshook struct {
+	c   net.Conn
+	ack uint64
+}
+
+// dialOnce makes one connection attempt including the hello handshake:
+// send our rank and receive position, read the peer's. nil means try again.
+func (p *peer) dialOnce() *handshook {
+	t := p.t
+	conn, err := net.DialTimeout("tcp", t.cfg.Peers[p.rank], t.cfg.DialAttemptTimeout)
+	if err != nil {
+		return nil
+	}
+	conn.SetDeadline(time.Now().Add(t.cfg.DialAttemptTimeout))
+	p.mu.Lock()
+	ack := p.lastRecv
+	p.mu.Unlock()
+	hello := encodeFrame(nil, frame{typ: ftHello, src: uint32(t.self), tag: helloMagic, seq: ack})
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil
+	}
+	var scratch []byte
+	reply, err := readFrame(conn, &scratch)
+	if err != nil || reply.typ != ftHello || reply.tag != helloMagic || int(reply.src) != p.rank {
+		conn.Close()
+		return nil
+	}
+	conn.SetDeadline(time.Time{})
+	return &handshook{c: conn, ack: reply.seq}
+}
+
+// attach installs a freshly handshaken connection: prune the outbox to the
+// peer's acknowledged position, rewind the write cursor so the undelivered
+// tail retransmits, and spawn this incarnation's reader and writer.
+func (p *peer) attach(conn net.Conn, peerAck uint64) {
+	t := p.t
+	p.mu.Lock()
+	if t.isStopped() || p.failed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if p.conn != nil {
+		// A stale connection the dialer already replaced: retire it.
+		p.conn.Close()
+	}
+	p.pruneLocked(peerAck)
+	p.next = 0
+	p.conn = conn
+	p.gen++
+	gen := p.gen
+	p.lastAlive = time.Now()
+	reconnect := p.everConn
+	p.everConn = true
+	p.mu.Unlock()
+	if reconnect {
+		t.ctr.reconnects.Add(1)
+	}
+	t.wg.Add(2)
+	go func() {
+		defer t.wg.Done()
+		p.readLoop(conn, gen)
+	}()
+	go func() {
+		defer t.wg.Done()
+		p.writeLoop(conn, gen)
+	}()
+	p.firstOnce.Do(func() { close(p.firstConn) })
+	p.cond.Broadcast()
+}
+
+// pruneLocked drops outbox frames at or below the cumulative ack. Requires
+// p.mu held.
+func (p *peer) pruneLocked(ack uint64) {
+	drop := 0
+	for drop < len(p.out) && p.out[drop].seq <= ack {
+		drop++
+	}
+	if drop > 0 {
+		p.out = append(p.out[:0:0], p.out[drop:]...)
+		p.next -= drop
+		if p.next < 0 {
+			p.next = 0
+		}
+	}
+}
+
+// connLost retires connection incarnation gen after an IO error. Whoever
+// notices first (reader, writer, heartbeat) wins; the dialer side then
+// starts reconnecting.
+func (p *peer) connLost(gen int, _ error) {
+	t := p.t
+	p.mu.Lock()
+	if p.gen != gen {
+		p.mu.Unlock() // a newer incarnation is already up
+		return
+	}
+	conn := p.conn
+	p.conn = nil
+	p.gen++
+	redial := p.dialer && !p.failed && !p.departed
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	p.cond.Broadcast()
+	if redial && !t.isStopped() {
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			p.connectLoop()
+		}()
+	}
+}
+
+// readLoop consumes frames for one connection incarnation. Every frame —
+// data, heartbeat, bye — refreshes the peer's liveness clock. A CRC failure
+// tears the connection down; the retransmission protocol then recovers the
+// frame instead of ever delivering corrupt bits.
+func (p *peer) readLoop(conn net.Conn, gen int) {
+	t := p.t
+	var scratch []byte
+	for {
+		f, err := readFrame(conn, &scratch)
+		if err != nil {
+			if err == errCRC {
+				t.ctr.crcErrors.Add(1)
+			}
+			p.connLost(gen, err)
+			return
+		}
+		p.mu.Lock()
+		if p.gen != gen {
+			p.mu.Unlock() // stale incarnation still draining its buffer
+			return
+		}
+		p.lastAlive = time.Now()
+		deliver := false
+		switch f.typ {
+		case ftData:
+			if f.seq <= p.lastRecv {
+				t.ctr.dupsDropped.Add(1) // retransmit of something delivered
+			} else {
+				p.lastRecv = f.seq
+				deliver = true
+			}
+		case ftHeartbeat:
+			p.pruneLocked(f.seq)
+		case ftBye:
+			p.departed = true
+		}
+		p.mu.Unlock()
+		t.ctr.framesRecv.Add(1)
+		if deliver {
+			t.handler.Deliver(int(f.src), int(f.tag), f.words)
+		}
+		if f.typ == ftBye {
+			p.cond.Broadcast()
+		}
+	}
+}
+
+// writeLoop drains the outbox onto one connection incarnation, in seq
+// order, starting from the rewound cursor (which makes reconnects
+// retransmit the unacknowledged tail).
+func (p *peer) writeLoop(conn net.Conn, gen int) {
+	t := p.t
+	for {
+		p.mu.Lock()
+		for p.gen == gen && p.next >= len(p.out) {
+			if t.isStopped() {
+				// Close sets stopped before its flush wait: drain what is
+				// queued, exit only once idle (teardown retires gen).
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+		}
+		if p.gen != gen {
+			p.mu.Unlock()
+			return
+		}
+		f := p.out[p.next]
+		p.next++
+		retransmit := f.seq <= p.maxWritten
+		if !retransmit {
+			p.maxWritten = f.seq
+		}
+		p.mu.Unlock()
+		if retransmit {
+			t.ctr.retransmits.Add(1)
+		}
+		if err := p.write(conn, f); err != nil {
+			p.connLost(gen, err)
+			return
+		}
+	}
+}
+
+// write puts one frame on the wire, applying the fault plan's verdict for
+// it (drop, delay, bit flip, sever-after). It is the single funnel every
+// outgoing frame passes through.
+func (p *peer) write(conn net.Conn, f frame) error {
+	t := p.t
+	buf := encodeFrame(nil, f)
+	v := t.fs.onWrite(p.rank, f.typ == ftData, len(buf))
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if v.drop {
+		return nil // the network ate it; heartbeat loss will tell
+	}
+	if v.corruptAt >= 4 && v.corruptAt < len(buf) {
+		buf[v.corruptAt] ^= 0x10 // bit flip inside the CRC-covered region
+	}
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	_, err := conn.Write(buf)
+	if err == nil {
+		t.ctr.framesSent.Add(1)
+	}
+	if v.resetAfter {
+		conn.Close() // sever: both ends see the loss and reconnect
+	}
+	return err
+}

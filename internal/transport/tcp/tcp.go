@@ -1,0 +1,423 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paralagg/internal/mpi"
+)
+
+// Config describes one rank's endpoint of the mesh.
+type Config struct {
+	// Rank is this process's rank; Peers[Rank] is its own listen address.
+	Rank int
+	// Peers lists every rank's address (host:port), indexed by rank.
+	Peers []string
+	// Listener optionally injects a pre-bound listener for Peers[Rank]
+	// (tests bind :0 first to avoid port races). New listens itself when nil.
+	Listener net.Listener
+
+	// HeartbeatEvery is the liveness beacon interval (default 100ms).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many silent intervals declare a peer dead
+	// (default 5).
+	HeartbeatMisses int
+	// DialBackoff is the first retry delay after a failed connection attempt
+	// (default 5ms), doubling up to DialBackoffMax (default 500ms) with
+	// deterministic ±50% jitter seeded by Seed.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
+	// DialAttemptTimeout bounds one TCP connect (default 1s).
+	DialAttemptTimeout time.Duration
+	// ConnectTimeout bounds full mesh establishment in Start (default 10s).
+	ConnectTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s); an expired
+	// write severs the connection and retransmission takes over.
+	WriteTimeout time.Duration
+	// FlushTimeout bounds how long a graceful Close waits for queued frames
+	// to drain (default 5s).
+	FlushTimeout time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+	// Faults injects deterministic wire faults (chaos testing). nil = clean.
+	Faults *NetFaultPlan
+}
+
+func (c Config) withDefaults() Config {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d <= 0 {
+			*d = v
+		}
+	}
+	def(&c.HeartbeatEvery, 100*time.Millisecond)
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 5
+	}
+	def(&c.DialBackoff, 5*time.Millisecond)
+	def(&c.DialBackoffMax, 500*time.Millisecond)
+	def(&c.DialAttemptTimeout, time.Second)
+	def(&c.ConnectTimeout, 10*time.Second)
+	def(&c.WriteTimeout, 10*time.Second)
+	def(&c.FlushTimeout, 5*time.Second)
+	return c
+}
+
+// netCounters are the transport's robustness meters (lock-free, monotonic).
+type netCounters struct {
+	framesSent, framesRecv     atomic.Int64
+	dialRetries, reconnects    atomic.Int64
+	retransmits, dupsDropped   atomic.Int64
+	heartbeatMisses, crcErrors atomic.Int64
+}
+
+// Transport is one rank's endpoint of a TCP-connected world. It implements
+// mpi.Transport; build one per rank per run (like worlds, transports are
+// single-shot).
+type Transport struct {
+	cfg     Config
+	self    int
+	size    int
+	ln      net.Listener
+	fs      *faultState
+	ctr     netCounters
+	handler mpi.Handler
+
+	peers []*peer // nil at self index
+
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// New builds (and binds) a transport endpoint. Connections are established
+// by Start.
+func New(cfg Config) (*Transport, error) {
+	cfg = cfg.withDefaults()
+	size := len(cfg.Peers)
+	if size < 1 {
+		return nil, fmt.Errorf("tcp: empty peer list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= size {
+		return nil, fmt.Errorf("tcp: rank %d out of range [0, %d)", cfg.Rank, size)
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Peers[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("tcp: rank %d listen %s: %w", cfg.Rank, cfg.Peers[cfg.Rank], err)
+		}
+	}
+	t := &Transport{
+		cfg:   cfg,
+		self:  cfg.Rank,
+		size:  size,
+		ln:    ln,
+		fs:    newFaultState(cfg.Faults, cfg.Rank),
+		peers: make([]*peer, size),
+		stop:  make(chan struct{}),
+	}
+	for r := 0; r < size; r++ {
+		if r != t.self {
+			t.peers[r] = newPeer(t, r)
+		}
+	}
+	return t, nil
+}
+
+// Self implements mpi.Transport.
+func (t *Transport) Self() int { return t.self }
+
+// Size implements mpi.Transport.
+func (t *Transport) Size() int { return t.size }
+
+// Addr returns the bound listen address (useful with :0 listeners).
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Net implements mpi.Transport.
+func (t *Transport) Net() mpi.NetStats {
+	return mpi.NetStats{
+		FramesSent:      t.ctr.framesSent.Load(),
+		FramesRecv:      t.ctr.framesRecv.Load(),
+		DialRetries:     t.ctr.dialRetries.Load(),
+		Reconnects:      t.ctr.reconnects.Load(),
+		Retransmits:     t.ctr.retransmits.Load(),
+		DupsDropped:     t.ctr.dupsDropped.Load(),
+		HeartbeatMisses: t.ctr.heartbeatMisses.Load(),
+		CRCErrors:       t.ctr.crcErrors.Load(),
+	}
+}
+
+func (t *Transport) isStopped() bool { return t.stopped.Load() }
+
+// Start implements mpi.Transport: it spins up the accept loop, dials every
+// lower-ranked peer (higher ranks dial, lower ranks accept — one duplex
+// connection per pair), and blocks until the full mesh is up or
+// ConnectTimeout expires. Heartbeats and the failure monitor start once the
+// mesh is established.
+func (t *Transport) Start(h mpi.Handler) error {
+	if h == nil {
+		return errors.New("tcp: Start needs a handler")
+	}
+	t.handler = h
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for _, p := range t.peers {
+		if p != nil && p.dialer {
+			t.wg.Add(1)
+			go func(p *peer) {
+				defer t.wg.Done()
+				p.connectLoop()
+			}(p)
+		}
+	}
+	deadline := time.NewTimer(t.cfg.ConnectTimeout)
+	defer deadline.Stop()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.firstConn:
+		case <-t.stop:
+			return errors.New("tcp: transport closed during mesh establishment")
+		case <-deadline.C:
+			return fmt.Errorf("tcp: rank %d: peer %d unreachable after %v: %w",
+				t.self, p.rank, t.cfg.ConnectTimeout, mpi.ErrPeerUnreachable)
+		}
+	}
+	t.wg.Add(2)
+	go t.heartbeatLoop()
+	go t.monitorLoop()
+	return nil
+}
+
+// Send implements mpi.Transport: the frame is queued in the destination's
+// outbox (retained until acknowledged, so reconnects can retransmit it)
+// and written asynchronously. Sends to a cleanly departed peer are dropped;
+// sends to a failed peer error.
+func (t *Transport) Send(dest, tag int, words []mpi.Word) error {
+	if dest < 0 || dest >= t.size || dest == t.self {
+		return fmt.Errorf("tcp: send to invalid rank %d", dest)
+	}
+	if t.isStopped() {
+		return errors.New("tcp: transport closed")
+	}
+	p := t.peers[dest]
+	cp := make([]mpi.Word, len(words))
+	copy(cp, words)
+	p.mu.Lock()
+	if p.failed {
+		p.mu.Unlock()
+		return fmt.Errorf("tcp: rank %d is dead: %w", dest, mpi.ErrPeerUnreachable)
+	}
+	if p.departed {
+		// The peer finished its run and said goodbye; by the collective
+		// ordering discipline it cannot need anything more from us.
+		p.mu.Unlock()
+		return nil
+	}
+	p.seq++
+	p.out = append(p.out, frame{typ: ftData, src: uint32(t.self), tag: int64(tag), seq: p.seq, words: cp})
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	return nil
+}
+
+// acceptLoop admits incoming connections and routes them to their peer
+// after the hello handshake.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func(conn net.Conn) {
+			defer t.wg.Done()
+			t.serveConn(conn)
+		}(conn)
+	}
+}
+
+// serveConn performs the acceptor half of the handshake: read the dialer's
+// hello (rank + its receive position), answer with ours, and attach.
+func (t *Transport) serveConn(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(t.cfg.ConnectTimeout))
+	var scratch []byte
+	hello, err := readFrame(conn, &scratch)
+	if err != nil || hello.typ != ftHello || hello.tag != helloMagic ||
+		int(hello.src) >= t.size || int(hello.src) == t.self {
+		conn.Close()
+		return
+	}
+	p := t.peers[hello.src]
+	if t.fs.partitioned(p.rank) {
+		conn.Close() // a partitioned peer cannot complete a handshake
+		return
+	}
+	p.mu.Lock()
+	ack := p.lastRecv
+	p.mu.Unlock()
+	reply := encodeFrame(nil, frame{typ: ftHello, src: uint32(t.self), tag: helloMagic, seq: ack})
+	if _, err := conn.Write(reply); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	p.attach(conn, hello.seq)
+}
+
+// heartbeatLoop beacons liveness (and the cumulative ack) to every
+// connected peer.
+func (t *Transport) heartbeatLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+		}
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			conn, gen, ack := p.conn, p.gen, p.lastRecv
+			skip := p.departed || p.failed
+			p.mu.Unlock()
+			if conn == nil || skip {
+				continue
+			}
+			hb := frame{typ: ftHeartbeat, src: uint32(t.self), seq: ack}
+			if err := p.write(conn, hb); err != nil {
+				p.connLost(gen, err)
+			}
+		}
+	}
+}
+
+// monitorLoop is the failure detector: a peer silent (no frames of any
+// kind) for longer than HeartbeatEvery×HeartbeatMisses is declared dead,
+// once, to the handler — the same structured failure path the in-process
+// watchdog feeds.
+func (t *Transport) monitorLoop() {
+	defer t.wg.Done()
+	window := t.cfg.HeartbeatEvery * time.Duration(t.cfg.HeartbeatMisses)
+	tick := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			silent := now.Sub(p.lastAlive)
+			dead := !p.departed && !p.failed && silent > window
+			miss := !p.departed && !p.failed && silent > t.cfg.HeartbeatEvery
+			if dead {
+				p.failed = true
+			}
+			conn := p.conn
+			p.mu.Unlock()
+			if miss {
+				t.ctr.heartbeatMisses.Add(1)
+			}
+			if dead {
+				if conn != nil {
+					conn.Close()
+				}
+				p.cond.Broadcast()
+				t.handler.PeerFailed(p.rank, fmt.Errorf(
+					"tcp: rank %d silent for %v (> %d×%v): %w",
+					p.rank, silent.Round(time.Millisecond), t.cfg.HeartbeatMisses,
+					t.cfg.HeartbeatEvery, mpi.ErrPeerUnreachable))
+			}
+		}
+	}
+}
+
+// Close implements mpi.Transport: drain queued frames (bounded by
+// FlushTimeout), tell every peer this rank departed cleanly, then tear
+// everything down. Use Kill to model a crash instead.
+func (t *Transport) Close() error {
+	if !t.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Drain: wait until every live peer's outbox is fully written.
+	deadline := time.Now().Add(t.cfg.FlushTimeout)
+	for time.Now().Before(deadline) {
+		drained := true
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			if !p.departed && !p.failed && p.next < len(p.out) {
+				drained = false
+			}
+			p.mu.Unlock()
+		}
+		if drained {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Say goodbye so closed connections are not mistaken for a crash.
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		conn, ack := p.conn, p.lastRecv
+		p.mu.Unlock()
+		if conn != nil {
+			p.write(conn, frame{typ: ftBye, src: uint32(t.self), seq: ack})
+		}
+	}
+	t.teardown()
+	return nil
+}
+
+// Kill tears the endpoint down abruptly — no flush, no goodbye — exactly
+// what a crashed process looks like from the outside: peers lose the
+// connection, fail to reconnect, and declare this rank dead by heartbeat.
+func (t *Transport) Kill() {
+	if !t.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	t.teardown()
+}
+
+func (t *Transport) teardown() {
+	close(t.stop)
+	t.ln.Close()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		conn := p.conn
+		p.conn = nil
+		p.gen++
+		p.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		p.cond.Broadcast()
+	}
+	t.wg.Wait()
+}

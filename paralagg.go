@@ -84,6 +84,15 @@ type Config struct {
 	// Cost overrides the simulated-time cost model (zero value = default).
 	Cost metrics.CostModel
 
+	// Transport runs the execution distributed: this process hosts rank
+	// Transport.Self() of a Transport.Size()-rank world over a real wire
+	// (internal/transport/tcp provides one). Every participating process
+	// must call Exec with the same program, config, and deterministic load;
+	// Ranks is ignored in favor of Transport.Size(). The caller owns the
+	// transport and closes it after Exec returns. nil (the default) runs
+	// every rank in-process.
+	Transport Transport
+
 	// Faults injects a deterministic fault schedule into the runtime
 	// (testing and chaos experiments). nil runs fault-free.
 	Faults *FaultPlan
@@ -232,7 +241,13 @@ type Result struct {
 // sequences of collective operations on every rank.
 func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank) error) (*Result, error) {
 	size := cfg.ranks()
-	world := mpi.NewWorld(size)
+	var world *mpi.World
+	if cfg.Transport != nil {
+		size = cfg.Transport.Size()
+		world = mpi.NewDistributedWorld(cfg.Transport)
+	} else {
+		world = mpi.NewWorld(size)
+	}
 	if cfg.Faults != nil {
 		world.SetFaultPlan(cfg.Faults)
 	}
@@ -247,7 +262,11 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 		MaxIters: cfg.MaxIters, Adaptive: cfg.Adaptive,
 		CheckpointEvery: cfg.CheckpointEvery, Checkpoints: cfg.Checkpoints,
 	}
-	err := world.Run(func(c *mpi.Comm) error {
+	// In-process worlds record results once, on rank 0's goroutine. A
+	// distributed world hosts a single rank per process, so every process
+	// records its own copy — the values are collective-derived and identical.
+	record := func(c *mpi.Comm) bool { return c.Rank() == 0 || world.Distributed() }
+	body := func(c *mpi.Comm) error {
 		inst, err := prog.Instantiate(c, mc, runCfg)
 		if err != nil {
 			return err
@@ -267,17 +286,16 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 		} else {
 			stats = inst.Run(runCfg)
 		}
-		if c.Rank() == 0 {
+		if record(c) {
 			res.StratumIters = stats.StratumIters
 			res.Iterations = stats.TotalIters
 		}
-		// Gather final sizes (collective; identical on all ranks, rank 0
-		// records).
+		// Gather final sizes (collective; identical on all ranks).
 		names := prog.RelationNames()
 		sort.Strings(names)
 		for _, n := range names {
 			count := inst.Relation(n).GlobalFullCount()
-			if c.Rank() == 0 {
+			if record(c) {
 				res.Counts[n] = count
 			}
 		}
@@ -287,7 +305,13 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 			}
 		}
 		return nil
-	})
+	}
+	var err error
+	if world.Distributed() {
+		err = world.RunLocal(body)
+	} else {
+		err = world.Run(body)
+	}
 	if err != nil {
 		return nil, err
 	}
