@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet chaos chaos-net verify
+.PHONY: build test race vet chaos chaos-net verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,16 @@ chaos-net:
 # here, not style).
 verify: vet
 	$(GO) test -race ./...
+
+# bench runs the hot-path benchmark suite (end-to-end SSSP/CC fixpoints at
+# 1/4/8 ranks plus the accumulator microbenchmarks) with allocation
+# accounting and records the trajectory in BENCH_hotpath.json.
+bench:
+	$(GO) test -run '^$$' -bench 'Hotpath|AccInsert|SetDedup' -benchmem -benchtime 50x ./... \
+		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+
+# bench-smoke is the CI variant: one iteration per benchmark, just to prove
+# the suite still runs and reports.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Hotpath|AccInsert|SetDedup' -benchmem -benchtime 1x ./... \
+		| $(GO) run ./cmd/benchjson

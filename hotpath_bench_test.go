@@ -1,0 +1,50 @@
+package paralagg_test
+
+// End-to-end hot-path benchmarks: SSSP and CC fixpoints on a deterministic
+// grid at 1/4/8 ranks, with -benchmem allocation accounting. These are the
+// workloads BENCH_hotpath.json tracks (`make bench`); the interesting
+// series is allocs/op — the Go allocator is the single-node bottleneck the
+// wordmap/arena storage layer exists to remove (cf. the shared-nothing join
+// study's finding that buffer management, not the network, caps single-node
+// scaling).
+
+import (
+	"testing"
+
+	"paralagg"
+	"paralagg/internal/graph"
+	"paralagg/internal/queries"
+)
+
+// hotpathGraph is sized so a fixpoint runs ~20 iterations in a few
+// milliseconds: big enough to reach steady state, small enough for
+// -benchtime=1x CI smoke runs.
+func hotpathGraph() *graph.Graph {
+	return graph.Grid("hotpath-grid", 24, 24, 8, 11)
+}
+
+func benchHotpath(b *testing.B, query string, ranks int) {
+	g := hotpathGraph()
+	sources := []uint64{0, 5}
+	cfg := paralagg.Config{Ranks: ranks, Subs: 2, Plan: paralagg.Dynamic}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if query == "sssp" {
+			_, err = queries.RunSSSP(g, sources, cfg)
+		} else {
+			_, err = queries.RunCC(g, cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotpathSSSPRanks1(b *testing.B) { benchHotpath(b, "sssp", 1) }
+func BenchmarkHotpathSSSPRanks4(b *testing.B) { benchHotpath(b, "sssp", 4) }
+func BenchmarkHotpathSSSPRanks8(b *testing.B) { benchHotpath(b, "sssp", 8) }
+func BenchmarkHotpathCCRanks1(b *testing.B)   { benchHotpath(b, "cc", 1) }
+func BenchmarkHotpathCCRanks4(b *testing.B)   { benchHotpath(b, "cc", 4) }
+func BenchmarkHotpathCCRanks8(b *testing.B)   { benchHotpath(b, "cc", 8) }

@@ -29,6 +29,18 @@ type Tree struct {
 // New returns an empty tree.
 func New() *Tree { return &Tree{} }
 
+// Reset empties the tree in place, retaining the root node's item and child
+// slices for reuse so a tree that is emptied and refilled every iteration
+// (the relation layer's Δ versions) settles into steady-state allocation.
+// Interior nodes are released to the collector.
+func (t *Tree) Reset() {
+	if t.root != nil {
+		t.root.items = t.root.items[:0]
+		t.root.children = t.root.children[:0]
+	}
+	t.size = 0
+}
+
 type node struct {
 	items    []tuple.Tuple
 	children []*node

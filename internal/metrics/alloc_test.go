@@ -1,0 +1,38 @@
+package metrics
+
+import "testing"
+
+// TestTrackAllocsCountsPhaseAllocations verifies the gated allocation
+// counter: with TrackAllocs set, a phase that allocates reports a positive
+// Sample.Allocs that flows through Record into the report totals; with it
+// unset, Allocs stays zero.
+func TestTrackAllocsCountsPhaseAllocations(t *testing.T) {
+	defer func() { TrackAllocs = false }()
+
+	TrackAllocs = false
+	timer := StartTimer()
+	sink = make([]byte, 4096)
+	if s := timer.Done(1, 0, 0); s.Allocs != 0 {
+		t.Fatalf("Allocs=%d with TrackAllocs off, want 0", s.Allocs)
+	}
+
+	TrackAllocs = true
+	timer = StartTimer()
+	for i := 0; i < 8; i++ {
+		sink = make([]byte, 4096)
+	}
+	s := timer.Done(1, 0, 0)
+	if s.Allocs <= 0 {
+		t.Fatalf("Allocs=%d with TrackAllocs on, want > 0", s.Allocs)
+	}
+
+	c := NewCollector(1)
+	c.Record(0, 0, PhaseLocalAgg, s)
+	r := c.BuildReport(DefaultCostModel)
+	if r.Phases[PhaseLocalAgg].Allocs != s.Allocs {
+		t.Fatalf("report Allocs=%d, want %d", r.Phases[PhaseLocalAgg].Allocs, s.Allocs)
+	}
+}
+
+// sink defeats dead-store elimination of the measured allocations.
+var sink []byte

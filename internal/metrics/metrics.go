@@ -14,10 +14,20 @@ package metrics
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 )
+
+// TrackAllocs enables per-phase heap-allocation accounting: when set before
+// a run, every Timer captures runtime.MemStats.Mallocs at start and finish
+// and the delta lands in Sample.Allocs. It is off by default because
+// ReadMemStats briefly stops the world — enable it only for allocation
+// profiling runs, never while timing. The counter is process-wide, so with
+// more than one rank goroutine the per-phase attribution is approximate
+// (totals remain exact).
+var TrackAllocs bool
 
 // Phase identifies one stage of an iteration, in the order the paper's
 // Figure 1 presents them.
@@ -67,10 +77,11 @@ func (p Phase) String() string {
 
 // Sample is one rank's accounting for one phase of one iteration.
 type Sample struct {
-	Work  int64         // abstract work units: probes, comparisons, inserts
-	Bytes int64         // payload bytes this rank moved in the phase
-	Msgs  int64         // messages / collective participations
-	CPU   time.Duration // measured host time in the phase
+	Work   int64         // abstract work units: probes, comparisons, inserts
+	Bytes  int64         // payload bytes this rank moved in the phase
+	Msgs   int64         // messages / collective participations
+	CPU    time.Duration // measured host time in the phase
+	Allocs int64         // heap allocations in the phase (TrackAllocs only)
 }
 
 // Add accumulates s2 into s.
@@ -79,6 +90,7 @@ func (s *Sample) Add(s2 Sample) {
 	s.Bytes += s2.Bytes
 	s.Msgs += s2.Msgs
 	s.CPU += s2.CPU
+	s.Allocs += s2.Allocs
 }
 
 // CostModel converts a Sample to simulated nanoseconds. The defaults model a
@@ -147,14 +159,34 @@ func (c *Collector) Record(rank, iter int, phase Phase, s Sample) {
 
 // Timer helps a rank meter a phase: t := StartTimer(); ... ;
 // c.Record(rank, iter, phase, t.Done(work, bytes, msgs)).
-type Timer struct{ start time.Time }
+type Timer struct {
+	start   time.Time
+	mallocs uint64 // MemStats.Mallocs at start (TrackAllocs only)
+}
+
+// mallocCount reads the process-wide cumulative allocation counter.
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
 
 // StartTimer begins timing a phase.
-func StartTimer() Timer { return Timer{start: time.Now()} }
+func StartTimer() Timer {
+	t := Timer{start: time.Now()}
+	if TrackAllocs {
+		t.mallocs = mallocCount()
+	}
+	return t
+}
 
 // Done finishes the timer and packages the counters into a Sample.
 func (t Timer) Done(work, bytes, msgs int64) Sample {
-	return Sample{Work: work, Bytes: bytes, Msgs: msgs, CPU: time.Since(t.start)}
+	s := Sample{Work: work, Bytes: bytes, Msgs: msgs, CPU: time.Since(t.start)}
+	if TrackAllocs {
+		s.Allocs = int64(mallocCount() - t.mallocs)
+	}
+	return s
 }
 
 // PhaseTotal is a phase's aggregate across a run.
@@ -171,6 +203,9 @@ type PhaseTotal struct {
 	// Bytes and Msgs total the communication in the phase.
 	Bytes int64
 	Msgs  int64
+	// Allocs totals heap allocations attributed to the phase across ranks
+	// (zero unless the run had TrackAllocs set).
+	Allocs int64
 }
 
 // Report is the run-level summary derived from a Collector.
@@ -212,6 +247,7 @@ func (c *Collector) BuildReport(m CostModel) *Report {
 				pt.CPU += s.CPU
 				pt.Bytes += s.Bytes
 				pt.Msgs += s.Msgs
+				pt.Allocs += s.Allocs
 			}
 			r.Phases[p].CriticalNS += maxCost
 			r.IterCriticalNS[it][p] = maxCost
@@ -236,8 +272,12 @@ func (r *Report) String() string {
 		if pt.SumNS == 0 && pt.Bytes == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  %-12s crit=%9.3fms sum=%9.3fms bytes=%d msgs=%d\n",
+		fmt.Fprintf(&b, "  %-12s crit=%9.3fms sum=%9.3fms bytes=%d msgs=%d",
 			pt.Phase, pt.CriticalNS/1e6, pt.SumNS/1e6, pt.Bytes, pt.Msgs)
+		if pt.Allocs > 0 {
+			fmt.Fprintf(&b, " allocs=%d", pt.Allocs)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

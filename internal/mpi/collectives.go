@@ -78,6 +78,9 @@ func (c *Comm) Barrier() {
 		c.distBarrier()
 		return
 	}
+	if c.world.size == 1 {
+		return
+	}
 	c.world.coll.run(c.world, c.rank, "barrier", unit{}, func([]interface{}) interface{} { return unit{} })
 }
 
@@ -119,6 +122,11 @@ func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
 	if c.world.dist != nil {
 		return c.distAllreduce(v, op)
 	}
+	if c.world.size == 1 {
+		// Single-rank worlds skip the slot (and the interface boxing it
+		// costs): the reduction of one contribution is the contribution.
+		return v
+	}
 	res := c.world.coll.run(c.world, c.rank, "allreduce", v, func(contribs []interface{}) interface{} {
 		acc := contribs[0].(uint64)
 		for _, x := range contribs[1:] {
@@ -136,6 +144,9 @@ func (c *Comm) Allgather(v uint64) []uint64 {
 	c.world.stats.addCollective(c.rank, "allgather", WordBytes)
 	if c.world.dist != nil {
 		return c.distAllgather(v)
+	}
+	if c.world.size == 1 {
+		return []uint64{v}
 	}
 	res := c.world.coll.run(c.world, c.rank, "allgather", v, func(contribs []interface{}) interface{} {
 		out := make([]uint64, len(contribs))
@@ -163,6 +174,9 @@ func (c *Comm) Bcast(root int, words []Word) []Word {
 	if c.world.dist != nil {
 		return c.distBcast(root, words)
 	}
+	if c.world.size == 1 {
+		return words
+	}
 	res := c.world.coll.run(c.world, c.rank, kind, contribution, func(contribs []interface{}) interface{} {
 		w, ok := contribs[root].([]Word)
 		if !ok {
@@ -186,7 +200,12 @@ func (c *Comm) Bcast(root int, words []Word) []Word {
 // Alltoallv performs the personalized all-to-all exchange at the heart of
 // tuple redistribution: send[j] goes to rank j; the return value's entry i
 // holds the words received from rank i. The diagonal (self) transfer is
-// local and not metered. Received slices are private copies.
+// local and not metered.
+//
+// Ownership: off-diagonal received rows are private copies, but the outer
+// slice (and, as always in MPI, the diagonal row, which is handed off from
+// send) is recycled on this rank's next Alltoallv call — consume the result
+// before calling again, as a real MPI receive buffer would require.
 func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 	c.enter("alltoallv")
 	if len(send) != c.world.size {
@@ -202,6 +221,11 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 	c.world.stats.addCollective(c.rank, "alltoallv", bytes)
 	if c.world.dist != nil {
 		return c.distAlltoallv(send)
+	}
+	if c.world.size == 1 {
+		recv := c.recvHeader(1)
+		recv[0] = send[0] // local hand-off, as on the multi-rank diagonal
+		return recv
 	}
 	res := c.world.coll.run(c.world, c.rank, "alltoallv", send, func(contribs []interface{}) interface{} {
 		// Snapshot every off-diagonal payload at the synchronization point:
@@ -227,7 +251,10 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 		return matrix
 	})
 	matrix := res.([][][]Word)
-	recv := make([][]Word, c.world.size)
+	// The last arriver has fully read every contribution (including this
+	// rank's recycled header, when the caller fed a previous result back in)
+	// before any rank resumes, so reusing the header here is race-free.
+	recv := c.recvHeader(c.world.size)
 	for i := 0; i < c.world.size; i++ {
 		recv[i] = matrix[i][c.rank]
 	}
@@ -243,6 +270,9 @@ func (c *Comm) AllgatherV(words []Word) [][]Word {
 	c.world.stats.addCollective(c.rank, "allgatherv", len(words)*WordBytes*(c.world.size-1))
 	if c.world.dist != nil {
 		return c.distAllgatherV(words)
+	}
+	if c.world.size == 1 {
+		return [][]Word{words}
 	}
 	res := c.world.coll.run(c.world, c.rank, "allgatherv", words, func(contribs []interface{}) interface{} {
 		// Snapshot each contribution (see Alltoallv): the owner may reuse
@@ -278,6 +308,9 @@ func (c *Comm) Gather(root int, v uint64) []uint64 {
 	c.world.stats.addCollective(c.rank, "gather", WordBytes)
 	if c.world.dist != nil {
 		return c.distGatherWord(root, v)
+	}
+	if c.world.size == 1 {
+		return []uint64{v}
 	}
 	res := c.world.coll.run(c.world, c.rank, "gather", v, func(contribs []interface{}) interface{} {
 		out := make([]uint64, len(contribs))

@@ -325,6 +325,21 @@ type Comm struct {
 	world   *World
 	rank    int
 	sendSeq []int // per-destination p2p sequence numbers (fault determinism)
+
+	// recvRows is the reusable per-rank header for Alltoallv results: the
+	// outer slice is recycled across calls (the payload rows it points at
+	// are still private per call). See Alltoallv's ownership contract.
+	recvRows [][]Word
+}
+
+// recvHeader returns the rank-private outer slice for a vector collective
+// result, recycled across calls.
+func (c *Comm) recvHeader(size int) [][]Word {
+	if cap(c.recvRows) < size {
+		c.recvRows = make([][]Word, size)
+	}
+	c.recvRows = c.recvRows[:size]
+	return c.recvRows
 }
 
 // Rank returns this rank's id in [0, Size).

@@ -1,0 +1,71 @@
+package ra
+
+// Steady-state allocation regression: once a fixpoint has converged, running
+// one more iteration — rule-variant dispatch, head materialization (empty
+// pending still exchanges, flips Δ versions, and agrees on the changed
+// count), and the fixpoint decision — must not allocate at all on a
+// single-rank world. This pins the whole reuse chain: the Fixpoint's
+// prepared pending buffers, the relation exchange scratch, the word-map
+// accumulator, and the single-rank collective fast paths.
+
+import (
+	"testing"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+func TestSteadyStateIterationAllocFree(t *testing.T) {
+	es := randGraph(40, 160, 17, 5)
+	w := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(1)
+		edgeRel, err := relation.New(relation.Schema{Name: "edge", Arity: 3, Indep: 3, Key: 1}, c, mc, relation.Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		sp, err := relation.New(relation.Schema{Name: "spath", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}}, c, mc, relation.Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		spMid, err := sp.AddIndex([]int{1, 0, 2}, 1)
+		if err != nil {
+			return err
+		}
+		edgeRel.LoadShare(len(es), func(i int, emit func(tuple.Tuple)) {
+			emit(tuple.Tuple{es[i].u, es[i].v, es[i].w})
+		})
+		seed := tuple.NewBuffer(3, 1)
+		seed.Append(tuple.Tuple{0, 0, 0})
+		sp.LoadFacts(seed)
+
+		join := &Join{
+			Name: "spath(f,t,min(l+w)) <- spath(f,m,l), edge(m,t,w)",
+			Left: spMid, LeftRel: sp,
+			Right: edgeRel.Canonical(), RightRel: edgeRel,
+			Head: sp, JK: 1,
+			Emit: func(l, r tuple.Tuple, out func(tuple.Tuple)) {
+				out(tuple.Tuple{l[1], r[1], l[2] + r[2]})
+			},
+		}
+		fx := NewFixpoint(c, mc, join)
+		opts := Options{Plan: PlanDynamic}
+		fx.Run(opts) // converge; scratch is warm from the live iterations
+
+		// At the fixpoint, another Run performs exactly one (empty)
+		// iteration and stops: nothing changed, so nothing may allocate.
+		allocs := testing.AllocsPerRun(50, func() {
+			fx.Run(opts)
+		})
+		if allocs != 0 {
+			t.Errorf("steady-state fixpoint iteration: %v allocs/op, want 0", allocs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

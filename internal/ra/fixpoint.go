@@ -135,6 +135,16 @@ type Fixpoint struct {
 	Rules []Rule
 
 	heads []*relation.Relation
+
+	// Iteration scratch, built lazily by prepare() and reused across every
+	// iteration and every Run/Resume call: the body-only (EDB) relation
+	// list, the full relation list rebalancing scans, and one pending
+	// tuple buffer per head. Hoisting these out of the loop keeps the
+	// steady-state iteration allocation-free.
+	prepared bool
+	bodyOnly []*relation.Relation
+	allRels  []*relation.Relation
+	pending  map[*relation.Relation]*tuple.Buffer
 }
 
 // NewFixpoint assembles a stratum from compiled rules.
@@ -345,41 +355,62 @@ func (f *Fixpoint) restoreSnapshot(opts Options, words []mpi.Word) error {
 	return nil
 }
 
+// prepare builds the loop-invariant iteration scratch once per Fixpoint.
+// It is lazy (not folded into NewFixpoint) because tests and tools build
+// Fixpoint values directly with struct literals.
+func (f *Fixpoint) prepare() {
+	if f.prepared {
+		return
+	}
+	f.prepared = true
+	f.bodyOnly = f.bodyOnlyRels()
+	f.allRels = append(append([]*relation.Relation(nil), f.heads...), f.bodyOnly...)
+	f.pending = make(map[*relation.Relation]*tuple.Buffer, len(f.heads))
+	for _, h := range f.heads {
+		f.pending[h] = tuple.NewBuffer(h.Arity, 64)
+	}
+}
+
+// step executes one fixpoint iteration: run every applicable kernel
+// variant, materialize every head, flip Δ of consumed EDBs, and return the
+// global changed count. Collective; prepare must have run.
+func (f *Fixpoint) step(opts Options, iter int) uint64 {
+	// Publish the iteration to the fault layer: injected faults target
+	// it and failure reports carry it.
+	f.Comm.SetEpoch(iter)
+	if opts.AdaptiveBalance {
+		f.rebalance(iter, f.allRels, opts)
+	}
+	for _, h := range f.heads {
+		f.pending[h].Reset()
+	}
+	for _, r := range f.Rules {
+		r.RunVariants(iter, opts.Plan, f.MC, f.pending[r.HeadRel()])
+	}
+	changed := uint64(0)
+	for _, h := range f.heads {
+		changed += h.Materialize(iter, f.pending[h], true)
+	}
+	// Flip Δ of body-only relations after their facts have been
+	// consumed once.
+	for _, b := range f.bodyOnly {
+		if b.ChangedLast() > 0 {
+			b.Materialize(iter, nil, false)
+		}
+	}
+	if opts.AfterIteration != nil {
+		opts.AfterIteration(iter, changed)
+	}
+	return changed
+}
+
 // run is the shared fixpoint loop, entered at startIter (0 for a fresh run,
 // the checkpoint's completed-iteration count for a resume).
 func (f *Fixpoint) run(opts Options, startIter int) int {
+	f.prepare()
 	iter := startIter
-	bodyOnly := f.bodyOnlyRels()
-	allRels := append(append([]*relation.Relation(nil), f.heads...), bodyOnly...)
-
 	for {
-		// Publish the iteration to the fault layer: injected faults target
-		// it and failure reports carry it.
-		f.Comm.SetEpoch(iter)
-		if opts.AdaptiveBalance {
-			f.rebalance(iter, allRels, opts)
-		}
-		pending := make(map[*relation.Relation]*tuple.Buffer, len(f.heads))
-		for _, h := range f.heads {
-			pending[h] = tuple.NewBuffer(h.Arity, 64)
-		}
-		for _, r := range f.Rules {
-			r.RunVariants(iter, opts.Plan, f.MC, pending[r.HeadRel()])
-		}
-		changed := uint64(0)
-		for _, h := range f.heads {
-			changed += h.Materialize(iter, pending[h], true)
-		}
-		// Flip Δ of body-only relations after their facts have been
-		// consumed once.
-		for _, b := range bodyOnly {
-			if b.ChangedLast() > 0 {
-				b.Materialize(iter, nil, false)
-			}
-		}
-		if opts.AfterIteration != nil {
-			opts.AfterIteration(iter, changed)
-		}
+		changed := f.step(opts, iter)
 		iter++
 		if changed == 0 {
 			return iter

@@ -1,0 +1,303 @@
+package ra
+
+// Checkpoint cross-version compatibility. The files under
+// testdata/golden-2rank were written by the string-keyed-map snapshot
+// encoder that predates the wordmap storage refactor (PR 4); the tests here
+// restore them through the current decode paths — same-size and elastic
+// remap — and require the restored relations to match a live twin loaded
+// through the normal materialization path. Any change to the snapshot
+// word layout breaks these tests, which is the point: checkpoints written
+// by released binaries must keep resuming.
+//
+// To regenerate the fixture after an INTENTIONAL format change (requires a
+// matching format-version bump and migration story):
+//
+//	PARALAGG_WRITE_GOLDEN=1 go test ./internal/ra -run TestGoldenCheckpoint -v
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+const (
+	goldenDir     = "testdata/golden-2rank"
+	goldenRanks   = 2
+	goldenStratum = 0
+	goldenIter    = 2
+)
+
+// buildGoldenRels constructs the fixture's three relations — aggregated,
+// set, and leaky — identically on every rank.
+func buildGoldenRels(t *testing.T, c *mpi.Comm, mc *metrics.Collector) []*relation.Relation {
+	t.Helper()
+	sp, err := relation.New(relation.Schema{Name: "g_sp", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}},
+		c, mc, relation.Config{Subs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.AddIndex([]int{1, 0, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := relation.New(relation.Schema{Name: "g_edge", Arity: 2, Indep: 2, Key: 1},
+		c, mc, relation.Config{Subs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edge.AddIndex([]int{1, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	leaky, err := relation.New(relation.Schema{Name: "g_leaky", Arity: 3, Indep: 3, Key: 2},
+		c, mc, relation.Config{Leaky: &relation.LeakySpec{Agg: lattice.Min{}, Indep: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*relation.Relation{sp, edge, leaky}
+}
+
+// loadGoldenRels drives two materialization rounds so the snapshot captures
+// a mid-fixpoint state: non-empty Δ, improved accumulator values, stale-free
+// secondary indexes, and assigned tuple ids.
+func loadGoldenRels(c *mpi.Comm, rels []*relation.Relation) {
+	sp, edge, leaky := rels[0], rels[1], rels[2]
+	rank, size := c.Rank(), c.Size()
+
+	buf := tuple.NewBuffer(3, 64)
+	for i := rank; i < 120; i += size {
+		buf.Append(tuple.Tuple{tuple.Value(i % 11), tuple.Value(i % 7), tuple.Value(200 - i)})
+	}
+	sp.Materialize(0, buf, false)
+	buf.Reset()
+	for i := rank; i < 120; i += size {
+		if i%3 == 0 { // improvements for a third of the keys
+			buf.Append(tuple.Tuple{tuple.Value(i % 11), tuple.Value(i % 7), tuple.Value(40 + i%5)})
+		}
+	}
+	sp.Materialize(1, buf, false)
+
+	ebuf := tuple.NewBuffer(2, 64)
+	for i := rank; i < 90; i += size {
+		ebuf.Append(tuple.Tuple{tuple.Value(i % 13), tuple.Value(i)})
+	}
+	edge.Materialize(0, ebuf, false)
+	ebuf.Reset()
+	for i := rank; i < 30; i += size {
+		ebuf.Append(tuple.Tuple{tuple.Value(i % 13), tuple.Value(1000 + i)})
+	}
+	edge.Materialize(1, ebuf, false)
+
+	lbuf := tuple.NewBuffer(3, 64)
+	for i := rank; i < 60; i += size {
+		lbuf.Append(tuple.Tuple{tuple.Value(i % 5), tuple.Value(i % 3), tuple.Value(100 - i)})
+	}
+	leaky.Materialize(0, lbuf, false)
+	lbuf.Reset()
+	for i := rank; i < 60; i += size {
+		lbuf.Append(tuple.Tuple{tuple.Value(i % 5), tuple.Value(i % 3), tuple.Value(80 - i)})
+	}
+	leaky.Materialize(1, lbuf, false)
+}
+
+// relFingerprint digests one relation's global contents order-independently:
+// canonical FULL, canonical Δ, every secondary index, the accumulator view,
+// and the id population.
+type relFingerprint struct {
+	Full, Delta, Acc, Sec, IDs uint64
+	Count                      uint64
+}
+
+func fpHash(t tuple.Tuple) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range t {
+		h ^= v
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+	}
+	return h
+}
+
+func fingerprint(c *mpi.Comm, r *relation.Relation) relFingerprint {
+	var fp relFingerprint
+	canon := r.Canonical()
+	canon.Full.Ascend(func(t tuple.Tuple) bool { fp.Full += fpHash(t); fp.Count++; return true })
+	canon.Delta.Ascend(func(t tuple.Tuple) bool { fp.Delta += fpHash(t); return true })
+	for _, ix := range r.Indexes()[1:] {
+		ix.Full.Ascend(func(t tuple.Tuple) bool { fp.Sec += fpHash(t); return true })
+	}
+	r.EachAcc(func(t tuple.Tuple) { fp.Acc += fpHash(t) })
+	fp.IDs = uint64(r.LocalIDCount())
+	return relFingerprint{
+		Full:  c.Allreduce(fp.Full, mpi.OpSum),
+		Delta: c.Allreduce(fp.Delta, mpi.OpSum),
+		Acc:   c.Allreduce(fp.Acc, mpi.OpSum),
+		Sec:   c.Allreduce(fp.Sec, mpi.OpSum),
+		IDs:   c.Allreduce(fp.IDs, mpi.OpSum),
+		Count: c.Allreduce(fp.Count, mpi.OpSum),
+	}
+}
+
+// TestGoldenCheckpointWrite regenerates the fixture; it is a no-op unless
+// PARALAGG_WRITE_GOLDEN=1 is set (see the file comment for when that is
+// legitimate).
+func TestGoldenCheckpointWrite(t *testing.T) {
+	if os.Getenv("PARALAGG_WRITE_GOLDEN") != "1" {
+		t.Skip("set PARALAGG_WRITE_GOLDEN=1 to regenerate the golden checkpoint")
+	}
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sink := FileCheckpointSink{Dir: goldenDir}
+	w := mpi.NewWorld(goldenRanks)
+	mc := metrics.NewCollector(goldenRanks)
+	err := w.Run(func(c *mpi.Comm) error {
+		rels := buildGoldenRels(t, c, mc)
+		loadGoldenRels(c, rels)
+		f := &Fixpoint{Comm: c, MC: mc}
+		f.checkpoint(Options{Sink: sink, Stratum: goldenStratum, SnapshotRels: rels}, goldenIter)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rk := 0; rk < goldenRanks; rk++ {
+		if _, err := os.Stat(filepath.Join(goldenDir, "rank-000"+string(rune('0'+rk))+".ckpt")); err != nil {
+			t.Fatalf("golden file for rank %d missing: %v", rk, err)
+		}
+	}
+}
+
+// TestGoldenCheckpointSameSizeRestore restores the pre-refactor fixture on a
+// world of the size that wrote it and requires the result to match a live
+// twin loaded through the normal materialization path.
+func TestGoldenCheckpointSameSizeRestore(t *testing.T) {
+	sink := FileCheckpointSink{Dir: goldenDir}
+	w := mpi.NewWorld(goldenRanks)
+	mc := metrics.NewCollector(goldenRanks)
+	err := w.Run(func(c *mpi.Comm) error {
+		restored := buildGoldenRels(t, c, mc)
+		f := &Fixpoint{Comm: c, MC: mc}
+		cp, ok, err := LatestAgreed(c, sink)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Fatal("golden checkpoint missing")
+		}
+		if cp.Ranks != goldenRanks || cp.Stratum != goldenStratum || cp.Iter != goldenIter {
+			t.Fatalf("golden position = (%d,%d,%d)", cp.Ranks, cp.Stratum, cp.Iter)
+		}
+		if err := f.restoreSnapshot(Options{SnapshotRels: restored}, cp.Words); err != nil {
+			return err
+		}
+
+		live := buildGoldenRels(t, c, mc)
+		loadGoldenRels(c, live)
+		for i, r := range restored {
+			got, want := fingerprint(c, r), fingerprint(c, live[i])
+			if got != want {
+				t.Errorf("relation %s: restored fingerprint %+v, live %+v", r.Name, got, want)
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Errorf("relation %s after golden restore: %v", r.Name, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenCheckpointElasticRestore remaps the 2-rank fixture into a 3-rank
+// world: every tuple re-hashes through the new layout and the union must
+// still match a live twin loaded at 3 ranks.
+func TestGoldenCheckpointElasticRestore(t *testing.T) {
+	sink := FileCheckpointSink{Dir: goldenDir}
+	const newRanks = 3
+	w := mpi.NewWorld(newRanks)
+	mc := metrics.NewCollector(newRanks)
+	err := w.Run(func(c *mpi.Comm) error {
+		restored := buildGoldenRels(t, c, mc)
+		f := &Fixpoint{Comm: c, MC: mc}
+		pos, ok, err := AgreedPosition(c, sink)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Fatal("golden checkpoint missing")
+		}
+		cps, err := CollectRemap(sink, pos)
+		if err != nil {
+			return err
+		}
+		// Decode a second copy of the set to compute the snapshot union each
+		// relation must come back with (remapSnapshots consumes its inputs).
+		unions := make([]relFingerprint, len(restored))
+		payloads := make([][]mpi.Word, len(cps))
+		for i := range cps {
+			payloads[i] = cps[i].Words
+		}
+		for ri, r := range restored {
+			for i := range payloads {
+				n := int(payloads[i][0])
+				s, err := r.DecodeSnapshotWords(payloads[i][1 : 1+n])
+				if err != nil {
+					return err
+				}
+				payloads[i] = payloads[i][1+n:]
+				for _, tt := range s.Trees[0][0] {
+					unions[ri].Full += fpHash(tt)
+					unions[ri].Count++
+				}
+				for _, tt := range s.Trees[0][1] {
+					unions[ri].Delta += fpHash(tt)
+				}
+				for _, tr := range s.Trees[1:] {
+					for _, tt := range tr[0] {
+						unions[ri].Sec += fpHash(tt)
+					}
+				}
+				for _, tt := range s.Acc {
+					unions[ri].Acc += fpHash(tt)
+				}
+				unions[ri].IDs += uint64(len(s.IDs))
+			}
+		}
+		if _, err := f.remapSnapshots(Options{SnapshotRels: restored}, cps); err != nil {
+			return err
+		}
+
+		// Every relation must come back with exactly the snapshot union (the
+		// remap may not lose or duplicate a single tuple)...
+		for i, r := range restored {
+			got := fingerprint(c, r)
+			if got != unions[i] {
+				t.Errorf("relation %s: remapped fingerprint %+v, snapshot union %+v", r.Name, got, unions[i])
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Errorf("relation %s after golden remap: %v", r.Name, err)
+			}
+		}
+		// ...and the placement-canonical relations (not leaky: its per-rank
+		// pruning caches are world-size dependent by design) must also match a
+		// live twin loaded directly at the new size.
+		live := buildGoldenRels(t, c, mc)
+		loadGoldenRels(c, live)
+		for i, r := range restored[:2] {
+			got, want := fingerprint(c, r), fingerprint(c, live[i])
+			if got != want {
+				t.Errorf("relation %s: remapped fingerprint %+v, live %+v", r.Name, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -104,6 +104,22 @@ type Join struct {
 	Head        *relation.Relation
 	JK          int
 	Emit        Emitter
+
+	// sendScratch holds the per-destination replication buffers, reused
+	// across variants and iterations (rank-private, like the Join itself).
+	sendScratch [][]mpi.Word
+}
+
+// sendBuf returns the per-destination buffers with every lane emptied.
+func (j *Join) sendBuf(size int) [][]mpi.Word {
+	if cap(j.sendScratch) < size {
+		j.sendScratch = make([][]mpi.Word, size)
+	}
+	j.sendScratch = j.sendScratch[:size]
+	for i := range j.sendScratch {
+		j.sendScratch[i] = j.sendScratch[i][:0]
+	}
+	return j.sendScratch
 }
 
 // nonEmptyLanes counts destinations that will actually receive data; it is
@@ -168,7 +184,7 @@ func (j *Join) Run(iter int, vl, vr Version, mode PlanMode, mc *metrics.Collecto
 	// replicate each tuple to every rank holding a sub-bucket of the
 	// inner's matching bucket.
 	timer := metrics.StartTimer()
-	send := make([][]mpi.Word, size)
+	send := j.sendBuf(size)
 	scanned := int64(0)
 	scanVersion(outerIx, outerV, func(t tuple.Tuple) bool {
 		scanned++

@@ -1,0 +1,77 @@
+package relation
+
+// Allocation regression tests for the hot materialization path. The word-map
+// accumulator, the per-relation exchange scratch, and the single-rank
+// collective fast paths together make a steady-state materialization — every
+// arriving key already resident with an equal-or-better value — completely
+// allocation-free. These tests pin that property so a future change cannot
+// silently reintroduce per-tuple garbage.
+
+import (
+	"testing"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+// TestAccInsertExistingAllocFree materializes batches whose every key is
+// already resident with a better value: the pure probe/merge path must not
+// allocate at all.
+func TestAccInsertExistingAllocFree(t *testing.T) {
+	w := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(1)
+		r, err := New(Schema{Name: "sp", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}},
+			c, mc, Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		seed := accBenchBuffer(false)
+		r.Materialize(0, seed, false)
+		probe := accBenchBuffer(true)
+		// Warm the reusable scratch (send lanes, partial table, tuple
+		// buffers) once before measuring.
+		r.Materialize(1, probe, false)
+		allocs := testing.AllocsPerRun(100, func() {
+			r.Materialize(2, probe, false)
+		})
+		if allocs != 0 {
+			t.Errorf("existing-key accumulator materialization: %v allocs/op, want 0", allocs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetDedupExistingAllocFree is the set-semantics twin: re-materializing
+// already-stored tuples is pure dedup probing and must not allocate.
+func TestSetDedupExistingAllocFree(t *testing.T) {
+	w := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(1)
+		r, err := New(Schema{Name: "edge", Arity: 2, Indep: 2, Key: 1}, c, mc, Config{Subs: 1})
+		if err != nil {
+			return err
+		}
+		buf := tuple.NewBuffer(2, accBenchKeys)
+		for k := 0; k < accBenchKeys; k++ {
+			buf.Append(tuple.Tuple{tuple.Value(k % 37), tuple.Value(k)})
+		}
+		r.Materialize(0, buf, false)
+		r.Materialize(1, buf, false)
+		allocs := testing.AllocsPerRun(100, func() {
+			r.Materialize(2, buf, false)
+		})
+		if allocs != 0 {
+			t.Errorf("existing-tuple set materialization: %v allocs/op, want 0", allocs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"paralagg/internal/btree"
 	"paralagg/internal/mpi"
 	"paralagg/internal/tuple"
+	"paralagg/internal/wordmap"
 )
 
 // Relation snapshots. A snapshot captures one rank's complete shard of a
@@ -41,20 +42,37 @@ func (r *Relation) SnapshotWords() []mpi.Word {
 			})
 		}
 	}
-	out = append(out, mpi.Word(len(r.acc)))
-	for k, dep := range r.acc {
-		out = append(out, keyValues(k)...)
-		out = append(out, dep...)
+	nAcc := 0
+	if r.acc != nil {
+		nAcc = r.acc.Len()
 	}
-	out = append(out, mpi.Word(len(r.ids)))
-	for k, id := range r.ids {
-		out = append(out, keyValues(k)...)
-		out = append(out, id)
+	out = append(out, mpi.Word(nAcc))
+	if r.acc != nil {
+		r.acc.Each(func(indep, dep []tuple.Value) bool {
+			out = append(out, indep...)
+			out = append(out, dep...)
+			return true
+		})
 	}
-	out = append(out, mpi.Word(len(r.leakyBest)))
-	for k, best := range r.leakyBest {
-		out = append(out, keyValues(k)...)
-		out = append(out, best...)
+	out = append(out, mpi.Word(r.LocalIDCount()))
+	if r.ids != nil {
+		r.ids.Each(func(key, id []tuple.Value) bool {
+			out = append(out, key...)
+			out = append(out, id[0])
+			return true
+		})
+	}
+	nLeaky := 0
+	if r.leakyBest != nil {
+		nLeaky = r.leakyBest.Len()
+	}
+	out = append(out, mpi.Word(nLeaky))
+	if r.leakyBest != nil {
+		r.leakyBest.Each(func(key, best []tuple.Value) bool {
+			out = append(out, key...)
+			out = append(out, best...)
+			return true
+		})
 	}
 	return out
 }
@@ -123,15 +141,15 @@ func (r *Relation) RestoreWords(words []mpi.Word) error {
 		return fail("accumulator entries in a set-relation snapshot")
 	}
 	if r.Agg != nil {
-		r.acc = make(map[string][]tuple.Value, nAcc)
+		r.acc = wordmap.NewWithCapacity(r.Indep, r.Dep(), nAcc)
 	}
 	for i := 0; i < nAcc; i++ {
 		e, ok := next(r.Arity)
 		if !ok {
 			return fail("truncated accumulator entry")
 		}
-		k := keyString(e[:r.Indep])
-		r.acc[k] = append([]tuple.Value(nil), e[r.Indep:]...)
+		v, _ := r.acc.Upsert(e[:r.Indep])
+		copy(v, e[r.Indep:])
 	}
 	cnt, ok = next(1)
 	if !ok {
@@ -140,14 +158,15 @@ func (r *Relation) RestoreWords(words []mpi.Word) error {
 	nIds, kw := int(cnt[0]), r.idKeyWords()
 	r.ids = nil
 	if nIds > 0 {
-		r.ids = make(map[string]uint64, nIds)
+		r.ids = wordmap.NewWithCapacity(kw, 1, nIds)
 	}
 	for i := 0; i < nIds; i++ {
 		e, ok := next(kw + 1)
 		if !ok {
 			return fail("truncated id entry")
 		}
-		r.ids[keyString(e[:kw])] = e[kw]
+		v, _ := r.ids.Upsert(e[:kw])
+		v[0] = e[kw]
 	}
 	cnt, ok = next(1)
 	if !ok {
@@ -158,14 +177,15 @@ func (r *Relation) RestoreWords(words []mpi.Word) error {
 		return fail("leaky entries in a non-leaky relation snapshot")
 	}
 	if r.leaky != nil {
-		r.leakyBest = make(map[string][]tuple.Value, nLeaky)
+		r.leakyBest = wordmap.NewWithCapacity(r.leaky.Indep, r.Arity-r.leaky.Indep, nLeaky)
 	}
 	for i := 0; i < nLeaky; i++ {
 		e, ok := next(r.Arity)
 		if !ok {
 			return fail("truncated leaky entry")
 		}
-		r.leakyBest[keyString(e[:r.leaky.Indep])] = append([]tuple.Value(nil), e[r.leaky.Indep:]...)
+		v, _ := r.leakyBest.Upsert(e[:r.leaky.Indep])
+		copy(v, e[r.leaky.Indep:])
 	}
 	if len(words) != 0 {
 		return fail(fmt.Sprintf("%d trailing words", len(words)))
@@ -173,6 +193,7 @@ func (r *Relation) RestoreWords(words []mpi.Word) error {
 	r.subs = subs
 	r.changedLast = changed
 	r.idCounter = idCounter
+	r.rebuildHomeCaches()
 	return nil
 }
 
@@ -331,6 +352,7 @@ func (r *Relation) RestoreRemapped(snaps []*Snapshot) error {
 	}
 	r.subs = snaps[0].Subs
 	r.changedLast = snaps[0].ChangedLast
+	r.rebuildHomeCaches()
 
 	// Index trees: keep every stored tuple whose new (bucket, sub) home is
 	// this rank. Placement depends only on join-key/independent columns, so
@@ -356,19 +378,13 @@ func (r *Relation) RestoreRemapped(snaps []*Snapshot) error {
 	// Accumulator: entries re-place by independent key; ⊔-merge defends
 	// against duplicate keys across shards.
 	if r.Agg != nil {
-		r.acc = make(map[string][]tuple.Value)
+		r.acc = wordmap.New(r.Indep, r.Dep())
 		for _, s := range snaps {
 			for _, t := range s.Acc {
 				if r.accPlacement(t[:r.Indep]) != r.comm.Rank() {
 					continue
 				}
-				k := keyString(t[:r.Indep])
-				dep := append([]tuple.Value(nil), t[r.Indep:]...)
-				if cur, ok := r.acc[k]; ok {
-					r.acc[k] = r.Agg.Join(cur, dep)
-				} else {
-					r.acc[k] = dep
-				}
+				r.mergeDep(r.Agg, r.acc, t[:r.Indep], t[r.Indep:])
 			}
 		}
 	}
@@ -391,9 +407,10 @@ func (r *Relation) RestoreRemapped(snaps []*Snapshot) error {
 				continue
 			}
 			if r.ids == nil {
-				r.ids = make(map[string]uint64)
+				r.ids = wordmap.New(r.idKeyWords(), 1)
 			}
-			r.ids[keyString(e.Key)] = e.ID
+			v, _ := r.ids.Upsert(e.Key)
+			v[0] = e.ID
 		}
 	}
 	if r.comm.Rank() < len(snaps) && snaps[r.comm.Rank()].IDCounter > nextCounter {
@@ -404,20 +421,14 @@ func (r *Relation) RestoreRemapped(snaps []*Snapshot) error {
 	// Leaky partial bests: rank-local pruning caches with no canonical
 	// placement; distribute deterministically by key hash and ⊔-merge.
 	if r.leaky != nil {
-		r.leakyBest = make(map[string][]tuple.Value)
+		r.leakyBest = wordmap.New(r.leaky.Indep, r.Arity-r.leaky.Indep)
 		for _, s := range snaps {
 			for _, t := range s.Leaky {
 				key := t[:r.leaky.Indep]
 				if int(tuple.Tuple(key).Hash()%uint64(r.comm.Size())) != r.comm.Rank() {
 					continue
 				}
-				k := keyString(key)
-				best := append([]tuple.Value(nil), t[r.leaky.Indep:]...)
-				if cur, ok := r.leakyBest[k]; ok {
-					r.leakyBest[k] = r.leaky.Agg.Join(cur, best)
-				} else {
-					r.leakyBest[k] = best
-				}
+				r.mergeDep(r.leaky.Agg, r.leakyBest, key, t[r.leaky.Indep:])
 			}
 		}
 	}

@@ -1,6 +1,9 @@
 package relation
 
-import "paralagg/internal/tuple"
+import (
+	"paralagg/internal/tuple"
+	"paralagg/internal/wordmap"
+)
 
 // Tuple identity. BPRA's deduplication "materializes" each distinct tuple
 // by assigning it a unique id via bump-pointer allocation (§III,
@@ -8,7 +11,8 @@ import "paralagg/internal/tuple"
 // interning. This reproduction allocates ids the same way: each rank owns a
 // disjoint id space (rank in the high bits, a bump counter in the low
 // bits), so allocation is rank-local and ids are globally unique without
-// communication.
+// communication. The key → id map is word-keyed (see internal/wordmap), so
+// re-assigning an id to an already-known key never allocates.
 
 // idRankShift positions the owning rank in the id's high bits, leaving 2^48
 // ids per rank.
@@ -25,15 +29,16 @@ func (r *Relation) nextID() uint64 {
 // relations) or independent key (aggregated relations — the key keeps its
 // id when the accumulator value improves, because it is the same logical
 // fact).
-func (r *Relation) assignID(key string) uint64 {
+func (r *Relation) assignID(key []tuple.Value) uint64 {
 	if r.ids == nil {
-		r.ids = make(map[string]uint64)
+		r.ids = wordmap.New(r.idKeyWords(), 1)
 	}
-	if id, ok := r.ids[key]; ok {
-		return id
+	v, inserted := r.ids.Upsert(key)
+	if !inserted {
+		return v[0]
 	}
 	id := r.nextID()
-	r.ids[key] = id
+	v[0] = id
 	return id
 }
 
@@ -42,12 +47,23 @@ func (r *Relation) assignID(key string) uint64 {
 // pass the whole tuple. The id is only present on the tuple's canonical
 // home rank.
 func (r *Relation) TupleID(key tuple.Tuple) (uint64, bool) {
-	id, ok := r.ids[keyString(key)]
-	return id, ok
+	if r.ids == nil {
+		return 0, false
+	}
+	v := r.ids.Get(key)
+	if v == nil {
+		return 0, false
+	}
+	return v[0], true
 }
 
 // IDOwner extracts the rank that allocated an id.
 func IDOwner(id uint64) int { return int(id >> idRankShift) }
 
 // LocalIDCount returns how many ids this rank has allocated.
-func (r *Relation) LocalIDCount() int { return len(r.ids) }
+func (r *Relation) LocalIDCount() int {
+	if r.ids == nil {
+		return 0
+	}
+	return r.ids.Len()
+}

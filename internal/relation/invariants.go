@@ -62,7 +62,7 @@ func (r *Relation) CheckInvariants() error {
 		// live on this rank; otherwise the count check below catches drift.
 		canon := r.indexes[0]
 		canon.Full.Ascend(func(t tuple.Tuple) bool {
-			if v, ok := r.acc[keyString(t[:r.Indep])]; ok {
+			if v := r.acc.Get(t[:r.Indep]); v != nil {
 				for i, d := range v {
 					if t[r.Indep+i] != d {
 						fail("relation %s: canonical index %v disagrees with accumulator %v", r.Name, t, v)

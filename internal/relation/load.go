@@ -4,6 +4,7 @@ import (
 	"paralagg/internal/btree"
 	"paralagg/internal/mpi"
 	"paralagg/internal/tuple"
+	"paralagg/internal/wordmap"
 )
 
 // LoadFacts bulk-loads base facts through the normal materialization path:
@@ -34,51 +35,73 @@ func (r *Relation) LoadShare(n int, gen func(i int, emit func(tuple.Tuple))) uin
 // rebalancing step (§IV-C, the "balancing" phase of Fig. 1); it is
 // collective and must be called with the same value on every rank. The
 // returned byte count is the total data this rank shipped.
+//
+// The word-keyed tables are tombstone-free, so redistribution rebuilds them:
+// entries staying local seed a fresh table, leavers travel the exchange, and
+// arrivals merge in. This is the one cold path that pays a table copy.
 func (r *Relation) SetSubs(subs int) int {
 	if subs < 1 {
 		subs = 1
 	}
-	size := r.comm.Size()
+	rank, size := r.comm.Rank(), r.comm.Size()
 	shipped := 0
 	r.subs = subs
+	r.rebuildHomeCaches()
 
 	// Redistribute accumulator entries (aggregated relations), carrying
 	// each key's materialization id so identity survives rebalancing.
 	if r.Agg != nil {
 		rec := r.Arity + 1
-		send := make([][]mpi.Word, size)
-		for k, dep := range r.acc {
-			indep := keyValues(k)
-			dest := r.accPlacement(tuple.Tuple(indep))
-			if dest == r.comm.Rank() {
-				continue
+		send := r.sendBuf(size)
+		newAcc := wordmap.NewWithCapacity(r.Indep, r.Dep(), r.acc.Len())
+		r.acc.Each(func(indep, dep []tuple.Value) bool {
+			dest := r.accPlacement(indep)
+			if dest == rank {
+				v, _ := newAcc.Upsert(indep)
+				copy(v, dep)
+				return true
+			}
+			var id uint64
+			if r.ids != nil {
+				if iv := r.ids.Get(indep); iv != nil {
+					id = iv[0]
+				}
 			}
 			send[dest] = append(send[dest], indep...)
 			send[dest] = append(send[dest], dep...)
-			send[dest] = append(send[dest], r.ids[k])
-			delete(r.acc, k)
-			delete(r.ids, k)
+			send[dest] = append(send[dest], id)
 			shipped += rec * mpi.WordBytes
+			return true
+		})
+		// Keep the ids of every entry that was not shipped away (ids and
+		// accumulator entries are keyed identically).
+		var newIDs *wordmap.Map
+		if r.ids != nil {
+			newIDs = wordmap.NewWithCapacity(r.idKeyWords(), 1, r.ids.Len())
+			r.ids.Each(func(key, iv []tuple.Value) bool {
+				if r.acc.Get(key) != nil && r.accPlacement(key) != rank {
+					return true // travelled with its accumulator entry
+				}
+				v, _ := newIDs.Upsert(key)
+				v[0] = iv[0]
+				return true
+			})
 		}
 		recv := r.comm.Alltoallv(send)
 		for _, words := range recv {
 			for off := 0; off+rec <= len(words); off += rec {
 				t := tuple.Tuple(words[off : off+r.Arity])
-				k := keyString(t[:r.Indep])
-				dep := append([]tuple.Value(nil), t[r.Indep:]...)
-				if cur, ok := r.acc[k]; ok {
-					r.acc[k] = r.Agg.Join(cur, dep)
-				} else {
-					r.acc[k] = dep
+				r.mergeDep(r.Agg, newAcc, t[:r.Indep], t[r.Indep:r.Arity])
+				if newIDs == nil {
+					newIDs = wordmap.New(r.idKeyWords(), 1)
 				}
-				if r.ids == nil {
-					r.ids = make(map[string]uint64)
-				}
-				if _, dup := r.ids[k]; !dup {
-					r.ids[k] = words[off+r.Arity]
+				if v, inserted := newIDs.Upsert(t[:r.Indep]); inserted {
+					v[0] = words[off+r.Arity]
 				}
 			}
 		}
+		r.acc = newAcc
+		r.ids = newIDs
 	}
 
 	// Set relations key their ids by the full canonical tuple; relocate
@@ -87,28 +110,35 @@ func (r *Relation) SetSubs(subs int) int {
 	if r.Agg == nil {
 		rec := r.Arity + 1
 		canon := r.indexes[0]
-		send := make([][]mpi.Word, size)
-		for k, id := range r.ids {
-			t := keyValues(k)
-			dest := r.rankOf(canon.bucketOf(t), canon.subOf(t))
-			if dest == r.comm.Rank() {
-				continue
-			}
-			send[dest] = append(send[dest], t...)
-			send[dest] = append(send[dest], id)
-			delete(r.ids, k)
-			shipped += rec * mpi.WordBytes
+		send := r.sendBuf(size)
+		var newIDs *wordmap.Map
+		if r.ids != nil {
+			newIDs = wordmap.NewWithCapacity(r.idKeyWords(), 1, r.ids.Len())
+			r.ids.Each(func(key, iv []tuple.Value) bool {
+				t := tuple.Tuple(key)
+				dest := r.rankOf(canon.bucketOf(t), canon.subOf(t))
+				if dest == rank {
+					v, _ := newIDs.Upsert(key)
+					v[0] = iv[0]
+					return true
+				}
+				send[dest] = append(send[dest], t...)
+				send[dest] = append(send[dest], iv[0])
+				shipped += rec * mpi.WordBytes
+				return true
+			})
 		}
 		recv := r.comm.Alltoallv(send)
 		for _, words := range recv {
 			for off := 0; off+rec <= len(words); off += rec {
-				if r.ids == nil {
-					r.ids = make(map[string]uint64)
+				if newIDs == nil {
+					newIDs = wordmap.New(r.idKeyWords(), 1)
 				}
-				k := keyString(words[off : off+r.Arity])
-				r.ids[k] = words[off+r.Arity]
+				v, _ := newIDs.Upsert(words[off : off+r.Arity])
+				v[0] = words[off+r.Arity]
 			}
 		}
+		r.ids = newIDs
 	}
 
 	// Redistribute each index's FULL and Δ trees.
@@ -128,7 +158,7 @@ func (ix *Index) redistribute() int {
 		if which == 1 {
 			tree = ix.Delta
 		}
-		send := make([][]mpi.Word, size)
+		send := r.sendBuf(size)
 		var keep []tuple.Tuple
 		tree.Ascend(func(t tuple.Tuple) bool {
 			dest := r.rankOf(ix.bucketOf(t), ix.subOf(t))

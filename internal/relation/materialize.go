@@ -3,16 +3,50 @@ package relation
 import (
 	"math/bits"
 
-	"paralagg/internal/btree"
 	"paralagg/internal/lattice"
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
 	"paralagg/internal/tuple"
+	"paralagg/internal/wordmap"
 )
 
 // treeWork estimates the work units of one B-tree operation on a tree of n
 // tuples: the O(log n) descent the paper credits the inner relation with.
 func treeWork(n int) int64 { return int64(bits.Len64(uint64(n)) + 1) }
+
+// freshTuples returns the relation's reusable changed-tuple buffer, emptied.
+func (r *Relation) freshTuples() *tuple.Buffer {
+	if r.freshBuf == nil {
+		r.freshBuf = tuple.NewBuffer(r.Arity, 64)
+	}
+	r.freshBuf.Reset()
+	return r.freshBuf
+}
+
+// staleTuples returns the relation's reusable stale-entry buffer, emptied.
+func (r *Relation) staleTuples() *tuple.Buffer {
+	if r.staleBuf == nil {
+		r.staleBuf = tuple.NewBuffer(r.Arity, 8)
+	}
+	r.staleBuf.Reset()
+	return r.staleBuf
+}
+
+// tupleScratch returns a reusable canonical-order tuple.
+func (r *Relation) tupleScratch() tuple.Tuple {
+	if r.tupScratch == nil {
+		r.tupScratch = make(tuple.Tuple, r.Arity)
+	}
+	return r.tupScratch
+}
+
+// permuteScratch returns a reusable stored-order tuple.
+func (r *Relation) permuteScratch() tuple.Tuple {
+	if r.permScratch == nil {
+		r.permScratch = make(tuple.Tuple, r.Arity)
+	}
+	return r.permScratch
+}
 
 // Materialize is the fused deduplication/aggregation pass (§III-A): it
 // routes this rank's newly generated tuples (canonical column order) to
@@ -31,14 +65,15 @@ func (r *Relation) Materialize(iter int, pending *tuple.Buffer, record bool) uin
 	rank := r.comm.Rank()
 	size := r.comm.Size()
 
-	// Δ versions from the previous iteration have been consumed by now.
+	// Δ versions from the previous iteration have been consumed by now;
+	// reuse their node storage for this iteration's Δ.
 	for _, ix := range r.indexes {
-		ix.Delta = btree.New()
+		ix.Delta.Reset()
 	}
 
 	// Phase A: route new tuples to their canonical homes.
 	timer := metrics.StartTimer()
-	send := make([][]mpi.Word, size)
+	send := r.sendBuf(size)
 	n := 0
 	if pending != nil {
 		n = pending.Len()
@@ -91,7 +126,7 @@ func (r *Relation) materializeSet(iter int, recv [][]mpi.Word, record bool) uint
 	timer := metrics.StartTimer()
 	canon := r.indexes[0]
 	var work int64
-	var fresh []tuple.Tuple
+	fresh := r.freshTuples()
 	for _, words := range recv {
 		for off := 0; off+r.Arity <= len(words); off += r.Arity {
 			t := tuple.Tuple(words[off : off+r.Arity])
@@ -102,8 +137,8 @@ func (r *Relation) materializeSet(iter int, recv [][]mpi.Word, record bool) uint
 			work += treeWork(canon.Full.Len())
 			if canon.Full.Insert(t) {
 				canon.Delta.Insert(t)
-				r.assignID(keyString(t))
-				fresh = append(fresh, t)
+				r.assignID(t)
+				fresh.Append(t)
 			}
 		}
 	}
@@ -111,7 +146,7 @@ func (r *Relation) materializeSet(iter int, recv [][]mpi.Word, record bool) uint
 		r.mc.Record(rank, iter, metrics.PhaseLocalAgg, timer.Done(work, 0, 0))
 	}
 	r.maintainIndexes(iter, fresh, record)
-	return uint64(len(fresh))
+	return uint64(fresh.Len())
 }
 
 // materializeAgg merges arrived tuples into the canonical accumulator. With
@@ -123,19 +158,18 @@ func (r *Relation) materializeAgg(iter int, recv [][]mpi.Word, record bool) uint
 	size := r.comm.Size()
 	timer := metrics.StartTimer()
 
-	// Pre-aggregate what arrived here, keyed by independent columns.
-	partial := make(map[string][]tuple.Value)
+	// Pre-aggregate what arrived here, keyed by independent columns. The
+	// table and its arena persist across iterations; Reset keeps capacity.
+	if r.partial == nil {
+		r.partial = wordmap.New(r.Indep, r.Dep())
+	}
+	partial := r.partial
+	partial.Reset()
 	var work int64
 	for _, words := range recv {
 		for off := 0; off+r.Arity <= len(words); off += r.Arity {
 			t := tuple.Tuple(words[off : off+r.Arity])
-			k := keyString(t[:r.Indep])
-			dep := append([]tuple.Value(nil), t[r.Indep:]...)
-			if cur, ok := partial[k]; ok {
-				partial[k] = r.Agg.Join(cur, dep)
-			} else {
-				partial[k] = dep
-			}
+			r.mergeDep(r.Agg, partial, t[:r.Indep], t[r.Indep:])
 			work++
 		}
 	}
@@ -147,73 +181,69 @@ func (r *Relation) materializeAgg(iter int, recv [][]mpi.Word, record bool) uint
 			r.mc.Record(rank, iter, metrics.PhaseLocalAgg, timer.Done(work, 0, 0))
 		}
 		gatherTimer := metrics.StartTimer()
-		send := make([][]mpi.Word, size)
-		for k, dep := range partial {
-			indep := keyValues(k)
+		send := r.sendBuf(size)
+		for e := 0; e < partial.Len(); e++ {
+			indep, dep := partial.At(e)
 			dest := r.accPlacement(indep)
 			send[dest] = append(send[dest], indep...)
 			send[dest] = append(send[dest], dep...)
 		}
+		sent := partial.Len()
 		pre := r.comm.Stats().Snapshot()
 		recv2 := r.comm.Alltoallv(send)
 		if record {
 			d := r.comm.Stats().Snapshot().Sub(pre)
-			s := gatherTimer.Done(int64(len(partial)), int64(d.Bytes()), int64(d.CollectiveCalls+d.P2PMessages))
+			s := gatherTimer.Done(int64(sent), int64(d.Bytes()), int64(d.CollectiveCalls+d.P2PMessages))
 			r.mc.Record(rank, iter, metrics.PhaseOther, s)
 		}
 		timer = metrics.StartTimer()
 		work = 0
-		partial = make(map[string][]tuple.Value)
+		partial.Reset()
 		for _, words := range recv2 {
 			for off := 0; off+r.Arity <= len(words); off += r.Arity {
 				t := tuple.Tuple(words[off : off+r.Arity])
-				k := keyString(t[:r.Indep])
-				dep := append([]tuple.Value(nil), t[r.Indep:]...)
-				if cur, ok := partial[k]; ok {
-					partial[k] = r.Agg.Join(cur, dep)
-				} else {
-					partial[k] = dep
-				}
+				r.mergeDep(r.Agg, partial, t[:r.Indep], t[r.Indep:])
 				work++
 			}
 		}
 	}
 
 	// Merge partials into the accumulator; a key whose value strictly
-	// changes (or is new) enters Δ — the ascending-chain condition.
-	var fresh []tuple.Tuple
-	for k, dep := range partial {
-		cur, ok := r.acc[k]
-		merged := dep
-		if ok {
-			merged = r.Agg.Join(cur, dep)
-			if r.Agg.Compare(merged, cur) == lattice.Equal {
+	// changes (or is new) enters Δ — the ascending-chain condition. The
+	// merged value is written into the accumulator arena in place.
+	fresh := r.freshTuples()
+	scratch := r.tupleScratch()
+	for e := 0; e < partial.Len(); e++ {
+		indep, dep := partial.At(e)
+		v, inserted := r.acc.Upsert(indep)
+		if inserted {
+			copy(v, dep)
+		} else {
+			merged := r.Agg.Join(v, dep)
+			if r.Agg.Compare(merged, v) == lattice.Equal {
 				work++
 				continue
 			}
+			copy(v, merged)
 		}
-		cp := append([]tuple.Value(nil), merged...)
-		r.acc[k] = cp
-		r.assignID(k)
-		indep := keyValues(k)
-		t := make(tuple.Tuple, 0, r.Arity)
-		t = append(t, indep...)
-		t = append(t, cp...)
-		fresh = append(fresh, t)
+		r.assignID(indep)
+		copy(scratch, indep)
+		copy(scratch[r.Indep:], v)
+		fresh.Append(scratch)
 		work += 2
 	}
 	if record {
 		r.mc.Record(rank, iter, metrics.PhaseLocalAgg, timer.Done(work, 0, 0))
 	}
 	r.maintainIndexes(iter, fresh, record)
-	return uint64(len(fresh))
+	return uint64(fresh.Len())
 }
 
 // maintainIndexes routes changed tuples (canonical order) to every index
 // home that needs them and applies them: set relations insert, aggregated
 // relations replace the stale entry for the key. For set relations the
 // canonical index was already updated during deduplication and is skipped.
-func (r *Relation) maintainIndexes(iter int, fresh []tuple.Tuple, record bool) {
+func (r *Relation) maintainIndexes(iter int, fresh *tuple.Buffer, record bool) {
 	rank := r.comm.Rank()
 	size := r.comm.Size()
 	start := 0
@@ -227,11 +257,13 @@ func (r *Relation) maintainIndexes(iter int, fresh []tuple.Tuple, record bool) {
 		return
 	}
 	timer := metrics.StartTimer()
-	send := make([][]mpi.Word, size)
-	for _, t := range fresh {
+	send := r.sendBuf(size)
+	stored := r.permuteScratch()
+	for i, nf := 0, fresh.Len(); i < nf; i++ {
+		t := fresh.At(i)
 		for id := start; id < len(r.indexes); id++ {
 			ix := r.indexes[id]
-			stored := ix.permute(t)
+			ix.permuteInto(t, stored)
 			dest := r.rankOf(ix.bucketOf(stored), ix.subOf(stored))
 			send[dest] = append(send[dest], mpi.Word(id))
 			send[dest] = append(send[dest], stored...)
@@ -243,27 +275,28 @@ func (r *Relation) maintainIndexes(iter int, fresh []tuple.Tuple, record bool) {
 
 	var work int64
 	rec := 1 + r.Arity
+	stale := r.staleTuples()
 	for _, words := range recv {
 		for off := 0; off+rec <= len(words); off += rec {
 			id := int(words[off])
-			stored := tuple.Tuple(words[off+1 : off+rec])
+			arrived := tuple.Tuple(words[off+1 : off+rec])
 			ix := r.indexes[id]
 			if r.Agg != nil {
 				// Purge the stale entry for this key: the independent
 				// prefix uniquely identifies it.
-				var stale []tuple.Tuple
-				ix.Full.AscendPrefix(stored[:ix.indepLen], func(old tuple.Tuple) bool {
-					stale = append(stale, old.Clone())
+				stale.Reset()
+				ix.Full.AscendPrefix(arrived[:ix.indepLen], func(old tuple.Tuple) bool {
+					stale.Append(old)
 					return true
 				})
-				for _, old := range stale {
-					ix.Full.Delete(old)
+				for j, ns := 0, stale.Len(); j < ns; j++ {
+					ix.Full.Delete(stale.At(j))
 					work += treeWork(ix.Full.Len())
 				}
 			}
 			work += treeWork(ix.Full.Len())
-			ix.Full.Insert(stored)
-			ix.Delta.Insert(stored)
+			ix.Full.Insert(arrived)
+			ix.Delta.Insert(arrived)
 		}
 	}
 	if record {
@@ -277,17 +310,5 @@ func (r *Relation) maintainIndexes(iter int, fresh []tuple.Tuple, record bool) {
 // partial best for its independent key. Stale tuples kept earlier are not
 // removed — that is the "leak" of §III-A.
 func (r *Relation) leakyImproves(t tuple.Tuple) bool {
-	k := keyString(t[:r.leaky.Indep])
-	dep := t[r.leaky.Indep:]
-	best, ok := r.leakyBest[k]
-	if !ok {
-		r.leakyBest[k] = append([]tuple.Value(nil), dep...)
-		return true
-	}
-	merged := r.leaky.Agg.Join(best, dep)
-	if r.leaky.Agg.Compare(merged, best) == lattice.Equal {
-		return false
-	}
-	r.leakyBest[k] = append([]tuple.Value(nil), merged...)
-	return true
+	return r.mergeDep(r.leaky.Agg, r.leakyBest, t[:r.leaky.Indep], t[r.leaky.Indep:])
 }

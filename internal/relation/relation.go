@@ -14,7 +14,6 @@
 package relation
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"paralagg/internal/btree"
@@ -22,6 +21,7 @@ import (
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
 	"paralagg/internal/tuple"
+	"paralagg/internal/wordmap"
 )
 
 // Schema declares a relation's shape. For set-semantics relations Indep ==
@@ -102,9 +102,10 @@ type Relation struct {
 	subs int
 
 	// acc is the canonical aggregate accumulator: independent-column key →
-	// current lattice value. Only entries whose canonical placement maps to
+	// current lattice value, stored word-keyed so the merge path never
+	// touches the allocator. Only entries whose canonical placement maps to
 	// this rank are present. Nil for set relations.
-	acc map[string][]tuple.Value
+	acc *wordmap.Map
 
 	// indexes hold the B-tree storage replicas used by joins. Index 0 is
 	// the canonical index (identity permutation); it always exists and is
@@ -120,12 +121,23 @@ type Relation struct {
 	// aggregation: leakyBest maps an independent-column key to this rank's
 	// partial best dependent value. See Config.Leaky.
 	leaky     *LeakySpec
-	leakyBest map[string][]tuple.Value
+	leakyBest *wordmap.Map
 
 	// ids materializes BPRA's bump-pointer tuple identity: canonical key →
-	// globally unique id allocated on this rank. See ids.go.
-	ids       map[string]uint64
+	// globally unique id allocated on this rank (1-word values). Created
+	// lazily on the first assignment. See ids.go.
+	ids       *wordmap.Map
 	idCounter uint64
+
+	// Reusable scratch for the materialization hot path. All of it is
+	// rank-private and reset at each use; nothing here survives a call
+	// except as capacity.
+	partial     *wordmap.Map   // pre-aggregation table (materializeAgg)
+	sendScratch [][]mpi.Word   // per-peer exchange build buffers
+	freshBuf    *tuple.Buffer  // changed canonical tuples of the pass
+	staleBuf    *tuple.Buffer  // superseded index entries pending deletion
+	tupScratch  tuple.Tuple    // one canonical-order tuple
+	permScratch tuple.Tuple    // one stored-order (permuted) tuple
 }
 
 // Index is one storage replica of a relation under a column permutation.
@@ -140,6 +152,10 @@ type Index struct {
 	// indepLen is the number of leading permuted columns that are
 	// independent source columns (used to locate stale aggregate entries).
 	indepLen int
+
+	// homes caches HomeRanks per bucket; rebuilt whenever the placement
+	// inputs (world size, sub-bucket count) change.
+	homes [][]int
 
 	Full  *btree.Tree
 	Delta *btree.Tree
@@ -157,7 +173,7 @@ func New(sch Schema, comm *mpi.Comm, mc *metrics.Collector, cfg Config) (*Relati
 	}
 	r := &Relation{Schema: sch, comm: comm, mc: mc, subs: subs}
 	if sch.Agg != nil {
-		r.acc = make(map[string][]tuple.Value)
+		r.acc = wordmap.New(sch.Indep, sch.Dep())
 	}
 	if cfg.Leaky != nil {
 		if sch.Agg != nil {
@@ -167,7 +183,7 @@ func New(sch Schema, comm *mpi.Comm, mc *metrics.Collector, cfg Config) (*Relati
 			return nil, fmt.Errorf("relation %s: bad leaky spec", sch.Name)
 		}
 		r.leaky = cfg.Leaky
-		r.leakyBest = make(map[string][]tuple.Value)
+		r.leakyBest = wordmap.New(cfg.Leaky.Indep, sch.Arity-cfg.Leaky.Indep)
 	}
 	// Canonical index: identity permutation keyed on the schema's Key
 	// columns.
@@ -237,6 +253,7 @@ func (r *Relation) AddIndex(perm []int, jk int) (*Index, error) {
 				"recursive aggregates may not be joined on their aggregated columns", r.Name, jk, r.Indep)
 		}
 	}
+	idx.buildHomes()
 	r.indexes = append(r.indexes, idx)
 	return r.indexes[len(r.indexes)-1], nil
 }
@@ -270,6 +287,14 @@ func (ix *Index) permute(t tuple.Tuple) tuple.Tuple {
 		out[i] = t[c]
 	}
 	return out
+}
+
+// permuteInto writes t rearranged into the index's storage order into out,
+// which must have length Arity. The hot-path twin of permute.
+func (ix *Index) permuteInto(t, out tuple.Tuple) {
+	for i, c := range ix.Perm {
+		out[i] = t[c]
+	}
 }
 
 // Unpermute maps a stored tuple back to canonical column order.
@@ -308,24 +333,56 @@ func (r *Relation) rankOf(bucket, sub int) int {
 	return (bucket*r.subs + sub) % r.comm.Size()
 }
 
-// homeRanks returns every rank holding a sub-bucket of the given bucket in
+// HomeRanks returns every rank holding a sub-bucket of the given bucket in
 // this index, deduplicated. Outer-relation tuples of the bucket are
-// replicated to exactly these ranks during intra-bucket communication.
+// replicated to exactly these ranks during intra-bucket communication. The
+// returned slice is a cached precomputation shared across calls; callers
+// must not mutate it.
 func (ix *Index) HomeRanks(bucket int) []int {
+	return ix.homes[bucket]
+}
+
+// buildHomes precomputes HomeRanks for every bucket under the current world
+// size and sub-bucket count, so the join inner loop never rebuilds the
+// dedup set per probe.
+func (ix *Index) buildHomes() {
 	r := ix.rel
+	size := r.comm.Size()
+	homes := make([][]int, size)
 	if r.subs == 1 || ix.JK >= ix.indepLen {
-		return []int{r.rankOf(bucket, 0)}
-	}
-	seen := make(map[int]bool, r.subs)
-	out := make([]int, 0, r.subs)
-	for s := 0; s < r.subs; s++ {
-		rk := r.rankOf(bucket, s)
-		if !seen[rk] {
-			seen[rk] = true
-			out = append(out, rk)
+		flat := make([]int, size)
+		for b := 0; b < size; b++ {
+			flat[b] = r.rankOf(b, 0)
+			homes[b] = flat[b : b+1 : b+1]
+		}
+	} else {
+		for b := 0; b < size; b++ {
+			out := make([]int, 0, r.subs)
+			for s := 0; s < r.subs; s++ {
+				rk := r.rankOf(b, s)
+				dup := false
+				for _, have := range out {
+					if have == rk {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out = append(out, rk)
+				}
+			}
+			homes[b] = out
 		}
 	}
-	return out
+	ix.homes = homes
+}
+
+// rebuildHomeCaches recomputes every index's HomeRanks cache after a
+// placement input changed (SetSubs, snapshot restore).
+func (r *Relation) rebuildHomeCaches() {
+	for _, ix := range r.indexes {
+		ix.buildHomes()
+	}
 }
 
 // ownedHere reports whether a stored-order tuple belongs on this rank in
@@ -341,29 +398,45 @@ func (r *Relation) accPlacement(indepKey tuple.Tuple) int {
 	return r.rankOf(b, 0)
 }
 
-// keyString encodes column values as a map key.
-func keyString(vals []tuple.Value) string {
-	b := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(b[i*8:], v)
+// sendBuf returns the relation's reusable per-peer exchange build buffers,
+// truncated to zero length. The buffers feed Alltoallv, whose diagonal lane
+// is handed to the receiver as an alias — so a fresh sendBuf call is only
+// legal once the previous exchange's received data has been fully consumed
+// (every Materialize phase does exactly that before building its next
+// exchange).
+func (r *Relation) sendBuf(size int) [][]mpi.Word {
+	if cap(r.sendScratch) < size {
+		r.sendScratch = make([][]mpi.Word, size)
 	}
-	return string(b)
+	r.sendScratch = r.sendScratch[:size]
+	for i := range r.sendScratch {
+		r.sendScratch[i] = r.sendScratch[i][:0]
+	}
+	return r.sendScratch
 }
 
-// keyValues decodes a keyString back to column values.
-func keyValues(s string) []tuple.Value {
-	out := make([]tuple.Value, len(s)/8)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64([]byte(s[i*8 : i*8+8]))
+// mergeDep folds dep into m's entry for key through the lattice ⊔, writing
+// the result into the table's arena in place. It reports whether the entry
+// changed (was inserted or strictly improved).
+func (r *Relation) mergeDep(agg lattice.Aggregator, m *wordmap.Map, key, dep []tuple.Value) bool {
+	v, inserted := m.Upsert(key)
+	if inserted {
+		copy(v, dep)
+		return true
 	}
-	return out
+	merged := agg.Join(v, dep)
+	if agg.Compare(merged, v) == lattice.Equal {
+		return false
+	}
+	copy(v, merged)
+	return true
 }
 
 // LocalFullCount returns the number of tuples this rank stores in the
 // canonical index (set relations) or accumulator (aggregated relations).
 func (r *Relation) LocalFullCount() int {
 	if r.Agg != nil {
-		return len(r.acc)
+		return r.acc.Len()
 	}
 	return r.indexes[0].Full.Len()
 }
@@ -389,25 +462,29 @@ func (r *Relation) PerRankCounts() []int {
 }
 
 // Lookup returns the accumulator value for the given independent key if it
-// lives on this rank (aggregated relations only).
+// lives on this rank (aggregated relations only). The returned slice
+// aliases the accumulator arena and is valid until the next Materialize.
 func (r *Relation) Lookup(indepKey tuple.Tuple) ([]tuple.Value, bool) {
 	if r.Agg == nil {
 		return nil, false
 	}
-	v, ok := r.acc[keyString(indepKey)]
-	return v, ok
+	v := r.acc.Get(indepKey)
+	return v, v != nil
 }
 
-// EachAcc iterates this rank's accumulator entries as canonical tuples.
-// Iteration order is unspecified.
+// EachAcc iterates this rank's accumulator entries as canonical tuples in
+// insertion order. Each tuple is freshly allocated; callers may retain it.
 func (r *Relation) EachAcc(fn func(tuple.Tuple)) {
-	for k, dep := range r.acc {
-		indep := keyValues(k)
+	if r.Agg == nil {
+		return
+	}
+	r.acc.Each(func(indep, dep []tuple.Value) bool {
 		t := make(tuple.Tuple, 0, r.Arity)
 		t = append(t, indep...)
 		t = append(t, dep...)
 		fn(t)
-	}
+		return true
+	})
 }
 
 // SetChangedLast overrides the cached global changed count. The fixpoint

@@ -41,17 +41,47 @@ func TestSchemaValidate(t *testing.T) {
 	}
 }
 
-func TestKeyStringRoundTrip(t *testing.T) {
-	vals := []tuple.Value{0, 1, 1 << 63, ^tuple.Value(0)}
-	got := keyValues(keyString(vals))
-	if len(got) != len(vals) {
-		t.Fatalf("len = %d", len(got))
-	}
-	for i := range vals {
-		if got[i] != vals[i] {
-			t.Fatalf("roundtrip[%d] = %d, want %d", i, got[i], vals[i])
+func TestHomeRanksCache(t *testing.T) {
+	const ranks = 4
+	runWorld(t, ranks, func(c *mpi.Comm) error {
+		mc := metrics.NewCollector(ranks)
+		r, err := New(Schema{Name: "hr", Arity: 3, Indep: 2, Key: 1, Agg: lattice.Min{}},
+			c, mc, Config{Subs: 3})
+		if err != nil {
+			return err
 		}
-	}
+		// The cache must agree with a direct recomputation for every bucket,
+		// including after a SetSubs placement change.
+		check := func() error {
+			for _, ix := range r.Indexes() {
+				for b := 0; b < c.Size(); b++ {
+					got := ix.HomeRanks(b)
+					want := map[int]bool{}
+					if r.Subs() == 1 || ix.JK >= r.Indep {
+						want[r.rankOf(b, 0)] = true
+					} else {
+						for s := 0; s < r.Subs(); s++ {
+							want[r.rankOf(b, s)] = true
+						}
+					}
+					if len(got) != len(want) {
+						return fmt.Errorf("bucket %d: HomeRanks %v, want set %v", b, got, want)
+					}
+					for _, rk := range got {
+						if !want[rk] {
+							return fmt.Errorf("bucket %d: HomeRanks %v includes %d", b, got, rk)
+						}
+					}
+				}
+			}
+			return nil
+		}
+		if err := check(); err != nil {
+			return err
+		}
+		r.SetSubs(2)
+		return check()
+	})
 }
 
 // runWorld is a test helper running an SPMD body over n ranks.
