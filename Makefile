@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet chaos chaos-net verify bench bench-smoke
+.PHONY: build test race vet lint trace-smoke chaos chaos-net verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,26 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the static analyzers: go vet always, staticcheck when it is
+# installed (CI installs it; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# trace-smoke runs a query with -trace and validates the Chrome-trace
+# output: parses, one span track per rank, span names within the metered
+# phase set. Covers both the in-process world and a TCP gang (per-rank
+# trace files).
+trace-smoke:
+	$(GO) build -o /tmp/paralagg-trace ./cmd/paralagg
+	/tmp/paralagg-trace -query sssp -graph wiki-sim -ranks 4 -subs 2 -quiet -trace /tmp/paralagg-smoke.json
+	$(GO) run ./cmd/tracecheck -ranks 4 /tmp/paralagg-smoke.json
+	/tmp/paralagg-trace -query sssp -graph wiki-sim -subs 2 -transport=tcp -spawn 3 -quiet -trace /tmp/paralagg-gang.json
+	$(GO) run ./cmd/tracecheck -ranks 3 /tmp/paralagg-gang.rank0.json /tmp/paralagg-gang.rank1.json /tmp/paralagg-gang.rank2.json
 
 # chaos runs the crash/restart differential suite end to end.
 chaos:

@@ -153,7 +153,10 @@ func BenchmarkFig3Distribution(b *testing.B) {
 				})
 			},
 			func(rk *paralagg.Rank) error {
-				per := rk.PerRankCounts("edge")
+				per, err := rk.PerRankCounts("edge")
+				if err != nil {
+					return err
+				}
 				if rk.ID() == 0 {
 					counts = per
 				}

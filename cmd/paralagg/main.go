@@ -14,11 +14,14 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,6 +59,9 @@ func main() {
 	spawn := flag.Int("spawn", 0, "single-machine launcher: spawn N -transport=tcp rank processes on loopback, wait, respawn with -resume under -supervise")
 	quiet := flag.Bool("quiet", false, "suppress result output (the -spawn launcher sets it on ranks > 0)")
 	runNetChaos := flag.Bool("chaos-net", false, "run the network chaos suite (wire faults and kill-recovery over the TCP transport)")
+	tracePath := flag.String("trace", "", "write a Chrome-trace JSON file of the run (open in chrome://tracing or Perfetto); TCP children write <path>.rankN")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /vars and /debug/pprof on this host:port while the run is in flight; TCP children offset the port by their rank")
+	jsonOut := flag.Bool("json", false, "print the result as a JSON document (stable field names) instead of the human summary")
 	flag.Parse()
 
 	if *runChaos {
@@ -134,13 +140,46 @@ func main() {
 	}
 	cfg := paralagg.Config{Ranks: *ranks, Subs: *subs, Plan: plan, Watchdog: *watchdog}
 	if tcpTr != nil {
+		// Transport and Ranks are mutually exclusive (Config.Validate): the
+		// world size is the transport's gang size.
 		cfg.Transport = tcpTr
+		cfg.Ranks = 0
 	}
 	if *ckptEvery > 0 || *resume {
 		cfg.CheckpointEvery = *ckptEvery
 		cfg.Checkpoints = paralagg.NewFileCheckpointSink(*ckptDir)
 		cfg.Resume = *resume
 	}
+
+	// Observability consumers: a Chrome-trace recorder, a live HTTP metrics
+	// server, or both teed together. TCP children derive per-rank outputs so
+	// gang members never clobber each other.
+	var recorder *paralagg.TraceRecorder
+	var liveSrv *paralagg.LiveServer
+	var observers []paralagg.Observer
+	if *tracePath != "" {
+		recorder = paralagg.NewTraceRecorder()
+		observers = append(observers, recorder)
+	}
+	if *metricsAddr != "" {
+		addr := *metricsAddr
+		if tcpTr != nil {
+			addr, err = rankAddr(addr, *rank)
+			if err != nil {
+				log.Fatalf("-metrics-addr: %v", err)
+			}
+		}
+		liveSrv, err = paralagg.StartLiveServer(addr)
+		if err != nil {
+			log.Fatalf("-metrics-addr: %v", err)
+		}
+		defer liveSrv.Close()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "serving /metrics, /vars, /debug/pprof on http://%s\n", liveSrv.Addr())
+		}
+		observers = append(observers, liveSrv)
+	}
+	cfg.Observer = paralagg.TeeObservers(observers...)
 
 	// Build the (program, loader) pair, either from the textual frontend or
 	// a built-in query, then run it — plainly or under supervision.
@@ -180,7 +219,7 @@ func main() {
 			})
 		}
 	} else {
-		if !*quiet {
+		if !*quiet && !*jsonOut {
 			worldRanks := *ranks
 			if tcpTr != nil {
 				worldRanks = tcpTr.Size()
@@ -251,7 +290,30 @@ func main() {
 		tcpTr.Close()
 	}
 
+	// The trace is written even under -quiet: gang children each carry one
+	// rank's track, so every member's file matters.
+	if recorder != nil {
+		out := *tracePath
+		if tcpTr != nil {
+			out = rankPath(out, *rank)
+		}
+		if err := recorder.WriteFile(out); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", recorder.Spans(), out)
+		}
+	}
+
 	if *quiet {
+		return
+	}
+	if *jsonOut {
+		doc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", doc)
 		return
 	}
 	fmt.Print(res.Summary())
@@ -264,6 +326,34 @@ func main() {
 	for _, ph := range metrics.PhaseNames {
 		fmt.Printf("  %-14s %10.3f\n", ph, res.PhaseSeconds[ph]*1e3)
 	}
+}
+
+// rankPath derives a per-rank output file from a shared -trace path by
+// inserting ".rankN" before the extension: out.json -> out.rank2.json. Gang
+// children forwarded the same flag value must not clobber one another.
+func rankPath(path string, rank int) string {
+	ext := ""
+	if i := strings.LastIndexByte(path, '.'); i > strings.LastIndexByte(path, '/') {
+		path, ext = path[:i], path[i:]
+	}
+	return fmt.Sprintf("%s.rank%d%s", path, rank, ext)
+}
+
+// rankAddr offsets a shared -metrics-addr port by the rank so every gang
+// member serves its own endpoint. Port 0 (pick a free port) passes through.
+func rankAddr(addr string, rank int) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", err
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return "", fmt.Errorf("port %q is not numeric: %v", port, err)
+	}
+	if p == 0 {
+		return addr, nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+rank)), nil
 }
 
 // runChaosSuite executes the chaos harness's differential scenarios: each

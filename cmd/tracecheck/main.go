@@ -1,0 +1,103 @@
+// Command tracecheck validates Chrome-trace files written by paralagg
+// -trace: the document must parse, carry exactly one track (tid) per
+// expected rank across the given files, name every track, and only use span
+// names the metrics layer defines. CI runs it after a trace-smoke query so a
+// malformed exporter fails the build instead of a human's tracing session.
+//
+//	paralagg -query sssp -ranks 4 -trace out.json && tracecheck -ranks 4 out.json
+//	paralagg -transport=tcp -spawn 3 -trace g.json && tracecheck -ranks 3 g.rank*.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paralagg/internal/metrics"
+)
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	ranks := flag.Int("ranks", 0, "expected world size: the files together must carry exactly one span track per rank")
+	flag.Parse()
+	if *ranks <= 0 || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck -ranks N trace.json [trace2.json ...]")
+		os.Exit(2)
+	}
+
+	okNames := map[string]bool{}
+	for _, ph := range metrics.PhaseNames {
+		okNames[ph] = true
+	}
+
+	spanTids := map[int]bool{}
+	namedTids := map[int]bool{}
+	spans := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var doc traceDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatalf("%s: not valid trace JSON: %v", path, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			fatalf("%s: no trace events", path)
+		}
+		for _, e := range doc.TraceEvents {
+			switch e.Ph {
+			case "X":
+				spans++
+				spanTids[e.Tid] = true
+				if !okNames[e.Name] && !strings.HasPrefix(e.Name, "iter ") {
+					fatalf("%s: span %q is not a metered phase or an iteration", path, e.Name)
+				}
+			case "M":
+				if e.Name == "thread_name" {
+					namedTids[e.Tid] = true
+				}
+			}
+		}
+	}
+
+	for r := 0; r < *ranks; r++ {
+		if !spanTids[r] {
+			fatalf("no span track for rank %d (tracks seen: %v)", r, keys(spanTids))
+		}
+		if !namedTids[r] {
+			fatalf("rank %d's track has no thread_name metadata", r)
+		}
+	}
+	if len(spanTids) != *ranks {
+		fatalf("expected %d span tracks, found %d: %v", *ranks, len(spanTids), keys(spanTids))
+	}
+	fmt.Printf("tracecheck: %d files, %d spans, one track per rank (0..%d)\n",
+		flag.NArg(), spans, *ranks-1)
+}
+
+func keys(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

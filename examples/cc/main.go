@@ -62,7 +62,9 @@ func main() {
 		},
 		func(rk *paralagg.Rank) error {
 			local := map[uint64]int{}
-			rk.Each("cc", func(t paralagg.Tuple) { local[t[1]]++ })
+			if err := rk.Each("cc", func(t paralagg.Tuple) { local[t[1]]++ }); err != nil {
+				return err
+			}
 			mu.Lock()
 			for rep, n := range local {
 				sizes[rep] += n

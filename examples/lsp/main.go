@@ -67,7 +67,9 @@ func main() {
 		},
 		func(rk *paralagg.Rank) error {
 			var local uint64
-			rk.Each("lsp", func(tt paralagg.Tuple) { local = tt[1] })
+			if err := rk.Each("lsp", func(tt paralagg.Tuple) { local = tt[1] }); err != nil {
+				return err
+			}
 			g := rk.Reduce(local, paralagg.OpMax)
 			if rk.ID() == 0 {
 				lsp = g

@@ -81,11 +81,13 @@ func main() {
 		},
 		func(rk *paralagg.Rank) error {
 			var local []nodeRank
-			rk.Each("pr", func(t paralagg.Tuple) {
+			if err := rk.Each("pr", func(t paralagg.Tuple) {
 				if int(t[0]) == *iters {
 					local = append(local, nodeRank{t[1], math.Float64frombits(t[2])})
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			mu.Lock()
 			final = append(final, local...)
 			mu.Unlock()

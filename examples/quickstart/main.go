@@ -46,10 +46,9 @@ func main() {
 		},
 		func(rk *paralagg.Rank) error {
 			// Each rank prints its own shard of the answer.
-			rk.Each("path", func(t paralagg.Tuple) {
+			return rk.Each("path", func(t paralagg.Tuple) {
 				fmt.Printf("rank %d: path(%d, %d)\n", rk.ID(), t[0], t[1])
 			})
-			return nil
 		})
 	if err != nil {
 		log.Fatal(err)

@@ -65,7 +65,7 @@ func main() {
 			})
 		},
 		func(rk *paralagg.Rank) error {
-			rk.Each("spath", func(tt paralagg.Tuple) {
+			err := rk.Each("spath", func(tt paralagg.Tuple) {
 				if tt[0] == sources[0] {
 					select {
 					case sample <- pair{tt[1], tt[2]}:
@@ -73,7 +73,7 @@ func main() {
 					}
 				}
 			})
-			return nil
+			return err
 		})
 	if err != nil {
 		log.Fatal(err)

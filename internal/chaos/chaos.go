@@ -115,11 +115,13 @@ func collect(rels []string, dst *map[string]Fingerprint) func(*paralagg.Rank) er
 		fps := make(map[string]Fingerprint, len(rels))
 		for _, rel := range rels {
 			var cnt, s1, s2 uint64
-			rk.Each(rel, func(t paralagg.Tuple) {
+			if err := rk.Each(rel, func(t paralagg.Tuple) {
 				cnt++
 				s1 += hashTuple(t, 0xa076_1d64_78bd_642f)
 				s2 += hashTuple(t, 0xe703_7ed1_a0b4_28db)
-			})
+			}); err != nil {
+				return err
+			}
 			fps[rel] = Fingerprint{
 				Count: rk.Reduce(cnt, paralagg.OpSum),
 				Sum1:  rk.Reduce(s1, paralagg.OpSum),

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
+	"paralagg/internal/obs"
 	"paralagg/internal/ra"
 	"paralagg/internal/relation"
 	"paralagg/internal/tuple"
@@ -160,7 +162,7 @@ type RunStats struct {
 // options builds the fixpoint options for one stratum, wiring checkpoint
 // settings through when configured.
 func (in *Instance) options(cfg Config, stratum int) ra.Options {
-	opts := ra.Options{Plan: cfg.Plan, MaxIters: cfg.MaxIters, AdaptiveBalance: cfg.Adaptive}
+	opts := ra.Options{Plan: cfg.Plan, MaxIters: cfg.MaxIters, AdaptiveBalance: cfg.Adaptive, Stratum: stratum}
 	if cfg.Checkpoints != nil {
 		// CheckpointEvery only gates periodic saves; a sink alone still
 		// supports Resume (restore without further checkpointing).
@@ -195,6 +197,7 @@ func (in *Instance) snapshotRels() []*relation.Relation {
 func (in *Instance) Run(cfg Config) RunStats {
 	var stats RunStats
 	for i, st := range in.strata {
+		in.enterStratum(i)
 		for _, input := range st.inputs {
 			ra.ResetDelta(input)
 		}
@@ -234,6 +237,7 @@ func (in *Instance) Resume(cfg Config) (RunStats, error) {
 	}
 	// The restored snapshot carries the correct Δ state for every relation,
 	// so the resumed stratum must not ResetDelta its inputs.
+	in.enterStratum(pos.Stratum)
 	n, err := in.strata[pos.Stratum].fix.Resume(in.options(cfg, pos.Stratum))
 	if err != nil {
 		return stats, err
@@ -242,6 +246,7 @@ func (in *Instance) Resume(cfg Config) (RunStats, error) {
 	stats.TotalIters += n
 	for s := pos.Stratum + 1; s < len(in.strata); s++ {
 		st := in.strata[s]
+		in.enterStratum(s)
 		for _, input := range st.inputs {
 			ra.ResetDelta(input)
 		}
@@ -250,6 +255,19 @@ func (in *Instance) Resume(cfg Config) (RunStats, error) {
 		stats.TotalIters += n
 	}
 	return stats, nil
+}
+
+// enterStratum publishes the stratum about to run so live events are
+// attributed to it, and streams an obs.KindStratumStart event.
+func (in *Instance) enterStratum(s int) {
+	in.mc.SetStratum(s)
+	if o := in.mc.Observer(); o != nil {
+		e := obs.Get()
+		e.Kind = obs.KindStratumStart
+		e.Rank, e.Stratum = in.comm.Rank(), s
+		e.End = time.Now().UnixNano()
+		obs.Emit(o, e)
+	}
 }
 
 // Strata returns the number of strata the program compiled to.

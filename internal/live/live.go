@@ -1,0 +1,269 @@
+// Package live serves a running world's observability counters over HTTP —
+// the endpoint a long-lived distributed run exposes so operators can watch
+// it instead of waiting for Exec to return. Three surfaces on one mux:
+//
+//	/metrics      Prometheus text exposition: iterations, Δ cardinality,
+//	              per-relation tuple counts, comm bytes/msgs, transport
+//	              retransmits/reconnects/heartbeat misses, checkpoint age,
+//	              rank failures, supervised attempt number.
+//	/vars         the same counters as one JSON document (expvar-style).
+//	/debug/pprof  the standard net/http/pprof handlers.
+//
+// A Server is an obs.Observer: attach Server to Config.Observer (or Tee it
+// with a trace recorder) and the counters update live from the event
+// stream. It is AttemptAware — each supervised restart re-registers
+// cleanly: the attempt gauge advances, per-run counters reset, and the
+// listener stays up across attempts so dashboards never lose the target.
+package live
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paralagg/internal/obs"
+)
+
+// Server exposes live counters over HTTP and updates them from the
+// observability event stream.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	attempt        atomic.Int64
+	runsStarted    atomic.Int64
+	runsEnded      atomic.Int64
+	ranks          atomic.Int64
+	stratum        atomic.Int64
+	iterations     atomic.Int64 // completed fixpoint iterations this attempt
+	lastChanged    atomic.Int64 // global changed count of the latest iteration
+	commBytes      atomic.Int64
+	commMsgs       atomic.Int64
+	checkpoints    atomic.Int64
+	lastCkptUnixNS atomic.Int64
+	recoveries     atomic.Int64
+	rankFailures   atomic.Int64
+	planVotes      atomic.Int64
+
+	// Transport robustness totals, accumulated from iteration deltas.
+	netRetransmits atomic.Int64
+	netReconnects  atomic.Int64
+	netHBMisses    atomic.Int64
+	netCRCErrors   atomic.Int64
+	netFramesSent  atomic.Int64
+	netFramesRecv  atomic.Int64
+
+	// relations tracks per-relation global totals and Δ cardinality.
+	mu        sync.Mutex
+	relTotal  map[string]uint64
+	relDelta  map[string]uint64
+	lastError string
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves the
+// endpoints until Close. The returned Server is ready to use as an
+// obs.Observer immediately.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, relTotal: map[string]uint64{}, relDelta: map[string]uint64{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/vars", s.handleVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the address the server actually listens on (useful with
+// port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// OnAttempt implements obs.AttemptAware: a supervised restart advances the
+// attempt gauge and resets the per-run counters so the new world's numbers
+// are not conflated with the dead one's. The HTTP listener persists.
+func (s *Server) OnAttempt(n int) {
+	s.attempt.Store(int64(n))
+	s.iterations.Store(0)
+	s.lastChanged.Store(0)
+	s.commBytes.Store(0)
+	s.commMsgs.Store(0)
+	s.mu.Lock()
+	s.relTotal = map[string]uint64{}
+	s.relDelta = map[string]uint64{}
+	s.mu.Unlock()
+}
+
+// OnEvent implements obs.Observer.
+func (s *Server) OnEvent(e *obs.Event) {
+	switch e.Kind {
+	case obs.KindRunStart:
+		s.runsStarted.Add(1)
+		s.ranks.Store(int64(e.Ranks))
+	case obs.KindRunEnd:
+		s.runsEnded.Add(1)
+		if e.Err != "" {
+			s.mu.Lock()
+			s.lastError = e.Err
+			s.mu.Unlock()
+		}
+	case obs.KindStratumStart:
+		s.stratum.Store(int64(e.Stratum))
+	case obs.KindIteration:
+		// Rank 0 speaks for the world: changed counts and comm deltas are
+		// collective-derived and identical on every rank, so counting each
+		// rank's copy would multiply them by the world size.
+		if e.Rank != 0 {
+			return
+		}
+		s.iterations.Add(1)
+		s.lastChanged.Store(int64(e.Changed))
+		s.commBytes.Add(e.Bytes)
+		s.commMsgs.Add(e.Msgs)
+		s.netRetransmits.Add(e.Net.Retransmits)
+		s.netReconnects.Add(e.Net.Reconnects)
+		s.netHBMisses.Add(e.Net.HeartbeatMisses)
+		s.netCRCErrors.Add(e.Net.CRCErrors)
+		s.netFramesSent.Add(e.Net.FramesSent)
+		s.netFramesRecv.Add(e.Net.FramesRecv)
+	case obs.KindRelation:
+		if e.Rank != 0 {
+			return
+		}
+		s.mu.Lock()
+		s.relTotal[e.Name] = e.Count
+		s.relDelta[e.Name] = e.Changed
+		s.mu.Unlock()
+	case obs.KindPlan:
+		s.planVotes.Add(1)
+	case obs.KindCheckpoint:
+		s.checkpoints.Add(1)
+		s.lastCkptUnixNS.Store(e.End)
+	case obs.KindRecovery:
+		s.recoveries.Add(1)
+	case obs.KindRankFailed:
+		s.rankFailures.Add(1)
+		s.mu.Lock()
+		s.lastError = fmt.Sprintf("rank %d failed in %s at iter %d: %s", e.Rank, e.Name, e.Iter, e.Err)
+		s.mu.Unlock()
+	}
+}
+
+// snapshot gathers every counter under one lock for rendering.
+func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, lastErr string) {
+	num = map[string]int64{
+		"attempt":               s.attempt.Load(),
+		"runs_started":          s.runsStarted.Load(),
+		"runs_ended":            s.runsEnded.Load(),
+		"ranks":                 s.ranks.Load(),
+		"stratum":               s.stratum.Load(),
+		"iterations":            s.iterations.Load(),
+		"delta_changed":         s.lastChanged.Load(),
+		"comm_bytes":            s.commBytes.Load(),
+		"comm_msgs":             s.commMsgs.Load(),
+		"checkpoints":           s.checkpoints.Load(),
+		"recoveries":            s.recoveries.Load(),
+		"rank_failures":         s.rankFailures.Load(),
+		"plan_votes":            s.planVotes.Load(),
+		"net_retransmits":       s.netRetransmits.Load(),
+		"net_reconnects":        s.netReconnects.Load(),
+		"net_heartbeat_misses":  s.netHBMisses.Load(),
+		"net_crc_errors":        s.netCRCErrors.Load(),
+		"net_frames_sent":       s.netFramesSent.Load(),
+		"net_frames_recv":       s.netFramesRecv.Load(),
+		"checkpoint_age_millis": -1,
+	}
+	if ts := s.lastCkptUnixNS.Load(); ts > 0 {
+		num["checkpoint_age_millis"] = (time.Now().UnixNano() - ts) / 1e6
+	}
+	rels = map[string][2]uint64{}
+	s.mu.Lock()
+	for n, c := range s.relTotal {
+		rels[n] = [2]uint64{c, s.relDelta[n]}
+	}
+	lastErr = s.lastError
+	s.mu.Unlock()
+	return num, rels, lastErr
+}
+
+// gaugeNames lists the counters that are gauges (point-in-time values);
+// everything else is exposed as a counter.
+var gaugeNames = map[string]bool{
+	"attempt": true, "ranks": true, "stratum": true, "delta_changed": true,
+	"checkpoint_age_millis": true,
+}
+
+// handleMetrics renders Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	num, rels, _ := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	names := make([]string, 0, len(num))
+	for n := range num {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		kind := "counter"
+		if gaugeNames[n] {
+			kind = "gauge"
+		}
+		fmt.Fprintf(w, "# TYPE paralagg_%s %s\nparalagg_%s %d\n", n, kind, n, num[n])
+	}
+	relNames := make([]string, 0, len(rels))
+	for n := range rels {
+		relNames = append(relNames, n)
+	}
+	sort.Strings(relNames)
+	fmt.Fprintf(w, "# TYPE paralagg_relation_tuples gauge\n")
+	for _, n := range relNames {
+		fmt.Fprintf(w, "paralagg_relation_tuples{relation=%q} %d\n", n, rels[n][0])
+	}
+	fmt.Fprintf(w, "# TYPE paralagg_relation_delta gauge\n")
+	for _, n := range relNames {
+		fmt.Fprintf(w, "paralagg_relation_delta{relation=%q} %d\n", n, rels[n][1])
+	}
+}
+
+// handleVars renders every counter as one JSON document (expvar-style).
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	num, rels, lastErr := s.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n")
+	names := make([]string, 0, len(num))
+	for n := range num {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %q: %d,\n", n, num[n])
+	}
+	relNames := make([]string, 0, len(rels))
+	for n := range rels {
+		relNames = append(relNames, n)
+	}
+	sort.Strings(relNames)
+	fmt.Fprintf(w, "  \"relations\": {")
+	for i, n := range relNames {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%q: {\"tuples\": %d, \"delta\": %d}", n, rels[n][0], rels[n][1])
+	}
+	fmt.Fprintf(w, "},\n")
+	fmt.Fprintf(w, "  \"last_error\": %q\n}\n", lastErr)
+}

@@ -1,0 +1,163 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"paralagg/internal/obs"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func emit(s *Server, fill func(*obs.Event)) {
+	e := obs.Get()
+	fill(e)
+	obs.Emit(s, e)
+}
+
+func feedRun(s *Server) {
+	emit(s, func(e *obs.Event) { e.Kind = obs.KindRunStart; e.Ranks = 4 })
+	for iter := 1; iter <= 3; iter++ {
+		it := iter
+		// Every rank reports the collective-derived numbers; only rank 0's
+		// copy may be counted.
+		for rank := 0; rank < 4; rank++ {
+			rk := rank
+			emit(s, func(e *obs.Event) {
+				e.Kind = obs.KindIteration
+				e.Rank, e.Iter = rk, it
+				e.Changed = 100
+				e.Bytes, e.Msgs = 1000, 10
+				e.Net.Retransmits = 2
+			})
+			emit(s, func(e *obs.Event) {
+				e.Kind = obs.KindRelation
+				e.Rank, e.Name = rk, "spath"
+				e.Count, e.Changed = 500, 100
+			})
+		}
+	}
+	emit(s, func(e *obs.Event) { e.Kind = obs.KindCheckpoint; e.Iter = 2; e.End = 1 })
+	emit(s, func(e *obs.Event) { e.Kind = obs.KindRunEnd })
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := startServer(t)
+	feedRun(s)
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"paralagg_ranks 4",
+		"paralagg_iterations 3",    // rank 0 only — not 12
+		"paralagg_comm_bytes 3000", // 3 iterations × 1000, not ×4 ranks
+		"paralagg_net_retransmits 6",
+		"paralagg_delta_changed 100",
+		"paralagg_checkpoints 1",
+		"paralagg_runs_started 1",
+		"paralagg_runs_ended 1",
+		`paralagg_relation_tuples{relation="spath"} 500`,
+		`paralagg_relation_delta{relation="spath"} 100`,
+		"# TYPE paralagg_ranks gauge",
+		"# TYPE paralagg_iterations counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestVarsEndpointIsValidJSON(t *testing.T) {
+	s := startServer(t)
+	feedRun(s)
+	emit(s, func(e *obs.Event) {
+		e.Kind = obs.KindRankFailed
+		e.Rank, e.Iter, e.Name, e.Err = 2, 3, "allgather", "watchdog"
+	})
+	code, body := get(t, "http://"+s.Addr()+"/vars")
+	if code != 200 {
+		t.Fatalf("/vars status %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/vars is not valid JSON: %v\n%s", err, body)
+	}
+	if doc["iterations"].(float64) != 3 {
+		t.Fatalf("iterations = %v", doc["iterations"])
+	}
+	rels := doc["relations"].(map[string]any)
+	sp := rels["spath"].(map[string]any)
+	if sp["tuples"].(float64) != 500 || sp["delta"].(float64) != 100 {
+		t.Fatalf("relations = %v", rels)
+	}
+	lastErr, _ := doc["last_error"].(string)
+	if !strings.Contains(lastErr, "rank 2 failed in allgather") {
+		t.Fatalf("last_error = %q", lastErr)
+	}
+	if doc["rank_failures"].(float64) != 1 {
+		t.Fatalf("rank_failures = %v", doc["rank_failures"])
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s := startServer(t)
+	code, body := get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestOnAttemptResetsPerRunCounters(t *testing.T) {
+	s := startServer(t)
+	feedRun(s)
+	s.OnAttempt(1)
+	_, body := get(t, "http://"+s.Addr()+"/metrics")
+	for _, want := range []string{
+		"paralagg_attempt 1",
+		"paralagg_iterations 0", // per-run counters reset
+		"paralagg_comm_bytes 0",
+		"paralagg_checkpoints 1", // lifetime counters survive
+		"paralagg_runs_started 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("after OnAttempt, /metrics missing %q\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `relation="spath"`) {
+		t.Error("relation gauges should reset on a new attempt")
+	}
+}
+
+func TestCheckpointAgeGauge(t *testing.T) {
+	s := startServer(t)
+	_, body := get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, "paralagg_checkpoint_age_millis -1") {
+		t.Fatalf("no checkpoint yet should read -1:\n%s", body)
+	}
+}

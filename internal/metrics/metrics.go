@@ -17,7 +17,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"paralagg/internal/obs"
 )
 
 // TrackAllocs enables per-phase heap-allocation accounting: when set before
@@ -117,6 +120,16 @@ func (m CostModel) Cost(s Sample) float64 {
 // completes (World.Run's return synchronizes the memory).
 type Collector struct {
 	ranks []rankSeries
+
+	// observer, when set, receives a live obs.KindPhase event for every
+	// Record call — the same accounting the post-hoc report reduces, but
+	// streamed as it happens. nil (the default) adds no work and no
+	// allocations to the hot path.
+	observer obs.Observer
+	// stratum is the currently running stratum, published by the program
+	// driver so phase events carry it. Ranks run strata in lockstep, so a
+	// single atomic shared by all rank goroutines stays consistent.
+	stratum atomic.Int32
 }
 
 type rankSeries struct {
@@ -132,6 +145,23 @@ func NewCollector(size int) *Collector {
 
 // Ranks returns the world size the collector was created for.
 func (c *Collector) Ranks() int { return len(c.ranks) }
+
+// SetObserver attaches a live event stream to the collector: every Record
+// call additionally emits an obs.KindPhase event. Set it before the run
+// starts; nil detaches.
+func (c *Collector) SetObserver(o obs.Observer) { c.observer = o }
+
+// Observer returns the attached live event stream (nil when disabled). The
+// runtime's other emitters (fixpoint loop, join planner) route their events
+// through it so one attachment observes everything.
+func (c *Collector) Observer() obs.Observer { return c.observer }
+
+// SetStratum publishes the currently running stratum for event attribution.
+// Every rank calls it with the same value at each stratum boundary.
+func (c *Collector) SetStratum(s int) { c.stratum.Store(int32(s)) }
+
+// Stratum returns the last published stratum.
+func (c *Collector) Stratum() int { return int(c.stratum.Load()) }
 
 // Iterations returns the number of iterations recorded (the maximum across
 // ranks; ranks always agree because iterations are collectively
@@ -155,6 +185,17 @@ func (c *Collector) Record(rank, iter int, phase Phase, s Sample) {
 		rs.iters = append(rs.iters, iterSamples{})
 	}
 	rs.iters[iter][phase].Add(s)
+	if c.observer != nil {
+		e := obs.Get()
+		e.Kind = obs.KindPhase
+		e.Rank, e.Stratum, e.Iter = rank, c.Stratum(), iter
+		e.Phase, e.Name = int(phase), PhaseNames[phase]
+		e.End = time.Now().UnixNano()
+		e.Start = e.End - s.CPU.Nanoseconds()
+		e.Work, e.Bytes, e.Msgs = s.Work, s.Bytes, s.Msgs
+		e.CPUNanos, e.Allocs = s.CPU.Nanoseconds(), s.Allocs
+		obs.Emit(c.observer, e)
+	}
 }
 
 // Timer helps a rank meter a phase: t := StartTimer(); ... ;

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paralagg/internal/obs"
 )
 
 // Word is the unit of data movement: one 64-bit column value. It matches
@@ -54,6 +56,11 @@ type World struct {
 	fstate   *faultState
 	watchdog time.Duration
 	epochs   []atomic.Int64
+
+	// observer, when set, receives a live obs.KindRankFailed event the
+	// moment the world is poisoned — failures become visible before the
+	// collectives unwind and Run returns.
+	observer obs.Observer
 
 	// abort holds the first rank failure; it is set exactly once and then
 	// read lock-free from every blocking wait. abortCh closes alongside it
@@ -117,6 +124,10 @@ func (w *World) SetFaultPlan(plan *FaultPlan) {
 // default). It must be called before Run.
 func (w *World) SetWatchdog(timeout time.Duration) { w.watchdog = timeout }
 
+// SetObserver attaches a live event stream for world-level events (rank
+// failures). It must be called before Run; nil (the default) is free.
+func (w *World) SetObserver(o obs.Observer) { w.observer = o }
+
 // fail records the first rank failure, poisons the world, and wakes every
 // blocked wait (collective slot, mailboxes, injected hangs) so each blocked
 // rank can unwind with the failure. Later failures are ignored: the run is
@@ -124,6 +135,17 @@ func (w *World) SetWatchdog(timeout time.Duration) { w.watchdog = timeout }
 func (w *World) fail(rf *ErrRankFailed) {
 	if !w.abort.CompareAndSwap(nil, rf) {
 		return
+	}
+	if w.observer != nil {
+		e := obs.Get()
+		e.Kind = obs.KindRankFailed
+		e.Rank, e.Iter = rf.Rank, rf.Iter
+		e.Name = rf.Op
+		if rf.Cause != nil {
+			e.Err = rf.Cause.Error()
+		}
+		e.End = time.Now().UnixNano()
+		obs.Emit(w.observer, e)
 	}
 	w.abortOnce.Do(func() { close(w.abortCh) })
 	w.coll.mu.Lock()

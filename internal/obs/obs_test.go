@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestGetReturnsZeroedEvent(t *testing.T) {
+	e := Get()
+	e.Kind = KindRankFailed
+	e.Rank, e.Iter, e.Stratum = 7, 3, 1
+	e.Name, e.Err = "allgather", "boom"
+	e.PerRank = append(e.PerRank, 1, 2, 3)
+	e.Net.Retransmits = 9
+	Emit(nil, e)
+
+	// The pooled event must come back fully zeroed — stale fields would
+	// leak one emission's payload into the next.
+	e2 := Get()
+	if e2.Kind != KindRunStart || e2.Rank != 0 || e2.Name != "" || e2.Err != "" {
+		t.Fatalf("recycled event not zeroed: %+v", e2)
+	}
+	if len(e2.PerRank) != 0 {
+		t.Fatalf("recycled event has stale PerRank: %v", e2.PerRank)
+	}
+	if e2.Net != (NetStats{}) {
+		t.Fatalf("recycled event has stale NetStats: %+v", e2.Net)
+	}
+	Emit(nil, e2)
+}
+
+func TestEmitDeliversThenRecycles(t *testing.T) {
+	var got *Event
+	o := Func(func(e *Event) { got = e.Clone() })
+	e := Get()
+	e.Kind = KindIteration
+	e.Changed = 42
+	e.PerRank = append(e.PerRank, 5, 6)
+	Emit(o, e)
+	if got == nil || got.Changed != 42 {
+		t.Fatalf("observer did not receive the event: %+v", got)
+	}
+	if len(got.PerRank) != 2 || got.PerRank[0] != 5 {
+		t.Fatalf("Clone lost PerRank: %v", got.PerRank)
+	}
+	// Clone must be a deep copy: mutating the original (now recycled)
+	// backing array must not reach the clone.
+	e2 := Get()
+	e2.PerRank = append(e2.PerRank, 99, 99)
+	if got.PerRank[0] == 99 {
+		t.Fatal("Clone shares the pooled PerRank backing array")
+	}
+	Emit(nil, e2)
+}
+
+func TestTeeCollapsesAndSkipsNil(t *testing.T) {
+	if Tee() != nil {
+		t.Fatal("empty Tee should be nil")
+	}
+	if Tee(nil, nil) != nil {
+		t.Fatal("all-nil Tee should be nil")
+	}
+	one := Func(func(*Event) {})
+	if got := Tee(nil, one, nil); got == nil {
+		t.Fatal("single live observer dropped")
+	}
+	var a, b int
+	ta := Func(func(*Event) { a++ })
+	tb := Func(func(*Event) { b++ })
+	tee := Tee(ta, nil, tb)
+	e := Get()
+	Emit(tee, e)
+	if a != 1 || b != 1 {
+		t.Fatalf("tee fanout: a=%d b=%d, want 1/1", a, b)
+	}
+}
+
+type attemptSpy struct {
+	Func
+	attempts []int
+}
+
+func (s *attemptSpy) OnAttempt(n int) { s.attempts = append(s.attempts, n) }
+
+func TestTeeForwardsOnAttempt(t *testing.T) {
+	spy := &attemptSpy{Func: func(*Event) {}}
+	plain := Func(func(*Event) {})
+	tee := Tee(plain, spy)
+	aa, ok := tee.(AttemptAware)
+	if !ok {
+		t.Fatal("tee of an AttemptAware member should be AttemptAware")
+	}
+	aa.OnAttempt(1)
+	aa.OnAttempt(2)
+	if len(spy.attempts) != 2 || spy.attempts[0] != 1 || spy.attempts[1] != 2 {
+		t.Fatalf("attempts = %v, want [1 2]", spy.attempts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindRunStart; k <= KindRankFailed; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := Get()
+		e.Kind = KindPhase
+		e.Rank = 1
+		Emit(nil, e)
+	}
+}

@@ -188,7 +188,9 @@ func RunTriangleCount(g *graph.Graph, cfg paralagg.Config) (uint64, error) {
 		},
 		func(rk *paralagg.Rank) error {
 			var local uint64
-			rk.Each("tri", func(t paralagg.Tuple) { local = t[1] })
+			if err := rk.Each("tri", func(t paralagg.Tuple) { local = t[1] }); err != nil {
+				return err
+			}
 			total := rk.Reduce(local, paralagg.OpMax)
 			if rk.ID() == 0 {
 				count = total

@@ -33,11 +33,13 @@ func TestWidestPathMatchesReference(t *testing.T) {
 		},
 		func(rk *paralagg.Rank) error {
 			var wrong uint64
-			rk.Each("wp", func(tt paralagg.Tuple) {
+			if err := rk.Each("wp", func(tt paralagg.Tuple) {
 				if want[[2]uint64{tt[0], tt[1]}] != tt[2] {
 					wrong++
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
 				return fmt.Errorf("%d wrong capacities", w)
 			}
@@ -68,12 +70,14 @@ func TestReachLabelsMatchesReference(t *testing.T) {
 		},
 		func(rk *paralagg.Rank) error {
 			var wrong, count uint64
-			rk.Each("lab", func(tt paralagg.Tuple) {
+			if err := rk.Each("lab", func(tt paralagg.Tuple) {
 				count++
 				if want[tt[0]] != tt[1] {
 					wrong++
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
 				return fmt.Errorf("%d wrong label masks", w)
 			}

@@ -18,12 +18,14 @@ func TestSSSPMatchesDijkstraMultiSource(t *testing.T) {
 		func(rk *paralagg.Rank) error { return LoadSSSP(rk, g, sources) },
 		func(rk *paralagg.Rank) error {
 			var wrong, count uint64
-			rk.Each("spath", func(tt paralagg.Tuple) {
+			if err := rk.Each("spath", func(tt paralagg.Tuple) {
 				count++
 				if d, ok := want[[2]uint64{tt[0], tt[1]}]; !ok || d != tt[2] {
 					wrong++
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			w := rk.Reduce(wrong, paralagg.OpSum)
 			c := rk.Reduce(count, paralagg.OpSum)
 			if w != 0 {
@@ -67,11 +69,13 @@ func TestCCMatchesUnionFind(t *testing.T) {
 		func(rk *paralagg.Rank) error { return LoadCC(rk, g) },
 		func(rk *paralagg.Rank) error {
 			var wrong uint64
-			rk.Each("cc", func(tt paralagg.Tuple) {
+			if err := rk.Each("cc", func(tt paralagg.Tuple) {
 				if want[tt[0]] != tt[1] {
 					wrong++
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
 				return fmt.Errorf("%d wrong labels", w)
 			}
@@ -114,7 +118,7 @@ func TestPageRankMatchesPowerIteration(t *testing.T) {
 		func(rk *paralagg.Rank) error { return LoadPageRank(rk, g) },
 		func(rk *paralagg.Rank) error {
 			var localMax float64
-			rk.Each("pr", func(tt paralagg.Tuple) {
+			if err := rk.Each("pr", func(tt paralagg.Tuple) {
 				if tt[0] != iters {
 					return
 				}
@@ -122,7 +126,9 @@ func TestPageRankMatchesPowerIteration(t *testing.T) {
 				if d := math.Abs(got - want[tt[1]]); d > localMax {
 					localMax = d
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			bits := rk.Reduce(math.Float64bits(localMax), paralagg.OpMax)
 			// Max over float bit patterns is order-preserving for
 			// non-negative floats.
@@ -155,7 +161,9 @@ func TestLspMatchesReference(t *testing.T) {
 		func(rk *paralagg.Rank) error { return LoadSSSP(rk, g, sources) },
 		func(rk *paralagg.Rank) error {
 			var local uint64
-			rk.Each("lsp", func(tt paralagg.Tuple) { local = tt[1] })
+			if err := rk.Each("lsp", func(tt paralagg.Tuple) { local = tt[1] }); err != nil {
+				return err
+			}
 			g := rk.Reduce(local, paralagg.OpMax)
 			if rk.ID() == 0 {
 				got = g
@@ -189,11 +197,13 @@ func TestStratifiedSSSPAgreesButMaterializesMore(t *testing.T) {
 		func(rk *paralagg.Rank) error { return LoadStratifiedSSSP(rk, g, sources) },
 		func(rk *paralagg.Rank) error {
 			var wrong uint64
-			rk.Each("spath", func(tt paralagg.Tuple) {
+			if err := rk.Each("spath", func(tt paralagg.Tuple) {
 				if d, ok := want[[2]uint64{tt[0], tt[1]}]; !ok || d != tt[2] {
 					wrong++
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			if w := rk.Reduce(wrong, paralagg.OpSum); w != 0 {
 				return fmt.Errorf("%d wrong stratified distances", w)
 			}

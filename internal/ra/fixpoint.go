@@ -2,10 +2,12 @@ package ra
 
 import (
 	"fmt"
+	"time"
 
 	"paralagg/internal/btree"
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
+	"paralagg/internal/obs"
 	"paralagg/internal/relation"
 	"paralagg/internal/tuple"
 )
@@ -248,6 +250,7 @@ func (f *Fixpoint) Resume(opts Options) (int, error) {
 		}
 		f.MC.Record(f.Comm.Rank(), cp.Iter, metrics.PhaseRecovery,
 			timer.Done(int64(len(cp.Words)), int64(len(cp.Words)*mpi.WordBytes), 0))
+		f.emitRecovery(opts, "recovery", cp.Iter, len(cp.Words)*mpi.WordBytes)
 		return f.run(opts, cp.Iter), nil
 	}
 
@@ -267,7 +270,24 @@ func (f *Fixpoint) Resume(opts Options) (int, error) {
 	}
 	f.MC.Record(f.Comm.Rank(), pos.Iter, metrics.PhaseRemap,
 		timer.Done(int64(words), int64(words*mpi.WordBytes), 0))
+	f.emitRecovery(opts, "remap", pos.Iter, words*mpi.WordBytes)
 	return f.run(opts, pos.Iter), nil
+}
+
+// emitRecovery streams a checkpoint-restore event: path is "recovery" for a
+// same-size reload, "remap" for the elastic re-hash.
+func (f *Fixpoint) emitRecovery(opts Options, path string, iter, bytes int) {
+	o := f.MC.Observer()
+	if o == nil {
+		return
+	}
+	e := obs.Get()
+	e.Kind = obs.KindRecovery
+	e.Rank, e.Stratum, e.Iter = f.Comm.Rank(), opts.Stratum, iter
+	e.Name = path
+	e.Bytes = int64(bytes)
+	e.End = time.Now().UnixNano()
+	obs.Emit(o, e)
 }
 
 // remapSnapshots decodes every old rank's checkpoint payload and restores
@@ -331,6 +351,14 @@ func (f *Fixpoint) checkpoint(opts Options, iter int) {
 	}
 	f.MC.Record(rank, iter-1, metrics.PhaseCheckpoint,
 		timer.Done(int64(len(words)), int64(len(words)*mpi.WordBytes), 0))
+	if o := f.MC.Observer(); o != nil {
+		e := obs.Get()
+		e.Kind = obs.KindCheckpoint
+		e.Rank, e.Stratum, e.Iter = rank, opts.Stratum, iter
+		e.Bytes = int64(len(words) * mpi.WordBytes)
+		e.End = time.Now().UnixNano()
+		obs.Emit(o, e)
+	}
 }
 
 // restoreSnapshot decodes a checkpoint payload into the snapshot set.
@@ -378,6 +406,16 @@ func (f *Fixpoint) step(opts Options, iter int) uint64 {
 	// Publish the iteration to the fault layer: injected faults target
 	// it and failure reports carry it.
 	f.Comm.SetEpoch(iter)
+	// Live observability: snapshot wall time and communication counters so
+	// the iteration event carries the iteration's deltas. The nil path does
+	// no work (the steady-state iteration stays allocation-free).
+	o := f.MC.Observer()
+	var iterStart int64
+	var pre mpi.Totals
+	if o != nil {
+		iterStart = time.Now().UnixNano()
+		pre = f.Comm.Stats().Snapshot()
+	}
 	if opts.AdaptiveBalance {
 		f.rebalance(iter, f.allRels, opts)
 	}
@@ -401,7 +439,54 @@ func (f *Fixpoint) step(opts Options, iter int) uint64 {
 	if opts.AfterIteration != nil {
 		opts.AfterIteration(iter, changed)
 	}
+	if o != nil {
+		f.emitIteration(o, opts, iter, changed, iterStart, pre)
+	}
 	return changed
+}
+
+// emitIteration streams the end-of-iteration events: one obs.KindRelation
+// event per head (global size, global Δ, per-rank distribution — Fig. 3's
+// skew signal, live) and one obs.KindIteration event carrying the changed
+// count plus the iteration's communication and transport-robustness deltas.
+// The per-rank distribution performs one allgather per head, so observation
+// must be enabled uniformly across ranks (Exec guarantees it in-process).
+func (f *Fixpoint) emitIteration(o obs.Observer, opts Options, iter int, changed uint64, startNS int64, pre mpi.Totals) {
+	rank, stratum := f.Comm.Rank(), f.MC.Stratum()
+	for _, h := range f.heads {
+		counts := h.PerRankCounts()
+		total := uint64(0)
+		for _, c := range counts {
+			total += uint64(c)
+		}
+		e := obs.Get()
+		e.Kind = obs.KindRelation
+		e.Rank, e.Stratum, e.Iter = rank, stratum, iter
+		e.Name = h.Name
+		e.Count, e.Changed = total, h.ChangedLast()
+		e.PerRank = append(e.PerRank, counts...)
+		e.End = time.Now().UnixNano()
+		obs.Emit(o, e)
+	}
+	d := f.Comm.Stats().Snapshot().Sub(pre)
+	e := obs.Get()
+	e.Kind = obs.KindIteration
+	e.Rank, e.Stratum, e.Iter = rank, stratum, iter
+	e.Changed = changed
+	e.Start, e.End = startNS, time.Now().UnixNano()
+	e.Bytes = int64(d.Bytes())
+	e.Msgs = int64(d.P2PMessages + d.CollectiveCalls)
+	e.Net = obs.NetStats{
+		FramesSent:      d.Net.FramesSent,
+		FramesRecv:      d.Net.FramesRecv,
+		DialRetries:     d.Net.DialRetries,
+		Reconnects:      d.Net.Reconnects,
+		Retransmits:     d.Net.Retransmits,
+		DupsDropped:     d.Net.DupsDropped,
+		HeartbeatMisses: d.Net.HeartbeatMisses,
+		CRCErrors:       d.Net.CRCErrors,
+	}
+	obs.Emit(o, e)
 }
 
 // run is the shared fixpoint loop, entered at startIter (0 for a fresh run,

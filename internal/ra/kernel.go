@@ -6,9 +6,11 @@ package ra
 
 import (
 	"math/bits"
+	"time"
 
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
+	"paralagg/internal/obs"
 	"paralagg/internal/relation"
 	"paralagg/internal/tuple"
 )
@@ -171,6 +173,15 @@ func (j *Join) Run(iter int, vl, vr Version, mode PlanMode, mc *metrics.Collecto
 			outerIsLeft = !outerIsLeft
 		}
 		mc.Record(rank, iter, metrics.PhasePlanning, timer.Done(1, mpi.WordBytes, logRanks(size)))
+		if o := mc.Observer(); o != nil {
+			e := obs.Get()
+			e.Kind = obs.KindPlan
+			e.Rank, e.Stratum, e.Iter = rank, mc.Stratum(), iter
+			e.Name = j.Name
+			e.VotesFor, e.OuterLeft = ranksWantLeft, outerIsLeft
+			e.End = time.Now().UnixNano()
+			obs.Emit(o, e)
+		}
 	}
 
 	outerIx, innerIx := j.Left, j.Right

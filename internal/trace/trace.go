@@ -1,0 +1,188 @@
+// Package trace renders the live observability event stream as a Chrome
+// trace file (the JSON Array / Trace Event format chrome://tracing and
+// Perfetto load): one thread track per rank, one complete-event span per
+// metered phase sample, nested inside per-iteration spans, with relation
+// sizes as counter tracks and failures/checkpoints as instant events. The
+// result makes the paper's Fig. 1 phase pipeline and Fig. 7 per-iteration
+// structure visible for any run, live or post-hoc.
+//
+// A Recorder is an obs.Observer: attach it via Config.Observer, run, then
+// WriteFile. It is safe for concurrent emission from every rank goroutine.
+// Under supervision it is AttemptAware: each restart opens a new process
+// group ("attempt N") so recoveries are visually separate.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"paralagg/internal/obs"
+)
+
+// span is one Chrome trace event. Fields follow the Trace Event Format
+// field names (ph "X" = complete, "i" = instant, "C" = counter, "M" =
+// metadata).
+type span struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Recorder accumulates trace events from the live stream.
+type Recorder struct {
+	mu      sync.Mutex
+	attempt int
+	base    int64 // first-seen wall-clock nanos; all timestamps are relative
+	last    int64 // latest stamp seen, substituted for unstamped events
+	spans   []span
+	ranks   map[[2]int]bool // (attempt, rank) tracks seen
+}
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{ranks: map[[2]int]bool{}}
+}
+
+// OnAttempt implements obs.AttemptAware: spans recorded after this call land
+// in a new "attempt n" process group.
+func (r *Recorder) OnAttempt(n int) {
+	r.mu.Lock()
+	r.attempt = n
+	r.mu.Unlock()
+}
+
+// ts converts an absolute UnixNano stamp to trace microseconds, anchoring
+// the run's first event at zero. Unstamped events (ns <= 0) reuse the
+// latest stamp, ordering them by arrival.
+func (r *Recorder) ts(ns int64) float64 {
+	if ns <= 0 {
+		ns = r.last
+	}
+	if ns <= 0 {
+		return 0
+	}
+	if r.base == 0 || ns < r.base {
+		r.base = ns
+	}
+	if ns > r.last {
+		r.last = ns
+	}
+	return float64(ns-r.base) / 1e3
+}
+
+// OnEvent implements obs.Observer.
+func (r *Recorder) OnEvent(e *obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pid := r.attempt
+	r.ranks[[2]int{pid, e.Rank}] = true
+	switch e.Kind {
+	case obs.KindPhase:
+		r.spans = append(r.spans, span{
+			Name: e.Name, Ph: "X", PID: pid, TID: e.Rank,
+			TS: r.ts(e.Start), Dur: float64(e.CPUNanos) / 1e3,
+			Args: map[string]any{"work": e.Work, "bytes": e.Bytes, "msgs": e.Msgs, "iter": e.Iter, "stratum": e.Stratum},
+		})
+	case obs.KindIteration:
+		r.spans = append(r.spans, span{
+			Name: fmt.Sprintf("iter %d", e.Iter), Ph: "X", PID: pid, TID: e.Rank,
+			TS: r.ts(e.Start), Dur: float64(e.End-e.Start) / 1e3,
+			Args: map[string]any{"changed": e.Changed, "bytes": e.Bytes, "msgs": e.Msgs, "retransmits": e.Net.Retransmits},
+		})
+	case obs.KindRelation:
+		r.spans = append(r.spans, span{
+			Name: e.Name + " tuples", Ph: "C", PID: pid, TID: e.Rank,
+			TS:   r.ts(e.End),
+			Args: map[string]any{"total": e.Count, "delta": e.Changed, "local": localCount(e)},
+		})
+	case obs.KindPlan:
+		r.spans = append(r.spans, span{
+			Name: "plan", Ph: "i", S: "t", PID: pid, TID: e.Rank, TS: r.ts(e.End),
+			Args: map[string]any{"join": e.Name, "votesLeft": e.VotesFor, "outerLeft": e.OuterLeft},
+		})
+	case obs.KindCheckpoint:
+		r.spans = append(r.spans, span{
+			Name: "checkpoint", Ph: "i", S: "t", PID: pid, TID: e.Rank, TS: r.ts(e.End),
+			Args: map[string]any{"iter": e.Iter, "bytes": e.Bytes},
+		})
+	case obs.KindRecovery:
+		r.spans = append(r.spans, span{
+			Name: e.Name, Ph: "i", S: "p", PID: pid, TID: e.Rank, TS: r.ts(e.End),
+			Args: map[string]any{"iter": e.Iter, "bytes": e.Bytes},
+		})
+	case obs.KindRankFailed:
+		r.spans = append(r.spans, span{
+			Name: "rank failed", Ph: "i", S: "g", PID: pid, TID: e.Rank, TS: r.ts(e.End),
+			Args: map[string]any{"op": e.Name, "iter": e.Iter, "cause": e.Err},
+		})
+	case obs.KindStratumStart:
+		r.spans = append(r.spans, span{
+			Name: fmt.Sprintf("stratum %d", e.Stratum), Ph: "i", S: "t",
+			PID: pid, TID: e.Rank, TS: r.ts(e.End),
+		})
+	}
+}
+
+// localCount returns the emitting rank's own tuple count from a relation
+// event's distribution.
+func localCount(e *obs.Event) int {
+	if e.Rank >= 0 && e.Rank < len(e.PerRank) {
+		return e.PerRank[e.Rank]
+	}
+	return 0
+}
+
+// Spans returns the number of events recorded so far.
+func (r *Recorder) Spans() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// WriteJSON renders the trace in Chrome's JSON Object Format, including
+// thread-name metadata so each track is labeled "rank N" (and each process
+// group "attempt N" when a supervised run restarted).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := make([]span, 0, len(r.spans)+2*len(r.ranks))
+	for key := range r.ranks {
+		pid, tid := key[0], key[1]
+		if tid < 0 {
+			continue
+		}
+		events = append(events, span{
+			Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", tid)},
+		})
+		events = append(events, span{
+			Name: "process_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": fmt.Sprintf("attempt %d", pid)},
+		})
+	}
+	events = append(events, r.spans...)
+	doc := map[string]any{"traceEvents": events, "displayTimeUnit": "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the trace to path (0644), ready for chrome://tracing.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

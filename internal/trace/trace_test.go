@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"paralagg/internal/obs"
+)
+
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func emit(r *Recorder, fill func(*obs.Event)) {
+	e := obs.Get()
+	fill(e)
+	obs.Emit(r, e)
+}
+
+func render(t *testing.T, r *Recorder) traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON did not produce valid JSON: %v", err)
+	}
+	return doc
+}
+
+func TestRecorderTracksAndAnchors(t *testing.T) {
+	r := NewRecorder()
+	base := int64(1_000_000_000_000)
+	for rank := 0; rank < 2; rank++ {
+		emit(r, func(e *obs.Event) {
+			e.Kind = obs.KindPhase
+			e.Rank, e.Iter = rank, 0
+			e.Name = "local-join"
+			e.Start, e.End = base+int64(rank)*1000, base+int64(rank)*1000+500
+			e.CPUNanos = 500
+		})
+	}
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindIteration
+		e.Rank, e.Iter = 0, 0
+		e.Changed = 17
+		e.Start, e.End = base, base+3000
+	})
+
+	doc := render(t, r)
+	var spanTIDs []int
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spanTIDs = append(spanTIDs, ev.TID)
+			names = append(names, ev.Name)
+			// First stamp anchors at zero: every timestamp is a small
+			// offset, never an absolute UnixNano.
+			if ev.TS < 0 || ev.TS > 1e6 {
+				t.Fatalf("span %q ts=%v not anchored to run start", ev.Name, ev.TS)
+			}
+		}
+	}
+	if len(spanTIDs) != 3 {
+		t.Fatalf("want 3 X spans, got %d (%v)", len(spanTIDs), names)
+	}
+	threadNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			threadNames[ev.TID], _ = ev.Args["name"].(string)
+		}
+	}
+	if threadNames[0] != "rank 0" || threadNames[1] != "rank 1" {
+		t.Fatalf("thread names = %v", threadNames)
+	}
+}
+
+func TestRecorderUnstampedEventsReuseLastStamp(t *testing.T) {
+	r := NewRecorder()
+	base := int64(5_000_000_000_000)
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindPhase
+		e.Name = "planning"
+		e.Start, e.End = base, base+100
+		e.CPUNanos = 100
+	})
+	// An unstamped instant (End == 0) must not drag the anchor to zero and
+	// blow up every later timestamp; it reuses the latest stamp instead.
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindPlan
+		e.Name = "j"
+	})
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindPhase
+		e.Name = "local-agg"
+		e.Start, e.End = base+2000, base+2100
+		e.CPUNanos = 100
+	})
+	doc := render(t, r)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.TS < 0 || ev.TS > 1e6 {
+			t.Fatalf("event %q ts=%v: zero-stamp corrupted the time anchor", ev.Name, ev.TS)
+		}
+	}
+}
+
+func TestRecorderAttemptGroups(t *testing.T) {
+	r := NewRecorder()
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindPhase
+		e.Name = "local-join"
+		e.Start, e.End, e.CPUNanos = 10, 20, 10
+	})
+	r.OnAttempt(1)
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindPhase
+		e.Name = "local-join"
+		e.Start, e.End, e.CPUNanos = 30, 40, 10
+	})
+	doc := render(t, r)
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.PID] = true
+		}
+	}
+	if !pids[0] || !pids[1] {
+		t.Fatalf("want spans in attempt groups 0 and 1, got %v", pids)
+	}
+	procNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procNames[ev.PID], _ = ev.Args["name"].(string)
+		}
+	}
+	if procNames[1] != "attempt 1" {
+		t.Fatalf("process names = %v", procNames)
+	}
+}
+
+func TestRecorderRelationCounterAndInstants(t *testing.T) {
+	r := NewRecorder()
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindRelation
+		e.Rank, e.Name = 1, "spath"
+		e.Count, e.Changed = 100, 7
+		e.PerRank = append(e.PerRank, 40, 60)
+		e.End = 1000
+	})
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindRankFailed
+		e.Rank, e.Name, e.Err = 1, "allreduce", "killed"
+		e.End = 2000
+	})
+	emit(r, func(e *obs.Event) {
+		e.Kind = obs.KindRecovery
+		e.Name = "remap"
+		e.End = 3000
+	})
+	doc := render(t, r)
+	var counter, failed, recovery bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "C" && ev.Name == "spath tuples":
+			counter = true
+			if ev.Args["local"].(float64) != 60 {
+				t.Fatalf("local count = %v, want the emitting rank's share 60", ev.Args["local"])
+			}
+		case ev.Ph == "i" && ev.Name == "rank failed":
+			failed = true
+		case ev.Ph == "i" && ev.Name == "remap":
+			recovery = true
+		}
+	}
+	if !counter || !failed || !recovery {
+		t.Fatalf("missing events: counter=%v failed=%v recovery=%v", counter, failed, recovery)
+	}
+}

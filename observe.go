@@ -1,0 +1,67 @@
+package paralagg
+
+import (
+	"paralagg/internal/live"
+	"paralagg/internal/obs"
+	"paralagg/internal/trace"
+)
+
+// Live observability surface: Config.Observer receives the runtime's event
+// stream while the run is in flight — per-iteration phase timings, Δ sizes,
+// per-rank tuple distributions, join-plan votes, communication and
+// transport-robustness deltas, checkpoint/recovery activity, and rank
+// failures. Two ready-made consumers ship with the package: a Chrome-trace
+// recorder (NewTraceRecorder) and a live HTTP metrics server
+// (StartLiveServer). TeeObservers combines several.
+
+// Observer receives runtime events (see Config.Observer). Implementations
+// must be safe for concurrent use and must not retain events past OnEvent.
+type Observer = obs.Observer
+
+// Event is one observability record; its Kind selects which fields are
+// meaningful. Events are pooled — Clone one to retain it.
+type Event = obs.Event
+
+// EventKind discriminates Event payloads.
+type EventKind = obs.Kind
+
+// Event kinds, re-exported for observers that switch on them.
+const (
+	EventRunStart     = obs.KindRunStart
+	EventRunEnd       = obs.KindRunEnd
+	EventStratumStart = obs.KindStratumStart
+	EventPhase        = obs.KindPhase
+	EventPlan         = obs.KindPlan
+	EventIteration    = obs.KindIteration
+	EventRelation     = obs.KindRelation
+	EventCheckpoint   = obs.KindCheckpoint
+	EventRecovery     = obs.KindRecovery
+	EventRankFailed   = obs.KindRankFailed
+)
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = obs.Func
+
+// TeeObservers fans the event stream out to several observers in order;
+// nil entries are skipped, and a tee of zero live observers is nil.
+func TeeObservers(os ...Observer) Observer { return obs.Tee(os...) }
+
+// TraceRecorder collects the event stream into a Chrome-trace file
+// (chrome://tracing / Perfetto): one track per rank with a span for every
+// metered phase of every iteration, relation-size counter tracks, and
+// instant markers for plans, checkpoints, recoveries, and failures.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns an empty trace recorder; attach it via
+// Config.Observer and call WriteFile after the run (or mid-run — the
+// recorder is concurrency-safe).
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// LiveServer serves live counters over HTTP: /metrics (Prometheus text),
+// /vars (JSON), and /debug/pprof. It updates from the event stream and
+// survives supervised restarts (each attempt re-registers cleanly).
+type LiveServer = live.Server
+
+// StartLiveServer listens on addr (port 0 picks a free one) and returns the
+// running server; attach it via Config.Observer.
+func StartLiveServer(addr string) (*LiveServer, error) { return live.Start(addr) }

@@ -34,7 +34,9 @@ import (
 	"paralagg/internal/core"
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
+	"paralagg/internal/obs"
 	"paralagg/internal/ra"
+	"paralagg/internal/relation"
 	"paralagg/internal/tuple"
 )
 
@@ -111,6 +113,56 @@ type Config struct {
 	// checkpointed stratum continues from its saved iteration. The load
 	// callback still runs (relations restore wholesale over loaded facts).
 	Resume bool
+
+	// Observer, when set, receives the live event stream: per-iteration
+	// events with phase timings, Δ sizes, per-rank tuple counts, plan
+	// votes, and communication/transport deltas, plus checkpoint, recovery,
+	// and rank-failure events — everything the post-hoc Result reports,
+	// streamed while the run is in flight. Implementations must be safe for
+	// concurrent use (every rank goroutine emits) and must not retain
+	// events past OnEvent (they are pooled; Event.Clone copies).
+	//
+	// nil (the default) is free: the runtime performs no observability work
+	// and no allocations. Observation may add collective operations (the
+	// per-rank distribution events allgather), so in a distributed world
+	// every process must agree on whether an Observer is attached.
+	Observer Observer
+}
+
+// Validate rejects incoherent configurations with errors that say how to
+// fix them. Exec calls it first, so a bad config fails fast instead of
+// silently defaulting or misbehaving mid-run.
+func (c Config) Validate() error {
+	if c.Ranks < 0 {
+		return fmt.Errorf("paralagg: Config.Ranks must be >= 0, got %d (0 means the default of 4)", c.Ranks)
+	}
+	if c.Transport != nil && c.Ranks != 0 {
+		return fmt.Errorf("paralagg: Config.Transport and Config.Ranks are mutually exclusive: the world size is Transport.Size() = %d (leave Ranks zero)", c.Transport.Size())
+	}
+	if c.Subs < 0 {
+		return fmt.Errorf("paralagg: Config.Subs must be >= 0, got %d (0 or 1 disables sub-bucketing)", c.Subs)
+	}
+	for name, s := range c.SubsFor {
+		if s < 0 {
+			return fmt.Errorf("paralagg: Config.SubsFor[%q] must be >= 0, got %d", name, s)
+		}
+	}
+	if c.MaxIters < 0 {
+		return fmt.Errorf("paralagg: Config.MaxIters must be >= 0, got %d (0 runs to fixpoint)", c.MaxIters)
+	}
+	if c.Watchdog < 0 {
+		return fmt.Errorf("paralagg: Config.Watchdog must be >= 0, got %v (0 disables the watchdog)", c.Watchdog)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("paralagg: Config.CheckpointEvery must be >= 0, got %d (0 disables checkpointing)", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.Checkpoints == nil {
+		return fmt.Errorf("paralagg: Config.CheckpointEvery = %d needs Config.Checkpoints: without a sink there is nowhere to store the snapshots", c.CheckpointEvery)
+	}
+	if c.Resume && c.Checkpoints == nil {
+		return fmt.Errorf("paralagg: Config.Resume needs Config.Checkpoints: there is no sink to restore from")
+	}
+	return nil
 }
 
 func (c Config) ranks() int {
@@ -141,13 +193,24 @@ func (r *Rank) ID() int { return r.comm.Rank() }
 // Size returns the world size.
 func (r *Rank) Size() int { return r.comm.Size() }
 
+// relation resolves a declared relation by name. Programs refer to
+// relations uniformly on every rank, so an unknown name errors identically
+// world-wide and collective discipline is preserved.
+func (r *Rank) relation(rel string) (*relation.Relation, error) {
+	rl := r.inst.Relation(rel)
+	if rl == nil {
+		return nil, fmt.Errorf("paralagg: unknown relation %q", rel)
+	}
+	return rl, nil
+}
+
 // Load feeds this rank's share of base facts into a relation (canonical
 // column order). Collective: every rank must call it for the same relation
 // in the same order.
 func (r *Rank) Load(rel string, facts []Tuple) error {
-	rl := r.inst.Relation(rel)
-	if rl == nil {
-		return fmt.Errorf("paralagg: unknown relation %s", rel)
+	rl, err := r.relation(rel)
+	if err != nil {
+		return err
 	}
 	buf := tuple.NewBuffer(rl.Arity, len(facts))
 	for _, f := range facts {
@@ -165,24 +228,34 @@ func (r *Rank) LoadShare(rel string, n int, gen func(i int, emit func(Tuple))) e
 	})
 }
 
-// Count returns the global tuple count of a relation. Collective.
-func (r *Rank) Count(rel string) uint64 {
-	return r.inst.Relation(rel).GlobalFullCount()
+// Count returns the global tuple count of a relation, or an error for an
+// unknown relation name (consistent with Load). Collective.
+func (r *Rank) Count(rel string) (uint64, error) {
+	rl, err := r.relation(rel)
+	if err != nil {
+		return 0, err
+	}
+	return rl.GlobalFullCount(), nil
 }
 
 // Each iterates this rank's locally stored result tuples of a relation in
 // canonical column order (the accumulator for aggregated relations, the
-// canonical index for set relations). Rank-local.
-func (r *Rank) Each(rel string, fn func(Tuple)) {
-	rl := r.inst.Relation(rel)
+// canonical index for set relations), or errors for an unknown relation
+// name. Rank-local.
+func (r *Rank) Each(rel string, fn func(Tuple)) error {
+	rl, err := r.relation(rel)
+	if err != nil {
+		return err
+	}
 	if rl.Agg != nil {
 		rl.EachAcc(func(t tuple.Tuple) { fn(Tuple(t)) })
-		return
+		return nil
 	}
 	rl.Canonical().Full.Ascend(func(t tuple.Tuple) bool {
 		fn(Tuple(t))
 		return true
 	})
+	return nil
 }
 
 // Reduce combines one word from every rank. Collective.
@@ -194,9 +267,14 @@ func (r *Rank) Reduce(v uint64, op ReduceOp) uint64 {
 func (r *Rank) GatherAll(v uint64) []uint64 { return r.comm.Allgather(v) }
 
 // PerRankCounts returns every rank's local tuple count for a relation
-// (Figure 3's distribution data). Collective.
-func (r *Rank) PerRankCounts(rel string) []int {
-	return r.inst.Relation(rel).PerRankCounts()
+// (Figure 3's distribution data), or an error for an unknown relation name.
+// Collective.
+func (r *Rank) PerRankCounts(rel string) ([]int, error) {
+	rl, err := r.relation(rel)
+	if err != nil {
+		return nil, err
+	}
+	return rl.PerRankCounts(), nil
 }
 
 // ReduceOp mirrors the runtime's reduction operators.
@@ -240,6 +318,9 @@ type Result struct {
 // non-nil, runs after the fixpoint completes. Both must perform identical
 // sequences of collective operations on every rank.
 func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank) error) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	size := cfg.ranks()
 	var world *mpi.World
 	if cfg.Transport != nil {
@@ -254,7 +335,15 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 	if cfg.Watchdog > 0 {
 		world.SetWatchdog(cfg.Watchdog)
 	}
+	if cfg.Observer != nil {
+		world.SetObserver(cfg.Observer)
+		e := obs.Get()
+		e.Kind, e.Rank, e.Ranks = obs.KindRunStart, -1, size
+		e.End = time.Now().UnixNano()
+		obs.Emit(cfg.Observer, e)
+	}
 	mc := metrics.NewCollector(size)
+	mc.SetObserver(cfg.Observer)
 	res := &Result{Ranks: size, Counts: map[string]uint64{}}
 
 	runCfg := core.Config{
@@ -311,6 +400,15 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 		err = world.RunLocal(body)
 	} else {
 		err = world.Run(body)
+	}
+	if cfg.Observer != nil {
+		e := obs.Get()
+		e.Kind, e.Rank = obs.KindRunEnd, -1
+		if err != nil {
+			e.Err = err.Error()
+		}
+		e.End = time.Now().UnixNano()
+		obs.Emit(cfg.Observer, e)
 	}
 	if err != nil {
 		return nil, err

@@ -48,17 +48,22 @@ func TestExecConnectedComponents(t *testing.T) {
 			// Verify labels: min node id of each component.
 			want := map[uint64]uint64{0: 0, 1: 0, 2: 0, 3: 3, 4: 3}
 			var wrong uint64
-			rk.Each("cc", func(tt Tuple) {
+			if err := rk.Each("cc", func(tt Tuple) {
 				if want[tt[0]] != tt[1] {
 					wrong++
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			if g := rk.Reduce(wrong, OpSum); g != 0 {
 				return fmt.Errorf("%d wrong labels", g)
 			}
 			labelsMu.Lock()
-			rk.Each("cc", func(tt Tuple) { labels[tt[0]] = tt[1] })
+			err := rk.Each("cc", func(tt Tuple) { labels[tt[0]] = tt[1] })
 			labelsMu.Unlock()
+			if err != nil {
+				return err
+			}
 			return nil
 		})
 	if err != nil {
@@ -141,11 +146,13 @@ func TestExecSubBucketsAgree(t *testing.T) {
 	for _, subs := range []int{1, 8} {
 		res, err := Exec(p, Config{Ranks: 4, Subs: subs}, load, func(rk *Rank) error {
 			var bad uint64
-			rk.Each("cc", func(tt Tuple) {
+			if err := rk.Each("cc", func(tt Tuple) {
 				if tt[1] != 0 {
 					bad++
 				}
-			})
+			}); err != nil {
+				return err
+			}
 			if g := rk.Reduce(bad, OpSum); g != 0 {
 				return fmt.Errorf("subs=%d: %d nodes mislabeled", subs, g)
 			}
@@ -215,11 +222,13 @@ func TestExecAdaptiveBalancing(t *testing.T) {
 	}
 	res, err := Exec(p, Config{Ranks: 6, Subs: 1, Adaptive: true}, load, func(rk *Rank) error {
 		var bad uint64
-		rk.Each("cc", func(tt Tuple) {
+		if err := rk.Each("cc", func(tt Tuple) {
 			if tt[1] != 0 {
 				bad++
 			}
-		})
+		}); err != nil {
+			return err
+		}
 		if g := rk.Reduce(bad, OpSum); g != 0 {
 			return fmt.Errorf("%d mislabeled nodes under adaptive balancing", g)
 		}

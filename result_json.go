@@ -1,0 +1,57 @@
+package paralagg
+
+import "encoding/json"
+
+// resultJSON pins the machine-readable field names of Result. The wire
+// names are part of the public contract — tooling parses them — so they are
+// spelled out here instead of being derived from the Go field names.
+type resultJSON struct {
+	Ranks            int                  `json:"ranks"`
+	StratumIters     []int                `json:"stratum_iters"`
+	Iterations       int                  `json:"iterations"`
+	Counts           map[string]uint64    `json:"counts"`
+	SimSeconds       float64              `json:"sim_seconds"`
+	PhaseSeconds     map[string]float64   `json:"phase_seconds"`
+	IterPhaseSeconds []map[string]float64 `json:"iter_phase_seconds"`
+	CommBytes        int64                `json:"comm_bytes"`
+	CommMsgs         int64                `json:"comm_msgs"`
+}
+
+// MarshalJSON implements json.Marshaler with stable, documented field names
+// (including the per-phase and per-iteration breakdowns), so results can be
+// consumed by dashboards and scripts: cmd/paralagg -json prints exactly
+// this document.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Ranks:            r.Ranks,
+		StratumIters:     r.StratumIters,
+		Iterations:       r.Iterations,
+		Counts:           r.Counts,
+		SimSeconds:       r.SimSeconds,
+		PhaseSeconds:     r.PhaseSeconds,
+		IterPhaseSeconds: r.IterPhaseSeconds,
+		CommBytes:        r.CommBytes,
+		CommMsgs:         r.CommMsgs,
+	})
+}
+
+// UnmarshalJSON accepts the document MarshalJSON produces, so results
+// round-trip through files and pipes.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var rj resultJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return err
+	}
+	*r = Result{
+		Ranks:            rj.Ranks,
+		StratumIters:     rj.StratumIters,
+		Iterations:       rj.Iterations,
+		Counts:           rj.Counts,
+		SimSeconds:       rj.SimSeconds,
+		PhaseSeconds:     rj.PhaseSeconds,
+		IterPhaseSeconds: rj.IterPhaseSeconds,
+		CommBytes:        rj.CommBytes,
+		CommMsgs:         rj.CommMsgs,
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"paralagg/internal/mpi"
+	"paralagg/internal/obs"
 	"paralagg/internal/supervisor"
 )
 
@@ -84,6 +85,12 @@ func Supervise(prog *Program, cfg SuperviseConfig, load func(*Rank) error, inspe
 	srep, err := supervisor.Run(cfg.ranks(), scfg, func(attempt, ranks int, resume bool) error {
 		c := cfg.Config
 		c.Ranks = ranks
+		// Re-register attempt-aware observers (trace recorders open a new
+		// process group, the live server advances its attempt gauge and
+		// resets per-run counters) so each restart is observed cleanly.
+		if aa, ok := c.Observer.(obs.AttemptAware); ok {
+			aa.OnAttempt(attempt)
+		}
 		switch {
 		case cfg.FaultsFor != nil:
 			c.Faults = cfg.FaultsFor(attempt)
