@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint trace-smoke chaos chaos-net verify bench bench-smoke
+.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity verify bench bench-smoke bench-integrity
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,19 @@ chaos:
 chaos-net:
 	$(GO) run ./cmd/paralagg -chaos-net
 
+# chaos-integrity runs the state-integrity suite: silent in-memory bit
+# flips must be detected within one iteration and healed by supervised
+# rollback, rotten checkpoint generations must be quarantined with recovery
+# falling back exactly one generation, and TCP gangs must agree on the
+# divergence — every recovered answer bit-identical to the fault-free one.
+chaos-integrity:
+	$(GO) run ./cmd/paralagg -chaos-integrity
+
 # verify is the CI gate: static checks plus the full suite under the race
 # detector (the SPMD runtime is all goroutines — races are correctness bugs
-# here, not style).
+# here, not style). The -race pass includes the integrity differentials in
+# internal/chaos: divergence detection panics cross every rank's goroutine,
+# so they are exactly where races would hide.
 verify: vet
 	$(GO) test -race ./...
 
@@ -63,3 +73,12 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Hotpath|AccInsert|SetDedup' -benchmem -benchtime 1x ./... \
 		| $(GO) run ./cmd/benchjson
+
+# bench-integrity measures the online divergence-detection overhead:
+# identical SSSP fixpoints with fingerprinting off and on, recorded in
+# BENCH_integrity.json. The on/off ns_per_op ratio is the integrity tax —
+# budgeted <= 5% on the paper-scale pairs (Wiki16/Twitter32); the Grid
+# micro pairs bound the adversarial constant factor.
+bench-integrity:
+	$(GO) test -run '^$$' -bench 'IntegrityO(n|ff)' -benchmem -benchtime 20x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_integrity.json

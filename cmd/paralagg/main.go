@@ -47,8 +47,10 @@ func main() {
 	runChaos := flag.Bool("chaos", false, "run the crash/restart differential suite instead of a query")
 	ckptEvery := flag.Int("checkpoint-every", 0, "snapshot relations every N fixpoint iterations (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", ".paralagg-ckpt", "directory for per-rank checkpoint files")
-	resume := flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
-	watchdog := flag.Duration("watchdog", 0, "declare a rank dead after it stalls a collective this long (0 = off)")
+	ckptKeep := flag.Int("checkpoint-keep", paralagg.DefaultCheckpointKeep, "verified checkpoint generations to retain per rank; recovery falls back past corrupt ones")
+	resume := flag.Bool("resume", false, "resume from the latest valid checkpoint in -checkpoint-dir")
+	watchdogSpec := flag.String("watchdog", "0", "stall deadline for collectives: a duration (0 = off), or 'auto' for an adaptive deadline tracking observed iteration times")
+	integrity := flag.Bool("integrity", false, "fingerprint relation state every iteration and abort with a structured divergence error on any mismatch")
 	supervise := flag.Bool("supervise", false, "auto-recover from rank failures: rebuild the world and restore the latest checkpoint")
 	maxRestarts := flag.Int("max-restarts", 3, "give up after this many supervised recoveries")
 	degrade := flag.Bool("degrade", false, "restart with the surviving rank count instead of the same world size (with -supervise)")
@@ -59,6 +61,7 @@ func main() {
 	spawn := flag.Int("spawn", 0, "single-machine launcher: spawn N -transport=tcp rank processes on loopback, wait, respawn with -resume under -supervise")
 	quiet := flag.Bool("quiet", false, "suppress result output (the -spawn launcher sets it on ranks > 0)")
 	runNetChaos := flag.Bool("chaos-net", false, "run the network chaos suite (wire faults and kill-recovery over the TCP transport)")
+	runIntegrityChaos := flag.Bool("chaos-integrity", false, "run the state-integrity chaos suite (silent memory and checkpoint corruption, divergence rollback)")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON file of the run (open in chrome://tracing or Perfetto); TCP children write <path>.rankN")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /vars and /debug/pprof on this host:port while the run is in flight; TCP children offset the port by their rank")
 	jsonOut := flag.Bool("json", false, "print the result as a JSON document (stable field names) instead of the human summary")
@@ -72,11 +75,34 @@ func main() {
 		runNetChaosSuite()
 		return
 	}
+	if *runIntegrityChaos {
+		runIntegrityChaosSuite()
+		return
+	}
 
 	// Flag validation: catch contradictory fault-tolerance setups before a
 	// world is built, with errors that say how to fix them.
 	if *ckptEvery < 0 {
 		log.Fatalf("-checkpoint-every must be >= 0, got %d (use 0 to disable checkpointing)", *ckptEvery)
+	}
+	if *ckptKeep < 1 {
+		log.Fatalf("-checkpoint-keep must be >= 1, got %d (recovery needs at least one retained generation)", *ckptKeep)
+	}
+	var watchdog time.Duration
+	adaptiveWatchdog := false
+	switch *watchdogSpec {
+	case "auto":
+		adaptiveWatchdog = true
+	case "", "0", "off":
+	default:
+		d, err := time.ParseDuration(*watchdogSpec)
+		if err != nil {
+			log.Fatalf("-watchdog must be a duration or 'auto', got %q", *watchdogSpec)
+		}
+		if d < 0 {
+			log.Fatalf("-watchdog must be >= 0, got %v", d)
+		}
+		watchdog = d
 	}
 	if *resume {
 		if st, err := os.Stat(*ckptDir); err != nil || !st.IsDir() {
@@ -138,7 +164,11 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown plan %q", *planName)
 	}
-	cfg := paralagg.Config{Ranks: *ranks, Subs: *subs, Plan: plan, Watchdog: *watchdog}
+	cfg := paralagg.Config{
+		Ranks: *ranks, Subs: *subs, Plan: plan,
+		Watchdog: watchdog, AdaptiveWatchdog: adaptiveWatchdog,
+		Integrity: *integrity,
+	}
 	if tcpTr != nil {
 		// Transport and Ranks are mutually exclusive (Config.Validate): the
 		// world size is the transport's gang size.
@@ -147,7 +177,7 @@ func main() {
 	}
 	if *ckptEvery > 0 || *resume {
 		cfg.CheckpointEvery = *ckptEvery
-		cfg.Checkpoints = paralagg.NewFileCheckpointSink(*ckptDir)
+		cfg.Checkpoints = paralagg.NewFileCheckpointSinkKeep(*ckptDir, *ckptKeep)
 		cfg.Resume = *resume
 	}
 
@@ -474,4 +504,53 @@ func runNetChaosSuite() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall network chaos checks passed")
+}
+
+// runIntegrityChaosSuite executes the state-integrity scenarios: silent
+// in-memory bit flips every rank must detect within one iteration and the
+// supervisor must heal by rollback, checkpoint bit rot recovery must
+// quarantine and fall back exactly one generation, and a TCP gang must
+// agree on the divergence. Every recovered answer must match the
+// fault-free one bit for bit.
+func runIntegrityChaosSuite() {
+	failed := 0
+	for _, sc := range chaos.Scenarios() {
+		for _, ranks := range []int{2, 4} {
+			rep, err := chaos.CorruptionDifferential(sc, ranks, 2, 3)
+			switch {
+			case err != nil:
+				fmt.Printf("FAIL %-9s state ranks=%d: %v\n", sc.Name, ranks, err)
+				failed++
+			case !rep.Identical():
+				fmt.Printf("FAIL %-9s state ranks=%d: rollback recovery diverged from the fault-free run\n", sc.Name, ranks)
+				failed++
+			default:
+				fmt.Printf("ok   %-9s state ranks=%d: flip detected at iter %d (%s check), %d rollback(s), bit-identical\n",
+					sc.Name, ranks, rep.Divergence.Iter, rep.Divergence.Check, rep.DivergenceRollbacks)
+			}
+		}
+		rep, err := chaos.CheckpointCorruptionDifferential(sc, 2, 2, 5)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %-9s ckpt-rot: %v\n", sc.Name, err)
+			failed++
+		case !rep.Identical():
+			fmt.Printf("FAIL %-9s ckpt-rot: fallback recovery diverged from the fault-free run\n", sc.Name)
+			failed++
+		default:
+			fmt.Printf("ok   %-9s ckpt-rot: rotten generation quarantined (%d), fell back to iter %d, bit-identical\n",
+				sc.Name, rep.QuarantinedDelta, rep.FallbackIter)
+		}
+		if err := chaos.TCPCorruptionDetection(sc, 2, 3); err != nil {
+			fmt.Printf("FAIL %-9s tcp state: %v\n", sc.Name, err)
+			failed++
+		} else {
+			fmt.Printf("ok   %-9s tcp state: every rank agreed on the divergence over real sockets\n", sc.Name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d integrity chaos checks failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall integrity chaos checks passed")
 }

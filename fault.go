@@ -32,6 +32,29 @@ type (
 // AnyIter in a fault spec matches every iteration.
 const AnyIter = mpi.AnyIter
 
+// State-integrity fault specs for FaultPlan (chaos coverage for the
+// divergence detector and checkpoint validation).
+type (
+	// StateCorrupt flips bits in one stored tuple of a relation on one rank
+	// at the top of a fixpoint iteration — a simulated silent memory error.
+	// With Config.Integrity set the next convergence agreement detects it.
+	StateCorrupt = mpi.StateCorrupt
+	// CkptCorrupt flips one payload byte of the rank's newest checkpoint
+	// file right after it is written — simulated media bit rot. Validation
+	// quarantines the generation and recovery falls back one generation.
+	CkptCorrupt = mpi.CkptCorrupt
+)
+
+// ErrStateDiverged reports that a relation's replicated state went out of
+// agreement across ranks: the per-iteration fingerprint Allreduce saw
+// inconsistent digests. Every rank of the world observes the same divergence
+// in the same iteration.
+type ErrStateDiverged = mpi.ErrStateDiverged
+
+// AsStateDivergence extracts the structured divergence report from an Exec
+// error, if one is present (however deeply joined or wrapped).
+func AsStateDivergence(err error) (*ErrStateDiverged, bool) { return mpi.AsStateDivergence(err) }
+
 // ErrRankFailed reports which rank failed, in which operation, at which
 // fixpoint iteration. Every rank's error from a failed Exec wraps one.
 type ErrRankFailed = mpi.ErrRankFailed
@@ -68,19 +91,54 @@ type NetStats = mpi.NetStats
 // one is present (however deeply joined or wrapped).
 func AsRankFailure(err error) (*ErrRankFailed, bool) { return mpi.AsRankFailure(err) }
 
-// CheckpointSink stores one latest fixpoint snapshot per rank.
+// CheckpointSink stores verified, multi-generation fixpoint snapshots per
+// rank. Every Save appends a new generation; validation happens on read, so
+// a corrupted newest generation degrades recovery by one generation instead
+// of losing it.
 type CheckpointSink = ra.CheckpointSink
 
 // Checkpoint is one rank's saved fixpoint position.
 type Checkpoint = ra.Checkpoint
 
-// ErrNoCheckpoint reports a Resume with an empty sink.
+// Position identifies one agreed checkpoint generation: the (stratum, iter,
+// ranks) coordinate every rank's snapshot must match.
+type Position = ra.Position
+
+// ErrNoCheckpoint reports a Resume with an empty sink (or one whose every
+// generation failed validation).
 var ErrNoCheckpoint = ra.ErrNoCheckpoint
 
+// DefaultCheckpointKeep is the number of checkpoint generations a sink
+// retains per rank when no explicit keep count is configured.
+const DefaultCheckpointKeep = ra.DefaultCheckpointKeep
+
 // NewMemoryCheckpointSink returns an in-process sink: it survives a crashed
-// world (restart within the same process) but not a process restart.
+// world (restart within the same process) but not a process restart. It
+// retains DefaultCheckpointKeep generations per rank.
 func NewMemoryCheckpointSink() CheckpointSink { return ra.NewMemoryCheckpointSink() }
 
-// NewFileCheckpointSink returns a sink persisting one checkpoint file per
-// rank under dir, surviving process restarts.
+// NewMemoryCheckpointSinkKeep is NewMemoryCheckpointSink with an explicit
+// per-rank generation retention count (keep < 1 means DefaultCheckpointKeep).
+func NewMemoryCheckpointSinkKeep(keep int) CheckpointSink {
+	return ra.NewMemoryCheckpointSinkKeep(keep)
+}
+
+// NewFileCheckpointSink returns a sink persisting checkpoint files per rank
+// under dir, surviving process restarts. Writes are fsynced and atomically
+// renamed; each file carries a format manifest with per-relation digests and
+// a whole-file CRC, verified on every read. It retains DefaultCheckpointKeep
+// generations per rank.
 func NewFileCheckpointSink(dir string) CheckpointSink { return ra.FileCheckpointSink{Dir: dir} }
+
+// NewFileCheckpointSinkKeep is NewFileCheckpointSink with an explicit
+// per-rank generation retention count (keep < 1 means DefaultCheckpointKeep).
+func NewFileCheckpointSinkKeep(dir string, keep int) CheckpointSink {
+	return ra.FileCheckpointSink{Dir: dir, Keep: keep}
+}
+
+// CheckpointIntegrityStats reports process-wide checkpoint validation
+// counters: how many stored generations failed verification and how many
+// were quarantined (renamed aside / dropped) as a result.
+func CheckpointIntegrityStats() (validationFailures, quarantined int64) {
+	return ra.CheckpointIntegrityStats()
+}

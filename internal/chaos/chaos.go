@@ -194,7 +194,10 @@ func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 		Subs:            sc.Subs,
 		CheckpointEvery: every,
 		Checkpoints:     sink,
-		Watchdog:        5 * time.Second,
+		// Adaptive deadline with the old fixed value as ceiling: the suite
+		// doubles as the no-false-positives check for the EWMA watchdog.
+		AdaptiveWatchdog: true,
+		WatchdogCeil:     5 * time.Second,
 		Faults: &paralagg.FaultPlan{
 			Seed:    1,
 			Crashes: []paralagg.Crash{{Rank: victim, Iter: crashIter, Op: "alltoallv"}},
@@ -298,11 +301,12 @@ func elastic(sc Scenario, ranks, minIters int, cfg paralagg.SuperviseConfig) (*E
 func Elastic(sc Scenario, ranks, every, crashIter, restartRanks int) (*ElasticReport, error) {
 	cfg := paralagg.SuperviseConfig{
 		Config: paralagg.Config{
-			Ranks:           ranks,
-			Subs:            sc.Subs,
-			CheckpointEvery: every,
-			Checkpoints:     paralagg.NewMemoryCheckpointSink(),
-			Watchdog:        5 * time.Second,
+			Ranks:            ranks,
+			Subs:             sc.Subs,
+			CheckpointEvery:  every,
+			Checkpoints:      paralagg.NewMemoryCheckpointSink(),
+			AdaptiveWatchdog: true,
+			WatchdogCeil:     5 * time.Second,
 			Faults: &paralagg.FaultPlan{
 				Seed:    1,
 				Crashes: []paralagg.Crash{{Rank: ranks - 1, Iter: crashIter, Op: "alltoallv"}},
@@ -336,11 +340,12 @@ func Repeated(sc Scenario, ranks, every int) (*ElasticReport, error) {
 	}
 	cfg := paralagg.SuperviseConfig{
 		Config: paralagg.Config{
-			Ranks:           ranks,
-			Subs:            sc.Subs,
-			CheckpointEvery: every,
-			Checkpoints:     paralagg.NewMemoryCheckpointSink(),
-			Watchdog:        5 * time.Second,
+			Ranks:            ranks,
+			Subs:             sc.Subs,
+			CheckpointEvery:  every,
+			Checkpoints:      paralagg.NewMemoryCheckpointSink(),
+			AdaptiveWatchdog: true,
+			WatchdogCeil:     5 * time.Second,
 		},
 		RecoveryBackoff: time.Millisecond,
 		FaultsFor: func(attempt int) *paralagg.FaultPlan {
@@ -362,14 +367,18 @@ func Repeated(sc Scenario, ranks, every int) (*ElasticReport, error) {
 }
 
 // StuckCollective runs sc with rank (1 mod ranks) hanging forever inside
-// iteration 2's tuple exchange and the watchdog armed, returning the run's
-// error: without the watchdog this schedule deadlocks the world, with it
-// every rank must observe a structured ErrRankFailed.
+// iteration 2's tuple exchange and the ADAPTIVE watchdog armed with timeout
+// as its ceiling, returning the run's error: without a watchdog this
+// schedule deadlocks the world; with it every rank must observe a
+// structured ErrRankFailed — and because two healthy iterations have
+// already fed the EWMA, the conversion happens near the deadline floor,
+// well inside the ceiling.
 func StuckCollective(sc Scenario, ranks int, timeout time.Duration) error {
 	_, err := paralagg.Exec(sc.Prog(), paralagg.Config{
-		Ranks:    ranks,
-		Subs:     sc.Subs,
-		Watchdog: timeout,
+		Ranks:            ranks,
+		Subs:             sc.Subs,
+		AdaptiveWatchdog: true,
+		WatchdogCeil:     timeout,
 		Faults: &paralagg.FaultPlan{
 			Seed:  1,
 			Hangs: []paralagg.Hang{{Rank: 1 % ranks, Iter: 2, Op: "alltoallv"}},

@@ -145,7 +145,7 @@ func TCPPartition(sc Scenario, ranks int) error {
 		return fmt.Errorf("chaos %s: building TCP gang: %w", sc.Name, err)
 	}
 	var fps map[string]Fingerprint
-	errs := runGang(sc, trs, paralagg.Config{Subs: sc.Subs, Watchdog: 10 * time.Second}, &fps)
+	errs := runGang(sc, trs, paralagg.Config{Subs: sc.Subs, AdaptiveWatchdog: true, WatchdogCeil: 10 * time.Second}, &fps)
 	for _, tr := range trs {
 		tr.Kill() // flushing into a partition would only wait out the timeout
 	}
@@ -194,13 +194,14 @@ func TCPKillRecovery(sc Scenario, ranks, every, crashIter int) (*NetReport, erro
 			return err
 		}
 		base := paralagg.Config{
-			Subs:            sc.Subs,
-			CheckpointEvery: every,
-			Checkpoints:     sink,
-			Watchdog:        10 * time.Second,
+			Subs:             sc.Subs,
+			CheckpointEvery:  every,
+			Checkpoints:      sink,
+			AdaptiveWatchdog: true,
+			WatchdogCeil:     10 * time.Second,
 		}
 		if resume {
-			if _, ok, err := sink.Latest(0); ok && err == nil {
+			if _, ok, err := sink.LatestValid(); ok && err == nil {
 				base.Resume = true
 			}
 		}
@@ -249,6 +250,49 @@ func TCPKillRecovery(sc Scenario, ranks, every, crashIter int) (*NetReport, erro
 	}
 	rep.RecoveryAttempts = srep.RecoveryAttempts
 	return rep, nil
+}
+
+// TCPCorruptionDetection runs sc over a TCP gang with integrity checking on
+// and one stored tuple of the scenario's computed relation bit-flipped on
+// rank 0 at the top of iteration corruptIter. The state digests
+// ride the convergence Allreduce over the real wire, so every member — not
+// just the corrupted one — must abort with a structured ErrStateDiverged
+// naming that same iteration.
+func TCPCorruptionDetection(sc Scenario, ranks, corruptIter int) error {
+	trs, err := gang(ranks, nil)
+	if err != nil {
+		return fmt.Errorf("chaos %s: building TCP gang: %w", sc.Name, err)
+	}
+	rel := sc.Rels[len(sc.Rels)-1]
+	base := paralagg.Config{
+		Subs:             sc.Subs,
+		Integrity:        true,
+		AdaptiveWatchdog: true,
+		WatchdogCeil:     10 * time.Second,
+		Faults: &paralagg.FaultPlan{
+			Seed:          1,
+			StateCorrupts: []paralagg.StateCorrupt{{Rank: 0, Iter: corruptIter, Rel: rel}},
+		},
+	}
+	var fps map[string]Fingerprint
+	errs := runGang(sc, trs, base, &fps)
+	for _, tr := range trs {
+		tr.Kill() // every member aborted; flushing would only wait out timeouts
+	}
+	for rank, err := range errs {
+		if err == nil {
+			return fmt.Errorf("chaos %s: TCP rank %d finished despite injected state corruption", sc.Name, rank)
+		}
+		div, ok := paralagg.AsStateDivergence(err)
+		if !ok {
+			return fmt.Errorf("chaos %s: TCP rank %d failure carries no ErrStateDiverged: %w", sc.Name, rank, err)
+		}
+		if div.Iter < corruptIter {
+			return fmt.Errorf("chaos %s: TCP rank %d detected divergence at iter %d, before the corruption at %d",
+				sc.Name, rank, div.Iter, corruptIter)
+		}
+	}
+	return nil
 }
 
 // RepairableFaults is the standard wire-fault plan of the network chaos

@@ -34,6 +34,10 @@ type Config struct {
 	CheckpointEvery int
 	// Checkpoints stores the per-rank snapshots.
 	Checkpoints ra.CheckpointSink
+	// Integrity turns on online divergence detection: every relation
+	// fingerprints its state each iteration and the digests ride on the
+	// convergence agreement. Must be identical on all ranks.
+	Integrity bool
 }
 
 // Instance is one rank's executable form of a Program: relations created,
@@ -86,7 +90,7 @@ func (p *Program) Instantiate(comm *mpi.Comm, mc *metrics.Collector, cfg Config)
 		}
 		rel, err := relation.New(relation.Schema{
 			Name: d.Name, Arity: d.Arity, Indep: d.Indep, Key: d.Key, Agg: d.Agg,
-		}, comm, mc, relation.Config{Subs: subs})
+		}, comm, mc, relation.Config{Subs: subs, Integrity: cfg.Integrity})
 		if err != nil {
 			return nil, err
 		}

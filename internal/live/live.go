@@ -50,6 +50,12 @@ type Server struct {
 	rankFailures   atomic.Int64
 	planVotes      atomic.Int64
 
+	// State-integrity counters.
+	divergences      atomic.Int64 // divergence detections (world aborts)
+	ckptValFailures  atomic.Int64 // checkpoint generations failing validation
+	ckptQuarantined  atomic.Int64 // generations quarantined as a result
+	fingerprintNanos atomic.Int64 // CPU nanos spent fingerprinting state
+
 	// Transport robustness totals, accumulated from iteration deltas.
 	netRetransmits atomic.Int64
 	netReconnects  atomic.Int64
@@ -161,32 +167,49 @@ func (s *Server) OnEvent(e *obs.Event) {
 		s.mu.Lock()
 		s.lastError = fmt.Sprintf("rank %d failed in %s at iter %d: %s", e.Rank, e.Name, e.Iter, e.Err)
 		s.mu.Unlock()
+	case obs.KindDivergence:
+		s.divergences.Add(1)
+		s.mu.Lock()
+		s.lastError = fmt.Sprintf("state diverged at iter %d on rank %d: %s", e.Iter, e.Rank, e.Err)
+		s.mu.Unlock()
+	case obs.KindCkptScan:
+		// Cumulative process-wide totals, not deltas: store, don't add.
+		s.ckptValFailures.Store(e.Failures)
+		s.ckptQuarantined.Store(e.Quarantined)
+	case obs.KindPhase:
+		if e.Name == "integrity" {
+			s.fingerprintNanos.Add(e.CPUNanos)
+		}
 	}
 }
 
 // snapshot gathers every counter under one lock for rendering.
 func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, lastErr string) {
 	num = map[string]int64{
-		"attempt":               s.attempt.Load(),
-		"runs_started":          s.runsStarted.Load(),
-		"runs_ended":            s.runsEnded.Load(),
-		"ranks":                 s.ranks.Load(),
-		"stratum":               s.stratum.Load(),
-		"iterations":            s.iterations.Load(),
-		"delta_changed":         s.lastChanged.Load(),
-		"comm_bytes":            s.commBytes.Load(),
-		"comm_msgs":             s.commMsgs.Load(),
-		"checkpoints":           s.checkpoints.Load(),
-		"recoveries":            s.recoveries.Load(),
-		"rank_failures":         s.rankFailures.Load(),
-		"plan_votes":            s.planVotes.Load(),
-		"net_retransmits":       s.netRetransmits.Load(),
-		"net_reconnects":        s.netReconnects.Load(),
-		"net_heartbeat_misses":  s.netHBMisses.Load(),
-		"net_crc_errors":        s.netCRCErrors.Load(),
-		"net_frames_sent":       s.netFramesSent.Load(),
-		"net_frames_recv":       s.netFramesRecv.Load(),
-		"checkpoint_age_millis": -1,
+		"attempt":                  s.attempt.Load(),
+		"runs_started":             s.runsStarted.Load(),
+		"runs_ended":               s.runsEnded.Load(),
+		"ranks":                    s.ranks.Load(),
+		"stratum":                  s.stratum.Load(),
+		"iterations":               s.iterations.Load(),
+		"delta_changed":            s.lastChanged.Load(),
+		"comm_bytes":               s.commBytes.Load(),
+		"comm_msgs":                s.commMsgs.Load(),
+		"checkpoints":              s.checkpoints.Load(),
+		"recoveries":               s.recoveries.Load(),
+		"rank_failures":            s.rankFailures.Load(),
+		"plan_votes":               s.planVotes.Load(),
+		"net_retransmits":          s.netRetransmits.Load(),
+		"net_reconnects":           s.netReconnects.Load(),
+		"net_heartbeat_misses":     s.netHBMisses.Load(),
+		"net_crc_errors":           s.netCRCErrors.Load(),
+		"net_frames_sent":          s.netFramesSent.Load(),
+		"net_frames_recv":          s.netFramesRecv.Load(),
+		"divergences":              s.divergences.Load(),
+		"ckpt_validation_failures": s.ckptValFailures.Load(),
+		"ckpt_quarantined":         s.ckptQuarantined.Load(),
+		"fingerprint_nanos":        s.fingerprintNanos.Load(),
+		"checkpoint_age_millis":    -1,
 	}
 	if ts := s.lastCkptUnixNS.Load(); ts > 0 {
 		num["checkpoint_age_millis"] = (time.Now().UnixNano() - ts) / 1e6

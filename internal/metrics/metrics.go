@@ -42,7 +42,8 @@ type Phase int
 // Checkpoint, Recovery, and Remap meter the fault-tolerance overheads:
 // periodic relation snapshots during the fixpoint, same-size snapshot reload
 // on restart, and the re-hash/re-merge pass that restores a checkpoint into
-// a world of a different size.
+// a world of a different size. Integrity meters the per-iteration state
+// fingerprinting behind online divergence detection.
 const (
 	PhaseRebalance Phase = iota
 	PhasePlanning
@@ -54,6 +55,7 @@ const (
 	PhaseCheckpoint
 	PhaseRecovery
 	PhaseRemap
+	PhaseIntegrity
 	numPhases
 )
 
@@ -69,6 +71,7 @@ var PhaseNames = [...]string{
 	PhaseCheckpoint:  "checkpoint",
 	PhaseRecovery:    "recovery",
 	PhaseRemap:       "remap",
+	PhaseIntegrity:   "integrity",
 }
 
 func (p Phase) String() string {

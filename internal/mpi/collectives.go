@@ -137,6 +137,52 @@ func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
 	return res.(uint64)
 }
 
+// AllreduceVec combines equal-length word vectors from every rank
+// elementwise with op and writes the agreed result into recv, which must
+// have the same length as send (the two may alias). It returns recv.
+//
+// The point of the vector form is piggybacking: the integrity layer rides
+// its per-relation state digests on the same agreement round the
+// convergence count uses, so online divergence detection costs no extra
+// collective. One round regardless of vector length.
+func (c *Comm) AllreduceVec(send, recv []Word, op ReduceOp) []Word {
+	c.enter("allreducevec")
+	if len(send) != len(recv) {
+		panic(fmt.Sprintf("mpi: allreducevec on rank %d: send %d words, recv %d",
+			c.rank, len(send), len(recv)))
+	}
+	c.world.stats.addCollective(c.rank, "allreducevec", len(send)*WordBytes)
+	if c.world.dist != nil {
+		return c.distAllreduceVec(send, recv, op)
+	}
+	if c.world.size == 1 {
+		// Single-rank worlds skip the slot (and the boxing it costs): the
+		// hot-path alloc guarantees rely on this, exactly as in Allreduce.
+		copy(recv, send)
+		return recv
+	}
+	res := c.world.coll.run(c.world, c.rank, "allreducevec", send, func(contribs []interface{}) interface{} {
+		first := contribs[0].([]Word)
+		acc := make([]Word, len(first))
+		copy(acc, first)
+		for _, x := range contribs[1:] {
+			v := x.([]Word)
+			if len(v) != len(acc) {
+				panic(fmt.Sprintf("mpi: allreducevec length mismatch: %d vs %d words", len(v), len(acc)))
+			}
+			for i := range acc {
+				acc[i] = op.apply(acc[i], v[i])
+			}
+		}
+		return acc
+	})
+	// Every rank copies the shared result into its private buffer before the
+	// next collective can reuse the slot; senders regain ownership of their
+	// send slices here, as everywhere else in the runtime.
+	copy(recv, res.([]Word))
+	return recv
+}
+
 // Allgather collects one word from each rank and returns the full vector,
 // indexed by rank, to every rank.
 func (c *Comm) Allgather(v uint64) []uint64 {

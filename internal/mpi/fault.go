@@ -63,6 +63,34 @@ func AsRankFailure(err error) (*ErrRankFailed, bool) {
 	return rf, ok
 }
 
+// ErrStateDiverged reports that the online integrity check caught a rank
+// whose relation state no longer agrees with the collective digest: a
+// silent in-memory corruption (or a logic bug) that would otherwise be
+// served indefinitely. The digests ride the per-iteration convergence
+// Allreduce, so every rank computes the same verdict and raises the same
+// divergence in the same iteration — the supervisor can then roll all of
+// them back to the last verified checkpoint together.
+type ErrStateDiverged struct {
+	Iter  int    // fixpoint iteration at which the mismatch was detected
+	Rel   string // relation whose digests disagreed
+	Rank  int    // the rank reporting (every rank reports its own)
+	Check string // which invariant tripped ("replica", "delta", "history")
+}
+
+func (e *ErrStateDiverged) Error() string {
+	return fmt.Sprintf("mpi: state diverged at iteration %d: relation %s failed the %s digest check (rank %d)",
+		e.Iter, e.Rel, e.Check, e.Rank)
+}
+
+// AsStateDivergence extracts a divergence from an error chain (including
+// the joined error World.Run returns and the ErrRankFailed values wrapping
+// it). It reports false for every other failure mode.
+func AsStateDivergence(err error) (*ErrStateDiverged, bool) {
+	var sd *ErrStateDiverged
+	ok := errors.As(err, &sd)
+	return sd, ok
+}
+
 // RankFailures collects every distinct rank failure in an error tree.
 // World.Run joins the failures of all ranks that died, so a multi-rank
 // incident surfaces as several wrapped ErrRankFailed values; errors.As only
@@ -155,18 +183,42 @@ type Corrupt struct {
 	After int
 }
 
+// StateCorrupt flips one deterministically chosen word of a rank's
+// in-memory relation state at the top of the matching iteration — the
+// silent-corruption fault the online integrity digests exist to catch. The
+// flip lands in stored state (an accumulator value word or a tuple word),
+// never in a message, so no CRC sees it; only the per-iteration digest
+// agreement can. A spec fires once.
+type StateCorrupt struct {
+	Rank int
+	Iter int
+	Rel  string // name of the relation to corrupt
+}
+
+// CkptCorrupt flips one payload word of the rank's newest on-disk (or
+// in-memory) checkpoint generation immediately after the save at the
+// matching iteration completes — the torn/bit-rotted checkpoint fault that
+// LatestValid must detect, quarantine, and fall back from. A spec fires
+// once.
+type CkptCorrupt struct {
+	Rank int
+	Iter int
+}
+
 // FaultPlan is a seeded, deterministic fault schedule. Every communication
 // operation of every rank consults the plan; all randomness derives from
 // Seed via counter-based hashing, so a plan replays identically across
 // runs — the property the chaos harness's differential tests rely on.
 // A nil plan injects nothing.
 type FaultPlan struct {
-	Seed     int64
-	Crashes  []Crash
-	Hangs    []Hang
-	Drops    []Drop
-	Delays   []Delay
-	Corrupts []Corrupt
+	Seed          int64
+	Crashes       []Crash
+	Hangs         []Hang
+	Drops         []Drop
+	Delays        []Delay
+	Corrupts      []Corrupt
+	StateCorrupts []StateCorrupt
+	CkptCorrupts  []CkptCorrupt
 }
 
 // faultState holds the per-run mutable matching counters for a plan. Each
@@ -177,6 +229,8 @@ type faultState struct {
 	crashHits   []int
 	hangFired   []bool
 	corruptHits []int
+	stateFired  []bool
+	ckptFired   []bool
 }
 
 func newFaultState(plan *FaultPlan) *faultState {
@@ -188,6 +242,8 @@ func newFaultState(plan *FaultPlan) *faultState {
 		crashHits:   make([]int, len(plan.Crashes)),
 		hangFired:   make([]bool, len(plan.Hangs)),
 		corruptHits: make([]int, len(plan.Corrupts)),
+		stateFired:  make([]bool, len(plan.StateCorrupts)),
+		ckptFired:   make([]bool, len(plan.CkptCorrupts)),
 	}
 }
 
@@ -264,6 +320,57 @@ func (fs *faultState) corruptNow(rank, iter, payloadLen int) (word int, mask Wor
 		return int(h>>17) % payloadLen, mask, true
 	}
 	return 0, 0, false
+}
+
+// stateCorruptNow reports whether rank's in-memory state must be corrupted
+// at epoch iter, and if so in which relation and with which mask. Fires at
+// most once per spec.
+func (fs *faultState) stateCorruptNow(rank, iter int) (rel string, mask Word, ok bool) {
+	for i, sc := range fs.plan.StateCorrupts {
+		// The rank check must come first: stateFired[i] is owned by the
+		// goroutine of the rank the spec names.
+		if sc.Rank != rank || fs.stateFired[i] || !matchIter(sc.Iter, iter) {
+			continue
+		}
+		fs.stateFired[i] = true
+		return sc.Rel, faultHash(fs.plan.Seed, 0x55, rank, i, iter) | 1, true
+	}
+	return "", 0, false
+}
+
+// ckptCorruptNow reports whether the checkpoint rank just saved at epoch
+// iter must be tampered with. Fires at most once per spec.
+func (fs *faultState) ckptCorruptNow(rank, iter int) bool {
+	for i, cc := range fs.plan.CkptCorrupts {
+		if cc.Rank != rank || fs.ckptFired[i] || !matchIter(cc.Iter, iter) {
+			continue
+		}
+		fs.ckptFired[i] = true
+		return true
+	}
+	return false
+}
+
+// StateCorruptNow consults the fault plan for an in-memory state-corruption
+// fault due on this rank at epoch iter. The fixpoint driver calls it at the
+// top of each iteration and applies the returned mask to the named
+// relation's stored state.
+func (c *Comm) StateCorruptNow(iter int) (rel string, mask Word, ok bool) {
+	if fs := c.world.fstate; fs != nil {
+		return fs.stateCorruptNow(c.rank, iter)
+	}
+	return "", 0, false
+}
+
+// CkptCorruptNow consults the fault plan for a checkpoint-corruption fault
+// due on this rank at epoch iter. The fixpoint driver calls it right after
+// a successful save and, when it fires, tampers with the newest stored
+// generation.
+func (c *Comm) CkptCorruptNow(iter int) bool {
+	if fs := c.world.fstate; fs != nil {
+		return fs.ckptCorruptNow(c.rank, iter)
+	}
+	return false
 }
 
 // faultHash is a counter-based splitmix64 over the spec coordinates: the

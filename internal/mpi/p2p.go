@@ -200,7 +200,7 @@ func (c *Comm) Recv(src, tag int) (words []Word, from int) {
 		c.validRank("recv", src)
 	}
 	c.validTag("recv", tag)
-	msg := c.recvVia("recv", src, tag, c.world.watchdog)
+	msg := c.recvVia("recv", src, tag, c.world.curWatchdog())
 	return msg.words, msg.src
 }
 

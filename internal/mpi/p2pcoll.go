@@ -1,5 +1,7 @@
 package mpi
 
+import "fmt"
+
 // Distributed collectives: when a world runs one rank per process over a
 // real transport there is no shared collective slot, so every collective is
 // composed from point-to-point messages in the reserved tag space above
@@ -26,6 +28,7 @@ const (
 	tagAlltoallv
 	tagBcast
 	tagGather
+	tagAllreduceVec
 )
 
 // collSend pushes an internal collective message.
@@ -37,9 +40,9 @@ func (c *Comm) collSend(op string, dest, tag int, words []Word) {
 }
 
 // collRecv blocks for an internal collective message, bounded by the
-// watchdog timeout when one is set.
+// watchdog deadline (fixed or adaptive) when one is in force.
 func (c *Comm) collRecv(op string, src, tag int) []Word {
-	return c.recvVia(op, src, tag, c.world.watchdog).words
+	return c.recvVia(op, src, tag, c.world.curWatchdog()).words
 }
 
 // distGather collects every rank's words at rank 0. Rank 0 gets the full
@@ -85,6 +88,25 @@ func (c *Comm) distAllreduce(v uint64, op ReduceOp) uint64 {
 		res = []Word{acc}
 	}
 	return c.distFan("allreduce", tagAllreduce, res)[0]
+}
+
+func (c *Comm) distAllreduceVec(send, recv []Word, op ReduceOp) []Word {
+	contribs := c.distGather("allreducevec", tagAllreduceVec, send)
+	var res []Word
+	if c.rank == 0 {
+		res = make([]Word, len(send))
+		copy(res, send)
+		for _, w := range contribs[1:] {
+			if len(w) != len(res) {
+				panic(fmt.Sprintf("mpi: allreducevec length mismatch: %d vs %d words", len(w), len(res)))
+			}
+			for i := range res {
+				res[i] = op.apply(res[i], w[i])
+			}
+		}
+	}
+	copy(recv, c.distFan("allreducevec", tagAllreduceVec, res))
+	return recv
 }
 
 func (c *Comm) distAllgather(v uint64) []uint64 {

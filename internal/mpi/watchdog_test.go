@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+// The adaptive watchdog starts pessimistic: until the first iteration-time
+// sample exists, the deadline in force is the ceiling.
+func TestAdaptiveWatchdogStartsAtCeiling(t *testing.T) {
+	w := NewWorld(2)
+	w.SetAdaptiveWatchdog(AdaptiveWatchdog{Ceil: 3 * time.Second})
+	if got := w.WatchdogDeadline(); got != 3*time.Second {
+		t.Fatalf("initial deadline = %v, want the ceiling 3s", got)
+	}
+}
+
+func TestAdaptiveWatchdogRequiresCeiling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetAdaptiveWatchdog with Ceil=0 did not panic")
+		}
+	}()
+	NewWorld(2).SetAdaptiveWatchdog(AdaptiveWatchdog{})
+}
+
+// Fast iterations must pull the deadline down from the ceiling toward
+// clamp(Mult × EWMA, Floor, Ceil): epoch transitions microseconds apart with
+// a 1ms floor land the deadline on the floor, far below the 10s ceiling.
+func TestAdaptiveWatchdogDeadlineTightens(t *testing.T) {
+	w := NewWorld(2)
+	w.SetAdaptiveWatchdog(AdaptiveWatchdog{Floor: time.Millisecond, Ceil: 10 * time.Second})
+	err := w.Run(func(c *Comm) error {
+		for iter := 1; iter <= 6; iter++ {
+			c.SetEpoch(iter)
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.WatchdogDeadline()
+	if got >= 10*time.Second {
+		t.Fatalf("deadline stayed at the ceiling (%v) after fast iterations", got)
+	}
+	if got < time.Millisecond {
+		t.Fatalf("deadline %v fell below the 1ms floor", got)
+	}
+}
+
+// Only genuine epoch transitions feed the EWMA: republishing the same
+// iteration number must not shrink the observed iteration time.
+func TestAdaptiveWatchdogIgnoresRepeatedEpoch(t *testing.T) {
+	w := NewWorld(1)
+	w.SetAdaptiveWatchdog(AdaptiveWatchdog{Floor: time.Nanosecond, Ceil: 10 * time.Second})
+	err := w.Run(func(c *Comm) error {
+		c.SetEpoch(1)
+		time.Sleep(20 * time.Millisecond)
+		c.SetEpoch(2) // one real sample: ~20ms
+		for i := 0; i < 100; i++ {
+			c.SetEpoch(2) // no transition, no sample
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One ~20ms sample with Mult=8 puts the deadline well above 20ms; had
+	// the repeated SetEpoch(2) calls fed ~0ns samples, the EWMA would have
+	// collapsed toward the floor.
+	if got := w.WatchdogDeadline(); got < 20*time.Millisecond {
+		t.Fatalf("deadline %v collapsed — repeated epoch publishes fed the EWMA", got)
+	}
+}
+
+// AllreduceVec agrees elementwise across ranks in one round — the carrier
+// the integrity digests ride on. Covers the in-process slot path (size > 1),
+// the single-rank copy fast path, and aliasing send/recv.
+func TestAllreduceVecSum(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		r := Word(c.Rank())
+		send := []Word{1, r, 10 * r}
+		recv := make([]Word, 3)
+		got := c.AllreduceVec(send, recv, OpSum)
+		want := []Word{4, 0 + 1 + 2 + 3, 0 + 10 + 20 + 30}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rank %d: got[%d] = %d, want %d", c.Rank(), i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceVecMaxAliased(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		vec := []Word{Word(c.Rank()), Word(10 - c.Rank())}
+		got := c.AllreduceVec(vec, vec, OpMax) // send aliases recv
+		if got[0] != 2 || got[1] != 10 {
+			t.Errorf("rank %d: got %v, want [2 10]", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceVecSingleRank(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) error {
+		send := []Word{7, 8, 9}
+		recv := make([]Word, 3)
+		got := c.AllreduceVec(send, recv, OpSum)
+		for i, v := range send {
+			if got[i] != v {
+				t.Errorf("got[%d] = %d, want %d", i, got[i], v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceVecLengthMismatchPanics(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched send/recv lengths did not panic")
+			}
+		}()
+		c.AllreduceVec(make([]Word, 3), make([]Word, 2), OpSum)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

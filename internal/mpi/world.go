@@ -51,10 +51,12 @@ type World struct {
 	// Transport. nil means the in-process simulated runtime (memTransport).
 	dist *distState
 
-	// Fault tolerance state.
+	// Fault tolerance state. watchdog is the fixed deadline (SetWatchdog);
+	// wd, when non-nil, supersedes it with the EWMA-derived adaptive one.
 	plan     *FaultPlan
 	fstate   *faultState
 	watchdog time.Duration
+	wd       *adaptiveWatchdog
 	epochs   []atomic.Int64
 
 	// observer, when set, receives a live obs.KindRankFailed event the
@@ -139,6 +141,11 @@ func (w *World) fail(rf *ErrRankFailed) {
 	if w.observer != nil {
 		e := obs.Get()
 		e.Kind = obs.KindRankFailed
+		if _, diverged := AsStateDivergence(rf); diverged {
+			// A divergence is not a dead rank: every rank raises it together
+			// and the supervisor's response is a rollback, not a degrade.
+			e.Kind = obs.KindDivergence
+		}
 		e.Rank, e.Iter = rf.Rank, rf.Iter
 		e.Name = rf.Op
 		if rf.Cause != nil {
@@ -215,7 +222,7 @@ func (w *World) Run(body func(c *Comm) error) error {
 	}
 
 	stopWatchdog := make(chan struct{})
-	if w.watchdog > 0 {
+	if w.watchdogEnabled() {
 		go w.runWatchdog(stopWatchdog)
 	}
 
@@ -246,7 +253,7 @@ func (w *World) Run(body func(c *Comm) error) error {
 		}
 	}
 	w.exitMu.Unlock()
-	if w.watchdog > 0 {
+	if w.watchdogEnabled() {
 		close(stopWatchdog)
 	}
 	return errors.Join(errs...)
@@ -289,7 +296,7 @@ func (w *World) runRank(rank int, body func(c *Comm) error) {
 // aborts the world, converting what would be a permanent deadlock of every
 // arrived rank into ErrRankFailed on all of them.
 func (w *World) runWatchdog(stop chan struct{}) {
-	tick := w.watchdog / 8
+	tick := w.watchdogFloor() / 8
 	if tick < time.Millisecond {
 		tick = time.Millisecond
 	}
@@ -318,7 +325,7 @@ func (w *World) runWatchdog(stop chan struct{}) {
 		if len(missing) == 0 {
 			continue
 		}
-		stuck := time.Since(last) > w.watchdog
+		stuck := time.Since(last) > w.curWatchdog()
 		for _, r := range missing {
 			if !stuck && !w.hasExited(r) {
 				continue
@@ -376,8 +383,16 @@ func (c *Comm) Stats() *Stats { return c.world.stats }
 // SetEpoch publishes this rank's current fixpoint iteration to the fault
 // layer: injected faults can target a specific iteration, and failure
 // errors report the iteration the rank had reached. The fixpoint driver
-// calls it at the top of every iteration.
-func (c *Comm) SetEpoch(iter int) { c.world.epochs[c.rank].Store(int64(iter)) }
+// calls it at the top of every iteration; the timekeeper rank's epoch
+// transitions additionally feed the adaptive watchdog's iteration-time
+// EWMA.
+func (c *Comm) SetEpoch(iter int) {
+	w := c.world
+	prev := w.epochs[c.rank].Swap(int64(iter))
+	if w.wd != nil && prev != int64(iter) && c.rank == w.timekeeper() {
+		w.wd.observe(time.Now().UnixNano())
+	}
+}
 
 // Epoch returns the last value passed to SetEpoch (0 before any call).
 func (c *Comm) Epoch() int { return int(c.world.epochs[c.rank].Load()) }

@@ -55,6 +55,15 @@ const (
 	// KindRankFailed reports a structured rank failure: Rank is the failed
 	// rank, Name the operation, Err the cause.
 	KindRankFailed
+	// KindDivergence reports an online integrity failure: a relation's
+	// collective state digest disagreed. Rank/Iter locate the detection,
+	// Err carries the structured cause. Emitted instead of KindRankFailed
+	// when the world aborts on a divergence.
+	KindDivergence
+	// KindCkptScan reports the outcome of a checkpoint validation scan:
+	// Failures and Quarantined carry the cumulative validation-failure and
+	// quarantined-generation counts.
+	KindCkptScan
 )
 
 var kindNames = [...]string{
@@ -68,6 +77,8 @@ var kindNames = [...]string{
 	KindCheckpoint:   "checkpoint",
 	KindRecovery:     "recovery",
 	KindRankFailed:   "rank-failed",
+	KindDivergence:   "divergence",
+	KindCkptScan:     "ckpt-scan",
 }
 
 func (k Kind) String() string {
@@ -118,7 +129,10 @@ type Event struct {
 	OuterLeft bool   // plan outcome (KindPlan)
 
 	Ranks int    // world size (KindRunStart)
-	Err   string // failure cause (KindRankFailed, KindRunEnd)
+	Err   string // failure cause (KindRankFailed, KindDivergence, KindRunEnd)
+
+	Failures    int64 // cumulative checkpoint validation failures (KindCkptScan)
+	Quarantined int64 // cumulative quarantined generations (KindCkptScan)
 
 	Net NetStats // transport robustness delta (KindIteration)
 }

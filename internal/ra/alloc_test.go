@@ -19,15 +19,27 @@ import (
 )
 
 func TestSteadyStateIterationAllocFree(t *testing.T) {
+	steadyStateAllocFree(t, false)
+}
+
+// The integrity path must preserve the zero-alloc property: fingerprinting
+// reuses the relation's digest scratch and the 6-word Allreduce vectors, so
+// turning detection on costs hashing time but no steady-state garbage.
+func TestSteadyStateIterationAllocFreeIntegrity(t *testing.T) {
+	steadyStateAllocFree(t, true)
+}
+
+func steadyStateAllocFree(t *testing.T, integrity bool) {
 	es := randGraph(40, 160, 17, 5)
 	w := mpi.NewWorld(1)
 	err := w.Run(func(c *mpi.Comm) error {
 		mc := metrics.NewCollector(1)
-		edgeRel, err := relation.New(relation.Schema{Name: "edge", Arity: 3, Indep: 3, Key: 1}, c, mc, relation.Config{Subs: 1})
+		rcfg := relation.Config{Subs: 1, Integrity: integrity}
+		edgeRel, err := relation.New(relation.Schema{Name: "edge", Arity: 3, Indep: 3, Key: 1}, c, mc, rcfg)
 		if err != nil {
 			return err
 		}
-		sp, err := relation.New(relation.Schema{Name: "spath", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}}, c, mc, relation.Config{Subs: 1})
+		sp, err := relation.New(relation.Schema{Name: "spath", Arity: 3, Indep: 2, Key: 2, Agg: lattice.Min{}}, c, mc, rcfg)
 		if err != nil {
 			return err
 		}

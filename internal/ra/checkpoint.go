@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paralagg/internal/mpi"
 )
@@ -20,6 +23,13 @@ import (
 // the identical fixpoint. The snapshot is rank-local (shards never cross
 // the wire to checkpoint), so checkpointing adds no communication — only
 // the serialization cost metered as metrics.PhaseCheckpoint.
+//
+// Sinks retain the last Keep generations per rank and validate every
+// checkpoint they read: a corrupt newest generation is quarantined (renamed
+// aside, or dropped for the memory sink) and recovery degrades by one
+// generation instead of bricking. LatestValid is the recovery entry point —
+// it names the newest generation for which EVERY rank of the writing world
+// holds a checkpoint that passes validation.
 
 // Checkpoint is one rank's saved fixpoint position: the stratum and the
 // number of completed iterations, plus the serialized relation shards.
@@ -28,70 +38,74 @@ type Checkpoint struct {
 	Stratum int
 	Iter    int // completed iterations; resume re-enters the loop here
 	Words   []mpi.Word
+	// SectionSums holds one ckptSum per length-prefixed relation section of
+	// Words, written by the fixpoint's checkpoint pass. Sinks persist it as
+	// the checkpoint's manifest and re-verify each section at load, so a
+	// corrupt relation payload is named, not just detected. Empty means the
+	// payload carries no section structure (whole-file validation only).
+	SectionSums []uint64
 }
 
-// CheckpointSink stores one latest checkpoint per rank. Implementations
-// must be safe for concurrent use by all ranks of a world and must
-// overwrite atomically: a crash mid-save must leave the previous checkpoint
-// readable.
+// CheckpointSink stores the most recent Keep checkpoint generations per
+// rank. Implementations must be safe for concurrent use by all ranks of a
+// world and must write atomically: a crash mid-save must leave every
+// previous generation readable.
 type CheckpointSink interface {
 	Save(rank int, cp Checkpoint) error
-	// Latest returns the most recent checkpoint saved for rank, or ok=false
-	// if none exists.
+	// Latest returns the newest checkpoint generation saved for rank that
+	// passes validation, or ok=false if none does. Corrupt newer
+	// generations are quarantined along the way.
 	Latest(rank int) (cp Checkpoint, ok bool, err error)
+	// LatestValid scans generations newest-first and returns the position
+	// of the newest checkpoint set that is complete — every rank of the
+	// writing world holds a validating checkpoint at it. ok=false with a
+	// nil error means no such set exists.
+	LatestValid() (pos Position, ok bool, err error)
+	// Load returns rank's validated checkpoint at pos, or ok=false if the
+	// rank holds no valid checkpoint there.
+	Load(rank int, pos Position) (cp Checkpoint, ok bool, err error)
+}
+
+// Tamperer is the chaos harness's hook for deterministic checkpoint
+// corruption: flip stored bits of rank's newest generation WITHOUT
+// updating its checksums, so the next validation must reject it. Both
+// bundled sinks implement it.
+type Tamperer interface {
+	TamperNewest(rank int) bool
 }
 
 // ErrNoCheckpoint reports a Resume attempt with an empty sink.
 var ErrNoCheckpoint = errors.New("ra: no checkpoint to resume from")
 
-// MemoryCheckpointSink keeps checkpoints in process memory. It survives a
-// world teardown (the crash/restart cycle the chaos harness exercises) but
-// not a process restart — use FileCheckpointSink for that.
-type MemoryCheckpointSink struct {
-	mu   sync.Mutex
-	byRk map[int]Checkpoint
+// DefaultCheckpointKeep is the per-rank generation retention applied when a
+// sink's Keep knob is unset.
+const DefaultCheckpointKeep = 3
+
+// Checkpoint-validation telemetry, shared by every sink in the process.
+// The supervisor and /metrics surface these so silent corruption-and-
+// fallback cycles stay visible.
+var (
+	ckptValidationFailures atomic.Int64
+	ckptQuarantined        atomic.Int64
+)
+
+// CheckpointIntegrityStats returns the process-wide cumulative counts of
+// checkpoint validation failures and quarantined generations.
+func CheckpointIntegrityStats() (validationFailures, quarantined int64) {
+	return ckptValidationFailures.Load(), ckptQuarantined.Load()
 }
 
-// NewMemoryCheckpointSink returns an empty in-memory sink.
-func NewMemoryCheckpointSink() *MemoryCheckpointSink {
-	return &MemoryCheckpointSink{byRk: make(map[int]Checkpoint)}
-}
-
-// Save implements CheckpointSink.
-func (s *MemoryCheckpointSink) Save(rank int, cp Checkpoint) error {
-	cp.Words = append([]mpi.Word(nil), cp.Words...)
-	s.mu.Lock()
-	s.byRk[rank] = cp
-	s.mu.Unlock()
-	return nil
-}
-
-// Latest implements CheckpointSink.
-func (s *MemoryCheckpointSink) Latest(rank int) (Checkpoint, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cp, ok := s.byRk[rank]
-	if !ok {
-		return Checkpoint{}, false, nil
+// effectiveKeep applies DefaultCheckpointKeep to an unset knob.
+func effectiveKeep(keep int) int {
+	if keep < 1 {
+		return DefaultCheckpointKeep
 	}
-	cp.Words = append([]mpi.Word(nil), cp.Words...)
-	return cp, true, nil
+	return keep
 }
 
-// FileCheckpointSink persists one checkpoint file per rank under Dir,
-// surviving process restarts (the CLI's -resume flag). Saves write a
-// temporary file and rename it into place, so an interrupted save never
-// clobbers the previous checkpoint.
-type FileCheckpointSink struct{ Dir string }
-
-const ckptMagic uint64 = 0x70614c43_6b707432 // "paLCkpt2"
-
-// ckptHeaderWords is the fixed prefix of a checkpoint file: magic, world
-// size, stratum, iteration, payload checksum, payload length.
-const ckptHeaderWords = 6
-
-// ckptSum mixes the payload words into a checksum so bit rot or a partially
+// ckptSum mixes payload words into a checksum so bit rot or a partially
 // written file is rejected at load instead of silently restoring garbage.
+// It is also the per-section manifest digest.
 func ckptSum(words []mpi.Word) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	for _, w := range words {
@@ -102,43 +116,331 @@ func ckptSum(words []mpi.Word) uint64 {
 	return h
 }
 
-func (s FileCheckpointSink) path(rank int) string {
-	return filepath.Join(s.Dir, fmt.Sprintf("rank-%04d.ckpt", rank))
+// verifySections re-derives each length-prefixed section's digest from the
+// payload and compares against the manifest. A nil manifest skips the walk.
+func verifySections(words []mpi.Word, sums []uint64) error {
+	if len(sums) == 0 {
+		return nil
+	}
+	rest := words
+	for i, want := range sums {
+		if len(rest) < 1 {
+			return fmt.Errorf("payload ends before section %d of %d", i, len(sums))
+		}
+		n := int(rest[0])
+		if n < 0 || len(rest) < 1+n {
+			return fmt.Errorf("section %d of %d truncated (%d words declared, %d present)", i, len(sums), n, len(rest)-1)
+		}
+		if got := ckptSum(rest[1 : 1+n]); got != want {
+			return fmt.Errorf("section %d of %d corrupt: digest %#x, manifest says %#x", i, len(sums), got, want)
+		}
+		rest = rest[1+n:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%d trailing payload words beyond the %d manifest sections", len(rest), len(sums))
+	}
+	return nil
+}
+
+// MemoryCheckpointSink keeps checkpoint generations in process memory. It
+// survives a world teardown (the crash/restart cycle the chaos harness
+// exercises) but not a process restart — use FileCheckpointSink for that.
+type MemoryCheckpointSink struct {
+	mu   sync.Mutex
+	keep int
+	gens map[int][]memGen
+}
+
+// memGen is one retained in-memory generation: the checkpoint plus the
+// save-time checksum validation recomputes against.
+type memGen struct {
+	cp  Checkpoint
+	sum uint64
+}
+
+// NewMemoryCheckpointSink returns an empty in-memory sink retaining
+// DefaultCheckpointKeep generations per rank.
+func NewMemoryCheckpointSink() *MemoryCheckpointSink {
+	return NewMemoryCheckpointSinkKeep(0)
+}
+
+// NewMemoryCheckpointSinkKeep returns an empty in-memory sink retaining
+// keep generations per rank (< 1 means DefaultCheckpointKeep).
+func NewMemoryCheckpointSinkKeep(keep int) *MemoryCheckpointSink {
+	return &MemoryCheckpointSink{keep: effectiveKeep(keep), gens: map[int][]memGen{}}
 }
 
 // Save implements CheckpointSink.
-func (s FileCheckpointSink) Save(rank int, cp Checkpoint) error {
-	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
-		return err
+func (s *MemoryCheckpointSink) Save(rank int, cp Checkpoint) error {
+	cp.Words = append([]mpi.Word(nil), cp.Words...)
+	cp.SectionSums = append([]uint64(nil), cp.SectionSums...)
+	g := memGen{cp: cp, sum: ckptSum(cp.Words)}
+	s.mu.Lock()
+	gens := append(s.gens[rank], g)
+	if over := len(gens) - s.keep; over > 0 {
+		gens = append([]memGen(nil), gens[over:]...)
 	}
-	buf := make([]byte, 8*(ckptHeaderWords+len(cp.Words)))
-	binary.LittleEndian.PutUint64(buf[0:], ckptMagic)
-	binary.LittleEndian.PutUint64(buf[8:], uint64(cp.Ranks))
-	binary.LittleEndian.PutUint64(buf[16:], uint64(cp.Stratum))
-	binary.LittleEndian.PutUint64(buf[24:], uint64(cp.Iter))
-	binary.LittleEndian.PutUint64(buf[32:], ckptSum(cp.Words))
-	binary.LittleEndian.PutUint64(buf[40:], uint64(len(cp.Words)))
-	for i, w := range cp.Words {
-		binary.LittleEndian.PutUint64(buf[8*(ckptHeaderWords+i):], w)
+	s.gens[rank] = gens
+	s.mu.Unlock()
+	return nil
+}
+
+// validAt re-validates generation i of rank under the lock, quarantining
+// (dropping) it when its stored words no longer match the save-time
+// checksum — the memory analogue of renaming a corrupt file aside.
+func (s *MemoryCheckpointSink) validAt(rank, i int) bool {
+	g := s.gens[rank][i]
+	if ckptSum(g.cp.Words) == g.sum && verifySections(g.cp.Words, g.cp.SectionSums) == nil {
+		return true
 	}
-	tmp := s.path(rank) + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.path(rank))
+	ckptValidationFailures.Add(1)
+	ckptQuarantined.Add(1)
+	s.gens[rank] = append(s.gens[rank][:i:i], s.gens[rank][i+1:]...)
+	return false
+}
+
+// copyAt returns a caller-owned copy of generation i under the lock.
+func (s *MemoryCheckpointSink) copyAt(rank, i int) Checkpoint {
+	cp := s.gens[rank][i].cp
+	cp.Words = append([]mpi.Word(nil), cp.Words...)
+	cp.SectionSums = append([]uint64(nil), cp.SectionSums...)
+	return cp
 }
 
 // Latest implements CheckpointSink.
-func (s FileCheckpointSink) Latest(rank int) (Checkpoint, bool, error) {
-	buf, err := os.ReadFile(s.path(rank))
-	if errors.Is(err, os.ErrNotExist) {
-		return Checkpoint{}, false, nil
+func (s *MemoryCheckpointSink) Latest(rank int) (Checkpoint, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.gens[rank]) - 1; i >= 0; i-- {
+		if s.validAt(rank, i) {
+			return s.copyAt(rank, i), true, nil
+		}
+	}
+	return Checkpoint{}, false, nil
+}
+
+// LatestValid implements CheckpointSink.
+func (s *MemoryCheckpointSink) LatestValid() (Position, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.gens[0]) - 1; i >= 0; i-- {
+		if !s.validAt(0, i) {
+			continue
+		}
+		cp := s.gens[0][i].cp
+		pos := Position{Ranks: cp.Ranks, Stratum: cp.Stratum, Iter: cp.Iter}
+		complete := true
+		for r := 1; r < pos.Ranks; r++ {
+			if _, ok := s.loadLocked(r, pos); !ok {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			return pos, true, nil
+		}
+	}
+	return Position{}, false, nil
+}
+
+// loadLocked finds rank's newest valid generation matching pos.
+func (s *MemoryCheckpointSink) loadLocked(rank int, pos Position) (int, bool) {
+	for i := len(s.gens[rank]) - 1; i >= 0; i-- {
+		if !pos.Matches(s.gens[rank][i].cp) {
+			continue
+		}
+		if s.validAt(rank, i) {
+			return i, true
+		}
+		// validAt dropped entry i; indexes above it shifted down by one,
+		// but those were already visited, so continue from i-1 unharmed.
+	}
+	return 0, false
+}
+
+// Load implements CheckpointSink.
+func (s *MemoryCheckpointSink) Load(rank int, pos Position) (Checkpoint, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.loadLocked(rank, pos); ok {
+		return s.copyAt(rank, i), true, nil
+	}
+	return Checkpoint{}, false, nil
+}
+
+// TamperNewest implements Tamperer: it flips one payload word of rank's
+// newest stored generation without touching the save-time checksum, so the
+// next validation quarantines it.
+func (s *MemoryCheckpointSink) TamperNewest(rank int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gens := s.gens[rank]
+	if len(gens) == 0 {
+		return false
+	}
+	w := gens[len(gens)-1].cp.Words
+	if len(w) == 0 {
+		return false
+	}
+	w[len(w)/2] ^= 1 << 17
+	return true
+}
+
+// FileCheckpointSink persists checkpoint generations under Dir — one
+// rank-%04d.gen-%06d.ckpt file per save, the last Keep generations per
+// rank retained — surviving process restarts (the CLI's -resume flag).
+// Saves write a temporary file, fsync it, rename it into place, and fsync
+// the directory, so an interrupted save never clobbers a previous
+// generation and a completed save survives power loss. Files written by
+// the previous single-generation format (rank-%04d.ckpt) load as the
+// oldest generation.
+type FileCheckpointSink struct {
+	Dir string
+	// Keep bounds the retained generations per rank; < 1 means
+	// DefaultCheckpointKeep.
+	Keep int
+}
+
+const (
+	ckptMagic   uint64 = 0x70614c43_6b707432 // "paLCkpt2": legacy single-generation format
+	ckptMagicV2 uint64 = 0x70614c43_6b707433 // "paLCkpt3": versioned manifest format
+	ckptVersion uint64 = 2
+)
+
+// ckptHeaderWords is the fixed prefix of a legacy checkpoint file: magic,
+// world size, stratum, iteration, payload checksum, payload length.
+const ckptHeaderWords = 6
+
+// ckptV2HeaderWords is the fixed prefix of a v2 file: magic, format
+// version, world size, stratum, iteration, section count. The manifest
+// (one digest word per section), the payload length, the payload, and a
+// trailing whole-file CRC32C word follow.
+const ckptV2HeaderWords = 6
+
+// legacyGen orders pre-versioning rank-%04d.ckpt files before every
+// numbered generation.
+const legacyGen = -1
+
+func (s FileCheckpointSink) path(rank, gen int) string {
+	if gen == legacyGen {
+		return filepath.Join(s.Dir, fmt.Sprintf("rank-%04d.ckpt", rank))
+	}
+	return filepath.Join(s.Dir, fmt.Sprintf("rank-%04d.gen-%06d.ckpt", rank, gen))
+}
+
+// rankGens lists rank's on-disk generations sorted oldest-first (a legacy
+// file, if present, sorts before every numbered generation). A missing
+// directory is an empty sink, not an error.
+func (s FileCheckpointSink) rankGens(rank int) ([]int, error) {
+	ents, err := os.ReadDir(s.Dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
 	}
 	if err != nil {
-		return Checkpoint{}, false, err
+		return nil, err
 	}
-	if len(buf) < 8*ckptHeaderWords || binary.LittleEndian.Uint64(buf) != ckptMagic {
-		return Checkpoint{}, false, fmt.Errorf("ra: %s is not a checkpoint file", s.path(rank))
+	var gens []int
+	for _, e := range ents {
+		if e.Name() == filepath.Base(s.path(rank, legacyGen)) {
+			gens = append(gens, legacyGen)
+			continue
+		}
+		var r, g int
+		if n, _ := fmt.Sscanf(e.Name(), "rank-%d.gen-%d.ckpt", &r, &g); n == 2 &&
+			r == rank && g >= 0 && e.Name() == filepath.Base(s.path(rank, g)) {
+			gens = append(gens, g)
+		}
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+// encodeCkpt renders cp in the v2 format: header, manifest, payload, and a
+// trailing CRC32C over every preceding byte.
+func encodeCkpt(cp Checkpoint) []byte {
+	ns := len(cp.SectionSums)
+	buf := make([]byte, 8*(ckptV2HeaderWords+ns+1+len(cp.Words)+1))
+	binary.LittleEndian.PutUint64(buf[0:], ckptMagicV2)
+	binary.LittleEndian.PutUint64(buf[8:], ckptVersion)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(cp.Ranks))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(cp.Stratum))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(cp.Iter))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(ns))
+	off := 8 * ckptV2HeaderWords
+	for _, sum := range cp.SectionSums {
+		binary.LittleEndian.PutUint64(buf[off:], sum)
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], uint64(len(cp.Words)))
+	off += 8
+	for _, w := range cp.Words {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(w))
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], uint64(mpi.CRC32C(buf[:off])))
+	return buf
+}
+
+// decodeCkpt parses and fully validates a checkpoint file of either
+// format. Every error return means the file is corrupt or foreign.
+func decodeCkpt(path string, buf []byte) (Checkpoint, error) {
+	if len(buf) < 8 {
+		return Checkpoint{}, fmt.Errorf("ra: %s is not a checkpoint file", path)
+	}
+	switch binary.LittleEndian.Uint64(buf) {
+	case ckptMagic:
+		return decodeLegacyCkpt(path, buf)
+	case ckptMagicV2:
+	default:
+		return Checkpoint{}, fmt.Errorf("ra: %s is not a checkpoint file", path)
+	}
+	if len(buf) < 8*(ckptV2HeaderWords+2) {
+		return Checkpoint{}, fmt.Errorf("ra: %s truncated inside the header", path)
+	}
+	if v := binary.LittleEndian.Uint64(buf[8:]); v != ckptVersion {
+		return Checkpoint{}, fmt.Errorf("ra: %s has checkpoint format version %d, this build reads %d", path, v, ckptVersion)
+	}
+	cp := Checkpoint{
+		Ranks:   int(binary.LittleEndian.Uint64(buf[16:])),
+		Stratum: int(binary.LittleEndian.Uint64(buf[24:])),
+		Iter:    int(binary.LittleEndian.Uint64(buf[32:])),
+	}
+	ns := int(binary.LittleEndian.Uint64(buf[40:]))
+	if ns < 0 || len(buf) < 8*(ckptV2HeaderWords+ns+1) {
+		return Checkpoint{}, fmt.Errorf("ra: %s truncated inside the manifest (%d sections declared)", path, ns)
+	}
+	off := 8 * ckptV2HeaderWords
+	if ns > 0 {
+		cp.SectionSums = make([]uint64, ns)
+		for i := range cp.SectionSums {
+			cp.SectionSums[i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+	}
+	n := int(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	if n < 0 || len(buf) != off+8*(n+1) {
+		return Checkpoint{}, fmt.Errorf("ra: %s truncated: %d payload words declared, %d bytes present", path, n, len(buf))
+	}
+	cp.Words = make([]mpi.Word, n)
+	for i := range cp.Words {
+		cp.Words[i] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	want := uint32(binary.LittleEndian.Uint64(buf[off:]))
+	if got := mpi.CRC32C(buf[:off]); got != want {
+		return Checkpoint{}, fmt.Errorf("ra: %s corrupt: file CRC %#x, trailer says %#x", path, got, want)
+	}
+	if err := verifySections(cp.Words, cp.SectionSums); err != nil {
+		return Checkpoint{}, fmt.Errorf("ra: %s corrupt: %v", path, err)
+	}
+	return cp, nil
+}
+
+// decodeLegacyCkpt parses the pre-versioning single-generation format.
+func decodeLegacyCkpt(path string, buf []byte) (Checkpoint, error) {
+	if len(buf) < 8*ckptHeaderWords {
+		return Checkpoint{}, fmt.Errorf("ra: %s is not a checkpoint file", path)
 	}
 	cp := Checkpoint{
 		Ranks:   int(binary.LittleEndian.Uint64(buf[8:])),
@@ -148,31 +450,226 @@ func (s FileCheckpointSink) Latest(rank int) (Checkpoint, bool, error) {
 	sum := binary.LittleEndian.Uint64(buf[32:])
 	n := int(binary.LittleEndian.Uint64(buf[40:]))
 	if len(buf) != 8*(ckptHeaderWords+n) {
-		return Checkpoint{}, false, fmt.Errorf("ra: %s truncated: %d words declared, %d bytes present",
-			s.path(rank), n, len(buf))
+		return Checkpoint{}, fmt.Errorf("ra: %s truncated: %d words declared, %d bytes present", path, n, len(buf))
 	}
 	cp.Words = make([]mpi.Word, n)
 	for i := range cp.Words {
 		cp.Words[i] = binary.LittleEndian.Uint64(buf[8*(ckptHeaderWords+i):])
 	}
 	if got := ckptSum(cp.Words); got != sum {
-		return Checkpoint{}, false, fmt.Errorf("ra: %s corrupt: payload checksum %#x, header says %#x",
-			s.path(rank), got, sum)
+		return Checkpoint{}, fmt.Errorf("ra: %s corrupt: payload checksum %#x, header says %#x", path, got, sum)
 	}
-	return cp, true, nil
+	return cp, nil
 }
 
-// Remove deletes rank's checkpoint file if present (used by the CLI to
-// clear stale state after a completed run).
-func (s FileCheckpointSink) Remove(rank int) error {
-	err := os.Remove(s.path(rank))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+// loadGen reads and validates one generation. A fs.ErrNotExist return
+// means the file vanished under a concurrent prune or quarantine — the
+// caller skips it without counting a validation failure.
+func (s FileCheckpointSink) loadGen(rank, gen int) (Checkpoint, error) {
+	path := s.path(rank, gen)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Checkpoint{}, err
 	}
-	if err == io.EOF {
-		return nil
+	return decodeCkpt(path, buf)
+}
+
+// quarantine renames a corrupt generation aside (path + ".bad") so it is
+// never retried, preserving the bytes for inspection. Concurrent scans may
+// race to the rename; only the winner counts the quarantine.
+func (s FileCheckpointSink) quarantine(rank, gen int) {
+	ckptValidationFailures.Add(1)
+	p := s.path(rank, gen)
+	if err := os.Rename(p, p+".bad"); err == nil {
+		ckptQuarantined.Add(1)
+	}
+}
+
+// Save implements CheckpointSink: encode, write a temp file, fsync it,
+// rename it into the next generation slot, fsync the directory, and prune
+// generations beyond Keep.
+func (s FileCheckpointSink) Save(rank int, cp Checkpoint) error {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	gens, err := s.rankGens(rank)
+	if err != nil {
+		return err
+	}
+	gen := 1
+	if len(gens) > 0 && gens[len(gens)-1] >= 1 {
+		gen = gens[len(gens)-1] + 1
+	}
+	final := s.path(rank, gen)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, encodeCkpt(cp)); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(s.Dir); err != nil {
+		return err
+	}
+	if over := len(gens) + 1 - effectiveKeep(s.Keep); over > 0 {
+		for _, g := range gens[:over] {
+			if err := os.Remove(s.path(rank, g)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// bytes are durable before the caller renames the file into place.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable before Save reports success.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
 	}
 	return err
+}
+
+// Latest implements CheckpointSink: newest-first over rank's generations,
+// quarantining corrupt ones, returning the first that validates.
+func (s FileCheckpointSink) Latest(rank int) (Checkpoint, bool, error) {
+	gens, err := s.rankGens(rank)
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		cp, err := s.loadGen(rank, gens[i])
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			s.quarantine(rank, gens[i])
+			continue
+		}
+		return cp, true, nil
+	}
+	return Checkpoint{}, false, nil
+}
+
+// LatestValid implements CheckpointSink. Rank 0 belongs to every world, so
+// its generations enumerate the candidate positions; each candidate is
+// accepted only when every rank of the writing world holds a validating
+// checkpoint at it.
+func (s FileCheckpointSink) LatestValid() (Position, bool, error) {
+	gens, err := s.rankGens(0)
+	if err != nil {
+		return Position{}, false, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		cp, err := s.loadGen(0, gens[i])
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			s.quarantine(0, gens[i])
+			continue
+		}
+		pos := Position{Ranks: cp.Ranks, Stratum: cp.Stratum, Iter: cp.Iter}
+		complete := true
+		for r := 1; r < pos.Ranks; r++ {
+			if _, ok, err := s.Load(r, pos); err != nil || !ok {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			return pos, true, nil
+		}
+	}
+	return Position{}, false, nil
+}
+
+// Load implements CheckpointSink: newest-first over rank's generations,
+// quarantining corrupt ones, returning the first valid checkpoint at pos.
+func (s FileCheckpointSink) Load(rank int, pos Position) (Checkpoint, bool, error) {
+	gens, err := s.rankGens(rank)
+	if err != nil {
+		return Checkpoint{}, false, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		cp, err := s.loadGen(rank, gens[i])
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			s.quarantine(rank, gens[i])
+			continue
+		}
+		if pos.Matches(cp) {
+			return cp, true, nil
+		}
+	}
+	return Checkpoint{}, false, nil
+}
+
+// TamperNewest implements Tamperer: flip one byte of the final payload
+// word of rank's newest on-disk generation, in place and without updating
+// any checksum, so validation must reject it. (The very last word is the
+// v2 CRC trailer whose upper bytes are zero padding; the word before it is
+// always covered by a checksum in both formats.)
+func (s FileCheckpointSink) TamperNewest(rank int) bool {
+	gens, err := s.rankGens(rank)
+	if err != nil || len(gens) == 0 {
+		return false
+	}
+	p := s.path(rank, gens[len(gens)-1])
+	buf, err := os.ReadFile(p)
+	if err != nil || len(buf) < 16 {
+		return false
+	}
+	buf[len(buf)-9] ^= 0x40
+	return os.WriteFile(p, buf, 0o644) == nil
+}
+
+// Remove deletes every generation, temp, and quarantine file of rank (used
+// by the CLI to clear stale state after a completed run).
+func (s FileCheckpointSink) Remove(rank int) error {
+	ents, err := os.ReadDir(s.Dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	prefix := fmt.Sprintf("rank-%04d.", rank)
+	for _, e := range ents {
+		if len(e.Name()) < len(prefix) || e.Name()[:len(prefix)] != prefix {
+			continue
+		}
+		err := os.Remove(filepath.Join(s.Dir, e.Name()))
+		if err != nil && !errors.Is(err, fs.ErrNotExist) && err != io.EOF {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sentinel position words for the collective checkpoint agreement.
@@ -253,19 +750,18 @@ func agreeOutcome(comm *mpi.Comm, local error) error {
 	return errors.New("ra: a peer rank failed restoring the checkpoint")
 }
 
-// AgreedPosition reads checkpoint slot 0 — every world contains rank 0, so
-// slot 0 names the latest complete checkpoint set regardless of the world
-// size that wrote it — and collectively verifies every rank of the current
-// world observes the same position. ok=false with a nil error means no
-// checkpoint exists anywhere. Collective.
+// AgreedPosition scans the sink for the newest valid complete checkpoint
+// set and collectively verifies every rank of the current world observes
+// the same position. ok=false with a nil error means no valid checkpoint
+// exists anywhere. Collective.
 func AgreedPosition(comm *mpi.Comm, sink CheckpointSink) (Position, bool, error) {
-	cp, ok, err := sink.Latest(0)
+	p, ok, err := sink.LatestValid()
 	pos := posNone
 	switch {
 	case err != nil:
 		pos = posErr // poison the agreement so peers error rather than diverge
 	case ok:
-		pos = posWord(cp.Ranks, cp.Stratum, cp.Iter)
+		pos = posWord(p.Ranks, p.Stratum, p.Iter)
 	}
 	agreed, aerr := agree(comm, pos)
 	if err != nil {
@@ -277,38 +773,34 @@ func AgreedPosition(comm *mpi.Comm, sink CheckpointSink) (Position, bool, error)
 	if agreed == posNone {
 		return Position{}, false, nil
 	}
-	return Position{Ranks: cp.Ranks, Stratum: cp.Stratum, Iter: cp.Iter}, true, nil
+	return p, true, nil
 }
 
-// LatestAgreed loads this rank's latest checkpoint and collectively
-// verifies that every rank holds a checkpoint for the same (stratum,
-// iteration) position, written by a world of this size. It is the same-size
-// fast path: each rank touches only its own shard. Use AgreedPosition +
-// CollectRemap when the world size may have changed. ok=false (with a nil
-// error) means no rank has a checkpoint.
+// LatestAgreed resolves the newest valid complete checkpoint set,
+// collectively verifies every rank observes the same position written by a
+// world of this size, and loads this rank's own shard. It is the same-size
+// fast path: each rank's restore touches only its own generation files.
+// Use AgreedPosition + CollectRemap when the world size may have changed.
+// ok=false (with a nil error) means no valid checkpoint set exists.
 func LatestAgreed(comm *mpi.Comm, sink CheckpointSink) (Checkpoint, bool, error) {
-	cp, ok, err := sink.Latest(comm.Rank())
-	pos := posNone
-	switch {
-	case err != nil:
-		pos = posErr
-	case ok:
-		pos = posWord(cp.Ranks, cp.Stratum, cp.Iter)
-	}
-	agreed, aerr := agree(comm, pos)
+	pos, ok, err := AgreedPosition(comm, sink)
 	if err != nil {
 		return Checkpoint{}, false, err
 	}
-	if aerr != nil {
-		return Checkpoint{}, false, aerr
-	}
-	if agreed == posNone {
+	if !ok {
 		return Checkpoint{}, false, nil
 	}
-	if cp.Ranks != comm.Size() {
+	if pos.Ranks != comm.Size() {
 		return Checkpoint{}, false, fmt.Errorf(
 			"ra: checkpoint was written by a %d-rank world, cannot same-size resume with %d ranks (use the remap path)",
-			cp.Ranks, comm.Size())
+			pos.Ranks, comm.Size())
+	}
+	cp, ok, lerr := sink.Load(comm.Rank(), pos)
+	if lerr == nil && !ok {
+		lerr = fmt.Errorf("ra: rank %d's checkpoint at the agreed position vanished mid-resume", comm.Rank())
+	}
+	if err := agreeOutcome(comm, lerr); err != nil {
+		return Checkpoint{}, false, err
 	}
 	return cp, true, nil
 }
@@ -321,17 +813,14 @@ func LatestAgreed(comm *mpi.Comm, sink CheckpointSink) (Checkpoint, bool, error)
 func CollectRemap(sink CheckpointSink, pos Position) ([]Checkpoint, error) {
 	cps := make([]Checkpoint, pos.Ranks)
 	for r := 0; r < pos.Ranks; r++ {
-		cp, ok, err := sink.Latest(r)
+		cp, ok, err := sink.Load(r, pos)
 		if err != nil {
 			return nil, fmt.Errorf("ra: reading original rank %d's checkpoint for remap: %w", r, err)
 		}
 		if !ok {
-			return nil, fmt.Errorf("ra: original rank %d's checkpoint is missing: torn checkpoint set", r)
-		}
-		if !pos.Matches(cp) {
 			return nil, fmt.Errorf(
-				"ra: original rank %d's checkpoint is at (ranks %d, stratum %d, iter %d), set position is (%d, %d, %d): torn checkpoint set",
-				r, cp.Ranks, cp.Stratum, cp.Iter, pos.Ranks, pos.Stratum, pos.Iter)
+				"ra: original rank %d holds no valid checkpoint at (ranks %d, stratum %d, iter %d): torn checkpoint set",
+				r, pos.Ranks, pos.Stratum, pos.Iter)
 		}
 		cps[r] = cp
 	}

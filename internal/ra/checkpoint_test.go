@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -386,7 +387,7 @@ func TestCheckpointSinkConcurrentSaveLatest(t *testing.T) {
 
 // TestFileSinkTornWriteKeepsPreviousCheckpoint simulates a crash mid-save:
 // after a good checkpoint, a truncated temporary file (the write died before
-// the atomic rename) and junk overwriting the tmp path must both leave the
+// the atomic rename) and junk overwriting a tmp path must both leave the
 // previous checkpoint fully readable.
 func TestFileSinkTornWriteKeepsPreviousCheckpoint(t *testing.T) {
 	dir := t.TempDir()
@@ -396,9 +397,9 @@ func TestFileSinkTornWriteKeepsPreviousCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A torn write: half of a newer checkpoint's bytes sitting in the tmp
+	// A torn write: half of a newer checkpoint's bytes sitting in a tmp
 	// file, never renamed into place.
-	tmp := filepath.Join(dir, "rank-0000.ckpt.tmp")
+	tmp := filepath.Join(dir, "rank-0000.gen-000002.ckpt.tmp")
 	if err := os.WriteFile(tmp, []byte("partial checkpoint bytes that never finished"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -418,20 +419,263 @@ func TestFileSinkTornWriteKeepsPreviousCheckpoint(t *testing.T) {
 	if cp, _, _ := sink.Latest(0); cp.Iter != 8 {
 		t.Errorf("save after torn write produced iter %d, want 8", cp.Iter)
 	}
+}
 
-	// Corruption of the real file (bit rot) is detected, not silently
-	// restored: flip a payload byte and expect a checksum error.
-	path := filepath.Join(dir, "rank-0000.ckpt")
-	buf, err := os.ReadFile(path)
-	if err != nil {
+// TestFileSinkCorruptNewestFallsBackOneGeneration is the degradation
+// contract: bit rot in the newest generation quarantines it (renamed
+// .bad, counted) and recovery proceeds from the previous generation;
+// only when every generation is corrupt does the sink report nothing.
+func TestFileSinkCorruptNewestFallsBackOneGeneration(t *testing.T) {
+	dir := t.TempDir()
+	sink := FileCheckpointSink{Dir: dir}
+	if err := sink.Save(0, Checkpoint{Ranks: 1, Stratum: 1, Iter: 6, Words: []mpi.Word{7, 8, 9}}); err != nil {
 		t.Fatal(err)
 	}
-	buf[len(buf)-1] ^= 0x40
+	if err := sink.Save(0, Checkpoint{Ranks: 1, Stratum: 1, Iter: 8, Words: []mpi.Word{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	failsBefore, quarBefore := CheckpointIntegrityStats()
+	if !sink.TamperNewest(0) {
+		t.Fatal("TamperNewest found nothing to corrupt")
+	}
+
+	cp, ok, err := sink.Latest(0)
+	if err != nil || !ok {
+		t.Fatalf("Latest after corrupting newest: ok=%v err=%v", ok, err)
+	}
+	if cp.Iter != 6 {
+		t.Errorf("fallback loaded iter %d, want the previous generation's 6", cp.Iter)
+	}
+	fails, quar := CheckpointIntegrityStats()
+	if fails-failsBefore < 1 || quar-quarBefore < 1 {
+		t.Errorf("corruption not counted: validation failures +%d, quarantined +%d", fails-failsBefore, quar-quarBefore)
+	}
+	bads, _ := filepath.Glob(filepath.Join(dir, "*.bad"))
+	if len(bads) != 1 {
+		t.Errorf("quarantined files on disk: %v, want exactly one", bads)
+	}
+	// The quarantined generation is never retried: a second scan reads the
+	// survivor without re-counting.
+	fails2Before, _ := CheckpointIntegrityStats()
+	if cp, ok, err := sink.Latest(0); err != nil || !ok || cp.Iter != 6 {
+		t.Fatalf("second Latest after quarantine: iter=%d ok=%v err=%v", cp.Iter, ok, err)
+	}
+	if fails2, _ := CheckpointIntegrityStats(); fails2 != fails2Before {
+		t.Errorf("quarantined generation was revalidated (%d new failures)", fails2-fails2Before)
+	}
+
+	// Corrupt the survivor too: nothing valid remains.
+	if !sink.TamperNewest(0) {
+		t.Fatal("second TamperNewest found nothing")
+	}
+	if _, ok, err := sink.Latest(0); err != nil || ok {
+		t.Errorf("Latest with every generation corrupt: ok=%v err=%v, want false/nil", ok, err)
+	}
+}
+
+// TestLatestValidRequiresCompleteSet pins the cross-rank half of the scan:
+// a generation whose set is torn — any rank's member corrupt — is skipped
+// in favor of the newest complete one, on both sink implementations.
+func TestLatestValidRequiresCompleteSet(t *testing.T) {
+	sinks := map[string]interface {
+		CheckpointSink
+		Tamperer
+	}{
+		"memory": NewMemoryCheckpointSink(),
+		"file":   FileCheckpointSink{Dir: t.TempDir()},
+	}
+	for name, sink := range sinks {
+		t.Run(name, func(t *testing.T) {
+			for _, iter := range []int{2, 4} {
+				for r := 0; r < 2; r++ {
+					if err := sink.Save(r, Checkpoint{Ranks: 2, Iter: iter, Words: []mpi.Word{uint64(10*iter + r)}}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if pos, ok, err := sink.LatestValid(); err != nil || !ok || pos.Iter != 4 {
+				t.Fatalf("clean LatestValid: %+v ok=%v err=%v", pos, ok, err)
+			}
+			if !sink.TamperNewest(1) {
+				t.Fatal("TamperNewest(1) found nothing")
+			}
+			pos, ok, err := sink.LatestValid()
+			if err != nil || !ok {
+				t.Fatalf("LatestValid after tamper: ok=%v err=%v", ok, err)
+			}
+			if pos.Iter != 2 {
+				t.Errorf("LatestValid settled on iter %d, want fallback to 2", pos.Iter)
+			}
+			if cp, ok, err := sink.Load(1, pos); err != nil || !ok || cp.Words[0] != 21 {
+				t.Errorf("Load(1) at fallback: %+v ok=%v err=%v", cp, ok, err)
+			}
+		})
+	}
+}
+
+// TestFileSinkKeepPrunesOldGenerations bounds the disk footprint: with
+// Keep=2, four saves leave exactly the two newest generations.
+func TestFileSinkKeepPrunesOldGenerations(t *testing.T) {
+	dir := t.TempDir()
+	sink := FileCheckpointSink{Dir: dir, Keep: 2}
+	for i := 1; i <= 4; i++ {
+		if err := sink.Save(0, Checkpoint{Ranks: 1, Iter: 2 * i, Words: []mpi.Word{uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "rank-0000*.ckpt"))
+	if len(files) != 2 {
+		t.Errorf("after 4 saves with Keep=2, %d files remain: %v", len(files), files)
+	}
+	if cp, ok, err := sink.Latest(0); err != nil || !ok || cp.Iter != 8 {
+		t.Errorf("Latest after pruning: iter=%d ok=%v err=%v, want 8", cp.Iter, ok, err)
+	}
+}
+
+// TestFileSinkReadsLegacyFormat pins cross-version compatibility at the
+// sink level: a pre-versioning rank-%04d.ckpt file loads as the oldest
+// generation, and newer v2 saves shadow it without deleting it until
+// retention pushes it out.
+func TestFileSinkReadsLegacyFormat(t *testing.T) {
+	dir := t.TempDir()
+	legacy := Checkpoint{Ranks: 1, Stratum: 2, Iter: 4, Words: []mpi.Word{11, 12}}
+	writeLegacyCkpt(t, filepath.Join(dir, "rank-0000.ckpt"), legacy)
+
+	sink := FileCheckpointSink{Dir: dir}
+	cp, ok, err := sink.Latest(0)
+	if err != nil || !ok {
+		t.Fatalf("Latest on legacy file: ok=%v err=%v", ok, err)
+	}
+	if cp.Iter != 4 || len(cp.Words) != 2 || cp.Words[1] != 12 {
+		t.Errorf("legacy checkpoint decoded as %+v", cp)
+	}
+	if pos, ok, err := sink.LatestValid(); err != nil || !ok || pos.Iter != 4 {
+		t.Fatalf("LatestValid on legacy file: %+v ok=%v err=%v", pos, ok, err)
+	}
+
+	if err := sink.Save(0, Checkpoint{Ranks: 1, Stratum: 2, Iter: 6, Words: []mpi.Word{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if cp, _, _ := sink.Latest(0); cp.Iter != 6 {
+		t.Errorf("v2 save did not shadow the legacy file: Latest at iter %d", cp.Iter)
+	}
+	// The legacy generation still serves as the fallback position.
+	if cp, ok, err := sink.Load(0, Position{Ranks: 1, Stratum: 2, Iter: 4}); err != nil || !ok || cp.Words[0] != 11 {
+		t.Errorf("legacy generation unavailable after a v2 save: %+v ok=%v err=%v", cp, ok, err)
+	}
+}
+
+// writeLegacyCkpt encodes cp in the pre-versioning single-generation
+// format (magic "paLCkpt2", 6-word header, payload checksum).
+func writeLegacyCkpt(t *testing.T, path string, cp Checkpoint) {
+	t.Helper()
+	buf := make([]byte, 8*(ckptHeaderWords+len(cp.Words)))
+	binary.LittleEndian.PutUint64(buf[0:], ckptMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(cp.Ranks))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(cp.Stratum))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(cp.Iter))
+	binary.LittleEndian.PutUint64(buf[32:], ckptSum(cp.Words))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(len(cp.Words)))
+	for i, w := range cp.Words {
+		binary.LittleEndian.PutUint64(buf[8*(ckptHeaderWords+i):], uint64(w))
+	}
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := sink.Latest(0); err == nil {
-		t.Error("bit-rotted checkpoint loaded without error")
+}
+
+// TestResumeFallsBackPastCorruptGeneration drives the whole recovery
+// degradation end to end: a checkpointing run leaves generations at
+// iterations 2 and 4; corrupting every rank's newest generation must make
+// a fresh world resume from iteration 2 — and still reach the identical
+// fixpoint. With BOTH generations corrupt, Resume reports ErrNoCheckpoint
+// (the restart-from-scratch signal).
+func TestResumeFallsBackPastCorruptGeneration(t *testing.T) {
+	const ranks = 2
+	for name, sink := range map[string]interface {
+		CheckpointSink
+		Tamperer
+	}{
+		"memory": NewMemoryCheckpointSink(),
+		"file":   FileCheckpointSink{Dir: t.TempDir()},
+	} {
+		t.Run(name, func(t *testing.T) {
+			w := mpi.NewWorld(ranks)
+			if err := w.Run(func(c *mpi.Comm) error {
+				mc := metrics.NewCollector(ranks)
+				fx, _ := chainTC(c, mc)
+				fx.Run(Options{Plan: PlanDynamic, CheckpointEvery: 2, Sink: sink, MaxIters: 5})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < ranks; r++ {
+				if !sink.TamperNewest(r) {
+					t.Fatalf("rank %d: nothing to tamper", r)
+				}
+			}
+			w2 := mpi.NewWorld(ranks)
+			if err := w2.Run(func(c *mpi.Comm) error {
+				mc := metrics.NewCollector(ranks)
+				fx, pathRel := chainTC(c, mc)
+				total, err := fx.Resume(Options{Plan: PlanDynamic, CheckpointEvery: 2, Sink: sink})
+				if err != nil {
+					return err
+				}
+				if got := pathRel.GlobalFullCount(); got != chainTCPaths {
+					return fmt.Errorf("resume past corrupt generation reached %d paths, want %d", got, chainTCPaths)
+				}
+				if total <= 2 {
+					return fmt.Errorf("resume reported %d total iterations, expected to continue from iteration 2", total)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestResumeWithEveryGenerationCorruptReportsNoCheckpoint: when the sink
+// holds a single generation and it is corrupt on every rank, recovery has
+// nothing left and must say so explicitly — the restart-from-scratch
+// signal the supervisor reports upward.
+func TestResumeWithEveryGenerationCorruptReportsNoCheckpoint(t *testing.T) {
+	const ranks = 2
+	for name, sink := range map[string]interface {
+		CheckpointSink
+		Tamperer
+	}{
+		"memory": NewMemoryCheckpointSink(),
+		"file":   FileCheckpointSink{Dir: t.TempDir()},
+	} {
+		t.Run(name, func(t *testing.T) {
+			w := mpi.NewWorld(ranks)
+			if err := w.Run(func(c *mpi.Comm) error {
+				mc := metrics.NewCollector(ranks)
+				fx, _ := chainTC(c, mc)
+				fx.Run(Options{Plan: PlanDynamic, CheckpointEvery: 2, Sink: sink, MaxIters: 3})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < ranks; r++ {
+				if !sink.TamperNewest(r) {
+					t.Fatalf("rank %d: nothing to tamper", r)
+				}
+			}
+			w2 := mpi.NewWorld(ranks)
+			if err := w2.Run(func(c *mpi.Comm) error {
+				mc := metrics.NewCollector(ranks)
+				fx, _ := chainTC(c, mc)
+				if _, err := fx.Resume(Options{Plan: PlanDynamic, CheckpointEvery: 2, Sink: sink}); err != ErrNoCheckpoint {
+					return fmt.Errorf("Resume with every generation corrupt returned %v, want ErrNoCheckpoint", err)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

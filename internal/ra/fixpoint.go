@@ -147,6 +147,12 @@ type Fixpoint struct {
 	bodyOnly []*relation.Relation
 	allRels  []*relation.Relation
 	pending  map[*relation.Relation]*tuple.Buffer
+
+	// Pending injected state corruption (chaos): a fault whose target shard
+	// was still empty when it fired is retried each iteration until it
+	// lands on real state. tamperMask == 0 means none pending.
+	tamperRel  string
+	tamperMask mpi.Word
 }
 
 // NewFixpoint assembles a stratum from compiled rules.
@@ -235,6 +241,7 @@ func (f *Fixpoint) Resume(opts Options) (int, error) {
 	if pos.Stratum != opts.Stratum {
 		return 0, fmt.Errorf("ra: checkpoint belongs to stratum %d, resuming stratum %d", pos.Stratum, opts.Stratum)
 	}
+	f.emitCkptScan(opts, pos.Iter)
 	if pos.Ranks == f.Comm.Size() {
 		cp, ok, err := LatestAgreed(f.Comm, opts.Sink)
 		if err != nil {
@@ -272,6 +279,24 @@ func (f *Fixpoint) Resume(opts Options) (int, error) {
 		timer.Done(int64(words), int64(words*mpi.WordBytes), 0))
 	f.emitRecovery(opts, "remap", pos.Iter, words*mpi.WordBytes)
 	return f.run(opts, pos.Iter), nil
+}
+
+// emitCkptScan streams the recovery scan's integrity outcome: the
+// process-wide cumulative validation-failure and quarantine counters after
+// LatestValid settled on a position. A supervisor or live exporter diffs
+// successive events to see how much corruption each recovery stepped over.
+func (f *Fixpoint) emitCkptScan(opts Options, iter int) {
+	o := f.MC.Observer()
+	if o == nil {
+		return
+	}
+	fails, quar := CheckpointIntegrityStats()
+	e := obs.Get()
+	e.Kind = obs.KindCkptScan
+	e.Rank, e.Stratum, e.Iter = f.Comm.Rank(), opts.Stratum, iter
+	e.Failures, e.Quarantined = fails, quar
+	e.End = time.Now().UnixNano()
+	obs.Emit(o, e)
 }
 
 // emitRecovery streams a checkpoint-restore event: path is "recovery" for a
@@ -339,15 +364,25 @@ func (f *Fixpoint) remapSnapshots(opts Options, cps []Checkpoint) (int, error) {
 func (f *Fixpoint) checkpoint(opts Options, iter int) {
 	timer := metrics.StartTimer()
 	var words []mpi.Word
+	var sums []uint64
 	for _, rel := range f.snapshotSet(opts) {
 		sub := rel.SnapshotWords()
+		sums = append(sums, ckptSum(sub))
 		words = append(words, mpi.Word(len(sub)))
 		words = append(words, sub...)
 	}
 	rank := f.Comm.Rank()
-	cp := Checkpoint{Ranks: f.Comm.Size(), Stratum: opts.Stratum, Iter: iter, Words: words}
+	cp := Checkpoint{Ranks: f.Comm.Size(), Stratum: opts.Stratum, Iter: iter, Words: words, SectionSums: sums}
 	if err := opts.Sink.Save(rank, cp); err != nil {
 		panic(fmt.Sprintf("ra: rank %d checkpoint save at iteration %d failed: %v", rank, iter, err))
+	}
+	if f.Comm.CkptCorruptNow(iter) {
+		// Injected checkpoint-corruption fault: flip bits of the generation
+		// just written so the next recovery scan must quarantine it and fall
+		// back one generation.
+		if tp, ok := opts.Sink.(Tamperer); ok {
+			tp.TamperNewest(rank)
+		}
 	}
 	f.MC.Record(rank, iter-1, metrics.PhaseCheckpoint,
 		timer.Done(int64(len(words)), int64(len(words)*mpi.WordBytes), 0))
@@ -406,6 +441,24 @@ func (f *Fixpoint) step(opts Options, iter int) uint64 {
 	// Publish the iteration to the fault layer: injected faults target
 	// it and failure reports carry it.
 	f.Comm.SetEpoch(iter)
+	if rel, mask, ok := f.Comm.StateCorruptNow(iter); ok {
+		// Injected in-memory corruption fault: silently flip one stored word
+		// of the named relation's shard before the iteration's rules run.
+		// The Materialize of the iteration the flip lands in must detect it
+		// (Config.Integrity). An empty target shard (nothing to flip yet)
+		// keeps the fault pending for the next iteration.
+		f.tamperRel, f.tamperMask = rel, mask
+	}
+	if f.tamperMask != 0 {
+		for _, r := range f.allRels {
+			if r.Name == f.tamperRel {
+				if r.TamperState(f.tamperMask) {
+					f.tamperMask = 0
+				}
+				break
+			}
+		}
+	}
 	// Live observability: snapshot wall time and communication counters so
 	// the iteration event carries the iteration's deltas. The nil path does
 	// no work (the steady-state iteration stays allocation-free).

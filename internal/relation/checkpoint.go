@@ -194,6 +194,9 @@ func (r *Relation) RestoreWords(words []mpi.Word) error {
 	r.changedLast = changed
 	r.idCounter = idCounter
 	r.rebuildHomeCaches()
+	// The restored state belongs to an earlier iteration; the history
+	// baseline the integrity digests were tracking no longer applies.
+	r.invalidateDigestBaseline()
 	return nil
 }
 
@@ -353,6 +356,7 @@ func (r *Relation) RestoreRemapped(snaps []*Snapshot) error {
 	r.subs = snaps[0].Subs
 	r.changedLast = snaps[0].ChangedLast
 	r.rebuildHomeCaches()
+	r.invalidateDigestBaseline()
 
 	// Index trees: keep every stored tuple whose new (bucket, sub) home is
 	// this rank. Placement depends only on join-key/independent columns, so

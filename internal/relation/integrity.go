@@ -1,0 +1,291 @@
+package relation
+
+import (
+	"paralagg/internal/btree"
+	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+)
+
+// Online divergence detection (Config.Integrity). Each Materialize
+// fingerprints this rank's shard with order-independent 64-bit digests and
+// rides them on the convergence Allreduce — the agreement every iteration
+// already pays for — so detection costs zero extra collective rounds. The
+// digests are sums of per-tuple hashes, which makes them independent of
+// storage order AND of placement: the global sum over ranks is a property
+// of the logical relation, so it survives sub-bucket rebalancing and
+// elastic restarts.
+//
+// Three invariants are checked on the agreed global sums each iteration:
+//
+//   replica:  Σ over every index's FULL tree  ==  nIndexes × canonical
+//             (every B-tree replica stores the same global relation the
+//             canonical store does; a flipped word in any one copy breaks
+//             the equality)
+//   delta:    Σ over every index's Δ tree  ==  nIndexes × Σ fresh tuples
+//             (each changed tuple reached every replica exactly once)
+//   history:  full_t == full_{t-1} + Δ_t for set-semantics relations
+//             (FULL only ever grows by exactly the deduplicated fresh
+//             tuples — this is what catches corruption of the canonical
+//             tree itself, which the replica check cannot see when the
+//             corrupt copy is the reference)
+//   drift:    Σ over ranks of (recomputed acc digest − running acc digest)
+//             == 0 for aggregated relations. The running digest is
+//             maintained ONLY by the merge path, so a word flipped directly
+//             in the accumulator arena drifts — even when a later lattice
+//             merge overwrites the flipped value in the same iteration and
+//             leaves the replicas consistent-but-wrong. Both global sums
+//             are placement-independent, so the invariant survives
+//             sub-bucket redistribution without re-seeding.
+//
+// CRC32C on the wire (PR 2) protects tuples in flight; these digests
+// protect them at rest. What none can catch is a wrong-but-consistent
+// lattice value produced before the tuple was ever hashed.
+
+// digestSeed starts every per-tuple hash stream.
+const digestSeed = 0x9e3779b97f4a7c15
+
+// digestWord folds one word into a running splitmix64-style stream.
+func digestWord(h, v uint64) uint64 {
+	h ^= v
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// digestWords folds ws into a running splitmix64-style stream; column
+// order matters (tuple (1,2) ≠ tuple (2,1)) but the per-tuple results are
+// summed, so the multiset digest is storage-order-independent.
+func digestWords(h uint64, ws []tuple.Value) uint64 {
+	for _, v := range ws {
+		h = digestWord(h, uint64(v))
+	}
+	return h
+}
+
+// digestTuple hashes one canonical-order tuple.
+func digestTuple(t tuple.Tuple) uint64 { return digestWords(digestSeed, t) }
+
+// digestInv returns the inverse storage permutation for digesting (canonical
+// column c lives at stored position inv[c]), or nil when the permutation is
+// the identity and stored order IS canonical order. Computed once per index.
+func (ix *Index) digestInv() []int {
+	if !ix.digInvDone {
+		ix.digInvDone = true
+		identity := true
+		for i, c := range ix.Perm {
+			if i != c {
+				identity = false
+				break
+			}
+		}
+		if !identity {
+			inv := make([]int, len(ix.Perm))
+			for i, c := range ix.Perm {
+				inv[c] = i
+			}
+			ix.digInv = inv
+		}
+	}
+	return ix.digInv
+}
+
+// digestTree sums per-tuple digests of tr's stored tuples mapped back to
+// canonical column order through the inverse index permutation — no
+// intermediate copy — so every replica of the same logical tuple contributes
+// the same value regardless of its storage permutation. This walk is the
+// integrity layer's hot loop: it re-reads every stored word each iteration,
+// which is exactly what makes at-rest rot detectable.
+func (ix *Index) digestTree(tr *btree.Tree) uint64 {
+	var sum uint64
+	inv := ix.digestInv()
+	if inv == nil {
+		tr.Ascend(func(stored tuple.Tuple) bool {
+			sum += digestTuple(stored)
+			return true
+		})
+		return sum
+	}
+	tr.Ascend(func(stored tuple.Tuple) bool {
+		h := uint64(digestSeed)
+		for _, p := range inv {
+			h = digestWord(h, uint64(stored[p]))
+		}
+		sum += h
+		return true
+	})
+	return sum
+}
+
+// digestAcc sums per-entry digests of the aggregate accumulator as
+// canonical tuples (independent key followed by dependent value).
+func (r *Relation) digestAcc() uint64 {
+	var sum uint64
+	r.acc.Each(func(indep, dep []tuple.Value) bool {
+		sum += digestWords(digestWords(digestSeed, indep), dep)
+		return true
+	})
+	return sum
+}
+
+// digestBuffer sums per-tuple digests of a canonical-order tuple buffer.
+func digestBuffer(b *tuple.Buffer) uint64 {
+	var sum uint64
+	for i, n := 0, b.Len(); i < n; i++ {
+		sum += digestTuple(b.At(i))
+	}
+	return sum
+}
+
+// integrityLocal fills vec[1:6] with this rank's digest contributions and
+// returns the number of tuples hashed: [1] the canonical store (acc for
+// aggregated relations, the canonical tree otherwise), [2] Σ over every
+// index FULL tree, [3] Σ over every index Δ tree, [4] this pass's fresh
+// tuples, [5] the accumulator drift (recomputed minus running digest;
+// always 0 for set relations).
+func (r *Relation) integrityLocal(fresh *tuple.Buffer, vec []mpi.Word) int64 {
+	var canon, fullSum, deltaSum uint64
+	work := int64(0)
+	for i, ix := range r.indexes {
+		fd := ix.digestTree(ix.Full)
+		fullSum += fd
+		deltaSum += ix.digestTree(ix.Delta)
+		work += int64(ix.Full.Len() + ix.Delta.Len())
+		if i == 0 {
+			canon = fd
+		}
+	}
+	vec[5] = 0
+	if r.Agg != nil {
+		canon = r.digestAcc()
+		work += int64(r.acc.Len())
+		if !r.accDigValid {
+			// First iteration, or the accumulator was legitimately rebuilt
+			// (restore): adopt the recomputed digest as the running baseline.
+			r.accDig = canon
+			r.accDigValid = true
+		}
+		vec[5] = canon - r.accDig
+	}
+	vec[1] = canon
+	vec[2] = fullSum
+	vec[3] = deltaSum
+	if fresh != nil {
+		vec[4] = digestBuffer(fresh)
+		work += int64(fresh.Len())
+	} else {
+		vec[4] = 0
+	}
+	return work
+}
+
+// integrityAllreduce replaces the scalar convergence Allreduce with a
+// 6-word OpSum vector carrying [changed, canonical, ΣFULL, ΣΔ, Σfresh,
+// accDrift], verifies the agreed sums, and returns the global changed
+// count. The fingerprint computation is metered as PhaseIntegrity; the
+// collective itself is the same agreement round the scalar path pays.
+func (r *Relation) integrityAllreduce(iter int, changedLocal uint64, record bool) uint64 {
+	if r.digVec == nil {
+		r.digVec = make([]mpi.Word, 6)
+		r.digVecOut = make([]mpi.Word, 6)
+	}
+	timer := metrics.StartTimer()
+	vec := r.digVec
+	vec[0] = changedLocal
+	work := r.integrityLocal(r.freshBuf, vec)
+	if record {
+		r.mc.Record(r.comm.Rank(), iter, metrics.PhaseIntegrity, timer.Done(work, 0, 0))
+	}
+	g := r.comm.AllreduceVec(vec, r.digVecOut, mpi.OpSum)
+	r.verifyIntegrity(iter, g)
+	return g[0]
+}
+
+// verifyIntegrity checks the invariants on the agreed global sums. Every
+// rank holds the identical vector, so a violation raises the same
+// divergence on every rank in the same iteration. Leaky (baseline-mode)
+// relations skip the replica and delta equalities, mirroring the offline
+// invariant checker: their never-purged stale tuples make replica counts
+// intentionally loose.
+func (r *Relation) verifyIntegrity(iter int, g []mpi.Word) {
+	nIdx := uint64(len(r.indexes))
+	canon, fullSum, deltaSum, freshDig := g[1], g[2], g[3], g[4]
+	if r.leaky == nil {
+		if fullSum != nIdx*canon {
+			r.diverge(iter, "replica")
+		}
+		if deltaSum != nIdx*freshDig {
+			r.diverge(iter, "delta")
+		}
+	}
+	if g[5] != 0 {
+		// The accumulator arena changed outside the merge path on some rank
+		// (the per-rank drifts are placement-independent, so legitimate
+		// redistribution cancels in the global sum).
+		r.diverge(iter, "accumulator")
+	}
+	if r.Agg == nil {
+		if r.digPrevValid && canon != r.digPrev+freshDig {
+			r.diverge(iter, "history")
+		}
+		// Adopt (or re-adopt, after a restore invalidated it) the agreed
+		// digest as the next iteration's baseline.
+		r.digPrev = canon
+		r.digPrevValid = true
+	}
+}
+
+// diverge raises the structured divergence failure on this rank. All ranks
+// verified the same agreed vector, so all raise it together and the world
+// unwinds with every rank carrying mpi.ErrStateDiverged.
+func (r *Relation) diverge(iter int, check string) {
+	rank := r.comm.Rank()
+	panic(&mpi.ErrRankFailed{
+		Rank: rank, Op: "integrity", Iter: iter,
+		Cause: &mpi.ErrStateDiverged{Iter: iter, Rel: r.Name, Rank: rank, Check: check},
+	})
+}
+
+// invalidateDigestBaseline drops the running history and accumulator
+// baselines. Called whenever the shard is rebuilt outside Materialize
+// (checkpoint restore, elastic remap): the next agreed digest
+// re-establishes them, so the first post-restore iteration checks replica
+// and delta invariants only.
+func (r *Relation) invalidateDigestBaseline() {
+	r.digPrevValid = false
+	r.accDigValid = false
+}
+
+// TamperState deterministically flips one stored word of this rank's shard
+// — the chaos harness's in-memory corruption fault. Aggregated relations
+// flip a dependent-value word of a middle accumulator entry (caught by the
+// drift invariant even when a same-iteration merge overwrites it); when
+// this rank owns no accumulator entries (sub-bucketed layouts concentrate
+// ownership on bucket owners) they flip the leading stored word of a FULL
+// replica tuple instead, which the purge path can never heal (it looks up
+// the original key prefix), so the replica invariant catches it. Set
+// relations flip the last word of the first canonical-tree tuple. Reports
+// false when the shard is empty.
+func (r *Relation) TamperState(mask mpi.Word) bool {
+	if r.Agg != nil {
+		if r.acc.TamperValueWord(mask) {
+			return true
+		}
+		done := false
+		r.indexes[0].Full.Ascend(func(t tuple.Tuple) bool {
+			t[0] ^= mask
+			done = true
+			return false
+		})
+		return done
+	}
+	done := false
+	r.indexes[0].Full.Ascend(func(t tuple.Tuple) bool {
+		t[len(t)-1] ^= mask
+		done = true
+		return false
+	})
+	return done
+}

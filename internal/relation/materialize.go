@@ -113,7 +113,15 @@ func (r *Relation) Materialize(iter int, pending *tuple.Buffer, record bool) uin
 		changedLocal = r.materializeSet(iter, recv, record)
 	}
 
-	total := r.comm.Allreduce(changedLocal, mpi.OpSum)
+	var total uint64
+	if r.integrity {
+		// Ride the state digests on the convergence agreement: same round,
+		// four extra words, and every rank verifies the global invariants
+		// before trusting the result.
+		total = r.integrityAllreduce(iter, changedLocal, record)
+	} else {
+		total = r.comm.Allreduce(changedLocal, mpi.OpSum)
+	}
 	r.changedLast = total
 	return total
 }
@@ -218,13 +226,24 @@ func (r *Relation) materializeAgg(iter int, recv [][]mpi.Word, record bool) uint
 		v, inserted := r.acc.Upsert(indep)
 		if inserted {
 			copy(v, dep)
+			if r.integrity {
+				r.accDig += digestWords(digestWords(digestSeed, indep), v)
+			}
 		} else {
 			merged := r.Agg.Join(v, dep)
 			if r.Agg.Compare(merged, v) == lattice.Equal {
 				work++
 				continue
 			}
+			// Keep the running digest in step with the arena: retire the old
+			// value's contribution before it is overwritten.
+			if r.integrity {
+				r.accDig -= digestWords(digestWords(digestSeed, indep), v)
+			}
 			copy(v, merged)
+			if r.integrity {
+				r.accDig += digestWords(digestWords(digestSeed, indep), v)
+			}
 		}
 		r.assignID(indep)
 		copy(scratch, indep)

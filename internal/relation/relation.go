@@ -73,6 +73,11 @@ type Config struct {
 	// Subs is the number of sub-buckets per bucket (spatial load balancing,
 	// §IV-C). 1 disables balancing; the paper's default is 8.
 	Subs int
+	// Integrity enables online divergence detection: every Materialize
+	// computes order-independent 64-bit digests over this rank's shard and
+	// rides them on the convergence Allreduce; a global mismatch raises
+	// mpi.ErrStateDiverged on every rank. Must be identical on all ranks.
+	Integrity bool
 	// Leaky puts a set-semantics relation into the "leaky partial
 	// aggregation" mode of the systems the paper compares against
 	// (RaSQL/BigDatalog/SociaLite, §III-A/§IV-A): tuples carry their value
@@ -132,12 +137,29 @@ type Relation struct {
 	// Reusable scratch for the materialization hot path. All of it is
 	// rank-private and reset at each use; nothing here survives a call
 	// except as capacity.
-	partial     *wordmap.Map   // pre-aggregation table (materializeAgg)
-	sendScratch [][]mpi.Word   // per-peer exchange build buffers
-	freshBuf    *tuple.Buffer  // changed canonical tuples of the pass
-	staleBuf    *tuple.Buffer  // superseded index entries pending deletion
-	tupScratch  tuple.Tuple    // one canonical-order tuple
-	permScratch tuple.Tuple    // one stored-order (permuted) tuple
+	partial     *wordmap.Map  // pre-aggregation table (materializeAgg)
+	sendScratch [][]mpi.Word  // per-peer exchange build buffers
+	freshBuf    *tuple.Buffer // changed canonical tuples of the pass
+	staleBuf    *tuple.Buffer // superseded index entries pending deletion
+	tupScratch  tuple.Tuple   // one canonical-order tuple
+	permScratch tuple.Tuple   // one stored-order (permuted) tuple
+
+	// Online integrity state (Config.Integrity). digVec/digVecOut are the
+	// reusable AllreduceVec buffers; digPrev carries the previous
+	// iteration's agreed global FULL digest for the set-semantics history
+	// check, valid only while digPrevValid (restores and redistribution
+	// invalidate it until the next agreed digest re-adopts a baseline).
+	integrity    bool
+	digVec       []mpi.Word
+	digVecOut    []mpi.Word
+	digPrev      uint64
+	digPrevValid bool
+	// accDig is the running accumulator digest, maintained incrementally by
+	// the merge path (aggregated relations only): any arena mutation that
+	// bypasses the merge shows up as drift against the recomputed digest.
+	// accDigValid mirrors digPrevValid across restores.
+	accDig      uint64
+	accDigValid bool
 }
 
 // Index is one storage replica of a relation under a column permutation.
@@ -157,6 +179,11 @@ type Index struct {
 	// inputs (world size, sub-bucket count) change.
 	homes [][]int
 
+	// digInv is the inverse storage permutation the integrity digests walk
+	// with (nil = identity), computed once on first use; see digestInv.
+	digInv     []int
+	digInvDone bool
+
 	Full  *btree.Tree
 	Delta *btree.Tree
 }
@@ -171,7 +198,7 @@ func New(sch Schema, comm *mpi.Comm, mc *metrics.Collector, cfg Config) (*Relati
 	if subs < 1 {
 		subs = 1
 	}
-	r := &Relation{Schema: sch, comm: comm, mc: mc, subs: subs}
+	r := &Relation{Schema: sch, comm: comm, mc: mc, subs: subs, integrity: cfg.Integrity}
 	if sch.Agg != nil {
 		r.acc = wordmap.New(sch.Indep, sch.Dep())
 	}

@@ -106,6 +106,11 @@ type Report struct {
 	RanksLost int
 	// FinalRanks is the world size of the last attempt.
 	FinalRanks int
+	// DivergenceRollbacks counts incidents whose cause was detected state
+	// divergence (silent corruption caught by the integrity fingerprints)
+	// rather than a crash or timeout; each triggered a rollback to the last
+	// verified checkpoint.
+	DivergenceRollbacks int
 }
 
 // ErrGaveUp wraps the last failure when MaxRestarts is exhausted.
@@ -147,6 +152,14 @@ func Run(ranks int, cfg Config, body func(attempt, ranks int, resume bool) error
 			at.Lost = append(at.Lost, f.Rank)
 		}
 		rep.RanksLost += len(at.Lost)
+		if div, ok := mpi.AsStateDivergence(err); ok {
+			// Silent corruption, not a dead rank: the world was torn down
+			// because replicas disagreed. Roll back to the last verified
+			// checkpoint and replay.
+			rep.DivergenceRollbacks++
+			cfg.logf("supervisor: attempt=%d state diverged (rel=%s iter=%d rank=%d) — rolling back to last verified checkpoint",
+				attempt, div.Rel, div.Iter, div.Rank)
+		}
 		cfg.logf("supervisor: attempt=%d lost ranks %v: %v", attempt, at.Lost, err)
 		if attempt >= cfg.maxRestarts() {
 			rep.Attempts = append(rep.Attempts, at)

@@ -213,3 +213,18 @@ func (m *Map) At(e int) (key, val []tuple.Value) {
 	return m.arena[off : off+m.keyW : off+m.keyW],
 		m.arena[off+m.keyW : off+m.stride : off+m.stride]
 }
+
+// TamperValueWord XORs mask into one value word of a middle entry — the
+// chaos harness's deterministic in-memory bit flip. It never touches key
+// words, so the table's probing invariants stay intact while the stored
+// state becomes silently wrong: exactly the fault the integrity digests
+// must catch. It reports false when the map has no entries, no value
+// words, or a zero mask.
+func (m *Map) TamperValueWord(mask tuple.Value) bool {
+	if m.n == 0 || m.valW == 0 || mask == 0 {
+		return false
+	}
+	off := (m.n/2)*m.stride + m.keyW
+	m.arena[off] ^= mask
+	return true
+}

@@ -102,6 +102,28 @@ type Config struct {
 	// incomplete before the missing rank is declared failed; without it a
 	// hung rank deadlocks the world until Go's runtime detector fires.
 	Watchdog time.Duration
+	// AdaptiveWatchdog replaces the fixed Watchdog deadline with one that
+	// tracks the run's own pace: an EWMA of iteration time, multiplied by a
+	// safety factor and clamped to [WatchdogFloor, WatchdogCeil]. A genuinely
+	// stuck collective converts to a failure within the ceiling, while slow-
+	// but-progressing runs never false-positive.
+	AdaptiveWatchdog bool
+	// WatchdogFloor is the adaptive deadline's lower clamp (0 = 100ms). Set
+	// it above any expected single-message stall (injected delays, GC
+	// pauses) to keep the tightened deadline honest.
+	WatchdogFloor time.Duration
+	// WatchdogCeil is the adaptive deadline's upper clamp and its starting
+	// value (0 = Watchdog when positive, else 10s).
+	WatchdogCeil time.Duration
+
+	// Integrity turns on online divergence detection: every relation
+	// fingerprints its full state, its Δ, and its replicas each iteration
+	// with order-independent digests that ride on the convergence agreement
+	// (no extra collective round). A digest invariant violation fails every
+	// rank with ErrStateDiverged in the same iteration, which Supervise
+	// converts into a rollback to the last verified checkpoint. Must be set
+	// identically on every rank of a distributed world.
+	Integrity bool
 	// CheckpointEvery, with Checkpoints set, snapshots every relation each
 	// CheckpointEvery fixpoint iterations so a crashed run can be re-Exec'd
 	// with Resume. 0 disables checkpointing.
@@ -152,6 +174,15 @@ func (c Config) Validate() error {
 	}
 	if c.Watchdog < 0 {
 		return fmt.Errorf("paralagg: Config.Watchdog must be >= 0, got %v (0 disables the watchdog)", c.Watchdog)
+	}
+	if c.WatchdogFloor < 0 || c.WatchdogCeil < 0 {
+		return fmt.Errorf("paralagg: Config.WatchdogFloor/WatchdogCeil must be >= 0, got %v/%v", c.WatchdogFloor, c.WatchdogCeil)
+	}
+	if !c.AdaptiveWatchdog && (c.WatchdogFloor != 0 || c.WatchdogCeil != 0) {
+		return fmt.Errorf("paralagg: Config.WatchdogFloor/WatchdogCeil only apply with Config.AdaptiveWatchdog set")
+	}
+	if c.WatchdogCeil != 0 && c.WatchdogFloor > c.WatchdogCeil {
+		return fmt.Errorf("paralagg: Config.WatchdogFloor %v exceeds WatchdogCeil %v", c.WatchdogFloor, c.WatchdogCeil)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("paralagg: Config.CheckpointEvery must be >= 0, got %d (0 disables checkpointing)", c.CheckpointEvery)
@@ -332,7 +363,17 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 	if cfg.Faults != nil {
 		world.SetFaultPlan(cfg.Faults)
 	}
-	if cfg.Watchdog > 0 {
+	if cfg.AdaptiveWatchdog {
+		ceil := cfg.WatchdogCeil
+		if ceil == 0 {
+			if cfg.Watchdog > 0 {
+				ceil = cfg.Watchdog
+			} else {
+				ceil = 10 * time.Second
+			}
+		}
+		world.SetAdaptiveWatchdog(mpi.AdaptiveWatchdog{Floor: cfg.WatchdogFloor, Ceil: ceil})
+	} else if cfg.Watchdog > 0 {
 		world.SetWatchdog(cfg.Watchdog)
 	}
 	if cfg.Observer != nil {
@@ -350,6 +391,7 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 		Subs: cfg.Subs, SubsFor: cfg.SubsFor, Plan: cfg.Plan.mode(),
 		MaxIters: cfg.MaxIters, Adaptive: cfg.Adaptive,
 		CheckpointEvery: cfg.CheckpointEvery, Checkpoints: cfg.Checkpoints,
+		Integrity: cfg.Integrity,
 	}
 	// In-process worlds record results once, on rank 0's goroutine. A
 	// distributed world hosts a single rank per process, so every process

@@ -56,6 +56,14 @@ type SuperviseReport struct {
 	FinalRanks int
 	// AttemptRanks lists each attempt's world size, in order.
 	AttemptRanks []int
+	// DivergenceRollbacks counts incidents caused by detected state
+	// divergence (silent corruption caught by the integrity fingerprints);
+	// each rolled the computation back to the last verified checkpoint.
+	DivergenceRollbacks int
+	// RestartsFromScratch counts recovery attempts that found no usable
+	// checkpoint — none ever written, or every retained generation failed
+	// validation — and restarted from the initial state instead of resuming.
+	RestartsFromScratch int
 }
 
 // Supervise runs prog under elastic supervision: Exec is retried across rank
@@ -98,11 +106,29 @@ func Supervise(prog *Program, cfg SuperviseConfig, load func(*Rank) error, inspe
 			c.Faults = nil
 		}
 		if resume {
-			// Resume only when some attempt actually checkpointed: a crash
-			// before the first save restarts from scratch. Slot 0 decides —
-			// every world contains rank 0.
-			_, ok, err := c.Checkpoints.Latest(0)
-			c.Resume = ok && err == nil
+			// Resume only when a complete, validating checkpoint set exists:
+			// a crash before the first save — or corruption of every retained
+			// generation — restarts from scratch. A sink error is surfaced,
+			// not silently treated as "no checkpoint", so an operator can
+			// tell media failure from a genuinely empty sink.
+			pos, ok, cerr := c.Checkpoints.LatestValid()
+			c.Resume = ok
+			switch {
+			case cerr != nil:
+				rep.RestartsFromScratch++
+				if cfg.Logf != nil {
+					cfg.Logf("supervise: attempt=%d checkpoint scan failed (%v) — restarting from scratch", attempt, cerr)
+				}
+			case !ok:
+				rep.RestartsFromScratch++
+				if cfg.Logf != nil {
+					cfg.Logf("supervise: attempt=%d no valid checkpoint generation — restarting from scratch", attempt)
+				}
+			default:
+				if cfg.Logf != nil {
+					cfg.Logf("supervise: attempt=%d resuming from checkpoint (stratum=%d iter=%d ranks=%d)", attempt, pos.Stratum, pos.Iter, pos.Ranks)
+				}
+			}
 		}
 		res, err := Exec(prog, c, load, inspect)
 		if err != nil {
@@ -114,6 +140,7 @@ func Supervise(prog *Program, cfg SuperviseConfig, load func(*Rank) error, inspe
 
 	rep.RecoveryAttempts = srep.RecoveryAttempts
 	rep.FinalRanks = srep.FinalRanks
+	rep.DivergenceRollbacks = srep.DivergenceRollbacks
 	for _, at := range srep.Attempts {
 		rep.AttemptRanks = append(rep.AttemptRanks, at.Ranks)
 		rep.RanksLost = append(rep.RanksLost, at.Lost...)

@@ -3,6 +3,7 @@ package paralagg
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -124,6 +125,53 @@ func TestSuperviseCrashBeforeFirstCheckpointRestartsFresh(t *testing.T) {
 	}
 	if rep.RecoveryAttempts != 1 {
 		t.Errorf("report: %+v", rep)
+	}
+	// No save ever happened, so the restart could not resume: the report must
+	// say so instead of silently pretending a checkpoint was found.
+	if rep.RestartsFromScratch != 1 {
+		t.Errorf("RestartsFromScratch = %d, want 1", rep.RestartsFromScratch)
+	}
+	if rep.DivergenceRollbacks != 0 {
+		t.Errorf("a plain crash was classified as a divergence rollback: %+v", rep)
+	}
+}
+
+func TestSuperviseClassifiesDivergenceRollback(t *testing.T) {
+	var logs []string
+	res, rep, err := Supervise(tcProgram(t), SuperviseConfig{
+		Config: Config{
+			Ranks:           4,
+			Integrity:       true,
+			CheckpointEvery: 3,
+			Checkpoints:     NewMemoryCheckpointSink(),
+			// Flip a stored word of "path" on rank 0 at iteration 5: the
+			// integrity layer must abort the attempt and the supervisor must
+			// classify the failure as a divergence and roll back.
+			Faults: &FaultPlan{Seed: 1, StateCorrupts: []StateCorrupt{{Rank: 0, Iter: 5, Rel: "path"}}},
+		},
+		RecoveryBackoff: time.Millisecond,
+		Logf:            func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) },
+	}, loadChain(chainNodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["path"] != chainPaths {
+		t.Errorf("path count = %d, want %d", res.Counts["path"], chainPaths)
+	}
+	if rep.DivergenceRollbacks < 1 {
+		t.Errorf("DivergenceRollbacks = %d, want >= 1 (report: %+v)", rep.DivergenceRollbacks, rep)
+	}
+	if rep.RestartsFromScratch != 0 {
+		t.Errorf("rollback restarted from scratch %d times — the iteration-3 checkpoint should have been valid", rep.RestartsFromScratch)
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "state diverged") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no divergence log line; logs: %q", logs)
 	}
 }
 
