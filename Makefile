@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity verify bench bench-smoke bench-integrity
+.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity chaos-overload verify bench bench-smoke bench-integrity bench-overload
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,15 @@ chaos-net:
 chaos-integrity:
 	$(GO) run ./cmd/paralagg -chaos-integrity
 
+# chaos-overload runs the resource-exhaustion suite: slow consumers must be
+# rate-matched by credit-based flow control inside a bounded outbox, phantom
+# memory pressure against a budget must shed (soft) or fail structurally and
+# recover under supervision (hard), and a full checkpoint device must
+# degrade to an in-memory sink — every completed run bit-identical to the
+# fault-free answer, nothing OOM-killed.
+chaos-overload:
+	$(GO) run ./cmd/paralagg -chaos-overload
+
 # verify is the CI gate: static checks plus the full suite under the race
 # detector (the SPMD runtime is all goroutines — races are correctness bugs
 # here, not style). The -race pass includes the integrity differentials in
@@ -82,3 +91,11 @@ bench-smoke:
 bench-integrity:
 	$(GO) test -run '^$$' -bench 'IntegrityO(n|ff)' -benchmem -benchtime 20x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_integrity.json
+
+# bench-overload prices the overload machinery on the 4-rank SSSP TCP gang
+# smoke at three budget levels (unlimited / ample / pinned-soft), recording
+# ns/op plus the custom peak-B/op, stalls/op, and shed/op series in
+# BENCH_overload.json (benchjson's `extra` map).
+bench-overload:
+	$(GO) test -run '^$$' -bench 'OverloadSSSPGang4' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_overload.json

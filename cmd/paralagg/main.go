@@ -62,6 +62,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress result output (the -spawn launcher sets it on ranks > 0)")
 	runNetChaos := flag.Bool("chaos-net", false, "run the network chaos suite (wire faults and kill-recovery over the TCP transport)")
 	runIntegrityChaos := flag.Bool("chaos-integrity", false, "run the state-integrity chaos suite (silent memory and checkpoint corruption, divergence rollback)")
+	runOverloadChaos := flag.Bool("chaos-overload", false, "run the overload chaos suite (slow consumers, memory budgets, full checkpoint devices)")
+	memBudget := flag.Int64("mem-budget", 0, "per-rank accounted-memory budget in bytes: soft pressure at 85% sheds scratch, reaching the budget fails structurally instead of OOM-killing (0 = off)")
+	sendWindow := flag.Int("send-window", 0, "per-peer TCP flow-control window in unacknowledged frames (0 = default 1024; with -transport=tcp)")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON file of the run (open in chrome://tracing or Perfetto); TCP children write <path>.rankN")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /vars and /debug/pprof on this host:port while the run is in flight; TCP children offset the port by their rank")
 	jsonOut := flag.Bool("json", false, "print the result as a JSON document (stable field names) instead of the human summary")
@@ -77,6 +80,10 @@ func main() {
 	}
 	if *runIntegrityChaos {
 		runIntegrityChaosSuite()
+		return
+	}
+	if *runOverloadChaos {
+		runOverloadChaosSuite()
 		return
 	}
 
@@ -118,6 +125,15 @@ func main() {
 	if *transport != "sim" && *transport != "tcp" {
 		log.Fatalf("-transport must be sim or tcp, got %q", *transport)
 	}
+	if *memBudget < 0 {
+		log.Fatalf("-mem-budget must be >= 0, got %d (use 0 to disable memory accounting)", *memBudget)
+	}
+	if *sendWindow < 0 {
+		log.Fatalf("-send-window must be >= 0, got %d (use 0 for the default window)", *sendWindow)
+	}
+	if *sendWindow > 0 && *transport != "tcp" {
+		log.Fatal("-send-window needs -transport=tcp: the flow-control window bounds the TCP outbox")
+	}
 	if *spawn > 0 {
 		if *transport != "tcp" {
 			log.Fatal("-spawn needs -transport=tcp: it launches one TCP rank process per slot")
@@ -138,7 +154,7 @@ func main() {
 		if *supervise {
 			log.Fatal("-supervise with -transport=tcp belongs to the launcher: use -spawn N -supervise")
 		}
-		tr, err := tcp.New(tcp.Config{Rank: *rank, Peers: addrs, Seed: int64(*rank)})
+		tr, err := tcp.New(tcp.Config{Rank: *rank, Peers: addrs, Seed: int64(*rank), SendWindow: *sendWindow})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -167,7 +183,7 @@ func main() {
 	cfg := paralagg.Config{
 		Ranks: *ranks, Subs: *subs, Plan: plan,
 		Watchdog: watchdog, AdaptiveWatchdog: adaptiveWatchdog,
-		Integrity: *integrity,
+		Integrity: *integrity, MemBudget: *memBudget,
 	}
 	if tcpTr != nil {
 		// Transport and Ranks are mutually exclusive (Config.Validate): the
@@ -347,10 +363,14 @@ func main() {
 		return
 	}
 	fmt.Print(res.Summary())
+	if res.MemPeakBytes > 0 {
+		fmt.Printf("mem: peak=%d budget=%d (%.1f%%)\n",
+			res.MemPeakBytes, *memBudget, 100*float64(res.MemPeakBytes)/float64(*memBudget))
+	}
 	if tcpTr != nil {
 		n := tcpTr.Net()
-		fmt.Printf("net: frames=%d/%d dialRetries=%d reconnects=%d retransmits=%d dups=%d hbMisses=%d crcErrors=%d\n",
-			n.FramesSent, n.FramesRecv, n.DialRetries, n.Reconnects, n.Retransmits, n.DupsDropped, n.HeartbeatMisses, n.CRCErrors)
+		fmt.Printf("net: frames=%d/%d dialRetries=%d reconnects=%d retransmits=%d dups=%d hbMisses=%d crcErrors=%d stalls=%d outboxPeak=%d\n",
+			n.FramesSent, n.FramesRecv, n.DialRetries, n.Reconnects, n.Retransmits, n.DupsDropped, n.HeartbeatMisses, n.CRCErrors, n.ThrottleStalls, n.OutboxPeakFrames)
 	}
 	fmt.Println("\nphase breakdown (simulated ms):")
 	for _, ph := range metrics.PhaseNames {
@@ -553,4 +573,73 @@ func runIntegrityChaosSuite() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall integrity chaos checks passed")
+}
+
+// runOverloadChaosSuite executes the overload scenarios: a TCP receiver
+// that cannot keep up (flow control must throttle senders inside the window
+// without changing the answer or tripping the watchdog), phantom memory
+// pressure into the soft band (scratch shed, run completes inside the
+// budget) and past the budget (structured ErrMemoryBudget on every rank,
+// supervised recovery bit-identical), and a full checkpoint device (the
+// rank degrades to in-memory checkpointing instead of aborting).
+func runOverloadChaosSuite() {
+	failed := 0
+	for _, sc := range chaos.Scenarios() {
+		const window = 8
+		rep, err := chaos.TCPSlowConsumer(sc, 3, window)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %-9s tcp slow-consumer: %v\n", sc.Name, err)
+			failed++
+		case !rep.Identical():
+			fmt.Printf("FAIL %-9s tcp slow-consumer: throttled run diverged from the in-process answer\n", sc.Name)
+			failed++
+		default:
+			fmt.Printf("ok   %-9s tcp slow-consumer: throttled inside the window, bit-identical (stalls=%d outboxPeak=%d/%d)\n",
+				sc.Name, rep.Net.ThrottleStalls, rep.Net.OutboxPeakFrames, window)
+		}
+		for _, ranks := range []int{2, 4} {
+			rep, err := chaos.MemPressureSoft(sc, ranks)
+			switch {
+			case err != nil:
+				fmt.Printf("FAIL %-9s mem-soft ranks=%d: %v\n", sc.Name, ranks, err)
+				failed++
+			case !rep.Identical():
+				fmt.Printf("FAIL %-9s mem-soft ranks=%d: soft pressure changed the answer\n", sc.Name, ranks)
+				failed++
+			default:
+				fmt.Printf("ok   %-9s mem-soft ranks=%d: %d shed responses, peak %d of %d budgeted bytes, bit-identical\n",
+					sc.Name, ranks, rep.SoftEvents, rep.MemPeakBytes, rep.Budget)
+			}
+		}
+		rep2, err := chaos.MemPressureHard(sc, 4, 2)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %-9s mem-hard: %v\n", sc.Name, err)
+			failed++
+		case !rep2.Identical():
+			fmt.Printf("FAIL %-9s mem-hard: supervised recovery diverged from the fault-free answer\n", sc.Name)
+			failed++
+		default:
+			fmt.Printf("ok   %-9s mem-hard: structured budget failure at iter %d, %d supervised recovery, bit-identical\n",
+				sc.Name, rep2.BudgetErr.Iter, rep2.RecoveryAttempts)
+		}
+		rep3, err := chaos.DiskFullDegradation(sc, 4, 2)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %-9s disk-full: %v\n", sc.Name, err)
+			failed++
+		case !rep3.Identical():
+			fmt.Printf("FAIL %-9s disk-full: degraded checkpointing changed the answer\n", sc.Name)
+			failed++
+		default:
+			fmt.Printf("ok   %-9s disk-full: degraded to in-memory checkpointing (%d), run completed bit-identical\n",
+				sc.Name, rep3.DegradationsDelta)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d overload chaos checks failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall overload chaos checks passed")
 }

@@ -1,8 +1,11 @@
 package paralagg
 
 import (
+	"errors"
+
 	"paralagg/internal/mpi"
 	"paralagg/internal/ra"
+	"paralagg/internal/resource"
 )
 
 // Fault tolerance surface: deterministic fault injection into the simulated
@@ -44,6 +47,49 @@ type (
 	// quarantines the generation and recovery falls back one generation.
 	CkptCorrupt = mpi.CkptCorrupt
 )
+
+// Overload fault specs for FaultPlan (chaos coverage for the memory budget
+// ladder and the checkpoint degradation path).
+type (
+	// MemPressure charges a rank's memory accountant a one-time phantom
+	// byte amount at the top of an iteration — deterministic budget
+	// pressure without burning host memory. With Config.MemBudget set the
+	// pressure ladder responds exactly as it would to real growth.
+	MemPressure = mpi.MemPressure
+	// DiskFull makes a rank's checkpoint save at the matching iteration
+	// fail as if the device were full; the run degrades to in-memory
+	// checkpointing with a warning instead of aborting.
+	DiskFull = mpi.DiskFull
+)
+
+// ErrMemoryBudget reports a hard memory-budget violation: the rank's
+// accounted usage reached Config.MemBudget and the iteration was failed
+// structurally (inside an ErrRankFailed) rather than allowed to OOM.
+type ErrMemoryBudget = resource.ErrMemoryBudget
+
+// AsMemoryBudget extracts the structured budget violation from an Exec
+// error, if one is present (however deeply joined or wrapped).
+func AsMemoryBudget(err error) (*ErrMemoryBudget, bool) {
+	var mb *ErrMemoryBudget
+	ok := errors.As(err, &mb)
+	return mb, ok
+}
+
+// ErrCheckpointStorage reports a checkpoint save that persistent storage
+// refused even after freeing space (device full, short write); the partial
+// file was quarantined aside as .bad and the run degraded to in-memory
+// checkpointing.
+type ErrCheckpointStorage = ra.ErrCheckpointStorage
+
+// AsCheckpointStorage extracts the structured storage failure from an
+// error chain.
+func AsCheckpointStorage(err error) (*ErrCheckpointStorage, bool) {
+	return ra.AsCheckpointStorage(err)
+}
+
+// CheckpointDegradations reports how many fixpoint runs in this process
+// fell back to in-memory checkpointing after persistent storage failed.
+func CheckpointDegradations() int64 { return ra.CheckpointDegradations() }
 
 // ErrStateDiverged reports that a relation's replicated state went out of
 // agreement across ranks: the per-iteration fingerprint Allreduce saw

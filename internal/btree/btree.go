@@ -24,6 +24,22 @@ const (
 type Tree struct {
 	root *node
 	size int
+	// words is the running sum of stored tuple words, maintained on
+	// Insert/Delete so the memory accountant can sample the footprint in
+	// O(1) without walking nodes.
+	words int64
+}
+
+// itemOverheadWords approximates per-item bookkeeping beyond the tuple
+// words themselves: the tuple slice header plus an amortized share of node
+// item/child slices. The accountant wants a cheap, stable estimate, not a
+// byte-exact one.
+const itemOverheadWords = 4
+
+// MemWords reports the tree's accounted storage footprint in words: stored
+// tuple words plus estimated node bookkeeping. O(1).
+func (t *Tree) MemWords() int64 {
+	return t.words + int64(t.size)*itemOverheadWords
 }
 
 // New returns an empty tree.
@@ -39,6 +55,7 @@ func (t *Tree) Reset() {
 		t.root.children = t.root.children[:0]
 	}
 	t.size = 0
+	t.words = 0
 }
 
 type node struct {
@@ -91,6 +108,7 @@ func (t *Tree) Insert(k tuple.Tuple) bool {
 	if t.root == nil {
 		t.root = &node{items: []tuple.Tuple{k.Clone()}}
 		t.size = 1
+		t.words = int64(len(k))
 		return true
 	}
 	if len(t.root.items) == maxItems {
@@ -100,6 +118,7 @@ func (t *Tree) Insert(k tuple.Tuple) bool {
 	}
 	if t.root.insertNonFull(k) {
 		t.size++
+		t.words += int64(len(k))
 		return true
 	}
 	return false

@@ -13,6 +13,7 @@ func (t *Tree) Delete(k tuple.Tuple) bool {
 	deleted := t.root.delete(k)
 	if deleted {
 		t.size--
+		t.words -= int64(len(k))
 	}
 	if len(t.root.items) == 0 {
 		if t.root.leaf() {

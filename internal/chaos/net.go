@@ -23,8 +23,10 @@ import (
 // still land on the fault-free answer.
 
 // gang builds n connected TCP endpoints on loopback, every one carrying the
-// same deterministic wire-fault plan.
-func gang(n int, faults *tcp.NetFaultPlan) ([]*tcp.Transport, error) {
+// same deterministic wire-fault plan. customize hooks, when given, adjust
+// each endpoint's config before it is opened (the overload suite shrinks
+// the flow-control window this way).
+func gang(n int, faults *tcp.NetFaultPlan, customize ...func(*tcp.Config)) ([]*tcp.Transport, error) {
 	addrs := make([]string, n)
 	lns := make([]net.Listener, n)
 	for i := range lns {
@@ -37,7 +39,7 @@ func gang(n int, faults *tcp.NetFaultPlan) ([]*tcp.Transport, error) {
 	}
 	trs := make([]*tcp.Transport, n)
 	for i := range trs {
-		tr, err := tcp.New(tcp.Config{
+		cfg := tcp.Config{
 			Rank: i, Peers: addrs, Listener: lns[i],
 			// Fast detection keeps the suite quick; the window (4×25ms) still
 			// dwarfs loopback latency.
@@ -46,7 +48,11 @@ func gang(n int, faults *tcp.NetFaultPlan) ([]*tcp.Transport, error) {
 			ConnectTimeout:  10 * time.Second,
 			Seed:            42,
 			Faults:          faults,
-		})
+		}
+		for _, c := range customize {
+			c(&cfg)
+		}
+		tr, err := tcp.New(cfg)
 		if err != nil {
 			return nil, err
 		}

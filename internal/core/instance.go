@@ -10,6 +10,7 @@ import (
 	"paralagg/internal/obs"
 	"paralagg/internal/ra"
 	"paralagg/internal/relation"
+	"paralagg/internal/resource"
 	"paralagg/internal/tuple"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	// fingerprints its state each iteration and the digests ride on the
 	// convergence agreement. Must be identical on all ranks.
 	Integrity bool
+	// Acct is this rank's memory accountant; with a positive budget every
+	// stratum's fixpoint runs the pressure ladder (see ra.Options.Acct).
+	// Whether it is set must be identical on all ranks.
+	Acct *resource.Accountant
 }
 
 // Instance is one rank's executable form of a Program: relations created,
@@ -166,7 +171,7 @@ type RunStats struct {
 // options builds the fixpoint options for one stratum, wiring checkpoint
 // settings through when configured.
 func (in *Instance) options(cfg Config, stratum int) ra.Options {
-	opts := ra.Options{Plan: cfg.Plan, MaxIters: cfg.MaxIters, AdaptiveBalance: cfg.Adaptive, Stratum: stratum}
+	opts := ra.Options{Plan: cfg.Plan, MaxIters: cfg.MaxIters, AdaptiveBalance: cfg.Adaptive, Stratum: stratum, Acct: cfg.Acct}
 	if cfg.Checkpoints != nil {
 		// CheckpointEvery only gates periodic saves; a sink alone still
 		// supports Resume (restore without further checkpointing).

@@ -64,6 +64,18 @@ type Server struct {
 	netFramesSent  atomic.Int64
 	netFramesRecv  atomic.Int64
 
+	// Overload-resilience counters: flow-control stalls (cumulative), the
+	// outbox high-water mark (gauge), memory-pressure responses by level,
+	// accounted bytes at the latest pressure event, and checkpoint storage
+	// degradations.
+	netThrottleStalls atomic.Int64
+	netOutboxPeak     atomic.Int64
+	memSoftEvents     atomic.Int64
+	memHardEvents     atomic.Int64
+	memAccounted      atomic.Int64
+	memBudget         atomic.Int64
+	ckptDegradations  atomic.Int64
+
 	// relations tracks per-relation global totals and Δ cardinality.
 	mu        sync.Mutex
 	relTotal  map[string]uint64
@@ -147,6 +159,10 @@ func (s *Server) OnEvent(e *obs.Event) {
 		s.netCRCErrors.Add(e.Net.CRCErrors)
 		s.netFramesSent.Add(e.Net.FramesSent)
 		s.netFramesRecv.Add(e.Net.FramesRecv)
+		s.netThrottleStalls.Add(e.Net.ThrottleStalls)
+		if p := e.Net.OutboxPeakFrames; p > s.netOutboxPeak.Load() {
+			s.netOutboxPeak.Store(p)
+		}
 	case obs.KindRelation:
 		if e.Rank != 0 {
 			return
@@ -176,6 +192,19 @@ func (s *Server) OnEvent(e *obs.Event) {
 		// Cumulative process-wide totals, not deltas: store, don't add.
 		s.ckptValFailures.Store(e.Failures)
 		s.ckptQuarantined.Store(e.Quarantined)
+	case obs.KindMemPressure:
+		if e.Name == "hard" {
+			s.memHardEvents.Add(1)
+		} else {
+			s.memSoftEvents.Add(1)
+		}
+		s.memAccounted.Store(e.Work)
+		s.memBudget.Store(e.Bytes)
+	case obs.KindCkptDegraded:
+		s.ckptDegradations.Add(1)
+		s.mu.Lock()
+		s.lastError = fmt.Sprintf("checkpoint storage degraded at iter %d on rank %d: %s", e.Iter, e.Rank, e.Err)
+		s.mu.Unlock()
 	case obs.KindPhase:
 		if e.Name == "integrity" {
 			s.fingerprintNanos.Add(e.CPUNanos)
@@ -205,6 +234,13 @@ func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, la
 		"net_crc_errors":           s.netCRCErrors.Load(),
 		"net_frames_sent":          s.netFramesSent.Load(),
 		"net_frames_recv":          s.netFramesRecv.Load(),
+		"net_throttle_stalls":      s.netThrottleStalls.Load(),
+		"net_outbox_peak_frames":   s.netOutboxPeak.Load(),
+		"mem_pressure_soft":        s.memSoftEvents.Load(),
+		"mem_pressure_hard":        s.memHardEvents.Load(),
+		"mem_accounted_bytes":      s.memAccounted.Load(),
+		"mem_budget_bytes":         s.memBudget.Load(),
+		"ckpt_degradations":        s.ckptDegradations.Load(),
 		"divergences":              s.divergences.Load(),
 		"ckpt_validation_failures": s.ckptValFailures.Load(),
 		"ckpt_quarantined":         s.ckptQuarantined.Load(),
@@ -228,7 +264,8 @@ func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, la
 // everything else is exposed as a counter.
 var gaugeNames = map[string]bool{
 	"attempt": true, "ranks": true, "stratum": true, "delta_changed": true,
-	"checkpoint_age_millis": true,
+	"checkpoint_age_millis": true, "net_outbox_peak_frames": true,
+	"mem_accounted_bytes": true, "mem_budget_bytes": true,
 }
 
 // handleMetrics renders Prometheus text exposition format.

@@ -205,6 +205,27 @@ type CkptCorrupt struct {
 	Iter int
 }
 
+// MemPressure inflates a rank's accounted memory by Bytes phantom bytes at
+// the top of the matching iteration — a deterministic stand-in for a
+// co-tenant eating the budget. The resource accountant reacts exactly as it
+// would to real growth: shed scratch at the soft watermark, fail the
+// iteration structurally at the hard one. A spec fires once and the phantom
+// charge persists for the rest of the run (until a supervisor restart).
+type MemPressure struct {
+	Rank  int
+	Iter  int
+	Bytes int64
+}
+
+// DiskFull makes the rank's next checkpoint save at the matching iteration
+// fail as if the device were full — the degradation path (quarantine,
+// prune, fall back to a memory sink) must absorb it without aborting the
+// run. A spec fires once.
+type DiskFull struct {
+	Rank int
+	Iter int
+}
+
 // FaultPlan is a seeded, deterministic fault schedule. Every communication
 // operation of every rank consults the plan; all randomness derives from
 // Seed via counter-based hashing, so a plan replays identically across
@@ -219,6 +240,8 @@ type FaultPlan struct {
 	Corrupts      []Corrupt
 	StateCorrupts []StateCorrupt
 	CkptCorrupts  []CkptCorrupt
+	MemPressures  []MemPressure
+	DiskFulls     []DiskFull
 }
 
 // faultState holds the per-run mutable matching counters for a plan. Each
@@ -231,6 +254,8 @@ type faultState struct {
 	corruptHits []int
 	stateFired  []bool
 	ckptFired   []bool
+	memFired    []bool
+	diskFired   []bool
 }
 
 func newFaultState(plan *FaultPlan) *faultState {
@@ -244,6 +269,8 @@ func newFaultState(plan *FaultPlan) *faultState {
 		corruptHits: make([]int, len(plan.Corrupts)),
 		stateFired:  make([]bool, len(plan.StateCorrupts)),
 		ckptFired:   make([]bool, len(plan.CkptCorrupts)),
+		memFired:    make([]bool, len(plan.MemPressures)),
+		diskFired:   make([]bool, len(plan.DiskFulls)),
 	}
 }
 
@@ -351,6 +378,34 @@ func (fs *faultState) ckptCorruptNow(rank, iter int) bool {
 	return false
 }
 
+// memPressureNow returns the phantom bytes to charge rank's accountant at
+// epoch iter (0 = none). Fires at most once per spec.
+func (fs *faultState) memPressureNow(rank, iter int) (bytes int64, ok bool) {
+	for i, mp := range fs.plan.MemPressures {
+		// The rank check must come first: memFired[i] is owned by the
+		// goroutine of the rank the spec names.
+		if mp.Rank != rank || fs.memFired[i] || !matchIter(mp.Iter, iter) {
+			continue
+		}
+		fs.memFired[i] = true
+		return mp.Bytes, true
+	}
+	return 0, false
+}
+
+// diskFullNow reports whether rank's checkpoint save at epoch iter must fail
+// as if the device were full. Fires at most once per spec.
+func (fs *faultState) diskFullNow(rank, iter int) bool {
+	for i, df := range fs.plan.DiskFulls {
+		if df.Rank != rank || fs.diskFired[i] || !matchIter(df.Iter, iter) {
+			continue
+		}
+		fs.diskFired[i] = true
+		return true
+	}
+	return false
+}
+
 // StateCorruptNow consults the fault plan for an in-memory state-corruption
 // fault due on this rank at epoch iter. The fixpoint driver calls it at the
 // top of each iteration and applies the returned mask to the named
@@ -369,6 +424,26 @@ func (c *Comm) StateCorruptNow(iter int) (rel string, mask Word, ok bool) {
 func (c *Comm) CkptCorruptNow(iter int) bool {
 	if fs := c.world.fstate; fs != nil {
 		return fs.ckptCorruptNow(c.rank, iter)
+	}
+	return false
+}
+
+// MemPressureNow consults the fault plan for a phantom memory charge due on
+// this rank at epoch iter. The fixpoint driver calls it while feeding the
+// resource accountant and adds the returned bytes as phantom usage.
+func (c *Comm) MemPressureNow(iter int) (bytes int64, ok bool) {
+	if fs := c.world.fstate; fs != nil {
+		return fs.memPressureNow(c.rank, iter)
+	}
+	return 0, false
+}
+
+// DiskFullNow consults the fault plan for a checkpoint-storage fault due on
+// this rank at epoch iter. The fixpoint driver calls it before a periodic
+// save and, when it fires, treats the save as failed with a storage error.
+func (c *Comm) DiskFullNow(iter int) bool {
+	if fs := c.world.fstate; fs != nil {
+		return fs.diskFullNow(c.rank, iter)
 	}
 	return false
 }

@@ -13,10 +13,13 @@ type Transport interface {
 	Self() int
 	// Size is the number of ranks in the world the transport connects.
 	Size() int
-	// Send transmits words to dest with the given tag. It must not block on
-	// the receiver (buffered, like MPI_Isend) and may retry/reconnect
-	// internally; a non-nil error means the message can never be delivered
-	// (transport closed or peer declared dead).
+	// Send transmits words to dest with the given tag. It is buffered (like
+	// MPI_Isend) and may retry/reconnect internally; a flow-controlled
+	// transport may block the caller while the peer's send window is
+	// exhausted (credit-based backpressure), but never indefinitely — a
+	// stalled window past the transport's stall deadline fails structurally.
+	// A non-nil error means the message can never be delivered (transport
+	// closed, peer declared dead, or window stalled past the deadline).
 	Send(dest, tag int, words []Word) error
 	// Start begins delivery: incoming messages invoke h.Deliver and peer
 	// deaths invoke h.PeerFailed, each from transport-owned goroutines. For
@@ -69,32 +72,46 @@ type NetStats struct {
 	HeartbeatMisses int64
 	// CRCErrors counts frames rejected for a checksum mismatch.
 	CRCErrors int64
+	// ThrottleStalls counts sends that blocked on an exhausted send window
+	// (credit-based flow control engaging). One stall per blocked entry,
+	// however long the wait.
+	ThrottleStalls int64
+	// OutboxPeakFrames is the high-water mark of unacknowledged frames
+	// buffered for any single peer — the proof the retransmission outbox
+	// stayed within the configured window. A gauge, not a total: Add takes
+	// the max, Sub passes n's value through.
+	OutboxPeakFrames int64
 }
 
-// Add returns n + m fieldwise.
+// Add returns n + m fieldwise (max for the peak gauge).
 func (n NetStats) Add(m NetStats) NetStats {
 	return NetStats{
-		FramesSent:      n.FramesSent + m.FramesSent,
-		FramesRecv:      n.FramesRecv + m.FramesRecv,
-		DialRetries:     n.DialRetries + m.DialRetries,
-		Reconnects:      n.Reconnects + m.Reconnects,
-		Retransmits:     n.Retransmits + m.Retransmits,
-		DupsDropped:     n.DupsDropped + m.DupsDropped,
-		HeartbeatMisses: n.HeartbeatMisses + m.HeartbeatMisses,
-		CRCErrors:       n.CRCErrors + m.CRCErrors,
+		FramesSent:       n.FramesSent + m.FramesSent,
+		FramesRecv:       n.FramesRecv + m.FramesRecv,
+		DialRetries:      n.DialRetries + m.DialRetries,
+		Reconnects:       n.Reconnects + m.Reconnects,
+		Retransmits:      n.Retransmits + m.Retransmits,
+		DupsDropped:      n.DupsDropped + m.DupsDropped,
+		HeartbeatMisses:  n.HeartbeatMisses + m.HeartbeatMisses,
+		CRCErrors:        n.CRCErrors + m.CRCErrors,
+		ThrottleStalls:   n.ThrottleStalls + m.ThrottleStalls,
+		OutboxPeakFrames: max(n.OutboxPeakFrames, m.OutboxPeakFrames),
 	}
 }
 
-// Sub returns n - m fieldwise.
+// Sub returns n - m fieldwise; the peak gauge is not a total, so n's value
+// passes through (a window delta inherits the current high-water mark).
 func (n NetStats) Sub(m NetStats) NetStats {
 	return NetStats{
-		FramesSent:      n.FramesSent - m.FramesSent,
-		FramesRecv:      n.FramesRecv - m.FramesRecv,
-		DialRetries:     n.DialRetries - m.DialRetries,
-		Reconnects:      n.Reconnects - m.Reconnects,
-		Retransmits:     n.Retransmits - m.Retransmits,
-		DupsDropped:     n.DupsDropped - m.DupsDropped,
-		HeartbeatMisses: n.HeartbeatMisses - m.HeartbeatMisses,
-		CRCErrors:       n.CRCErrors - m.CRCErrors,
+		FramesSent:       n.FramesSent - m.FramesSent,
+		FramesRecv:       n.FramesRecv - m.FramesRecv,
+		DialRetries:      n.DialRetries - m.DialRetries,
+		Reconnects:       n.Reconnects - m.Reconnects,
+		Retransmits:      n.Retransmits - m.Retransmits,
+		DupsDropped:      n.DupsDropped - m.DupsDropped,
+		HeartbeatMisses:  n.HeartbeatMisses - m.HeartbeatMisses,
+		CRCErrors:        n.CRCErrors - m.CRCErrors,
+		ThrottleStalls:   n.ThrottleStalls - m.ThrottleStalls,
+		OutboxPeakFrames: n.OutboxPeakFrames,
 	}
 }

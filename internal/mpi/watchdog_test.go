@@ -74,6 +74,75 @@ func TestAdaptiveWatchdogIgnoresRepeatedEpoch(t *testing.T) {
 	}
 }
 
+// A throttled-but-live world must not be declared dead: when backpressure
+// (a flow-controlled sender stalling on a slow receiver) stretches
+// iteration times gradually, the EWMA follows the observed pace and the
+// deadline extends instead of firing a spurious ErrRankFailed. The run
+// starts fast — tightening the deadline well below the ceiling — then slows
+// ~2× per iteration, each step inside the Mult=8 headroom of the deadline
+// the previous pace set.
+func TestAdaptiveWatchdogExtendsUnderBackpressure(t *testing.T) {
+	w := NewWorld(2)
+	w.SetAdaptiveWatchdog(AdaptiveWatchdog{Floor: time.Millisecond, Ceil: 10 * time.Second})
+	var tightened, stretched time.Duration
+	err := w.Run(func(c *Comm) error {
+		for iter := 1; iter <= 4; iter++ {
+			c.SetEpoch(iter)
+			c.Barrier()
+		}
+		if c.Rank() == 0 {
+			tightened = w.WatchdogDeadline()
+		}
+		// Backpressure sets in: every iteration takes about twice the last.
+		delay := 2 * time.Millisecond
+		for iter := 5; iter <= 9; iter++ {
+			c.SetEpoch(iter)
+			time.Sleep(delay)
+			c.Barrier()
+			delay *= 2
+		}
+		if c.Rank() == 0 {
+			stretched = w.WatchdogDeadline()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("throttled-but-live world was declared dead: %v", err)
+	}
+	if tightened >= 10*time.Second {
+		t.Fatalf("deadline never tightened below the ceiling during the fast phase (%v)", tightened)
+	}
+	if stretched <= tightened {
+		t.Fatalf("deadline did not extend under backpressure: fast-phase %v, slow-phase %v", tightened, stretched)
+	}
+	// The last observed iteration was ~32ms; with Mult=8 the deadline in
+	// force must give at least that much headroom for the next one.
+	if stretched < 32*time.Millisecond {
+		t.Fatalf("slow-phase deadline %v leaves no headroom for the observed ~32ms pace", stretched)
+	}
+}
+
+// The EWMA alone (no world, no goroutines) must track a slowing pace
+// closely enough that each next iteration fits inside the deadline its
+// predecessors set — the no-false-positive property of gradual throttling.
+func TestAdaptiveWatchdogEWMATracksGradualSlowdown(t *testing.T) {
+	ad := &adaptiveWatchdog{cfg: AdaptiveWatchdog{Floor: time.Millisecond, Ceil: time.Hour}.withDefaults()}
+	ad.deadline.Store(int64(ad.cfg.Ceil)) // pessimistic start, as SetAdaptiveWatchdog does
+	now := int64(1)
+	ad.observe(now)
+	gap := int64(time.Millisecond)
+	for i := 0; i < 12; i++ {
+		// Before each slower iteration, the deadline set by the past pace
+		// must cover it: gap doubles, Mult=8 covers a 2× step with room.
+		if dl := ad.deadline.Load(); dl < gap {
+			t.Fatalf("step %d: deadline %v cannot cover the next %v iteration", i, time.Duration(dl), time.Duration(gap))
+		}
+		now += gap
+		ad.observe(now)
+		gap *= 2
+	}
+}
+
 // AllreduceVec agrees elementwise across ranks in one round — the carrier
 // the integrity digests ride on. Covers the in-process slot path (size > 1),
 // the single-rank copy fast path, and aliasing send/recv.

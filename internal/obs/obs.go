@@ -64,6 +64,13 @@ const (
 	// Failures and Quarantined carry the cumulative validation-failure and
 	// quarantined-generation counts.
 	KindCkptScan
+	// KindMemPressure reports a memory-budget pressure response: Name is the
+	// level ("soft" or "hard"), Work the accounted bytes, Bytes the budget.
+	KindMemPressure
+	// KindCkptDegraded reports checkpoint storage degradation: persistent
+	// saves failed (ENOSPC, short write) and the run fell back to an
+	// in-memory sink. Err carries the storage error.
+	KindCkptDegraded
 )
 
 var kindNames = [...]string{
@@ -79,6 +86,8 @@ var kindNames = [...]string{
 	KindRankFailed:   "rank-failed",
 	KindDivergence:   "divergence",
 	KindCkptScan:     "ckpt-scan",
+	KindMemPressure:  "mem-pressure",
+	KindCkptDegraded: "ckpt-degraded",
 }
 
 func (k Kind) String() string {
@@ -99,6 +108,11 @@ type NetStats struct {
 	DupsDropped     int64
 	HeartbeatMisses int64
 	CRCErrors       int64
+	// ThrottleStalls is the window's count of sends blocked by flow
+	// control; OutboxPeakFrames is the running high-water mark of
+	// unacknowledged frames buffered for any single peer (a gauge).
+	ThrottleStalls   int64
+	OutboxPeakFrames int64
 }
 
 // Event is one observability record. Which fields are meaningful depends on

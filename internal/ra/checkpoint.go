@@ -77,6 +77,31 @@ type Tamperer interface {
 // ErrNoCheckpoint reports a Resume attempt with an empty sink.
 var ErrNoCheckpoint = errors.New("ra: no checkpoint to resume from")
 
+// ErrCheckpointStorage reports a checkpoint save the storage layer refused
+// even after freeing space: the device is full, a write came up short, or
+// the rename/fsync failed. The partial file has been quarantined aside as
+// path+".bad"; callers degrade (fall back to an in-memory sink, keep the
+// run alive) instead of aborting.
+type ErrCheckpointStorage struct {
+	Path  string // the generation file the save was for
+	Cause error  // the underlying storage error (first attempt's)
+}
+
+func (e *ErrCheckpointStorage) Error() string {
+	return fmt.Sprintf("ra: checkpoint storage failed for %s: %v", e.Path, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ErrCheckpointStorage) Unwrap() error { return e.Cause }
+
+// AsCheckpointStorage extracts a structured storage failure from an error
+// chain. It reports false for every other failure mode.
+func AsCheckpointStorage(err error) (*ErrCheckpointStorage, bool) {
+	var cs *ErrCheckpointStorage
+	ok := errors.As(err, &cs)
+	return cs, ok
+}
+
 // DefaultCheckpointKeep is the per-rank generation retention applied when a
 // sink's Keep knob is unset.
 const DefaultCheckpointKeep = 3
@@ -87,6 +112,7 @@ const DefaultCheckpointKeep = 3
 var (
 	ckptValidationFailures atomic.Int64
 	ckptQuarantined        atomic.Int64
+	ckptDegradations       atomic.Int64
 )
 
 // CheckpointIntegrityStats returns the process-wide cumulative counts of
@@ -94,6 +120,15 @@ var (
 func CheckpointIntegrityStats() (validationFailures, quarantined int64) {
 	return ckptValidationFailures.Load(), ckptQuarantined.Load()
 }
+
+// CheckpointDegradations returns the process-wide cumulative count of
+// fixpoint runs that fell back to in-memory checkpointing after persistent
+// storage failed.
+func CheckpointDegradations() int64 { return ckptDegradations.Load() }
+
+// countCkptDegradation records one storage-degradation fallback (called by
+// the fixpoint driver when it swaps in the memory sink).
+func countCkptDegradation() { ckptDegradations.Add(1) }
 
 // effectiveKeep applies DefaultCheckpointKeep to an unset knob.
 func effectiveKeep(keep int) int {
@@ -487,10 +522,14 @@ func (s FileCheckpointSink) quarantine(rank, gen int) {
 
 // Save implements CheckpointSink: encode, write a temp file, fsync it,
 // rename it into the next generation slot, fsync the directory, and prune
-// generations beyond Keep.
+// generations beyond Keep. A storage failure (ENOSPC, short write, IO
+// error) quarantines the partial file, frees space by pruning old
+// generations down to the newest, and retries once; a second failure
+// surfaces as *ErrCheckpointStorage so the caller can degrade instead of
+// aborting the run.
 func (s FileCheckpointSink) Save(rank int, cp Checkpoint) error {
 	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
-		return err
+		return &ErrCheckpointStorage{Path: s.Dir, Cause: err}
 	}
 	gens, err := s.rankGens(rank)
 	if err != nil {
@@ -501,17 +540,48 @@ func (s FileCheckpointSink) Save(rank int, cp Checkpoint) error {
 		gen = gens[len(gens)-1] + 1
 	}
 	final := s.path(rank, gen)
+	data := encodeCkpt(cp)
+	werr := s.writeGen(final, data)
+	if werr == nil {
+		return s.pruneGens(rank, gens, effectiveKeep(s.Keep)-1)
+	}
+	s.pruneGens(rank, gens, 1) // free space: keep only the newest old generation
+	if s.writeGen(final, data) == nil {
+		return nil
+	}
+	return &ErrCheckpointStorage{Path: final, Cause: werr}
+}
+
+// writeGen writes one generation durably: temp file, fsync, rename into
+// place, fsync the directory. On failure the partial file is quarantined to
+// final+".bad" (never left where a scan could mistake it for a checkpoint),
+// or removed if even the rename fails.
+func (s FileCheckpointSink) writeGen(final string, data []byte) error {
 	tmp := final + ".tmp"
-	if err := writeFileSync(tmp, encodeCkpt(cp)); err != nil {
-		return err
+	err := writeFileSync(tmp, data)
+	if err == nil {
+		if err = os.Rename(tmp, final); err == nil {
+			if err = syncDir(s.Dir); err == nil {
+				return nil
+			}
+			// The rename landed but is not durable: quarantine the
+			// generation like any other partial.
+			tmp = final
+		}
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		return err
+	if rerr := os.Rename(tmp, final+".bad"); rerr == nil {
+		ckptQuarantined.Add(1)
+	} else {
+		os.Remove(tmp)
 	}
-	if err := syncDir(s.Dir); err != nil {
-		return err
-	}
-	if over := len(gens) + 1 - effectiveKeep(s.Keep); over > 0 {
+	return err
+}
+
+// pruneGens removes rank's oldest on-disk generations so at most keepN of
+// the listed ones remain. Already-vanished files are fine (a concurrent
+// scan may have quarantined them).
+func (s FileCheckpointSink) pruneGens(rank int, gens []int, keepN int) error {
+	if over := len(gens) - keepN; over > 0 {
 		for _, g := range gens[:over] {
 			if err := os.Remove(s.path(rank, g)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return err
@@ -521,14 +591,33 @@ func (s FileCheckpointSink) Save(rank int, cp Checkpoint) error {
 	return nil
 }
 
+// ckptFile is the handle writeFileSync writes through.
+type ckptFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// openCkptFile creates the temp file a save writes to. A package variable
+// so tests can inject storage failures (ENOSPC, short writes) into the
+// exact path a full device would fail on.
+var openCkptFile = func(path string) (ckptFile, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
 // writeFileSync writes data to path and fsyncs it before closing, so the
-// bytes are durable before the caller renames the file into place.
+// bytes are durable before the caller renames the file into place. A write
+// accepted short (a full device that lies) is surfaced as io.ErrShortWrite.
 func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := openCkptFile(path)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(data); err != nil {
+	n, err := f.Write(data)
+	if err == nil && n < len(data) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,170 @@
+package ra
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"paralagg/internal/mpi"
+)
+
+// Storage-degradation tests for FileCheckpointSink: a full device (ENOSPC)
+// or a short write must produce a structured *ErrCheckpointStorage with the
+// partial file quarantined aside — never a partial generation a later scan
+// could load, and never a crash.
+
+// enospcFile wraps the real temp file but refuses the payload: it writes a
+// short prefix (leaving a partial file on disk, as a full device would) and
+// fails with ENOSPC.
+type enospcFile struct{ ckptFile }
+
+func (e enospcFile) Write(p []byte) (int, error) {
+	if len(p) > 4 {
+		e.ckptFile.Write(p[:4])
+	}
+	return 0, syscall.ENOSPC
+}
+
+// shortFile accepts the write but reports fewer bytes than given with a nil
+// error — the lying-device case writeFileSync must convert to
+// io.ErrShortWrite.
+type shortFile struct{ ckptFile }
+
+func (s shortFile) Write(p []byte) (int, error) {
+	n, err := s.ckptFile.Write(p[:len(p)/2])
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// withFailingOpens swaps the save path's file-open hook so the first fail
+// opens go through wrap, then restores the real hook.
+func withFailingOpens(t *testing.T, fail int, wrap func(ckptFile) ckptFile) {
+	t.Helper()
+	real := openCkptFile
+	n := 0
+	openCkptFile = func(path string) (ckptFile, error) {
+		f, err := real(path)
+		if err != nil {
+			return nil, err
+		}
+		if n++; n <= fail {
+			return wrap(f), nil
+		}
+		return f, nil
+	}
+	t.Cleanup(func() { openCkptFile = real })
+}
+
+func testCkpt(iter int) Checkpoint {
+	return Checkpoint{Ranks: 1, Stratum: 0, Iter: iter, Words: []mpi.Word{7, 8, 9, uint64(iter)}}
+}
+
+func countSuffix(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSaveENOSPCReturnsStructuredStorageError(t *testing.T) {
+	dir := t.TempDir()
+	sink := FileCheckpointSink{Dir: dir, Keep: 2}
+	for i := 1; i <= 2; i++ {
+		if err := sink.Save(0, testCkpt(i)); err != nil {
+			t.Fatalf("seeding save %d: %v", i, err)
+		}
+	}
+
+	withFailingOpens(t, 2, func(f ckptFile) ckptFile { return enospcFile{f} }) // first try + retry
+	err := sink.Save(0, testCkpt(3))
+	if err == nil {
+		t.Fatal("save on a full device succeeded")
+	}
+	cs, ok := AsCheckpointStorage(err)
+	if !ok {
+		t.Fatalf("save error %T (%v) is not *ErrCheckpointStorage", err, err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("storage error %v does not unwrap to ENOSPC", err)
+	}
+	if cs.Path == "" {
+		t.Fatal("storage error carries no path")
+	}
+	if n := countSuffix(t, dir, ".tmp"); n != 0 {
+		t.Fatalf("%d partial .tmp files left behind", n)
+	}
+	if n := countSuffix(t, dir, ".bad"); n == 0 {
+		t.Fatal("partial file was not quarantined to .bad")
+	}
+	// The retry path freed space by pruning to the newest old generation.
+	if n := countSuffix(t, dir, ".ckpt"); n != 1 {
+		t.Fatalf("%d generations remain after the degraded save, want 1", n)
+	}
+	// Degraded, not destroyed: the surviving generation still restores.
+	cp, ok, lerr := sink.Latest(0)
+	if lerr != nil || !ok {
+		t.Fatalf("latest after degradation: ok=%v err=%v", ok, lerr)
+	}
+	if cp.Iter != 2 {
+		t.Fatalf("latest after degradation is iter %d, want 2", cp.Iter)
+	}
+}
+
+func TestSaveShortWriteIsStructuredAndQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	sink := FileCheckpointSink{Dir: dir}
+	withFailingOpens(t, 2, func(f ckptFile) ckptFile { return shortFile{f} })
+	err := sink.Save(0, testCkpt(1))
+	if _, ok := AsCheckpointStorage(err); !ok {
+		t.Fatalf("short-write save error %T (%v) is not *ErrCheckpointStorage", err, err)
+	}
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("storage error %v does not unwrap to io.ErrShortWrite", err)
+	}
+	if n := countSuffix(t, dir, ".bad"); n == 0 {
+		t.Fatal("short-written partial was not quarantined to .bad")
+	}
+	if _, ok, _ := sink.Latest(0); ok {
+		t.Fatal("a short-written checkpoint validated as latest")
+	}
+}
+
+func TestSaveRetriesAfterFreeingSpace(t *testing.T) {
+	dir := t.TempDir()
+	sink := FileCheckpointSink{Dir: dir, Keep: 3}
+	for i := 1; i <= 3; i++ {
+		if err := sink.Save(0, testCkpt(i)); err != nil {
+			t.Fatalf("seeding save %d: %v", i, err)
+		}
+	}
+	// Only the first attempt hits ENOSPC; the retry (after pruning old
+	// generations to free space) must succeed silently.
+	withFailingOpens(t, 1, func(f ckptFile) ckptFile { return enospcFile{f} })
+	if err := sink.Save(0, testCkpt(4)); err != nil {
+		t.Fatalf("save with a successful retry still errored: %v", err)
+	}
+	cp, ok, err := sink.Latest(0)
+	if err != nil || !ok {
+		t.Fatalf("latest after recovered save: ok=%v err=%v", ok, err)
+	}
+	if cp.Iter != 4 {
+		t.Fatalf("latest after recovered save is iter %d, want 4", cp.Iter)
+	}
+	// The first attempt's partial stayed quarantined for inspection.
+	if n := countSuffix(t, dir, ".bad"); n == 0 {
+		t.Fatal("failed first attempt left no quarantine file")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"paralagg/internal/mpi"
 	"paralagg/internal/obs"
 	"paralagg/internal/relation"
+	"paralagg/internal/resource"
 	"paralagg/internal/tuple"
 )
 
@@ -112,6 +113,17 @@ type Options struct {
 	// coordinating several strata (core.Instance) pass every relation of
 	// the program so one snapshot restores the whole computation.
 	SnapshotRels []*relation.Relation
+
+	// Acct, when set with a positive budget, turns on the memory-pressure
+	// ladder: once per iteration the driver samples the stratum's resident
+	// footprint into the accountant and collectively agrees on the pressure
+	// level. Soft pressure sheds scratch pools and brings the next
+	// checkpoint forward; hard pressure fails the iteration with a
+	// structured resource.ErrMemoryBudget (inside mpi.ErrRankFailed), which
+	// the supervisor recovers like any rank death. The ladder adds one
+	// Allreduce per iteration, so every rank of a world must configure the
+	// same Acct non-nilness.
+	Acct *resource.Accountant
 }
 
 // effectiveBalanceThreshold applies the documented default.
@@ -153,6 +165,13 @@ type Fixpoint struct {
 	// lands on real state. tamperMask == 0 means none pending.
 	tamperRel  string
 	tamperMask mpi.Word
+
+	// fallbackSink replaces Options.Sink for the rest of the run after
+	// persistent checkpoint storage failed (ENOSPC, short write): the run
+	// degrades to in-memory snapshots instead of aborting. Rank-local —
+	// fault-tolerance across process restarts is void once degraded, which
+	// the KindCkptDegraded event and CheckpointDegradations() surface.
+	fallbackSink CheckpointSink
 }
 
 // NewFixpoint assembles a stratum from compiled rules.
@@ -358,9 +377,12 @@ func (f *Fixpoint) remapSnapshots(opts Options, cps []Checkpoint) (int, error) {
 }
 
 // checkpoint snapshots the stratum's relations after `iter` completed
-// iterations. Sink errors fail this rank (the panic is recovered into an
-// ErrRankFailed by the runtime), because continuing without the promised
-// checkpoint would silently void the fault-tolerance contract.
+// iterations. A structured storage failure (*ErrCheckpointStorage: the
+// device is full or lying) degrades the run to an in-memory fallback sink
+// with a warning event instead of failing the rank; any other sink error
+// fails this rank (the panic is recovered into an ErrRankFailed by the
+// runtime), because continuing without the promised checkpoint would
+// silently void the fault-tolerance contract.
 func (f *Fixpoint) checkpoint(opts Options, iter int) {
 	timer := metrics.StartTimer()
 	var words []mpi.Word
@@ -373,14 +395,44 @@ func (f *Fixpoint) checkpoint(opts Options, iter int) {
 	}
 	rank := f.Comm.Rank()
 	cp := Checkpoint{Ranks: f.Comm.Size(), Stratum: opts.Stratum, Iter: iter, Words: words, SectionSums: sums}
-	if err := opts.Sink.Save(rank, cp); err != nil {
-		panic(fmt.Sprintf("ra: rank %d checkpoint save at iteration %d failed: %v", rank, iter, err))
+	sink := opts.Sink
+	if f.fallbackSink != nil {
+		sink = f.fallbackSink
+	}
+	var err error
+	if f.Comm.DiskFullNow(iter) {
+		// Injected storage fault: the device reports full before any byte
+		// lands, exactly like a real ENOSPC on the temp-file write.
+		err = &ErrCheckpointStorage{Path: "(injected disk-full)",
+			Cause: fmt.Errorf("no space left on device (injected at iteration %d)", iter)}
+	} else {
+		err = sink.Save(rank, cp)
+	}
+	if err != nil {
+		if _, ok := AsCheckpointStorage(err); !ok {
+			panic(fmt.Sprintf("ra: rank %d checkpoint save at iteration %d failed: %v", rank, iter, err))
+		}
+		// Degrade: persistent checkpointing is gone for this run. Keep the
+		// computation alive on in-memory snapshots (still good for in-process
+		// supervisor recovery, void across a process restart) and surface
+		// the loss loudly instead of aborting.
+		f.fallbackSink = NewMemoryCheckpointSink()
+		countCkptDegradation()
+		f.emitCkptDegraded(opts, iter, err)
+		if serr := f.fallbackSink.Save(rank, cp); serr != nil {
+			panic(fmt.Sprintf("ra: rank %d fallback checkpoint save at iteration %d failed: %v", rank, iter, serr))
+		}
 	}
 	if f.Comm.CkptCorruptNow(iter) {
 		// Injected checkpoint-corruption fault: flip bits of the generation
 		// just written so the next recovery scan must quarantine it and fall
-		// back one generation.
-		if tp, ok := opts.Sink.(Tamperer); ok {
+		// back one generation. Post-degradation the fallback sink holds the
+		// newest generation.
+		target := sink
+		if f.fallbackSink != nil {
+			target = f.fallbackSink
+		}
+		if tp, ok := target.(Tamperer); ok {
 			tp.TamperNewest(rank)
 		}
 	}
@@ -394,6 +446,102 @@ func (f *Fixpoint) checkpoint(opts Options, iter int) {
 		e.End = time.Now().UnixNano()
 		obs.Emit(o, e)
 	}
+}
+
+// pressure feeds the accountant one iteration's footprint sample and
+// applies the collective budget ladder, returning true when soft pressure
+// asks for the next checkpoint to happen now. Hard pressure does not
+// return: the iteration fails with a structured resource.ErrMemoryBudget
+// inside mpi.ErrRankFailed, recoverable by the supervisor. The level is
+// agreed by Allreduce(OpMax), so every rank responds uniformly even when
+// only one is over budget. Collective when enabled; no-op otherwise.
+func (f *Fixpoint) pressure(opts Options, iter int) (forceCkpt bool) {
+	acct := opts.Acct
+	if acct == nil || acct.Budget() <= 0 {
+		return false
+	}
+	words := int64(0)
+	for _, r := range f.allRels {
+		words += r.MemWords()
+	}
+	acct.SetComputeWords(words)
+	if b, ok := f.Comm.MemPressureNow(iter); ok {
+		// Injected pressure fault: synthetic usage, real ladder response.
+		acct.AddPhantomBytes(b)
+	}
+	// One collective agrees on both the worst level and the worst usage:
+	// the level rides the top byte so OpMax picks the most pressured rank
+	// first, its accounted bytes as the tie-break. Every rank then responds
+	// uniformly — and a hard failure's error names the violating usage even
+	// on ranks that were individually under budget.
+	used := acct.UsedBytes()
+	if used > levelPackMask {
+		used = levelPackMask
+	}
+	agreed := f.Comm.Allreduce(uint64(acct.Level())<<levelPackShift|uint64(used), mpi.OpMax)
+	lvl := resource.Level(agreed >> levelPackShift)
+	worstUsed := int64(agreed & levelPackMask)
+	switch lvl {
+	case resource.LevelSoft:
+		// Shed what is reclaimable (scratch pools, lazily rebuilt on
+		// demand) and bring the next checkpoint forward so a later hard
+		// failure loses little work.
+		for _, r := range f.allRels {
+			r.ReleaseScratch()
+		}
+		acct.CountPressure(lvl)
+		f.emitMemPressure(opts, iter, lvl, acct)
+		return true
+	case resource.LevelHard:
+		acct.CountPressure(lvl)
+		f.emitMemPressure(opts, iter, lvl, acct)
+		panic(&mpi.ErrRankFailed{
+			Rank: f.Comm.Rank(), Op: "mem-budget", Iter: iter,
+			Cause: &resource.ErrMemoryBudget{
+				Rank: f.Comm.Rank(), Iter: iter,
+				Used: worstUsed, Budget: acct.Budget(),
+			},
+		})
+	}
+	return false
+}
+
+// levelPackShift/levelPackMask pack a pressure level above 56 bits of
+// accounted usage for the single-word pressure Allreduce.
+const (
+	levelPackShift = 56
+	levelPackMask  = 1<<levelPackShift - 1
+)
+
+// emitMemPressure streams one budget-ladder response: Name carries the
+// level, Work the accounted bytes, Bytes the budget.
+func (f *Fixpoint) emitMemPressure(opts Options, iter int, lvl resource.Level, acct *resource.Accountant) {
+	o := f.MC.Observer()
+	if o == nil {
+		return
+	}
+	e := obs.Get()
+	e.Kind = obs.KindMemPressure
+	e.Rank, e.Stratum, e.Iter = f.Comm.Rank(), opts.Stratum, iter
+	e.Name = lvl.String()
+	e.Work, e.Bytes = acct.UsedBytes(), acct.Budget()
+	e.End = time.Now().UnixNano()
+	obs.Emit(o, e)
+}
+
+// emitCkptDegraded streams the storage-degradation warning: persistent
+// checkpointing failed and the run fell back to in-memory snapshots.
+func (f *Fixpoint) emitCkptDegraded(opts Options, iter int, cause error) {
+	o := f.MC.Observer()
+	if o == nil {
+		return
+	}
+	e := obs.Get()
+	e.Kind = obs.KindCkptDegraded
+	e.Rank, e.Stratum, e.Iter = f.Comm.Rank(), opts.Stratum, iter
+	e.Err = cause.Error()
+	e.End = time.Now().UnixNano()
+	obs.Emit(o, e)
 }
 
 // restoreSnapshot decodes a checkpoint payload into the snapshot set.
@@ -538,6 +686,9 @@ func (f *Fixpoint) emitIteration(o obs.Observer, opts Options, iter int, changed
 		DupsDropped:     d.Net.DupsDropped,
 		HeartbeatMisses: d.Net.HeartbeatMisses,
 		CRCErrors:       d.Net.CRCErrors,
+		ThrottleStalls:  d.Net.ThrottleStalls,
+		// The outbox peak is a gauge, not a delta: Sub passes it through.
+		OutboxPeakFrames: d.Net.OutboxPeakFrames,
 	}
 	obs.Emit(o, e)
 }
@@ -550,10 +701,12 @@ func (f *Fixpoint) run(opts Options, startIter int) int {
 	for {
 		changed := f.step(opts, iter)
 		iter++
+		forceCkpt := f.pressure(opts, iter)
 		if changed == 0 {
 			return iter
 		}
-		if opts.CheckpointEvery > 0 && opts.Sink != nil && iter%opts.CheckpointEvery == 0 {
+		if opts.CheckpointEvery > 0 && opts.Sink != nil &&
+			(forceCkpt || iter%opts.CheckpointEvery == 0) {
 			f.checkpoint(opts, iter)
 		}
 		if opts.MaxIters > 0 && iter >= opts.MaxIters {

@@ -518,3 +518,43 @@ func (r *Relation) EachAcc(fn func(tuple.Tuple)) {
 // driver uses it when re-seeding Δ at a stratum boundary; the value must be
 // identical on every rank.
 func (r *Relation) SetChangedLast(n uint64) { r.changedLast = n }
+
+// MemWords reports this rank's accounted storage footprint for the
+// relation, in words: the accumulator and identity arenas, every index's
+// FULL and Δ trees, and the reusable exchange scratch. Each term is an O(1)
+// capacity read, so the memory accountant can sample it every iteration
+// without touching the hot path.
+func (r *Relation) MemWords() int64 {
+	var w int64
+	for _, m := range []*wordmap.Map{r.acc, r.leakyBest, r.ids, r.partial} {
+		if m != nil {
+			w += m.MemWords()
+		}
+	}
+	for _, ix := range r.indexes {
+		w += ix.Full.MemWords() + ix.Delta.MemWords()
+	}
+	w += int64(cap(r.tupScratch)) + int64(cap(r.permScratch))
+	for _, lane := range r.sendScratch {
+		w += int64(cap(lane))
+	}
+	for _, b := range []*tuple.Buffer{r.freshBuf, r.staleBuf} {
+		if b != nil {
+			w += int64(cap(b.Words))
+		}
+	}
+	return w
+}
+
+// ReleaseScratch drops the relation's reusable scratch capacity — the
+// pre-aggregation table, per-peer exchange lanes, and tuple buffers — the
+// soft response of the memory accountant's pressure ladder. Resident state
+// (accumulator, indexes, ids) is untouched, so correctness is unaffected;
+// the next Materialize simply re-grows its scratch, trading allocations for
+// headroom.
+func (r *Relation) ReleaseScratch() {
+	r.partial = nil
+	r.sendScratch = nil
+	r.freshBuf = nil
+	r.staleBuf = nil
+}

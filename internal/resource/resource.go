@@ -1,0 +1,226 @@
+// Package resource implements the per-rank memory accountant behind the
+// runtime's overload defenses. The engine's storage is concentrated in a
+// handful of arena-backed structures (wordmap arenas, B-tree nodes, the TCP
+// retransmission outbox), so instead of instrumenting every allocation the
+// accountant samples cheap O(1) capacity accessors once per fixpoint
+// iteration and folds in a delta-maintained outbox gauge. Against a
+// configured budget it derives a pressure level, and the fixpoint driver
+// turns that level into a ladder of responses: shrink scratch pools and
+// checkpoint early under soft pressure, fail the iteration with a
+// structured, supervisor-recoverable error under hard pressure — never an
+// uncontrolled OOM kill.
+//
+// "Processing Database Joins over a Shared-Nothing System of Multicore
+// Machines" (PAPERS.md) makes the same argument for memory-constrained
+// shared-nothing execution: a rank that knows its budget can degrade or
+// shed; a rank that discovers the limit from the kernel's OOM killer
+// cannot.
+package resource
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// WordBytes is the size of one tuple word; the storage hooks report words,
+// the accountant and its budget speak bytes.
+const WordBytes = 8
+
+// Level is a pressure reading against the budget.
+type Level int32
+
+const (
+	// LevelNone: usage is comfortably under budget.
+	LevelNone Level = iota
+	// LevelSoft: usage crossed the soft watermark (85% of budget). The
+	// driver should shed reclaimable memory (scratch pools) and bring the
+	// next checkpoint forward so a later hard failure loses little work.
+	LevelSoft
+	// LevelHard: usage reached the budget. The driver must stop growing
+	// state: fail the iteration with ErrMemoryBudget and let the
+	// supervisor recover from the last checkpoint.
+	LevelHard
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelSoft:
+		return "soft"
+	case LevelHard:
+		return "hard"
+	default:
+		return "none"
+	}
+}
+
+// softNum/softDen place the soft watermark at 85% of the budget.
+const (
+	softNum = 85
+	softDen = 100
+)
+
+// Accountant tracks one rank's accounted memory against a byte budget. All
+// methods are safe on a nil receiver (accounting disabled) and safe for
+// concurrent use: the transport's outbox hooks run on socket goroutines
+// while the fixpoint driver samples compute state.
+type Accountant struct {
+	budget int64
+	soft   int64
+
+	// compute is the last sampled resident-structure footprint (relation
+	// arenas, trees, scratch), republished absolutely each iteration.
+	compute atomic.Int64
+	// outbox is the delta-maintained footprint of unacknowledged transport
+	// frames across all peers.
+	outbox atomic.Int64
+	// phantom is chaos-injected synthetic usage (the MemPressure fault):
+	// deterministic pressure without actually burning host memory.
+	phantom atomic.Int64
+
+	peak       atomic.Int64
+	softEvents atomic.Int64
+	hardEvents atomic.Int64
+}
+
+// NewAccountant returns an accountant enforcing the given byte budget.
+// budget <= 0 means "account but never pressure" (useful for peak
+// measurement).
+func NewAccountant(budget int64) *Accountant {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Accountant{budget: budget, soft: budget / softDen * softNum}
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (a *Accountant) Budget() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.budget
+}
+
+// SetComputeWords republishes the sampled footprint of the rank's resident
+// compute structures, in words.
+func (a *Accountant) SetComputeWords(w int64) {
+	if a == nil {
+		return
+	}
+	a.compute.Store(w * WordBytes)
+	a.observePeak()
+}
+
+// AddOutboxWords adjusts the transport outbox gauge by delta words
+// (negative on ack/prune).
+func (a *Accountant) AddOutboxWords(delta int64) {
+	if a == nil {
+		return
+	}
+	if a.outbox.Add(delta*WordBytes) < 0 {
+		// A release raced a reset; clamp rather than go negative.
+		a.outbox.Store(0)
+	}
+	a.observePeak()
+}
+
+// SetPhantomBytes publishes chaos-injected synthetic usage.
+func (a *Accountant) SetPhantomBytes(b int64) {
+	if a == nil {
+		return
+	}
+	a.phantom.Store(b)
+	a.observePeak()
+}
+
+// AddPhantomBytes accumulates chaos-injected synthetic usage (a fired
+// MemPressure fault persists for the rest of the run).
+func (a *Accountant) AddPhantomBytes(b int64) {
+	if a == nil {
+		return
+	}
+	a.phantom.Add(b)
+	a.observePeak()
+}
+
+// UsedBytes returns the current accounted total.
+func (a *Accountant) UsedBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.compute.Load() + a.outbox.Load() + a.phantom.Load()
+}
+
+// PeakBytes returns the high-water mark of UsedBytes.
+func (a *Accountant) PeakBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.peak.Load()
+}
+
+func (a *Accountant) observePeak() {
+	u := a.UsedBytes()
+	for {
+		p := a.peak.Load()
+		if u <= p || a.peak.CompareAndSwap(p, u) {
+			return
+		}
+	}
+}
+
+// Level reads the current pressure level against the budget.
+func (a *Accountant) Level() Level {
+	if a == nil || a.budget <= 0 {
+		return LevelNone
+	}
+	u := a.UsedBytes()
+	switch {
+	case u >= a.budget:
+		return LevelHard
+	case u >= a.soft:
+		return LevelSoft
+	default:
+		return LevelNone
+	}
+}
+
+// CountPressure records that the driver acted on a pressure level;
+// observability reads the totals back.
+func (a *Accountant) CountPressure(l Level) {
+	if a == nil {
+		return
+	}
+	switch l {
+	case LevelSoft:
+		a.softEvents.Add(1)
+	case LevelHard:
+		a.hardEvents.Add(1)
+	}
+}
+
+// PressureEvents returns how many soft and hard pressure responses fired.
+func (a *Accountant) PressureEvents() (soft, hard int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.softEvents.Load(), a.hardEvents.Load()
+}
+
+// ErrMemoryBudget is the structured hard-pressure failure: a rank's
+// accounted usage reached the configured budget and the world shed the
+// iteration rather than letting the rank OOM. The response is collective —
+// every rank fails with one of these, Rank naming the reporting rank and
+// Used the world's worst accounted usage (the number that tripped the
+// budget). It travels inside mpi.ErrRankFailed, so the supervisor's normal
+// recover-from-checkpoint machinery applies.
+type ErrMemoryBudget struct {
+	Rank   int
+	Iter   int
+	Used   int64
+	Budget int64
+}
+
+func (e *ErrMemoryBudget) Error() string {
+	return fmt.Sprintf("resource: memory budget exhausted at iteration %d: worst rank holds %d of %d budgeted bytes (reported by rank %d)",
+		e.Iter, e.Used, e.Budget, e.Rank)
+}

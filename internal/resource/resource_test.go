@@ -1,0 +1,134 @@
+package resource
+
+import (
+	"sync"
+	"testing"
+)
+
+// The pressure ladder against a 1000-byte budget: none below 850 (the 85%
+// soft watermark), soft in [850, 1000), hard at and past 1000.
+func TestLevelLadder(t *testing.T) {
+	a := NewAccountant(1000)
+	cases := []struct {
+		bytes int64
+		want  Level
+	}{
+		{0, LevelNone},
+		{849, LevelNone},
+		{850, LevelSoft},
+		{999, LevelSoft},
+		{1000, LevelHard},
+		{5000, LevelHard},
+	}
+	for _, tc := range cases {
+		a.SetPhantomBytes(tc.bytes)
+		if got := a.Level(); got != tc.want {
+			t.Errorf("Level() at %d bytes = %v, want %v", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+// Usage is the sum of the three gauges; the peak is a high-water mark that
+// survives gauges falling back down.
+func TestUsedAndPeak(t *testing.T) {
+	a := NewAccountant(0)
+	a.SetComputeWords(10) // 80 bytes
+	a.AddOutboxWords(5)   // +40 bytes
+	a.AddPhantomBytes(7)  // +7 bytes
+	if got := a.UsedBytes(); got != 127 {
+		t.Fatalf("UsedBytes() = %d, want 127", got)
+	}
+	a.AddOutboxWords(-5)
+	a.SetComputeWords(1)
+	if got := a.UsedBytes(); got != 15 {
+		t.Fatalf("UsedBytes() after release = %d, want 15", got)
+	}
+	if got := a.PeakBytes(); got != 127 {
+		t.Fatalf("PeakBytes() = %d, want the 127 high-water mark", got)
+	}
+}
+
+// An over-released outbox (a release racing a reset) clamps to zero instead
+// of going negative and corrupting the total.
+func TestOutboxClampsAtZero(t *testing.T) {
+	a := NewAccountant(0)
+	a.AddOutboxWords(3)
+	a.AddOutboxWords(-10)
+	if got := a.UsedBytes(); got != 0 {
+		t.Fatalf("UsedBytes() after over-release = %d, want 0", got)
+	}
+}
+
+// A zero (or negative) budget accounts but never pressures — the peak-
+// measurement mode Exec uses for Result.MemPeakBytes.
+func TestZeroBudgetNeverPressures(t *testing.T) {
+	a := NewAccountant(0)
+	a.SetPhantomBytes(1 << 40)
+	if got := a.Level(); got != LevelNone {
+		t.Fatalf("Level() with no budget = %v, want none", got)
+	}
+	if NewAccountant(-5).Budget() != 0 {
+		t.Fatal("negative budget did not normalize to 0")
+	}
+}
+
+// Every method is a safe no-op on a nil accountant (accounting disabled).
+func TestNilAccountantIsSafe(t *testing.T) {
+	var a *Accountant
+	a.SetComputeWords(10)
+	a.AddOutboxWords(10)
+	a.SetPhantomBytes(10)
+	a.AddPhantomBytes(10)
+	a.CountPressure(LevelHard)
+	if a.UsedBytes() != 0 || a.PeakBytes() != 0 || a.Budget() != 0 {
+		t.Fatal("nil accountant reported nonzero state")
+	}
+	if a.Level() != LevelNone {
+		t.Fatal("nil accountant reported pressure")
+	}
+	if s, h := a.PressureEvents(); s != 0 || h != 0 {
+		t.Fatal("nil accountant reported pressure events")
+	}
+}
+
+// CountPressure/PressureEvents tally the driver's responses by level.
+func TestPressureEventCounters(t *testing.T) {
+	a := NewAccountant(100)
+	a.CountPressure(LevelSoft)
+	a.CountPressure(LevelSoft)
+	a.CountPressure(LevelHard)
+	a.CountPressure(LevelNone) // not an event
+	if s, h := a.PressureEvents(); s != 2 || h != 1 {
+		t.Fatalf("PressureEvents() = (%d, %d), want (2, 1)", s, h)
+	}
+}
+
+// The outbox gauge is charged from socket goroutines while the fixpoint
+// samples compute state: concurrent use must neither race nor lose deltas.
+func TestConcurrentCharging(t *testing.T) {
+	a := NewAccountant(1 << 30)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.AddOutboxWords(1)
+				a.AddOutboxWords(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.UsedBytes(); got != 0 {
+		t.Fatalf("UsedBytes() after balanced concurrent charges = %d, want 0", got)
+	}
+	if a.PeakBytes() < int64(WordBytes) {
+		t.Fatalf("PeakBytes() = %d, want at least one word", a.PeakBytes())
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if LevelNone.String() != "none" || LevelSoft.String() != "soft" || LevelHard.String() != "hard" {
+		t.Fatal("Level strings changed — observability consumers key on none/soft/hard")
+	}
+}

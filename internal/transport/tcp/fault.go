@@ -47,12 +47,26 @@ type CorruptFrame struct {
 	AfterSends int
 }
 
+// SlowConsumer throttles rank Rank's receive side: the endpoint hosting
+// that rank sleeps Delay before consuming each incoming data frame (which
+// delays its cumulative acks — a receiver that cannot keep up) and
+// advertises at most Window credits in its heartbeats. Well-behaved
+// senders must rate-match it through the flow-control window instead of
+// buffering without bound; the differential asserts results are unchanged
+// and sender outboxes stayed within the window.
+type SlowConsumer struct {
+	Rank   int
+	Delay  time.Duration
+	Window int
+}
+
 // NetFaultPlan is a deterministic schedule of wire faults.
 type NetFaultPlan struct {
 	Partitions    []Partition
 	SlowLinks     []SlowLink
 	Resets        []Reset
 	CorruptFrames []CorruptFrame
+	SlowConsumers []SlowConsumer
 }
 
 // faultState holds one endpoint's matching counters for a plan.
@@ -111,6 +125,37 @@ func (fs *faultState) partitionedLocked(peer int) bool {
 		}
 	}
 	return false
+}
+
+// recvDelay returns how long this endpoint's read loops sleep before
+// consuming a data frame (the SlowConsumer throttle; 0 = none). The plan is
+// immutable, so no lock is needed.
+func (fs *faultState) recvDelay() time.Duration {
+	if fs == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, s := range fs.plan.SlowConsumers {
+		if s.Rank == fs.self && s.Delay > d {
+			d = s.Delay
+		}
+	}
+	return d
+}
+
+// slowConsumerWindow returns the receive window a SlowConsumer spec forces
+// this endpoint to advertise (0 = no override).
+func (fs *faultState) slowConsumerWindow() int {
+	if fs == nil {
+		return 0
+	}
+	w := 0
+	for _, s := range fs.plan.SlowConsumers {
+		if s.Rank == fs.self && s.Window > 0 && (w == 0 || s.Window < w) {
+			w = s.Window
+		}
+	}
+	return w
 }
 
 // writeVerdict is what the fault layer decided about one frame write.

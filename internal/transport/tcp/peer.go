@@ -38,6 +38,10 @@ type peer struct {
 	// maxWritten is the highest seq ever put on the wire; rewriting at or
 	// below it counts as a retransmission.
 	maxWritten uint64
+	// advertised is the receive window the peer last piggybacked on a
+	// heartbeat (0 until the first one arrives). Senders honor the smaller
+	// of it and the local configured window.
+	advertised int64
 
 	lastAlive time.Time
 	departed  bool // peer said bye: a clean exit, not a crash
@@ -193,11 +197,24 @@ func (p *peer) attach(conn net.Conn, peerAck uint64) {
 	p.cond.Broadcast()
 }
 
-// pruneLocked drops outbox frames at or below the cumulative ack. Requires
-// p.mu held.
+// windowLocked returns the effective send window toward this peer: the
+// smaller of the configured window and the peer's advertised credit.
+// Requires p.mu held.
+func (p *peer) windowLocked() int {
+	w := p.t.cfg.SendWindow
+	if p.advertised > 0 && int(p.advertised) < w {
+		w = int(p.advertised)
+	}
+	return w
+}
+
+// pruneLocked drops outbox frames at or below the cumulative ack,
+// releasing their accounted words. Requires p.mu held.
 func (p *peer) pruneLocked(ack uint64) {
 	drop := 0
+	var freed int64
 	for drop < len(p.out) && p.out[drop].seq <= ack {
+		freed += int64(len(p.out[drop].words)) + frameOverheadWords
 		drop++
 	}
 	if drop > 0 {
@@ -206,6 +223,7 @@ func (p *peer) pruneLocked(ack uint64) {
 		if p.next < 0 {
 			p.next = 0
 		}
+		p.t.acct().AddOutboxWords(-freed)
 	}
 }
 
@@ -253,6 +271,14 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 			p.connLost(gen, err)
 			return
 		}
+		if f.typ == ftData {
+			// A chaos SlowConsumer throttles here, ahead of the ack horizon:
+			// the delayed consumption delays the cumulative ack too, exactly
+			// like a receiver that cannot keep up.
+			if d := t.fs.recvDelay(); d > 0 {
+				time.Sleep(d)
+			}
+		}
 		p.mu.Lock()
 		if p.gen != gen {
 			p.mu.Unlock() // stale incarnation still draining its buffer
@@ -270,6 +296,7 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 			}
 		case ftHeartbeat:
 			p.pruneLocked(f.seq)
+			p.advertised = f.tag
 		case ftBye:
 			p.departed = true
 		}
@@ -278,7 +305,8 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 		if deliver {
 			t.handler.Deliver(int(f.src), int(f.tag), f.words)
 		}
-		if f.typ == ftBye {
+		if f.typ == ftBye || f.typ == ftHeartbeat {
+			// Acks and credit updates wake senders blocked on the window.
 			p.cond.Broadcast()
 		}
 	}

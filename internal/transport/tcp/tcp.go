@@ -9,7 +9,18 @@ import (
 	"time"
 
 	"paralagg/internal/mpi"
+	"paralagg/internal/resource"
 )
+
+// DefaultSendWindow bounds the per-peer outbox of unacknowledged frames
+// when Config.SendWindow is unset. Acks ride heartbeats, so a sender can
+// have at most a window of frames buffered per heartbeat interval — bounded
+// memory however slow (or silent) the receiver is.
+const DefaultSendWindow = 1024
+
+// frameOverheadWords approximates the per-frame bookkeeping beyond payload
+// words (header fields, slice headers) for outbox accounting.
+const frameOverheadWords = 8
 
 // Config describes one rank's endpoint of the mesh.
 type Config struct {
@@ -41,6 +52,19 @@ type Config struct {
 	// FlushTimeout bounds how long a graceful Close waits for queued frames
 	// to drain (default 5s).
 	FlushTimeout time.Duration
+	// SendWindow bounds the per-peer outbox of unacknowledged frames
+	// (default DefaultSendWindow). A Send finding the window exhausted
+	// blocks until acks free credit — credit-based flow control — instead
+	// of buffering without limit. The window also caps what this endpoint
+	// advertises to its peers in heartbeats; a peer under memory pressure
+	// or chaos throttling advertises less and senders honor the smaller of
+	// the two.
+	SendWindow int
+	// SendStallTimeout bounds how long one Send may block on an exhausted
+	// window (default 10s). Past it the peer is treated as unreachable and
+	// the send fails structurally — backpressure must never become a
+	// silent wedge.
+	SendStallTimeout time.Duration
 	// Seed drives the deterministic backoff jitter.
 	Seed int64
 	// Faults injects deterministic wire faults (chaos testing). nil = clean.
@@ -63,15 +87,32 @@ func (c Config) withDefaults() Config {
 	def(&c.ConnectTimeout, 10*time.Second)
 	def(&c.WriteTimeout, 10*time.Second)
 	def(&c.FlushTimeout, 5*time.Second)
+	if c.SendWindow <= 0 {
+		c.SendWindow = DefaultSendWindow
+	}
+	def(&c.SendStallTimeout, 10*time.Second)
 	return c
 }
 
-// netCounters are the transport's robustness meters (lock-free, monotonic).
+// netCounters are the transport's robustness meters (lock-free, monotonic
+// totals except outboxPeak, a high-water gauge).
 type netCounters struct {
 	framesSent, framesRecv     atomic.Int64
 	dialRetries, reconnects    atomic.Int64
 	retransmits, dupsDropped   atomic.Int64
 	heartbeatMisses, crcErrors atomic.Int64
+	throttleStalls             atomic.Int64
+	outboxPeak                 atomic.Int64
+}
+
+// observeMax lifts g to at least v (lock-free running maximum).
+func observeMax(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Transport is one rank's endpoint of a TCP-connected world. It implements
@@ -87,6 +128,10 @@ type Transport struct {
 	handler mpi.Handler
 
 	peers []*peer // nil at self index
+
+	// acctp optionally charges the outbox to a memory accountant and lets
+	// local pressure shrink the advertised receive window. Set before Start.
+	acctp atomic.Pointer[resource.Accountant]
 
 	stop    chan struct{}
 	stopped atomic.Bool
@@ -141,15 +186,42 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 // Net implements mpi.Transport.
 func (t *Transport) Net() mpi.NetStats {
 	return mpi.NetStats{
-		FramesSent:      t.ctr.framesSent.Load(),
-		FramesRecv:      t.ctr.framesRecv.Load(),
-		DialRetries:     t.ctr.dialRetries.Load(),
-		Reconnects:      t.ctr.reconnects.Load(),
-		Retransmits:     t.ctr.retransmits.Load(),
-		DupsDropped:     t.ctr.dupsDropped.Load(),
-		HeartbeatMisses: t.ctr.heartbeatMisses.Load(),
-		CRCErrors:       t.ctr.crcErrors.Load(),
+		FramesSent:       t.ctr.framesSent.Load(),
+		FramesRecv:       t.ctr.framesRecv.Load(),
+		DialRetries:      t.ctr.dialRetries.Load(),
+		Reconnects:       t.ctr.reconnects.Load(),
+		Retransmits:      t.ctr.retransmits.Load(),
+		DupsDropped:      t.ctr.dupsDropped.Load(),
+		HeartbeatMisses:  t.ctr.heartbeatMisses.Load(),
+		CRCErrors:        t.ctr.crcErrors.Load(),
+		ThrottleStalls:   t.ctr.throttleStalls.Load(),
+		OutboxPeakFrames: t.ctr.outboxPeak.Load(),
 	}
+}
+
+// SetAccountant attaches a memory accountant: the outbox charges its
+// buffered words to it, and local pressure shrinks the receive window this
+// endpoint advertises. Call before Start.
+func (t *Transport) SetAccountant(a *resource.Accountant) { t.acctp.Store(a) }
+
+func (t *Transport) acct() *resource.Accountant { return t.acctp.Load() }
+
+// advertWindow computes the receive window this endpoint piggybacks on its
+// heartbeats: the configured window, narrowed by a chaos SlowConsumer spec
+// and by local memory pressure — a pressured rank rate-limits its senders
+// instead of letting their frames pile into its mailboxes.
+func (t *Transport) advertWindow() int64 {
+	w := t.cfg.SendWindow
+	if sc := t.fs.slowConsumerWindow(); sc > 0 && sc < w {
+		w = sc
+	}
+	switch t.acct().Level() {
+	case resource.LevelSoft:
+		w = max(8, w/4)
+	case resource.LevelHard:
+		w = max(4, w/16)
+	}
+	return int64(w)
 }
 
 func (t *Transport) isStopped() bool { return t.stopped.Load() }
@@ -198,8 +270,12 @@ func (t *Transport) Start(h mpi.Handler) error {
 
 // Send implements mpi.Transport: the frame is queued in the destination's
 // outbox (retained until acknowledged, so reconnects can retransmit it)
-// and written asynchronously. Sends to a cleanly departed peer are dropped;
-// sends to a failed peer error.
+// and written asynchronously. The outbox is bounded by the send window —
+// the smaller of our configured window and the peer's advertised credit —
+// so a Send finding it exhausted blocks until acks free space, bounded by
+// SendStallTimeout (credit-based flow control; a never-acking peer cannot
+// grow sender memory past the window). Sends to a cleanly departed peer
+// are dropped; sends to a failed or stalled-past-deadline peer error.
 func (t *Transport) Send(dest, tag int, words []mpi.Word) error {
 	if dest < 0 || dest >= t.size || dest == t.self {
 		return fmt.Errorf("tcp: send to invalid rank %d", dest)
@@ -210,22 +286,62 @@ func (t *Transport) Send(dest, tag int, words []mpi.Word) error {
 	p := t.peers[dest]
 	cp := make([]mpi.Word, len(words))
 	copy(cp, words)
+	var wake *time.Timer // allocated only on the stall path
+	var stallBy time.Time
 	p.mu.Lock()
-	if p.failed {
-		p.mu.Unlock()
-		return fmt.Errorf("tcp: rank %d is dead: %w", dest, mpi.ErrPeerUnreachable)
-	}
-	if p.departed {
-		// The peer finished its run and said goodbye; by the collective
-		// ordering discipline it cannot need anything more from us.
-		p.mu.Unlock()
-		return nil
+	for {
+		if p.failed {
+			p.mu.Unlock()
+			stopTimer(wake)
+			return fmt.Errorf("tcp: rank %d is dead: %w", dest, mpi.ErrPeerUnreachable)
+		}
+		if p.departed {
+			// The peer finished its run and said goodbye; by the collective
+			// ordering discipline it cannot need anything more from us.
+			p.mu.Unlock()
+			stopTimer(wake)
+			return nil
+		}
+		if t.isStopped() {
+			p.mu.Unlock()
+			stopTimer(wake)
+			return errors.New("tcp: transport closed")
+		}
+		if len(p.out) < p.windowLocked() {
+			break
+		}
+		if wake == nil {
+			// First blocked pass: count the stall and arm a periodic wake so
+			// the deadline check runs even if no ack ever arrives.
+			t.ctr.throttleStalls.Add(1)
+			stallBy = time.Now().Add(t.cfg.SendStallTimeout)
+			wake = time.AfterFunc(t.cfg.HeartbeatEvery, p.cond.Broadcast)
+		} else {
+			if time.Now().After(stallBy) {
+				n := len(p.out)
+				p.mu.Unlock()
+				wake.Stop()
+				return fmt.Errorf("tcp: send window to rank %d stalled for %v (%d unacked frames): %w",
+					dest, t.cfg.SendStallTimeout, n, mpi.ErrPeerUnreachable)
+			}
+			wake.Reset(t.cfg.HeartbeatEvery)
+		}
+		p.cond.Wait()
 	}
 	p.seq++
 	p.out = append(p.out, frame{typ: ftData, src: uint32(t.self), tag: int64(tag), seq: p.seq, words: cp})
+	observeMax(&t.ctr.outboxPeak, int64(len(p.out)))
 	p.mu.Unlock()
+	stopTimer(wake)
+	t.acct().AddOutboxWords(int64(len(cp)) + frameOverheadWords)
 	p.cond.Broadcast()
 	return nil
+}
+
+func stopTimer(tm *time.Timer) {
+	if tm != nil {
+		tm.Stop()
+	}
 }
 
 // acceptLoop admits incoming connections and routes them to their peer
@@ -296,7 +412,10 @@ func (t *Transport) heartbeatLoop() {
 			if conn == nil || skip {
 				continue
 			}
-			hb := frame{typ: ftHeartbeat, src: uint32(t.self), seq: ack}
+			// The heartbeat carries the cumulative ack in seq and the
+			// advertised receive window in tag (0 would mean "no credit
+			// protocol" to old peers; advertWindow never returns 0).
+			hb := frame{typ: ftHeartbeat, src: uint32(t.self), tag: t.advertWindow(), seq: ack}
 			if err := p.write(conn, hb); err != nil {
 				p.connLost(gen, err)
 			}

@@ -78,6 +78,14 @@ func (m *Map) ValWidth() int { return m.valW }
 // Len returns the number of entries.
 func (m *Map) Len() int { return m.n }
 
+// MemWords reports the map's retained storage footprint in words: the
+// arena's capacity plus the slot array (two uint32 references per word).
+// Capacities, not lengths — a Reset map still holds its backing memory, and
+// that is what a memory budget must account. O(1).
+func (m *Map) MemWords() int64 {
+	return int64(cap(m.arena)) + int64(cap(m.slots))/2
+}
+
 // Reset empties the map, keeping its arena and slot storage for reuse.
 func (m *Map) Reset() {
 	m.n = 0

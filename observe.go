@@ -37,6 +37,8 @@ const (
 	EventCheckpoint   = obs.KindCheckpoint
 	EventRecovery     = obs.KindRecovery
 	EventRankFailed   = obs.KindRankFailed
+	EventMemPressure  = obs.KindMemPressure
+	EventCkptDegraded = obs.KindCkptDegraded
 )
 
 // ObserverFunc adapts a function to the Observer interface.

@@ -37,6 +37,7 @@ import (
 	"paralagg/internal/obs"
 	"paralagg/internal/ra"
 	"paralagg/internal/relation"
+	"paralagg/internal/resource"
 	"paralagg/internal/tuple"
 )
 
@@ -116,6 +117,18 @@ type Config struct {
 	// value (0 = Watchdog when positive, else 10s).
 	WatchdogCeil time.Duration
 
+	// MemBudget, when positive, is the per-rank accounted-memory budget in
+	// bytes: each rank samples its resident structures (relation arenas,
+	// index trees, scratch, the transport's unacknowledged-frame outbox)
+	// once per fixpoint iteration and the world collectively applies a
+	// pressure ladder. At 85% of the budget (soft) ranks shed scratch pools
+	// and bring the next checkpoint forward; at the budget (hard) the run
+	// fails with a structured resource.ErrMemoryBudget (extract it with
+	// AsMemoryBudget) that Supervise recovers like a rank death — never an
+	// uncontrolled OOM kill. 0 disables accounting. Must be identical on
+	// every rank of a distributed world.
+	MemBudget int64
+
 	// Integrity turns on online divergence detection: every relation
 	// fingerprints its full state, its Δ, and its replicas each iteration
 	// with order-independent digests that ride on the convergence agreement
@@ -183,6 +196,9 @@ func (c Config) Validate() error {
 	}
 	if c.WatchdogCeil != 0 && c.WatchdogFloor > c.WatchdogCeil {
 		return fmt.Errorf("paralagg: Config.WatchdogFloor %v exceeds WatchdogCeil %v", c.WatchdogFloor, c.WatchdogCeil)
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("paralagg: Config.MemBudget must be >= 0, got %d (0 disables memory accounting)", c.MemBudget)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("paralagg: Config.CheckpointEvery must be >= 0, got %d (0 disables checkpointing)", c.CheckpointEvery)
@@ -341,6 +357,9 @@ type Result struct {
 	CommBytes int64
 	// CommMsgs is the total message/collective-lane count.
 	CommMsgs int64
+	// MemPeakBytes is the maximum accounted memory any rank reached
+	// (0 when Config.MemBudget is unset).
+	MemPeakBytes int64
 }
 
 // Exec instantiates prog on a simulated world, loads facts, runs every
@@ -398,7 +417,20 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 	// records its own copy — the values are collective-derived and identical.
 	record := func(c *mpi.Comm) bool { return c.Rank() == 0 || world.Distributed() }
 	body := func(c *mpi.Comm) error {
-		inst, err := prog.Instantiate(c, mc, runCfg)
+		rcfg := runCfg
+		var acct *resource.Accountant
+		if cfg.MemBudget > 0 {
+			// One accountant per rank: the fixpoint samples compute state
+			// into it, and a flow-controlled transport charges its outbox.
+			acct = resource.NewAccountant(cfg.MemBudget)
+			rcfg.Acct = acct
+			if sa, ok := cfg.Transport.(interface {
+				SetAccountant(*resource.Accountant)
+			}); ok {
+				sa.SetAccountant(acct)
+			}
+		}
+		inst, err := prog.Instantiate(c, mc, rcfg)
 		if err != nil {
 			return err
 		}
@@ -410,16 +442,24 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 		}
 		var stats core.RunStats
 		if cfg.Resume {
-			stats, err = inst.Resume(runCfg)
+			stats, err = inst.Resume(rcfg)
 			if err != nil {
 				return err
 			}
 		} else {
-			stats = inst.Run(runCfg)
+			stats = inst.Run(rcfg)
 		}
 		if record(c) {
 			res.StratumIters = stats.StratumIters
 			res.Iterations = stats.TotalIters
+		}
+		if cfg.MemBudget > 0 {
+			// Collective: every rank agrees on the budget, so the schedule
+			// stays uniform.
+			peak := int64(c.Allreduce(uint64(acct.PeakBytes()), mpi.OpMax))
+			if record(c) {
+				res.MemPeakBytes = peak
+			}
 		}
 		// Gather final sizes (collective; identical on all ranks).
 		names := prog.RelationNames()

@@ -15,6 +15,7 @@ type resultJSON struct {
 	IterPhaseSeconds []map[string]float64 `json:"iter_phase_seconds"`
 	CommBytes        int64                `json:"comm_bytes"`
 	CommMsgs         int64                `json:"comm_msgs"`
+	MemPeakBytes     int64                `json:"mem_peak_bytes,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with stable, documented field names
@@ -32,6 +33,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		IterPhaseSeconds: r.IterPhaseSeconds,
 		CommBytes:        r.CommBytes,
 		CommMsgs:         r.CommMsgs,
+		MemPeakBytes:     r.MemPeakBytes,
 	})
 }
 
@@ -52,6 +54,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		IterPhaseSeconds: rj.IterPhaseSeconds,
 		CommBytes:        rj.CommBytes,
 		CommMsgs:         rj.CommMsgs,
+		MemPeakBytes:     rj.MemPeakBytes,
 	}
 	return nil
 }
