@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity chaos-overload verify bench bench-smoke bench-integrity bench-overload
+.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity chaos-overload chaos-recovery verify bench bench-smoke bench-integrity bench-overload bench-recovery
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,15 @@ chaos-integrity:
 chaos-overload:
 	$(GO) run ./cmd/paralagg -chaos-overload
 
+# chaos-recovery runs the hot-replacement suite: a TCP gang loses a rank
+# mid-exchange, survivors park in place with their in-memory state intact,
+# and a replacement process rejoins at the next membership epoch, restores
+# only its own shard, and splices into the retained send histories — the
+# repaired answer bit-identical to the fault-free run at 4 and 8 ranks, and
+# strictly cheaper than the whole-world restart control arm.
+chaos-recovery:
+	$(GO) run ./cmd/paralagg -chaos-recovery
+
 # verify is the CI gate: static checks plus the full suite under the race
 # detector (the SPMD runtime is all goroutines — races are correctness bugs
 # here, not style). The -race pass includes the integrity differentials in
@@ -99,3 +108,13 @@ bench-integrity:
 bench-overload:
 	$(GO) test -run '^$$' -bench 'OverloadSSSPGang4' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_overload.json
+
+# bench-recovery times the repair-strategy differential on the 4- and
+# 8-rank SSSP TCP gangs: the same mid-exchange crash repaired by a hot
+# replacement (survivors parked, one rank respawned) versus the whole-world
+# restart, recording mttr-ms/op — death to completed answer — in
+# BENCH_recovery.json. The pattern is deliberately exact: a bare 'Recovery'
+# would also match the slow simulated-recovery benchmarks.
+bench-recovery:
+	$(GO) test -run '^$$' -bench 'RecoveryHotReplace|RecoveryFullRestart' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_recovery.json

@@ -65,6 +65,9 @@ func main() {
 	runOverloadChaos := flag.Bool("chaos-overload", false, "run the overload chaos suite (slow consumers, memory budgets, full checkpoint devices)")
 	memBudget := flag.Int64("mem-budget", 0, "per-rank accounted-memory budget in bytes: soft pressure at 85% sheds scratch, reaching the budget fails structurally instead of OOM-killing (0 = off)")
 	sendWindow := flag.Int("send-window", 0, "per-peer TCP flow-control window in unacknowledged frames (0 = default 1024; with -transport=tcp)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 0, "TCP liveness beacon interval between peers (0 = default 100ms; with -transport=tcp)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "declare a silent TCP peer dead after this long (0 = 5 heartbeat intervals; must be at least 2x the heartbeat interval; with -transport=tcp)")
+	runRecoveryChaos := flag.Bool("chaos-recovery", false, "run the hot-replacement recovery suite (partial restart with epoch'd membership over real TCP gangs)")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON file of the run (open in chrome://tracing or Perfetto); TCP children write <path>.rankN")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /vars and /debug/pprof on this host:port while the run is in flight; TCP children offset the port by their rank")
 	jsonOut := flag.Bool("json", false, "print the result as a JSON document (stable field names) instead of the human summary")
@@ -84,6 +87,10 @@ func main() {
 	}
 	if *runOverloadChaos {
 		runOverloadChaosSuite()
+		return
+	}
+	if *runRecoveryChaos {
+		runRecoveryChaosSuite()
 		return
 	}
 
@@ -134,6 +141,27 @@ func main() {
 	if *sendWindow > 0 && *transport != "tcp" {
 		log.Fatal("-send-window needs -transport=tcp: the flow-control window bounds the TCP outbox")
 	}
+	if *heartbeatInterval < 0 {
+		log.Fatalf("-heartbeat-interval must be >= 0, got %v (use 0 for the default)", *heartbeatInterval)
+	}
+	if *peerTimeout < 0 {
+		log.Fatalf("-peer-timeout must be >= 0, got %v (use 0 for the default)", *peerTimeout)
+	}
+	if (*heartbeatInterval > 0 || *peerTimeout > 0) && *transport != "tcp" {
+		log.Fatal("-heartbeat-interval and -peer-timeout need -transport=tcp: they tune the socket failure detector")
+	}
+	if *peerTimeout > 0 {
+		// Mirror the transport's own invariant with a flag-level message: a
+		// deadline under two beacon intervals would declare live peers dead
+		// on ordinary scheduling jitter.
+		hb := *heartbeatInterval
+		if hb == 0 {
+			hb = 100 * time.Millisecond
+		}
+		if *peerTimeout < 2*hb {
+			log.Fatalf("-peer-timeout %v is below 2x the heartbeat interval %v: raise it or lower -heartbeat-interval", *peerTimeout, hb)
+		}
+	}
 	if *spawn > 0 {
 		if *transport != "tcp" {
 			log.Fatal("-spawn needs -transport=tcp: it launches one TCP rank process per slot")
@@ -154,7 +182,12 @@ func main() {
 		if *supervise {
 			log.Fatal("-supervise with -transport=tcp belongs to the launcher: use -spawn N -supervise")
 		}
-		tr, err := tcp.New(tcp.Config{Rank: *rank, Peers: addrs, Seed: int64(*rank), SendWindow: *sendWindow})
+		tr, err := tcp.New(tcp.Config{
+			Rank: *rank, Peers: addrs, Seed: int64(*rank),
+			SendWindow:     *sendWindow,
+			HeartbeatEvery: *heartbeatInterval,
+			PeerTimeout:    *peerTimeout,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -642,4 +675,82 @@ func runOverloadChaosSuite() {
 		os.Exit(1)
 	}
 	fmt.Println("\nall overload chaos checks passed")
+}
+
+// runRecoveryChaosSuite executes the hot-replacement recovery differentials:
+// a TCP gang loses its highest rank mid-exchange, the survivors park in
+// place with their in-memory state intact, and a replacement process rejoins
+// at the next membership epoch, restores only its own shard, and splices
+// into the survivors' retained send histories. The repaired answer must be
+// bit-identical to the fault-free in-process run at 4 and 8 ranks (plus the
+// skewed sub-bucket scenario), and the timed control arm — the same crash
+// repaired by a whole-world restart — must cost strictly more, which is the
+// point of keeping the survivors alive.
+func runRecoveryChaosSuite() {
+	failed := 0
+	mttrMS := func(rep *chaos.RecoveryReport) float64 {
+		return float64(rep.MTTR.Microseconds()) / 1e3
+	}
+	scs := chaos.Scenarios()
+	sssp, skew := scs[0], scs[3]
+
+	var hot4 *chaos.RecoveryReport
+	for _, ranks := range []int{4, 8} {
+		rep, err := chaos.TCPHotReplace(sssp, ranks, 2, 5)
+		switch {
+		case err != nil:
+			fmt.Printf("FAIL %-9s hot-replace ranks=%d: %v\n", sssp.Name, ranks, err)
+			failed++
+		case !rep.Identical():
+			fmt.Printf("FAIL %-9s hot-replace ranks=%d: replaced gang diverged from the fault-free answer\n", sssp.Name, ranks)
+			failed++
+		default:
+			fmt.Printf("ok   %-9s hot-replace ranks=%d: rank %d killed mid-exchange, 1 replacement, bit-identical (MTTR %.1fms)\n",
+				sssp.Name, ranks, ranks-1, mttrMS(rep))
+			if ranks == 4 {
+				hot4 = rep
+			}
+		}
+	}
+	rep, err := chaos.TCPHotReplace(skew, 4, 2, 5)
+	switch {
+	case err != nil:
+		fmt.Printf("FAIL %-9s hot-replace ranks=4: %v\n", skew.Name, err)
+		failed++
+	case !rep.Identical():
+		fmt.Printf("FAIL %-9s hot-replace ranks=4: replaced gang diverged from the fault-free answer\n", skew.Name)
+		failed++
+	default:
+		fmt.Printf("ok   %-9s hot-replace ranks=4: skewed sub-buckets survived the replacement, bit-identical (MTTR %.1fms)\n",
+			skew.Name, mttrMS(rep))
+	}
+
+	// Control arm: the same crash repaired the old way. Hot replacement only
+	// earns its complexity if it is strictly cheaper.
+	full, err := chaos.TCPFullRestart(sssp, 4, 2, 5)
+	switch {
+	case err != nil:
+		fmt.Printf("FAIL %-9s full-restart ranks=4: %v\n", sssp.Name, err)
+		failed++
+	case !full.Identical():
+		fmt.Printf("FAIL %-9s full-restart ranks=4: restarted gang diverged from the fault-free answer\n", sssp.Name)
+		failed++
+	default:
+		fmt.Printf("ok   %-9s full-restart ranks=4: whole-world restart control arm, bit-identical (MTTR %.1fms)\n",
+			sssp.Name, mttrMS(full))
+		if hot4 != nil && hot4.MTTR >= full.MTTR {
+			fmt.Printf("FAIL %-9s mttr: hot replacement (%.1fms) did not beat the full restart (%.1fms)\n",
+				sssp.Name, mttrMS(hot4), mttrMS(full))
+			failed++
+		} else if hot4 != nil {
+			fmt.Printf("ok   %-9s mttr: hot replacement %.1fms vs full restart %.1fms (%.0fx cheaper)\n",
+				sssp.Name, mttrMS(hot4), mttrMS(full), float64(full.MTTR)/float64(hot4.MTTR))
+		}
+	}
+
+	if failed > 0 {
+		fmt.Printf("\n%d recovery chaos checks failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall recovery chaos checks passed")
 }

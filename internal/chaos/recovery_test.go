@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"testing"
+)
+
+func TestTCPHotReplaceBitIdentical4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hot-replace chaos differential is not short")
+	}
+	sc := Scenarios()[0] // sssp
+	rep, err := TCPHotReplace(sc, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("hot-replaced gang diverged from the fault-free answer:\n got %v\nwant %v",
+			rep.Recovered, rep.Clean)
+	}
+	if rep.MTTR <= 0 {
+		t.Errorf("MTTR = %v, want > 0", rep.MTTR)
+	}
+}
+
+func TestTCPHotReplaceBitIdentical8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hot-replace chaos differential is not short")
+	}
+	sc := Scenarios()[0] // sssp
+	rep, err := TCPHotReplace(sc, 8, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("hot-replaced gang diverged from the fault-free answer:\n got %v\nwant %v",
+			rep.Recovered, rep.Clean)
+	}
+}
+
+func TestTCPHotReplaceSkewSubBuckets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hot-replace chaos differential is not short")
+	}
+	sc := Scenarios()[3] // sssp-skew, Subs=4: restore must respect sub-bucket placement
+	rep, err := TCPHotReplace(sc, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("hot-replaced skewed gang diverged from the fault-free answer:\n got %v\nwant %v",
+			rep.Recovered, rep.Clean)
+	}
+}
+
+func TestTCPFullRestartBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-restart chaos differential is not short")
+	}
+	sc := Scenarios()[0] // sssp
+	rep, err := TCPFullRestart(sc, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("fully-restarted gang diverged from the fault-free answer:\n got %v\nwant %v",
+			rep.Recovered, rep.Clean)
+	}
+	if rep.MTTR <= 0 {
+		t.Errorf("MTTR = %v, want > 0", rep.MTTR)
+	}
+}

@@ -266,6 +266,45 @@ func (in *Instance) Resume(cfg Config) (RunStats, error) {
 	return stats, nil
 }
 
+// Rejoin re-enters a crashed-and-replaced rank into a still-running gang
+// (hot replacement). cp is this rank's own checkpoint, read rank-locally
+// with ra.PeekRejoin before the transport was built so its wire marks could
+// seed the frame counters. No collective agreement runs — the survivors
+// never tore down, so the only valid position is the one this rank saved —
+// and the restored stratum must not ResetDelta its inputs (the snapshot
+// carries the correct Δ). Strata before the checkpoint's report 0
+// iterations; the replayed stratum and any later ones run as usual.
+func (in *Instance) Rejoin(cfg Config, cp ra.Checkpoint) (RunStats, error) {
+	var stats RunStats
+	if cfg.Checkpoints == nil {
+		return stats, fmt.Errorf("core: Rejoin needs Config.Checkpoints")
+	}
+	if cp.Stratum < 0 || cp.Stratum >= len(in.strata) {
+		return stats, fmt.Errorf("core: checkpoint names stratum %d, program has %d strata", cp.Stratum, len(in.strata))
+	}
+	for s := 0; s < cp.Stratum; s++ {
+		stats.StratumIters = append(stats.StratumIters, 0)
+	}
+	in.enterStratum(cp.Stratum)
+	n, err := in.strata[cp.Stratum].fix.Rejoin(in.options(cfg, cp.Stratum), cp)
+	if err != nil {
+		return stats, err
+	}
+	stats.StratumIters = append(stats.StratumIters, n)
+	stats.TotalIters += n
+	for s := cp.Stratum + 1; s < len(in.strata); s++ {
+		st := in.strata[s]
+		in.enterStratum(s)
+		for _, input := range st.inputs {
+			ra.ResetDelta(input)
+		}
+		n := st.fix.Run(in.options(cfg, s))
+		stats.StratumIters = append(stats.StratumIters, n)
+		stats.TotalIters += n
+	}
+	return stats, nil
+}
+
 // enterStratum publishes the stratum about to run so live events are
 // attributed to it, and streams an obs.KindStratumStart event.
 func (in *Instance) enterStratum(s int) {

@@ -50,6 +50,17 @@ type Server struct {
 	rankFailures   atomic.Int64
 	planVotes      atomic.Int64
 
+	// Supervisor lifecycle counters, one per decision kind, plus the hot-
+	// replacement peer states surfaced by the transport.
+	supRestarts     atomic.Int64
+	supRollbacks    atomic.Int64
+	supDegrades     atomic.Int64
+	supScratch      atomic.Int64
+	supReplacements atomic.Int64
+	supReplaceFails atomic.Int64
+	ranksRecovering atomic.Int64 // peers currently parked awaiting replacement
+	rankRecoveries  atomic.Int64 // re-admissions completed
+
 	// State-integrity counters.
 	divergences      atomic.Int64 // divergence detections (world aborts)
 	ckptValFailures  atomic.Int64 // checkpoint generations failing validation
@@ -200,6 +211,29 @@ func (s *Server) OnEvent(e *obs.Event) {
 		}
 		s.memAccounted.Store(e.Work)
 		s.memBudget.Store(e.Bytes)
+	case obs.KindSupervisor:
+		switch e.Name {
+		case "rollback":
+			s.supRollbacks.Add(1)
+		case "degrade":
+			s.supDegrades.Add(1)
+		case "scratch":
+			s.supScratch.Add(1)
+		case "replace":
+			s.supReplacements.Add(1)
+		case "replace-failed", "gave-up":
+			s.supReplaceFails.Add(1)
+		default: // "restart"
+			s.supRestarts.Add(1)
+		}
+	case obs.KindRankRecovering:
+		s.ranksRecovering.Add(1)
+		s.mu.Lock()
+		s.lastError = fmt.Sprintf("rank %d silent at iter %d, awaiting replacement: %s", e.Rank, e.Iter, e.Err)
+		s.mu.Unlock()
+	case obs.KindRankRecovered:
+		s.ranksRecovering.Add(-1)
+		s.rankRecoveries.Add(1)
 	case obs.KindCkptDegraded:
 		s.ckptDegradations.Add(1)
 		s.mu.Lock()
@@ -215,37 +249,45 @@ func (s *Server) OnEvent(e *obs.Event) {
 // snapshot gathers every counter under one lock for rendering.
 func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, lastErr string) {
 	num = map[string]int64{
-		"attempt":                  s.attempt.Load(),
-		"runs_started":             s.runsStarted.Load(),
-		"runs_ended":               s.runsEnded.Load(),
-		"ranks":                    s.ranks.Load(),
-		"stratum":                  s.stratum.Load(),
-		"iterations":               s.iterations.Load(),
-		"delta_changed":            s.lastChanged.Load(),
-		"comm_bytes":               s.commBytes.Load(),
-		"comm_msgs":                s.commMsgs.Load(),
-		"checkpoints":              s.checkpoints.Load(),
-		"recoveries":               s.recoveries.Load(),
-		"rank_failures":            s.rankFailures.Load(),
-		"plan_votes":               s.planVotes.Load(),
-		"net_retransmits":          s.netRetransmits.Load(),
-		"net_reconnects":           s.netReconnects.Load(),
-		"net_heartbeat_misses":     s.netHBMisses.Load(),
-		"net_crc_errors":           s.netCRCErrors.Load(),
-		"net_frames_sent":          s.netFramesSent.Load(),
-		"net_frames_recv":          s.netFramesRecv.Load(),
-		"net_throttle_stalls":      s.netThrottleStalls.Load(),
-		"net_outbox_peak_frames":   s.netOutboxPeak.Load(),
-		"mem_pressure_soft":        s.memSoftEvents.Load(),
-		"mem_pressure_hard":        s.memHardEvents.Load(),
-		"mem_accounted_bytes":      s.memAccounted.Load(),
-		"mem_budget_bytes":         s.memBudget.Load(),
-		"ckpt_degradations":        s.ckptDegradations.Load(),
-		"divergences":              s.divergences.Load(),
-		"ckpt_validation_failures": s.ckptValFailures.Load(),
-		"ckpt_quarantined":         s.ckptQuarantined.Load(),
-		"fingerprint_nanos":        s.fingerprintNanos.Load(),
-		"checkpoint_age_millis":    -1,
+		"attempt":                     s.attempt.Load(),
+		"runs_started":                s.runsStarted.Load(),
+		"runs_ended":                  s.runsEnded.Load(),
+		"ranks":                       s.ranks.Load(),
+		"stratum":                     s.stratum.Load(),
+		"iterations":                  s.iterations.Load(),
+		"delta_changed":               s.lastChanged.Load(),
+		"comm_bytes":                  s.commBytes.Load(),
+		"comm_msgs":                   s.commMsgs.Load(),
+		"checkpoints":                 s.checkpoints.Load(),
+		"recoveries":                  s.recoveries.Load(),
+		"rank_failures":               s.rankFailures.Load(),
+		"plan_votes":                  s.planVotes.Load(),
+		"net_retransmits":             s.netRetransmits.Load(),
+		"net_reconnects":              s.netReconnects.Load(),
+		"net_heartbeat_misses":        s.netHBMisses.Load(),
+		"net_crc_errors":              s.netCRCErrors.Load(),
+		"net_frames_sent":             s.netFramesSent.Load(),
+		"net_frames_recv":             s.netFramesRecv.Load(),
+		"net_throttle_stalls":         s.netThrottleStalls.Load(),
+		"net_outbox_peak_frames":      s.netOutboxPeak.Load(),
+		"mem_pressure_soft":           s.memSoftEvents.Load(),
+		"mem_pressure_hard":           s.memHardEvents.Load(),
+		"mem_accounted_bytes":         s.memAccounted.Load(),
+		"mem_budget_bytes":            s.memBudget.Load(),
+		"ckpt_degradations":           s.ckptDegradations.Load(),
+		"divergences":                 s.divergences.Load(),
+		"ckpt_validation_failures":    s.ckptValFailures.Load(),
+		"ckpt_quarantined":            s.ckptQuarantined.Load(),
+		"fingerprint_nanos":           s.fingerprintNanos.Load(),
+		"supervisor_restarts":         s.supRestarts.Load(),
+		"supervisor_rollbacks":        s.supRollbacks.Load(),
+		"supervisor_degrades":         s.supDegrades.Load(),
+		"supervisor_scratch_restarts": s.supScratch.Load(),
+		"supervisor_replacements":     s.supReplacements.Load(),
+		"supervisor_replace_failures": s.supReplaceFails.Load(),
+		"ranks_recovering":            s.ranksRecovering.Load(),
+		"rank_recoveries":             s.rankRecoveries.Load(),
+		"checkpoint_age_millis":       -1,
 	}
 	if ts := s.lastCkptUnixNS.Load(); ts > 0 {
 		num["checkpoint_age_millis"] = (time.Now().UnixNano() - ts) / 1e6
@@ -266,6 +308,7 @@ var gaugeNames = map[string]bool{
 	"attempt": true, "ranks": true, "stratum": true, "delta_changed": true,
 	"checkpoint_age_millis": true, "net_outbox_peak_frames": true,
 	"mem_accounted_bytes": true, "mem_budget_bytes": true,
+	"ranks_recovering": true,
 }
 
 // handleMetrics renders Prometheus text exposition format.

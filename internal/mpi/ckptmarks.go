@@ -1,0 +1,104 @@
+package mpi
+
+// Checkpoint wire-mark rendezvous: the collective that makes hot rank
+// replacement sound. A replacement process restores its shard from a
+// checkpoint and re-executes deterministically; survivors absorb the
+// replayed frames through receive-side dedup and retransmit the lost tail
+// from send-side history. For that to work, every checkpoint must record a
+// *consistent cut* of per-pair frame counters: for every ordered pair
+// (S, D), S's recorded sent-to-D count must equal D's recorded
+// received-from-S count, with no frame in flight across the cut.
+//
+// Capturing the counters at checkpoint entry is racy — a fast peer's next-
+// iteration frames can arrive before a slow rank captures, inflating its
+// receive counter past what its restored state consumed, so a replacement
+// seeded from it would dedup frames it actually needs and hang. The
+// rendezvous below produces the cut without any global freeze:
+//
+//	non-root: send gather → recv fanout → capture → recv[root] -= 1
+//	root:     recv all gathers → capture → send fanouts
+//
+// Pairwise: root captures after consuming every gather (gathers counted on
+// both sides) and before sending any fanout; a non-root captures right
+// after consuming the fanout, then excludes it, matching root. Non-root
+// pairs exchange nothing during the rendezvous, and the caller's trailing
+// Barrier keeps any rank from starting next-iteration sends before every
+// rank has captured — so no third-party frame can cross anyone's cut.
+
+// CheckpointMarks runs the rendezvous and returns the consistent per-rank
+// (sent, received) frame counters for this rank. ok is false — and no
+// messages move — when the world is not distributed or the transport does
+// not run the hot-replacement protocol; callers then skip mark recording
+// entirely, keeping non-replaceable runs byte-identical to before. Every
+// rank of a hot-replace world must call it at the same point (it is a
+// collective), and must follow the subsequent checkpoint save with a
+// Barrier before releasing history via WireMarkCheckpoint.
+func (c *Comm) CheckpointMarks() (send, recv []uint64, ok bool) {
+	wr := c.wireRecovery()
+	if wr == nil {
+		return nil, nil, false
+	}
+	if c.rank != 0 {
+		c.collSend("ckptmarks", 0, tagCkptMarks, nil)
+		c.collRecv("ckptmarks", 0, tagCkptMarks)
+		send, recv = wr.WireMarks()
+		recv[0]-- // exclude the fanout frame consumed just above
+		return send, recv, true
+	}
+	for r := 1; r < c.world.size; r++ {
+		c.collRecv("ckptmarks", r, tagCkptMarks)
+	}
+	send, recv = wr.WireMarks()
+	for r := 1; r < c.world.size; r++ {
+		c.collSend("ckptmarks", r, tagCkptMarks, nil)
+	}
+	return send, recv, true
+}
+
+// RejoinMarks re-enters the rendezvous at the post-capture point on a
+// replacement rank whose transport was seeded with a checkpoint's counters.
+// The seeded positions sit exactly at the capture cut: a non-root has
+// logically sent its gather but not received the fanout (the recorded
+// receive count excluded it), so it receives the fanout here — survivors'
+// retained history retransmits it. Root captured before sending fanouts,
+// so it sends them here — survivors that already consumed the originals
+// drop the replays as duplicates. The caller then mirrors the original
+// post-save sequence (Barrier, WireMarkCheckpoint) before resuming the
+// fixpoint, so the replacement's frame stream stays byte-for-byte aligned
+// with the incarnation it replaces.
+func (c *Comm) RejoinMarks() {
+	if c.wireRecovery() == nil {
+		return
+	}
+	if c.rank != 0 {
+		c.collRecv("ckptmarks", 0, tagCkptMarks)
+		return
+	}
+	for r := 1; r < c.world.size; r++ {
+		c.collSend("ckptmarks", r, tagCkptMarks, nil)
+	}
+}
+
+// WireMarkCheckpoint records the current send positions as the newest
+// generation's history mark and releases retained history below the
+// previous generation's mark (the one-generation hold-back that keeps a
+// torn newest checkpoint recoverable). No-op without hot replacement.
+func (c *Comm) WireMarkCheckpoint() {
+	if wr := c.wireRecovery(); wr != nil {
+		wr.MarkCheckpoint()
+	}
+}
+
+// wireRecovery returns the transport's recovery extension when the world is
+// distributed over a transport running the hot-replacement protocol.
+func (c *Comm) wireRecovery() WireRecovery {
+	d := c.world.dist
+	if d == nil {
+		return nil
+	}
+	wr, ok := d.tr.(WireRecovery)
+	if !ok || !wr.HotReplace() {
+		return nil
+	}
+	return wr
+}

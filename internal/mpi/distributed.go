@@ -1,6 +1,11 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"paralagg/internal/obs"
+)
 
 // Distributed execution: one OS process per rank, a real Transport between
 // them. The same World/Comm surface the in-process runtime exposes runs
@@ -60,6 +65,41 @@ func (h distHandler) PeerFailed(rank int, cause error) {
 		Rank: rank, Op: "transport", Iter: int(w.epochs[w.dist.self].Load()),
 		Cause: cause,
 	})
+}
+
+// PeerRecovering implements RecoveryHandler: a silent peer enters the hot
+// replacement window. The world does not fail — receive deadlines park
+// (Recovering) until the transport either re-admits the peer or gives up
+// and calls PeerFailed.
+func (h distHandler) PeerRecovering(rank int, cause error) {
+	w := h.w
+	w.recovering.Add(1)
+	if w.observer != nil {
+		e := obs.Get()
+		e.Kind = obs.KindRankRecovering
+		e.Rank = rank
+		e.Iter = int(w.epochs[w.dist.self].Load())
+		if cause != nil {
+			e.Err = cause.Error()
+		}
+		e.End = time.Now().UnixNano()
+		obs.Emit(w.observer, e)
+	}
+}
+
+// PeerRecovered implements RecoveryHandler: a replacement incarnation (or
+// the original peer, merely slow) was re-admitted; the park lifts.
+func (h distHandler) PeerRecovered(rank int) {
+	w := h.w
+	w.recovering.Add(-1)
+	if w.observer != nil {
+		e := obs.Get()
+		e.Kind = obs.KindRankRecovered
+		e.Rank = rank
+		e.Iter = int(w.epochs[w.dist.self].Load())
+		e.End = time.Now().UnixNano()
+		obs.Emit(w.observer, e)
+	}
 }
 
 // RunLocal starts the transport and executes body as this process's single

@@ -142,10 +142,20 @@ func (c *Comm) sendVia(op string, dest, tag int, words []Word) {
 
 // recvVia blocks for a matching message, bounded by the watchdog timeout
 // when one is configured, and verifies its integrity. On timeout the
-// receiving rank fails with ErrRecvTimeout; on checksum mismatch the world
-// fails with ErrCorruptMessage attributed to the sender.
+// receiving rank fails with ErrRecvTimeout — unless a peer is parked in the
+// hot-replacement window (Recovering), in which case the wait is re-armed:
+// the replacement's re-admission or the transport's ReplaceTimeout decides
+// whether the message eventually arrives or the world aborts. On checksum
+// mismatch the world fails with ErrCorruptMessage attributed to the sender.
 func (c *Comm) recvVia(op string, src, tag int, timeout time.Duration) message {
 	msg, err := c.world.boxes[c.rank].take(src, tag, timeout)
+	for {
+		re, _ := err.(*recvError)
+		if re == nil || !re.timeout || !c.world.Recovering() {
+			break
+		}
+		msg, err = c.world.boxes[c.rank].take(src, tag, timeout)
+	}
 	if err != nil {
 		re := err.(*recvError)
 		if re.abort != nil {

@@ -29,6 +29,7 @@ const (
 	tagBcast
 	tagGather
 	tagAllreduceVec
+	tagCkptMarks
 )
 
 // collSend pushes an internal collective message.

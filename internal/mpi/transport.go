@@ -48,6 +48,39 @@ type Handler interface {
 	PeerFailed(rank int, cause error)
 }
 
+// RecoveryHandler is an optional Handler extension a transport consults
+// when hot rank replacement is enabled: instead of going straight to
+// PeerFailed, a silent peer first becomes recovering — survivors park
+// (receive deadlines are suspended, senders hold) while a replacement
+// incarnation is admitted — and PeerRecovered lifts the park. PeerFailed
+// still follows PeerRecovering when no replacement appears in time.
+type RecoveryHandler interface {
+	// PeerRecovering reports that rank went silent but a replacement is
+	// being awaited. Called at most once per outage.
+	PeerRecovering(rank int, cause error)
+	// PeerRecovered reports that a replacement (or the original peer,
+	// merely slow) was re-admitted.
+	PeerRecovered(rank int)
+}
+
+// WireRecovery is an optional Transport extension for hot rank
+// replacement: globally consistent per-peer frame counters captured at
+// checkpoints (the wire position a replacement resumes from) and the
+// send-history hold-back that keeps the post-checkpoint tail replayable.
+type WireRecovery interface {
+	// HotReplace reports whether the replacement protocol is enabled on
+	// this endpoint.
+	HotReplace() bool
+	// WireMarks snapshots the per-rank (sent, received) data-frame
+	// counters. Only meaningful inside the checkpoint rendezvous, where
+	// no frames are in flight.
+	WireMarks() (send, recv []uint64)
+	// MarkCheckpoint records the current send positions as this
+	// generation's history mark and releases history below the previous
+	// generation's mark.
+	MarkCheckpoint()
+}
+
 // NetStats counts the robustness events of a networked transport: how hard
 // the wire fought back and how hard the transport fought to stay correct.
 // All fields are monotonic totals.

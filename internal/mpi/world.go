@@ -64,6 +64,14 @@ type World struct {
 	// collectives unwind and Run returns.
 	observer obs.Observer
 
+	// recovering counts peers the transport declared silent but replaceable
+	// (hot rank replacement): while it is non-zero, receive deadlines park
+	// instead of failing, so survivors wait out the replacement window. The
+	// transport's ReplaceTimeout bounds the park — a peer that never comes
+	// back transitions to PeerFailed, which poisons the world and unblocks
+	// everything.
+	recovering atomic.Int64
+
 	// abort holds the first rank failure; it is set exactly once and then
 	// read lock-free from every blocking wait. abortCh closes alongside it
 	// so injected hangs (and any other channel-based waits) can unblock.
@@ -129,6 +137,10 @@ func (w *World) SetWatchdog(timeout time.Duration) { w.watchdog = timeout }
 // SetObserver attaches a live event stream for world-level events (rank
 // failures). It must be called before Run; nil (the default) is free.
 func (w *World) SetObserver(o obs.Observer) { w.observer = o }
+
+// Recovering reports whether any peer is parked in the hot-replacement
+// window (silent but not yet declared dead).
+func (w *World) Recovering() bool { return w.recovering.Load() > 0 }
 
 // fail records the first rank failure, poisons the world, and wakes every
 // blocked wait (collective slot, mailboxes, injected hangs) so each blocked

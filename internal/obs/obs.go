@@ -71,23 +71,39 @@ const (
 	// saves failed (ENOSPC, short write) and the run fell back to an
 	// in-memory sink. Err carries the storage error.
 	KindCkptDegraded
+	// KindRankRecovering reports that a peer went silent and the world is
+	// parked awaiting its hot replacement: Rank is the silent peer, Err the
+	// detector's cause. KindRankRecovered follows when a replacement (or
+	// the original, merely slow) is re-admitted.
+	KindRankRecovering
+	// KindRankRecovered reports a peer's re-admission after recovery.
+	KindRankRecovered
+	// KindSupervisor reports one supervisor lifecycle decision: Name is
+	// the action ("restart", "rollback", "degrade", "scratch", "replace",
+	// "replace-failed", "gave-up"), Count the recovery attempt ordinal,
+	// Rank the lost rank (-1 when not rank-specific), Ranks the world size
+	// the next attempt runs at.
+	KindSupervisor
 )
 
 var kindNames = [...]string{
-	KindRunStart:     "run-start",
-	KindRunEnd:       "run-end",
-	KindStratumStart: "stratum-start",
-	KindPhase:        "phase",
-	KindPlan:         "plan",
-	KindIteration:    "iteration",
-	KindRelation:     "relation",
-	KindCheckpoint:   "checkpoint",
-	KindRecovery:     "recovery",
-	KindRankFailed:   "rank-failed",
-	KindDivergence:   "divergence",
-	KindCkptScan:     "ckpt-scan",
-	KindMemPressure:  "mem-pressure",
-	KindCkptDegraded: "ckpt-degraded",
+	KindRunStart:       "run-start",
+	KindRunEnd:         "run-end",
+	KindStratumStart:   "stratum-start",
+	KindPhase:          "phase",
+	KindPlan:           "plan",
+	KindIteration:      "iteration",
+	KindRelation:       "relation",
+	KindCheckpoint:     "checkpoint",
+	KindRecovery:       "recovery",
+	KindRankFailed:     "rank-failed",
+	KindDivergence:     "divergence",
+	KindCkptScan:       "ckpt-scan",
+	KindMemPressure:    "mem-pressure",
+	KindCkptDegraded:   "ckpt-degraded",
+	KindRankRecovering: "rank-recovering",
+	KindRankRecovered:  "rank-recovered",
+	KindSupervisor:     "supervisor",
 }
 
 func (k Kind) String() string {

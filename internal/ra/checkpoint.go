@@ -44,6 +44,14 @@ type Checkpoint struct {
 	// corrupt relation payload is named, not just detected. Empty means the
 	// payload carries no section structure (whole-file validation only).
 	SectionSums []uint64
+	// SendSeqs and RecvSeqs are the per-peer wire frame counters captured at
+	// the checkpoint-marks rendezvous (mpi.CheckpointMarks), len Ranks each.
+	// They seed a hot-replacement transport so the replacement's frame
+	// stream aligns with the incarnation it replaces. Empty on worlds not
+	// running the replacement protocol; the on-disk format only grows the v3
+	// header when they are present, so existing v2 files stay byte-stable.
+	SendSeqs []uint64
+	RecvSeqs []uint64
 }
 
 // CheckpointSink stores the most recent Keep checkpoint generations per
@@ -209,6 +217,8 @@ func NewMemoryCheckpointSinkKeep(keep int) *MemoryCheckpointSink {
 func (s *MemoryCheckpointSink) Save(rank int, cp Checkpoint) error {
 	cp.Words = append([]mpi.Word(nil), cp.Words...)
 	cp.SectionSums = append([]uint64(nil), cp.SectionSums...)
+	cp.SendSeqs = append([]uint64(nil), cp.SendSeqs...)
+	cp.RecvSeqs = append([]uint64(nil), cp.RecvSeqs...)
 	g := memGen{cp: cp, sum: ckptSum(cp.Words)}
 	s.mu.Lock()
 	gens := append(s.gens[rank], g)
@@ -239,6 +249,8 @@ func (s *MemoryCheckpointSink) copyAt(rank, i int) Checkpoint {
 	cp := s.gens[rank][i].cp
 	cp.Words = append([]mpi.Word(nil), cp.Words...)
 	cp.SectionSums = append([]uint64(nil), cp.SectionSums...)
+	cp.SendSeqs = append([]uint64(nil), cp.SendSeqs...)
+	cp.RecvSeqs = append([]uint64(nil), cp.RecvSeqs...)
 	return cp
 }
 
@@ -337,9 +349,11 @@ type FileCheckpointSink struct {
 }
 
 const (
-	ckptMagic   uint64 = 0x70614c43_6b707432 // "paLCkpt2": legacy single-generation format
-	ckptMagicV2 uint64 = 0x70614c43_6b707433 // "paLCkpt3": versioned manifest format
-	ckptVersion uint64 = 2
+	ckptMagic     uint64 = 0x70614c43_6b707432 // "paLCkpt2": legacy single-generation format
+	ckptMagicV2   uint64 = 0x70614c43_6b707433 // "paLCkpt3": versioned manifest format
+	ckptMagicV3   uint64 = 0x70614c43_6b707434 // "paLCkpt4": manifest + wire-mark format
+	ckptVersion   uint64 = 2
+	ckptVersionV3 uint64 = 3
 )
 
 // ckptHeaderWords is the fixed prefix of a legacy checkpoint file: magic,
@@ -390,18 +404,38 @@ func (s FileCheckpointSink) rankGens(rank int) ([]int, error) {
 	return gens, nil
 }
 
-// encodeCkpt renders cp in the v2 format: header, manifest, payload, and a
-// trailing CRC32C over every preceding byte.
+// encodeCkpt renders cp in the v2 format — header, manifest, payload, and a
+// trailing CRC32C over every preceding byte — or, when wire marks are
+// present, the v3 format that inserts a marks block (count word, SendSeqs,
+// RecvSeqs) between the header and the manifest. Mark-free checkpoints stay
+// byte-identical to what every earlier build wrote.
 func encodeCkpt(cp Checkpoint) []byte {
 	ns := len(cp.SectionSums)
-	buf := make([]byte, 8*(ckptV2HeaderWords+ns+1+len(cp.Words)+1))
-	binary.LittleEndian.PutUint64(buf[0:], ckptMagicV2)
-	binary.LittleEndian.PutUint64(buf[8:], ckptVersion)
+	nm := len(cp.SendSeqs)
+	magic, version, marksWords := ckptMagicV2, ckptVersion, 0
+	if nm > 0 {
+		magic, version, marksWords = ckptMagicV3, ckptVersionV3, 1+2*nm
+	}
+	buf := make([]byte, 8*(ckptV2HeaderWords+marksWords+ns+1+len(cp.Words)+1))
+	binary.LittleEndian.PutUint64(buf[0:], magic)
+	binary.LittleEndian.PutUint64(buf[8:], version)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(cp.Ranks))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(cp.Stratum))
 	binary.LittleEndian.PutUint64(buf[32:], uint64(cp.Iter))
 	binary.LittleEndian.PutUint64(buf[40:], uint64(ns))
 	off := 8 * ckptV2HeaderWords
+	if nm > 0 {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(nm))
+		off += 8
+		for _, v := range cp.SendSeqs {
+			binary.LittleEndian.PutUint64(buf[off:], v)
+			off += 8
+		}
+		for _, v := range cp.RecvSeqs {
+			binary.LittleEndian.PutUint64(buf[off:], v)
+			off += 8
+		}
+	}
 	for _, sum := range cp.SectionSums {
 		binary.LittleEndian.PutUint64(buf[off:], sum)
 		off += 8
@@ -422,18 +456,21 @@ func decodeCkpt(path string, buf []byte) (Checkpoint, error) {
 	if len(buf) < 8 {
 		return Checkpoint{}, fmt.Errorf("ra: %s is not a checkpoint file", path)
 	}
+	wantVersion := ckptVersion
 	switch binary.LittleEndian.Uint64(buf) {
 	case ckptMagic:
 		return decodeLegacyCkpt(path, buf)
 	case ckptMagicV2:
+	case ckptMagicV3:
+		wantVersion = ckptVersionV3
 	default:
 		return Checkpoint{}, fmt.Errorf("ra: %s is not a checkpoint file", path)
 	}
 	if len(buf) < 8*(ckptV2HeaderWords+2) {
 		return Checkpoint{}, fmt.Errorf("ra: %s truncated inside the header", path)
 	}
-	if v := binary.LittleEndian.Uint64(buf[8:]); v != ckptVersion {
-		return Checkpoint{}, fmt.Errorf("ra: %s has checkpoint format version %d, this build reads %d", path, v, ckptVersion)
+	if v := binary.LittleEndian.Uint64(buf[8:]); v != wantVersion {
+		return Checkpoint{}, fmt.Errorf("ra: %s has checkpoint format version %d, this build reads %d", path, v, wantVersion)
 	}
 	cp := Checkpoint{
 		Ranks:   int(binary.LittleEndian.Uint64(buf[16:])),
@@ -441,10 +478,30 @@ func decodeCkpt(path string, buf []byte) (Checkpoint, error) {
 		Iter:    int(binary.LittleEndian.Uint64(buf[32:])),
 	}
 	ns := int(binary.LittleEndian.Uint64(buf[40:]))
-	if ns < 0 || len(buf) < 8*(ckptV2HeaderWords+ns+1) {
+	off := 8 * ckptV2HeaderWords
+	if wantVersion == ckptVersionV3 {
+		if len(buf) < off+8*2 {
+			return Checkpoint{}, fmt.Errorf("ra: %s truncated inside the marks block", path)
+		}
+		nm := int(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		if nm <= 0 || len(buf) < off+8*(2*nm+1) {
+			return Checkpoint{}, fmt.Errorf("ra: %s truncated inside the marks block (%d marks declared)", path, nm)
+		}
+		cp.SendSeqs = make([]uint64, nm)
+		cp.RecvSeqs = make([]uint64, nm)
+		for i := range cp.SendSeqs {
+			cp.SendSeqs[i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+		for i := range cp.RecvSeqs {
+			cp.RecvSeqs[i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+	}
+	if ns < 0 || len(buf) < off+8*(ns+1) {
 		return Checkpoint{}, fmt.Errorf("ra: %s truncated inside the manifest (%d sections declared)", path, ns)
 	}
-	off := 8 * ckptV2HeaderWords
 	if ns > 0 {
 		cp.SectionSums = make([]uint64, ns)
 		for i := range cp.SectionSums {
@@ -579,16 +636,45 @@ func (s FileCheckpointSink) writeGen(final string, data []byte) error {
 
 // pruneGens removes rank's oldest on-disk generations so at most keepN of
 // the listed ones remain. Already-vanished files are fine (a concurrent
-// scan may have quarantined them).
+// scan may have quarantined them). Quarantine files (.bad) older than the
+// oldest retained generation are removed too: a quarantined generation no
+// longer appears in gens, so without this sweep its .bad husk would escape
+// keep-K retention and accumulate forever in long supervised runs.
 func (s FileCheckpointSink) pruneGens(rank int, gens []int, keepN int) error {
-	if over := len(gens) - keepN; over > 0 {
+	over := len(gens) - keepN
+	if over > 0 {
 		for _, g := range gens[:over] {
 			if err := os.Remove(s.path(rank, g)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return err
 			}
 		}
 	}
+	if len(gens) > 0 {
+		floor := gens[0]
+		if over > 0 {
+			floor = gens[over]
+		}
+		s.pruneBad(rank, floor)
+	}
 	return nil
+}
+
+// pruneBad removes rank's quarantined generation files (.bad) older than
+// floor, the oldest generation retention still keeps. Newer quarantines are
+// preserved for inspection exactly as long as a healthy sibling would be.
+func (s FileCheckpointSink) pruneBad(rank, floor int) {
+	ents, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		var r, g int
+		if n, _ := fmt.Sscanf(e.Name(), "rank-%d.gen-%d.ckpt.bad", &r, &g); n == 2 &&
+			r == rank && g >= 0 && g < floor &&
+			e.Name() == filepath.Base(s.path(rank, g))+".bad" {
+			os.Remove(filepath.Join(s.Dir, e.Name()))
+		}
+	}
 }
 
 // ckptFile is the handle writeFileSync writes through.
@@ -890,6 +976,25 @@ func LatestAgreed(comm *mpi.Comm, sink CheckpointSink) (Checkpoint, bool, error)
 	}
 	if err := agreeOutcome(comm, lerr); err != nil {
 		return Checkpoint{}, false, err
+	}
+	return cp, true, nil
+}
+
+// PeekRejoin reads rank's newest valid checkpoint without any collective
+// agreement: the hot-replacement entry point. A replacement process must
+// seed its transport's frame counters from the checkpoint's wire marks
+// BEFORE the transport (and hence any collective) exists, so the read is
+// strictly rank-local; the survivors' retained state, not an agreement
+// protocol, guarantees the generation is the one the gang checkpointed.
+// ok=false with a nil error means the rank holds no valid checkpoint.
+func PeekRejoin(sink CheckpointSink, rank int) (Checkpoint, bool, error) {
+	cp, ok, err := sink.Latest(rank)
+	if err != nil || !ok {
+		return Checkpoint{}, false, err
+	}
+	if len(cp.SendSeqs) != cp.Ranks || len(cp.RecvSeqs) != cp.Ranks {
+		return Checkpoint{}, false, fmt.Errorf(
+			"ra: rank %d's checkpoint carries no wire marks (saved without hot replacement enabled)", rank)
 	}
 	return cp, true, nil
 }

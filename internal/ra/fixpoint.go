@@ -300,6 +300,38 @@ func (f *Fixpoint) Resume(opts Options) (int, error) {
 	return f.run(opts, pos.Iter), nil
 }
 
+// Rejoin re-enters the fixpoint on a hot-replacement rank. cp is this
+// rank's own checkpoint (PeekRejoin), already used to seed the transport's
+// frame counters before the world existed. Unlike Resume there is no
+// collective agreement — the survivors never left, so the position is
+// whatever this rank saved last — and the restore is strictly rank-local.
+// After restoring the shard, the rank replays the original run's
+// post-capture checkpoint sequence (marks fanout, barrier, history mark) so
+// its frame stream re-aligns with the dead incarnation's, then re-executes
+// iterations from cp.Iter: frames the survivors already consumed are
+// dropped as duplicates on their side, frames this rank needs are
+// retransmitted from their held-back history, and the frames the crash
+// lost are regenerated. Deterministic re-execution makes the splice exact.
+func (f *Fixpoint) Rejoin(opts Options, cp Checkpoint) (int, error) {
+	if cp.Stratum != opts.Stratum {
+		return 0, fmt.Errorf("ra: checkpoint belongs to stratum %d, rejoining stratum %d", cp.Stratum, opts.Stratum)
+	}
+	if cp.Ranks != f.Comm.Size() {
+		return 0, fmt.Errorf("ra: checkpoint was written by a %d-rank world, cannot rejoin a %d-rank world", cp.Ranks, f.Comm.Size())
+	}
+	timer := metrics.StartTimer()
+	if err := f.restoreSnapshot(opts, cp.Words); err != nil {
+		return 0, err
+	}
+	f.MC.Record(f.Comm.Rank(), cp.Iter, metrics.PhaseRecovery,
+		timer.Done(int64(len(cp.Words)), int64(len(cp.Words)*mpi.WordBytes), 0))
+	f.emitRecovery(opts, "rejoin", cp.Iter, len(cp.Words)*mpi.WordBytes)
+	f.Comm.RejoinMarks()
+	f.Comm.Barrier()
+	f.Comm.WireMarkCheckpoint()
+	return f.run(opts, cp.Iter), nil
+}
+
 // emitCkptScan streams the recovery scan's integrity outcome: the
 // process-wide cumulative validation-failure and quarantine counters after
 // LatestValid settled on a position. A supervisor or live exporter diffs
@@ -385,6 +417,11 @@ func (f *Fixpoint) remapSnapshots(opts Options, cps []Checkpoint) (int, error) {
 // silently void the fault-tolerance contract.
 func (f *Fixpoint) checkpoint(opts Options, iter int) {
 	timer := metrics.StartTimer()
+	// Hot replacement: agree on a consistent cut of the wire's frame
+	// counters first (a no-op rendezvous otherwise), so the saved state and
+	// the saved wire position describe the same instant. The trailing
+	// Barrier below keeps history release ordered after every rank's save.
+	sendMarks, recvMarks, marked := f.Comm.CheckpointMarks()
 	var words []mpi.Word
 	var sums []uint64
 	for _, rel := range f.snapshotSet(opts) {
@@ -394,7 +431,8 @@ func (f *Fixpoint) checkpoint(opts Options, iter int) {
 		words = append(words, sub...)
 	}
 	rank := f.Comm.Rank()
-	cp := Checkpoint{Ranks: f.Comm.Size(), Stratum: opts.Stratum, Iter: iter, Words: words, SectionSums: sums}
+	cp := Checkpoint{Ranks: f.Comm.Size(), Stratum: opts.Stratum, Iter: iter, Words: words, SectionSums: sums,
+		SendSeqs: sendMarks, RecvSeqs: recvMarks}
 	sink := opts.Sink
 	if f.fallbackSink != nil {
 		sink = f.fallbackSink
@@ -435,6 +473,12 @@ func (f *Fixpoint) checkpoint(opts Options, iter int) {
 		if tp, ok := target.(Tamperer); ok {
 			tp.TamperNewest(rank)
 		}
+	}
+	if marked {
+		// No rank may start next-iteration sends before every rank captured
+		// and saved; only then may retained send history roll forward.
+		f.Comm.Barrier()
+		f.Comm.WireMarkCheckpoint()
 	}
 	f.MC.Record(rank, iter-1, metrics.PhaseCheckpoint,
 		timer.Done(int64(len(words)), int64(len(words)*mpi.WordBytes), 0))

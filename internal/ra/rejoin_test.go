@@ -1,0 +1,125 @@
+package ra
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paralagg/internal/mpi"
+)
+
+// Rejoin-path checkpoint tests: the v3 wire-mark format round-trips, the
+// rank-local PeekRejoin entry point enforces its preconditions, and keep-K
+// retention sweeps quarantined (.bad) husks out with their generation.
+
+func TestCheckpointV3MarksRoundTrip(t *testing.T) {
+	sinks := map[string]CheckpointSink{
+		"memory": NewMemoryCheckpointSink(),
+		"file":   FileCheckpointSink{Dir: t.TempDir()},
+	}
+	want := Checkpoint{
+		Ranks: 3, Stratum: 1, Iter: 4,
+		Words:    []mpi.Word{7, 8, 9},
+		SendSeqs: []uint64{0, 12, 34},
+		RecvSeqs: []uint64{0, 56, 78},
+	}
+	for name, sink := range sinks {
+		t.Run(name, func(t *testing.T) {
+			if err := sink.Save(1, want); err != nil {
+				t.Fatal(err)
+			}
+			cp, ok, err := sink.Latest(1)
+			if err != nil || !ok {
+				t.Fatalf("Latest: ok=%v err=%v", ok, err)
+			}
+			if cp.Iter != want.Iter || len(cp.Words) != 3 || cp.Words[2] != 9 {
+				t.Errorf("payload damaged: %+v", cp)
+			}
+			if len(cp.SendSeqs) != 3 || cp.SendSeqs[1] != 12 || cp.SendSeqs[2] != 34 {
+				t.Errorf("SendSeqs = %v, want %v", cp.SendSeqs, want.SendSeqs)
+			}
+			if len(cp.RecvSeqs) != 3 || cp.RecvSeqs[1] != 56 || cp.RecvSeqs[2] != 78 {
+				t.Errorf("RecvSeqs = %v, want %v", cp.RecvSeqs, want.RecvSeqs)
+			}
+		})
+	}
+}
+
+func TestPeekRejoinPreconditions(t *testing.T) {
+	sink := NewMemoryCheckpointSink()
+
+	// Empty sink: no checkpoint is not an error, just ok=false.
+	if _, ok, err := PeekRejoin(sink, 0); ok || err != nil {
+		t.Errorf("PeekRejoin on empty sink: ok=%v err=%v, want false/nil", ok, err)
+	}
+
+	// A markless checkpoint (saved without hot replacement enabled) cannot
+	// seed a transport: surfacing it as usable would splice a replacement in
+	// at an unknown wire position.
+	if err := sink.Save(0, Checkpoint{Ranks: 2, Iter: 4, Words: []mpi.Word{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := PeekRejoin(sink, 0); ok || err == nil {
+		t.Errorf("PeekRejoin on markless checkpoint: ok=%v err=%v, want false/error", ok, err)
+	} else if !strings.Contains(err.Error(), "wire marks") {
+		t.Errorf("error does not name the missing marks: %v", err)
+	}
+
+	// With marks present the read is rank-local and complete.
+	want := Checkpoint{Ranks: 2, Iter: 6, Words: []mpi.Word{2},
+		SendSeqs: []uint64{0, 9}, RecvSeqs: []uint64{0, 8}}
+	if err := sink.Save(0, want); err != nil {
+		t.Fatal(err)
+	}
+	cp, ok, err := PeekRejoin(sink, 0)
+	if err != nil || !ok {
+		t.Fatalf("PeekRejoin with marks: ok=%v err=%v", ok, err)
+	}
+	if cp.Iter != 6 || cp.SendSeqs[1] != 9 || cp.RecvSeqs[1] != 8 {
+		t.Errorf("PeekRejoin returned %+v, want iter=6 marks intact", cp)
+	}
+}
+
+// TestFileSinkPrunesOrphanedQuarantineFiles: a quarantined generation no
+// longer appears in the healthy scan, so without the .bad sweep its husk
+// would survive keep-K retention forever. Once retention's floor passes the
+// quarantined generation, the husk must go with it.
+func TestFileSinkPrunesOrphanedQuarantineFiles(t *testing.T) {
+	dir := t.TempDir()
+	sink := FileCheckpointSink{Dir: dir, Keep: 2}
+	for i := 1; i <= 2; i++ {
+		if err := sink.Save(0, Checkpoint{Ranks: 1, Iter: 2 * i, Words: []mpi.Word{uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest generation; the next scan quarantines it aside.
+	if !sink.TamperNewest(0) {
+		t.Fatal("TamperNewest found nothing to corrupt")
+	}
+	if _, ok, err := sink.Latest(0); err != nil || !ok {
+		t.Fatalf("Latest after tamper: ok=%v err=%v", ok, err)
+	}
+	bads, _ := filepath.Glob(filepath.Join(dir, "*.bad"))
+	if len(bads) != 1 {
+		t.Fatalf("quarantine files after tamper: %v, want exactly one", bads)
+	}
+
+	// Newer saves advance retention past the quarantined generation: the
+	// healthy victims of keep-K pruning AND the .bad husk must both go.
+	for i := 3; i <= 6; i++ {
+		if err := sink.Save(0, Checkpoint{Ranks: 1, Iter: 2 * i, Words: []mpi.Word{uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bads, _ = filepath.Glob(filepath.Join(dir, "*.bad"))
+	if len(bads) != 0 {
+		t.Errorf("orphaned quarantine files escaped retention: %v", bads)
+	}
+	healthy, _ := filepath.Glob(filepath.Join(dir, "rank-0000*.ckpt"))
+	if len(healthy) != 2 {
+		t.Errorf("%d healthy generations retained with Keep=2: %v", len(healthy), healthy)
+	}
+	if cp, ok, err := sink.Latest(0); err != nil || !ok || cp.Iter != 12 {
+		t.Errorf("Latest after pruning: iter=%d ok=%v err=%v, want 12", cp.Iter, ok, err)
+	}
+}

@@ -44,6 +44,14 @@ type Config struct {
 	// size, and the lost ranks, and returns the new size. Degrade is ignored
 	// when set. Chaos tests use it to pin N/2 restarts deterministically.
 	NextRanks func(restart, prev int, lost []int) int
+	// Notify, when set, receives one call per lifecycle decision: action is
+	// "restart" (same-size rebuild), "rollback" (divergence-triggered
+	// rebuild), "degrade" (rebuild at a smaller world size), or "gave-up"
+	// (budget exhausted, terminal); restart is the restart ordinal (1 = the
+	// first recovery), nextRanks the size the next attempt runs at, lost the
+	// ranks the incident killed. The paralagg surface binds it to the
+	// Observer stream and /metrics gauges.
+	Notify func(action string, restart, nextRanks int, lost []int)
 	// Logf receives one structured line per lifecycle event (nil = silent).
 	Logf func(format string, args ...any)
 	// Sleep replaces time.Sleep in tests (nil = real sleep).
@@ -163,6 +171,9 @@ func Run(ranks int, cfg Config, body func(attempt, ranks int, resume bool) error
 		cfg.logf("supervisor: attempt=%d lost ranks %v: %v", attempt, at.Lost, err)
 		if attempt >= cfg.maxRestarts() {
 			rep.Attempts = append(rep.Attempts, at)
+			if cfg.Notify != nil {
+				cfg.Notify("gave-up", attempt, ranks, at.Lost)
+			}
 			return rep, fmt.Errorf("%w after %d restarts: %w", ErrGaveUp, attempt, err)
 		}
 
@@ -175,6 +186,15 @@ func Run(ranks int, cfg Config, body func(attempt, ranks int, resume bool) error
 		}
 		if next < cfg.minRanks() {
 			next = cfg.minRanks()
+		}
+		if cfg.Notify != nil {
+			action := "restart"
+			if _, diverged := mpi.AsStateDivergence(err); diverged {
+				action = "rollback"
+			} else if next < ranks {
+				action = "degrade"
+			}
+			cfg.Notify(action, attempt+1, next, at.Lost)
 		}
 
 		// Exponential backoff with ±50% deterministic jitter.

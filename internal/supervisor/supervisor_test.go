@@ -227,3 +227,40 @@ func TestRankFailuresCollectsAndDedupes(t *testing.T) {
 		t.Error("nil error yielded failures")
 	}
 }
+
+// TestRunBackoffJitterVariesAcrossSeeds: each seed's schedule is
+// deterministic (pinned above), and distinct seeds must desynchronize —
+// gangs restarted under different seeds do not thunder in lockstep.
+func TestRunBackoffJitterVariesAcrossSeeds(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		_, err := Run(4, Config{
+			MaxRestarts: 4, Backoff: 8 * time.Millisecond, BackoffMax: 64 * time.Millisecond,
+			Seed: seed, Sleep: noSleep(&delays),
+		}, func(attempt, ranks int, resume bool) error {
+			if attempt < 4 {
+				return rankFail(0)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return delays
+	}
+	a, b, c := schedule(1), schedule(2), schedule(3)
+	same := func(x, y []time.Duration) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, b) && same(b, c) {
+		t.Errorf("three seeds produced identical backoff schedules: %v", a)
+	}
+	if again := schedule(2); !same(b, again) {
+		t.Errorf("seed 2 not reproducible: %v vs %v", b, again)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"paralagg/internal/mpi"
 )
 
 // peer is one remote rank's connection state: the (single, duplex) TCP
@@ -26,15 +28,26 @@ type peer struct {
 	gen int
 
 	// out is the retransmission queue: every data frame since the last
-	// cumulative ack, in seq order. next indexes the first not-yet-written
-	// frame; a reconnect rewinds next to 0 (after pruning to the peer's
-	// acked position) so the undelivered tail is sent again.
+	// cumulative ack, in seq order — plus, with hot replacement enabled,
+	// acked history back to the hold floor (the replay inventory a rejoining
+	// replacement is fed). next indexes the first not-yet-written frame; a
+	// reconnect rewinds next to 0 (after pruning the releasable prefix) so
+	// the undelivered tail is sent again.
 	out  []frame
 	next int
 	// seq numbers outgoing data frames (1-based); lastRecv is the highest
 	// in-order seq received from the peer — the cumulative ack we advertise
 	// in hellos and heartbeats, and the dedup horizon for retransmits.
 	seq, lastRecv uint64
+	// acked is the highest cumulative ack the peer ever sent us: the flow
+	// control horizon. Distinct from the prune position once history is
+	// held back for replacement replay.
+	acked uint64
+	// mark is the send position recorded at the latest checkpoint; holdFloor
+	// is the previous checkpoint's mark — frames above it are retained even
+	// when acked, so a replacement restoring either of the two newest
+	// checkpoint generations can be replayed its lost tail.
+	mark, holdFloor uint64
 	// maxWritten is the highest seq ever put on the wire; rewriting at or
 	// below it counts as a retransmission.
 	maxWritten uint64
@@ -42,10 +55,18 @@ type peer struct {
 	// heartbeat (0 until the first one arrives). Senders honor the smaller
 	// of it and the local configured window.
 	advertised int64
+	// epoch is the peer's membership incarnation as last admitted. Hellos
+	// from a lower epoch are rejected; a higher epoch resurrects the peer.
+	epoch uint64
 
 	lastAlive time.Time
 	departed  bool // peer said bye: a clean exit, not a crash
 	failed    bool // failure detector declared the peer dead
+	// recovering parks the peer between failure detection and the admission
+	// of a higher-epoch replacement (or the ReplaceTimeout fallback to
+	// failed). Senders suspend their stall deadlines while it is set.
+	recovering   bool
+	recoverSince time.Time
 
 	everConn bool
 	// writeMu serializes frame writes on the connection (the writer loop
@@ -60,6 +81,17 @@ func newPeer(t *Transport, rank int) *peer {
 		dialer:    t.self > rank,
 		firstConn: make(chan struct{}),
 		lastAlive: time.Now(),
+	}
+	// A rejoining replacement resumes the dead incarnation's wire position:
+	// sends continue its exact frame numbering (survivors dedup the replayed
+	// prefix) and the receive horizon rewinds to what the restored state
+	// consumed (survivor history replay is accepted above it).
+	if len(t.cfg.InitialSendSeqs) == t.size {
+		p.seq = t.cfg.InitialSendSeqs[rank]
+		p.mark = p.seq
+	}
+	if len(t.cfg.InitialRecvSeqs) == t.size {
+		p.lastRecv = t.cfg.InitialRecvSeqs[rank]
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
@@ -79,8 +111,9 @@ func (p *peer) connectLoop() {
 		}
 		if !t.fs.partitioned(p.rank) {
 			if conn := p.dialOnce(); conn != nil {
-				p.attach(conn.c, conn.ack)
-				return
+				if p.attach(conn.c, conn.ack, conn.epoch) {
+					return
+				}
 			}
 		}
 		if attempt > 0 {
@@ -126,12 +159,14 @@ func jitterHash(seed int64, a, b, c int) uint64 {
 }
 
 type handshook struct {
-	c   net.Conn
-	ack uint64
+	c     net.Conn
+	ack   uint64
+	epoch uint64
 }
 
 // dialOnce makes one connection attempt including the hello handshake:
-// send our rank and receive position, read the peer's. nil means try again.
+// send our rank, receive position, and membership epoch; read the peer's.
+// nil means try again.
 func (p *peer) dialOnce() *handshook {
 	t := p.t
 	conn, err := net.DialTimeout("tcp", t.cfg.Peers[p.rank], t.cfg.DialAttemptTimeout)
@@ -142,7 +177,8 @@ func (p *peer) dialOnce() *handshook {
 	p.mu.Lock()
 	ack := p.lastRecv
 	p.mu.Unlock()
-	hello := encodeFrame(nil, frame{typ: ftHello, src: uint32(t.self), tag: helloMagic, seq: ack})
+	hello := encodeFrame(nil, frame{typ: ftHello, src: uint32(t.self), tag: helloMagic, seq: ack,
+		words: []mpi.Word{t.cfg.Epoch}})
 	if _, err := conn.Write(hello); err != nil {
 		conn.Close()
 		return nil
@@ -154,25 +190,36 @@ func (p *peer) dialOnce() *handshook {
 		return nil
 	}
 	conn.SetDeadline(time.Time{})
-	return &handshook{c: conn, ack: reply.seq}
+	return &handshook{c: conn, ack: reply.seq, epoch: frameEpoch(reply)}
 }
 
-// attach installs a freshly handshaken connection: prune the outbox to the
-// peer's acknowledged position, rewind the write cursor so the undelivered
-// tail retransmits, and spawn this incarnation's reader and writer.
-func (p *peer) attach(conn net.Conn, peerAck uint64) {
+// attach installs a freshly handshaken connection: admit the peer's
+// membership epoch (rejecting stale incarnations, resurrecting on a higher
+// one), prune the outbox's releasable prefix, rewind the write cursor so
+// the retained tail retransmits, and spawn this incarnation's reader and
+// writer.
+func (p *peer) attach(conn net.Conn, peerAck, epoch uint64) bool {
 	t := p.t
 	p.mu.Lock()
-	if t.isStopped() || p.failed {
+	if t.isStopped() || p.failed || epoch < p.epoch {
 		p.mu.Unlock()
 		conn.Close()
-		return
+		return false
 	}
+	// Admit the epoch (a higher one is a replacement incarnation; the same
+	// one reconnecting is a peer that was merely slow) and lift any recovery
+	// park. lastRecv survives — a replacement replays the dead incarnation's
+	// exact frame numbering, so the dedup horizon must not regress.
+	if epoch > p.epoch {
+		p.epoch = epoch
+	}
+	resurrected := p.recovering
+	p.recovering = false
 	if p.conn != nil {
 		// A stale connection the dialer already replaced: retire it.
 		p.conn.Close()
 	}
-	p.pruneLocked(peerAck)
+	p.ackLocked(peerAck)
 	p.next = 0
 	p.conn = conn
 	p.gen++
@@ -181,6 +228,11 @@ func (p *peer) attach(conn net.Conn, peerAck uint64) {
 	reconnect := p.everConn
 	p.everConn = true
 	p.mu.Unlock()
+	if resurrected {
+		if rh, ok := t.handler.(mpi.RecoveryHandler); ok {
+			rh.PeerRecovered(p.rank)
+		}
+	}
 	if reconnect {
 		t.ctr.reconnects.Add(1)
 	}
@@ -195,6 +247,7 @@ func (p *peer) attach(conn net.Conn, peerAck uint64) {
 	}()
 	p.firstOnce.Do(func() { close(p.firstConn) })
 	p.cond.Broadcast()
+	return true
 }
 
 // windowLocked returns the effective send window toward this peer: the
@@ -208,12 +261,45 @@ func (p *peer) windowLocked() int {
 	return w
 }
 
-// pruneLocked drops outbox frames at or below the cumulative ack,
-// releasing their accounted words. Requires p.mu held.
-func (p *peer) pruneLocked(ack uint64) {
+// ackLocked records a cumulative ack and drops the releasable outbox
+// prefix: everything acked, except that with hot replacement enabled frames
+// above the hold floor are retained as replay history for a rejoining
+// replacement. Requires p.mu held.
+func (p *peer) ackLocked(ack uint64) {
+	if ack > p.acked {
+		p.acked = ack
+	}
+	limit := p.acked
+	if p.t.HotReplace() && p.holdFloor < limit {
+		limit = p.holdFloor
+	}
+	p.dropLocked(limit)
+}
+
+// unackedLocked counts outbox frames above the flow-control horizon (the
+// outbox is seq-contiguous, so this is arithmetic, not a scan). Requires
+// p.mu held.
+func (p *peer) unackedLocked() int {
+	if len(p.out) == 0 {
+		return 0
+	}
+	first := p.out[0].seq
+	if p.acked < first {
+		return len(p.out)
+	}
+	n := len(p.out) - int(p.acked-first+1)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// dropLocked discards outbox frames at or below limit, releasing their
+// accounted words. Requires p.mu held.
+func (p *peer) dropLocked(limit uint64) {
 	drop := 0
 	var freed int64
-	for drop < len(p.out) && p.out[drop].seq <= ack {
+	for drop < len(p.out) && p.out[drop].seq <= limit {
 		freed += int64(len(p.out[drop].words)) + frameOverheadWords
 		drop++
 	}
@@ -284,6 +370,13 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 			p.mu.Unlock() // stale incarnation still draining its buffer
 			return
 		}
+		if f.typ == ftHeartbeat && frameEpoch(f) < p.epoch {
+			// A beacon from a dead incarnation that raced the epoch
+			// admission: its ack and credit are stale, and it must not
+			// refresh liveness.
+			p.mu.Unlock()
+			continue
+		}
 		p.lastAlive = time.Now()
 		deliver := false
 		switch f.typ {
@@ -295,7 +388,7 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 				deliver = true
 			}
 		case ftHeartbeat:
-			p.pruneLocked(f.seq)
+			p.ackLocked(f.seq)
 			p.advertised = f.tag
 		case ftBye:
 			p.departed = true

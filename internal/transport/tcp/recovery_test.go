@@ -1,0 +1,373 @@
+package tcp
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"paralagg/internal/mpi"
+)
+
+// Hot-replacement protocol tests: epoch'd membership admission, the
+// recovering park between failure detection and replacement arrival, and
+// the seeded-mark replay that splices a replacement into the survivors'
+// retained send histories.
+
+// recCapture extends capture with the RecoveryHandler callbacks.
+type recCapture struct {
+	*capture
+	recovering chan capturedFail
+	recovered  chan int
+}
+
+func newRecCapture() *recCapture {
+	return &recCapture{
+		capture:    newCapture(),
+		recovering: make(chan capturedFail, 16),
+		recovered:  make(chan int, 16),
+	}
+}
+
+func (c *recCapture) PeerRecovering(rank int, cause error) {
+	c.recovering <- capturedFail{rank: rank, cause: cause}
+}
+
+func (c *recCapture) PeerRecovered(rank int) { c.recovered <- rank }
+
+// replaceConfig is fastConfig with the replacement protocol enabled.
+func replaceConfig() Config {
+	cfg := fastConfig()
+	cfg.PeerTimeout = 120 * time.Millisecond
+	cfg.ReplaceTimeout = 10 * time.Second
+	return cfg
+}
+
+func TestNewRejectsBadSeedVectorLengths(t *testing.T) {
+	peers := []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"}
+	if _, err := New(Config{Rank: 0, Peers: peers, InitialSendSeqs: []uint64{1}}); err == nil {
+		t.Error("New accepted a send-seq vector shorter than the world")
+	}
+	if _, err := New(Config{Rank: 0, Peers: peers, InitialRecvSeqs: make([]uint64, 5)}); err == nil {
+		t.Error("New accepted a recv-seq vector longer than the world")
+	}
+}
+
+// TestReplacementResurrectsRecoveringPeer is the protocol's happy path: a
+// killed rank turns recovering (not failed), senders park, and a
+// higher-epoch incarnation on the same address lifts the park and carries
+// traffic again.
+func TestReplacementResurrectsRecoveringPeer(t *testing.T) {
+	trs := newMesh(t, 2, func(_ int, cfg *Config) { *cfg = withAddrs(replaceConfig(), *cfg) })
+	caps := []*recCapture{newRecCapture(), newRecCapture()}
+	startRecMesh(t, trs, caps)
+	defer trs[0].Close()
+
+	addr1 := trs[1].Addr()
+	trs[1].Kill()
+
+	select {
+	case f := <-caps[0].recovering:
+		if f.rank != 1 {
+			t.Fatalf("rank %d recovering, want 1", f.rank)
+		}
+	case f := <-caps[0].fails:
+		t.Fatalf("peer went straight to failed (%v), want recovering first", f.cause)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PeerRecovering within 5s of the kill")
+	}
+
+	// A parked sender must hold, not error: queue a frame toward the dead
+	// rank before the replacement exists.
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- trs[0].Send(1, 7, []mpi.Word{42}) }()
+
+	ln := rebind(t, addr1)
+	cfg := replaceConfig()
+	cfg.Rank = 1
+	cfg.Peers = []string{trs[0].Addr(), addr1}
+	cfg.Listener = ln
+	cfg.Epoch = 1
+	repl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replCap := newRecCapture()
+	if err := repl.Start(replCap); err != nil {
+		t.Fatalf("replacement start: %v", err)
+	}
+	defer repl.Close()
+
+	select {
+	case r := <-caps[0].recovered:
+		if r != 1 {
+			t.Fatalf("rank %d recovered, want 1", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PeerRecovered within 5s of the replacement's start")
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("send queued during the park failed: %v", err)
+	}
+	got := recvN(t, replCap.capture, 1, 5*time.Second)
+	if got[0].tag != 7 || got[0].words[0] != 42 {
+		t.Fatalf("replacement received tag=%d words=%v, want tag=7 words=[42]", got[0].tag, got[0].words)
+	}
+
+	// And the reverse direction: the replacement's fresh frames reach the
+	// survivor (its receive horizon for rank 1 never advanced).
+	if err := repl.Send(0, 8, []mpi.Word{43}); err != nil {
+		t.Fatal(err)
+	}
+	back := recvN(t, caps[0].capture, 1, 5*time.Second)
+	if back[0].src != 1 || back[0].tag != 8 {
+		t.Fatalf("survivor received src=%d tag=%d, want src=1 tag=8", back[0].src, back[0].tag)
+	}
+}
+
+// TestStaleEpochHelloRejected: once a higher-epoch replacement is admitted,
+// hellos from the dead incarnation's epoch must be refused — its Start
+// cannot establish a mesh — while the live pair is undisturbed.
+func TestStaleEpochHelloRejected(t *testing.T) {
+	trs := newMesh(t, 2, func(_ int, cfg *Config) { *cfg = withAddrs(replaceConfig(), *cfg) })
+	caps := []*recCapture{newRecCapture(), newRecCapture()}
+	startRecMesh(t, trs, caps)
+	defer trs[0].Close()
+
+	addr1 := trs[1].Addr()
+	trs[1].Kill()
+	select {
+	case <-caps[0].recovering:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PeerRecovering within 5s of the kill")
+	}
+
+	ln := rebind(t, addr1)
+	cfg := replaceConfig()
+	cfg.Rank = 1
+	cfg.Peers = []string{trs[0].Addr(), addr1}
+	cfg.Listener = ln
+	cfg.Epoch = 2
+	repl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replCap := newRecCapture()
+	if err := repl.Start(replCap); err != nil {
+		t.Fatalf("replacement start: %v", err)
+	}
+	defer repl.Close()
+	select {
+	case <-caps[0].recovered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PeerRecovered within 5s of the replacement's start")
+	}
+
+	// The zombie: the dead incarnation's epoch, dialing from a throwaway
+	// address (its own listen port is occupied by the replacement, exactly
+	// as in a real respawn race). The survivor must refuse its hello.
+	zln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcfg := replaceConfig()
+	zcfg.Rank = 1
+	zcfg.Peers = []string{trs[0].Addr(), zln.Addr().String()}
+	zcfg.Listener = zln
+	zcfg.Epoch = 1
+	zcfg.ConnectTimeout = 400 * time.Millisecond
+	zombie, err := New(zcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zombie.Close()
+	if err := zombie.Start(newRecCapture()); !errors.Is(err, mpi.ErrPeerUnreachable) {
+		t.Fatalf("stale-epoch start: %v, want ErrPeerUnreachable", err)
+	}
+
+	// The admitted pair still carries traffic.
+	if err := trs[0].Send(1, 9, []mpi.Word{1}); err != nil {
+		t.Fatal(err)
+	}
+	recvN(t, replCap.capture, 1, 5*time.Second)
+}
+
+// TestSeededMarksSpliceReplayExactly: the survivor's retained history is
+// replayed on attach, the replacement's seeded receive horizon drops the
+// already-consumed prefix, and only the post-mark tail is delivered.
+func TestSeededMarksSpliceReplayExactly(t *testing.T) {
+	trs := newMesh(t, 2, func(_ int, cfg *Config) { *cfg = withAddrs(replaceConfig(), *cfg) })
+	caps := []*recCapture{newRecCapture(), newRecCapture()}
+	startRecMesh(t, trs, caps)
+	defer trs[0].Close()
+
+	// Pre-mark traffic: frames 1..5, then the checkpoint rendezvous's mark.
+	for i := 1; i <= 5; i++ {
+		if err := trs[0].Send(1, i, []mpi.Word{mpi.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, caps[1].capture, 5, 5*time.Second)
+	_, recvMarks := trs[1].WireMarks()
+	if recvMarks[0] != 5 {
+		t.Fatalf("recv mark %d after 5 frames, want 5", recvMarks[0])
+	}
+	sendMarks, _ := trs[1].WireMarks()
+	trs[0].MarkCheckpoint()
+	trs[1].MarkCheckpoint()
+
+	// Post-mark traffic the replacement must be replayed: frames 6..10.
+	for i := 6; i <= 10; i++ {
+		if err := trs[0].Send(1, i, []mpi.Word{mpi.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, caps[1].capture, 5, 5*time.Second)
+
+	addr1 := trs[1].Addr()
+	trs[1].Kill()
+	select {
+	case <-caps[0].recovering:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no PeerRecovering within 5s of the kill")
+	}
+
+	ln := rebind(t, addr1)
+	cfg := replaceConfig()
+	cfg.Rank = 1
+	cfg.Peers = []string{trs[0].Addr(), addr1}
+	cfg.Listener = ln
+	cfg.Epoch = 1
+	cfg.InitialSendSeqs = sendMarks
+	cfg.InitialRecvSeqs = recvMarks
+	repl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replCap := newRecCapture()
+	if err := repl.Start(replCap); err != nil {
+		t.Fatalf("replacement start: %v", err)
+	}
+	defer repl.Close()
+
+	// Exactly the post-mark tail arrives, in order; the pre-mark prefix is
+	// deduplicated below the seeded horizon.
+	tail := recvN(t, replCap.capture, 5, 5*time.Second)
+	for i, m := range tail {
+		if want := 6 + i; m.tag != want || m.words[0] != mpi.Word(want) {
+			t.Fatalf("replayed frame %d: tag=%d words=%v, want tag=%d", i, m.tag, m.words, want)
+		}
+	}
+	if dups := repl.Net().DupsDropped; dups != 5 {
+		t.Errorf("replacement dropped %d duplicate frames, want 5 (the pre-mark prefix)", dups)
+	}
+	select {
+	case m := <-replCap.msgs:
+		t.Fatalf("unexpected extra frame after the tail: tag=%d words=%v", m.tag, m.words)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestMarkCheckpointHoldsOneAckedGeneration: frames acked before the newest
+// mark must survive pruning for one more generation, so a replacement
+// restoring the previous checkpoint can still be replayed its tail. Frames
+// below the hold floor (two generations old) are released.
+func TestMarkCheckpointHoldsOneAckedGeneration(t *testing.T) {
+	trs := newMesh(t, 2, func(_ int, cfg *Config) { *cfg = withAddrs(replaceConfig(), *cfg) })
+	caps := []*recCapture{newRecCapture(), newRecCapture()}
+	startRecMesh(t, trs, caps)
+	defer trs[0].Close()
+	defer trs[1].Close()
+
+	p := trs[0].peers[1]
+	waitAcked := func(n uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			p.mu.Lock()
+			acked := p.acked
+			p.mu.Unlock()
+			if acked >= n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("peer acked %d of %d frames within 5s", acked, n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Generation 1: frames 1..3, acked, marked. The hold floor is still 0,
+	// so everything is retained despite the acks.
+	for i := 1; i <= 3; i++ {
+		if err := trs[0].Send(1, i, []mpi.Word{mpi.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, caps[1].capture, 3, 5*time.Second)
+	waitAcked(3)
+	trs[0].MarkCheckpoint()
+	p.mu.Lock()
+	retained := len(p.out)
+	p.mu.Unlock()
+	if retained != 3 {
+		t.Fatalf("outbox retains %d frames after the first mark, want 3 (acked history held back)", retained)
+	}
+
+	// Generation 2: frames 4..6, acked, marked. The hold floor advances to
+	// the first mark (seq 3): generation 1 is releasable, generation 2 held.
+	for i := 4; i <= 6; i++ {
+		if err := trs[0].Send(1, i, []mpi.Word{mpi.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvN(t, caps[1].capture, 3, 5*time.Second)
+	waitAcked(6)
+	trs[0].MarkCheckpoint()
+	p.mu.Lock()
+	retained = len(p.out)
+	var first uint64
+	if retained > 0 {
+		first = p.out[0].seq
+	}
+	p.mu.Unlock()
+	if retained != 3 || first != 4 {
+		t.Fatalf("outbox retains %d frames starting at seq %d after the second mark, want 3 starting at 4", retained, first)
+	}
+}
+
+// withAddrs grafts cfg's identity fields (rank, peers, listener) onto a
+// fresh template — newMesh fills identity in, templates carry tuning.
+func withAddrs(tmpl, id Config) Config {
+	tmpl.Rank = id.Rank
+	tmpl.Peers = id.Peers
+	tmpl.Listener = id.Listener
+	return tmpl
+}
+
+// rebind re-listens on a fixed address the dead incarnation just released,
+// retrying briefly while the OS frees it.
+func rebind(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// startRecMesh mirrors startMesh for RecoveryHandler captures.
+func startRecMesh(t *testing.T, trs []*Transport, caps []*recCapture) {
+	t.Helper()
+	hs := make([]mpi.Handler, len(caps))
+	for i := range caps {
+		hs[i] = caps[i]
+	}
+	startMesh(t, trs, hs)
+}

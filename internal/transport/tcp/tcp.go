@@ -65,6 +65,35 @@ type Config struct {
 	// the send fails structurally — backpressure must never become a
 	// silent wedge.
 	SendStallTimeout time.Duration
+	// PeerTimeout is the failure-detector deadline: a peer silent (no
+	// frames of any kind) for longer is declared dead. It defaults to
+	// HeartbeatEvery × HeartbeatMisses and must be at least 2×HeartbeatEvery
+	// to survive ordinary jitter.
+	PeerTimeout time.Duration
+	// Epoch is this endpoint's membership incarnation. The first process to
+	// host a rank runs epoch 0; a hot replacement for a dead rank rejoins
+	// with a strictly higher epoch. Epochs ride hello and heartbeat frames:
+	// a hello from a lower epoch than the one already admitted is rejected
+	// (stale traffic from a dead incarnation), a higher epoch resurrects the
+	// peer instead of leaving it permanently failed.
+	Epoch uint64
+	// ReplaceTimeout > 0 enables hot rank replacement: a peer the failure
+	// detector would declare dead is instead marked recovering — senders
+	// park instead of failing, send-side history is retained back to the
+	// previous checkpoint mark (see MarkCheckpoint) so a rejoining
+	// replacement can be replayed the post-checkpoint tail — and only if no
+	// higher-epoch incarnation is admitted within ReplaceTimeout does the
+	// peer fail for real (the full-restart fallback). Every member of a gang
+	// must agree on whether replacement is enabled.
+	ReplaceTimeout time.Duration
+	// InitialSendSeqs/InitialRecvSeqs seed the per-peer data-frame counters
+	// of a rejoining endpoint from its checkpoint's wire marks (indexed by
+	// rank; own entry ignored): sends resume the dead incarnation's exact
+	// numbering so survivors dedup the replayed prefix, and the receive
+	// horizon is rewound to what the restored state actually consumed so
+	// survivors' history replay is accepted. len must be 0 or Size.
+	InitialSendSeqs []uint64
+	InitialRecvSeqs []uint64
 	// Seed drives the deterministic backoff jitter.
 	Seed int64
 	// Faults injects deterministic wire faults (chaos testing). nil = clean.
@@ -91,6 +120,7 @@ func (c Config) withDefaults() Config {
 		c.SendWindow = DefaultSendWindow
 	}
 	def(&c.SendStallTimeout, 10*time.Second)
+	def(&c.PeerTimeout, c.HeartbeatEvery*time.Duration(c.HeartbeatMisses))
 	return c
 }
 
@@ -149,6 +179,15 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.Rank < 0 || cfg.Rank >= size {
 		return nil, fmt.Errorf("tcp: rank %d out of range [0, %d)", cfg.Rank, size)
 	}
+	if cfg.PeerTimeout < 2*cfg.HeartbeatEvery {
+		return nil, fmt.Errorf("tcp: peer timeout %v below 2× heartbeat interval %v", cfg.PeerTimeout, cfg.HeartbeatEvery)
+	}
+	if n := len(cfg.InitialSendSeqs); n != 0 && n != size {
+		return nil, fmt.Errorf("tcp: %d initial send seqs for a %d-rank world", n, size)
+	}
+	if n := len(cfg.InitialRecvSeqs); n != 0 && n != size {
+		return nil, fmt.Errorf("tcp: %d initial recv seqs for a %d-rank world", n, size)
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -205,6 +244,53 @@ func (t *Transport) Net() mpi.NetStats {
 func (t *Transport) SetAccountant(a *resource.Accountant) { t.acctp.Store(a) }
 
 func (t *Transport) acct() *resource.Accountant { return t.acctp.Load() }
+
+// HotReplace implements mpi.WireRecovery: whether this endpoint runs the
+// hot-replacement membership protocol (Config.ReplaceTimeout > 0).
+func (t *Transport) HotReplace() bool { return t.cfg.ReplaceTimeout > 0 }
+
+// WireMarks implements mpi.WireRecovery: a point-in-time snapshot of the
+// per-peer data-frame counters — how many frames this endpoint has sent to
+// and received from each rank (own entry zero). Captured inside the
+// checkpoint rendezvous, the vectors are globally consistent and name the
+// exact wire position a replacement must resume from.
+func (t *Transport) WireMarks() (send, recv []uint64) {
+	send = make([]uint64, t.size)
+	recv = make([]uint64, t.size)
+	for r, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		send[r], recv[r] = p.seq, p.lastRecv
+		p.mu.Unlock()
+	}
+	return send, recv
+}
+
+// MarkCheckpoint implements mpi.WireRecovery: record the current send
+// position toward every peer as this checkpoint generation's history mark
+// and advance the hold-back floor to the previous generation's mark. The
+// one-generation lag means a replacement whose newest checkpoint file was
+// torn can still restore the generation before it and be replayed the full
+// tail — history retention is bounded by one checkpoint interval per
+// generation, i.e. by CheckpointEvery iterations of traffic.
+func (t *Transport) MarkCheckpoint() {
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.holdFloor = p.mark
+		p.mark = p.seq
+		limit := p.acked
+		if p.holdFloor < limit {
+			limit = p.holdFloor
+		}
+		p.dropLocked(limit)
+		p.mu.Unlock()
+	}
+}
 
 // advertWindow computes the receive window this endpoint piggybacks on its
 // heartbeats: the configured window, narrowed by a chaos SlowConsumer spec
@@ -307,7 +393,11 @@ func (t *Transport) Send(dest, tag int, words []mpi.Word) error {
 			stopTimer(wake)
 			return errors.New("tcp: transport closed")
 		}
-		if len(p.out) < p.windowLocked() {
+		// Flow control is over unacknowledged frames, not outbox length:
+		// with hot replacement enabled the outbox also retains acked history
+		// back to the hold floor, and replay inventory must not consume
+		// window credit.
+		if p.unackedLocked() < p.windowLocked() {
 			break
 		}
 		if wake == nil {
@@ -317,8 +407,14 @@ func (t *Transport) Send(dest, tag int, words []mpi.Word) error {
 			stallBy = time.Now().Add(t.cfg.SendStallTimeout)
 			wake = time.AfterFunc(t.cfg.HeartbeatEvery, p.cond.Broadcast)
 		} else {
+			if p.recovering {
+				// The peer is awaiting a hot replacement: parking here is the
+				// recovery barrier, bounded by ReplaceTimeout (expiry marks
+				// the peer failed, which exits this loop with an error).
+				stallBy = time.Now().Add(t.cfg.SendStallTimeout)
+			}
 			if time.Now().After(stallBy) {
-				n := len(p.out)
+				n := p.unackedLocked()
 				p.mu.Unlock()
 				wake.Stop()
 				return fmt.Errorf("tcp: send window to rank %d stalled for %v (%d unacked frames): %w",
@@ -330,7 +426,7 @@ func (t *Transport) Send(dest, tag int, words []mpi.Word) error {
 	}
 	p.seq++
 	p.out = append(p.out, frame{typ: ftData, src: uint32(t.self), tag: int64(tag), seq: p.seq, words: cp})
-	observeMax(&t.ctr.outboxPeak, int64(len(p.out)))
+	observeMax(&t.ctr.outboxPeak, int64(p.unackedLocked()))
 	p.mu.Unlock()
 	stopTimer(wake)
 	t.acct().AddOutboxWords(int64(len(cp)) + frameOverheadWords)
@@ -377,16 +473,32 @@ func (t *Transport) serveConn(conn net.Conn) {
 		conn.Close() // a partitioned peer cannot complete a handshake
 		return
 	}
+	epoch := frameEpoch(hello)
 	p.mu.Lock()
+	stale := epoch < p.epoch
 	ack := p.lastRecv
 	p.mu.Unlock()
-	reply := encodeFrame(nil, frame{typ: ftHello, src: uint32(t.self), tag: helloMagic, seq: ack})
+	if stale {
+		conn.Close() // hello from a dead incarnation: reject its traffic
+		return
+	}
+	reply := encodeFrame(nil, frame{typ: ftHello, src: uint32(t.self), tag: helloMagic, seq: ack,
+		words: []mpi.Word{t.cfg.Epoch}})
 	if _, err := conn.Write(reply); err != nil {
 		conn.Close()
 		return
 	}
 	conn.SetDeadline(time.Time{})
-	p.attach(conn, hello.seq)
+	p.attach(conn, hello.seq, epoch)
+}
+
+// frameEpoch extracts the membership epoch a hello or heartbeat carries in
+// its first payload word (0 for frames from pre-epoch endpoints).
+func frameEpoch(f frame) uint64 {
+	if len(f.words) > 0 {
+		return f.words[0]
+	}
+	return 0
 }
 
 // heartbeatLoop beacons liveness (and the cumulative ack) to every
@@ -412,10 +524,13 @@ func (t *Transport) heartbeatLoop() {
 			if conn == nil || skip {
 				continue
 			}
-			// The heartbeat carries the cumulative ack in seq and the
+			// The heartbeat carries the cumulative ack in seq, the
 			// advertised receive window in tag (0 would mean "no credit
-			// protocol" to old peers; advertWindow never returns 0).
-			hb := frame{typ: ftHeartbeat, src: uint32(t.self), tag: t.advertWindow(), seq: ack}
+			// protocol" to old peers; advertWindow never returns 0), and the
+			// membership epoch as its payload word so stale-epoch beacons
+			// from a dead incarnation are rejectable.
+			hb := frame{typ: ftHeartbeat, src: uint32(t.self), tag: t.advertWindow(), seq: ack,
+				words: []mpi.Word{t.cfg.Epoch}}
 			if err := p.write(conn, hb); err != nil {
 				p.connLost(gen, err)
 			}
@@ -424,12 +539,16 @@ func (t *Transport) heartbeatLoop() {
 }
 
 // monitorLoop is the failure detector: a peer silent (no frames of any
-// kind) for longer than HeartbeatEvery×HeartbeatMisses is declared dead,
-// once, to the handler — the same structured failure path the in-process
-// watchdog feeds.
+// kind) for longer than PeerTimeout is declared dead, once, to the handler
+// — the same structured failure path the in-process watchdog feeds. With
+// hot replacement enabled (ReplaceTimeout > 0) the declaration is softened
+// to a recovering state first: senders park, history is held, and only a
+// replacement that fails to appear within ReplaceTimeout turns the peer
+// into a real PeerFailed (the full-restart fallback).
 func (t *Transport) monitorLoop() {
 	defer t.wg.Done()
-	window := t.cfg.HeartbeatEvery * time.Duration(t.cfg.HeartbeatMisses)
+	window := t.cfg.PeerTimeout
+	replace := t.HotReplace()
 	tick := time.NewTicker(t.cfg.HeartbeatEvery)
 	defer tick.Stop()
 	for {
@@ -445,8 +564,23 @@ func (t *Transport) monitorLoop() {
 			}
 			p.mu.Lock()
 			silent := now.Sub(p.lastAlive)
-			dead := !p.departed && !p.failed && silent > window
-			miss := !p.departed && !p.failed && silent > t.cfg.HeartbeatEvery
+			live := !p.departed && !p.failed
+			miss := live && !p.recovering && silent > t.cfg.HeartbeatEvery
+			var dead, recovering bool
+			if live && silent > window {
+				switch {
+				case replace && !p.recovering:
+					p.recovering = true
+					p.recoverSince = now
+					recovering = true
+				case !replace:
+					dead = true
+				}
+			}
+			if live && p.recovering && now.Sub(p.recoverSince) > t.cfg.ReplaceTimeout {
+				p.recovering = false
+				dead = true
+			}
 			if dead {
 				p.failed = true
 			}
@@ -455,15 +589,25 @@ func (t *Transport) monitorLoop() {
 			if miss {
 				t.ctr.heartbeatMisses.Add(1)
 			}
+			if recovering {
+				if conn != nil {
+					conn.Close()
+				}
+				p.cond.Broadcast()
+				if rh, ok := t.handler.(mpi.RecoveryHandler); ok {
+					rh.PeerRecovering(p.rank, fmt.Errorf(
+						"tcp: rank %d silent for %v (> %v), awaiting replacement: %w",
+						p.rank, silent.Round(time.Millisecond), window, mpi.ErrPeerUnreachable))
+				}
+			}
 			if dead {
 				if conn != nil {
 					conn.Close()
 				}
 				p.cond.Broadcast()
 				t.handler.PeerFailed(p.rank, fmt.Errorf(
-					"tcp: rank %d silent for %v (> %d×%v): %w",
-					p.rank, silent.Round(time.Millisecond), t.cfg.HeartbeatMisses,
-					t.cfg.HeartbeatEvery, mpi.ErrPeerUnreachable))
+					"tcp: rank %d silent for %v (> %v): %w",
+					p.rank, silent.Round(time.Millisecond), window, mpi.ErrPeerUnreachable))
 			}
 		}
 	}

@@ -148,6 +148,16 @@ type Config struct {
 	// checkpointed stratum continues from its saved iteration. The load
 	// callback still runs (relations restore wholesale over loaded facts).
 	Resume bool
+	// Rejoin re-enters this process as a hot replacement for a crashed rank
+	// of a gang that is still running: the rank's own checkpoint restores
+	// its shard (no collective agreement — the survivors never tore down)
+	// and the fixpoint replays from the checkpoint's iteration, with the
+	// survivors absorbing replayed frames as duplicates and retransmitting
+	// the lost tail from held-back send history. Requires Transport (the
+	// survivors are other processes), Checkpoints, and a transport built
+	// with the hot-replacement protocol and the checkpoint's wire marks
+	// (RejoinSeeds). Mutually exclusive with Resume.
+	Rejoin bool
 
 	// Observer, when set, receives the live event stream: per-iteration
 	// events with phase timings, Δ sizes, per-rank tuple counts, plan
@@ -208,6 +218,17 @@ func (c Config) Validate() error {
 	}
 	if c.Resume && c.Checkpoints == nil {
 		return fmt.Errorf("paralagg: Config.Resume needs Config.Checkpoints: there is no sink to restore from")
+	}
+	if c.Rejoin {
+		if c.Resume {
+			return fmt.Errorf("paralagg: Config.Rejoin and Config.Resume are mutually exclusive: Rejoin splices into a live gang, Resume restarts a torn-down one")
+		}
+		if c.Checkpoints == nil {
+			return fmt.Errorf("paralagg: Config.Rejoin needs Config.Checkpoints: there is no sink to restore the shard from")
+		}
+		if c.Transport == nil {
+			return fmt.Errorf("paralagg: Config.Rejoin needs Config.Transport: a hot replacement joins surviving processes over a real wire")
+		}
 	}
 	return nil
 }
@@ -435,18 +456,37 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 			return err
 		}
 		rk := &Rank{comm: c, inst: inst}
-		if load != nil {
+		// A hot replacement must not reload base facts: LoadFacts runs the
+		// collective materialization path, and the survivors — parked
+		// mid-fixpoint, their load long finished — would never mirror it,
+		// shifting every subsequent (src, tag) stream by the load's traffic.
+		// The restored checkpoint carries every relation wholesale, base
+		// facts included.
+		if load != nil && !cfg.Rejoin {
 			if err := load(rk); err != nil {
 				return err
 			}
 		}
 		var stats core.RunStats
-		if cfg.Resume {
+		switch {
+		case cfg.Rejoin:
+			cp, ok, perr := ra.PeekRejoin(cfg.Checkpoints, c.Rank())
+			if perr != nil {
+				return perr
+			}
+			if !ok {
+				return ra.ErrNoCheckpoint
+			}
+			stats, err = inst.Rejoin(rcfg, cp)
+			if err != nil {
+				return err
+			}
+		case cfg.Resume:
 			stats, err = inst.Resume(rcfg)
 			if err != nil {
 				return err
 			}
-		} else {
+		default:
 			stats = inst.Run(rcfg)
 		}
 		if record(c) {
@@ -514,6 +554,23 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 	res.CommBytes = int64(tot.Bytes())
 	res.CommMsgs = int64(tot.P2PMessages + tot.CollectiveCalls)
 	return res, nil
+}
+
+// RejoinSeeds reads rank's newest valid checkpoint rank-locally and returns
+// the wire frame counters a hot-replacement transport must be seeded with
+// before the world is built (internal/transport/tcp Config.InitialSendSeqs
+// and InitialRecvSeqs). It fails when the rank holds no valid checkpoint or
+// the checkpoint carries no wire marks (the gang was not running the
+// replacement protocol when it was saved).
+func RejoinSeeds(sink CheckpointSink, rank int) (send, recv []uint64, err error) {
+	cp, ok, err := ra.PeekRejoin(sink, rank)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, ErrNoCheckpoint
+	}
+	return cp.SendSeqs, cp.RecvSeqs, nil
 }
 
 // Summary renders the result compactly.

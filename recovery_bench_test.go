@@ -1,0 +1,69 @@
+package paralagg_test
+
+// Recovery benchmarks: the MTTR differential BENCH_recovery.json tracks
+// (`make bench-recovery`). Both arms run the same incident — the SSSP chaos
+// scenario over a real loopback TCP gang, highest rank crashed entering
+// iteration 5's tuple exchange — and repair it two ways:
+//
+//   - RecoveryHotReplace{4,8}:  survivors park in place, one replacement
+//     process restores its own shard and splices into the retained send
+//     histories (the partial-restart path);
+//   - RecoveryFullRestart4:     every rank torn down and rebuilt, the whole
+//     world re-entering from the agreed checkpoint (the baseline).
+//
+// Each run reports mttr-ms/op — wall clock from the victim's death to the
+// gang completing — which is the number the two strategies compete on: the
+// hot-replace arm must come in under the full-restart arm. Every run also
+// re-verifies the bit-identical differential, so the benchmark doubles as a
+// repeated correctness check.
+
+import (
+	"testing"
+
+	"paralagg/internal/chaos"
+)
+
+func benchMTTR(b *testing.B, run func() (*chaos.RecoveryReport, error)) {
+	b.ReportAllocs()
+	var mttrMS float64
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Identical() {
+			b.Fatalf("recovered gang diverged from the fault-free answer:\n got %v\nwant %v",
+				rep.Recovered, rep.Clean)
+		}
+		mttrMS += float64(rep.MTTR.Microseconds()) / 1e3
+	}
+	b.ReportMetric(mttrMS/float64(b.N), "mttr-ms/op")
+}
+
+func BenchmarkRecoveryHotReplace4(b *testing.B) {
+	sc := chaos.Scenarios()[0] // sssp
+	benchMTTR(b, func() (*chaos.RecoveryReport, error) {
+		return chaos.TCPHotReplace(sc, 4, 2, 5)
+	})
+}
+
+func BenchmarkRecoveryHotReplace8(b *testing.B) {
+	sc := chaos.Scenarios()[0]
+	benchMTTR(b, func() (*chaos.RecoveryReport, error) {
+		return chaos.TCPHotReplace(sc, 8, 2, 5)
+	})
+}
+
+func BenchmarkRecoveryFullRestart4(b *testing.B) {
+	sc := chaos.Scenarios()[0]
+	benchMTTR(b, func() (*chaos.RecoveryReport, error) {
+		return chaos.TCPFullRestart(sc, 4, 2, 5)
+	})
+}
+
+func BenchmarkRecoveryFullRestart8(b *testing.B) {
+	sc := chaos.Scenarios()[0]
+	benchMTTR(b, func() (*chaos.RecoveryReport, error) {
+		return chaos.TCPFullRestart(sc, 8, 2, 5)
+	})
+}

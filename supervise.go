@@ -80,6 +80,25 @@ func Supervise(prog *Program, cfg SuperviseConfig, load func(*Rank) error, inspe
 	}
 
 	var final *Result
+	// Lifecycle events: every supervisor decision (restart, rollback,
+	// degrade, scratch, gave-up) streams to the Observer as it happens, so
+	// recovery is visible live instead of only in the final report.
+	emit := func(action string, restart, nextRanks int, lost []int) {
+		if cfg.Observer == nil {
+			return
+		}
+		e := obs.Get()
+		e.Kind = obs.KindSupervisor
+		e.Name = action
+		e.Count = uint64(restart)
+		e.Rank = -1
+		if len(lost) == 1 {
+			e.Rank = lost[0]
+		}
+		e.Ranks = nextRanks
+		e.End = time.Now().UnixNano()
+		obs.Emit(cfg.Observer, e)
+	}
 	scfg := supervisor.Config{
 		MaxRestarts: cfg.MaxRestarts,
 		Degrade:     cfg.Degrade,
@@ -88,6 +107,7 @@ func Supervise(prog *Program, cfg SuperviseConfig, load func(*Rank) error, inspe
 		BackoffMax:  cfg.RecoveryBackoffMax,
 		Seed:        cfg.BackoffSeed,
 		NextRanks:   cfg.RanksFor,
+		Notify:      emit,
 		Logf:        cfg.Logf,
 	}
 	srep, err := supervisor.Run(cfg.ranks(), scfg, func(attempt, ranks int, resume bool) error {
@@ -116,11 +136,13 @@ func Supervise(prog *Program, cfg SuperviseConfig, load func(*Rank) error, inspe
 			switch {
 			case cerr != nil:
 				rep.RestartsFromScratch++
+				emit("scratch", attempt, ranks, nil)
 				if cfg.Logf != nil {
 					cfg.Logf("supervise: attempt=%d checkpoint scan failed (%v) — restarting from scratch", attempt, cerr)
 				}
 			case !ok:
 				rep.RestartsFromScratch++
+				emit("scratch", attempt, ranks, nil)
 				if cfg.Logf != nil {
 					cfg.Logf("supervise: attempt=%d no valid checkpoint generation — restarting from scratch", attempt)
 				}

@@ -222,3 +222,51 @@ func TestSuperviseNonFaultErrorIsTerminal(t *testing.T) {
 		t.Errorf("non-fault error was retried: recoveries=%d calls=%d", rep.RecoveryAttempts, calls.Load())
 	}
 }
+
+// TestSuperviseFaultsForAndRanksForInteract schedules a fresh crash per
+// attempt through FaultsFor while RanksFor pins each restart's world size:
+// the two knobs must compose — every attempt runs at the pinned size, the
+// per-attempt fault plan targets a rank valid in that world, and the final
+// (smallest) world still lands the exact answer through the remap path.
+func TestSuperviseFaultsForAndRanksForInteract(t *testing.T) {
+	plans := map[int]*FaultPlan{
+		0: {Crashes: []Crash{{Rank: 3, Iter: 5, Op: "alltoallv"}}},
+		1: {Crashes: []Crash{{Rank: 2, Iter: 8, Op: "alltoallv"}}},
+	}
+	res, rep, err := Supervise(tcProgram(t), SuperviseConfig{
+		Config: Config{
+			Ranks:           4,
+			CheckpointEvery: 3,
+			Checkpoints:     NewMemoryCheckpointSink(),
+		},
+		RecoveryBackoff: time.Millisecond,
+		BackoffSeed:     7,
+		FaultsFor:       func(attempt int) *FaultPlan { return plans[attempt] },
+		RanksFor: func(restart, prev int, lost []int) int {
+			// First restart shrinks to 3, second to 2 — independent of which
+			// ranks died, unlike Degrade.
+			return prev - 1
+		},
+	}, loadChain(chainNodes), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["path"] != chainPaths {
+		t.Errorf("path count = %d, want %d", res.Counts["path"], chainPaths)
+	}
+	wantSizes := []int{4, 3, 2}
+	if len(rep.AttemptRanks) != 3 {
+		t.Fatalf("AttemptRanks = %v, want three attempts", rep.AttemptRanks)
+	}
+	for i, want := range wantSizes {
+		if rep.AttemptRanks[i] != want {
+			t.Errorf("attempt %d ran at %d ranks, want %d", i, rep.AttemptRanks[i], want)
+		}
+	}
+	if len(rep.RanksLost) != 2 || rep.RanksLost[0] != 3 || rep.RanksLost[1] != 2 {
+		t.Errorf("RanksLost = %v, want [3 2]", rep.RanksLost)
+	}
+	if rep.FinalRanks != 2 || res.Ranks != 2 {
+		t.Errorf("final world: report %d / result %d, want 2", rep.FinalRanks, res.Ranks)
+	}
+}
