@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity chaos-overload chaos-recovery verify bench bench-smoke bench-integrity bench-overload bench-recovery
+.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity chaos-overload chaos-recovery chaos-tree verify bench bench-smoke bench-integrity bench-overload bench-recovery bench-collectives
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ chaos-overload:
 chaos-recovery:
 	$(GO) run ./cmd/paralagg -chaos-recovery
 
+# chaos-tree replays the crash/restart and hot-replacement suites with every
+# collective routed through the binomial tree schedule: the same
+# bit-identical differentials must hold when reductions take multi-hop
+# routes, checkpoint cuts cross a tree barrier, and a replacement splices
+# into tree-shaped retained send histories.
+chaos-tree:
+	$(GO) run ./cmd/paralagg -chaos -collective-schedule=tree
+	$(GO) run ./cmd/paralagg -chaos-recovery -collective-schedule=tree
+
 # verify is the CI gate: static checks plus the full suite under the race
 # detector (the SPMD runtime is all goroutines — races are correctness bugs
 # here, not style). The -race pass includes the integrity differentials in
@@ -118,3 +127,15 @@ bench-overload:
 bench-recovery:
 	$(GO) test -run '^$$' -bench 'RecoveryHotReplace|RecoveryFullRestart' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_recovery.json
+
+# bench-collectives compares the flat, tree, and ring schedules at 4/8/16
+# ranks over the identical p2p substrate, recording BENCH_collectives.json:
+# ns/allreduce and ns/exchange wall latency, root-bytes/op (traffic through
+# the flat star's serialization point — 2(P-1) words flat vs 2·log2(P)
+# under the tree), and modeled-ns/op (the EXPERIMENTS.md critical-path cost
+# of the worst rank). Runs the root-bytes pin test first so the headline
+# flat-112B/tree-48B numbers are asserted, not just recorded.
+bench-collectives:
+	$(GO) test -run 'ConvergenceAllreduceRootBytes' -count 1 .
+	$(GO) test -run '^$$' -bench 'Collectives' -benchmem -benchtime 20x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_collectives.json

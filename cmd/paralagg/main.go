@@ -29,6 +29,7 @@ import (
 	"paralagg/internal/chaos"
 	"paralagg/internal/graph"
 	"paralagg/internal/metrics"
+	"paralagg/internal/mpi"
 	"paralagg/internal/queries"
 	"paralagg/internal/transport/tcp"
 )
@@ -71,7 +72,16 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON file of the run (open in chrome://tracing or Perfetto); TCP children write <path>.rankN")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /vars and /debug/pprof on this host:port while the run is in flight; TCP children offset the port by their rank")
 	jsonOut := flag.Bool("json", false, "print the result as a JSON document (stable field names) instead of the human summary")
+	collSched := flag.String("collective-schedule", "flat", "collective routing schedule: flat, tree, ring, or auto (auto re-votes per iteration from observed traffic)")
+	topoFile := flag.String("topology", "", "rank-to-host topology file with per-link costs: 'host <rank> <name>' and 'cost <hostA> <hostB> <x>' lines (default: uniform, or host grouping derived from -peers with -transport=tcp)")
 	flag.Parse()
+
+	// The schedule steers every suite and run below; validate it before the
+	// chaos dispatch so -chaos -collective-schedule=star fails fast.
+	if _, err := mpi.ParseScheduleKind(*collSched); err != nil {
+		log.Fatalf("-collective-schedule: %v", err)
+	}
+	chaos.Schedule = *collSched
 
 	if *runChaos {
 		runChaosSuite()
@@ -217,12 +227,30 @@ func main() {
 		Ranks: *ranks, Subs: *subs, Plan: plan,
 		Watchdog: watchdog, AdaptiveWatchdog: adaptiveWatchdog,
 		Integrity: *integrity, MemBudget: *memBudget,
+		CollectiveSchedule: *collSched,
 	}
 	if tcpTr != nil {
 		// Transport and Ranks are mutually exclusive (Config.Validate): the
 		// world size is the transport's gang size.
 		cfg.Transport = tcpTr
 		cfg.Ranks = 0
+	}
+	// Topology: an explicit file wins; otherwise a TCP gang groups ranks by
+	// the host part of their -peers entries, so a -spawn launch (which
+	// forwards both flags to every child) carries its placement into the
+	// schedule builder for free.
+	if *topoFile != "" {
+		size := *ranks
+		if tcpTr != nil {
+			size = tcpTr.Size()
+		}
+		topo, err := paralagg.ParseTopologyFile(*topoFile, size)
+		if err != nil {
+			log.Fatalf("-topology: %v", err)
+		}
+		cfg.Topology = topo
+	} else if tcpTr != nil {
+		cfg.Topology = paralagg.TopologyFromAddrs(strings.Split(*peers, ","))
 	}
 	if *ckptEvery > 0 || *resume {
 		cfg.CheckpointEvery = *ckptEvery

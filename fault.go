@@ -133,6 +133,26 @@ type Transport = mpi.Transport
 // CRC rejections).
 type NetStats = mpi.NetStats
 
+// Topology describes where ranks live relative to each other — a host/rack
+// grouping plus optional per-link costs (Config.Topology). The tree and ring
+// collective schedules shape themselves around it, and the cost model's
+// cross-host surcharges price its expensive links. Build one with
+// ParseTopologyFile, TopologyFromHosts, or TopologyFromAddrs.
+type Topology = mpi.Topology
+
+// ParseTopologyFile reads a topology description ("host <rank> <name>" and
+// "cost <hostA> <hostB> <x>" directives) for a world of the given size.
+func ParseTopologyFile(path string, size int) (*Topology, error) {
+	return mpi.ParseTopologyFile(path, size)
+}
+
+// TopologyFromHosts builds a topology from a per-rank host-name list.
+func TopologyFromHosts(hostnames []string) *Topology { return mpi.TopologyFromHosts(hostnames) }
+
+// TopologyFromAddrs derives a topology from a gang's peer address list:
+// ranks whose "host:port" addresses share a host part share a group.
+func TopologyFromAddrs(addrs []string) *Topology { return mpi.TopologyFromAddrs(addrs) }
+
 // AsRankFailure extracts the structured rank failure from an Exec error, if
 // one is present (however deeply joined or wrapped).
 func AsRankFailure(err error) (*ErrRankFailed, bool) { return mpi.AsRankFailure(err) }

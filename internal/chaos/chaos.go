@@ -85,6 +85,27 @@ func Scenarios() []Scenario {
 	}
 }
 
+// Schedule is the collective schedule every world the harness builds runs
+// under ("" = flat). The -chaos* suites thread -collective-schedule through
+// here so the whole battery — crash/resume, wire faults, integrity,
+// overload, hot replacement — can be replayed under tree or ring routing;
+// the differentials' bit-identical bars then prove recovery does not depend
+// on the reduction shape the collectives route through.
+var Schedule string
+
+// exec and supervise wrap the runtime entry points, stamping the suite-wide
+// schedule onto every world the harness builds (gang members included:
+// their configs are copied from bases that pass through here too).
+func exec(prog *paralagg.Program, cfg paralagg.Config, load, inspect func(*paralagg.Rank) error) (*paralagg.Result, error) {
+	cfg.CollectiveSchedule = Schedule
+	return paralagg.Exec(prog, cfg, load, inspect)
+}
+
+func supervise(prog *paralagg.Program, cfg paralagg.SuperviseConfig, load, inspect func(*paralagg.Rank) error) (*paralagg.Result, *paralagg.SuperviseReport, error) {
+	cfg.Config.CollectiveSchedule = Schedule
+	return paralagg.Supervise(prog, cfg, load, inspect)
+}
+
 // Fingerprint is an order-independent digest of a relation's global
 // contents: the tuple count plus two independently seeded hash sums. Equal
 // fingerprints mean (up to hash collision) identical tuple sets.
@@ -176,7 +197,7 @@ func (r *Report) Identical() bool {
 // completes; the caller compares fingerprints with Report.Identical.
 func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 	rep := &Report{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	clean, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: fault-free run failed: %w", sc.Name, err)
@@ -189,7 +210,7 @@ func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 
 	sink := paralagg.NewMemoryCheckpointSink()
 	victim := ranks - 1
-	_, err = paralagg.Exec(sc.Prog(), paralagg.Config{
+	_, err = exec(sc.Prog(), paralagg.Config{
 		Ranks:           ranks,
 		Subs:            sc.Subs,
 		CheckpointEvery: every,
@@ -216,7 +237,7 @@ func Differential(sc Scenario, ranks, every, crashIter int) (*Report, error) {
 			sc.Name, rf, victim, crashIter)
 	}
 
-	resumed, err := paralagg.Exec(sc.Prog(), paralagg.Config{
+	resumed, err := exec(sc.Prog(), paralagg.Config{
 		Ranks:           ranks,
 		Subs:            sc.Subs,
 		CheckpointEvery: every,
@@ -267,7 +288,7 @@ func (r *ElasticReport) Identical() bool {
 // ranks, then once under supervision with the given config, and compare.
 func elastic(sc Scenario, ranks, minIters int, cfg paralagg.SuperviseConfig) (*ElasticReport, error) {
 	rep := &ElasticReport{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	clean, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: fault-free run failed: %w", sc.Name, err)
@@ -277,7 +298,7 @@ func elastic(sc Scenario, ranks, minIters int, cfg paralagg.SuperviseConfig) (*E
 			sc.Name, clean.Iterations, minIters)
 	}
 
-	res, srep, err := paralagg.Supervise(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &rep.Recovered))
+	res, srep, err := supervise(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &rep.Recovered))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: supervised run failed: %w", sc.Name, err)
 	}
@@ -374,7 +395,7 @@ func Repeated(sc Scenario, ranks, every int) (*ElasticReport, error) {
 // already fed the EWMA, the conversion happens near the deadline floor,
 // well inside the ceiling.
 func StuckCollective(sc Scenario, ranks int, timeout time.Duration) error {
-	_, err := paralagg.Exec(sc.Prog(), paralagg.Config{
+	_, err := exec(sc.Prog(), paralagg.Config{
 		Ranks:            ranks,
 		Subs:             sc.Subs,
 		AdaptiveWatchdog: true,

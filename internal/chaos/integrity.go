@@ -79,7 +79,7 @@ func CorruptionDifferential(sc Scenario, ranks, every, corruptIter int) (*Integr
 	}
 	rep := &IntegrityReport{}
 	cleanCfg := paralagg.Config{Ranks: ranks, Subs: sc.Subs, Integrity: true}
-	clean, err := paralagg.Exec(sc.Prog(), cleanCfg, sc.Load, collect(sc.Rels, &rep.Clean))
+	clean, err := exec(sc.Prog(), cleanCfg, sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: fault-free integrity run failed (false positive?): %w", sc.Name, err)
 	}
@@ -100,7 +100,7 @@ func CorruptionDifferential(sc Scenario, ranks, every, corruptIter int) (*Integr
 	// corrupted iteration.
 	dirtyCfg := paralagg.Config{Ranks: ranks, Subs: sc.Subs, Integrity: true, Faults: plan}
 	adaptive(&dirtyCfg)
-	_, err = paralagg.Exec(sc.Prog(), dirtyCfg, sc.Load, nil)
+	_, err = exec(sc.Prog(), dirtyCfg, sc.Load, nil)
 	if err == nil {
 		return nil, fmt.Errorf("chaos %s: injected state corruption on rank %d went undetected", sc.Name, victim)
 	}
@@ -138,7 +138,7 @@ func CorruptionDifferential(sc Scenario, ranks, every, corruptIter int) (*Integr
 		RecoveryBackoff: time.Millisecond,
 	}
 	adaptive(&scfg.Config)
-	_, srep, err := paralagg.Supervise(sc.Prog(), scfg, sc.Load, collect(sc.Rels, &rep.Recovered))
+	_, srep, err := supervise(sc.Prog(), scfg, sc.Load, collect(sc.Rels, &rep.Recovered))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: supervised recovery from divergence failed: %w", sc.Name, err)
 	}
@@ -170,7 +170,7 @@ func CheckpointCorruptionDifferential(sc Scenario, ranks, every, crashIter int) 
 			sc.Name, crashIter, corruptAt, 3*every)
 	}
 	rep := &IntegrityReport{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs, Integrity: true},
+	clean, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs, Integrity: true},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: fault-free run failed: %w", sc.Name, err)
@@ -195,7 +195,7 @@ func CheckpointCorruptionDifferential(sc Scenario, ranks, every, crashIter int) 
 		},
 	}
 	adaptive(&dirtyCfg)
-	_, err = paralagg.Exec(sc.Prog(), dirtyCfg, sc.Load, nil)
+	_, err = exec(sc.Prog(), dirtyCfg, sc.Load, nil)
 	if err == nil {
 		return nil, fmt.Errorf("chaos %s: injected crash of rank %d produced no error", sc.Name, victim)
 	}
@@ -233,7 +233,7 @@ func CheckpointCorruptionDifferential(sc Scenario, ranks, every, crashIter int) 
 		Resume:          true,
 	}
 	adaptive(&resumeCfg)
-	if _, err := paralagg.Exec(sc.Prog(), resumeCfg, sc.Load, collect(sc.Rels, &rep.Recovered)); err != nil {
+	if _, err := exec(sc.Prog(), resumeCfg, sc.Load, collect(sc.Rels, &rep.Recovered)); err != nil {
 		return nil, fmt.Errorf("chaos %s: resume past the rotten generation failed: %w", sc.Name, err)
 	}
 	return rep, nil

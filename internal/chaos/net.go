@@ -74,7 +74,7 @@ func runGang(sc Scenario, trs []*tcp.Transport, base paralagg.Config, fps *map[s
 			defer wg.Done()
 			cfg := base
 			cfg.Transport = tr
-			_, errs[i] = paralagg.Exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, fps))
+			_, errs[i] = exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, fps))
 		}(i, tr)
 	}
 	wg.Wait()
@@ -113,7 +113,7 @@ func (r *NetReport) Identical() bool {
 // bit-identical relations.
 func TCPDifferential(sc Scenario, ranks int, faults *tcp.NetFaultPlan) (*NetReport, error) {
 	rep := &NetReport{}
-	if _, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	if _, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean)); err != nil {
 		return nil, fmt.Errorf("chaos %s: in-process reference run failed: %w", sc.Name, err)
 	}
@@ -179,7 +179,7 @@ func TCPPartition(sc Scenario, ranks int) error {
 // in-process fault-free run.
 func TCPKillRecovery(sc Scenario, ranks, every, crashIter int) (*NetReport, error) {
 	rep := &NetReport{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	clean, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: in-process reference run failed: %w", sc.Name, err)
@@ -229,7 +229,7 @@ func TCPKillRecovery(sc Scenario, ranks, every, crashIter int) (*NetReport, erro
 				defer wg.Done()
 				cfg := base
 				cfg.Transport = tr
-				_, errs[i] = paralagg.Exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &fps))
+				_, errs[i] = exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &fps))
 				if i == victim && errs[i] != nil && attempt == 0 {
 					tr.Kill() // the process is gone; so is its endpoint
 				}

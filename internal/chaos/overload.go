@@ -88,7 +88,7 @@ func (o *overloadObserver) OnEvent(e *paralagg.Event) {
 // throttled-but-live peer is not declared dead.
 func TCPSlowConsumer(sc Scenario, ranks, window int) (*OverloadReport, error) {
 	rep := &OverloadReport{}
-	if _, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	if _, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean)); err != nil {
 		return nil, fmt.Errorf("chaos %s: in-process reference run failed: %w", sc.Name, err)
 	}
@@ -135,7 +135,7 @@ const pressureIter = 3
 // workload's real accounted peak (the scale every budget below derives
 // from) and to fix the reference fingerprints.
 func probeBudget(sc Scenario, ranks int, clean *map[string]Fingerprint) (int64, error) {
-	res, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs, MemBudget: 1 << 40},
+	res, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs, MemBudget: 1 << 40},
 		sc.Load, collect(sc.Rels, clean))
 	if err != nil {
 		return 0, fmt.Errorf("chaos %s: budget probe run failed: %w", sc.Name, err)
@@ -167,7 +167,7 @@ func MemPressureSoft(sc Scenario, ranks int) (*OverloadReport, error) {
 	rep.Budget = 16 * peak
 	phantom := rep.Budget / 10 * 9 // soft band on its own; real usage adds < budget/16
 	obs := &overloadObserver{}
-	res, err := paralagg.Exec(sc.Prog(), paralagg.Config{
+	res, err := exec(sc.Prog(), paralagg.Config{
 		Ranks:     ranks,
 		Subs:      sc.Subs,
 		MemBudget: rep.Budget,
@@ -213,7 +213,7 @@ func MemPressureHard(sc Scenario, ranks, every int) (*OverloadReport, error) {
 
 	// Unsupervised: the violation must surface structurally on every rank
 	// (the ladder's response is collective) and name the budget.
-	_, err = paralagg.Exec(sc.Prog(), paralagg.Config{
+	_, err = exec(sc.Prog(), paralagg.Config{
 		Ranks: ranks, Subs: sc.Subs, MemBudget: rep.Budget, Faults: plan,
 	}, sc.Load, nil)
 	if err == nil {
@@ -246,7 +246,7 @@ func MemPressureHard(sc Scenario, ranks, every int) (*OverloadReport, error) {
 		},
 		RecoveryBackoff: time.Millisecond,
 	}
-	res, srep, err := paralagg.Supervise(sc.Prog(), scfg, sc.Load, collect(sc.Rels, &rep.Recovered))
+	res, srep, err := supervise(sc.Prog(), scfg, sc.Load, collect(sc.Rels, &rep.Recovered))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: supervised recovery from a hard budget failed: %w", sc.Name, err)
 	}
@@ -266,7 +266,7 @@ func MemPressureHard(sc Scenario, ranks, every int) (*OverloadReport, error) {
 // the generations written before the failure must survive on disk.
 func DiskFullDegradation(sc Scenario, ranks, every int) (*OverloadReport, error) {
 	rep := &OverloadReport{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	clean, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: fault-free run failed: %w", sc.Name, err)
@@ -283,7 +283,7 @@ func DiskFullDegradation(sc Scenario, ranks, every int) (*OverloadReport, error)
 
 	obs := &overloadObserver{}
 	before := paralagg.CheckpointDegradations()
-	_, err = paralagg.Exec(sc.Prog(), paralagg.Config{
+	_, err = exec(sc.Prog(), paralagg.Config{
 		Ranks:           ranks,
 		Subs:            sc.Subs,
 		CheckpointEvery: every,

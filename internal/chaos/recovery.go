@@ -79,7 +79,7 @@ func (m *goMember) Kill()       { m.kill() }
 // bit-identical answer.
 func TCPHotReplace(sc Scenario, ranks, every, crashIter int) (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	clean, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: in-process reference run failed: %w", sc.Name, err)
@@ -186,7 +186,7 @@ func TCPHotReplace(sc Scenario, ranks, every, crashIter int) (*RecoveryReport, e
 					Crashes: []paralagg.Crash{{Rank: victim, Iter: crashIter, Op: "alltoallv"}},
 				}
 			}
-			_, err := paralagg.Exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &fps))
+			_, err := exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &fps))
 			if err != nil {
 				tr.Kill() // the process is gone; so is its endpoint
 				crashed.CompareAndSwap(0, time.Now().UnixNano())
@@ -218,7 +218,7 @@ func TCPHotReplace(sc Scenario, ranks, every, crashIter int) (*RecoveryReport, e
 // hot replacement must beat.
 func TCPFullRestart(sc Scenario, ranks, every, crashIter int) (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
-	clean, err := paralagg.Exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
+	clean, err := exec(sc.Prog(), paralagg.Config{Ranks: ranks, Subs: sc.Subs},
 		sc.Load, collect(sc.Rels, &rep.Clean))
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: in-process reference run failed: %w", sc.Name, err)
@@ -264,7 +264,7 @@ func TCPFullRestart(sc Scenario, ranks, every, crashIter int) (*RecoveryReport, 
 			go func(i int, tr *tcp.Transport) {
 				cfg := base
 				cfg.Transport = tr
-				_, errs[i] = paralagg.Exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &fps))
+				_, errs[i] = exec(sc.Prog(), cfg, sc.Load, collect(sc.Rels, &fps))
 				if i == victim && errs[i] != nil && attempt == 0 {
 					tr.Kill() // the process is gone; so is its endpoint
 					crashed.CompareAndSwap(0, time.Now().UnixNano())

@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"testing"
+
+	"paralagg"
 )
 
 func TestTCPHotReplaceBitIdentical4(t *testing.T) {
@@ -67,5 +69,48 @@ func TestTCPFullRestartBitIdentical(t *testing.T) {
 	}
 	if rep.MTTR <= 0 {
 		t.Errorf("MTTR = %v, want > 0", rep.MTTR)
+	}
+}
+
+// TestTCPHotReplaceTreeSchedule is the schedule-aware recovery differential:
+// the whole gang — victim, survivors, and the replacement — routes its
+// collectives through the binomial tree schedule while rank 3 is killed
+// mid-exchange and hot-replaced. The recovered answer must be bit-identical
+// not only to the tree-scheduled reference TCPHotReplace computes itself,
+// but also to a flat-scheduled in-process run: one bar proving both that
+// recovery works under multi-hop routing and that the routing shape never
+// changes the answer.
+func TestTCPHotReplaceTreeSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hot-replace chaos differential is not short")
+	}
+	old := Schedule
+	Schedule = "tree"
+	defer func() { Schedule = old }()
+
+	sc := Scenarios()[0] // sssp
+	rep, err := TCPHotReplace(sc, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Fatalf("tree-scheduled hot-replaced gang diverged from the tree reference:\n got %v\nwant %v",
+			rep.Recovered, rep.Clean)
+	}
+
+	Schedule = "" // flat reference for the cross-schedule comparison
+	var flat map[string]Fingerprint
+	if _, err := exec(sc.Prog(), paralagg.Config{Ranks: 4, Subs: sc.Subs},
+		sc.Load, collect(sc.Rels, &flat)); err != nil {
+		t.Fatal(err)
+	}
+	for rel, fp := range flat {
+		if rep.Recovered[rel] != fp {
+			t.Fatalf("tree-scheduled recovery diverged from the flat-scheduled answer for %q:\n got %v\nwant %v",
+				rel, rep.Recovered[rel], fp)
+		}
+	}
+	if len(flat) != len(rep.Recovered) {
+		t.Fatalf("relation sets differ: flat %v vs tree %v", flat, rep.Recovered)
 	}
 }

@@ -87,11 +87,26 @@ type Server struct {
 	memBudget         atomic.Int64
 	ckptDegradations  atomic.Int64
 
-	// relations tracks per-relation global totals and Δ cardinality.
+	// relations tracks per-relation global totals and Δ cardinality;
+	// peerSent/peerRecv accumulate this process's per-peer wire bytes
+	// (nil until a transport that tracks them reports a delta).
 	mu        sync.Mutex
 	relTotal  map[string]uint64
 	relDelta  map[string]uint64
+	peerSent  []int64
+	peerRecv  []int64
 	lastError string
+}
+
+// addPeer accumulates a per-peer byte delta into acc, growing it as needed.
+func addPeer(acc []int64, delta []int64) []int64 {
+	if len(delta) > len(acc) {
+		acc = append(acc, make([]int64, len(delta)-len(acc))...)
+	}
+	for i, v := range delta {
+		acc[i] += v
+	}
+	return acc
 }
 
 // Start listens on addr (host:port; port 0 picks a free one) and serves the
@@ -135,6 +150,7 @@ func (s *Server) OnAttempt(n int) {
 	s.mu.Lock()
 	s.relTotal = map[string]uint64{}
 	s.relDelta = map[string]uint64{}
+	s.peerSent, s.peerRecv = nil, nil
 	s.mu.Unlock()
 }
 
@@ -173,6 +189,12 @@ func (s *Server) OnEvent(e *obs.Event) {
 		s.netThrottleStalls.Add(e.Net.ThrottleStalls)
 		if p := e.Net.OutboxPeakFrames; p > s.netOutboxPeak.Load() {
 			s.netOutboxPeak.Store(p)
+		}
+		if e.Net.PeerBytesSent != nil || e.Net.PeerBytesRecv != nil {
+			s.mu.Lock()
+			s.peerSent = addPeer(s.peerSent, e.Net.PeerBytesSent)
+			s.peerRecv = addPeer(s.peerRecv, e.Net.PeerBytesRecv)
+			s.mu.Unlock()
 		}
 	case obs.KindRelation:
 		if e.Rank != 0 {
@@ -247,7 +269,7 @@ func (s *Server) OnEvent(e *obs.Event) {
 }
 
 // snapshot gathers every counter under one lock for rendering.
-func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, lastErr string) {
+func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, peerSent, peerRecv []int64, lastErr string) {
 	num = map[string]int64{
 		"attempt":                     s.attempt.Load(),
 		"runs_started":                s.runsStarted.Load(),
@@ -297,9 +319,11 @@ func (s *Server) snapshot() (num map[string]int64, rels map[string][2]uint64, la
 	for n, c := range s.relTotal {
 		rels[n] = [2]uint64{c, s.relDelta[n]}
 	}
+	peerSent = append([]int64(nil), s.peerSent...)
+	peerRecv = append([]int64(nil), s.peerRecv...)
 	lastErr = s.lastError
 	s.mu.Unlock()
-	return num, rels, lastErr
+	return num, rels, peerSent, peerRecv, lastErr
 }
 
 // gaugeNames lists the counters that are gauges (point-in-time values);
@@ -313,7 +337,7 @@ var gaugeNames = map[string]bool{
 
 // handleMetrics renders Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	num, rels, _ := s.snapshot()
+	num, rels, peerSent, peerRecv, _ := s.snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	names := make([]string, 0, len(num))
 	for n := range num {
@@ -340,11 +364,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, n := range relNames {
 		fmt.Fprintf(w, "paralagg_relation_delta{relation=%q} %d\n", n, rels[n][1])
 	}
+	// Per-peer wire traffic: how the active collective schedule concentrates
+	// or spreads this process's bytes across the gang.
+	if len(peerSent) > 0 || len(peerRecv) > 0 {
+		fmt.Fprintf(w, "# TYPE paralagg_peer_bytes_sent counter\n")
+		for peer, v := range peerSent {
+			fmt.Fprintf(w, "paralagg_peer_bytes_sent{peer=\"%d\"} %d\n", peer, v)
+		}
+		fmt.Fprintf(w, "# TYPE paralagg_peer_bytes_recv counter\n")
+		for peer, v := range peerRecv {
+			fmt.Fprintf(w, "paralagg_peer_bytes_recv{peer=\"%d\"} %d\n", peer, v)
+		}
+	}
 }
 
 // handleVars renders every counter as one JSON document (expvar-style).
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
-	num, rels, lastErr := s.snapshot()
+	num, rels, peerSent, peerRecv, lastErr := s.snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\n")
 	names := make([]string, 0, len(num))
@@ -368,5 +404,21 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "%q: {\"tuples\": %d, \"delta\": %d}", n, rels[n][0], rels[n][1])
 	}
 	fmt.Fprintf(w, "},\n")
+	fmt.Fprintf(w, "  \"peer_bytes_sent\": [")
+	for i, v := range peerSent {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%d", v)
+	}
+	fmt.Fprintf(w, "],\n")
+	fmt.Fprintf(w, "  \"peer_bytes_recv\": [")
+	for i, v := range peerRecv {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%d", v)
+	}
+	fmt.Fprintf(w, "],\n")
 	fmt.Fprintf(w, "  \"last_error\": %q\n}\n", lastErr)
 }

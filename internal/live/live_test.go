@@ -54,6 +54,8 @@ func feedRun(s *Server) {
 				e.Changed = 100
 				e.Bytes, e.Msgs = 1000, 10
 				e.Net.Retransmits = 2
+				e.Net.PeerBytesSent = []int64{0, 40, 8, 8}
+				e.Net.PeerBytesRecv = []int64{0, 16, 16, 24}
 			})
 			emit(s, func(e *obs.Event) {
 				e.Kind = obs.KindRelation
@@ -84,6 +86,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"paralagg_runs_ended 1",
 		`paralagg_relation_tuples{relation="spath"} 500`,
 		`paralagg_relation_delta{relation="spath"} 100`,
+		`paralagg_peer_bytes_sent{peer="1"} 120`, // rank 0 only: 3 iterations × 40
+		`paralagg_peer_bytes_recv{peer="3"} 72`,
+		"# TYPE paralagg_peer_bytes_sent counter",
 		"# TYPE paralagg_ranks gauge",
 		"# TYPE paralagg_iterations counter",
 	} {

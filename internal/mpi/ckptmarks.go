@@ -22,8 +22,18 @@ package mpi
 // both sides) and before sending any fanout; a non-root captures right
 // after consuming the fanout, then excludes it, matching root. Non-root
 // pairs exchange nothing during the rendezvous, and the caller's trailing
-// Barrier keeps any rank from starting next-iteration sends before every
+// barrier keeps any rank from starting next-iteration sends before every
 // rank has captured — so no third-party frame can cross anyone's cut.
+//
+// Both the rendezvous and that trailing barrier are deliberately star
+// shaped regardless of the world's collective schedule. "Non-root pairs
+// exchange nothing" is load-bearing: frame counters count at delivery, so
+// under a tree barrier a fast rank's post-capture reduce-up frame could
+// land on a not-yet-captured interior parent and inflate its receive
+// counter past the cut. The star confines the window's traffic to pairs
+// with rank 0, whose capture order the rendezvous already fixes — hence
+// CheckpointBarrier below, which callers must use in place of Barrier
+// between the capture and WireMarkCheckpoint.
 
 // CheckpointMarks runs the rendezvous and returns the consistent per-rank
 // (sent, received) frame counters for this rank. ok is false — and no
@@ -78,6 +88,13 @@ func (c *Comm) RejoinMarks() {
 		c.collSend("ckptmarks", r, tagCkptMarks, nil)
 	}
 }
+
+// CheckpointBarrier is the barrier the checkpoint path runs between the
+// marks capture (or rejoin) and WireMarkCheckpoint: a full barrier like
+// Barrier, but always over the flat star — under any collective schedule —
+// because the consistent-cut argument above depends on no frames moving
+// between non-root pairs until every rank has captured.
+func (c *Comm) CheckpointBarrier() { c.barrierVia(ScheduleFlat) }
 
 // WireMarkCheckpoint records the current send positions as the newest
 // generation's history mark and releases retained history below the

@@ -70,12 +70,28 @@ func (s *collSlot) run(w *World, rank int, kind string, contribution interface{}
 // nil payloads (e.g. Barrier).
 type unit struct{}
 
+// p2pColl reports whether this collective call routes through the
+// point-to-point composition in p2pcoll.go: always on distributed worlds
+// (no shared slot exists), and on in-process worlds running a non-flat
+// schedule — the memTransport mailboxes carry the same hops, so every
+// schedule is exercised without sockets. In-process flat worlds keep the
+// shared-memory slot, preserving the original (and allocation-lean)
+// default path byte for byte.
+func (c *Comm) p2pColl() bool {
+	return c.world.dist != nil || (c.world.forceP2P || c.sched != ScheduleFlat) && c.world.size > 1
+}
+
 // Barrier blocks until every rank in the world has called it.
-func (c *Comm) Barrier() {
+func (c *Comm) Barrier() { c.barrierVia(c.sched) }
+
+// barrierVia is Barrier with an explicit schedule: the checkpoint path
+// (CheckpointBarrier) forces the flat star regardless of the world's
+// schedule because the wire-mark cut argument depends on its shape.
+func (c *Comm) barrierVia(kind ScheduleKind) {
 	c.enter("barrier")
 	c.world.stats.addCollective(c.rank, "barrier", 0)
-	if c.world.dist != nil {
-		c.distBarrier()
+	if c.world.dist != nil || (c.world.forceP2P || kind != ScheduleFlat) && c.world.size > 1 {
+		c.distBarrier(kind)
 		return
 	}
 	if c.world.size == 1 {
@@ -119,8 +135,8 @@ func (op ReduceOp) apply(a, b uint64) uint64 {
 func (c *Comm) Allreduce(v uint64, op ReduceOp) uint64 {
 	c.enter("allreduce")
 	c.world.stats.addCollective(c.rank, "allreduce", WordBytes)
-	if c.world.dist != nil {
-		return c.distAllreduce(v, op)
+	if c.p2pColl() {
+		return c.distAllreduce(v, op, c.sched)
 	}
 	if c.world.size == 1 {
 		// Single-rank worlds skip the slot (and the interface boxing it
@@ -152,8 +168,11 @@ func (c *Comm) AllreduceVec(send, recv []Word, op ReduceOp) []Word {
 			c.rank, len(send), len(recv)))
 	}
 	c.world.stats.addCollective(c.rank, "allreducevec", len(send)*WordBytes)
-	if c.world.dist != nil {
-		return c.distAllreduceVec(send, recv, op)
+	// The observed payload length is the auto schedule's ring signal (see
+	// ScheduleVote); recorded on every path, a plain field write.
+	c.lastVecWords = len(send)
+	if c.p2pColl() {
+		return c.distAllreduceVec(send, recv, op, c.sched)
 	}
 	if c.world.size == 1 {
 		// Single-rank worlds skip the slot (and the boxing it costs): the
@@ -188,8 +207,8 @@ func (c *Comm) AllreduceVec(send, recv []Word, op ReduceOp) []Word {
 func (c *Comm) Allgather(v uint64) []uint64 {
 	c.enter("allgather")
 	c.world.stats.addCollective(c.rank, "allgather", WordBytes)
-	if c.world.dist != nil {
-		return c.distAllgather(v)
+	if c.p2pColl() {
+		return c.distAllgather(v, c.sched)
 	}
 	if c.world.size == 1 {
 		return []uint64{v}
@@ -217,8 +236,8 @@ func (c *Comm) Bcast(root int, words []Word) []Word {
 	} else {
 		c.world.stats.addCollective(c.rank, kind, 0)
 	}
-	if c.world.dist != nil {
-		return c.distBcast(root, words)
+	if c.p2pColl() {
+		return c.distBcast(root, words, c.sched)
 	}
 	if c.world.size == 1 {
 		return words
@@ -265,8 +284,8 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 		}
 	}
 	c.world.stats.addCollective(c.rank, "alltoallv", bytes)
-	if c.world.dist != nil {
-		return c.distAlltoallv(send)
+	if c.p2pColl() {
+		return c.distAlltoallv(send, c.sched)
 	}
 	if c.world.size == 1 {
 		recv := c.recvHeader(1)
@@ -314,8 +333,8 @@ func (c *Comm) Alltoallv(send [][]Word) [][]Word {
 func (c *Comm) AllgatherV(words []Word) [][]Word {
 	c.enter("allgatherv")
 	c.world.stats.addCollective(c.rank, "allgatherv", len(words)*WordBytes*(c.world.size-1))
-	if c.world.dist != nil {
-		return c.distAllgatherV(words)
+	if c.p2pColl() {
+		return c.distAllgatherV(words, c.sched)
 	}
 	if c.world.size == 1 {
 		return [][]Word{words}
@@ -352,8 +371,8 @@ func (c *Comm) Gather(root int, v uint64) []uint64 {
 	c.enter("gather")
 	c.validRank("gather", root)
 	c.world.stats.addCollective(c.rank, "gather", WordBytes)
-	if c.world.dist != nil {
-		return c.distGatherWord(root, v)
+	if c.p2pColl() {
+		return c.distGatherWord(root, v, c.sched)
 	}
 	if c.world.size == 1 {
 		return []uint64{v}

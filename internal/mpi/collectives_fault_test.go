@@ -7,10 +7,29 @@ import (
 	"time"
 )
 
-// Satellite coverage: every collective, at 2/4/8 ranks, with point-to-point
-// traffic riding alongside under deterministic delay and drop plans. Delays
-// must be invisible to the results; drops must surface as structured
-// failures, never hangs or wrong answers.
+// Satellite coverage: every collective, at 2/4/8/16 ranks, under every
+// collective schedule (flat star, topology-aware tree, ring), with
+// point-to-point traffic riding alongside under deterministic delay and drop
+// plans. Delays must be invisible to the results; drops must surface as
+// structured failures, never hangs or wrong answers.
+
+// testSchedules are the concrete schedules every collective test sweeps.
+var testSchedules = []ScheduleKind{ScheduleFlat, ScheduleTree, ScheduleRing}
+
+// splitTopology fakes a two-host placement (first half / second half) so the
+// tree tests exercise the two-level topology-aware shape, not just the plain
+// binomial.
+func splitTopology(n int) *Topology {
+	hosts := make([]string, n)
+	for i := range hosts {
+		if i < n/2 {
+			hosts[i] = "hostA"
+		} else {
+			hosts[i] = "hostB"
+		}
+	}
+	return TopologyFromHosts(hosts)
+}
 
 // allPairDelays builds a Delay spec for every ordered rank pair.
 func allPairDelays(n int, frac float64, max time.Duration) []Delay {
@@ -97,51 +116,61 @@ func collectiveSuite(t *testing.T, c *Comm) error {
 }
 
 func TestCollectiveSuiteUnderDelays(t *testing.T) {
-	for _, n := range []int{2, 4, 8} {
-		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
-			w := NewWorld(n)
-			w.SetFaultPlan(&FaultPlan{
-				Seed:   31,
-				Delays: allPairDelays(n, 0.8, 2*time.Millisecond),
+	// 3 and 6 ride along: non-power-of-two sizes are where tree shapes break.
+	for _, n := range []int{2, 3, 4, 6, 8, 16} {
+		for _, sched := range testSchedules {
+			t.Run(fmt.Sprintf("ranks=%d/%s", n, sched), func(t *testing.T) {
+				w := NewWorld(n)
+				w.SetSchedule(sched)
+				if sched != ScheduleFlat {
+					w.SetTopology(splitTopology(n))
+				}
+				w.SetFaultPlan(&FaultPlan{
+					Seed:   31,
+					Delays: allPairDelays(n, 0.8, 2*time.Millisecond),
+				})
+				if err := w.Run(func(c *Comm) error { return collectiveSuite(t, c) }); err != nil {
+					t.Fatal(err)
+				}
 			})
-			if err := w.Run(func(c *Comm) error { return collectiveSuite(t, c) }); err != nil {
-				t.Fatal(err)
-			}
-		})
+		}
 	}
 }
 
 func TestCollectiveSuiteUnderDropsFailsStructurally(t *testing.T) {
 	// Drops cannot silently skew a result: the blocked receive times out
 	// into an ErrRankFailed every rank observes.
-	for _, n := range []int{2, 4, 8} {
-		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
-			w := NewWorld(n)
-			w.SetFaultPlan(&FaultPlan{
-				Seed:  32,
-				Drops: []Drop{{From: 0, To: n - 1, Frac: 1}},
-			})
-			w.SetWatchdog(100 * time.Millisecond)
-			err := w.Run(func(c *Comm) error {
-				c.Allreduce(1, OpSum) // collectives around the doomed exchange
-				if c.Rank() == 0 {
-					c.Send(n-1, 4, []Word{1})
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, sched := range testSchedules {
+			t.Run(fmt.Sprintf("ranks=%d/%s", n, sched), func(t *testing.T) {
+				w := NewWorld(n)
+				w.SetSchedule(sched)
+				w.SetFaultPlan(&FaultPlan{
+					Seed:  32,
+					Drops: []Drop{{From: 0, To: n - 1, Frac: 1}},
+				})
+				w.SetWatchdog(100 * time.Millisecond)
+				err := w.Run(func(c *Comm) error {
+					c.Allreduce(1, OpSum) // collectives around the doomed exchange
+					if c.Rank() == 0 {
+						c.Send(n-1, 4, []Word{1})
+					}
+					if c.Rank() == n-1 {
+						c.Recv(0, 4)
+						t.Error("dropped message was received")
+					}
+					c.Barrier()
+					return nil
+				})
+				rf, ok := AsRankFailure(err)
+				if !ok {
+					t.Fatalf("err = %v, want structured rank failure", err)
 				}
-				if c.Rank() == n-1 {
-					c.Recv(0, 4)
-					t.Error("dropped message was received")
+				if !errors.Is(rf, ErrRecvTimeout) && !errors.Is(rf, ErrWatchdogTimeout) {
+					t.Errorf("failure %v names neither the recv timeout nor the stalled collective", rf)
 				}
-				c.Barrier()
-				return nil
 			})
-			rf, ok := AsRankFailure(err)
-			if !ok {
-				t.Fatalf("err = %v, want structured rank failure", err)
-			}
-			if !errors.Is(rf, ErrRecvTimeout) && !errors.Is(rf, ErrWatchdogTimeout) {
-				t.Errorf("failure %v names neither the recv timeout nor the stalled collective", rf)
-			}
-		})
+		}
 	}
 }
 
@@ -160,57 +189,126 @@ func TestAlltoallvRoundTripFuzz(t *testing.T) {
 	// Property: alltoallv is a matrix transpose. Sending the received
 	// matrix back must reproduce the original send matrix exactly — for
 	// ragged, hash-random per-peer payload sizes (empty rows included),
-	// across several rounds, at 2/4/8 ranks, with message delays active.
+	// across several rounds, at 2/4/8/16 ranks under every schedule, with
+	// message delays active.
 	const rounds = 6
-	for _, n := range []int{2, 4, 8} {
-		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
-			w := NewWorld(n)
-			w.SetFaultPlan(&FaultPlan{
-				Seed:   33,
-				Delays: allPairDelays(n, 0.5, time.Millisecond),
-			})
-			err := w.Run(func(c *Comm) error {
-				for round := 0; round < rounds; round++ {
-					c.SetEpoch(round)
-					send := make([][]Word, n)
-					for dst := range send {
-						send[dst] = fuzzWords(33, round, c.Rank(), dst)
-					}
-					recv := c.Alltoallv(send)
-					for src := range recv {
-						want := fuzzWords(33, round, src, c.Rank())
-						if len(recv[src]) != len(want) {
-							return fmt.Errorf("round %d rank %d: from %d got %d words, want %d",
-								round, c.Rank(), src, len(recv[src]), len(want))
-						}
-						for i := range want {
-							if recv[src][i] != want[i] {
-								return fmt.Errorf("round %d rank %d: word %d from %d = %#x, want %#x",
-									round, c.Rank(), i, src, recv[src][i], want[i])
-							}
-						}
-					}
-					// The way back: return everything to its sender.
-					back := c.Alltoallv(recv)
-					for dst := range back {
-						orig := fuzzWords(33, round, c.Rank(), dst)
-						if len(back[dst]) != len(orig) {
-							return fmt.Errorf("round %d rank %d: round-trip to %d lost words: %d != %d",
-								round, c.Rank(), dst, len(back[dst]), len(orig))
-						}
-						for i := range orig {
-							if back[dst][i] != orig[i] {
-								return fmt.Errorf("round %d rank %d: round-trip word %d to %d corrupted",
-									round, c.Rank(), i, dst)
-							}
-						}
-					}
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, sched := range testSchedules {
+			t.Run(fmt.Sprintf("ranks=%d/%s", n, sched), func(t *testing.T) {
+				w := NewWorld(n)
+				w.SetSchedule(sched)
+				if sched != ScheduleFlat {
+					w.SetTopology(splitTopology(n))
 				}
-				return nil
+				w.SetFaultPlan(&FaultPlan{
+					Seed:   33,
+					Delays: allPairDelays(n, 0.5, time.Millisecond),
+				})
+				err := w.Run(func(c *Comm) error {
+					for round := 0; round < rounds; round++ {
+						c.SetEpoch(round)
+						send := make([][]Word, n)
+						for dst := range send {
+							send[dst] = fuzzWords(33, round, c.Rank(), dst)
+						}
+						recv := c.Alltoallv(send)
+						for src := range recv {
+							want := fuzzWords(33, round, src, c.Rank())
+							if len(recv[src]) != len(want) {
+								return fmt.Errorf("round %d rank %d: from %d got %d words, want %d",
+									round, c.Rank(), src, len(recv[src]), len(want))
+							}
+							for i := range want {
+								if recv[src][i] != want[i] {
+									return fmt.Errorf("round %d rank %d: word %d from %d = %#x, want %#x",
+										round, c.Rank(), i, src, recv[src][i], want[i])
+								}
+							}
+						}
+						// The way back: return everything to its sender.
+						back := c.Alltoallv(recv)
+						for dst := range back {
+							orig := fuzzWords(33, round, c.Rank(), dst)
+							if len(back[dst]) != len(orig) {
+								return fmt.Errorf("round %d rank %d: round-trip to %d lost words: %d != %d",
+									round, c.Rank(), dst, len(back[dst]), len(orig))
+							}
+							for i := range orig {
+								if back[dst][i] != orig[i] {
+									return fmt.Errorf("round %d rank %d: round-trip word %d to %d corrupted",
+										round, c.Rank(), i, dst)
+								}
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-		})
+		}
+	}
+}
+
+func TestAllreduceVecFuzz(t *testing.T) {
+	// Property: AllreduceVec over OpSum/OpMax matches the closed form every
+	// rank can compute locally (contributions are hashed from (round, rank,
+	// index), so every rank knows everyone's input). Vector lengths straddle
+	// the ring crossover so the ring schedule's reduce-scatter/allgather path
+	// runs for real, including the ragged final block.
+	lengths := []int{1, 7, ringMinWords, ringMinWords + 13}
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, sched := range testSchedules {
+			t.Run(fmt.Sprintf("ranks=%d/%s", n, sched), func(t *testing.T) {
+				w := NewWorld(n)
+				w.SetSchedule(sched)
+				if sched != ScheduleFlat {
+					w.SetTopology(splitTopology(n))
+				}
+				w.SetFaultPlan(&FaultPlan{
+					Seed:   34,
+					Delays: allPairDelays(n, 0.4, time.Millisecond),
+				})
+				err := w.Run(func(c *Comm) error {
+					for round, words := range lengths {
+						c.SetEpoch(round)
+						send := make([]Word, words)
+						for i := range send {
+							send[i] = faultHash(34, 0x7a, round*100000+i, c.Rank(), 0) >> 8
+						}
+						recv := make([]Word, words)
+						c.AllreduceVec(send, recv, OpSum)
+						for i := range recv {
+							var want Word
+							for r := 0; r < n; r++ {
+								want += faultHash(34, 0x7a, round*100000+i, r, 0) >> 8
+							}
+							if recv[i] != want {
+								return fmt.Errorf("round %d rank %d: sum[%d] = %#x, want %#x",
+									round, c.Rank(), i, recv[i], want)
+							}
+						}
+						c.AllreduceVec(send, recv, OpMax)
+						for i := range recv {
+							var want Word
+							for r := 0; r < n; r++ {
+								if v := faultHash(34, 0x7a, round*100000+i, r, 0) >> 8; v > want {
+									want = v
+								}
+							}
+							if recv[i] != want {
+								return fmt.Errorf("round %d rank %d: max[%d] = %#x, want %#x",
+									round, c.Rank(), i, recv[i], want)
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
 	}
 }

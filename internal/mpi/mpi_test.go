@@ -360,7 +360,8 @@ func TestTotalsArithmetic(t *testing.T) {
 		t.Errorf("Sub = %+v", d)
 	}
 	s := d.Add(b)
-	if s != a {
+	if s.P2PMessages != a.P2PMessages || s.P2PBytes != a.P2PBytes ||
+		s.CollectiveCalls != a.CollectiveCalls || s.CollectiveBytes != a.CollectiveBytes {
 		t.Errorf("Add = %+v, want %+v", s, a)
 	}
 	if a.Bytes() != 116 {

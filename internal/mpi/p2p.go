@@ -138,6 +138,7 @@ func (c *Comm) sendVia(op string, dest, tag int, words []Word) {
 		c.world.fail(rf)
 		panic(rf)
 	}
+	c.world.stats.addPeerSent(c.rank, dest, len(words)*WordBytes)
 }
 
 // recvVia blocks for a matching message, bounded by the watchdog timeout
@@ -171,6 +172,7 @@ func (c *Comm) recvVia(op string, src, tag int, timeout time.Duration) message {
 		c.world.fail(rf)
 		panic(rf)
 	}
+	c.world.stats.addPeerRecv(c.rank, msg.src, len(msg.words)*WordBytes)
 	return msg
 }
 

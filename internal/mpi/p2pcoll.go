@@ -5,21 +5,41 @@ import "fmt"
 // Distributed collectives: when a world runs one rank per process over a
 // real transport there is no shared collective slot, so every collective is
 // composed from point-to-point messages in the reserved tag space above
-// collTagBase. The patterns are flat (gather-to-root + broadcast) — the
-// worlds this runtime drives are small enough that tree algorithms would
-// buy latency nobody measures — but the matching discipline is exactly
-// MPI's: every rank calls the same collectives in the same order, and each
-// (src, tag) stream is FIFO, so consecutive collectives of the same kind
-// never cross-match.
+// collTagBase. Which point-to-point shape a collective takes is decided by
+// the world's ScheduleKind (see schedule.go): the flat star
+// (gather-to-root + broadcast, rank 0 an O(P) serialization point), a
+// topology-aware binomial tree (O(log P) critical path, root traffic cut to
+// its tree degree), or — for large AllreduceVec payloads — a ring
+// reduce-scatter/allgather with no root at all. In-process worlds normally
+// use the shared-memory collective slot, but route through these same
+// functions when a non-flat schedule is configured, so every schedule is
+// testable at any rank count without sockets.
+//
+// Tag discipline under multi-hop schedules: one reserved tag per collective
+// kind is still sufficient. The matching argument is MPI's — every rank
+// calls the same collectives in the same order — plus two properties of the
+// schedules: (1) each (src, dst, tag) stream is FIFO, and (2) a rank sends
+// its messages for collective k+1 only after locally completing collective
+// k, which required consuming every collective-k message addressed to it on
+// these tags. A reduce-up message and a fan-down message of the same
+// collective travel opposite directions of an edge (distinct streams), and
+// consecutive same-kind collectives consume a fixed per-stream message
+// count, so multi-hop forwarding never cross-matches generations. The ring
+// leans on the same per-stream FIFO: step s's payload to the successor is
+// consumed before step s+1's arrives.
 //
 // Internal messages deliberately skip the user-level fault gate, the
 // drop/delay injectors, and the P2P meters: faults target the collective
 // operation as a whole (crash/hang at entry, wire faults at the transport),
 // and the collective's logical byte count was already metered at entry, so
-// in-process and distributed runs report comparable stats.
+// in-process and distributed runs report comparable stats. Every hop is
+// individually bounded by the receive watchdog (collRecv), so a depth-d
+// schedule turns a dead interior rank into a structured failure within d
+// deadlines rather than a wedged tree.
 
-// Reserved tags, one per collective kind. Gather and broadcast phases of
-// one kind share a tag safely: the two directions are distinct streams.
+// Reserved tags, one per collective kind. Gather/reduce-up and
+// broadcast/fan-down phases of one kind share a tag safely: the two
+// directions of an edge are distinct streams.
 const (
 	tagBarrier = collTagBase + iota
 	tagAllreduce
@@ -41,10 +61,15 @@ func (c *Comm) collSend(op string, dest, tag int, words []Word) {
 }
 
 // collRecv blocks for an internal collective message, bounded by the
-// watchdog deadline (fixed or adaptive) when one is in force.
+// watchdog deadline (fixed or adaptive) when one is in force — the per-hop
+// deadline every schedule edge inherits.
 func (c *Comm) collRecv(op string, src, tag int) []Word {
 	return c.recvVia(op, src, tag, c.world.curWatchdog()).words
 }
+
+// --- Flat primitives: the original star patterns, byte-identical to the
+// --- pre-schedule runtime. The flat schedule (the default) composes every
+// --- collective from these two.
 
 // distGather collects every rank's words at rank 0. Rank 0 gets the full
 // vector (its own entry aliased, the rest private); other ranks get nil.
@@ -73,91 +98,261 @@ func (c *Comm) distFan(op string, tag int, words []Word) []Word {
 	return c.collRecv(op, 0, tag)
 }
 
-func (c *Comm) distBarrier() {
-	c.distGather("barrier", tagBarrier, nil)
-	c.distFan("barrier", tagBarrier, nil)
+// --- Tree primitives: reduce-up and fan-down over the rank's view of the
+// --- schedule tree. Children are visited in the tree's fan order both
+// --- ways, keeping the hop sequence deterministic for wire replay.
+
+// treeFanDown pushes words from the tree root to every rank: non-roots
+// receive their (private) copy from the parent, then forward to children.
+func (c *Comm) treeFanDown(op string, tag int, t *rankTree, words []Word) []Word {
+	if t.parent >= 0 {
+		words = c.collRecv(op, t.parent, tag)
+	}
+	for _, ch := range t.children {
+		c.collSend(op, ch, tag, words)
+	}
+	return words
 }
 
-func (c *Comm) distAllreduce(v uint64, op ReduceOp) uint64 {
-	contribs := c.distGather("allreduce", tagAllreduce, []Word{v})
-	var res []Word
-	if c.rank == 0 {
-		acc := contribs[0][0]
-		for _, w := range contribs[1:] {
-			acc = op.apply(acc, w[0])
-		}
-		res = []Word{acc}
+// treeGather collects every rank's words at the tree root by concatenating
+// self-describing (rank, len, payload) triples up the tree. The root gets
+// the full per-rank vector (entries alias the assembled blob); other ranks
+// get nil.
+func (c *Comm) treeGather(op string, tag int, t *rankTree, words []Word) [][]Word {
+	blob := make([]Word, 0, 2+len(words))
+	blob = append(blob, Word(c.rank), Word(len(words)))
+	blob = append(blob, words...)
+	for _, ch := range t.children {
+		blob = append(blob, c.collRecv(op, ch, tag)...)
 	}
-	return c.distFan("allreduce", tagAllreduce, res)[0]
+	if t.parent >= 0 {
+		c.collSend(op, t.parent, tag, blob)
+		return nil
+	}
+	out := make([][]Word, c.world.size)
+	for off := 0; off < len(blob); {
+		r, l := int(blob[off]), int(blob[off+1])
+		off += 2
+		out[r] = blob[off : off+l : off+l]
+		off += l
+	}
+	return out
 }
 
-func (c *Comm) distAllreduceVec(send, recv []Word, op ReduceOp) []Word {
-	contribs := c.distGather("allreducevec", tagAllreduceVec, send)
-	var res []Word
-	if c.rank == 0 {
-		res = make([]Word, len(send))
-		copy(res, send)
-		for _, w := range contribs[1:] {
-			if len(w) != len(res) {
-				panic(fmt.Sprintf("mpi: allreducevec length mismatch: %d vs %d words", len(w), len(res)))
+// --- Schedule-dispatched collectives.
+
+func (c *Comm) distBarrier(kind ScheduleKind) {
+	if kind == ScheduleFlat {
+		c.distGather("barrier", tagBarrier, nil)
+		c.distFan("barrier", tagBarrier, nil)
+		return
+	}
+	// Tree barrier (the ring has no latency advantage for empty payloads):
+	// reduce-up establishes that every rank arrived, fan-down releases.
+	t := c.treeFor(0)
+	for _, ch := range t.children {
+		c.collRecv("barrier", ch, tagBarrier)
+	}
+	if t.parent >= 0 {
+		c.collSend("barrier", t.parent, tagBarrier, nil)
+	}
+	c.treeFanDown("barrier", tagBarrier, t, nil)
+}
+
+func (c *Comm) distAllreduce(v uint64, op ReduceOp, kind ScheduleKind) uint64 {
+	if kind == ScheduleFlat {
+		contribs := c.distGather("allreduce", tagAllreduce, []Word{v})
+		var res []Word
+		if c.rank == 0 {
+			acc := contribs[0][0]
+			for _, w := range contribs[1:] {
+				acc = op.apply(acc, w[0])
 			}
-			for i := range res {
-				res[i] = op.apply(res[i], w[i])
+			res = []Word{acc}
+		}
+		return c.distFan("allreduce", tagAllreduce, res)[0]
+	}
+	// Tree reduction; the ring's bandwidth advantage is meaningless for one
+	// word, so ScheduleRing reduces scalars over the tree too. The combine
+	// order differs from flat, but every ReduceOp is associative and
+	// commutative over uint64, so the result is bit-identical.
+	t := c.treeFor(0)
+	acc := v
+	for _, ch := range t.children {
+		acc = op.apply(acc, c.collRecv("allreduce", ch, tagAllreduce)[0])
+	}
+	if t.parent >= 0 {
+		c.collSend("allreduce", t.parent, tagAllreduce, []Word{acc})
+	}
+	return c.treeFanDown("allreduce", tagAllreduce, t, []Word{acc})[0]
+}
+
+func (c *Comm) distAllreduceVec(send, recv []Word, op ReduceOp, kind ScheduleKind) []Word {
+	switch kind {
+	case ScheduleFlat:
+		contribs := c.distGather("allreducevec", tagAllreduceVec, send)
+		var res []Word
+		if c.rank == 0 {
+			res = make([]Word, len(send))
+			copy(res, send)
+			for _, w := range contribs[1:] {
+				if len(w) != len(res) {
+					panic(fmt.Sprintf("mpi: allreducevec length mismatch: %d vs %d words", len(w), len(res)))
+				}
+				for i := range res {
+					res[i] = op.apply(res[i], w[i])
+				}
 			}
 		}
+		copy(recv, c.distFan("allreducevec", tagAllreduceVec, res))
+		return recv
+	case ScheduleRing:
+		return c.ringAllreduceVec(send, recv, op)
 	}
-	copy(recv, c.distFan("allreducevec", tagAllreduceVec, res))
+	t := c.treeFor(0)
+	acc := make([]Word, len(send))
+	copy(acc, send)
+	for _, ch := range t.children {
+		w := c.collRecv("allreducevec", ch, tagAllreduceVec)
+		if len(w) != len(acc) {
+			panic(fmt.Sprintf("mpi: allreducevec length mismatch: %d vs %d words", len(w), len(acc)))
+		}
+		for i := range acc {
+			acc[i] = op.apply(acc[i], w[i])
+		}
+	}
+	if t.parent >= 0 {
+		c.collSend("allreducevec", t.parent, tagAllreduceVec, acc)
+	}
+	copy(recv, c.treeFanDown("allreducevec", tagAllreduceVec, t, acc))
 	return recv
 }
 
-func (c *Comm) distAllgather(v uint64) []uint64 {
-	contribs := c.distGather("allgather", tagAllgather, []Word{v})
+// ringAllreduceVec is the bandwidth-optimal ring: P-1 reduce-scatter steps
+// leave each position owning one fully reduced block, P-1 allgather steps
+// circulate the reduced blocks. Each rank moves ~2·len/P words per step
+// along one ring edge — no root hotspot, total traffic 2·(P-1)/P of the
+// vector per link. Block b is recv[b·n/P : (b+1)·n/P) (possibly empty when
+// len < P); all arithmetic runs in ring-position space so a topology-aware
+// ring order keeps most hops inside a host.
+func (c *Comm) ringAllreduceVec(send, recv []Word, op ReduceOp) []Word {
+	size := c.world.size
+	n := len(send)
+	pos, succ, pred := c.ringNeighbors()
+	block := func(b int) (lo, hi int) { return b * n / size, (b + 1) * n / size }
+	if n > 0 && &recv[0] != &send[0] {
+		copy(recv, send)
+	}
+	for s := 0; s < size-1; s++ {
+		olo, ohi := block((pos - s + size) % size)
+		c.collSend("allreducevec", succ, tagAllreduceVec, recv[olo:ohi])
+		ilo, ihi := block((pos - s - 1 + size) % size)
+		w := c.collRecv("allreducevec", pred, tagAllreduceVec)
+		if len(w) != ihi-ilo {
+			panic(fmt.Sprintf("mpi: allreducevec length mismatch: %d vs %d words", len(w), ihi-ilo))
+		}
+		for i := range w {
+			recv[ilo+i] = op.apply(recv[ilo+i], w[i])
+		}
+	}
+	for s := 0; s < size-1; s++ {
+		olo, ohi := block((pos + 1 - s + size) % size)
+		c.collSend("allreducevec", succ, tagAllreduceVec, recv[olo:ohi])
+		ilo := (pos - s + size) % size
+		lo, _ := block(ilo)
+		copy(recv[lo:], c.collRecv("allreducevec", pred, tagAllreduceVec))
+	}
+	return recv
+}
+
+func (c *Comm) distAllgather(v uint64, kind ScheduleKind) []uint64 {
+	var contribs [][]Word
+	var t *rankTree
+	if kind == ScheduleFlat {
+		contribs = c.distGather("allgather", tagAllgather, []Word{v})
+	} else {
+		t = c.treeFor(0)
+		contribs = c.treeGather("allgather", tagAllgather, t, []Word{v})
+	}
 	var vec []Word
-	if c.rank == 0 {
+	if contribs != nil {
 		vec = make([]Word, c.world.size)
 		for r, w := range contribs {
 			vec[r] = w[0]
 		}
 	}
-	shared := c.distFan("allgather", tagAllgather, vec)
+	var shared []Word
+	if kind == ScheduleFlat {
+		shared = c.distFan("allgather", tagAllgather, vec)
+	} else {
+		shared = c.treeFanDown("allgather", tagAllgather, t, vec)
+	}
 	out := make([]uint64, len(shared))
 	copy(out, shared)
 	return out
 }
 
-func (c *Comm) distBcast(root int, words []Word) []Word {
-	if c.rank == root {
-		for r := 0; r < c.world.size; r++ {
-			if r != root {
-				c.collSend("bcast", r, tagBcast, words)
+func (c *Comm) distBcast(root int, words []Word, kind ScheduleKind) []Word {
+	if kind == ScheduleFlat {
+		if c.rank == root {
+			for r := 0; r < c.world.size; r++ {
+				if r != root {
+					c.collSend("bcast", r, tagBcast, words)
+				}
 			}
+			return words
 		}
-		return words
+		return c.collRecv("bcast", root, tagBcast)
 	}
-	return c.collRecv("bcast", root, tagBcast)
+	return c.treeFanDown("bcast", tagBcast, c.treeFor(root), words)
 }
 
-func (c *Comm) distAlltoallv(send [][]Word) [][]Word {
-	for j, s := range send {
-		if j != c.rank {
-			c.collSend("alltoallv", j, tagAlltoallv, s)
+func (c *Comm) distAlltoallv(send [][]Word, kind ScheduleKind) [][]Word {
+	if kind == ScheduleFlat {
+		for j, s := range send {
+			if j != c.rank {
+				c.collSend("alltoallv", j, tagAlltoallv, s)
+			}
 		}
+		recv := make([][]Word, c.world.size)
+		for i := 0; i < c.world.size; i++ {
+			if i == c.rank {
+				recv[i] = send[i] // local hand-off, owner on both ends
+				continue
+			}
+			recv[i] = c.collRecv("alltoallv", i, tagAlltoallv)
+		}
+		return recv
 	}
-	recv := make([][]Word, c.world.size)
-	for i := 0; i < c.world.size; i++ {
-		if i == c.rank {
-			recv[i] = send[i] // local hand-off, owner on both ends
-			continue
-		}
-		recv[i] = c.collRecv("alltoallv", i, tagAlltoallv)
+	// Stepped pairwise exchange: step s pairs each rank with (rank+s) out
+	// and (rank-s) in, so at most one message per rank is outstanding per
+	// step instead of P-1 — the personalized payloads cannot be combined,
+	// so a tree would only add forwarding bytes. Per-pair payloads are
+	// identical to the flat schedule's, which is what keeps replay-based
+	// hot replacement content-deterministic per (src, dst) stream.
+	size := c.world.size
+	recv := make([][]Word, size)
+	recv[c.rank] = send[c.rank] // local hand-off, owner on both ends
+	for s := 1; s < size; s++ {
+		dst := (c.rank + s) % size
+		src := (c.rank - s + size) % size
+		c.collSend("alltoallv", dst, tagAlltoallv, send[dst])
+		recv[src] = c.collRecv("alltoallv", src, tagAlltoallv)
 	}
 	return recv
 }
 
-func (c *Comm) distAllgatherV(words []Word) [][]Word {
-	contribs := c.distGather("allgatherv", tagAllgatherv, words)
+func (c *Comm) distAllgatherV(words []Word, kind ScheduleKind) [][]Word {
+	var contribs [][]Word
+	var t *rankTree
+	if kind == ScheduleFlat {
+		contribs = c.distGather("allgatherv", tagAllgatherv, words)
+	} else {
+		t = c.treeFor(0)
+		contribs = c.treeGather("allgatherv", tagAllgatherv, t, words)
+	}
 	var flat []Word
-	if c.rank == 0 {
+	if contribs != nil {
 		// Self-describing concatenation: per-rank lengths, then payloads.
 		n := c.world.size
 		total := 1 + n
@@ -173,7 +368,12 @@ func (c *Comm) distAllgatherV(words []Word) [][]Word {
 			flat = append(flat, s...)
 		}
 	}
-	shared := c.distFan("allgatherv", tagAllgatherv, flat)
+	var shared []Word
+	if kind == ScheduleFlat {
+		shared = c.distFan("allgatherv", tagAllgatherv, flat)
+	} else {
+		shared = c.treeFanDown("allgatherv", tagAllgatherv, t, flat)
+	}
 	n := int(shared[0])
 	out := make([][]Word, n)
 	off := 1 + n
@@ -191,17 +391,28 @@ func (c *Comm) distAllgatherV(words []Word) [][]Word {
 	return out
 }
 
-func (c *Comm) distGatherWord(root int, v uint64) []uint64 {
-	if c.rank != root {
-		c.collSend("gather", root, tagGather, []Word{v})
+func (c *Comm) distGatherWord(root int, v uint64, kind ScheduleKind) []uint64 {
+	if kind == ScheduleFlat {
+		if c.rank != root {
+			c.collSend("gather", root, tagGather, []Word{v})
+			return nil
+		}
+		out := make([]uint64, c.world.size)
+		out[root] = v
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				out[r] = c.collRecv("gather", r, tagGather)[0]
+			}
+		}
+		return out
+	}
+	contribs := c.treeGather("gather", tagGather, c.treeFor(root), []Word{v})
+	if contribs == nil {
 		return nil
 	}
 	out := make([]uint64, c.world.size)
-	out[root] = v
-	for r := 0; r < c.world.size; r++ {
-		if r != root {
-			out[r] = c.collRecv("gather", r, tagGather)[0]
-		}
+	for r, w := range contribs {
+		out[r] = w[0]
 	}
 	return out
 }

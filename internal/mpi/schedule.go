@@ -1,0 +1,359 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collective schedules: the shape a collective's point-to-point messages
+// take. The flat schedule is the original gather-to-root + broadcast star;
+// the tree schedule is a topology-aware binomial tree (binomial across host
+// leaders, binomial within each host, so at most one message per collective
+// crosses each host boundary); the ring schedule adds a bandwidth-optimal
+// ring reduce-scatter/allgather for large AllreduceVec payloads; auto starts
+// on the tree and lets the ranks vote ring in when observed payloads cross
+// the bandwidth/latency crossover (see the schedule vote in the join
+// planner). Every schedule is a pure function of (kind, topology, world
+// size, root), so all ranks materialize the same shape without coordination.
+
+// ScheduleKind selects how collectives route their messages.
+type ScheduleKind uint8
+
+const (
+	// ScheduleFlat composes every collective as gather-to-root + broadcast:
+	// O(P) serialized hops through rank 0, minimal latency at tiny P.
+	ScheduleFlat ScheduleKind = iota
+	// ScheduleTree routes through a topology-aware binomial tree: O(log P)
+	// critical-path hops, root traffic cut from O(P) to O(log P) messages.
+	ScheduleTree
+	// ScheduleRing runs large AllreduceVec payloads through a ring
+	// reduce-scatter + allgather (2(P-1)/P of the vector per link, no root
+	// hotspot); every other collective falls back to the tree.
+	ScheduleRing
+	// ScheduleAuto starts on the tree and re-votes tree vs ring each
+	// planning round from the payload sizes the ranks observed.
+	ScheduleAuto
+)
+
+// ParseScheduleKind maps the CLI/config spelling to a kind. The empty
+// string is the flat default.
+func ParseScheduleKind(s string) (ScheduleKind, error) {
+	switch s {
+	case "", "flat":
+		return ScheduleFlat, nil
+	case "tree":
+		return ScheduleTree, nil
+	case "ring":
+		return ScheduleRing, nil
+	case "auto":
+		return ScheduleAuto, nil
+	}
+	return 0, fmt.Errorf("unknown collective schedule %q (want flat, tree, ring, or auto)", s)
+}
+
+func (k ScheduleKind) String() string {
+	switch k {
+	case ScheduleFlat:
+		return "flat"
+	case ScheduleTree:
+		return "tree"
+	case ScheduleRing:
+		return "ring"
+	case ScheduleAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("ScheduleKind(%d)", int(k))
+}
+
+// ringMinWords is the AllreduceVec payload (in words) past which the ring's
+// bandwidth advantage beats the tree's latency advantage: with the default
+// cost model (2000ns/message, 0.25ns/byte) a tree moves depth*n words in
+// depth rounds while the ring moves ~2n/P words per rank over 2(P-1)
+// rounds; around 8 KiB the byte term dominates the round count.
+const ringMinWords = 1024
+
+// rankTree is one rank's view of a reduction tree: who it receives from /
+// forwards to during the reduce-up and fan-down phases, plus the whole
+// tree's height (the critical-path hop count one way — each hop is bounded
+// by the receive watchdog, so a depth-d collective is bounded by d
+// deadlines).
+type rankTree struct {
+	root     int
+	parent   int   // -1 when this rank is the tree root
+	children []int // fan order: larger subtrees first
+	depth    int
+}
+
+// binomialPositions builds the classic binomial tree over positions
+// 0..n-1 (position 0 is the root): position p's parent clears p's lowest
+// set bit, and p's children are p | 2^k for 2^k below p's lowest set bit.
+// Children are ordered largest-subtree-first so the fan-down starts the
+// deepest subtree earliest.
+func binomialPositions(n int) (parent []int, children [][]int) {
+	parent = make([]int, n)
+	children = make([][]int, n)
+	parent[0] = -1
+	for p := 1; p < n; p++ {
+		low := p & -p
+		parent[p] = p &^ low
+	}
+	for p := 0; p < n; p++ {
+		// Bits strictly below p's lowest set bit; for the root, every bit up
+		// to the highest power of two below n.
+		start := (p & -p) >> 1
+		if p == 0 {
+			start = 1
+			for start<<1 < n {
+				start <<= 1
+			}
+		}
+		for bit := start; bit >= 1; bit >>= 1 {
+			if ch := p | bit; ch < n {
+				children[p] = append(children[p], ch)
+			}
+		}
+	}
+	return parent, children
+}
+
+// fullTree holds a whole tree in rank space.
+type fullTree struct {
+	parent   []int
+	children [][]int
+}
+
+func (t *fullTree) height() int {
+	h := 0
+	for r := range t.parent {
+		d := 0
+		for p := r; t.parent[p] >= 0; p = t.parent[p] {
+			d++
+		}
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// graft attaches the binomial tree over order (order[0] is the subtree
+// root) into ft, leaving order[0]'s parent untouched.
+func (ft *fullTree) graft(order []int) {
+	parent, children := binomialPositions(len(order))
+	for p := 1; p < len(order); p++ {
+		ft.parent[order[p]] = order[parent[p]]
+	}
+	for p := 0; p < len(order); p++ {
+		for _, ch := range children[p] {
+			ft.children[order[p]] = append(ft.children[order[p]], order[ch])
+		}
+	}
+}
+
+// topoTree builds the two-level topology-aware tree rooted at root: a
+// binomial tree across host leaders (the root leads its own host; every
+// other host is led by its lowest rank) and a binomial tree within each
+// host rooted at its leader. Exactly one edge per foreign host crosses a
+// host boundary, so one collective costs one cross-host message per host
+// rather than one per rank. Under a uniform (single-host) topology this is
+// a plain binomial tree.
+func topoTree(topo *Topology, size, root int) *fullTree {
+	if topo == nil || topo.Ranks() != size {
+		topo = NewUniformTopology(size)
+	}
+	ft := &fullTree{parent: make([]int, size), children: make([][]int, size)}
+	for r := range ft.parent {
+		ft.parent[r] = -1
+	}
+	// Group members per host, ascending by rank.
+	members := make([][]int, topo.NumHosts())
+	for r := 0; r < size; r++ {
+		members[topo.Host(r)] = append(members[topo.Host(r)], r)
+	}
+	// Leaders: root for its own host, lowest rank elsewhere; the root's
+	// leader goes first, the rest in host-id order.
+	rootHost := topo.Host(root)
+	leaders := []int{root}
+	for h, m := range members {
+		if h != rootHost && len(m) > 0 {
+			leaders = append(leaders, m[0])
+		}
+	}
+	ft.graft(leaders)
+	// Within each host: leader first, remaining members ascending.
+	for h, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		leader := m[0]
+		if h == rootHost {
+			leader = root
+		}
+		order := []int{leader}
+		for _, r := range m {
+			if r != leader {
+				order = append(order, r)
+			}
+		}
+		ft.graft(order)
+	}
+	return ft
+}
+
+// similarityTree builds a reduction tree from an observed traffic matrix:
+// a deterministic maximum-spanning-tree (Prim, ties to the lower rank) over
+// symmetrized per-peer byte counts, so the heaviest-talking pairs become
+// tree edges. The matrix must be installed before Run (World.SetTraffic) —
+// typically the per-peer counters a previous run or iteration exposed
+// through NetStats — never sampled mid-run: rank-local sampling points are
+// not synchronized, so live refreshes would build divergent trees.
+func similarityTree(w [][]int64, size, root int) *fullTree {
+	ft := &fullTree{parent: make([]int, size), children: make([][]int, size)}
+	for r := range ft.parent {
+		ft.parent[r] = -1
+	}
+	weight := func(a, b int) int64 { return w[a][b] + w[b][a] }
+	placed := make([]bool, size)
+	placed[root] = true
+	for n := 1; n < size; n++ {
+		bestRank, bestParent, bestW := -1, -1, int64(-1)
+		for r := 0; r < size; r++ {
+			if placed[r] {
+				continue
+			}
+			for p := 0; p < size; p++ {
+				if !placed[p] {
+					continue
+				}
+				if cw := weight(r, p); cw > bestW ||
+					(cw == bestW && (r < bestRank || (r == bestRank && p < bestParent))) {
+					bestRank, bestParent, bestW = r, p, cw
+				}
+			}
+		}
+		placed[bestRank] = true
+		ft.parent[bestRank] = bestParent
+		ft.children[bestParent] = append(ft.children[bestParent], bestRank)
+	}
+	return ft
+}
+
+// ringOrder is the cycle the ring schedule sends along: ranks grouped by
+// host (so at most NumHosts links cross a host boundary per round), rank
+// order within a host.
+func ringOrder(topo *Topology, size int) []int {
+	order := make([]int, size)
+	for i := range order {
+		order[i] = i
+	}
+	if topo == nil || topo.Ranks() != size {
+		return order
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		hi, hj := topo.Host(order[i]), topo.Host(order[j])
+		if hi != hj {
+			return hi < hj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// treeFor returns this rank's cached view of the active reduction tree
+// rooted at root, materializing it on first use. The cache is keyed by root
+// only: the tree's other inputs (kind, topology, world size) are fixed for
+// the comm's lifetime, except a similarity refresh, which clears the cache.
+func (c *Comm) treeFor(root int) *rankTree {
+	if t, ok := c.trees[root]; ok {
+		return t
+	}
+	size := c.world.size
+	var ft *fullTree
+	if c.simMatrix != nil {
+		ft = similarityTree(c.simMatrix, size, root)
+	} else {
+		ft = topoTree(c.world.topo, size, root)
+	}
+	t := &rankTree{
+		root:     root,
+		parent:   ft.parent[c.rank],
+		children: ft.children[c.rank],
+		depth:    ft.height(),
+	}
+	if c.trees == nil {
+		c.trees = make(map[int]*rankTree)
+	}
+	c.trees[root] = t
+	return t
+}
+
+// ringNeighbors returns this rank's position in the ring order plus its
+// successor and predecessor ranks, cached after first use.
+func (c *Comm) ringNeighbors() (pos, succ, pred int) {
+	if c.ringOrd == nil {
+		c.ringOrd = ringOrder(c.world.topo, c.world.size)
+		for i, r := range c.ringOrd {
+			if r == c.rank {
+				c.ringPos = i
+				break
+			}
+		}
+	}
+	n := len(c.ringOrd)
+	return c.ringPos, c.ringOrd[(c.ringPos+1)%n], c.ringOrd[(c.ringPos+n-1)%n]
+}
+
+// Schedule returns the schedule kind this rank's collectives currently
+// route through (auto resolves to the concrete kind last voted).
+func (c *Comm) Schedule() ScheduleKind { return c.sched }
+
+// Topology returns the world's rank placement, or nil when none was
+// configured (callers treat nil as a uniform single-host topology).
+func (c *Comm) Topology() *Topology { return c.world.topo }
+
+// ScheduleAuto reports whether the world runs the auto schedule, i.e. the
+// planner should piggyback a schedule vote on its planning round.
+func (c *Comm) ScheduleAuto() bool { return c.schedAuto }
+
+// ScheduleVote returns this rank's vote for next round's schedule: 1 for
+// the ring when the payloads it has observed are large enough that
+// bandwidth dominates latency, 0 for the tree. Rank-local observations —
+// agreement comes from summing the votes in the planning Allreduce.
+func (c *Comm) ScheduleVote() uint64 {
+	if c.lastVecWords >= ringMinWords {
+		return 1
+	}
+	return 0
+}
+
+// ApplyScheduleVote switches this rank's schedule to the kind a majority
+// voted for. Every rank must apply the same tally at the same point (after
+// the same Allreduce returned), which keeps the next collective's shape
+// agreed without an extra round.
+func (c *Comm) ApplyScheduleVote(ringVotes int) {
+	if !c.schedAuto {
+		return
+	}
+	next := ScheduleTree
+	if 2*ringVotes > c.world.size {
+		next = ScheduleRing
+	}
+	c.sched = next
+}
+
+// ScheduleDepth is the critical-path hop count of one collective under the
+// active schedule: the serialized O(P) star for flat, the tree height for
+// tree (doubled for the fan-down), P-1 for the ring. The planner charges
+// its voting round this many message latencies.
+func (c *Comm) ScheduleDepth() int {
+	size := c.world.size
+	if size <= 1 {
+		return 0
+	}
+	switch c.sched {
+	case ScheduleFlat, ScheduleRing:
+		return size - 1
+	default:
+		return c.treeFor(0).depth
+	}
+}

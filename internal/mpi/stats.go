@@ -26,6 +26,14 @@ type RankStats struct {
 	P2PMessages int
 	P2PBytes    int
 	Collectives map[string]CollectiveStats
+	// PeerBytesSent/PeerBytesRecv are this rank's per-peer wire bytes,
+	// indexed by peer rank — every point-to-point transfer plus every hop a
+	// collective schedule routed through this rank. They are the input the
+	// similarity schedule is built from, and how a benchmark sees traffic
+	// concentration (e.g. bytes through the flat star's root). The self
+	// entry stays zero: local hand-offs never touch a wire.
+	PeerBytesSent []int64
+	PeerBytesRecv []int64
 }
 
 // CollectiveStats counts one collective kind's calls and payload bytes for a
@@ -39,9 +47,48 @@ func newStats(size int) *Stats {
 	s := &Stats{ranks: make([]RankStats, size)}
 	for i := range s.ranks {
 		s.ranks[i].Collectives = make(map[string]CollectiveStats)
+		s.ranks[i].PeerBytesSent = make([]int64, size)
+		s.ranks[i].PeerBytesRecv = make([]int64, size)
 	}
 	return s
 }
+
+// addPeerSent/addPeerRecv meter one wire transfer's bytes against the
+// (src, dest) pair. Unlike addP2P they also see the internal hops
+// collectives are composed of — per-link traffic is exactly what a
+// schedule reshapes, so it is what these counters exist to show.
+func (s *Stats) addPeerSent(src, dest, bytes int) {
+	if src == dest {
+		return
+	}
+	s.mu.Lock()
+	s.ranks[src].PeerBytesSent[dest] += int64(bytes)
+	s.mu.Unlock()
+}
+
+func (s *Stats) addPeerRecv(dst, src, bytes int) {
+	if src == dst {
+		return
+	}
+	s.mu.Lock()
+	s.ranks[dst].PeerBytesRecv[src] += int64(bytes)
+	s.mu.Unlock()
+}
+
+// peerMatrix snapshots the sent-bytes matrix (entry [i][j] = bytes rank i
+// sent rank j), the similarity schedule's input shape.
+func (s *Stats) peerMatrix() [][]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]int64, len(s.ranks))
+	for i := range s.ranks {
+		out[i] = append([]int64(nil), s.ranks[i].PeerBytesSent...)
+	}
+	return out
+}
+
+// PeerMatrix returns a copy of the per-peer sent-bytes matrix.
+func (s *Stats) PeerMatrix() [][]int64 { return s.peerMatrix() }
 
 func (s *Stats) addP2P(src, dest, bytes int) {
 	if src == dest {
@@ -126,9 +173,11 @@ func (s *Stats) PerRank() []RankStats {
 	out := make([]RankStats, len(s.ranks))
 	for i := range s.ranks {
 		out[i] = RankStats{
-			P2PMessages: s.ranks[i].P2PMessages,
-			P2PBytes:    s.ranks[i].P2PBytes,
-			Collectives: make(map[string]CollectiveStats, len(s.ranks[i].Collectives)),
+			P2PMessages:   s.ranks[i].P2PMessages,
+			P2PBytes:      s.ranks[i].P2PBytes,
+			Collectives:   make(map[string]CollectiveStats, len(s.ranks[i].Collectives)),
+			PeerBytesSent: append([]int64(nil), s.ranks[i].PeerBytesSent...),
+			PeerBytesRecv: append([]int64(nil), s.ranks[i].PeerBytesRecv...),
 		}
 		for k, v := range s.ranks[i].Collectives {
 			out[i].Collectives[k] = v

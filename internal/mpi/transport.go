@@ -114,6 +114,39 @@ type NetStats struct {
 	// stayed within the configured window. A gauge, not a total: Add takes
 	// the max, Sub passes n's value through.
 	OutboxPeakFrames int64
+	// PeerBytesSent/PeerBytesRecv are per-peer payload byte totals, indexed
+	// by rank (the self entry stays zero). They show how a collective
+	// schedule concentrates or spreads wire traffic, and are the
+	// observation the similarity schedule consumes. Nil on transports that
+	// do not track them; Add/Sub treat nil as zeros.
+	PeerBytesSent []int64
+	PeerBytesRecv []int64
+}
+
+// addPeerBytes returns the elementwise a+b (nil-safe; nil when both nil).
+func addPeerBytes(a, b []int64) []int64 {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make([]int64, max(len(a), len(b)))
+	copy(out, a)
+	for i := range b {
+		out[i] += b[i]
+	}
+	return out
+}
+
+// subPeerBytes returns the elementwise a-b (nil-safe; nil when both nil).
+func subPeerBytes(a, b []int64) []int64 {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make([]int64, max(len(a), len(b)))
+	copy(out, a)
+	for i := range b {
+		out[i] -= b[i]
+	}
+	return out
 }
 
 // Add returns n + m fieldwise (max for the peak gauge).
@@ -129,6 +162,8 @@ func (n NetStats) Add(m NetStats) NetStats {
 		CRCErrors:        n.CRCErrors + m.CRCErrors,
 		ThrottleStalls:   n.ThrottleStalls + m.ThrottleStalls,
 		OutboxPeakFrames: max(n.OutboxPeakFrames, m.OutboxPeakFrames),
+		PeerBytesSent:    addPeerBytes(n.PeerBytesSent, m.PeerBytesSent),
+		PeerBytesRecv:    addPeerBytes(n.PeerBytesRecv, m.PeerBytesRecv),
 	}
 }
 
@@ -146,5 +181,7 @@ func (n NetStats) Sub(m NetStats) NetStats {
 		CRCErrors:        n.CRCErrors - m.CRCErrors,
 		ThrottleStalls:   n.ThrottleStalls - m.ThrottleStalls,
 		OutboxPeakFrames: n.OutboxPeakFrames,
+		PeerBytesSent:    subPeerBytes(n.PeerBytesSent, m.PeerBytesSent),
+		PeerBytesRecv:    subPeerBytes(n.PeerBytesRecv, m.PeerBytesRecv),
 	}
 }

@@ -51,6 +51,15 @@ type World struct {
 	// Transport. nil means the in-process simulated runtime (memTransport).
 	dist *distState
 
+	// sched is the configured collective schedule (SetSchedule); topo the
+	// optional rank placement shaping tree and ring construction
+	// (SetTopology); traffic the optional observed per-peer byte matrix the
+	// similarity tree is built from (SetTraffic). All fixed before Run.
+	sched    ScheduleKind
+	topo     *Topology
+	traffic  [][]int64
+	forceP2P bool
+
 	// Fault tolerance state. watchdog is the fixed deadline (SetWatchdog);
 	// wd, when non-nil, supersedes it with the EWMA-derived adaptive one.
 	plan     *FaultPlan
@@ -137,6 +146,46 @@ func (w *World) SetWatchdog(timeout time.Duration) { w.watchdog = timeout }
 // SetObserver attaches a live event stream for world-level events (rank
 // failures). It must be called before Run; nil (the default) is free.
 func (w *World) SetObserver(o obs.Observer) { w.observer = o }
+
+// SetSchedule selects the collective schedule (flat, tree, ring, auto) the
+// world's collectives route through. It must be called before Run; the
+// zero value is the flat star, byte-identical to the pre-schedule runtime.
+func (w *World) SetSchedule(k ScheduleKind) { w.sched = k }
+
+// SetTopology installs the rank placement the tree and ring schedules
+// shape themselves around. It must be called before Run; nil (the default)
+// means a uniform single-host topology.
+func (w *World) SetTopology(t *Topology) { w.topo = t }
+
+// ForceP2PCollectives routes every collective through the point-to-point
+// composition even on in-process flat worlds, which normally keep the
+// shared-memory slot. Benchmarks use it to compare schedule shapes over the
+// identical substrate (the memTransport mailboxes, with per-peer byte
+// metering); production worlds never need it. It must be called before Run.
+func (w *World) ForceP2PCollectives() { w.forceP2P = true }
+
+// SetTraffic installs an observed per-peer byte matrix (entry [i][j] is
+// bytes i sent j, as exposed by the per-peer NetStats/RankStats counters of
+// a previous run or iteration window): tree schedules then use the
+// similarity tree — a maximum-spanning tree over pair traffic — instead of
+// the topology tree. It must be called before Run: every rank must build
+// the identical tree, so the matrix has to be agreed input, never a
+// mid-run rank-local sample.
+func (w *World) SetTraffic(m [][]int64) { w.traffic = m }
+
+// newComm builds one rank's communicator, resolving the world's configured
+// schedule into the rank's starting schedule state (auto starts on the
+// tree and lets the planner's schedule vote move it).
+func (w *World) newComm(rank int) *Comm {
+	c := &Comm{world: w, rank: rank, sendSeq: make([]int, w.size), sched: w.sched}
+	if c.sched == ScheduleAuto {
+		c.sched, c.schedAuto = ScheduleTree, true
+	}
+	if w.traffic != nil {
+		c.simMatrix = w.traffic
+	}
+	return c
+}
 
 // Recovering reports whether any peer is parked in the hot-replacement
 // window (silent but not yet declared dead).
@@ -298,7 +347,7 @@ func (w *World) runRank(rank int, body func(c *Comm) error) {
 		}
 		w.rankExited(rank, err)
 	}()
-	err = body(&Comm{world: w, rank: rank, sendSeq: make([]int, w.size)})
+	err = body(w.newComm(rank))
 }
 
 // runWatchdog polls the collective slot for ranks that stay absent from an
@@ -371,6 +420,20 @@ type Comm struct {
 	// outer slice is recycled across calls (the payload rows it points at
 	// are still private per call). See Alltoallv's ownership contract.
 	recvRows [][]Word
+
+	// Collective schedule state (see schedule.go). sched is the schedule in
+	// force (auto resolves to a concrete kind, re-voted by the planner);
+	// trees caches this rank's tree view per root; ringOrd/ringPos cache
+	// the ring order; simMatrix, when set, replaces the topology tree with
+	// the traffic-similarity tree; lastVecWords is the most recent
+	// AllreduceVec payload length, the auto vote's ring signal.
+	sched        ScheduleKind
+	schedAuto    bool
+	trees        map[int]*rankTree
+	ringOrd      []int
+	ringPos      int
+	simMatrix    [][]int64
+	lastVecWords int
 }
 
 // recvHeader returns the rank-private outer slice for a vector collective

@@ -129,6 +129,12 @@ type NetStats struct {
 	// unacknowledged frames buffered for any single peer (a gauge).
 	ThrottleStalls   int64
 	OutboxPeakFrames int64
+	// PeerBytesSent/PeerBytesRecv are the window's per-peer payload byte
+	// deltas, indexed by rank (nil when the transport does not track them).
+	// They feed the /metrics per-peer gauges — the observation a
+	// similarity-aware collective schedule is built from.
+	PeerBytesSent []int64
+	PeerBytesRecv []int64
 }
 
 // Event is one observability record. Which fields are meaningful depends on
@@ -171,6 +177,8 @@ type Event struct {
 func (e *Event) Clone() *Event {
 	c := *e
 	c.PerRank = append([]int(nil), e.PerRank...)
+	c.Net.PeerBytesSent = append([]int64(nil), e.Net.PeerBytesSent...)
+	c.Net.PeerBytesRecv = append([]int64(nil), e.Net.PeerBytesRecv...)
 	return &c
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -11,6 +12,7 @@ func TestGetReturnsZeroedEvent(t *testing.T) {
 	e.Name, e.Err = "allgather", "boom"
 	e.PerRank = append(e.PerRank, 1, 2, 3)
 	e.Net.Retransmits = 9
+	e.Net.PeerBytesSent = []int64{1, 2}
 	Emit(nil, e)
 
 	// The pooled event must come back fully zeroed — stale fields would
@@ -22,7 +24,7 @@ func TestGetReturnsZeroedEvent(t *testing.T) {
 	if len(e2.PerRank) != 0 {
 		t.Fatalf("recycled event has stale PerRank: %v", e2.PerRank)
 	}
-	if e2.Net != (NetStats{}) {
+	if !reflect.DeepEqual(e2.Net, NetStats{}) {
 		t.Fatalf("recycled event has stale NetStats: %+v", e2.Net)
 	}
 	Emit(nil, e2)

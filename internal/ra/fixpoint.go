@@ -327,7 +327,7 @@ func (f *Fixpoint) Rejoin(opts Options, cp Checkpoint) (int, error) {
 		timer.Done(int64(len(cp.Words)), int64(len(cp.Words)*mpi.WordBytes), 0))
 	f.emitRecovery(opts, "rejoin", cp.Iter, len(cp.Words)*mpi.WordBytes)
 	f.Comm.RejoinMarks()
-	f.Comm.Barrier()
+	f.Comm.CheckpointBarrier()
 	f.Comm.WireMarkCheckpoint()
 	return f.run(opts, cp.Iter), nil
 }
@@ -476,8 +476,10 @@ func (f *Fixpoint) checkpoint(opts Options, iter int) {
 	}
 	if marked {
 		// No rank may start next-iteration sends before every rank captured
-		// and saved; only then may retained send history roll forward.
-		f.Comm.Barrier()
+		// and saved; only then may retained send history roll forward. The
+		// star-shaped CheckpointBarrier keeps the cut consistent under tree
+		// and ring schedules (see mpi.CheckpointBarrier).
+		f.Comm.CheckpointBarrier()
 		f.Comm.WireMarkCheckpoint()
 	}
 	f.MC.Record(rank, iter-1, metrics.PhaseCheckpoint,
@@ -733,6 +735,8 @@ func (f *Fixpoint) emitIteration(o obs.Observer, opts Options, iter int, changed
 		ThrottleStalls:  d.Net.ThrottleStalls,
 		// The outbox peak is a gauge, not a delta: Sub passes it through.
 		OutboxPeakFrames: d.Net.OutboxPeakFrames,
+		PeerBytesSent:    d.Net.PeerBytesSent,
+		PeerBytesRecv:    d.Net.PeerBytesRecv,
 	}
 	obs.Emit(o, e)
 }
@@ -784,7 +788,7 @@ func (f *Fixpoint) rebalance(iter int, rels []*relation.Relation, opts Options) 
 			shipped = rel.SetSubs(rel.Subs() * 2)
 		}
 		f.MC.Record(rank, iter, metrics.PhaseRebalance,
-			timer.Done(1, int64(shipped), logRanks(f.Comm.Size())))
+			timer.Done(1, int64(shipped), int64(f.Comm.ScheduleDepth())))
 	}
 }
 

@@ -136,9 +136,21 @@ func nonEmptyLanes(send [][]mpi.Word, self int) int64 {
 	return n
 }
 
-// logRanks approximates the latency steps of a small collective (a
-// reduction tree over the world).
-func logRanks(size int) int64 { return int64(bits.Len(uint(size))) }
+// crossTraffic tallies the bytes and messages in send that leave this
+// rank's host under the world's topology (zero when no topology is set —
+// a uniform fabric has no cross-host links to surcharge).
+func crossTraffic(topo *mpi.Topology, self int, send [][]mpi.Word) (bytes, msgs int64) {
+	if topo == nil {
+		return 0, 0
+	}
+	for dest, s := range send {
+		if dest != self && len(s) > 0 && !topo.SameHost(self, dest) {
+			bytes += int64(len(s)) * mpi.WordBytes
+			msgs++
+		}
+	}
+	return bytes, msgs
+}
 
 // Run executes one variant of the join — versions vl and vr select the
 // semi-naïve sides — and appends head tuples to pending. It is collective.
@@ -154,7 +166,11 @@ func (j *Join) Run(iter int, vl, vr Version, mode PlanMode, mc *metrics.Collecto
 
 	// Dynamic join planning (Algorithm 1): each rank votes with one word;
 	// an Allreduce tallies. If a majority finds the left side smaller, the
-	// left relation is serialized (outer).
+	// left relation is serialized (outer). Under the auto collective
+	// schedule the same word carries a second vote in its high half: each
+	// rank's tree-vs-ring preference from the payload sizes it observed,
+	// applied by every rank against the same tally so next iteration's
+	// collectives agree on their shape without an extra round.
 	outerIsLeft := false
 	switch mode {
 	case PlanStaticLeft:
@@ -167,12 +183,19 @@ func (j *Join) Run(iter int, vl, vr Version, mode PlanMode, mc *metrics.Collecto
 		if versionLen(j.Left, vl) < versionLen(j.Right, vr) {
 			localOuter = 1
 		}
-		ranksWantLeft := comm.Allreduce(localOuter, mpi.OpSum)
+		vote := localOuter
+		if comm.ScheduleAuto() {
+			vote |= comm.ScheduleVote() << 32
+		}
+		tally := comm.Allreduce(vote, mpi.OpSum)
+		ranksWantLeft := tally & 0xffffffff
 		outerIsLeft = ranksWantLeft >= uint64((size+1)/2)
 		if mode == PlanAntiDynamic {
 			outerIsLeft = !outerIsLeft
 		}
-		mc.Record(rank, iter, metrics.PhasePlanning, timer.Done(1, mpi.WordBytes, logRanks(size)))
+		comm.ApplyScheduleVote(int(tally >> 32))
+		mc.Record(rank, iter, metrics.PhasePlanning,
+			timer.Done(1, mpi.WordBytes, int64(comm.ScheduleDepth())))
 		if o := mc.Observer(); o != nil {
 			e := obs.Get()
 			e.Kind = obs.KindPlan
@@ -208,8 +231,9 @@ func (j *Join) Run(iter int, vl, vr Version, mode PlanMode, mc *metrics.Collecto
 	pre := comm.Stats().Snapshot()
 	recv := comm.Alltoallv(send)
 	d := comm.Stats().Snapshot().Sub(pre)
-	mc.Record(rank, iter, metrics.PhaseIntraBucket,
-		timer.Done(scanned, int64(d.Bytes()), nonEmptyLanes(send, rank)+1))
+	exch := timer.Done(scanned, int64(d.Bytes()), nonEmptyLanes(send, rank)+1)
+	exch.CrossBytes, exch.CrossMsgs = crossTraffic(comm.Topology(), rank, send)
+	mc.Record(rank, iter, metrics.PhaseIntraBucket, exch)
 
 	// Local join: probe the inner B-tree with each received outer tuple.
 	timer = metrics.StartTimer()

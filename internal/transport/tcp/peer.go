@@ -396,6 +396,7 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 		p.mu.Unlock()
 		t.ctr.framesRecv.Add(1)
 		if deliver {
+			t.peerRecv[f.src].Add(int64(len(f.words)) * mpi.WordBytes)
 			t.handler.Deliver(int(f.src), int(f.tag), f.words)
 		}
 		if f.typ == ftBye || f.typ == ftHeartbeat {

@@ -157,6 +157,12 @@ type Transport struct {
 	ctr     netCounters
 	handler mpi.Handler
 
+	// peerSent/peerRecv count payload bytes per peer rank (self stays
+	// zero) — the per-peer view NetStats and /metrics expose and the
+	// similarity schedule consumes.
+	peerSent []atomic.Int64
+	peerRecv []atomic.Int64
+
 	peers []*peer // nil at self index
 
 	// acctp optionally charges the outbox to a memory accountant and lets
@@ -197,13 +203,15 @@ func New(cfg Config) (*Transport, error) {
 		}
 	}
 	t := &Transport{
-		cfg:   cfg,
-		self:  cfg.Rank,
-		size:  size,
-		ln:    ln,
-		fs:    newFaultState(cfg.Faults, cfg.Rank),
-		peers: make([]*peer, size),
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		self:     cfg.Rank,
+		size:     size,
+		ln:       ln,
+		fs:       newFaultState(cfg.Faults, cfg.Rank),
+		peers:    make([]*peer, size),
+		peerSent: make([]atomic.Int64, size),
+		peerRecv: make([]atomic.Int64, size),
+		stop:     make(chan struct{}),
 	}
 	for r := 0; r < size; r++ {
 		if r != t.self {
@@ -235,7 +243,18 @@ func (t *Transport) Net() mpi.NetStats {
 		CRCErrors:        t.ctr.crcErrors.Load(),
 		ThrottleStalls:   t.ctr.throttleStalls.Load(),
 		OutboxPeakFrames: t.ctr.outboxPeak.Load(),
+		PeerBytesSent:    loadPeerBytes(t.peerSent),
+		PeerBytesRecv:    loadPeerBytes(t.peerRecv),
 	}
+}
+
+// loadPeerBytes snapshots a per-peer atomic counter row.
+func loadPeerBytes(ctrs []atomic.Int64) []int64 {
+	out := make([]int64, len(ctrs))
+	for i := range ctrs {
+		out[i] = ctrs[i].Load()
+	}
+	return out
 }
 
 // SetAccountant attaches a memory accountant: the outbox charges its
@@ -426,6 +445,7 @@ func (t *Transport) Send(dest, tag int, words []mpi.Word) error {
 	}
 	p.seq++
 	p.out = append(p.out, frame{typ: ftData, src: uint32(t.self), tag: int64(tag), seq: p.seq, words: cp})
+	t.peerSent[dest].Add(int64(len(cp)) * mpi.WordBytes)
 	observeMax(&t.ctr.outboxPeak, int64(p.unackedLocked()))
 	p.mu.Unlock()
 	stopTimer(wake)

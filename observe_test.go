@@ -69,6 +69,14 @@ func TestConfigValidate(t *testing.T) {
 		{"checkpoint with sink", Config{CheckpointEvery: 4, Checkpoints: sink}, ""},
 		{"resume without sink", Config{Resume: true}, "no sink to restore from"},
 		{"resume with sink", Config{Resume: true, Checkpoints: sink}, ""},
+		{"schedule flat", Config{CollectiveSchedule: "flat"}, ""},
+		{"schedule tree", Config{CollectiveSchedule: "tree"}, ""},
+		{"schedule ring", Config{CollectiveSchedule: "ring"}, ""},
+		{"schedule auto", Config{CollectiveSchedule: "auto"}, ""},
+		{"schedule unknown", Config{CollectiveSchedule: "star"}, "unknown collective schedule"},
+		{"topology matching", Config{Ranks: 2, Topology: TopologyFromHosts([]string{"a", "b"})}, ""},
+		{"topology wrong size", Config{Ranks: 4, Topology: TopologyFromHosts([]string{"a", "b"})}, "Config.Topology"},
+		{"topology default ranks", Config{Topology: TopologyFromHosts([]string{"a", "b", "a", "b"})}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -87,6 +87,25 @@ type Config struct {
 	// Cost overrides the simulated-time cost model (zero value = default).
 	Cost metrics.CostModel
 
+	// CollectiveSchedule selects how collectives route their messages:
+	// "flat" (or empty, the default) composes every collective as a
+	// gather-to-root + broadcast star; "tree" routes through a
+	// topology-aware binomial reduction tree (O(log P) critical path, root
+	// traffic cut from O(P) to O(log P) messages); "ring" additionally runs
+	// large vector reductions through a ring reduce-scatter/allgather;
+	// "auto" starts on the tree and lets the ranks re-vote tree-vs-ring
+	// each planning round from the payload sizes they observe. Must be
+	// identical on every rank of a distributed world.
+	CollectiveSchedule string
+	// Topology describes where ranks live relative to each other (host
+	// grouping plus optional per-link costs). The tree schedule keeps
+	// reduction traffic inside a host before crossing the expensive links,
+	// the ring schedule orders its cycle host-by-host, and the kernel's
+	// exchange phase meters cross-host traffic against the cost model's
+	// surcharges. nil (the default) is a uniform single-host topology. Must
+	// describe exactly the world's rank count.
+	Topology *Topology
+
 	// Transport runs the execution distributed: this process hosts rank
 	// Transport.Self() of a Transport.Size()-rank world over a real wire
 	// (internal/transport/tcp provides one). Every participating process
@@ -194,6 +213,18 @@ func (c Config) Validate() error {
 	}
 	if c.MaxIters < 0 {
 		return fmt.Errorf("paralagg: Config.MaxIters must be >= 0, got %d (0 runs to fixpoint)", c.MaxIters)
+	}
+	if _, err := mpi.ParseScheduleKind(c.CollectiveSchedule); err != nil {
+		return fmt.Errorf("paralagg: Config.CollectiveSchedule: %v", err)
+	}
+	if c.Topology != nil {
+		size := c.ranks()
+		if c.Transport != nil {
+			size = c.Transport.Size()
+		}
+		if err := c.Topology.Validate(size); err != nil {
+			return fmt.Errorf("paralagg: Config.Topology: %v", err)
+		}
 	}
 	if c.Watchdog < 0 {
 		return fmt.Errorf("paralagg: Config.Watchdog must be >= 0, got %v (0 disables the watchdog)", c.Watchdog)
@@ -402,6 +433,12 @@ func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank)
 	}
 	if cfg.Faults != nil {
 		world.SetFaultPlan(cfg.Faults)
+	}
+	// Validated above; the parse cannot fail here.
+	sched, _ := mpi.ParseScheduleKind(cfg.CollectiveSchedule)
+	world.SetSchedule(sched)
+	if cfg.Topology != nil {
+		world.SetTopology(cfg.Topology)
 	}
 	if cfg.AdaptiveWatchdog {
 		ceil := cfg.WatchdogCeil
