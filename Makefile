@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity chaos-overload chaos-recovery chaos-tree verify bench bench-smoke bench-integrity bench-overload bench-recovery bench-collectives
+.PHONY: build test race vet lint trace-smoke chaos chaos-net chaos-integrity chaos-overload chaos-recovery chaos-tree chaos-serving verify bench bench-smoke bench-integrity bench-overload bench-recovery bench-collectives bench-serving bench-serving-smoke
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ chaos-overload:
 chaos-recovery:
 	$(GO) run ./cmd/paralagg -chaos-recovery
 
+# chaos-serving runs the serving differential suite: every scenario's
+# insert/delete batches stream into a long-lived engine at 1, 2, and 4
+# ranks, and after the initial load and every batch the resident relations
+# must be bit-identical to a from-scratch recomputation over the same base
+# facts. Incremental insert-only batches must also re-converge in strictly
+# fewer iterations than the from-scratch control.
+chaos-serving:
+	$(GO) run ./cmd/paralagg -chaos-serving
+
 # chaos-tree replays the crash/restart and hot-replacement suites with every
 # collective routed through the binomial tree schedule: the same
 # bit-identical differentials must hold when reductions take multi-hop
@@ -127,6 +136,21 @@ bench-overload:
 bench-recovery:
 	$(GO) test -run '^$$' -bench 'RecoveryHotReplace|RecoveryFullRestart' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_recovery.json
+
+# bench-serving measures sustained serving load against a long-lived
+# engine: alternating insert/delete batches with interleaved point-lookup
+# bursts at 2 and 4 ranks, plus the isolated read path. Records
+# BENCH_serving.json with ns/op plus the custom qps, p99-ns, and
+# reconv-iters/op series (benchjson's `extra` map).
+bench-serving:
+	$(GO) test -run '^$$' -bench 'Serving' -benchmem -benchtime 200x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_serving.json
+
+# bench-serving-smoke is the CI variant: a handful of iterations, just to
+# prove the serving benchmarks still run and parse into JSON.
+bench-serving-smoke:
+	$(GO) test -run '^$$' -bench 'Serving' -benchmem -benchtime 5x . \
+		| $(GO) run ./cmd/benchjson
 
 # bench-collectives compares the flat, tree, and ring schedules at 4/8/16
 # ranks over the identical p2p substrate, recording BENCH_collectives.json:

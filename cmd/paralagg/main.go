@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -21,8 +22,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"paralagg"
@@ -69,6 +72,8 @@ func main() {
 	heartbeatInterval := flag.Duration("heartbeat-interval", 0, "TCP liveness beacon interval between peers (0 = default 100ms; with -transport=tcp)")
 	peerTimeout := flag.Duration("peer-timeout", 0, "declare a silent TCP peer dead after this long (0 = 5 heartbeat intervals; must be at least 2x the heartbeat interval; with -transport=tcp)")
 	runRecoveryChaos := flag.Bool("chaos-recovery", false, "run the hot-replacement recovery suite (partial restart with epoch'd membership over real TCP gangs)")
+	runServingChaos := flag.Bool("chaos-serving", false, "run the serving differential suite (streamed insert/delete batches vs from-scratch recomputation, bit-identical after every batch)")
+	serveAddr := flag.String("serve", "", "serving mode: converge once, keep the state resident, and answer /query, /topk and /apply on this host:port until interrupted")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON file of the run (open in chrome://tracing or Perfetto); TCP children write <path>.rankN")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /vars and /debug/pprof on this host:port while the run is in flight; TCP children offset the port by their rank")
 	jsonOut := flag.Bool("json", false, "print the result as a JSON document (stable field names) instead of the human summary")
@@ -101,6 +106,10 @@ func main() {
 	}
 	if *runRecoveryChaos {
 		runRecoveryChaosSuite()
+		return
+	}
+	if *runServingChaos {
+		runServingChaosSuite()
 		return
 	}
 
@@ -170,6 +179,17 @@ func main() {
 		}
 		if *peerTimeout < 2*hb {
 			log.Fatalf("-peer-timeout %v is below 2x the heartbeat interval %v: raise it or lower -heartbeat-interval", *peerTimeout, hb)
+		}
+	}
+	if *serveAddr != "" {
+		if *transport != "sim" {
+			log.Fatal("-serve needs -transport=sim: the serving engine journals base facts per process, so a TCP gang cannot accept mutations")
+		}
+		if *supervise {
+			log.Fatal("-serve and -supervise are mutually exclusive: the engine owns the world lifecycle in serving mode")
+		}
+		if *explain {
+			log.Fatal("-serve and -explain are mutually exclusive")
 		}
 	}
 	if *spawn > 0 {
@@ -356,6 +376,11 @@ func main() {
 		}
 	}
 
+	if *serveAddr != "" {
+		runServe(prog, cfg, load, *serveAddr, *quiet)
+		return
+	}
+
 	var res *paralagg.Result
 	if *supervise {
 		var rep *paralagg.SuperviseReport
@@ -465,6 +490,81 @@ func rankAddr(addr string, rank int) (string, error) {
 		return addr, nil
 	}
 	return net.JoinHostPort(host, strconv.Itoa(p+rank)), nil
+}
+
+// runServe holds the converged relations resident and answers point queries
+// and mutation batches over HTTP until the process is interrupted. The
+// initial load is just the first Apply; every later /apply re-converges from
+// the existing Δ instead of recomputing from zero.
+func runServe(prog *paralagg.Program, cfg paralagg.Config, load func(*paralagg.Rank) error, addr string, quiet bool) {
+	srv, err := paralagg.StartLiveServer(addr)
+	if err != nil {
+		log.Fatalf("-serve: %v", err)
+	}
+	defer srv.Close()
+	cfg.Observer = paralagg.TeeObservers(cfg.Observer, srv)
+	eng, err := paralagg.Open(cfg, prog)
+	if err != nil {
+		log.Fatalf("-serve: %v", err)
+	}
+	defer eng.Close()
+	stats, err := eng.Apply(context.Background(), paralagg.Mutation{Load: load})
+	if err != nil {
+		log.Fatalf("-serve: initial fixpoint: %v", err)
+	}
+	eng.ServeLive(srv)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "converged in %d iterations; serving /query, /topk, /apply (plus /metrics, /vars, /debug/pprof) on http://%s\n",
+			stats.Iterations, srv.Addr())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if !quiet {
+		es := eng.Stats()
+		fmt.Fprintf(os.Stderr, "shutting down: %d mutation batches applied, %d queries answered\n", es.Applies, es.Queries)
+	}
+}
+
+// runServingChaosSuite executes the serving differentials: every scenario's
+// mutation batches stream into a long-lived engine at 1, 2, and 4 ranks, and
+// after the initial load and every batch the resident relations must be
+// bit-identical to a from-scratch recomputation over the same base facts.
+// Incremental insert-only batches must also re-converge strictly cheaper
+// than the from-scratch control — the engine's reason to exist.
+func runServingChaosSuite() {
+	failed := 0
+	for _, sc := range chaos.ServingScenarios() {
+		for _, ranks := range []int{1, 2, 4} {
+			rep, err := chaos.ServingDifferential(sc, ranks)
+			switch {
+			case err != nil:
+				fmt.Printf("FAIL %-11s ranks=%d: %v\n", sc.Name, ranks, err)
+				failed++
+				continue
+			case !rep.Identical():
+				fmt.Printf("FAIL %-11s ranks=%d: resident state diverged from recomputation\n", sc.Name, ranks)
+				failed++
+				continue
+			case !rep.InsertsStrictlyCheaper():
+				fmt.Printf("FAIL %-11s ranks=%d: an incremental insert batch was not cheaper than from-scratch\n", sc.Name, ranks)
+				failed++
+				continue
+			}
+			rounds, dropped := 0, uint64(0)
+			for i := range rep.Batches {
+				rounds += rep.Batches[i].InvalidationRounds
+				dropped += rep.Batches[i].Dropped
+			}
+			fmt.Printf("ok   %-11s ranks=%d: %d batches bit-identical (invalidation rounds=%d dropped=%d)\n",
+				sc.Name, ranks, len(rep.Batches), rounds, dropped)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d serving chaos checks failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall serving chaos checks passed")
 }
 
 // runChaosSuite executes the chaos harness's differential scenarios: each

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"paralagg/internal/lattice"
+	"paralagg/internal/ra"
+	"paralagg/internal/relation"
+	"paralagg/internal/tuple"
+)
+
+// ApplyInput carries one mutation batch into an instantiated program. The
+// engine constructs it identically on every rank: the map key sets are the
+// uniform signal of which relations mutate (a rank whose share of a batch
+// is empty still passes an empty buffer under the key), while each buffer
+// holds only this rank's share of the global batch.
+type ApplyInput struct {
+	// Initial marks the first batch: relations are freshly loaded and the
+	// full fixpoint runs from zero, exactly like Instance.Run.
+	Initial bool
+	// Inserts maps relation name → this rank's share of inserted base facts.
+	Inserts map[string]*tuple.Buffer
+	// Deletes maps relation name → this rank's share of deleted base facts.
+	Deletes map[string]*tuple.Buffer
+	// Reload returns this rank's share of the post-batch base-fact journal
+	// for a relation (nil when the relation never received base facts). The
+	// deletion path and the from-scratch fallback re-derive from it; its
+	// nil-ness per relation must be identical on every rank.
+	Reload func(name string) *tuple.Buffer
+}
+
+// ApplyStats reports what one mutation batch cost.
+type ApplyStats struct {
+	RunStats
+	// InvalidationRounds counts the over-approximate invalidation rounds a
+	// deletion batch ran (0 for insert-only batches).
+	InvalidationRounds int
+	// Dropped is the global number of tuples invalidated (base-fact seeds
+	// plus cascaded head drops).
+	Dropped uint64
+	// Incremental reports whether the batch was maintained incrementally
+	// (false = from-scratch fallback or initial load).
+	Incremental bool
+}
+
+// Incrementalizable reports whether the program can be maintained
+// incrementally under mutation: a single stratum whose aggregators are all
+// idempotent. Multi-stratum programs leak converged-only tuples across the
+// stratum boundary, and non-idempotent aggregates (MSum, MCount) double
+// count when a seeded Δ re-delivers already-absorbed values — both fall
+// back to a from-scratch replay of the base-fact journal.
+func (in *Instance) Incrementalizable() bool {
+	if len(in.strata) != 1 {
+		return false
+	}
+	for _, r := range in.rels {
+		if r.Agg != nil && !lattice.Idempotent(r.Agg) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyDelta applies one mutation batch to converged relations and re-runs
+// the fixpoint to re-convergence. Collective; every rank passes an input
+// with identical map-key sets and Initial/Reload shape.
+//
+// Inserts are the cheap monotone path: the new facts enter through the
+// ordinary materialization (⊔-merging into the accumulators and seeding Δ
+// with exactly what changed) and the stratum's fixpoint continues from that
+// Δ — no reset, so re-convergence costs only the iterations the new facts
+// actually cause. Deletions run over-approximate invalidation first (drop
+// every tuple that might depend on a deleted fact, see ra.Invalidate), then
+// re-derive from the surviving supports by replaying the base-fact journal
+// and re-seeding the EDB Δ from FULL — one full-join round plus however
+// many iterations the repair cascade needs. Programs that are not
+// Incrementalizable clear all state and replay the journal from scratch.
+func (in *Instance) ApplyDelta(cfg Config, inp ApplyInput) (ApplyStats, error) {
+	var stats ApplyStats
+	if inp.Initial {
+		stats.RunStats = in.Run(cfg)
+		return stats, nil
+	}
+	for _, names := range [][]string{sortedKeys(inp.Inserts), sortedKeys(inp.Deletes)} {
+		for _, n := range names {
+			if in.rels[n] == nil {
+				return stats, fmt.Errorf("core: mutation targets undeclared relation %s", n)
+			}
+		}
+	}
+	if !in.Incrementalizable() {
+		if inp.Reload == nil {
+			return stats, fmt.Errorf("core: program needs the from-scratch fallback but no base-fact journal was provided")
+		}
+		rels := in.snapshotRels()
+		for _, rel := range rels {
+			rel.Clear()
+		}
+		for _, rel := range rels {
+			if buf := inp.Reload(rel.Name); buf != nil {
+				rel.LoadFacts(buf)
+			}
+		}
+		stats.RunStats = in.Run(cfg)
+		return stats, nil
+	}
+
+	st := in.strata[0]
+	in.enterStratum(0)
+	if len(inp.Deletes) > 0 {
+		if inp.Reload == nil {
+			return stats, fmt.Errorf("core: deletions need a base-fact journal to re-derive from")
+		}
+		rels := in.snapshotRels()
+		for _, rel := range rels {
+			rel.BeginDelete()
+		}
+		seed := uint64(0)
+		for _, n := range sortedKeys(inp.Deletes) {
+			seed += in.rels[n].DeleteBatch(inp.Deletes[n])
+		}
+		stats.Dropped = seed
+		if seed > 0 {
+			rounds, dropped := st.fix.Invalidate(in.options(cfg, 0))
+			stats.InvalidationRounds = rounds
+			stats.Dropped += dropped
+		}
+		for _, rel := range rels {
+			rel.EndDelete()
+		}
+		// Re-derive: replay the post-batch journal (it already contains this
+		// batch's inserts) and re-seed the EDB Δ from FULL so the first
+		// iteration re-examines every pair with a surviving support.
+		for _, rel := range rels {
+			if buf := inp.Reload(rel.Name); buf != nil {
+				rel.LoadFacts(buf)
+			}
+		}
+		for _, input := range st.inputs {
+			ra.ResetDelta(input)
+		}
+	} else {
+		// Monotone inserts: seed Δ through the ordinary materialization and
+		// let the fixpoint continue from it.
+		for _, n := range sortedKeys(inp.Inserts) {
+			in.rels[n].LoadFacts(inp.Inserts[n])
+		}
+	}
+	n := st.fix.Run(in.options(cfg, 0))
+	stats.StratumIters = []int{n}
+	stats.TotalIters = n
+	stats.Incremental = true
+	return stats, nil
+}
+
+// SnapshotRelations exposes the checkpoint relation set (every relation of
+// the program, name order) for engine-level snapshots.
+func (in *Instance) SnapshotRelations() []*relation.Relation { return in.snapshotRels() }
+
+// sortedKeys returns the map's keys in sorted order (the uniform iteration
+// order collectives need).
+func sortedKeys(m map[string]*tuple.Buffer) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

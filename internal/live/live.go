@@ -8,6 +8,12 @@
 //	              rank failures, supervised attempt number.
 //	/vars         the same counters as one JSON document (expvar-style).
 //	/debug/pprof  the standard net/http/pprof handlers.
+//	/query        point lookups against an attached serving engine.
+//	/topk         top-k reads against an attached serving engine.
+//	/apply        streaming base-fact mutation batches (POST).
+//
+// The serving endpoints answer 503 until AttachQuerier/AttachApplier
+// publish an engine (see query.go).
 //
 // A Server is an obs.Observer: attach Server to Config.Observer (or Tee it
 // with a trace recorder) and the counters update live from the event
@@ -34,6 +40,13 @@ import (
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+
+	// Serving backends (see query.go). Attached after Start, swapped
+	// atomically, deliberately NOT reset by OnAttempt: the /query, /topk,
+	// and /apply endpoints must keep serving across supervised restarts
+	// exactly like /metrics does.
+	querier atomic.Value // queryBox
+	applier atomic.Value // applyBox
 
 	attempt        atomic.Int64
 	runsStarted    atomic.Int64
@@ -121,6 +134,11 @@ func Start(addr string) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/vars", s.handleVars)
+	// Serving endpoints: registered unconditionally so they 503 (not 404)
+	// until an engine attaches, and keep serving across restarts.
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/apply", s.handleApply)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

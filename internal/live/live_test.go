@@ -166,3 +166,99 @@ func TestCheckpointAgeGauge(t *testing.T) {
 		t.Fatalf("no checkpoint yet should read -1:\n%s", body)
 	}
 }
+
+// fakeQuerier/fakeApplier stand in for an attached engine.
+type fakeQuerier struct{ calls int }
+
+func (f *fakeQuerier) LiveQuery(rel string, key []uint64, limit, orderBy int, desc, countOnly bool) (QueryAnswer, error) {
+	f.calls++
+	return QueryAnswer{Found: true, Count: 1, Value: []uint64{7}}, nil
+}
+
+type fakeApplier struct{ calls int }
+
+func (f *fakeApplier) LiveApply(insert, del map[string][][]uint64) (int, bool, error) {
+	f.calls++
+	return 3, true, nil
+}
+
+func TestQueryEndpointsUnavailableUntilAttached(t *testing.T) {
+	s := startServer(t)
+	for _, path := range []string{"/query?rel=spath", "/topk?rel=spath&k=5"} {
+		if code, _ := get(t, "http://"+s.Addr()+path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s before attach: status %d, want 503", path, code)
+		}
+	}
+	resp, err := http.Post("http://"+s.Addr()+"/apply", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/apply before attach: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestQueryEndpointsServeAndSurviveRestart(t *testing.T) {
+	s := startServer(t)
+	q, a := &fakeQuerier{}, &fakeApplier{}
+	s.AttachQuerier(q)
+	s.AttachApplier(a)
+
+	code, body := get(t, "http://"+s.Addr()+"/query?rel=spath&key=1,5")
+	if code != 200 {
+		t.Fatalf("/query status %d: %s", code, body)
+	}
+	var ans QueryAnswer
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatalf("/query not JSON: %v", err)
+	}
+	if !ans.Found || ans.Value[0] != 7 {
+		t.Fatalf("/query answer = %+v", ans)
+	}
+
+	// Regression: a supervised restart (OnAttempt) must not detach the
+	// serving backends — /query and /apply keep answering, exactly like
+	// /metrics keeps scraping. The original per-run reset path only touched
+	// counters; this pins that the query handlers ride the same persistent
+	// registration.
+	feedRun(s)
+	s.OnAttempt(2)
+	code, _ = get(t, "http://"+s.Addr()+"/query?rel=spath&key=1,5")
+	if code != 200 {
+		t.Fatalf("/query after OnAttempt: status %d, want 200", code)
+	}
+	if code, _ = get(t, "http://"+s.Addr()+"/topk?rel=spath&k=3&by=2&desc=1"); code != 200 {
+		t.Fatalf("/topk after OnAttempt: status %d, want 200", code)
+	}
+	resp, err := http.Post("http://"+s.Addr()+"/apply", "application/json",
+		strings.NewReader(`{"insert": {"edge": [[1,2,3]]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/apply after OnAttempt: status %d: %s", resp.StatusCode, raw)
+	}
+	var ar struct {
+		Iterations  int  `json:"iterations"`
+		Incremental bool `json:"incremental"`
+	}
+	if err := json.Unmarshal(raw, &ar); err != nil || ar.Iterations != 3 || !ar.Incremental {
+		t.Fatalf("/apply answer = %s (err %v)", raw, err)
+	}
+	if q.calls != 3 || a.calls != 1 {
+		t.Fatalf("backend calls: query %d apply %d", q.calls, a.calls)
+	}
+}
+
+func TestQueryEndpointBadRequests(t *testing.T) {
+	s := startServer(t)
+	s.AttachQuerier(&fakeQuerier{})
+	for _, path := range []string{"/query", "/query?rel=x&key=abc", "/topk?rel=x", "/topk?rel=x&k=0"} {
+		if code, _ := get(t, "http://"+s.Addr()+path); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+}

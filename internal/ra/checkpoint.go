@@ -159,6 +159,12 @@ func ckptSum(words []mpi.Word) uint64 {
 	return h
 }
 
+// SectionSum digests one relation's snapshot section for a Checkpoint
+// manifest. Exported for engine-level snapshots (the serving engine builds
+// checkpoints outside the fixpoint loop); the digest must match what
+// verifySections re-derives at load time, i.e. ckptSum.
+func SectionSum(words []mpi.Word) uint64 { return ckptSum(words) }
+
 // verifySections re-derives each length-prefixed section's digest from the
 // payload and compares against the manifest. A nil manifest skips the walk.
 func verifySections(words []mpi.Word, sums []uint64) error {

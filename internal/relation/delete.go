@@ -1,0 +1,227 @@
+package relation
+
+import (
+	"paralagg/internal/mpi"
+	"paralagg/internal/tuple"
+	"paralagg/internal/wordmap"
+)
+
+// This file implements the deletion side of incremental maintenance: the
+// serving engine's over-approximate invalidation drops candidate tuples
+// batch by batch, leaving exactly the dropped tuples in Δ so the next
+// invalidation round can chase their dependents, and finally rebuilds the
+// accumulator without the dropped keys. The wordmap arena is append-only,
+// so dropped aggregate keys are tracked in a side set (dropSet) during the
+// bracket and compacted out in one pass at EndDelete.
+
+// ClearDelta empties every index's Δ tree and zeroes the cached changed
+// count. It is rank-local but must be called uniformly (the changed count
+// gates collective join variants).
+func (r *Relation) ClearDelta() {
+	for _, ix := range r.indexes {
+		ix.Delta.Reset()
+	}
+	r.changedLast = 0
+}
+
+// Clear resets the relation to its freshly loaded-nothing state: the
+// accumulator, every index's FULL and Δ trees, and the identity arena are
+// dropped. The id counter is preserved so ids handed out after a Clear
+// never collide with ids from before it. Rank-local; call uniformly. The
+// serving engine uses it for the from-scratch fallback before replaying
+// the base-fact journal.
+func (r *Relation) Clear() {
+	if r.Agg != nil {
+		r.acc = wordmap.New(r.Indep, r.Dep())
+	}
+	if r.leakyBest != nil {
+		r.leakyBest = wordmap.New(r.leaky.Indep, r.Arity-r.leaky.Indep)
+	}
+	r.ids = nil
+	r.dropSet = nil
+	for _, ix := range r.indexes {
+		ix.Full.Reset()
+		ix.Delta.Reset()
+	}
+	r.changedLast = 0
+	r.invalidateDigestBaseline()
+}
+
+// BeginDelete opens a deletion bracket. Between BeginDelete and EndDelete
+// any number of DeleteBatch calls may run (the invalidation loop issues one
+// per relation per round); the bracket-wide dropSet deduplicates candidates
+// across rounds and defers the accumulator compaction to EndDelete. Set
+// relations need no bracket state (their canonical tree deletes in place),
+// but calling it uniformly on every relation is harmless and keeps the
+// driver simple.
+func (r *Relation) BeginDelete() {
+	if r.Agg == nil {
+		return
+	}
+	if r.dropSet == nil {
+		r.dropSet = wordmap.New(r.Indep, r.Dep())
+		return
+	}
+	r.dropSet.Reset()
+}
+
+// EndDelete closes a deletion bracket: for aggregated relations the
+// accumulator is rebuilt without the dropped keys (the arena is
+// append-only, so compaction is a copy of the survivors) and the digest
+// baselines are invalidated so the next Materialize re-adopts them.
+func (r *Relation) EndDelete() {
+	if r.Agg == nil {
+		return
+	}
+	ds := r.dropSet
+	r.dropSet = nil
+	if ds == nil || ds.Len() == 0 {
+		return
+	}
+	fresh := wordmap.NewWithCapacity(r.Indep, r.Dep(), r.acc.Len())
+	r.acc.Each(func(indep, dep []tuple.Value) bool {
+		if ds.Get(indep) == nil {
+			v, _ := fresh.Upsert(indep)
+			copy(v, dep)
+		}
+		return true
+	})
+	r.acc = fresh
+	r.invalidateDigestBaseline()
+}
+
+// DeleteBatch removes a batch of candidate tuples from the relation and
+// seeds Δ with exactly the tuples actually dropped, so invalidation rounds
+// can chase their dependents through the stratum's rules. It is collective
+// and must be called on every rank (candidates may differ per rank; they
+// are routed to their owners first). Candidates are canonical-order tuples;
+// for aggregated relations only the independent prefix matters — the key is
+// dropped whatever dependent value it currently holds (over-approximate
+// invalidation). Candidates already dropped in this bracket, or not present
+// at all, are skipped. Returns the global number of tuples dropped this
+// call (identical on every rank) and caches it as the relation's changed
+// count.
+//
+// Aggregated relations must be inside a BeginDelete/EndDelete bracket: the
+// accumulator still holds dropped keys until EndDelete compacts it, so
+// reads between batches must consult Δ/FULL (which this call maintains),
+// not Lookup.
+func (r *Relation) DeleteBatch(cands *tuple.Buffer) uint64 {
+	size := r.comm.Size()
+
+	// Δ from the previous round has been consumed; this round's Δ holds
+	// exactly what this call drops.
+	for _, ix := range r.indexes {
+		ix.Delta.Reset()
+	}
+	if r.Agg != nil && r.dropSet == nil {
+		r.BeginDelete()
+	}
+
+	// Phase A: route candidates to their owners — the accumulator home for
+	// aggregated relations, the canonical index home for sets.
+	send := r.sendBuf(size)
+	n := 0
+	if cands != nil {
+		n = cands.Len()
+	}
+	for i := 0; i < n; i++ {
+		t := cands.At(i)
+		var dest int
+		if r.Agg != nil {
+			dest = r.accPlacement(t[:r.Indep])
+		} else {
+			ix := r.indexes[0]
+			dest = r.rankOf(ix.bucketOf(t), ix.subOf(t))
+		}
+		send[dest] = append(send[dest], t...)
+	}
+	recv := r.comm.Alltoallv(send)
+
+	// Owner-side drop. The removed buffer collects the dropped tuples in
+	// canonical order, carrying the dependent value each key held — the
+	// next round's rules derive dependents from the dropped values.
+	removed := r.freshTuples()
+	if r.Agg != nil {
+		scratch := r.tupleScratch()
+		for _, words := range recv {
+			for off := 0; off+r.Arity <= len(words); off += r.Arity {
+				t := tuple.Tuple(words[off : off+r.Arity])
+				key := t[:r.Indep]
+				if r.dropSet.Get(key) != nil {
+					continue // already dropped in this bracket
+				}
+				v := r.acc.Get(key)
+				if v == nil {
+					continue // over-approximation reached a key never derived
+				}
+				dv, _ := r.dropSet.Upsert(key)
+				copy(dv, v)
+				copy(scratch, key)
+				copy(scratch[r.Indep:], v)
+				removed.Append(scratch)
+			}
+		}
+	} else {
+		canon := r.indexes[0]
+		for _, words := range recv {
+			for off := 0; off+r.Arity <= len(words); off += r.Arity {
+				t := tuple.Tuple(words[off : off+r.Arity])
+				if canon.Full.Delete(t) {
+					canon.Delta.Insert(t)
+					removed.Append(t)
+				}
+			}
+		}
+	}
+
+	// Phase B: purge every index replica of the dropped tuples and seed
+	// their Δ trees, mirroring maintainIndexes' routing.
+	r.purgeReplicas(removed)
+
+	total := r.comm.Allreduce(uint64(removed.Len()), mpi.OpSum)
+	r.changedLast = total
+	r.invalidateDigestBaseline()
+	return total
+}
+
+// purgeReplicas routes dropped tuples (canonical order) to every index home
+// that stores them and deletes them there, inserting each into the home's Δ
+// tree. For set relations the canonical index was already updated at the
+// owner and is skipped — exactly the replica set maintainIndexes routes to.
+func (r *Relation) purgeReplicas(removed *tuple.Buffer) {
+	size := r.comm.Size()
+	start := 0
+	if r.Agg == nil {
+		start = 1
+	}
+	if start >= len(r.indexes) {
+		// No replicas; every rank skips uniformly (same index count
+		// everywhere), so no collective is missed.
+		return
+	}
+	send := r.sendBuf(size)
+	stored := r.permuteScratch()
+	for i, nr := 0, removed.Len(); i < nr; i++ {
+		t := removed.At(i)
+		for id := start; id < len(r.indexes); id++ {
+			ix := r.indexes[id]
+			ix.permuteInto(t, stored)
+			dest := r.rankOf(ix.bucketOf(stored), ix.subOf(stored))
+			send[dest] = append(send[dest], mpi.Word(id))
+			send[dest] = append(send[dest], stored...)
+		}
+	}
+	recv := r.comm.Alltoallv(send)
+	rec := 1 + r.Arity
+	for _, words := range recv {
+		for off := 0; off+rec <= len(words); off += rec {
+			id := int(words[off])
+			arrived := tuple.Tuple(words[off+1 : off+rec])
+			ix := r.indexes[id]
+			if ix.Full.Delete(arrived) {
+				ix.Delta.Insert(arrived)
+			}
+		}
+	}
+}

@@ -134,6 +134,13 @@ type Relation struct {
 	ids       *wordmap.Map
 	idCounter uint64
 
+	// dropSet records the independent keys dropped so far inside a
+	// BeginDelete/EndDelete bracket (aggregated relations only): key → the
+	// dependent value the key held when it was dropped. It deduplicates
+	// repeated invalidation candidates and drives the accumulator rebuild in
+	// EndDelete. See delete.go.
+	dropSet *wordmap.Map
+
 	// Reusable scratch for the materialization hot path. All of it is
 	// rank-private and reset at each use; nothing here survives a call
 	// except as capacity.

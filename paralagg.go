@@ -34,10 +34,8 @@ import (
 	"paralagg/internal/core"
 	"paralagg/internal/metrics"
 	"paralagg/internal/mpi"
-	"paralagg/internal/obs"
 	"paralagg/internal/ra"
 	"paralagg/internal/relation"
-	"paralagg/internal/resource"
 	"paralagg/internal/tuple"
 )
 
@@ -284,6 +282,11 @@ func (c Config) cost() metrics.CostModel {
 type Rank struct {
 	comm *mpi.Comm
 	inst *core.Instance
+	// record, when set (serving engine), journals every base fact loaded
+	// through this rank so deletions can re-derive from the survivors. A nil
+	// tuple registers the relation without a fact, keeping the journal's
+	// relation set uniform even for ranks with an empty share.
+	record func(rel string, arity int, t tuple.Tuple)
 }
 
 // ID returns this rank's index in [0, Size).
@@ -311,9 +314,15 @@ func (r *Rank) Load(rel string, facts []Tuple) error {
 	if err != nil {
 		return err
 	}
+	if r.record != nil {
+		r.record(rel, rl.Arity, nil)
+	}
 	buf := tuple.NewBuffer(rl.Arity, len(facts))
 	for _, f := range facts {
 		buf.Append(tuple.Tuple(f))
+		if r.record != nil {
+			r.record(rel, rl.Arity, tuple.Tuple(f))
+		}
 	}
 	return r.inst.Load(rel, buf)
 }
@@ -322,38 +331,54 @@ func (r *Rank) Load(rel string, facts []Tuple) error {
 // loads them. gen must behave identically on every rank; it is called with
 // the fact indices owned by this rank.
 func (r *Rank) LoadShare(rel string, n int, gen func(i int, emit func(Tuple))) error {
-	return r.inst.LoadShare(rel, n, func(i int, emit func(tuple.Tuple)) {
-		gen(i, func(t Tuple) { emit(tuple.Tuple(t)) })
-	})
+	if r.record == nil {
+		return r.inst.LoadShare(rel, n, func(i int, emit func(tuple.Tuple)) {
+			gen(i, func(t Tuple) { emit(tuple.Tuple(t)) })
+		})
+	}
+	// Serving path: build the same deterministic stripe Instance.LoadShare
+	// uses, journaling each fact as it is emitted.
+	rl, err := r.relation(rel)
+	if err != nil {
+		return err
+	}
+	r.record(rel, rl.Arity, nil)
+	rank, size := r.comm.Rank(), r.comm.Size()
+	buf := tuple.NewBuffer(rl.Arity, n/size+1)
+	for i := rank; i < n; i += size {
+		gen(i, func(t Tuple) {
+			buf.Append(tuple.Tuple(t))
+			r.record(rel, rl.Arity, tuple.Tuple(t))
+		})
+	}
+	return r.inst.Load(rel, buf)
 }
 
 // Count returns the global tuple count of a relation, or an error for an
 // unknown relation name (consistent with Load). Collective.
+//
+// Deprecated: use Query with QuerySpec{Relation: rel, CountOnly: true}.
 func (r *Rank) Count(rel string) (uint64, error) {
-	rl, err := r.relation(rel)
+	qr, err := r.Query(QuerySpec{Relation: rel, CountOnly: true})
 	if err != nil {
 		return 0, err
 	}
-	return rl.GlobalFullCount(), nil
+	return qr.Count, nil
 }
 
 // Each iterates this rank's locally stored result tuples of a relation in
 // canonical column order (the accumulator for aggregated relations, the
 // canonical index for set relations), or errors for an unknown relation
 // name. Rank-local.
+//
+// Deprecated: use Query (collective, materializes local matches) or
+// Engine.Query for serving reads.
 func (r *Rank) Each(rel string, fn func(Tuple)) error {
 	rl, err := r.relation(rel)
 	if err != nil {
 		return err
 	}
-	if rl.Agg != nil {
-		rl.EachAcc(func(t tuple.Tuple) { fn(Tuple(t)) })
-		return nil
-	}
-	rl.Canonical().Full.Ascend(func(t tuple.Tuple) bool {
-		fn(Tuple(t))
-		return true
-	})
+	eachLocal(rl, nil, func(t tuple.Tuple) { fn(Tuple(t)) })
 	return nil
 }
 
@@ -368,12 +393,15 @@ func (r *Rank) GatherAll(v uint64) []uint64 { return r.comm.Allgather(v) }
 // PerRankCounts returns every rank's local tuple count for a relation
 // (Figure 3's distribution data), or an error for an unknown relation name.
 // Collective.
+//
+// Deprecated: use Query with QuerySpec{Relation: rel, CountOnly: true,
+// PerRank: true}.
 func (r *Rank) PerRankCounts(rel string) ([]int, error) {
-	rl, err := r.relation(rel)
+	qr, err := r.Query(QuerySpec{Relation: rel, CountOnly: true, PerRank: true})
 	if err != nil {
 		return nil, err
 	}
-	return rl.PerRankCounts(), nil
+	return qr.PerRank, nil
 }
 
 // ReduceOp mirrors the runtime's reduction operators.
@@ -420,176 +448,19 @@ type Result struct {
 // non-nil, runs after the fixpoint completes. Both must perform identical
 // sequences of collective operations on every rank.
 func Exec(prog *Program, cfg Config, load func(*Rank) error, inspect func(*Rank) error) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	size := cfg.ranks()
-	var world *mpi.World
-	if cfg.Transport != nil {
-		size = cfg.Transport.Size()
-		world = mpi.NewDistributedWorld(cfg.Transport)
-	} else {
-		world = mpi.NewWorld(size)
-	}
-	if cfg.Faults != nil {
-		world.SetFaultPlan(cfg.Faults)
-	}
-	// Validated above; the parse cannot fail here.
-	sched, _ := mpi.ParseScheduleKind(cfg.CollectiveSchedule)
-	world.SetSchedule(sched)
-	if cfg.Topology != nil {
-		world.SetTopology(cfg.Topology)
-	}
-	if cfg.AdaptiveWatchdog {
-		ceil := cfg.WatchdogCeil
-		if ceil == 0 {
-			if cfg.Watchdog > 0 {
-				ceil = cfg.Watchdog
-			} else {
-				ceil = 10 * time.Second
-			}
-		}
-		world.SetAdaptiveWatchdog(mpi.AdaptiveWatchdog{Floor: cfg.WatchdogFloor, Ceil: ceil})
-	} else if cfg.Watchdog > 0 {
-		world.SetWatchdog(cfg.Watchdog)
-	}
-	if cfg.Observer != nil {
-		world.SetObserver(cfg.Observer)
-		e := obs.Get()
-		e.Kind, e.Rank, e.Ranks = obs.KindRunStart, -1, size
-		e.End = time.Now().UnixNano()
-		obs.Emit(cfg.Observer, e)
-	}
-	mc := metrics.NewCollector(size)
-	mc.SetObserver(cfg.Observer)
-	res := &Result{Ranks: size, Counts: map[string]uint64{}}
-
-	runCfg := core.Config{
-		Subs: cfg.Subs, SubsFor: cfg.SubsFor, Plan: cfg.Plan.mode(),
-		MaxIters: cfg.MaxIters, Adaptive: cfg.Adaptive,
-		CheckpointEvery: cfg.CheckpointEvery, Checkpoints: cfg.Checkpoints,
-		Integrity: cfg.Integrity,
-	}
-	// In-process worlds record results once, on rank 0's goroutine. A
-	// distributed world hosts a single rank per process, so every process
-	// records its own copy — the values are collective-derived and identical.
-	record := func(c *mpi.Comm) bool { return c.Rank() == 0 || world.Distributed() }
-	body := func(c *mpi.Comm) error {
-		rcfg := runCfg
-		var acct *resource.Accountant
-		if cfg.MemBudget > 0 {
-			// One accountant per rank: the fixpoint samples compute state
-			// into it, and a flow-controlled transport charges its outbox.
-			acct = resource.NewAccountant(cfg.MemBudget)
-			rcfg.Acct = acct
-			if sa, ok := cfg.Transport.(interface {
-				SetAccountant(*resource.Accountant)
-			}); ok {
-				sa.SetAccountant(acct)
-			}
-		}
-		inst, err := prog.Instantiate(c, mc, rcfg)
-		if err != nil {
-			return err
-		}
-		rk := &Rank{comm: c, inst: inst}
-		// A hot replacement must not reload base facts: LoadFacts runs the
-		// collective materialization path, and the survivors — parked
-		// mid-fixpoint, their load long finished — would never mirror it,
-		// shifting every subsequent (src, tag) stream by the load's traffic.
-		// The restored checkpoint carries every relation wholesale, base
-		// facts included.
-		if load != nil && !cfg.Rejoin {
-			if err := load(rk); err != nil {
-				return err
-			}
-		}
-		var stats core.RunStats
-		switch {
-		case cfg.Rejoin:
-			cp, ok, perr := ra.PeekRejoin(cfg.Checkpoints, c.Rank())
-			if perr != nil {
-				return perr
-			}
-			if !ok {
-				return ra.ErrNoCheckpoint
-			}
-			stats, err = inst.Rejoin(rcfg, cp)
-			if err != nil {
-				return err
-			}
-		case cfg.Resume:
-			stats, err = inst.Resume(rcfg)
-			if err != nil {
-				return err
-			}
-		default:
-			stats = inst.Run(rcfg)
-		}
-		if record(c) {
-			res.StratumIters = stats.StratumIters
-			res.Iterations = stats.TotalIters
-		}
-		if cfg.MemBudget > 0 {
-			// Collective: every rank agrees on the budget, so the schedule
-			// stays uniform.
-			peak := int64(c.Allreduce(uint64(acct.PeakBytes()), mpi.OpMax))
-			if record(c) {
-				res.MemPeakBytes = peak
-			}
-		}
-		// Gather final sizes (collective; identical on all ranks).
-		names := prog.RelationNames()
-		sort.Strings(names)
-		for _, n := range names {
-			count := inst.Relation(n).GlobalFullCount()
-			if record(c) {
-				res.Counts[n] = count
-			}
-		}
-		if inspect != nil {
-			if err := inspect(rk); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var err error
-	if world.Distributed() {
-		err = world.RunLocal(body)
-	} else {
-		err = world.Run(body)
-	}
-	if cfg.Observer != nil {
-		e := obs.Get()
-		e.Kind, e.Rank = obs.KindRunEnd, -1
-		if err != nil {
-			e.Err = err.Error()
-		}
-		e.End = time.Now().UnixNano()
-		obs.Emit(cfg.Observer, e)
-	}
+	e, err := Open(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-
-	report := mc.BuildReport(cfg.cost())
-	res.SimSeconds = report.SimSeconds()
-	res.PhaseSeconds = map[string]float64{}
-	for p := 0; p < len(metrics.PhaseNames); p++ {
-		res.PhaseSeconds[metrics.PhaseNames[p]] = report.PhaseSeconds(metrics.Phase(p))
+	_, res, err := e.apply(nil, Mutation{Load: load}, inspect)
+	if err != nil {
+		e.Close()
+		return nil, err
 	}
-	res.IterPhaseSeconds = make([]map[string]float64, len(report.IterCriticalNS))
-	for i, row := range report.IterCriticalNS {
-		m := map[string]float64{}
-		for p, ns := range row {
-			m[metrics.PhaseNames[p]] = ns / 1e9
-		}
-		res.IterPhaseSeconds[i] = m
+	if cerr := e.Close(); cerr != nil {
+		return nil, cerr
 	}
-	tot := world.Stats().Snapshot()
-	res.CommBytes = int64(tot.Bytes())
-	res.CommMsgs = int64(tot.P2PMessages + tot.CollectiveCalls)
+	e.finishReport(res)
 	return res, nil
 }
 

@@ -18,6 +18,11 @@ type resultJSON struct {
 	MemPeakBytes     int64                `json:"mem_peak_bytes,omitempty"`
 }
 
+// JSON renders the result as the stable machine-readable document
+// (the typed accessor over the wire format; cmd/paralagg -json prints
+// exactly this).
+func (r *Result) JSON() ([]byte, error) { return json.Marshal(r) }
+
 // MarshalJSON implements json.Marshaler with stable, documented field names
 // (including the per-phase and per-iteration breakdowns), so results can be
 // consumed by dashboards and scripts: cmd/paralagg -json prints exactly

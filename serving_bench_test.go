@@ -1,0 +1,113 @@
+package paralagg_test
+
+// Serving benchmarks: sustained mutate+query load against a long-lived
+// engine. Each op applies one mutation batch (alternating insert and delete
+// of a shuttle edge set, so the resident state returns to a steady cycle)
+// and then answers a burst of point lookups. Beyond the usual ns/op the
+// benchmarks report the serving numbers the design cares about: sustained
+// qps over the whole run, p99 point-query latency, and the mean
+// re-convergence iterations per mutation batch. `make bench-serving`
+// regenerates BENCH_serving.json from these.
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"paralagg"
+	"paralagg/internal/graph"
+	"paralagg/internal/queries"
+)
+
+// queriesPerBatch is the point-lookup burst interleaved with every mutation.
+const queriesPerBatch = 16
+
+func openServingBench(b *testing.B, ranks int) *paralagg.Engine {
+	b.Helper()
+	g := graph.Grid("serve-bench", 8, 8, 8, 7)
+	eng, err := paralagg.Open(paralagg.Config{Ranks: ranks, Subs: 4}, queries.SSSPProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Apply(context.Background(), paralagg.Mutation{
+		Load: func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, g, []uint64{0, 5}) },
+	}); err != nil {
+		eng.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func reportP99(b *testing.B, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+}
+
+// benchServing drives b.N mutate+query cycles against one resident engine.
+func benchServing(b *testing.B, ranks int) {
+	eng := openServingBench(b, ranks)
+	ctx := context.Background()
+	shuttle := map[string][]paralagg.Tuple{
+		"edge": {{0, 63, 2}, {0, 36, 1}, {9, 54, 1}},
+	}
+	lat := make([]time.Duration, 0, b.N*queriesPerBatch)
+	var reconv int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := paralagg.Mutation{Insert: shuttle}
+		if i%2 == 1 {
+			m = paralagg.Mutation{Delete: shuttle}
+		}
+		st, err := eng.Apply(ctx, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reconv += int64(st.Iterations)
+		for k := 0; k < queriesPerBatch; k++ {
+			t0 := time.Now()
+			if _, err := eng.Query(ctx, paralagg.QuerySpec{
+				Relation: "spath", Key: []paralagg.Value{0, paralagg.Value((i*queriesPerBatch + k) % 64)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+	}
+	el := b.Elapsed()
+	if el > 0 {
+		b.ReportMetric(float64(b.N*(1+queriesPerBatch))/el.Seconds(), "qps")
+	}
+	b.ReportMetric(float64(reconv)/float64(b.N), "reconv-iters/op")
+	reportP99(b, lat)
+}
+
+func BenchmarkServingMutateQuery2(b *testing.B) { benchServing(b, 2) }
+func BenchmarkServingMutateQuery4(b *testing.B) { benchServing(b, 4) }
+
+// BenchmarkServingPointQuery isolates the read path: pure point lookups
+// against converged resident state, no mutations in flight.
+func BenchmarkServingPointQuery(b *testing.B) {
+	eng := openServingBench(b, 4)
+	ctx := context.Background()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := eng.Query(ctx, paralagg.QuerySpec{
+			Relation: "spath", Key: []paralagg.Value{0, paralagg.Value(i % 64)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	el := b.Elapsed()
+	if el > 0 {
+		b.ReportMetric(float64(b.N)/el.Seconds(), "qps")
+	}
+	reportP99(b, lat)
+}

@@ -1,0 +1,185 @@
+package paralagg_test
+
+// Serving-engine tests at the public API: point lookups answer from resident
+// state in O(lookup) without touching the fixpoint, insert batches
+// re-converge strictly cheaper than recomputing, and the deprecated Rank
+// accessors stay equivalent to the typed Query surface they delegate to.
+
+import (
+	"context"
+	"testing"
+
+	"paralagg"
+	"paralagg/internal/graph"
+	"paralagg/internal/queries"
+)
+
+// chainGraph is a directed path 0 -w1-> 1 -w2-> 2 -w1-> 3 with a 0 -w5-> 3
+// shortcut candidate left out, so every SSSP distance from source 0 is known
+// by hand: dist(0,0)=0, dist(0,1)=1, dist(0,2)=3, dist(0,3)=4.
+func chainGraph() *graph.Graph {
+	return &graph.Graph{
+		Name: "chain", Nodes: 4, MaxWeight: 5,
+		Edges: []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 1}},
+	}
+}
+
+func openSSSP(t testing.TB, g *graph.Graph, ranks int) *paralagg.Engine {
+	t.Helper()
+	eng, err := paralagg.Open(paralagg.Config{Ranks: ranks, Subs: 2}, queries.SSSPProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Apply(context.Background(), paralagg.Mutation{
+		Load: func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, g, []uint64{0}) },
+	}); err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestEnginePointQueries pins the exact-lookup path: the full independent
+// key of an aggregated relation answers from the accumulator probe.
+func TestEnginePointQueries(t *testing.T) {
+	eng := openSSSP(t, chainGraph(), 2)
+	ctx := context.Background()
+
+	want := map[uint64]uint64{0: 0, 1: 1, 2: 3, 3: 4}
+	for dst, d := range want {
+		qr, err := eng.Query(ctx, paralagg.QuerySpec{
+			Relation: "spath", Key: []paralagg.Value{0, paralagg.Value(dst)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !qr.Found || len(qr.Value) != 1 || uint64(qr.Value[0]) != d {
+			t.Errorf("dist(0,%d): got found=%v value=%v, want %d", dst, qr.Found, qr.Value, d)
+		}
+	}
+	// A vertex the source cannot reach is absent, not zero.
+	if qr, err := eng.Query(ctx, paralagg.QuerySpec{Relation: "spath", Key: []paralagg.Value{3, 0}}); err != nil {
+		t.Fatal(err)
+	} else if qr.Found {
+		t.Errorf("dist(3,0): got %v, want not found", qr.Value)
+	}
+
+	// Count and top-k over the same resident state.
+	if qr, err := eng.Query(ctx, paralagg.QuerySpec{Relation: "spath", CountOnly: true}); err != nil {
+		t.Fatal(err)
+	} else if qr.Count != 4 {
+		t.Errorf("count(spath) = %d, want 4", qr.Count)
+	}
+	qr, err := eng.Query(ctx, paralagg.QuerySpec{Relation: "spath", Limit: 2, OrderBy: 2, Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Tuples) != 2 || uint64(qr.Tuples[0][2]) != 4 || uint64(qr.Tuples[1][2]) != 3 {
+		t.Errorf("top-2 by distance = %v, want distances 4 then 3", qr.Tuples)
+	}
+}
+
+// TestEngineQueryRunsNoFixpoint pins the O(lookup) bar: answering queries
+// must not advance the engine's iteration counter — the query path holds no
+// collectives and no fixpoint.
+func TestEngineQueryRunsNoFixpoint(t *testing.T) {
+	eng := openSSSP(t, chainGraph(), 2)
+	ctx := context.Background()
+
+	before := eng.Stats()
+	for i := 0; i < 50; i++ {
+		if _, err := eng.Query(ctx, paralagg.QuerySpec{
+			Relation: "spath", Key: []paralagg.Value{0, paralagg.Value(i % 4)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := eng.Stats()
+	if after.Iterations != before.Iterations {
+		t.Errorf("queries advanced the fixpoint: %d -> %d iterations", before.Iterations, after.Iterations)
+	}
+	if after.Applies != before.Applies {
+		t.Errorf("queries counted as applies: %d -> %d", before.Applies, after.Applies)
+	}
+	if got := after.Queries - before.Queries; got != 50 {
+		t.Errorf("query counter advanced by %d, want 50", got)
+	}
+}
+
+// TestEngineInsertCheaperThanScratch pins the tentpole saving on a smoke
+// graph: continuing the fixpoint from a seeded Δ must re-converge in
+// strictly fewer iterations than a fresh engine recomputing the post-insert
+// graph from zero.
+func TestEngineInsertCheaperThanScratch(t *testing.T) {
+	g := graph.Grid("serve-grid", 4, 4, 8, 21)
+	inserts := []paralagg.Tuple{{0, 15, 2}, {0, 10, 1}}
+
+	eng := openSSSP(t, g, 2)
+	st, err := eng.Apply(context.Background(), paralagg.Mutation{
+		Insert: map[string][]paralagg.Tuple{"edge": inserts},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Incremental {
+		t.Fatal("insert batch did not take the incremental path")
+	}
+
+	scratch := graph.Graph{Name: "serve-grid+ins", Nodes: g.Nodes, MaxWeight: g.MaxWeight, Edges: g.Edges}
+	for _, tp := range inserts {
+		scratch.Edges = append(scratch.Edges, graph.Edge{U: uint64(tp[0]), V: uint64(tp[1]), W: uint64(tp[2])})
+	}
+	res, err := paralagg.Exec(queries.SSSPProgram(), paralagg.Config{Ranks: 2, Subs: 2},
+		func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, &scratch, []uint64{0}) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations >= res.Iterations {
+		t.Errorf("incremental insert took %d iterations, from-scratch %d — not strictly cheaper",
+			st.Iterations, res.Iterations)
+	}
+}
+
+// TestDeprecatedAccessorsMatchQuery pins the migration contract: the
+// deprecated Rank.Count and Rank.PerRankCounts shims must keep returning
+// exactly what the typed Rank.Query surface they delegate to returns.
+func TestDeprecatedAccessorsMatchQuery(t *testing.T) {
+	g := chainGraph()
+	_, err := paralagg.Exec(queries.SSSPProgram(), paralagg.Config{Ranks: 2, Subs: 2},
+		func(rk *paralagg.Rank) error { return queries.LoadSSSP(rk, g, []uint64{0}) },
+		func(rk *paralagg.Rank) error {
+			n, err := rk.Count("spath")
+			if err != nil {
+				return err
+			}
+			qr, err := rk.Query(paralagg.QuerySpec{Relation: "spath", CountOnly: true})
+			if err != nil {
+				return err
+			}
+			if n != qr.Count {
+				t.Errorf("rank %d: Count=%d, Query count=%d", rk.ID(), n, qr.Count)
+			}
+			per, err := rk.PerRankCounts("spath")
+			if err != nil {
+				return err
+			}
+			qp, err := rk.Query(paralagg.QuerySpec{Relation: "spath", CountOnly: true, PerRank: true})
+			if err != nil {
+				return err
+			}
+			if len(per) != len(qp.PerRank) {
+				t.Errorf("rank %d: PerRankCounts len %d vs Query %d", rk.ID(), len(per), len(qp.PerRank))
+				return nil
+			}
+			for i := range per {
+				if per[i] != qp.PerRank[i] {
+					t.Errorf("rank %d slot %d: PerRankCounts=%d Query=%d", rk.ID(), i, per[i], qp.PerRank[i])
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
